@@ -1,0 +1,123 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "util/env.h"
+#include "util/timer.h"
+
+namespace armus::bench {
+
+Options Options::from_env() {
+  Options options;
+  options.samples =
+      static_cast<int>(util::env_int("ARMUS_BENCH_SAMPLES", options.samples));
+  options.scale =
+      static_cast<int>(util::env_int("ARMUS_BENCH_SCALE", options.scale));
+  options.iterations =
+      static_cast<int>(util::env_int("ARMUS_BENCH_ITERS", options.iterations));
+  int max_threads =
+      static_cast<int>(util::env_int("ARMUS_BENCH_MAX_THREADS", 16));
+  options.thread_counts.clear();
+  for (int t = 2; t <= max_threads; t *= 2) options.thread_counts.push_back(t);
+  if (options.thread_counts.empty()) options.thread_counts.push_back(2);
+  return options;
+}
+
+Tuning tuning_for(const std::string& kernel, const Options& options) {
+  // Shapes chosen so an unchecked 4-task sample lands near 0.2-0.5 s on a
+  // few-GHz core while preserving each kernel's barrier rate profile.
+  Tuning t;
+  if (kernel == "BT") {
+    t = {2, 400, 1};
+  } else if (kernel == "CG") {
+    t = {2, 2000, 1};
+  } else if (kernel == "FT") {
+    t = {3, 100, 1};
+  } else if (kernel == "MG") {
+    t = {2, 75, 1};
+  } else if (kernel == "RT") {
+    t = {4, 40, 1};
+  } else if (kernel == "SP") {
+    t = {2, 400, 1};
+  } else if (kernel == "SE") {
+    t = {3, 0, 2};
+  } else if (kernel == "FI") {
+    t = {3, 0, 8};
+  } else if (kernel == "FR") {
+    t = {1, 0, 6};
+  } else if (kernel == "BFS") {
+    t = {2, 0, 3};
+  } else if (kernel == "PS") {
+    t = {2, 0, 4};
+  }
+  t.scale *= options.scale;
+  if (options.iterations > 0) t.iterations = options.iterations;
+  return t;
+}
+
+wl::RunConfig tuned_config(const std::string& kernel, const Options& options,
+                           int threads) {
+  Tuning tuning = tuning_for(kernel, options);
+  wl::RunConfig config;
+  config.threads = threads;
+  config.scale = tuning.scale;
+  config.iterations = tuning.iterations;
+  return config;
+}
+
+util::Summary time_kernel(const wl::Kernel& kernel, const wl::RunConfig& base,
+                          VerifyMode mode, GraphModel model, int samples,
+                          Verifier::Stats* stats_out, int repeats) {
+  std::unique_ptr<Verifier> verifier;
+  if (mode != VerifyMode::kOff) {
+    VerifierConfig config;
+    config.mode = mode;
+    config.model = model;
+    // Detection every 100 ms, as the paper's local runs (§6.1).
+    config.period = std::chrono::milliseconds(100);
+    config.on_deadlock = [&](const DeadlockReport& report) {
+      std::fprintf(stderr, "UNEXPECTED DEADLOCK in %s: %s\n",
+                   kernel.name.c_str(), report.to_string().c_str());
+      std::abort();
+    };
+    verifier = std::make_unique<Verifier>(std::move(config));
+  }
+
+  wl::RunConfig config = base;
+  config.verifier = verifier.get();
+
+  auto body = [&] {
+    for (int r = 0; r < repeats; ++r) {
+      wl::RunResult result = kernel.run(config);
+      if (!result.valid) {
+        std::fprintf(stderr, "VALIDATION FAILED in %s: %s\n",
+                     kernel.name.c_str(), result.detail.c_str());
+        std::abort();
+      }
+    }
+  };
+  body();  // warm-up, also primes caches and page tables
+  if (verifier) verifier->reset_stats();
+
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(samples));
+  for (int s = 0; s < samples; ++s) {
+    util::Stopwatch sw;
+    body();
+    times.push_back(sw.seconds());
+  }
+  if (stats_out != nullptr) {
+    *stats_out = verifier ? verifier->stats() : Verifier::Stats{};
+  }
+  return util::summarize(times);
+}
+
+void emit(const std::string& title, const util::Table& table) {
+  std::printf("\n=== %s ===\n%s\n--- CSV ---\n%s", title.c_str(),
+              table.to_text().c_str(), table.to_csv().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace armus::bench

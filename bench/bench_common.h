@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/table.h"
+#include "workloads/workload.h"
+
+/// Shared scaffolding for the paper-table benchmark binaries.
+///
+/// Environment knobs (all optional):
+///   ARMUS_BENCH_SAMPLES      samples per configuration after the discarded
+///                            warm-up (default 3; the paper uses 30)
+///   ARMUS_BENCH_SCALE        problem-size multiplier (default 1)
+///   ARMUS_BENCH_MAX_THREADS  largest SPMD task count (default 16; set 64
+///                            to reproduce the paper's full sweep)
+///   ARMUS_BENCH_ITERS        kernel iteration override (default: per-bench)
+namespace armus::bench {
+
+struct Options {
+  int samples = 3;
+  int scale = 1;
+  int iterations = 0;
+  std::vector<int> thread_counts{2, 4, 8, 16};
+
+  static Options from_env();
+};
+
+/// Per-kernel benchmark shaping: problem sizes and iteration counts are
+/// raised from the test defaults so one sample runs long enough (~0.2-0.5 s)
+/// for barrier-rate-driven verification overhead to be measurable, and
+/// short kernels are repeated within a sample.
+struct Tuning {
+  int scale = 1;
+  int iterations = 0;  ///< 0 keeps the kernel default
+  int repeats = 1;     ///< kernel executions per timed sample
+};
+
+/// The tuning for `kernel`, scaled by the env options (ARMUS_BENCH_SCALE
+/// multiplies scale; ARMUS_BENCH_ITERS overrides iterations).
+Tuning tuning_for(const std::string& kernel, const Options& options);
+
+/// Builds the RunConfig for one timed configuration.
+wl::RunConfig tuned_config(const std::string& kernel, const Options& options,
+                           int threads);
+
+/// Times `kernel` under the given mode/model: `samples`+1 runs (first
+/// discarded), one Verifier shared across samples (the tool's scanner runs
+/// for the whole set, like a real deployment). Validation failures abort
+/// loudly. When `stats_out` is non-null it receives the verifier stats
+/// accumulated over the timed samples (zeroed for unchecked runs).
+util::Summary time_kernel(const wl::Kernel& kernel, const wl::RunConfig& base,
+                          VerifyMode mode, GraphModel model, int samples,
+                          Verifier::Stats* stats_out = nullptr, int repeats = 1);
+
+/// Prints the rendered table plus its CSV block, framed like the paper's.
+void emit(const std::string& title, const util::Table& table);
+
+}  // namespace armus::bench

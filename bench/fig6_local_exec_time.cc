@@ -1,0 +1,34 @@
+// Figure 6 (a-f) — comparative execution time for the non-distributed
+// benchmarks: absolute wall-clock per task count for unchecked, detection
+// and avoidance runs (the paper plots one chart per kernel; we print one
+// table block per kernel with the same series).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace armus;
+  bench::Options options = bench::Options::from_env();
+
+  for (const wl::Kernel& kernel : wl::npb_kernels()) {
+    util::Table table({"Tasks", "Unchecked(s)", "Detection(s)", "Avoidance(s)",
+                       "CI95(unchecked)"});
+    for (int threads : options.thread_counts) {
+      wl::RunConfig config = bench::tuned_config(kernel.name, options, threads);
+      util::Summary base = bench::time_kernel(
+          kernel, config, VerifyMode::kOff, GraphModel::kAuto, options.samples);
+      util::Summary detect =
+          bench::time_kernel(kernel, config, VerifyMode::kDetection,
+                             GraphModel::kAuto, options.samples);
+      util::Summary avoid =
+          bench::time_kernel(kernel, config, VerifyMode::kAvoidance,
+                             GraphModel::kAuto, options.samples);
+      table.add_row({std::to_string(threads), util::fmt_double(base.mean, 4),
+                     util::fmt_double(detect.mean, 4),
+                     util::fmt_double(avoid.mean, 4),
+                     util::fmt_double(base.ci95, 4)});
+    }
+    bench::emit("Figure 6: execution time, benchmark " + kernel.name, table);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 8 — comparative execution time for different graph-model choices
+// under *avoidance*: the §6.3 course programs (SE FI FR BFS PS), which
+// create tasks and barriers dynamically and exercise the verification
+// worst cases (many tasks vs many barriers).
+//
+// Paper reference: adaptive never loses to the better fixed model; fixing
+// the wrong model is catastrophic under avoidance (PS: 600% with WFG vs
+// 82% adaptive; FR: 300% with SG vs 117% adaptive).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace armus;
+  bench::Options options = bench::Options::from_env();
+
+  util::Table table({"Bench", "Unchecked(s)", "Auto(s)", "SG(s)", "WFG(s)"});
+  for (const wl::Kernel& kernel : wl::course_kernels()) {
+    wl::RunConfig config = bench::tuned_config(kernel.name, options, /*threads=*/4);
+    const int repeats = bench::tuning_for(kernel.name, options).repeats;
+
+    util::Summary base = bench::time_kernel(
+        kernel, config, VerifyMode::kOff, GraphModel::kAuto, options.samples, nullptr, repeats);
+    util::Summary automatic =
+        bench::time_kernel(kernel, config, VerifyMode::kAvoidance,
+                           GraphModel::kAuto, options.samples, nullptr, repeats);
+    util::Summary sg = bench::time_kernel(
+        kernel, config, VerifyMode::kAvoidance, GraphModel::kSg, options.samples, nullptr, repeats);
+    util::Summary wfg =
+        bench::time_kernel(kernel, config, VerifyMode::kAvoidance,
+                           GraphModel::kWfg, options.samples, nullptr, repeats);
+
+    table.add_row({kernel.name, util::fmt_double(base.mean, 4),
+                   util::fmt_double(automatic.mean, 4),
+                   util::fmt_double(sg.mean, 4), util::fmt_double(wfg.mean, 4)});
+    std::fprintf(stderr, "[fig8] %s base=%.3f auto=%.3f sg=%.3f wfg=%.3f\n",
+                 kernel.name.c_str(), base.mean, automatic.mean, sg.mean,
+                 wfg.mean);
+  }
+
+  bench::emit("Figure 8: execution time by graph model, avoidance mode", table);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation: costs of the distributed substrate — codec encode/decode,
+// store writes/snapshots (with and without injected network latency), and
+// a full publish+check round trip per site count.
+#include <benchmark/benchmark.h>
+
+#include "dist/codec.h"
+#include "dist/site.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace armus;
+
+std::vector<BlockedStatus> synthetic_statuses(int count) {
+  util::Xoshiro256 rng(5);
+  std::vector<BlockedStatus> statuses;
+  for (int i = 1; i <= count; ++i) {
+    BlockedStatus s;
+    s.task = static_cast<TaskId>(i);
+    s.waits.push_back(Resource{1 + rng.below(8), 1 + rng.below(4)});
+    for (int r = 0; r < 3; ++r) {
+      s.registered.push_back({1 + rng.below(8), rng.below(4)});
+    }
+    statuses.push_back(std::move(s));
+  }
+  return statuses;
+}
+
+void BM_CodecEncode(benchmark::State& state) {
+  auto statuses = synthetic_statuses(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::string bytes = dist::encode_statuses(statuses);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_CodecEncode)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CodecDecode(benchmark::State& state) {
+  std::string bytes =
+      dist::encode_statuses(synthetic_statuses(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto statuses = dist::decode_statuses(bytes);
+    benchmark::DoNotOptimize(statuses);
+  }
+}
+BENCHMARK(BM_CodecDecode)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_StorePutSlice(benchmark::State& state) {
+  dist::Store store;
+  std::string payload = dist::encode_statuses(synthetic_statuses(64));
+  for (auto _ : state) {
+    store.put_slice(1, payload);
+  }
+}
+BENCHMARK(BM_StorePutSlice);
+
+void BM_StoreSnapshot(benchmark::State& state) {
+  dist::Store store;
+  std::string payload = dist::encode_statuses(synthetic_statuses(32));
+  for (dist::SiteId s = 0; s < static_cast<dist::SiteId>(state.range(0)); ++s) {
+    store.put_slice(s, payload);
+  }
+  for (auto _ : state) {
+    auto snapshot = store.snapshot();
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_StoreSnapshot)->Arg(4)->Arg(16)->Arg(64);
+
+/// One full verification round at a site: publish the local slice, read
+/// the global snapshot, decode every slice, analyse. Per site count.
+void BM_SitePublishCheckRound(benchmark::State& state) {
+  auto store = std::make_shared<dist::Store>();
+  int sites = static_cast<int>(state.range(0));
+  std::vector<std::unique_ptr<dist::Site>> cluster;
+  for (int s = 0; s < sites; ++s) {
+    dist::Site::Config config;
+    config.id = static_cast<dist::SiteId>(s);
+    cluster.push_back(std::make_unique<dist::Site>(config, store));
+    // Each site hosts a handful of blocked tasks (disjoint ids per site).
+    for (int t = 0; t < 8; ++t) {
+      BlockedStatus status;
+      status.task = static_cast<TaskId>(s * 100 + t + 1);
+      status.waits.push_back(Resource{static_cast<PhaserUid>(s + 1), 1});
+      status.registered.push_back({static_cast<PhaserUid>(s + 1), 1});
+      cluster.back()->verifier().state().set_blocked(status);
+    }
+    cluster.back()->publish_now();
+  }
+  dist::Site& probe = *cluster[0];
+  for (auto _ : state) {
+    probe.publish_now();
+    probe.check_now();
+  }
+  state.counters["sites"] = static_cast<double>(sites);
+}
+BENCHMARK(BM_SitePublishCheckRound)->Arg(2)->Arg(8)->Arg(32);
+
+/// Store latency injection: how the simulated network hop scales a round.
+void BM_StoreWithLatency(benchmark::State& state) {
+  dist::Store::Config config;
+  config.latency = std::chrono::microseconds(state.range(0));
+  dist::Store store(config);
+  std::string payload = dist::encode_statuses(synthetic_statuses(32));
+  for (auto _ : state) {
+    store.put_slice(1, payload);
+    auto snapshot = store.snapshot();
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_StoreWithLatency)->Arg(0)->Arg(50)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

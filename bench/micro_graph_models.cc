@@ -1,0 +1,128 @@
+// Ablation: graph construction + cycle detection cost per model (WFG, SG,
+// GRG, adaptive) across task:resource ratios — the §5.1 design choice made
+// measurable. SPMD-shaped states (many tasks, one barrier) favour the SG;
+// fork/join-shaped states (one waited event per task, dense registration)
+// favour the WFG; the adaptive mode must track the cheaper model in both.
+#include <benchmark/benchmark.h>
+
+#include "core/checker.h"
+#include "core/graph_builder.h"
+#include "graph/cycle.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace armus;
+
+/// SPMD shape: `tasks` workers blocked on one event of a shared barrier,
+/// one straggler blocked elsewhere (so edges exist).
+std::vector<BlockedStatus> spmd_state(int tasks) {
+  std::vector<BlockedStatus> snapshot;
+  for (TaskId t = 1; t <= static_cast<TaskId>(tasks); ++t) {
+    BlockedStatus s;
+    s.task = t;
+    s.waits.push_back(Resource{1, 1});
+    s.registered.push_back({1, 1});
+    s.registered.push_back({2, 0});
+    snapshot.push_back(std::move(s));
+  }
+  BlockedStatus straggler;
+  straggler.task = static_cast<TaskId>(tasks) + 1;
+  straggler.waits.push_back(Resource{2, 1});
+  straggler.registered.push_back({1, 0});
+  straggler.registered.push_back({2, 1});
+  snapshot.push_back(std::move(straggler));
+  return snapshot;
+}
+
+/// Fork/join shape: every task waits on its own private event and is
+/// registered behind `fanout` other chains.
+std::vector<BlockedStatus> forkjoin_state(int tasks, int fanout) {
+  util::Xoshiro256 rng(11);
+  std::vector<BlockedStatus> snapshot;
+  for (TaskId t = 1; t <= static_cast<TaskId>(tasks); ++t) {
+    BlockedStatus s;
+    s.task = t;
+    s.waits.push_back(Resource{t, 1});
+    for (int f = 0; f < fanout; ++f) {
+      s.registered.push_back(
+          {1 + rng.below(static_cast<std::uint64_t>(tasks)), 0});
+    }
+    snapshot.push_back(std::move(s));
+  }
+  return snapshot;
+}
+
+void build_and_check(benchmark::State& state,
+                     const std::vector<BlockedStatus>& snapshot,
+                     GraphModel model) {
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    CheckResult result = check_deadlocks(snapshot, model);
+    edges = result.edges;
+    benchmark::DoNotOptimize(result.reports);
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["blocked_tasks"] = static_cast<double>(snapshot.size());
+}
+
+void BM_SpmdWfg(benchmark::State& state) {
+  auto snapshot = spmd_state(static_cast<int>(state.range(0)));
+  build_and_check(state, snapshot, GraphModel::kWfg);
+}
+void BM_SpmdSg(benchmark::State& state) {
+  auto snapshot = spmd_state(static_cast<int>(state.range(0)));
+  build_and_check(state, snapshot, GraphModel::kSg);
+}
+void BM_SpmdAdaptive(benchmark::State& state) {
+  auto snapshot = spmd_state(static_cast<int>(state.range(0)));
+  build_and_check(state, snapshot, GraphModel::kAuto);
+}
+BENCHMARK(BM_SpmdWfg)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_SpmdSg)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_SpmdAdaptive)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ForkJoinWfg(benchmark::State& state) {
+  auto snapshot =
+      forkjoin_state(static_cast<int>(state.range(0)), /*fanout=*/8);
+  build_and_check(state, snapshot, GraphModel::kWfg);
+}
+void BM_ForkJoinSg(benchmark::State& state) {
+  auto snapshot =
+      forkjoin_state(static_cast<int>(state.range(0)), /*fanout=*/8);
+  build_and_check(state, snapshot, GraphModel::kSg);
+}
+void BM_ForkJoinAdaptive(benchmark::State& state) {
+  auto snapshot =
+      forkjoin_state(static_cast<int>(state.range(0)), /*fanout=*/8);
+  build_and_check(state, snapshot, GraphModel::kAuto);
+}
+BENCHMARK(BM_ForkJoinWfg)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ForkJoinSg)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ForkJoinAdaptive)->Arg(16)->Arg(64)->Arg(256);
+
+/// The GRG (never used for checking, but the formal bridge) for reference.
+void BM_SpmdGrg(benchmark::State& state) {
+  auto snapshot = spmd_state(static_cast<int>(state.range(0)));
+  build_and_check(state, snapshot, GraphModel::kGrg);
+}
+BENCHMARK(BM_SpmdGrg)->Arg(64)->Arg(256);
+
+/// Raw cycle detection on a pre-built ring, isolating Tarjan from builders.
+void BM_CycleDetectionRing(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  graph::DiGraph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    g.add_edge(static_cast<graph::Node>(v),
+               static_cast<graph::Node>((v + 1) % n));
+  }
+  for (auto _ : state) {
+    auto cycle = graph::find_cycle(g);
+    benchmark::DoNotOptimize(cycle);
+  }
+}
+BENCHMARK(BM_CycleDetectionRing)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

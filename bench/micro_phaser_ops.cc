@@ -1,0 +1,136 @@
+// Ablation: cost of the phaser primitives and of the Armus hooks on the
+// blocking path — barrier steps per second for unchecked / detection /
+// avoidance, the detection-period interference (§ DESIGN.md ablation 3),
+// and registration churn (dynamic membership cost).
+//
+// Threading is self-managed: each benchmark invocation spawns its own
+// worker gang advancing the shared phaser while the main task's advances
+// are timed. Workers always deregister on exit, so teardown can never
+// strand a waiter.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "phaser/phaser.h"
+#include "runtime/task.h"
+
+namespace {
+
+using namespace armus;
+
+/// Barrier-step throughput with `workers + 1` members on one phaser; the
+/// main task's advance rate is the global barrier rate.
+void barrier_steps(benchmark::State& state, Verifier* verifier, int workers) {
+  auto phaser = ph::Phaser::create(verifier);
+  TaskId self = rt::current_task();
+  if (phaser->is_registered(self)) phaser->deregister(self);
+  phaser->register_task_at_observed(self);
+
+  std::atomic<bool> stop{false};
+  std::vector<TaskId> ids;
+  for (int w = 0; w < workers; ++w) {
+    TaskId id = fresh_task_id();
+    phaser->register_task_at_observed(id);
+    ids.push_back(id);
+  }
+  std::vector<std::thread> gang;
+  for (int w = 0; w < workers; ++w) {
+    TaskId id = ids[static_cast<std::size_t>(w)];
+    gang.emplace_back([&, id] {
+      while (!stop.load(std::memory_order_acquire)) {
+        phaser->advance(id);
+      }
+      phaser->deregister(id);
+    });
+  }
+
+  for (auto _ : state) {
+    phaser->advance(self);
+  }
+
+  stop.store(true, std::memory_order_release);
+  // Release any worker still blocked on our next arrival.
+  phaser->arrive_and_deregister(self);
+  for (auto& t : gang) t.join();
+  state.SetItemsProcessed(state.iterations() * (workers + 1));
+}
+
+void BM_BarrierStepUnchecked(benchmark::State& state) {
+  barrier_steps(state, nullptr, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_BarrierStepUnchecked)->Arg(1)->Arg(3)->Arg(7)->UseRealTime();
+
+void BM_BarrierStepDetection(benchmark::State& state) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = std::chrono::milliseconds(state.range(1));
+  Verifier verifier(std::move(config));
+  barrier_steps(state, &verifier, static_cast<int>(state.range(0)));
+  state.counters["checks"] = static_cast<double>(verifier.stats().checks);
+}
+// Sweep the scan period at 4 members: 10 ms (aggressive) to 400 ms (lazy).
+BENCHMARK(BM_BarrierStepDetection)
+    ->Args({3, 10})->Args({3, 100})->Args({3, 400})->UseRealTime();
+
+void BM_BarrierStepAvoidance(benchmark::State& state) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kAvoidance;
+  Verifier verifier(std::move(config));
+  barrier_steps(state, &verifier, static_cast<int>(state.range(0)));
+  state.counters["checks"] = static_cast<double>(verifier.stats().checks);
+}
+BENCHMARK(BM_BarrierStepAvoidance)->Arg(1)->Arg(3)->UseRealTime();
+
+/// Dynamic membership churn: register + arrive + deregister, single task.
+void BM_RegistrationChurn(benchmark::State& state) {
+  auto phaser = ph::Phaser::create(nullptr);
+  TaskId anchor = fresh_task_id();
+  phaser->register_task(anchor, 0);  // keeps the phaser non-empty
+  TaskId guest = fresh_task_id();
+  for (auto _ : state) {
+    phaser->register_task(guest, phaser->local_phase(anchor));
+    phaser->arrive_and_deregister(guest);
+    phaser->arrive(anchor);
+  }
+}
+BENCHMARK(BM_RegistrationChurn);
+
+/// Split-phase signal cost (arrive without wait) vs a full advance.
+void BM_LoneArrive(benchmark::State& state) {
+  auto phaser = ph::Phaser::create(nullptr);
+  TaskId self = fresh_task_id();
+  phaser->register_task(self, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phaser->arrive(self));
+  }
+}
+BENCHMARK(BM_LoneArrive);
+
+/// The avoidance doom-check itself, at varying blocked-set sizes.
+void BM_AvoidanceCheckCost(benchmark::State& state) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kAvoidance;
+  Verifier verifier(std::move(config));
+  int blocked = static_cast<int>(state.range(0));
+  for (TaskId t = 1; t <= static_cast<TaskId>(blocked); ++t) {
+    BlockedStatus s;
+    s.task = t;
+    s.waits.push_back(Resource{1, 1});
+    s.registered.push_back({1, 1});
+    verifier.state().set_blocked(s);
+  }
+  BlockedStatus probe;
+  probe.task = 100000;
+  probe.waits.push_back(Resource{2, 1});
+  probe.registered.push_back({2, 1});
+  for (auto _ : state) {
+    verifier.before_block(probe);  // runs the full analysis
+    verifier.after_unblock(probe.task);
+  }
+}
+BENCHMARK(BM_AvoidanceCheckCost)->Arg(4)->Arg(32)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

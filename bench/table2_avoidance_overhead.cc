@@ -1,0 +1,41 @@
+// Table 2 — "Relative execution overhead in avoidance mode": the NPB/JGF
+// suite with every task checking the graph before it blocks (adaptive
+// model), overhead relative to the unchecked run.
+//
+// Paper reference: overhead grows with task count since each blocking task
+// checks; worst case CG 50% @64, MG 30% @64, RT 16% @64.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace armus;
+  bench::Options options = bench::Options::from_env();
+
+  std::vector<std::string> header{"Bench"};
+  for (int threads : options.thread_counts) {
+    header.push_back(std::to_string(threads));
+  }
+  util::Table table(header);
+
+  for (const wl::Kernel& kernel : wl::npb_kernels()) {
+    std::vector<std::string> row{kernel.name};
+    for (int threads : options.thread_counts) {
+      wl::RunConfig config = bench::tuned_config(kernel.name, options, threads);
+      util::Summary base = bench::time_kernel(
+          kernel, config, VerifyMode::kOff, GraphModel::kAuto, options.samples);
+      util::Summary checked =
+          bench::time_kernel(kernel, config, VerifyMode::kAvoidance,
+                             GraphModel::kAuto, options.samples);
+      row.push_back(util::format_overhead(util::relative_overhead(checked, base)));
+      std::fprintf(stderr, "[table2] %s t=%d base=%.3fs avoid=%.3fs\n",
+                   kernel.name.c_str(), threads, base.mean, checked.mean);
+    }
+    table.add_row(std::move(row));
+  }
+
+  bench::emit(
+      "Table 2: relative execution overhead, avoidance mode (adaptive model)",
+      table);
+  return 0;
+}

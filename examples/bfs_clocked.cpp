@@ -1,0 +1,42 @@
+// Runs two of the §6.3 course workloads (BFS with a barrier per level, and
+// the prefix sum with one task per element) under detection mode, printing
+// what the adaptive graph selection did — a live view of Table 3's point:
+// the same checker picks the SG here because these programs produce far
+// more blocked tasks than barriers.
+#include <cstdio>
+
+#include "workloads/workload.h"
+
+using namespace armus;
+
+int main() {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = std::chrono::milliseconds(5);
+  Verifier verifier(config);
+
+  for (const char* name : {"BFS", "PS"}) {
+    verifier.reset_stats();
+    wl::RunConfig run;
+    run.scale = 2;
+    run.verifier = &verifier;
+    wl::RunResult result = wl::kernel_by_name(name).run(run);
+    auto stats = verifier.stats();
+    std::printf("%s: %s (checksum %.0f)\n", name,
+                result.valid ? "valid" : "INVALID", result.checksum);
+    std::printf("  scans: %llu | graphs built: SG %llu, WFG %llu | "
+                "mean edges %.1f | max edges %llu\n",
+                static_cast<unsigned long long>(stats.checks),
+                static_cast<unsigned long long>(stats.sg_builds),
+                static_cast<unsigned long long>(stats.wfg_builds),
+                stats.mean_edges(),
+                static_cast<unsigned long long>(stats.max_edges));
+    if (!result.valid) return 1;
+  }
+
+  std::printf("\nBoth workloads flood the verifier with short-lived tasks "
+              "against a handful of barriers;\nthe adaptive selection keeps "
+              "the graphs tiny by building State Graphs (SG builds >> WFG "
+              "builds).\n");
+  return 0;
+}

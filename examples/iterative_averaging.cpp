@@ -1,0 +1,132 @@
+// The paper's running example in both dialects, under *avoidance*:
+//
+//   * Figure 1 — X10 style: clocks + finish;
+//   * Figure 2 — Java style: two Phasers (cyclic + join).
+//
+// In avoidance mode the blocking operation that would complete the deadlock
+// cycle throws DeadlockAvoidedError instead of blocking; the handler
+// applies the documented fix (deregistering from the cyclic barrier) and
+// the program completes with correct output.
+#include <cstdio>
+#include <vector>
+
+#include "runtime/clock.h"
+#include "runtime/jphaser.h"
+
+using namespace armus;
+
+namespace {
+
+void x10_style(Verifier& verifier, bool buggy) {
+  constexpr int kWorkers = 4, kIters = 3;
+  std::vector<double> a(kWorkers + 2, 1.0);
+  a[0] = 0.0;
+  a[kWorkers + 1] = 2.0;
+
+  rt::Clock c = rt::Clock::make(&verifier);
+  rt::Finish finish(&verifier);
+  for (int i = 1; i <= kWorkers; ++i) {
+    rt::async_clocked(finish, {c}, [&, i] {
+      try {
+        for (int j = 0; j < kIters; ++j) {
+          double l = a[static_cast<std::size_t>(i) - 1];
+          double r = a[static_cast<std::size_t>(i) + 1];
+          c.advance();
+          a[static_cast<std::size_t>(i)] = (l + r) / 2;
+          c.advance();
+        }
+      } catch (const DeadlockAvoidedError& e) {
+        // Clock::advance already deregistered us (§2.1 recovery).
+        std::printf("  worker %d avoided: %s\n", i, e.what());
+      }
+    });
+  }
+  if (!buggy) c.drop();  // the fix from §2.1
+  try {
+    finish.wait();
+  } catch (const DeadlockAvoidedError& e) {
+    std::printf("  parent avoided: %s\n", e.what());
+    if (c.is_registered()) c.drop();
+    finish.wait();  // children can proceed now
+  }
+  std::printf("  a = [");
+  for (double v : a) std::printf(" %.3f", v);
+  std::printf(" ]\n");
+}
+
+void java_style(Verifier& verifier, bool buggy) {
+  constexpr int kWorkers = 4, kIters = 3;
+  std::vector<double> a(kWorkers + 2, 1.0);
+  a[0] = 0.0;
+  a[kWorkers + 1] = 2.0;
+
+  rt::JPhaser c(1, &verifier);  // new Phaser(1): the parent's party
+  rt::JPhaser b(1, &verifier);
+  c.bind_current();             // the JArmus.register annotation
+  b.bind_current();
+
+  std::vector<rt::Task> threads;
+  for (int i = 1; i <= kWorkers; ++i) {
+    c.register_party();
+    b.register_party();
+    threads.push_back(rt::spawn([&, i] {
+      c.bind_current();
+      b.bind_current();
+      try {
+        for (int j = 0; j < kIters; ++j) {
+          double l = a[static_cast<std::size_t>(i) - 1];
+          double r = a[static_cast<std::size_t>(i) + 1];
+          c.arrive_and_await_advance();
+          a[static_cast<std::size_t>(i)] = (l + r) / 2;
+          c.arrive_and_await_advance();
+        }
+        c.arrive_and_deregister();
+      } catch (const DeadlockAvoidedError& e) {
+        std::printf("  worker %d avoided: %s\n", i, e.what());
+        if (c.underlying()->is_registered(rt::current_task())) {
+          c.underlying()->deregister(rt::current_task());
+        }
+      }
+      b.arrive_and_deregister();
+    }, &verifier));
+  }
+  if (!buggy) c.arrive_and_deregister();  // the Figure 2 fix
+  try {
+    b.arrive_and_await_advance();
+  } catch (const DeadlockAvoidedError& e) {
+    std::printf("  parent avoided: %s\n", e.what());
+    if (c.underlying()->is_registered(rt::current_task())) {
+      c.underlying()->deregister(rt::current_task());
+    }
+    b.await_advance(0);
+  }
+  for (rt::Task& t : threads) t.join();
+  std::printf("  a = [");
+  for (double v : a) std::printf(" %.3f", v);
+  std::printf(" ]\n");
+}
+
+}  // namespace
+
+int main() {
+  VerifierConfig config;
+  config.mode = VerifyMode::kAvoidance;
+  Verifier verifier(config);
+  set_default_verifier(&verifier);
+
+  std::printf("== Figure 1 (X10 style), buggy: avoidance interrupts ==\n");
+  x10_style(verifier, /*buggy=*/true);
+  std::printf("== Figure 1 (X10 style), fixed ==\n");
+  x10_style(verifier, /*buggy=*/false);
+
+  std::printf("== Figure 2 (Java style), buggy: avoidance interrupts ==\n");
+  java_style(verifier, /*buggy=*/true);
+  std::printf("== Figure 2 (Java style), fixed ==\n");
+  java_style(verifier, /*buggy=*/false);
+
+  auto stats = verifier.stats();
+  std::printf("avoidance interrupts: %llu (expected >= 2)\n",
+              static_cast<unsigned long long>(stats.avoidance_interrupts));
+  set_default_verifier(nullptr);
+  return stats.avoidance_interrupts >= 2 ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/resource.h"
+
+/// The blocked status a task publishes to the verification library when it
+/// is about to block (§5.1): the resources it waits for, and its own local
+/// phase on every phaser it is registered with.
+///
+/// Everything here is *local to the task* — this is the property (§2.1) that
+/// lets distributed sites publish their slices independently without
+/// agreeing on a global view of barrier membership.
+namespace armus {
+
+/// One registration of the task: the task's local phase on `phaser`.
+/// The task impedes every event (phaser, n) with n > local_phase, i.e. it is
+/// a member of I(res(phaser, n)) for all such n (Definition 4.1).
+struct RegEntry {
+  PhaserUid phaser = 0;
+  Phase local_phase = 0;
+
+  friend bool operator==(const RegEntry&, const RegEntry&) = default;
+};
+
+struct BlockedStatus {
+  TaskId task = kInvalidTask;
+
+  /// W(t): the resources this task is blocked on. For PL phasers this is a
+  /// singleton {res(p, n)}; locks and compound runtime operations may
+  /// contribute several entries.
+  std::vector<Resource> waits;
+
+  /// The task's registrations (only signal-capable ones — a wait-only
+  /// registration never impedes anyone and is omitted by the runtime layer).
+  std::vector<RegEntry> registered;
+
+  friend bool operator==(const BlockedStatus&, const BlockedStatus&) = default;
+};
+
+inline std::string to_string(const BlockedStatus& s) {
+  std::string out = "t" + std::to_string(s.task) + " waits {";
+  for (std::size_t i = 0; i < s.waits.size(); ++i) {
+    if (i) out += ", ";
+    out += to_string(s.waits[i]);
+  }
+  out += "} registered {";
+  for (std::size_t i = 0; i < s.registered.size(); ++i) {
+    if (i) out += ", ";
+    out += "p" + std::to_string(s.registered[i].phaser) + ":" +
+           std::to_string(s.registered[i].local_phase);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace armus

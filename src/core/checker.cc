@@ -1,0 +1,156 @@
+#include "core/checker.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/cycle.h"
+
+namespace armus {
+
+namespace {
+
+using graph::Node;
+
+/// Flags per SCC: true when the component is cyclic (size >= 2 or self-loop).
+std::vector<bool> cyclic_flags(const graph::DiGraph& g,
+                               const graph::SccResult& scc) {
+  std::vector<std::size_t> sizes(scc.count, 0);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    ++sizes[static_cast<std::size_t>(scc.component[v])];
+  }
+  std::vector<bool> cyclic(scc.count, false);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    std::size_t c = static_cast<std::size_t>(scc.component[v]);
+    if (sizes[c] >= 2) {
+      cyclic[c] = true;
+    } else {
+      auto edges = g.out(static_cast<Node>(v));
+      if (std::find(edges.begin(), edges.end(), static_cast<Node>(v)) !=
+          edges.end()) {
+        cyclic[c] = true;
+      }
+    }
+  }
+  return cyclic;
+}
+
+/// True iff a DFS from any of `starts` reaches a node in a cyclic SCC.
+bool reaches_cycle(const graph::DiGraph& g, const std::vector<Node>& starts) {
+  graph::SccResult scc = graph::strongly_connected_components(g);
+  std::vector<bool> cyclic = cyclic_flags(g, scc);
+  std::vector<bool> visited(g.num_nodes(), false);
+  std::vector<Node> stack;
+  for (Node s : starts) {
+    if (!visited[static_cast<std::size_t>(s)]) {
+      visited[static_cast<std::size_t>(s)] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    Node v = stack.back();
+    stack.pop_back();
+    if (cyclic[static_cast<std::size_t>(scc.component[v])]) return true;
+    for (Node w : g.out(v)) {
+      if (!visited[static_cast<std::size_t>(w)]) {
+        visited[static_cast<std::size_t>(w)] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DeadlockReport make_report(const BuiltGraph& built,
+                           std::span<const BlockedStatus> snapshot,
+                           const std::vector<Node>& cycle_nodes) {
+  DeadlockReport report;
+  report.model = built.model;
+
+  std::unordered_set<TaskId> task_set;
+  std::unordered_set<Resource, ResourceHash> resource_set;
+
+  for (Node v : cycle_nodes) {
+    if (built.is_task_node(v)) {
+      task_set.insert(built.tasks[static_cast<std::size_t>(v)]);
+    } else {
+      resource_set.insert(
+          built.resources[static_cast<std::size_t>(v) - built.tasks.size()]);
+    }
+  }
+
+  // Complete the picture from the snapshot: for a WFG cycle add the waited
+  // events of the deadlocked tasks; for an SG cycle add the tasks blocked on
+  // the cycle's events (those tasks can never proceed).
+  for (const BlockedStatus& status : snapshot) {
+    if (task_set.count(status.task)) {
+      for (const Resource& r : status.waits) resource_set.insert(r);
+    } else {
+      for (const Resource& r : status.waits) {
+        if (resource_set.count(r)) {
+          task_set.insert(status.task);
+          break;
+        }
+      }
+    }
+  }
+
+  report.tasks.assign(task_set.begin(), task_set.end());
+  std::sort(report.tasks.begin(), report.tasks.end());
+  report.resources.assign(resource_set.begin(), resource_set.end());
+  std::sort(report.resources.begin(), report.resources.end());
+  return report;
+}
+
+CheckResult check_deadlocks(std::span<const BlockedStatus> snapshot,
+                            GraphModel model) {
+  CheckResult result;
+  if (snapshot.empty()) return result;
+
+  BuiltGraph built = build_graph(snapshot, model);
+  result.model_used = built.model;
+  result.nodes = built.nodes();
+  result.edges = built.edges();
+
+  for (const auto& component : graph::cyclic_components(built.graph)) {
+    result.reports.push_back(make_report(built, snapshot, component));
+  }
+  return result;
+}
+
+bool task_is_doomed(const BuiltGraph& built,
+                    std::span<const BlockedStatus> snapshot, TaskId task) {
+  std::vector<Node> starts;
+  if (built.model == GraphModel::kSg) {
+    // Start from the events the task waits on.
+    const BlockedStatus* status = nullptr;
+    for (const BlockedStatus& s : snapshot) {
+      if (s.task == task) {
+        status = &s;
+        break;
+      }
+    }
+    if (status == nullptr) return false;
+    std::unordered_map<Resource, Node, ResourceHash> ids;
+    for (std::size_t v = 0; v < built.resources.size(); ++v) {
+      ids.emplace(built.resources[v], static_cast<Node>(v));
+    }
+    for (const Resource& r : status->waits) {
+      auto it = ids.find(r);
+      if (it != ids.end()) starts.push_back(it->second);
+    }
+  } else {
+    // WFG / GRG: start from the task's own node.
+    for (std::size_t v = 0; v < built.tasks.size(); ++v) {
+      if (built.tasks[v] == task) {
+        starts.push_back(static_cast<Node>(v));
+        break;
+      }
+    }
+  }
+  if (starts.empty()) return false;
+  return reaches_cycle(built.graph, starts);
+}
+
+}  // namespace armus

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/report.h"
+
+/// The deadlock checker: graph construction + cycle analysis over a snapshot
+/// of blocked statuses (steps 2 and 3 of the §4 algorithm).
+namespace armus {
+
+struct CheckResult {
+  /// One report per independent deadlock (cyclic SCC). Empty = no deadlock.
+  std::vector<DeadlockReport> reports;
+
+  /// Model actually used (for kAuto this records the SG/WFG outcome).
+  GraphModel model_used = GraphModel::kWfg;
+
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+
+  [[nodiscard]] bool deadlocked() const { return !reports.empty(); }
+};
+
+/// Analyses `snapshot` with the given model policy and returns every
+/// deadlock found.
+CheckResult check_deadlocks(std::span<const BlockedStatus> snapshot,
+                            GraphModel model);
+
+/// True iff `task` can never unblock given this snapshot: its node (WFG) or
+/// one of its waited events (SG) reaches a cycle. This is the avoidance-mode
+/// test (§5) and mirrors Theorem 4.15's "there exists a cycle reachable
+/// from t".
+bool task_is_doomed(const BuiltGraph& built,
+                    std::span<const BlockedStatus> snapshot, TaskId task);
+
+/// Expands a set of cycle nodes into a DeadlockReport, resolving tasks and
+/// resources from the snapshot.
+DeadlockReport make_report(const BuiltGraph& built,
+                           std::span<const BlockedStatus> snapshot,
+                           const std::vector<graph::Node>& cycle_nodes);
+
+}  // namespace armus

@@ -1,0 +1,48 @@
+#include "core/dependency_state.h"
+
+#include <algorithm>
+
+namespace armus {
+
+void DependencyState::set_blocked(BlockedStatus status) {
+  Shard& shard = shard_for(status.task);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.blocked[status.task] = std::move(status);
+}
+
+void DependencyState::clear_blocked(TaskId task) {
+  Shard& shard = shard_for(task);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.blocked.erase(task);
+}
+
+std::vector<BlockedStatus> DependencyState::snapshot() const {
+  std::vector<BlockedStatus> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [task, status] : shard.blocked) out.push_back(status);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BlockedStatus& a, const BlockedStatus& b) {
+              return a.task < b.task;
+            });
+  return out;
+}
+
+std::size_t DependencyState::blocked_count() const {
+  std::size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    count += shard.blocked.size();
+  }
+  return count;
+}
+
+void DependencyState::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.blocked.clear();
+  }
+}
+
+}  // namespace armus

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/blocked_status.h"
+
+/// The resource-dependency store of the verification library (§5.1).
+///
+/// "Maintaining the blocked status is more frequent than checking for
+/// deadlocks, so the resource-dependencies are rearranged per task to
+/// optimise updates": statuses are keyed by task and sharded across
+/// independently locked buckets so that concurrent block/unblock events on
+/// different tasks never contend. The checker takes an O(blocked) snapshot.
+namespace armus {
+
+class DependencyState {
+ public:
+  DependencyState() = default;
+  DependencyState(const DependencyState&) = delete;
+  DependencyState& operator=(const DependencyState&) = delete;
+
+  /// Publishes (or replaces) the blocked status of `status.task`.
+  void set_blocked(BlockedStatus status);
+
+  /// Removes the blocked status of `task` (no-op if absent).
+  void clear_blocked(TaskId task);
+
+  /// Copies all current blocked statuses, sorted by task id so downstream
+  /// graph construction (and tests) are deterministic.
+  [[nodiscard]] std::vector<BlockedStatus> snapshot() const;
+
+  /// Number of currently blocked tasks.
+  [[nodiscard]] std::size_t blocked_count() const;
+
+  /// Removes every status (used between test cases / site restarts).
+  void clear();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<TaskId, BlockedStatus> blocked;
+  };
+
+  Shard& shard_for(TaskId task) { return shards_[task % kShards]; }
+  const Shard& shard_for(TaskId task) const { return shards_[task % kShards]; }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace armus

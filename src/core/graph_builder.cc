@@ -1,0 +1,239 @@
+#include "core/graph_builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace armus {
+
+namespace {
+
+using graph::Node;
+
+/// De-duplicates directed edges during construction. Node ids fit in 32 bits
+/// (a snapshot never holds 2^32 tasks), so an edge packs into one word.
+class EdgeSet {
+ public:
+  bool insert(Node u, Node v) {
+    std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u))
+                         << 32) |
+                        static_cast<std::uint32_t>(v);
+    return seen_.insert(key).second;
+  }
+  [[nodiscard]] std::size_t size() const { return seen_.size(); }
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+/// Index over a snapshot: which resources are waited on, grouped by phaser
+/// with phases sorted ascending — so "all waited events (p, n) with n > m"
+/// is a binary search plus a suffix scan.
+struct WaitIndex {
+  struct WaitedEvent {
+    Phase phase;
+    Node resource_node;  // dense id of the resource (SG/GRG numbering)
+  };
+
+  std::unordered_map<PhaserUid, std::vector<WaitedEvent>> by_phaser;
+  std::vector<Resource> resources;                      // node id -> resource
+  std::unordered_map<Resource, Node, ResourceHash> ids; // resource -> node id
+
+  Node intern(const Resource& r) {
+    auto [it, inserted] = ids.try_emplace(r, static_cast<Node>(resources.size()));
+    if (inserted) resources.push_back(r);
+    return it->second;
+  }
+
+  explicit WaitIndex(std::span<const BlockedStatus> snapshot) {
+    for (const BlockedStatus& status : snapshot) {
+      for (const Resource& r : status.waits) {
+        Node node = intern(r);
+        by_phaser[r.phaser].push_back({r.phase, node});
+      }
+    }
+    for (auto& [phaser, events] : by_phaser) {
+      std::sort(events.begin(), events.end(),
+                [](const WaitedEvent& a, const WaitedEvent& b) {
+                  return a.phase < b.phase;
+                });
+      events.erase(std::unique(events.begin(), events.end(),
+                               [](const WaitedEvent& a, const WaitedEvent& b) {
+                                 return a.resource_node == b.resource_node;
+                               }),
+                   events.end());
+    }
+  }
+
+  /// Invokes `fn(resource_node)` for every waited event on `phaser` with a
+  /// phase strictly greater than `local_phase` — exactly the events the
+  /// registration (phaser, local_phase) impedes.
+  template <typename Fn>
+  void for_each_impeded(PhaserUid phaser, Phase local_phase, Fn&& fn) const {
+    auto it = by_phaser.find(phaser);
+    if (it == by_phaser.end()) return;
+    const auto& events = it->second;
+    auto first = std::upper_bound(
+        events.begin(), events.end(), local_phase,
+        [](Phase value, const WaitedEvent& e) { return value < e.phase; });
+    for (; first != events.end(); ++first) fn(first->resource_node);
+  }
+};
+
+/// Maps tasks in the snapshot to dense WFG node ids [0, |snapshot|).
+std::unordered_map<TaskId, Node> task_nodes(std::span<const BlockedStatus> snapshot) {
+  std::unordered_map<TaskId, Node> ids;
+  ids.reserve(snapshot.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    ids.emplace(snapshot[i].task, static_cast<Node>(i));
+  }
+  return ids;
+}
+
+/// Shared SG construction. When `edge_budget_per_task >= 0`, aborts (returns
+/// false) as soon as unique edges exceed budget * tasks-processed (the §5.1
+/// adaptive threshold with budget = 2).
+bool build_sg_into(std::span<const BlockedStatus> snapshot, BuiltGraph& out,
+                   long edge_budget_per_task) {
+  WaitIndex index(snapshot);
+  out.model = GraphModel::kSg;
+  out.resources = index.resources;
+  out.graph = graph::DiGraph(index.resources.size());
+  EdgeSet edges;
+
+  std::size_t tasks_processed = 0;
+  for (const BlockedStatus& status : snapshot) {
+    ++tasks_processed;
+    // Edges (r1, r2) for every r1 impeded by this task and r2 it waits on.
+    std::vector<Node> waited_nodes;
+    waited_nodes.reserve(status.waits.size());
+    for (const Resource& r : status.waits) waited_nodes.push_back(index.ids.at(r));
+
+    for (const RegEntry& reg : status.registered) {
+      index.for_each_impeded(reg.phaser, reg.local_phase, [&](Node impeded) {
+        for (Node waited : waited_nodes) {
+          if (edges.insert(impeded, waited)) out.graph.add_edge(impeded, waited);
+        }
+      });
+    }
+    if (edge_budget_per_task >= 0 &&
+        edges.size() > static_cast<std::size_t>(edge_budget_per_task) * tasks_processed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string to_string(GraphModel model) {
+  switch (model) {
+    case GraphModel::kWfg: return "wfg";
+    case GraphModel::kSg: return "sg";
+    case GraphModel::kGrg: return "grg";
+    case GraphModel::kAuto: return "auto";
+  }
+  return "?";
+}
+
+GraphModel graph_model_from_string(const std::string& name) {
+  if (name == "wfg") return GraphModel::kWfg;
+  if (name == "sg") return GraphModel::kSg;
+  if (name == "grg") return GraphModel::kGrg;
+  if (name == "auto") return GraphModel::kAuto;
+  throw std::invalid_argument("unknown graph model: '" + name + "'");
+}
+
+std::string BuiltGraph::label(graph::Node v) const {
+  if (is_task_node(v)) return "t" + std::to_string(tasks[static_cast<std::size_t>(v)]);
+  return to_string(resources[static_cast<std::size_t>(v) - tasks.size()]);
+}
+
+BuiltGraph build_wfg(std::span<const BlockedStatus> snapshot) {
+  BuiltGraph out;
+  out.model = GraphModel::kWfg;
+  out.tasks.reserve(snapshot.size());
+  for (const BlockedStatus& status : snapshot) out.tasks.push_back(status.task);
+  out.graph = graph::DiGraph(snapshot.size());
+
+  WaitIndex index(snapshot);
+  auto nodes = task_nodes(snapshot);
+
+  // Waiters per waited resource node: who waits on each event.
+  std::vector<std::vector<Node>> waiters(index.resources.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    for (const Resource& r : snapshot[i].waits) {
+      waiters[static_cast<std::size_t>(index.ids.at(r))].push_back(
+          static_cast<Node>(i));
+    }
+  }
+
+  EdgeSet edges;
+  for (const BlockedStatus& status : snapshot) {
+    Node impeder = nodes.at(status.task);
+    for (const RegEntry& reg : status.registered) {
+      index.for_each_impeded(reg.phaser, reg.local_phase, [&](Node impeded_res) {
+        for (Node waiter : waiters[static_cast<std::size_t>(impeded_res)]) {
+          if (edges.insert(waiter, impeder)) out.graph.add_edge(waiter, impeder);
+        }
+      });
+    }
+  }
+  return out;
+}
+
+BuiltGraph build_sg(std::span<const BlockedStatus> snapshot) {
+  BuiltGraph out;
+  build_sg_into(snapshot, out, /*edge_budget_per_task=*/-1);
+  return out;
+}
+
+BuiltGraph build_grg(std::span<const BlockedStatus> snapshot) {
+  BuiltGraph out;
+  out.model = GraphModel::kGrg;
+  out.tasks.reserve(snapshot.size());
+  for (const BlockedStatus& status : snapshot) out.tasks.push_back(status.task);
+
+  WaitIndex index(snapshot);
+  out.resources = index.resources;
+  out.graph = graph::DiGraph(snapshot.size() + index.resources.size());
+  const Node resource_base = static_cast<Node>(snapshot.size());
+
+  EdgeSet edges;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const BlockedStatus& status = snapshot[i];
+    Node task_node = static_cast<Node>(i);
+    // (t, r) for every r in W(t).
+    for (const Resource& r : status.waits) {
+      Node rn = resource_base + index.ids.at(r);
+      if (edges.insert(task_node, rn)) out.graph.add_edge(task_node, rn);
+    }
+    // (r, t) for every waited r impeded by t.
+    for (const RegEntry& reg : status.registered) {
+      index.for_each_impeded(reg.phaser, reg.local_phase, [&](Node impeded) {
+        Node rn = resource_base + impeded;
+        if (edges.insert(rn, task_node)) out.graph.add_edge(rn, task_node);
+      });
+    }
+  }
+  return out;
+}
+
+BuiltGraph build_auto(std::span<const BlockedStatus> snapshot) {
+  BuiltGraph out;
+  if (build_sg_into(snapshot, out, /*edge_budget_per_task=*/2)) return out;
+  return build_wfg(snapshot);
+}
+
+BuiltGraph build_graph(std::span<const BlockedStatus> snapshot, GraphModel model) {
+  switch (model) {
+    case GraphModel::kWfg: return build_wfg(snapshot);
+    case GraphModel::kSg: return build_sg(snapshot);
+    case GraphModel::kGrg: return build_grg(snapshot);
+    case GraphModel::kAuto: return build_auto(snapshot);
+  }
+  throw std::logic_error("unreachable graph model");
+}
+
+}  // namespace armus

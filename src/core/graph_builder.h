@@ -1,0 +1,75 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/blocked_status.h"
+#include "graph/digraph.h"
+
+/// Construction of the three graph models of §4.2 from a snapshot of blocked
+/// statuses, plus the adaptive SG-first selection of §5.1.
+///
+/// Edges follow Definitions 4.2–4.4 with `t ∈ I(res(p, n))` decided locally:
+/// a blocked task t with registration (p, m) impedes event (p, n) iff m < n
+/// (Lemma 4.9). Only *waited* resources become SG/GRG nodes — an event no
+/// task waits on can never lie on a cycle, so excluding it changes no
+/// verification outcome while keeping graphs small.
+namespace armus {
+
+/// Which graph model the checker uses. kAuto implements §5.1: build the SG
+/// first, fall back to the WFG when at any point the number of SG edges
+/// exceeds twice the number of tasks processed so far.
+enum class GraphModel { kWfg, kSg, kGrg, kAuto };
+
+std::string to_string(GraphModel model);
+
+/// Parses "wfg" / "sg" / "grg" / "auto" (used by ARMUS_GRAPH_MODEL).
+GraphModel graph_model_from_string(const std::string& name);
+
+/// A constructed graph plus the payload mapping from dense node ids back to
+/// tasks/resources. For the WFG all nodes are tasks; for the SG all nodes
+/// are resources; for the GRG task nodes come first, then resource nodes.
+struct BuiltGraph {
+  graph::DiGraph graph;
+  GraphModel model = GraphModel::kWfg;
+
+  /// Payload of task nodes: `tasks[v]` for WFG nodes, and for GRG nodes
+  /// v < tasks.size().
+  std::vector<TaskId> tasks;
+
+  /// Payload of resource nodes: `resources[v]` for SG nodes, and for GRG
+  /// nodes `resources[v - tasks.size()]`.
+  std::vector<Resource> resources;
+
+  [[nodiscard]] std::size_t edges() const { return graph.num_edges(); }
+  [[nodiscard]] std::size_t nodes() const { return graph.num_nodes(); }
+
+  /// True iff GRG node `v` is a task node.
+  [[nodiscard]] bool is_task_node(graph::Node v) const {
+    return static_cast<std::size_t>(v) < tasks.size();
+  }
+
+  /// Display label for node `v` (task or resource).
+  [[nodiscard]] std::string label(graph::Node v) const;
+};
+
+/// Wait-For Graph (Definition 4.2): edge t1 -> t2 iff some r in W(t1) is
+/// impeded by t2.
+BuiltGraph build_wfg(std::span<const BlockedStatus> snapshot);
+
+/// State Graph (Definition 4.3): edge r1 -> r2 iff some task t impedes r1
+/// and waits on r2.
+BuiltGraph build_sg(std::span<const BlockedStatus> snapshot);
+
+/// General Resource Graph (Definition 4.4): bipartite task/resource edges.
+BuiltGraph build_grg(std::span<const BlockedStatus> snapshot);
+
+/// Adaptive selection (§5.1): SG-first with the `edges > 2 x tasks processed`
+/// threshold, falling back to the WFG.
+BuiltGraph build_auto(std::span<const BlockedStatus> snapshot);
+
+/// Builds the graph for `model` (kAuto dispatches to build_auto).
+BuiltGraph build_graph(std::span<const BlockedStatus> snapshot, GraphModel model);
+
+}  // namespace armus

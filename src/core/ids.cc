@@ -1,0 +1,18 @@
+#include "core/ids.h"
+
+#include <atomic>
+
+namespace armus {
+
+namespace {
+std::atomic<TaskId> g_next_task{1};
+std::atomic<PhaserUid> g_next_phaser{1};
+}  // namespace
+
+TaskId fresh_task_id() { return g_next_task.fetch_add(1, std::memory_order_relaxed); }
+
+PhaserUid fresh_phaser_uid() {
+  return g_next_phaser.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace armus

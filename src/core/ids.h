@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+/// Process-wide identifiers for tasks and phasers.
+///
+/// Task names `t` and phaser names `p` from the PL formalisation (§3) map to
+/// 64-bit ids. Ids are never reused; allocation is a relaxed atomic fetch-add
+/// so id creation never serialises task spawning.
+namespace armus {
+
+using TaskId = std::uint64_t;
+using PhaserUid = std::uint64_t;
+
+/// A phase number — the timestamp of a synchronisation event in the sense of
+/// Lamport logical clocks (§2.2, "Event-based concurrency dependencies").
+using Phase = std::uint64_t;
+
+inline constexpr TaskId kInvalidTask = 0;
+
+/// Allocates a fresh, never-reused task id (ids start at 1).
+TaskId fresh_task_id();
+
+/// Allocates a fresh, never-reused phaser id (ids start at 1).
+PhaserUid fresh_phaser_uid();
+
+}  // namespace armus

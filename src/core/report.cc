@@ -1,0 +1,36 @@
+#include "core/report.h"
+
+#include <sstream>
+
+namespace armus {
+
+std::string DeadlockReport::to_string() const {
+  std::ostringstream out;
+  out << "deadlock (" << armus::to_string(model) << "): tasks [";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (i) out << ", ";
+    out << "t" << tasks[i];
+  }
+  out << "] events [";
+  for (std::size_t i = 0; i < resources.size(); ++i) {
+    if (i) out << ", ";
+    out << armus::to_string(resources[i]);
+  }
+  out << "]";
+  return out.str();
+}
+
+std::uint64_t DeadlockReport::fingerprint() const {
+  // FNV-1a over the sorted task ids: stable across scans because reports
+  // always sort their task lists.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (TaskId t : tasks) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (t >> shift) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace armus

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/blocked_status.h"
+#include "core/graph_builder.h"
+
+/// Deadlock reports produced by the checker. A report corresponds to one
+/// cyclic strongly connected component of the analysis graph: the set of
+/// tasks that are mutually waiting and the synchronisation events involved.
+namespace armus {
+
+struct DeadlockReport {
+  /// Tasks that can never proceed because of this cycle, sorted ascending.
+  std::vector<TaskId> tasks;
+
+  /// The synchronisation events (phaser, phase) on the cycle, sorted.
+  std::vector<Resource> resources;
+
+  /// Graph model that produced the finding (kWfg or kSg).
+  GraphModel model = GraphModel::kWfg;
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string to_string() const;
+
+  /// A stable fingerprint of the task set, used to avoid re-reporting the
+  /// same deadlock on every detection scan.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+}  // namespace armus

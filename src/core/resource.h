@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "core/ids.h"
+
+/// A resource in the sense of §4.1: the synchronisation *event* "phaser p
+/// reaches phase n". The paper's `res` is a bijection from resources to
+/// (phaser, phase) pairs; here the pair *is* the representation, so the
+/// bijection is the identity.
+///
+/// This event-based view is the key idea that makes dynamic membership cheap:
+/// the checker never needs a membership list, only phase numbers reported
+/// locally by each blocked task.
+namespace armus {
+
+struct Resource {
+  PhaserUid phaser = 0;
+  Phase phase = 0;
+
+  friend bool operator==(const Resource&, const Resource&) = default;
+  friend auto operator<=>(const Resource&, const Resource&) = default;
+};
+
+/// Human-readable rendering, e.g. "p3@7" for phaser 3, phase 7.
+inline std::string to_string(const Resource& r) {
+  return "p" + std::to_string(r.phaser) + "@" + std::to_string(r.phase);
+}
+
+struct ResourceHash {
+  std::size_t operator()(const Resource& r) const noexcept {
+    // Mix the two words; the golden-ratio constant decorrelates phaser ids
+    // (small, dense) from phases (small, dense).
+    std::uint64_t h = r.phaser * 0x9e3779b97f4a7c15ULL;
+    h ^= r.phase + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace armus

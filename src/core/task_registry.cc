@@ -1,0 +1,53 @@
+#include "core/task_registry.h"
+
+#include <algorithm>
+
+namespace armus {
+
+void TaskRegistry::set_entry(TaskId task, PhaserUid phaser, Phase local_phase) {
+  Shard& shard = shard_for(task);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.regs[task][phaser] = local_phase;
+}
+
+void TaskRegistry::remove_entry(TaskId task, PhaserUid phaser) {
+  Shard& shard = shard_for(task);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.regs.find(task);
+  if (it == shard.regs.end()) return;
+  it->second.erase(phaser);
+  if (it->second.empty()) shard.regs.erase(it);
+}
+
+void TaskRegistry::remove_task(TaskId task) {
+  Shard& shard = shard_for(task);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.regs.erase(task);
+}
+
+std::vector<RegEntry> TaskRegistry::entries(TaskId task) const {
+  const Shard& shard = shard_for(task);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<RegEntry> out;
+  auto it = shard.regs.find(task);
+  if (it == shard.regs.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [phaser, phase] : it->second) out.push_back({phaser, phase});
+  return out;
+}
+
+void TaskRegistry::merge_into(BlockedStatus& status) const {
+  std::vector<RegEntry> fresh = entries(status.task);
+  if (fresh.empty()) return;
+  for (const RegEntry& entry : fresh) {
+    auto it = std::find_if(status.registered.begin(), status.registered.end(),
+                           [&](const RegEntry& e) { return e.phaser == entry.phaser; });
+    if (it != status.registered.end()) {
+      it->local_phase = entry.local_phase;
+    } else {
+      status.registered.push_back(entry);
+    }
+  }
+}
+
+}  // namespace armus

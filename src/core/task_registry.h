@@ -1,0 +1,60 @@
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/blocked_status.h"
+
+/// Tracks, per task, the signal-capable registrations (phaser -> local
+/// phase) — the "resource mapper" half of the application layer (§5.3).
+///
+/// Phasers update this registry on register/arrive/deregister; the checker
+/// reads it when it snapshots blocked statuses, so dependencies always
+/// reflect the *current* local phases, including registrations performed on
+/// behalf of a task by its parent (X10 `clocked`, PL `reg(t, p)`).
+///
+/// Wait-only registrations never impede anybody (they cannot hold a barrier
+/// back) and are deliberately not recorded.
+namespace armus {
+
+class TaskRegistry {
+ public:
+  TaskRegistry() = default;
+  TaskRegistry(const TaskRegistry&) = delete;
+  TaskRegistry& operator=(const TaskRegistry&) = delete;
+
+  /// Records (or updates) task's local phase on `phaser`.
+  void set_entry(TaskId task, PhaserUid phaser, Phase local_phase);
+
+  /// Removes task's registration on `phaser` (no-op if absent).
+  void remove_entry(TaskId task, PhaserUid phaser);
+
+  /// Drops every registration of `task` (task termination).
+  void remove_task(TaskId task);
+
+  /// The task's current registrations, unordered.
+  [[nodiscard]] std::vector<RegEntry> entries(TaskId task) const;
+
+  /// Overlays the registry's entries for `status.task` onto
+  /// `status.registered` (registry values win per phaser; entries present
+  /// only in the status — e.g. synthetic test data or lock generations —
+  /// are preserved).
+  void merge_into(BlockedStatus& status) const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<TaskId, std::unordered_map<PhaserUid, Phase>> regs;
+  };
+
+  Shard& shard_for(TaskId task) { return shards_[task % kShards]; }
+  const Shard& shard_for(TaskId task) const { return shards_[task % kShards]; }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace armus

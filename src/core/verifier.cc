@@ -1,0 +1,282 @@
+#include "core/verifier.h"
+
+#include <atomic>
+
+#include "graph/cycle.h"
+#include "util/env.h"
+#include "util/log.h"
+
+namespace armus {
+
+std::string to_string(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kOff: return "off";
+    case VerifyMode::kDetection: return "detection";
+    case VerifyMode::kAvoidance: return "avoidance";
+  }
+  return "?";
+}
+
+VerifyMode verify_mode_from_string(const std::string& name) {
+  if (name == "off") return VerifyMode::kOff;
+  if (name == "detection") return VerifyMode::kDetection;
+  if (name == "avoidance") return VerifyMode::kAvoidance;
+  throw std::invalid_argument("unknown verify mode: '" + name + "'");
+}
+
+VerifierConfig VerifierConfig::from_env() {
+  VerifierConfig config;
+  if (auto mode = util::env_str("ARMUS_MODE")) {
+    config.mode = verify_mode_from_string(*mode);
+  }
+  if (auto model = util::env_str("ARMUS_GRAPH_MODEL")) {
+    config.model = graph_model_from_string(*model);
+  }
+  config.period = std::chrono::milliseconds(
+      util::env_int("ARMUS_CHECK_PERIOD_MS", config.period.count()));
+  config.avoidance_recheck = std::chrono::milliseconds(util::env_int(
+      "ARMUS_AVOIDANCE_RECHECK_MS", config.avoidance_recheck.count()));
+  return config;
+}
+
+DeadlockAvoidedError::DeadlockAvoidedError(DeadlockReport report)
+    : std::runtime_error(report.to_string()), report_(std::move(report)) {}
+
+Verifier::Verifier(VerifierConfig config) : config_(std::move(config)) {
+  if (!config_.on_deadlock) {
+    config_.on_deadlock = [this](const DeadlockReport& report) {
+      util::log_error(describe(report));
+    };
+  }
+  start();
+}
+
+Verifier::~Verifier() { stop(); }
+
+void Verifier::start() {
+  if (config_.mode != VerifyMode::kDetection || !config_.scanner_enabled) return;
+  std::lock_guard<std::mutex> lock(scanner_mutex_);
+  if (scanner_.joinable()) return;
+  stop_requested_ = false;
+  scanner_ = std::thread([this] { scanner_loop(); });
+}
+
+void Verifier::stop() {
+  {
+    std::lock_guard<std::mutex> lock(scanner_mutex_);
+    stop_requested_ = true;
+  }
+  scanner_cv_.notify_all();
+  if (scanner_.joinable()) scanner_.join();
+}
+
+void Verifier::scanner_loop() {
+  std::unique_lock<std::mutex> lock(scanner_mutex_);
+  for (;;) {
+    if (scanner_cv_.wait_for(lock, config_.period,
+                             [this] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    scan_once();
+    lock.lock();
+  }
+}
+
+std::vector<BlockedStatus> Verifier::current_snapshot() const {
+  auto snapshot = state_.snapshot();
+  for (BlockedStatus& status : snapshot) registry_.merge_into(status);
+  return snapshot;
+}
+
+void Verifier::scan_once() {
+  if (state_.blocked_count() == 0) return;
+  auto snapshot = current_snapshot();
+  CheckResult result = check_deadlocks(snapshot, config_.model);
+  record_check(result);
+  for (const DeadlockReport& report : result.reports) {
+    bool fresh = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      fresh = fingerprints_.insert(report.fingerprint()).second;
+      if (fresh) {
+        reported_.push_back(report);
+        ++stats_.deadlocks_found;
+      }
+    }
+    if (fresh && config_.on_deadlock) config_.on_deadlock(report);
+  }
+}
+
+void Verifier::record_check(const CheckResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.checks;
+  if (result.model_used == GraphModel::kSg) {
+    ++stats_.sg_builds;
+  } else {
+    ++stats_.wfg_builds;
+  }
+  stats_.total_edges += result.edges;
+  stats_.max_edges = std::max<std::uint64_t>(stats_.max_edges, result.edges);
+}
+
+void Verifier::before_block(const BlockedStatus& status) {
+  if (config_.mode == VerifyMode::kOff) return;
+  state_.set_blocked(status);
+  if (config_.mode != VerifyMode::kAvoidance) return;
+  check_doomed_or_throw(status.task);
+}
+
+void Verifier::recheck_blocked(const BlockedStatus& status) {
+  if (config_.mode != VerifyMode::kAvoidance) return;
+  state_.set_blocked(status);
+  check_doomed_or_throw(status.task);
+}
+
+void Verifier::check_doomed_or_throw(TaskId task) {
+  auto snapshot = current_snapshot();
+  BuiltGraph built = build_graph(snapshot, config_.model);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.checks;
+    if (built.model == GraphModel::kSg) {
+      ++stats_.sg_builds;
+    } else {
+      ++stats_.wfg_builds;
+    }
+    stats_.total_edges += built.edges();
+    stats_.max_edges = std::max<std::uint64_t>(stats_.max_edges, built.edges());
+  }
+
+  if (!task_is_doomed(built, snapshot, task)) return;
+
+  // The block would never complete: withdraw the status and interrupt the
+  // operation. The report aggregates every cycle present plus this task.
+  state_.clear_blocked(task);
+  DeadlockReport merged;
+  merged.model = built.model;
+  for (const auto& component : graph::cyclic_components(built.graph)) {
+    DeadlockReport part = make_report(built, snapshot, component);
+    merged.tasks.insert(merged.tasks.end(), part.tasks.begin(), part.tasks.end());
+    merged.resources.insert(merged.resources.end(), part.resources.begin(),
+                            part.resources.end());
+  }
+  merged.tasks.push_back(task);
+  std::sort(merged.tasks.begin(), merged.tasks.end());
+  merged.tasks.erase(std::unique(merged.tasks.begin(), merged.tasks.end()),
+                     merged.tasks.end());
+  std::sort(merged.resources.begin(), merged.resources.end());
+  merged.resources.erase(
+      std::unique(merged.resources.begin(), merged.resources.end()),
+      merged.resources.end());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.avoidance_interrupts;
+  }
+  throw DeadlockAvoidedError(std::move(merged));
+}
+
+void Verifier::after_unblock(TaskId task) {
+  if (config_.mode == VerifyMode::kOff) return;
+  state_.clear_blocked(task);
+}
+
+CheckResult Verifier::check_now() {
+  auto snapshot = current_snapshot();
+  CheckResult result = check_deadlocks(snapshot, config_.model);
+  record_check(result);
+  return result;
+}
+
+std::vector<DeadlockReport> Verifier::reported() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reported_;
+}
+
+Verifier::Stats Verifier::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Verifier::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = Stats{};
+  reported_.clear();
+  fingerprints_.clear();
+}
+
+void Verifier::set_task_name(TaskId task, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  names_[task] = std::move(name);
+}
+
+std::string Verifier::task_name(TaskId task) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = names_.find(task);
+  if (it != names_.end()) return it->second;
+  return "t" + std::to_string(task);
+}
+
+std::string Verifier::describe(const DeadlockReport& report) const {
+  std::string out = "deadlock (" + armus::to_string(report.model) + "): tasks [";
+  for (std::size_t i = 0; i < report.tasks.size(); ++i) {
+    if (i) out += ", ";
+    out += task_name(report.tasks[i]);
+  }
+  out += "] events [";
+  for (std::size_t i = 0; i < report.resources.size(); ++i) {
+    if (i) out += ", ";
+    out += armus::to_string(report.resources[i]);
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+std::atomic<Verifier*> g_default_verifier{nullptr};
+
+struct TaskVerifierMap {
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<TaskId, Verifier*> map;
+  };
+  Shard shards[kShards];
+
+  Shard& shard_for(TaskId task) { return shards[task % kShards]; }
+};
+
+TaskVerifierMap& task_verifier_map() {
+  static TaskVerifierMap map;
+  return map;
+}
+}  // namespace
+
+Verifier* default_verifier() {
+  return g_default_verifier.load(std::memory_order_acquire);
+}
+
+void set_default_verifier(Verifier* verifier) {
+  g_default_verifier.store(verifier, std::memory_order_release);
+}
+
+void bind_task_verifier(TaskId task, Verifier* verifier) {
+  auto& shard = task_verifier_map().shard_for(task);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (verifier == nullptr) {
+    shard.map.erase(task);
+  } else {
+    shard.map[task] = verifier;
+  }
+}
+
+void unbind_task_verifier(TaskId task) { bind_task_verifier(task, nullptr); }
+
+Verifier* task_verifier(TaskId task) {
+  auto& shard = task_verifier_map().shard_for(task);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(task);
+  return it == shard.map.end() ? nullptr : it->second;
+}
+
+}  // namespace armus

@@ -1,0 +1,196 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/checker.h"
+#include "core/dependency_state.h"
+#include "core/task_registry.h"
+
+/// The verification layer of Armus (§5): owns the resource-dependency state
+/// and runs the deadlock checker in one of two modes.
+///
+/// * **Detection**: a dedicated scanner thread analyses the blocked statuses
+///   every `period` (100 ms in the paper's local runs) and reports existing
+///   deadlocks through a callback. Lower overhead; reports after the fact.
+/// * **Avoidance**: every task checks the graph synchronously *before*
+///   blocking; if the block would never complete, the blocking operation is
+///   interrupted with a DeadlockAvoidedError so the program can recover.
+namespace armus {
+
+enum class VerifyMode { kOff, kDetection, kAvoidance };
+
+std::string to_string(VerifyMode mode);
+VerifyMode verify_mode_from_string(const std::string& name);
+
+struct VerifierConfig {
+  VerifyMode mode = VerifyMode::kDetection;
+  GraphModel model = GraphModel::kAuto;
+
+  /// Detection scan period. The paper runs local detection at 100 ms and
+  /// distributed detection at 200 ms.
+  std::chrono::milliseconds period{100};
+
+  /// Avoidance mode: how often an already-blocked task re-runs the doom
+  /// check. A deadlock cycle is closed by its *last* blocker — that one is
+  /// interrupted synchronously by before_block — but the paper's §2.1
+  /// behaviour ("an exception is raised in Lines 8 and 11", i.e. in every
+  /// stuck task) requires the earlier blockers to notice too; they poll at
+  /// this period while waiting.
+  std::chrono::milliseconds avoidance_recheck{10};
+
+  /// Detection mode: run the local scanner thread. Distributed sites (§5.2)
+  /// disable it — their checker operates on the *global* store snapshot
+  /// instead, driven by dist::Site.
+  bool scanner_enabled = true;
+
+  /// Invoked by the detection scanner once per newly found deadlock
+  /// (deduplicated by task set). Defaults to logging via util::log_error.
+  std::function<void(const DeadlockReport&)> on_deadlock;
+
+  /// Reads ARMUS_MODE, ARMUS_GRAPH_MODEL and ARMUS_CHECK_PERIOD_MS.
+  static VerifierConfig from_env();
+};
+
+/// Thrown by avoidance mode when a blocking operation would deadlock. The
+/// operation did not block; the program may recover (e.g. deregister from
+/// the offending barrier, as the X10 examples in §2.1 do).
+class DeadlockAvoidedError : public std::runtime_error {
+ public:
+  explicit DeadlockAvoidedError(DeadlockReport report);
+  [[nodiscard]] const DeadlockReport& report() const { return report_; }
+
+ private:
+  DeadlockReport report_;
+};
+
+class Verifier {
+ public:
+  explicit Verifier(VerifierConfig config = {});
+  ~Verifier();
+
+  Verifier(const Verifier&) = delete;
+  Verifier& operator=(const Verifier&) = delete;
+
+  // --- Application-layer hooks (the "task observer" of §5.3) -------------
+
+  /// Publishes `status` ahead of the task blocking. In avoidance mode, runs
+  /// the check; if the task would never unblock, withdraws the status and
+  /// throws DeadlockAvoidedError. In detection mode simply records it.
+  void before_block(const BlockedStatus& status);
+
+  /// Withdraws the blocked status once the task resumes (or gives up).
+  void after_unblock(TaskId task);
+
+  /// Avoidance-mode poll for a task that is already blocked: re-publishes
+  /// `status` and throws DeadlockAvoidedError (after withdrawing it) when
+  /// the task has become doomed since it blocked. No-op in other modes.
+  void recheck_blocked(const BlockedStatus& status);
+
+  // --- Analysis ------------------------------------------------------------
+
+  /// Runs one synchronous analysis of the current state (updates stats but
+  /// does not fire callbacks).
+  CheckResult check_now();
+
+  /// The blocked statuses as the checker sees them: stored waits overlaid
+  /// with the *current* registrations from the task registry, so that
+  /// registrations performed while a task is already blocked (PL `reg`,
+  /// X10 `clocked` by the parent) are never missed.
+  [[nodiscard]] std::vector<BlockedStatus> current_snapshot() const;
+
+  /// All deadlocks reported by the detection scanner so far.
+  [[nodiscard]] std::vector<DeadlockReport> reported() const;
+
+  // --- Lifecycle -------------------------------------------------------------
+
+  /// Starts the detection scanner (no-op unless mode == kDetection; the
+  /// constructor already calls this).
+  void start();
+
+  /// Stops the scanner; safe to call repeatedly.
+  void stop();
+
+  // --- Introspection -----------------------------------------------------
+
+  [[nodiscard]] VerifyMode mode() const { return config_.mode; }
+  [[nodiscard]] GraphModel model() const { return config_.model; }
+  [[nodiscard]] const VerifierConfig& config() const { return config_; }
+  DependencyState& state() { return state_; }
+  TaskRegistry& registry() { return registry_; }
+  [[nodiscard]] const TaskRegistry& registry() const { return registry_; }
+
+  struct Stats {
+    std::uint64_t checks = 0;
+    std::uint64_t deadlocks_found = 0;
+    std::uint64_t avoidance_interrupts = 0;
+    std::uint64_t sg_builds = 0;
+    std::uint64_t wfg_builds = 0;
+    std::uint64_t total_edges = 0;
+    std::uint64_t max_edges = 0;
+
+    /// Average graph size per analysis — the paper's Table 3 "Edges" rows.
+    [[nodiscard]] double mean_edges() const {
+      return checks == 0 ? 0.0 : static_cast<double>(total_edges) /
+                                     static_cast<double>(checks);
+    }
+  };
+
+  [[nodiscard]] Stats stats() const;
+  void reset_stats();
+
+  /// Optional task display names used in reports ("task observer" metadata).
+  void set_task_name(TaskId task, std::string name);
+  [[nodiscard]] std::string task_name(TaskId task) const;
+
+  /// Renders a report using registered task names.
+  [[nodiscard]] std::string describe(const DeadlockReport& report) const;
+
+ private:
+  void scanner_loop();
+  void scan_once();
+  void record_check(const CheckResult& result);
+
+  /// Runs the avoidance analysis for `task`; throws DeadlockAvoidedError
+  /// (after withdrawing the task's status) when it can never unblock.
+  void check_doomed_or_throw(TaskId task);
+
+  VerifierConfig config_;
+  DependencyState state_;
+  TaskRegistry registry_;
+
+  mutable std::mutex mutex_;  // guards stats_, reported_, names_, fingerprints_
+  Stats stats_;
+  std::vector<DeadlockReport> reported_;
+  std::unordered_set<std::uint64_t> fingerprints_;
+  std::unordered_map<TaskId, std::string> names_;
+
+  std::mutex scanner_mutex_;
+  std::condition_variable scanner_cv_;
+  bool stop_requested_ = false;
+  std::thread scanner_;
+};
+
+/// The process-wide default verifier used by runtime objects constructed
+/// without an explicit one. Starts as nullptr (verification off).
+Verifier* default_verifier();
+void set_default_verifier(Verifier* verifier);
+
+/// Per-task verifier binding, used by multi-site (distributed) runs where a
+/// phaser spans sites but each task must report its blocking events to its
+/// *own* site's Armus instance (§5.2). The runtime binds a task at spawn
+/// and unbinds at termination; phasers route per-task bookkeeping through
+/// the binding when present (unless the phaser itself is unchecked).
+void bind_task_verifier(TaskId task, Verifier* verifier);
+void unbind_task_verifier(TaskId task);
+Verifier* task_verifier(TaskId task);  ///< nullptr when unbound
+
+}  // namespace armus

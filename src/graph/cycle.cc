@@ -1,0 +1,148 @@
+#include "graph/cycle.h"
+
+#include <algorithm>
+
+namespace armus::graph {
+
+namespace {
+
+enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+
+// One frame of the explicit DFS stack: the node and the index of the next
+// out-edge to explore.
+struct Frame {
+  Node node;
+  std::size_t next_edge;
+};
+
+}  // namespace
+
+std::optional<std::vector<Node>> find_cycle(const DiGraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<Frame> stack;
+  std::vector<Node> path;  // gray nodes in DFS order, parallel to `stack`
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    stack.push_back({static_cast<Node>(root), 0});
+    path.push_back(static_cast<Node>(root));
+    color[root] = Color::kGray;
+
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      auto edges = g.out(frame.node);
+      if (frame.next_edge < edges.size()) {
+        Node next = edges[frame.next_edge++];
+        Color& c = color[static_cast<std::size_t>(next)];
+        if (c == Color::kGray) {
+          // Back edge: the cycle is the path suffix starting at `next`.
+          auto it = std::find(path.begin(), path.end(), next);
+          return std::vector<Node>(it, path.end());
+        }
+        if (c == Color::kWhite) {
+          c = Color::kGray;
+          stack.push_back({next, 0});
+          path.push_back(next);
+        }
+      } else {
+        color[static_cast<std::size_t>(frame.node)] = Color::kBlack;
+        stack.pop_back();
+        path.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool has_cycle(const DiGraph& g) { return find_cycle(g).has_value(); }
+
+SccResult strongly_connected_components(const DiGraph& g) {
+  // Iterative Tarjan. index/lowlink of -1 means unvisited.
+  const std::size_t n = g.num_nodes();
+  SccResult result;
+  result.component.assign(n, -1);
+
+  std::vector<Node> index(n, -1);
+  std::vector<Node> lowlink(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<Node> scc_stack;
+  std::vector<Frame> dfs;
+  Node next_index = 0;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    dfs.push_back({static_cast<Node>(root), 0});
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      Node v = frame.node;
+      if (frame.next_edge == 0) {
+        index[static_cast<std::size_t>(v)] = next_index;
+        lowlink[static_cast<std::size_t>(v)] = next_index;
+        ++next_index;
+        scc_stack.push_back(v);
+        on_stack[static_cast<std::size_t>(v)] = true;
+      }
+      auto edges = g.out(v);
+      bool descended = false;
+      while (frame.next_edge < edges.size()) {
+        Node w = edges[frame.next_edge++];
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          dfs.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(v)] = std::min(
+              lowlink[static_cast<std::size_t>(v)], index[static_cast<std::size_t>(w)]);
+        }
+      }
+      if (descended) continue;
+      if (lowlink[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+        // v is the root of an SCC: pop it.
+        for (;;) {
+          Node w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          result.component[static_cast<std::size_t>(w)] =
+              static_cast<Node>(result.count);
+          if (w == v) break;
+        }
+        ++result.count;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        Node parent = dfs.back().node;
+        lowlink[static_cast<std::size_t>(parent)] =
+            std::min(lowlink[static_cast<std::size_t>(parent)],
+                     lowlink[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<Node>> cyclic_components(const DiGraph& g) {
+  SccResult scc = strongly_connected_components(g);
+  std::vector<std::vector<Node>> members(scc.count);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    members[static_cast<std::size_t>(scc.component[v])].push_back(
+        static_cast<Node>(v));
+  }
+  std::vector<std::vector<Node>> cyclic;
+  for (auto& group : members) {
+    if (group.size() >= 2) {
+      cyclic.push_back(std::move(group));
+      continue;
+    }
+    // Singleton component: cyclic only if it has a self-loop.
+    Node v = group.front();
+    auto edges = g.out(v);
+    if (std::find(edges.begin(), edges.end(), v) != edges.end()) {
+      cyclic.push_back(std::move(group));
+    }
+  }
+  return cyclic;
+}
+
+}  // namespace armus::graph

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+/// Cycle detection — the third step of the verification algorithm (§4).
+///
+/// `find_cycle` is the operation the checker runs on every scan: a single
+/// iterative depth-first search, O(V + E) (Tarjan 1972, cited as [40] in the
+/// paper). It returns an explicit witness cycle so deadlock reports can name
+/// the tasks/resources involved. `strongly_connected_components` supports
+/// reporting *all* independent deadlocks at once and the property tests.
+namespace armus::graph {
+
+/// Returns a cycle as a node sequence c0 c1 ... ck where each consecutive
+/// pair is an edge and (ck, c0) is an edge; length-1 cycles (self-loops)
+/// yield a single node. Returns nullopt for acyclic graphs.
+std::optional<std::vector<Node>> find_cycle(const DiGraph& g);
+
+/// True iff the graph contains at least one cycle (self-loops included).
+bool has_cycle(const DiGraph& g);
+
+/// Result of Tarjan's algorithm: `component[v]` is the SCC index of node v
+/// (indices are in reverse topological order); `count` is the number of SCCs.
+struct SccResult {
+  std::vector<Node> component;
+  std::size_t count = 0;
+};
+
+SccResult strongly_connected_components(const DiGraph& g);
+
+/// The members of every *cyclic* SCC: components with >= 2 nodes, plus
+/// single nodes that carry a self-loop. Each inner vector is one component.
+std::vector<std::vector<Node>> cyclic_components(const DiGraph& g);
+
+}  // namespace armus::graph

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// A compact directed graph over dense node ids [0, n).
+///
+/// The deadlock checker rebuilds a graph on every scan, so construction cost
+/// dominates: nodes are plain indices, edges live in per-node vectors, and
+/// payloads (task names, resources) are kept externally by the builders in
+/// src/core/graph_builder.*.
+namespace armus::graph {
+
+using Node = std::int32_t;
+
+class DiGraph {
+ public:
+  DiGraph() = default;
+  explicit DiGraph(std::size_t num_nodes) : adjacency_(num_nodes) {}
+
+  /// Appends `count` fresh nodes; returns the id of the first one.
+  Node add_nodes(std::size_t count) {
+    Node first = static_cast<Node>(adjacency_.size());
+    adjacency_.resize(adjacency_.size() + count);
+    return first;
+  }
+
+  /// Adds a directed edge u -> v. Parallel edges are permitted (builders
+  /// de-duplicate when required); self-loops are meaningful (a length-1
+  /// cycle, cf. Theorem 4.8 case 1).
+  void add_edge(Node u, Node v) {
+    adjacency_[static_cast<std::size_t>(u)].push_back(v);
+    ++num_edges_;
+  }
+
+  [[nodiscard]] std::span<const Node> out(Node u) const {
+    return adjacency_[static_cast<std::size_t>(u)];
+  }
+
+  [[nodiscard]] std::size_t num_nodes() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+ private:
+  std::vector<std::vector<Node>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace armus::graph

@@ -1,0 +1,23 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace armus::graph {
+
+std::string to_dot(const DiGraph& g, const std::string& graph_name,
+                   const std::function<std::string(Node)>& label) {
+  std::ostringstream out;
+  out << "digraph \"" << graph_name << "\" {\n";
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    out << "  n" << v << " [label=\"" << label(static_cast<Node>(v)) << "\"];\n";
+  }
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    for (Node w : g.out(static_cast<Node>(v))) {
+      out << "  n" << v << " -> n" << w << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace armus::graph

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.h"
+
+/// GraphViz DOT export, used by deadlock reports (`DeadlockReport::to_dot`)
+/// and handy when debugging dependency states.
+namespace armus::graph {
+
+/// Renders `g` in DOT syntax. `label` supplies the display name per node.
+std::string to_dot(const DiGraph& g, const std::string& graph_name,
+                   const std::function<std::string(Node)>& label);
+
+}  // namespace armus::graph

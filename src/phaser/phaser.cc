@@ -1,0 +1,244 @@
+#include "phaser/phaser.h"
+
+namespace armus::ph {
+
+std::shared_ptr<Phaser> Phaser::create(Verifier* verifier) {
+  return std::shared_ptr<Phaser>(new Phaser(verifier));
+}
+
+Phaser::Phaser(Verifier* verifier)
+    : uid_(fresh_phaser_uid()), verifier_(verifier) {}
+
+Phaser::~Phaser() {
+  // Members that never deregistered must not leave dangling registry entries.
+  if (verifier_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [task, member] : members_) {
+    if (signal_capable(member.mode)) {
+      if (Verifier* v = effective_verifier(task)) {
+        v->registry().remove_entry(task, uid_);
+      }
+    }
+  }
+}
+
+void Phaser::sig_phase_add(Phase phase) { ++sig_phases_[phase]; }
+
+void Phaser::sig_phase_remove(Phase phase) {
+  auto it = sig_phases_.find(phase);
+  if (it == sig_phases_.end()) throw PhaserError("phase multiset corrupted");
+  if (--it->second == 0) sig_phases_.erase(it);
+}
+
+void Phaser::register_task(TaskId task, Phase phase, RegMode mode) {
+  bool advanced = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (members_.count(task) != 0) {
+      throw PhaserError("task t" + std::to_string(task) +
+                        " is already registered with phaser p" +
+                        std::to_string(uid_));
+    }
+    // [reg] precondition: some existing member must have a phase <= the new
+    // one, otherwise the registration would rewind the observed clock.
+    if (!members_.empty() && signal_capable(mode) && phase < observed_locked() &&
+        !sig_phases_.empty()) {
+      throw PhaserError("registration at phase " + std::to_string(phase) +
+                        " would rewind phaser p" + std::to_string(uid_) +
+                        " (observed phase " + std::to_string(observed_locked()) +
+                        ")");
+    }
+    members_.emplace(task, Member{phase, mode});
+    if (signal_capable(mode)) {
+      Phase before = observed_locked();
+      sig_phase_add(phase);
+      advanced = observed_locked() > before;  // only when sig_phases_ was empty
+      if (Verifier* v = effective_verifier(task)) {
+        v->registry().set_entry(task, uid_, phase);
+      }
+    }
+  }
+  if (advanced) cv_.notify_all();
+}
+
+void Phaser::register_task_at_observed(TaskId task, RegMode mode) {
+  Phase phase = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Phase observed = observed_locked();
+    if (observed != kPhaseInfinity) phase = observed;
+  }
+  register_task(task, phase, mode);
+}
+
+void Phaser::deregister(TaskId task) {
+  bool may_release = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = members_.find(task);
+    if (it == members_.end()) {
+      throw PhaserError("task t" + std::to_string(task) +
+                        " is not registered with phaser p" + std::to_string(uid_));
+    }
+    if (signal_capable(it->second.mode)) {
+      Phase before = observed_locked();
+      sig_phase_remove(it->second.phase);
+      may_release = observed_locked() > before;
+      if (Verifier* v = effective_verifier(task)) {
+        v->registry().remove_entry(task, uid_);
+      }
+    }
+    members_.erase(it);
+  }
+  if (may_release) cv_.notify_all();
+}
+
+bool Phaser::is_registered(TaskId task) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return members_.count(task) != 0;
+}
+
+Phase Phaser::arrive(TaskId task) {
+  Phase new_phase = 0;
+  bool advanced = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = members_.find(task);
+    if (it == members_.end()) {
+      throw PhaserError("arrive: task t" + std::to_string(task) +
+                        " is not registered with phaser p" + std::to_string(uid_));
+    }
+    Member& member = it->second;
+    new_phase = member.phase + 1;
+    if (signal_capable(member.mode)) {
+      Phase before = observed_locked();
+      sig_phase_remove(member.phase);
+      sig_phase_add(new_phase);
+      advanced = observed_locked() > before;
+      if (Verifier* v = effective_verifier(task)) {
+        v->registry().set_entry(task, uid_, new_phase);
+      }
+    }
+    member.phase = new_phase;
+  }
+  if (advanced) cv_.notify_all();
+  return new_phase;
+}
+
+BlockedStatus Phaser::blocked_status(TaskId task, Phase n) const {
+  BlockedStatus status;
+  status.task = task;
+  status.waits.push_back(Resource{uid_, n});
+  // `registered` is resolved by the verifier from its task registry at
+  // analysis time (Verifier::current_snapshot), so it stays fresh even if a
+  // parent registers this task on further phasers while it sleeps.
+  return status;
+}
+
+bool Phaser::await_impl(TaskId task, Phase n,
+                        const std::chrono::milliseconds* timeout) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (observed_locked() >= n) return true;
+  }
+
+  Verifier* verifier = effective_verifier(task);
+  const bool verified = verifier != nullptr && verifier->mode() != VerifyMode::kOff;
+  const bool avoidance = verified && verifier->mode() == VerifyMode::kAvoidance;
+  BlockedStatus status;
+  if (verified) {
+    status = blocked_status(task, n);
+    // May throw DeadlockAvoidedError (avoidance mode); in that case the
+    // status has already been withdrawn and we never block.
+    verifier->before_block(status);
+  }
+
+  bool satisfied = true;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto ready = [&] { return observed_locked() >= n; };
+    if (avoidance) {
+      // A cycle may close *after* this task went to sleep (it is then not
+      // the cycle's last blocker). Poll the doom check so every stuck task
+      // raises, as §2.1 describes. recheck_blocked throws once doomed.
+      const auto recheck = verifier->config().avoidance_recheck;
+      const auto deadline = timeout == nullptr
+                                ? std::chrono::steady_clock::time_point::max()
+                                : std::chrono::steady_clock::now() + *timeout;
+      while (!ready()) {
+        auto next_wake = std::chrono::steady_clock::now() + recheck;
+        if (next_wake > deadline) next_wake = deadline;
+        cv_.wait_until(lock, next_wake, ready);
+        if (ready()) break;
+        if (std::chrono::steady_clock::now() >= deadline) {
+          satisfied = false;
+          break;
+        }
+        lock.unlock();
+        verifier->recheck_blocked(status);  // may throw, status withdrawn
+        lock.lock();
+      }
+    } else if (timeout == nullptr) {
+      cv_.wait(lock, ready);
+    } else {
+      satisfied = cv_.wait_for(lock, *timeout, ready);
+    }
+  }
+  if (verified) verifier->after_unblock(task);
+  return satisfied;
+}
+
+void Phaser::await(TaskId task, Phase n) { await_impl(task, n, nullptr); }
+
+bool Phaser::try_await(Phase n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return observed_locked() >= n;
+}
+
+bool Phaser::await_for(TaskId task, Phase n, std::chrono::milliseconds timeout) {
+  return await_impl(task, n, &timeout);
+}
+
+Phase Phaser::advance(TaskId task) {
+  Phase target = arrive(task);
+  await(task, target);
+  return target;
+}
+
+Phase Phaser::arrive_and_deregister(TaskId task) {
+  Phase arrived = arrive(task);
+  deregister(task);
+  return arrived;
+}
+
+Phase Phaser::local_phase(TaskId task) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = members_.find(task);
+  if (it == members_.end()) {
+    throw PhaserError("local_phase: task t" + std::to_string(task) +
+                      " is not registered with phaser p" + std::to_string(uid_));
+  }
+  return it->second.phase;
+}
+
+RegMode Phaser::mode_of(TaskId task) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = members_.find(task);
+  if (it == members_.end()) {
+    throw PhaserError("mode_of: task t" + std::to_string(task) +
+                      " is not registered with phaser p" + std::to_string(uid_));
+  }
+  return it->second.mode;
+}
+
+Phase Phaser::observed_phase() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return observed_locked();
+}
+
+std::size_t Phaser::member_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return members_.size();
+}
+
+}  // namespace armus::ph

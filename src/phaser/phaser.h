@@ -1,0 +1,182 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/verifier.h"
+
+/// The phaser primitive — the paper's unifying barrier abstraction (§2.2),
+/// implemented directly from the operational semantics of Figure 4 on top of
+/// std::mutex / std::condition_variable (our stand-in for the X10/HJ/Java
+/// runtimes, built atop std::thread).
+///
+/// A phaser P maps member tasks to local phases. The observable phase is
+/// the minimum local phase over signal-capable members (an empty phaser
+/// observes every phase, matching PL's vacuous `await`). The operations are
+/// the paper's [reg], [dereg], [adv] and the blocking [sync]:
+///
+///   * `register_task(t, phase, mode)`  — [reg]; requires phase >= current
+///     minimum so the logical clock never rewinds.
+///   * `deregister(t)`                  — [dereg].
+///   * `arrive(t)`                      — [adv]; non-blocking, returns the
+///     new local phase (the split-phase "signal" half).
+///   * `await(t, n)`                    — [sync]; blocks until the phase n
+///     event is observed. This is where Armus hooks in: the blocked status
+///     is published before sleeping and withdrawn after waking, and in
+///     avoidance mode the call throws DeadlockAvoidedError instead of
+///     entering a deadlock.
+///   * `advance(t)`                     — arrive + await: the classic
+///     barrier step (X10 `Clock.advance`, Java `arriveAndAwaitAdvance`).
+///
+/// Supported synchronisation patterns (§1): group synchronisation (any
+/// member set), split-phase / fuzzy barriers (arrive now, await later),
+/// awaiting arbitrary future phases (producer-consumer), and dynamic
+/// membership (register/deregister at any time).
+namespace armus::ph {
+
+/// Registration mode, after HJ phaser capabilities.
+enum class RegMode {
+  kSigWait,  ///< Full barrier member: impedes others, may wait.
+  kSig,      ///< Producer: impedes others, never waits on this phaser.
+  kWait,     ///< Consumer: never impedes others, may wait.
+};
+
+/// Observed phase of a phaser with no signal-capable members: every await
+/// is satisfied (PL's `await(P, n)` over an empty domain holds vacuously).
+inline constexpr Phase kPhaseInfinity = std::numeric_limits<Phase>::max();
+
+/// Raised on misuse of the phaser API (double registration, arriving while
+/// not registered, rewinding the clock, ...).
+class PhaserError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+class Phaser : public std::enable_shared_from_this<Phaser> {
+ public:
+  /// Creates a phaser with no members. `verifier` may be nullptr (unchecked).
+  static std::shared_ptr<Phaser> create(Verifier* verifier = default_verifier());
+
+  ~Phaser();
+  Phaser(const Phaser&) = delete;
+  Phaser& operator=(const Phaser&) = delete;
+
+  [[nodiscard]] PhaserUid uid() const { return uid_; }
+  [[nodiscard]] Verifier* verifier() const { return verifier_; }
+
+  /// The verifier used for `task`'s bookkeeping: the task's own binding
+  /// (multi-site runs, see bind_task_verifier) when present, else the
+  /// phaser's. An unchecked phaser (nullptr) stays unchecked — benchmark
+  /// baselines must not become verified through task bindings.
+  [[nodiscard]] Verifier* effective_verifier(TaskId task) const {
+    if (verifier_ == nullptr) return nullptr;
+    Verifier* bound = task_verifier(task);
+    return bound != nullptr ? bound : verifier_;
+  }
+
+  // --- Membership ([reg] / [dereg]) ---------------------------------------
+
+  /// Registers `task` at `phase`. Per [reg], requires that some member has a
+  /// local phase <= `phase` (always true for the first member): the observed
+  /// clock can never move backwards. Throws PhaserError on double
+  /// registration or a rewinding phase.
+  void register_task(TaskId task, Phase phase, RegMode mode = RegMode::kSigWait);
+
+  /// Registers `task` at the current observed phase (or 0 when empty) — the
+  /// Java-style self-registration where no inheriting registrar exists.
+  void register_task_at_observed(TaskId task, RegMode mode = RegMode::kSigWait);
+
+  /// Deregisters `task`; may release waiters ([dereg] can advance the
+  /// observed phase). Throws PhaserError if not a member.
+  void deregister(TaskId task);
+
+  /// True iff `task` is currently a member.
+  [[nodiscard]] bool is_registered(TaskId task) const;
+
+  // --- Synchronisation ([adv] / [sync]) ------------------------------------
+
+  /// [adv]: increments `task`'s local phase; never blocks. Returns the new
+  /// local phase — the event to `await` for completing the barrier step
+  /// (split-phase synchronisation).
+  Phase arrive(TaskId task);
+
+  /// [sync]: blocks `task` until the phase-`n` event is observed (i.e. every
+  /// signal-capable member reached local phase >= n). `task` need not be a
+  /// member (Java `awaitAdvance` semantics). In avoidance mode throws
+  /// DeadlockAvoidedError instead of blocking into a deadlock.
+  void await(TaskId task, Phase n);
+
+  /// Non-blocking probe: true iff the phase-`n` event has been observed.
+  [[nodiscard]] bool try_await(Phase n) const;
+
+  /// Bounded await, for tests and timeout-based recovery. Returns false on
+  /// timeout. Runs the same verification hooks as `await`.
+  bool await_for(TaskId task, Phase n, std::chrono::milliseconds timeout);
+
+  /// arrive + await(new phase): one full barrier step. Returns the phase
+  /// that was observed.
+  Phase advance(TaskId task);
+
+  /// arrive + deregister, releasing this task's hold on future events (the
+  /// Java `arriveAndDeregister`). Never blocks. Returns the arrival phase.
+  Phase arrive_and_deregister(TaskId task);
+
+  // --- Introspection -------------------------------------------------------
+
+  /// The task's local phase. Throws PhaserError if not a member.
+  [[nodiscard]] Phase local_phase(TaskId task) const;
+
+  /// The registration mode of `task`. Throws PhaserError if not a member.
+  [[nodiscard]] RegMode mode_of(TaskId task) const;
+
+  /// Minimum local phase over signal-capable members (kPhaseInfinity when
+  /// there are none).
+  [[nodiscard]] Phase observed_phase() const;
+
+  [[nodiscard]] std::size_t member_count() const;
+
+ private:
+  explicit Phaser(Verifier* verifier);
+
+  struct Member {
+    Phase phase = 0;
+    RegMode mode = RegMode::kSigWait;
+  };
+
+  [[nodiscard]] bool signal_capable(RegMode mode) const {
+    return mode != RegMode::kWait;
+  }
+
+  /// Observed phase; caller holds mutex_.
+  [[nodiscard]] Phase observed_locked() const {
+    return sig_phases_.empty() ? kPhaseInfinity : sig_phases_.begin()->first;
+  }
+
+  void sig_phase_add(Phase phase);
+  void sig_phase_remove(Phase phase);
+
+  /// Builds the blocked status for `task` awaiting event (uid_, n).
+  [[nodiscard]] BlockedStatus blocked_status(TaskId task, Phase n) const;
+
+  /// Common blocking path for await / await_for.
+  bool await_impl(TaskId task, Phase n,
+                  const std::chrono::milliseconds* timeout);
+
+  const PhaserUid uid_;
+  Verifier* const verifier_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<TaskId, Member> members_;
+  /// Multiset of signal-capable phases: phase -> member count. Ordered so
+  /// the minimum (observed phase) is O(1) at the first element.
+  std::map<Phase, std::size_t> sig_phases_;
+};
+
+}  // namespace armus::ph

@@ -1,0 +1,69 @@
+#include "pl/ast.h"
+
+#include <sstream>
+
+namespace armus::pl {
+
+namespace {
+
+void print_seq(std::ostream& out, const Seq& seq, int indent);
+
+void print_instr(std::ostream& out, const Instr& instr, int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (instr.op) {
+    case Op::kNewTid:
+      out << pad << instr.var << " = newTid();\n";
+      break;
+    case Op::kFork:
+      out << pad << "fork(" << instr.var << ")\n";
+      print_seq(out, *instr.body, indent + 1);
+      out << pad << "end;\n";
+      break;
+    case Op::kNewPhaser:
+      out << pad << instr.var << " = newPhaser();\n";
+      break;
+    case Op::kReg:
+      out << pad << "reg(" << instr.var2 << ", " << instr.var << ");\n";
+      break;
+    case Op::kDereg:
+      out << pad << "dereg(" << instr.var << ");\n";
+      break;
+    case Op::kAdv:
+      out << pad << "adv(" << instr.var << ");\n";
+      break;
+    case Op::kAwait:
+      out << pad << "await(" << instr.var << ");\n";
+      break;
+    case Op::kLoop:
+      out << pad << "loop\n";
+      print_seq(out, *instr.body, indent + 1);
+      out << pad << "end;\n";
+      break;
+    case Op::kSkip:
+      out << pad << "skip;\n";
+      break;
+  }
+}
+
+void print_seq(std::ostream& out, const Seq& seq, int indent) {
+  for (const Instr& instr : seq) print_instr(out, instr, indent);
+}
+
+}  // namespace
+
+std::string to_string(const Instr& instr) {
+  std::ostringstream out;
+  print_instr(out, instr, 0);
+  std::string s = out.str();
+  // Single-line form: strip the trailing newline.
+  while (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+std::string to_string(const Seq& seq, int indent) {
+  std::ostringstream out;
+  print_seq(out, seq, indent);
+  return out.str();
+}
+
+}  // namespace armus::pl

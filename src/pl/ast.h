@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+/// Abstract syntax of PL, the core phaser language of §3:
+///
+///   s ::= c; s | end
+///   c ::= t = newTid() | fork(t) s | p = newPhaser() | reg(t, p)
+///       | dereg(p) | adv(p) | await(p) | loop s | skip
+///
+/// Programs reference tasks and phasers through variables; the interpreter
+/// binds variables to runtime names in per-task environments (operationally
+/// equivalent to the paper's substitution s[q/p]).
+namespace armus::pl {
+
+enum class Op {
+  kNewTid,     ///< var = newTid()
+  kFork,       ///< fork(var) body
+  kNewPhaser,  ///< var = newPhaser()
+  kReg,        ///< reg(var /*task*/, var2 /*phaser*/)
+  kDereg,      ///< dereg(var)
+  kAdv,        ///< adv(var)
+  kAwait,      ///< await(var)
+  kLoop,       ///< loop body
+  kSkip,       ///< skip
+};
+
+struct Instr;
+using Seq = std::vector<Instr>;
+
+struct Instr {
+  Op op = Op::kSkip;
+  std::string var;   ///< task var (newTid/fork/reg) or phaser var (others)
+  std::string var2;  ///< phaser var for reg
+  std::shared_ptr<const Seq> body;  ///< fork / loop body
+
+  friend bool operator==(const Instr& a, const Instr& b) {
+    if (a.op != b.op || a.var != b.var || a.var2 != b.var2) return false;
+    if ((a.body == nullptr) != (b.body == nullptr)) return false;
+    return a.body == nullptr || *a.body == *b.body;
+  }
+};
+
+// --- Builders: pl::seq({pl::new_tid("t"), pl::fork("t", {...}), ...}) ----
+
+inline Instr new_tid(std::string var) {
+  return Instr{Op::kNewTid, std::move(var), {}, nullptr};
+}
+inline Instr fork(std::string var, Seq body) {
+  return Instr{Op::kFork, std::move(var), {},
+               std::make_shared<const Seq>(std::move(body))};
+}
+inline Instr new_phaser(std::string var) {
+  return Instr{Op::kNewPhaser, std::move(var), {}, nullptr};
+}
+inline Instr reg(std::string task_var, std::string phaser_var) {
+  return Instr{Op::kReg, std::move(task_var), std::move(phaser_var), nullptr};
+}
+inline Instr dereg(std::string var) {
+  return Instr{Op::kDereg, std::move(var), {}, nullptr};
+}
+inline Instr adv(std::string var) {
+  return Instr{Op::kAdv, std::move(var), {}, nullptr};
+}
+inline Instr await(std::string var) {
+  return Instr{Op::kAwait, std::move(var), {}, nullptr};
+}
+inline Instr loop(Seq body) {
+  return Instr{Op::kLoop, {}, {}, std::make_shared<const Seq>(std::move(body))};
+}
+inline Instr skip() { return Instr{Op::kSkip, {}, {}, nullptr}; }
+
+/// The common `adv(p); await(p)` barrier step.
+inline Seq barrier_step(const std::string& var) { return {adv(var), await(var)}; }
+
+/// Pretty-prints one instruction (single line).
+std::string to_string(const Instr& instr);
+
+/// Pretty-prints a sequence with indentation.
+std::string to_string(const Seq& seq, int indent = 0);
+
+}  // namespace armus::pl

@@ -1,0 +1,106 @@
+#include "pl/deadlock.h"
+
+#include <algorithm>
+#include <set>
+
+namespace armus::pl {
+
+namespace {
+
+/// The awaited (phaser, phase) of a blocked task.
+struct Wait {
+  TaskName task;
+  PhaserName phaser;
+  PhaseNum phase;
+};
+
+std::vector<Wait> blocked_waits(const State& state) {
+  std::vector<Wait> waits;
+  for (const auto& [name, task] : state.tasks) {
+    if (task_status(state, name) != TaskStatus::kBlocked) continue;
+    const Instr& instr = task.remaining.front();
+    PhaserName phaser = task.env.at(instr.var);
+    PhaseNum phase = state.phasers.at(phaser).at(name);
+    waits.push_back({name, phaser, phase});
+  }
+  return waits;
+}
+
+}  // namespace
+
+bool is_totally_deadlocked(const State& state) {
+  if (state.tasks.empty()) return false;
+  std::set<TaskName> names;
+  for (const auto& [name, task] : state.tasks) names.insert(name);
+  for (const auto& [name, task] : state.tasks) {
+    if (task_status(state, name) != TaskStatus::kBlocked) return false;
+    const Instr& instr = task.remaining.front();
+    PhaserName phaser = task.env.at(instr.var);
+    PhaseNum n = state.phasers.at(phaser).at(name);
+    // ∃ t' ∈ dom(T): M(p)(t') < n.
+    bool impeded = false;
+    for (const auto& [member, phase] : state.phasers.at(phaser)) {
+      if (phase < n && names.count(member) != 0) {
+        impeded = true;
+        break;
+      }
+    }
+    if (!impeded) return false;
+  }
+  return true;
+}
+
+std::vector<TaskName> deadlocked_tasks(const State& state) {
+  std::vector<Wait> waits = blocked_waits(state);
+  std::set<TaskName> candidate;
+  for (const Wait& w : waits) candidate.insert(w.task);
+
+  // Greatest fixpoint: discard tasks whose awaited event is not impeded by
+  // any remaining candidate. What survives is the largest T' for which
+  // (M, T') is totally deadlocked.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Wait& w : waits) {
+      if (candidate.count(w.task) == 0) continue;
+      bool impeded = false;
+      for (const auto& [member, phase] : state.phasers.at(w.phaser)) {
+        if (phase < w.phase && candidate.count(member) != 0) {
+          impeded = true;
+          break;
+        }
+      }
+      if (!impeded) {
+        candidate.erase(w.task);
+        changed = true;
+      }
+    }
+  }
+  return {candidate.begin(), candidate.end()};
+}
+
+bool is_deadlocked(const State& state) { return !deadlocked_tasks(state).empty(); }
+
+std::vector<BlockedStatus> phi(const State& state) {
+  std::vector<BlockedStatus> statuses;
+  for (const auto& [name, task] : state.tasks) {
+    if (task_status(state, name) != TaskStatus::kBlocked) continue;
+    const Instr& instr = task.remaining.front();
+    PhaserName phaser = task.env.at(instr.var);
+    PhaseNum n = state.phasers.at(phaser).at(name);
+
+    BlockedStatus status;
+    status.task = name;
+    status.waits.push_back(Resource{phaser, n});
+    for (const auto& [pname, members] : state.phasers) {
+      auto it = members.find(name);
+      if (it != members.end()) {
+        status.registered.push_back(RegEntry{pname, it->second});
+      }
+    }
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+}  // namespace armus::pl

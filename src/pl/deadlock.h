@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "core/blocked_status.h"
+#include "pl/semantics.h"
+
+/// Ground-truth deadlock characterisation (Definitions 3.1 / 3.2) and the
+/// resource-dependency abstraction ϕ (Definition 4.1).
+///
+/// `is_deadlocked` is computed directly from the definitions — by a fixpoint
+/// over blocked tasks, with *no* graph machinery — so the property tests can
+/// check the paper's soundness/completeness theorems by comparing this
+/// verdict against the core library's cycle detection on ϕ(S).
+namespace armus::pl {
+
+/// Definition 3.1: T is nonempty; every task's head is await(p) with
+/// M(p)(t) = n and some task *of this state* has M(p)(t') < n.
+[[nodiscard]] bool is_totally_deadlocked(const State& state);
+
+/// Definition 3.2: some nonempty sub-map T' of the tasks forms a totally
+/// deadlocked state (M, T'). Computed as the greatest fixpoint: start from
+/// all blocked tasks and repeatedly discard any task whose awaited phase is
+/// not impeded by a *remaining* task; deadlocked iff the fixpoint is
+/// nonempty.
+[[nodiscard]] bool is_deadlocked(const State& state);
+
+/// The task names of the greatest deadlocked sub-map (empty when the state
+/// is not deadlocked).
+[[nodiscard]] std::vector<TaskName> deadlocked_tasks(const State& state);
+
+/// Definition 4.1, in the core library's publication format: one
+/// BlockedStatus per blocked task, with W(t) = {res(p, n)} and the task's
+/// registrations (every phaser q with t ∈ dom(M(q)), at phase M(q)(t)).
+/// PL task/phaser names are used verbatim as TaskId/PhaserUid.
+[[nodiscard]] std::vector<BlockedStatus> phi(const State& state);
+
+}  // namespace armus::pl

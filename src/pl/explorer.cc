@@ -1,0 +1,62 @@
+#include "pl/explorer.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "pl/deadlock.h"
+
+namespace armus::pl {
+
+ExploreResult explore(const Seq& program, const ExploreConfig& config,
+                      const std::function<void(const State&)>& on_state) {
+  ExploreResult result;
+  std::unordered_set<std::string> seen;
+  std::deque<std::pair<State, std::size_t>> queue;
+
+  State initial = initial_state(program);
+  seen.insert(initial.key());
+  queue.emplace_back(std::move(initial), 0);
+
+  while (!queue.empty()) {
+    auto [state, depth] = std::move(queue.front());
+    queue.pop_front();
+    ++result.states_visited;
+
+    if (on_state) on_state(state);
+
+    if (is_deadlocked(state)) {
+      ++result.deadlocked_states;
+      if (result.deadlock_examples.size() < ExploreResult::kMaxExamples) {
+        result.deadlock_examples.push_back(state);
+      }
+    }
+
+    std::vector<Step> steps = enabled_steps(state);
+    if (steps.empty()) {
+      ++result.terminal_states;
+      continue;
+    }
+    if (depth >= config.max_depth) {
+      result.truncated = true;
+      continue;
+    }
+    for (const Step& step : steps) {
+      State next = apply_step(state, step);
+      ++result.transitions;
+      if (result.states_visited + queue.size() >= config.max_states) {
+        result.truncated = true;
+        break;
+      }
+      if (seen.insert(next.key()).second) {
+        queue.emplace_back(std::move(next), depth + 1);
+      }
+    }
+    if (result.truncated && result.states_visited + queue.size() >= config.max_states) {
+      // Bound reached: finish processing what is queued but add no more.
+      continue;
+    }
+  }
+  return result;
+}
+
+}  // namespace armus::pl

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+
+#include "pl/semantics.h"
+
+/// Bounded exhaustive exploration of a PL program's interleaving space.
+///
+/// Used by the property-test suites: every reachable state is handed to a
+/// callback which cross-checks the ground-truth deadlock verdict
+/// (Definitions 3.1/3.2) against the graph analysis on ϕ(S) — i.e. it
+/// *executes* the paper's soundness, completeness and WFG/SG-equivalence
+/// theorems over concrete state spaces.
+namespace armus::pl {
+
+struct ExploreConfig {
+  /// Stop after visiting this many distinct states.
+  std::size_t max_states = 50000;
+
+  /// Stop expanding paths longer than this many steps.
+  std::size_t max_depth = 128;
+};
+
+struct ExploreResult {
+  std::size_t states_visited = 0;
+  std::size_t transitions = 0;
+  std::size_t deadlocked_states = 0;   ///< per Definition 3.2
+  std::size_t terminal_states = 0;     ///< no enabled step
+  bool truncated = false;              ///< a bound was hit
+
+  /// Up to `kMaxExamples` deadlocked states, for diagnostics.
+  static constexpr std::size_t kMaxExamples = 4;
+  std::vector<State> deadlock_examples;
+};
+
+/// Breadth-first exploration from `initial_state(program)`. `on_state`, when
+/// provided, is invoked once per distinct reachable state.
+ExploreResult explore(const Seq& program, const ExploreConfig& config = {},
+                      const std::function<void(const State&)>& on_state = nullptr);
+
+}  // namespace armus::pl

@@ -1,0 +1,86 @@
+#include "pl/generator.h"
+
+#include <set>
+
+namespace armus::pl {
+
+namespace {
+
+/// Emits a random body for a task registered on `registered` (phaser vars).
+/// Ops only reference phasers the task is still registered with, so the
+/// program stays well-formed (no stuck configurations, only running,
+/// blocked or terminated tasks).
+Seq random_body(util::Xoshiro256& rng, const GenConfig& config,
+                std::set<std::string> registered) {
+  Seq body;
+  int ops = static_cast<int>(rng.range(0, config.max_body_ops));
+  for (int i = 0; i < ops && !registered.empty(); ++i) {
+    // Pick a phaser uniformly from the still-registered set.
+    auto it = registered.begin();
+    std::advance(it, static_cast<long>(rng.below(registered.size())));
+    const std::string phaser = *it;
+
+    double roll = rng.uniform();
+    if (roll < config.barrier_step_probability) {
+      body.push_back(adv(phaser));
+      body.push_back(await(phaser));
+    } else if (roll < config.barrier_step_probability + 0.2) {
+      body.push_back(adv(phaser));  // split-phase signal without wait
+    } else if (roll < config.barrier_step_probability + 0.35) {
+      // Await without a fresh advance: waits on the current phase, which is
+      // already satisfied unless someone lags — a cheap source of
+      // asymmetric waits.
+      body.push_back(await(phaser));
+    } else if (roll < config.barrier_step_probability + 0.5) {
+      body.push_back(dereg(phaser));
+      registered.erase(phaser);
+    } else {
+      body.push_back(skip());
+    }
+  }
+  // Anything still registered is deliberately left registered: missing
+  // deregistrations are the paper's canonical deadlock source (§2.1).
+  return body;
+}
+
+}  // namespace
+
+Seq random_program(util::Xoshiro256& rng, const GenConfig& config) {
+  Seq program;
+
+  int num_phasers =
+      static_cast<int>(rng.range(config.min_phasers, config.max_phasers));
+  std::vector<std::string> phasers;
+  for (int p = 0; p < num_phasers; ++p) {
+    std::string var = "p" + std::to_string(p);
+    program.push_back(new_phaser(var));
+    phasers.push_back(var);
+  }
+
+  int num_children =
+      static_cast<int>(rng.range(config.min_children, config.max_children));
+  for (int c = 0; c < num_children; ++c) {
+    std::string tid = "t" + std::to_string(c);
+    program.push_back(new_tid(tid));
+    std::set<std::string> registered;
+    for (const std::string& phaser : phasers) {
+      if (rng.chance(config.register_probability)) {
+        program.push_back(reg(tid, phaser));
+        registered.insert(phaser);
+      }
+    }
+    program.push_back(fork(tid, random_body(rng, config, registered)));
+  }
+
+  // Driver tail: the driver is registered with every phaser it created.
+  std::set<std::string> driver_regs(phasers.begin(), phasers.end());
+  Seq tail = random_body(rng, config, std::move(driver_regs));
+  // Bound the tail length separately.
+  if (static_cast<int>(tail.size()) > config.max_driver_ops) {
+    tail.resize(static_cast<std::size_t>(config.max_driver_ops));
+  }
+  program.insert(program.end(), tail.begin(), tail.end());
+  return program;
+}
+
+}  // namespace armus::pl

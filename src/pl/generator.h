@@ -1,0 +1,34 @@
+#pragma once
+
+#include "pl/ast.h"
+#include "util/rng.h"
+
+/// Random well-formed PL programs for property testing.
+///
+/// The generator produces the shape that matters for barrier verification —
+/// a driver that creates phasers, registers children on subsets of them and
+/// forks them ([new-t]; [reg]; [fork] chains, as in Figure 3) — with bodies
+/// that advance, await, deregister and skip in random orders. Mismatched
+/// advances arise naturally, so a healthy fraction of generated programs
+/// reach deadlocked states while the rest terminate; both classes exercise
+/// the soundness/completeness properties.
+namespace armus::pl {
+
+struct GenConfig {
+  int min_phasers = 1;
+  int max_phasers = 2;
+  int min_children = 1;
+  int max_children = 3;
+  int max_body_ops = 4;     ///< per child body
+  int max_driver_ops = 3;   ///< driver tail after forking
+  /// Probability a child is registered with each phaser.
+  double register_probability = 0.8;
+  /// Probability a body op is a full adv+await step (vs a lone adv, a lone
+  /// await, a dereg or a skip).
+  double barrier_step_probability = 0.45;
+};
+
+/// Generates one program from `rng` (deterministic per seed).
+Seq random_program(util::Xoshiro256& rng, const GenConfig& config = {});
+
+}  // namespace armus::pl

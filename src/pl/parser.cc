@@ -1,0 +1,197 @@
+#include "pl/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace armus::pl {
+
+namespace {
+
+enum class Tok {
+  kIdent,    // identifiers and keywords
+  kEquals,   // =
+  kLParen,   // (
+  kRParen,   // )
+  kComma,    // ,
+  kSemi,     // ;
+  kEnd,      // end of input
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::size_t line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : source_(source) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+
+  Token take() {
+    Token token = current_;
+    advance();
+    return token;
+  }
+
+ private:
+  void advance() {
+    skip_trivia();
+    current_.line = line_;
+    if (pos_ >= source_.size()) {
+      current_ = {Tok::kEnd, "", line_};
+      return;
+    }
+    char c = source_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+              source_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = {Tok::kIdent, source_.substr(start, pos_ - start), line_};
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case '=': current_ = {Tok::kEquals, "=", line_}; return;
+      case '(': current_ = {Tok::kLParen, "(", line_}; return;
+      case ')': current_ = {Tok::kRParen, ")", line_}; return;
+      case ',': current_ = {Tok::kComma, ",", line_}; return;
+      case ';': current_ = {Tok::kSemi, ";", line_}; return;
+      default:
+        throw ParseError(line_, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  void skip_trivia() {
+    for (;;) {
+      while (pos_ < source_.size() &&
+             std::isspace(static_cast<unsigned char>(source_[pos_]))) {
+        if (source_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < source_.size() && source_[pos_] == '/' &&
+          source_[pos_ + 1] == '/') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : lexer_(source) {}
+
+  Seq parse() {
+    Seq seq = parse_sequence();
+    if (lexer_.peek().kind != Tok::kEnd) {
+      throw ParseError(lexer_.peek().line,
+                       "trailing input after program (unexpected '" +
+                           lexer_.peek().text + "')");
+    }
+    return seq;
+  }
+
+ private:
+  /// Parses instructions until `end`, `kEnd`, or another block closer.
+  Seq parse_sequence() {
+    Seq seq;
+    while (lexer_.peek().kind == Tok::kIdent && lexer_.peek().text != "end") {
+      seq.push_back(parse_instr());
+    }
+    return seq;
+  }
+
+  Token expect(Tok kind, const std::string& what) {
+    if (lexer_.peek().kind != kind) {
+      throw ParseError(lexer_.peek().line, "expected " + what + ", got '" +
+                                               lexer_.peek().text + "'");
+    }
+    return lexer_.take();
+  }
+
+  Token expect_ident(const std::string& what) { return expect(Tok::kIdent, what); }
+
+  void expect_semi() { expect(Tok::kSemi, "';'"); }
+
+  Instr parse_instr() {
+    Token head = expect_ident("an instruction");
+
+    if (head.text == "skip") {
+      expect_semi();
+      return skip();
+    }
+    if (head.text == "loop") {
+      Seq body = parse_sequence();
+      Token closer = expect_ident("'end'");
+      if (closer.text != "end") {
+        throw ParseError(closer.line, "expected 'end' closing loop");
+      }
+      expect_semi();
+      return loop(std::move(body));
+    }
+    if (head.text == "fork") {
+      expect(Tok::kLParen, "'('");
+      Token task = expect_ident("a task variable");
+      expect(Tok::kRParen, "')'");
+      Seq body = parse_sequence();
+      Token closer = expect_ident("'end'");
+      if (closer.text != "end") {
+        throw ParseError(closer.line, "expected 'end' closing fork");
+      }
+      expect_semi();
+      return fork(task.text, std::move(body));
+    }
+    if (head.text == "reg") {
+      // Paper order: reg(p, t) — phaser first (cf. Figure 3).
+      expect(Tok::kLParen, "'('");
+      Token phaser = expect_ident("a phaser variable");
+      expect(Tok::kComma, "','");
+      Token task = expect_ident("a task variable");
+      expect(Tok::kRParen, "')'");
+      expect_semi();
+      return reg(task.text, phaser.text);
+    }
+    if (head.text == "dereg" || head.text == "adv" || head.text == "await") {
+      expect(Tok::kLParen, "'('");
+      Token phaser = expect_ident("a phaser variable");
+      expect(Tok::kRParen, "')'");
+      expect_semi();
+      if (head.text == "dereg") return dereg(phaser.text);
+      if (head.text == "adv") return adv(phaser.text);
+      return await(phaser.text);
+    }
+
+    // Assignment forms: var = newTid(); var = newPhaser();
+    Token eq = lexer_.take();
+    if (eq.kind != Tok::kEquals) {
+      throw ParseError(head.line, "unknown instruction '" + head.text + "'");
+    }
+    Token callee = expect_ident("newTid or newPhaser");
+    expect(Tok::kLParen, "'('");
+    expect(Tok::kRParen, "')'");
+    expect_semi();
+    if (callee.text == "newTid") return new_tid(head.text);
+    if (callee.text == "newPhaser") return new_phaser(head.text);
+    throw ParseError(callee.line,
+                     "expected newTid or newPhaser, got '" + callee.text + "'");
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+Seq parse_program(const std::string& source) { return Parser(source).parse(); }
+
+}  // namespace armus::pl

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "pl/ast.h"
+
+/// A concrete syntax for PL programs, matching the paper's Figure 3 layout:
+///
+///   pc = newPhaser();
+///   pb = newPhaser();
+///   t = newTid();
+///   reg(pc, t);                 // paper order: reg(phaser, task)
+///   reg(pb, t);
+///   fork(t)
+///     loop
+///       skip;
+///       adv(pc); await(pc);
+///     end;
+///     dereg(pc);
+///     dereg(pb);
+///   end;
+///   adv(pb); await(pb);
+///
+/// `//` starts a line comment. `parse_program` accepts exactly what
+/// `to_string(Seq)` prints, so parse/print round-trips.
+namespace armus::pl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a PL program. Throws ParseError with a line number on bad input.
+Seq parse_program(const std::string& source);
+
+}  // namespace armus::pl

@@ -1,0 +1,220 @@
+#include "pl/semantics.h"
+
+#include <stdexcept>
+
+namespace armus::pl {
+
+namespace {
+
+/// Looks up `var` in the env; returns nullptr when unbound.
+const std::uint32_t* lookup(const Env& env, const std::string& var) {
+  auto it = env.find(var);
+  return it == env.end() ? nullptr : &it->second;
+}
+
+/// Can the head instruction of `task` take a step (ignoring loops, which
+/// are always enabled with two outcomes)?
+bool head_enabled(const State& state, const TaskState& task) {
+  const Instr& instr = task.remaining.front();
+  switch (instr.op) {
+    case Op::kSkip:
+    case Op::kNewTid:
+    case Op::kNewPhaser:
+    case Op::kLoop:
+      return true;
+    case Op::kFork: {
+      const std::uint32_t* target = lookup(task.env, instr.var);
+      if (target == nullptr) return false;
+      auto it = state.tasks.find(*target);
+      // [fork]: the target must exist with body `end`.
+      return it != state.tasks.end() && it->second.remaining.empty();
+    }
+    case Op::kReg: {
+      const std::uint32_t* phaser = lookup(task.env, instr.var2);
+      const std::uint32_t* target = lookup(task.env, instr.var);
+      if (phaser == nullptr || target == nullptr) return false;
+      auto it = state.phasers.find(*phaser);
+      if (it == state.phasers.end()) return false;
+      // [reg]: the current task reads its own phase; the target must not be
+      // a member yet (the rule produces P ⊎ {t : n}).
+      // Find the executing task's name: handled by caller passing state +
+      // task; we need the name — resolved in task_status/apply via capture.
+      return true;  // refined by callers that know the executing task name
+    }
+    case Op::kDereg:
+    case Op::kAdv:
+    case Op::kAwait: {
+      const std::uint32_t* phaser = lookup(task.env, instr.var);
+      if (phaser == nullptr) return false;
+      return state.phasers.count(*phaser) != 0;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TaskStatus task_status(const State& state, TaskName name) {
+  auto it = state.tasks.find(name);
+  if (it == state.tasks.end()) {
+    throw std::logic_error("task_status: unknown task t" + std::to_string(name));
+  }
+  const TaskState& task = it->second;
+  if (task.remaining.empty()) return TaskStatus::kTerminated;
+
+  const Instr& instr = task.remaining.front();
+  switch (instr.op) {
+    case Op::kSkip:
+    case Op::kNewTid:
+    case Op::kNewPhaser:
+    case Op::kLoop:
+      return TaskStatus::kRunnable;
+    case Op::kFork:
+      return head_enabled(state, task) ? TaskStatus::kRunnable : TaskStatus::kStuck;
+    case Op::kReg: {
+      const std::uint32_t* phaser = lookup(task.env, instr.var2);
+      const std::uint32_t* target = lookup(task.env, instr.var);
+      if (phaser == nullptr || target == nullptr) return TaskStatus::kStuck;
+      auto pit = state.phasers.find(*phaser);
+      if (pit == state.phasers.end()) return TaskStatus::kStuck;
+      if (pit->second.count(name) == 0) return TaskStatus::kStuck;      // M(p)(t)=n
+      if (pit->second.count(*target) != 0) return TaskStatus::kStuck;   // t' fresh
+      return TaskStatus::kRunnable;
+    }
+    case Op::kDereg:
+    case Op::kAdv: {
+      const std::uint32_t* phaser = lookup(task.env, instr.var);
+      if (phaser == nullptr) return TaskStatus::kStuck;
+      auto pit = state.phasers.find(*phaser);
+      if (pit == state.phasers.end() || pit->second.count(name) == 0) {
+        return TaskStatus::kStuck;
+      }
+      return TaskStatus::kRunnable;
+    }
+    case Op::kAwait: {
+      const std::uint32_t* phaser = lookup(task.env, instr.var);
+      if (phaser == nullptr) return TaskStatus::kStuck;
+      auto pit = state.phasers.find(*phaser);
+      if (pit == state.phasers.end()) return TaskStatus::kStuck;
+      auto member = pit->second.find(name);
+      if (member == pit->second.end()) return TaskStatus::kStuck;  // M(p)(t) req.
+      return phaser_await_holds(pit->second, member->second)
+                 ? TaskStatus::kRunnable
+                 : TaskStatus::kBlocked;
+    }
+  }
+  return TaskStatus::kStuck;
+}
+
+std::vector<Step> enabled_steps(const State& state) {
+  std::vector<Step> steps;
+  for (const auto& [name, task] : state.tasks) {
+    if (task_status(state, name) != TaskStatus::kRunnable) continue;
+    if (!task.remaining.empty() && task.remaining.front().op == Op::kLoop) {
+      steps.push_back({name, Step::Kind::kLoopIter});
+      steps.push_back({name, Step::Kind::kLoopExit});
+    } else {
+      steps.push_back({name, Step::Kind::kPlain});
+    }
+  }
+  return steps;
+}
+
+State apply_step(const State& state, const Step& step) {
+  if (task_status(state, step.task) != TaskStatus::kRunnable) {
+    throw std::logic_error("apply_step: task t" + std::to_string(step.task) +
+                           " has no enabled step");
+  }
+  State next = state;
+  TaskState& task = next.tasks.at(step.task);
+  Instr instr = task.remaining.front();
+
+  // Pops the head instruction ([c-flow] threading).
+  auto pop_head = [&task] { task.remaining.erase(task.remaining.begin()); };
+
+  switch (instr.op) {
+    case Op::kSkip:  // [skip]
+      pop_head();
+      break;
+
+    case Op::kNewTid: {  // [new-t]: fresh name bound to a task with body end
+      TaskName fresh = next.next_task++;
+      task.env[instr.var] = fresh;
+      next.tasks.emplace(fresh, TaskState{{}, {}});
+      pop_head();
+      break;
+    }
+
+    case Op::kFork: {  // [fork]: install the body; child captures the env
+      TaskName target = task.env.at(instr.var);
+      TaskState& child = next.tasks.at(target);
+      child.remaining = *instr.body;
+      child.env = task.env;  // operational analogue of the substitution
+      pop_head();
+      break;
+    }
+
+    case Op::kNewPhaser: {  // [new-ph]: P = {t : 0}
+      PhaserName fresh = next.next_phaser++;
+      next.phasers[fresh] = PhaserState{{step.task, 0}};
+      task.env[instr.var] = fresh;
+      pop_head();
+      break;
+    }
+
+    case Op::kReg: {  // [reg]: the target inherits the registrar's phase
+      PhaserName phaser = task.env.at(instr.var2);
+      TaskName target = task.env.at(instr.var);
+      PhaserState& p = next.phasers.at(phaser);
+      p[target] = p.at(step.task);
+      pop_head();
+      break;
+    }
+
+    case Op::kDereg: {  // [dereg]
+      PhaserName phaser = task.env.at(instr.var);
+      next.phasers.at(phaser).erase(step.task);
+      pop_head();
+      break;
+    }
+
+    case Op::kAdv: {  // [adv]
+      PhaserName phaser = task.env.at(instr.var);
+      ++next.phasers.at(phaser).at(step.task);
+      pop_head();
+      break;
+    }
+
+    case Op::kAwait:  // [sync]: enabledness already checked the predicate
+      pop_head();
+      break;
+
+    case Op::kLoop: {
+      if (step.kind == Step::Kind::kLoopExit) {  // [e-loop]
+        pop_head();
+      } else {  // [i-loop]: body ++ loop body ++ rest
+        Seq unfolded = *instr.body;
+        unfolded.reserve(unfolded.size() + task.remaining.size());
+        unfolded.insert(unfolded.end(), task.remaining.begin(),
+                        task.remaining.end());
+        task.remaining = std::move(unfolded);
+      }
+      break;
+    }
+  }
+  return next;
+}
+
+State run(State state, std::size_t max_steps,
+          const std::function<std::size_t(const State&, const std::vector<Step>&)>&
+              pick) {
+  for (std::size_t i = 0; i < max_steps; ++i) {
+    std::vector<Step> steps = enabled_steps(state);
+    if (steps.empty()) return state;
+    std::size_t choice = pick(state, steps);
+    state = apply_step(state, steps[choice % steps.size()]);
+  }
+  return state;
+}
+
+}  // namespace armus::pl

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pl/state.h"
+
+/// Small-step operational semantics of PL — a direct transcription of the
+/// Figure 4 rules. The explorer enumerates `enabled_steps` to build the
+/// interleaving space; `apply_step` is a pure function producing the
+/// successor state.
+namespace armus::pl {
+
+/// One enabled transition. Loops contribute two (the nondeterministic
+/// [i-loop] unfold and [e-loop] exit); every other rule contributes one.
+struct Step {
+  TaskName task = 0;
+  enum class Kind { kPlain, kLoopIter, kLoopExit } kind = Kind::kPlain;
+
+  friend bool operator==(const Step&, const Step&) = default;
+};
+
+/// Classification of a task in a state.
+enum class TaskStatus {
+  kTerminated,  ///< remaining sequence is `end`
+  kRunnable,    ///< some rule applies
+  kBlocked,     ///< head is await(p), task is a member, predicate unsatisfied
+  kStuck,       ///< no rule applies and not blocked (ill-formed program)
+};
+
+[[nodiscard]] TaskStatus task_status(const State& state, TaskName task);
+
+/// All enabled transitions of `state`, ordered deterministically (by task
+/// name, loop-iterate before loop-exit).
+[[nodiscard]] std::vector<Step> enabled_steps(const State& state);
+
+/// Applies `step` (which must be enabled) and returns the successor.
+/// Throws std::logic_error when the step is not enabled.
+[[nodiscard]] State apply_step(const State& state, const Step& step);
+
+/// Runs `state` under a deterministic scheduler driven by `pick`, which
+/// receives the enabled steps and returns an index into them. Stops when no
+/// step is enabled or after `max_steps`. Returns the final state.
+State run(State state, std::size_t max_steps,
+          const std::function<std::size_t(const State&, const std::vector<Step>&)>&
+              pick);
+
+}  // namespace armus::pl

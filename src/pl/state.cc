@@ -1,0 +1,82 @@
+#include "pl/state.h"
+
+#include <sstream>
+
+namespace armus::pl {
+
+namespace {
+
+/// Structural serialisation of a sequence into `out`. Variable names and
+/// bodies are included verbatim; combined with the environment this
+/// uniquely identifies the task's continuation.
+void key_seq(std::ostringstream& out, const Seq& seq) {
+  for (const Instr& instr : seq) {
+    out << static_cast<int>(instr.op) << ':' << instr.var << ':' << instr.var2;
+    if (instr.body) {
+      out << '[';
+      key_seq(out, *instr.body);
+      out << ']';
+    }
+    out << ';';
+  }
+}
+
+}  // namespace
+
+bool phaser_await_holds(const PhaserState& phaser, PhaseNum n) {
+  for (const auto& [task, phase] : phaser) {
+    if (phase < n) return false;
+  }
+  return true;
+}
+
+std::string State::key() const {
+  std::ostringstream out;
+  out << "M{";
+  for (const auto& [name, phaser] : phasers) {
+    out << name << ":(";
+    for (const auto& [task, phase] : phaser) out << task << '=' << phase << ',';
+    out << ')';
+  }
+  out << "}T{";
+  for (const auto& [name, task] : tasks) {
+    out << name << ":(";
+    key_seq(out, task.remaining);
+    out << '|';
+    for (const auto& [var, value] : task.env) out << var << '=' << value << ',';
+    out << ')';
+  }
+  out << "}#" << next_task << '/' << next_phaser;
+  return out.str();
+}
+
+std::string State::to_string() const {
+  std::ostringstream out;
+  out << "M = {\n";
+  for (const auto& [name, phaser] : phasers) {
+    out << "  p" << name << ": {";
+    bool first = true;
+    for (const auto& [task, phase] : phaser) {
+      if (!first) out << ", ";
+      first = false;
+      out << 't' << task << ": " << phase;
+    }
+    out << "}\n";
+  }
+  out << "}\nT = {\n";
+  for (const auto& [name, task] : tasks) {
+    out << "  t" << name << ":\n"
+        << armus::pl::to_string(task.remaining, 2);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+State initial_state(const Seq& program) {
+  State state;
+  TaskName root = 1;
+  state.tasks.emplace(root, TaskState{program, {}});
+  return state;
+}
+
+}  // namespace armus::pl

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "pl/ast.h"
+
+/// Run-time state of a PL program: S ::= (M, T) per §3.
+///
+/// * `M` — the phaser map: phaser name -> (task name -> local phase).
+/// * `tasks` (T) — task name -> task state (remaining instructions + the
+///   task's variable environment, our operational stand-in for the paper's
+///   name substitution).
+///
+/// Everything uses ordered maps so states compare, hash and print
+/// deterministically — the explorer memoises on the canonical key.
+namespace armus::pl {
+
+using TaskName = std::uint32_t;
+using PhaserName = std::uint32_t;
+using PhaseNum = std::uint64_t;
+
+/// A phaser P: task -> local phase.
+using PhaserState = std::map<TaskName, PhaseNum>;
+
+/// The paper's await(P, n) predicate: every member's phase is >= n
+/// (vacuously true for an empty phaser).
+bool phaser_await_holds(const PhaserState& phaser, PhaseNum n);
+
+/// A variable environment: program variables to runtime names. Task and
+/// phaser variables share one namespace (programs keep them apart by
+/// convention, as the paper's examples do).
+using Env = std::map<std::string, std::uint32_t>;
+
+struct TaskState {
+  /// Remaining instructions; empty = `end` (terminated).
+  Seq remaining;
+  Env env;
+
+  friend bool operator==(const TaskState&, const TaskState&) = default;
+};
+
+struct State {
+  std::map<PhaserName, PhaserState> phasers;  // M
+  std::map<TaskName, TaskState> tasks;        // T
+  // Fresh-name counters ([new-t]/[new-ph] side conditions t'' ∉ fv(s)).
+  // Names start at 1 (the root task is 1) so PL names can double as core
+  // TaskId/PhaserUid values, whose 0 is the invalid sentinel.
+  TaskName next_task = 2;
+  PhaserName next_phaser = 1;
+
+  friend bool operator==(const State&, const State&) = default;
+
+  /// Canonical serialisation; equal states produce equal keys. Used by the
+  /// explorer for memoisation.
+  [[nodiscard]] std::string key() const;
+
+  /// Human-readable dump for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The initial state: one root task (name 0) running `program`.
+State initial_state(const Seq& program);
+
+}  // namespace armus::pl

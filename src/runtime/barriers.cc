@@ -1,0 +1,107 @@
+#include "runtime/barriers.h"
+
+namespace armus::rt {
+
+CyclicBarrier::CyclicBarrier(std::size_t parties, Verifier* verifier)
+    : parties_(parties),
+      phaser_(ph::Phaser::create(verifier != nullptr ? verifier
+                                                     : ambient_verifier())) {
+  if (parties == 0) throw ph::PhaserError("CyclicBarrier needs at least 1 party");
+  for (std::size_t p = 0; p < parties; ++p) {
+    TaskId guard = fresh_task_id();
+    phaser_->register_task(guard, 0, ph::RegMode::kSig);
+    if (Verifier* v = phaser_->verifier()) {
+      v->set_task_name(guard, "barrier-party-p" + std::to_string(phaser_->uid()));
+    }
+    guards_.push_back(guard);
+  }
+}
+
+CyclicBarrier::~CyclicBarrier() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (TaskId guard : guards_) {
+    if (phaser_->is_registered(guard)) phaser_->deregister(guard);
+  }
+}
+
+void CyclicBarrier::register_task(TaskId task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (guards_.empty()) {
+    throw ph::PhaserError("CyclicBarrier: all " + std::to_string(parties_) +
+                          " parties already registered");
+  }
+  // Real member first so the phaser never transiently frees its waiters.
+  phaser_->register_task_at_observed(task, ph::RegMode::kSigWait);
+  TaskId guard = guards_.back();
+  guards_.pop_back();
+  phaser_->deregister(guard);
+}
+
+void CyclicBarrier::register_current() { register_task(current_task()); }
+
+void CyclicBarrier::deregister_current() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Keep the party count constant (Java barriers have a fixed strength):
+  // the leaver's slot is re-guarded at the current observed phase.
+  TaskId guard = fresh_task_id();
+  Phase observed = phaser_->observed_phase();
+  phaser_->register_task(guard, observed == ph::kPhaseInfinity ? 0 : observed,
+                         ph::RegMode::kSig);
+  guards_.push_back(guard);
+  phaser_->deregister(current_task());
+}
+
+void CyclicBarrier::await() {
+  TaskId task = current_task();
+  if (!phaser_->is_registered(task)) {
+    throw ph::PhaserError(
+        "CyclicBarrier::await by unregistered task — call register_current() "
+        "first (the JArmus.register annotation)");
+  }
+  phaser_->advance(task);
+}
+
+std::size_t CyclicBarrier::registered() const {
+  // Guards occupy the unclaimed slots; real registrations are the rest.
+  std::lock_guard<std::mutex> lock(mutex_);
+  return parties_ - guards_.size();
+}
+
+CountDownLatch::CountDownLatch(std::size_t count, Verifier* verifier)
+    : count_(count),
+      phaser_(ph::Phaser::create(verifier != nullptr ? verifier
+                                                     : ambient_verifier())),
+      guard_(fresh_task_id()) {
+  if (count == 0) throw ph::PhaserError("CountDownLatch needs a positive count");
+  phaser_->register_task(guard_, 0, ph::RegMode::kSig);
+  if (Verifier* v = phaser_->verifier()) {
+    v->set_task_name(guard_, "latch-guard-p" + std::to_string(phaser_->uid()));
+  }
+}
+
+void CountDownLatch::register_current() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The guard occupies one slot; contributors may take `count_` more.
+  if (phaser_->member_count() >= count_ + 1) {
+    throw ph::PhaserError("CountDownLatch: all " + std::to_string(count_) +
+                          " contributors already registered");
+  }
+  // Contributors are signal-only: they never wait at the latch themselves.
+  phaser_->register_task(current_task(), 0, ph::RegMode::kSig);
+}
+
+void CountDownLatch::count_down() {
+  phaser_->arrive_and_deregister(current_task());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (++counted_ == count_) phaser_->arrive_and_deregister(guard_);
+}
+
+void CountDownLatch::wait() {
+  // Released once every contributor has arrived at phase 1 (or deregistered
+  // after arriving). Waiters need no registration: they never impede.
+  phaser_->await(current_task(), 1);
+}
+
+bool CountDownLatch::ready() const { return phaser_->try_await(1); }
+
+}  // namespace armus::rt

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+
+#include "runtime/task.h"
+
+/// Java-style barrier abstractions (java.util.concurrent analogues) built
+/// on the phaser substrate, with the JArmus twist (§5.3): Java's APIs keep
+/// the participant/task relationship implicit, so verified programs must
+/// have each participating task call `register_current()` — exactly the
+/// `JArmus.register(b)` annotation the paper requires. Unlike X10 clocks,
+/// these do NOT auto-deregister on task termination: a dead registered
+/// party keeps impeding, which is faithful Java behaviour and precisely the
+/// kind of deadlock the detector must expose.
+namespace armus::rt {
+
+/// java.util.concurrent.CyclicBarrier: `parties` tasks repeatedly meet at
+/// `await()`.
+///
+/// Java semantics require that *no* await completes before all `parties`
+/// arrive — including parties whose threads have not registered yet. Each
+/// unclaimed party is therefore backed by a signal-only guard member pinned
+/// at phase 0; registering swaps a guard for the real task. Without this,
+/// an early starter could race through the barrier alone while its peers
+/// were still being registered.
+class CyclicBarrier {
+ public:
+  /// `verifier` nullptr inherits the caller's ambient verifier.
+  explicit CyclicBarrier(std::size_t parties, Verifier* verifier = nullptr);
+  ~CyclicBarrier();
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  /// Claims one party for `task` — typically called by the parent before
+  /// the party's thread starts, so no thread can race through the barrier
+  /// while others are still registering (the PL reg-before-fork pattern).
+  /// Throws PhaserError when all parties are already claimed or the task
+  /// claimed before.
+  void register_task(TaskId task);
+
+  /// Claims one party for the calling task (the JArmus.register analogue).
+  void register_current();
+
+  /// Releases the calling task's party (e.g. before it terminates).
+  void deregister_current();
+
+  /// One barrier step; the calling task must have registered.
+  void await();
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+  /// Parties claimed by real tasks so far.
+  [[nodiscard]] std::size_t registered() const;
+  [[nodiscard]] std::shared_ptr<ph::Phaser> underlying() const { return phaser_; }
+
+ private:
+  std::size_t parties_;
+  std::shared_ptr<ph::Phaser> phaser_;
+  mutable std::mutex mutex_;
+  std::vector<TaskId> guards_;  // one per unclaimed party
+};
+
+/// java.util.concurrent.CountDownLatch with task identities: `count`
+/// contributors each register and count down exactly once; waiters block
+/// until all contributions arrive. (Java's latch allows one thread to count
+/// several times; the verified latch needs one registration per counting
+/// task — see DESIGN.md substitutions.)
+///
+/// An internal signal-only *guard* member keeps the latch closed until all
+/// `count` contributions have arrived, so contributors may register lazily
+/// without waiters slipping through an empty phaser.
+class CountDownLatch {
+ public:
+  explicit CountDownLatch(std::size_t count, Verifier* verifier = nullptr);
+
+  /// Declares the calling task as one of the contributors.
+  void register_current();
+
+  /// Contributes the calling task's count (non-blocking; deregisters).
+  void count_down();
+
+  /// Blocks until every contributor has counted down.
+  void wait();
+
+  /// True iff the latch has released.
+  [[nodiscard]] bool ready() const;
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] std::shared_ptr<ph::Phaser> underlying() const { return phaser_; }
+
+ private:
+  std::size_t count_;
+  std::shared_ptr<ph::Phaser> phaser_;
+  TaskId guard_;
+  std::mutex mutex_;
+  std::size_t counted_ = 0;
+};
+
+}  // namespace armus::rt

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <vector>
+
+#include "runtime/task.h"
+
+/// Bounded producer-consumer over phasers — the HJ pattern the paper names
+/// as future work ("this language features abstractions with complex
+/// synchronisation patterns, such as the bounded producer-consumer", §8).
+///
+/// Two phasers express the flow control, using awaits on *arbitrary future
+/// phases* (§2.2):
+///
+///   * `produced` — the producer signals item n by arriving at phase n;
+///     the consumer awaits phase n before taking item n.
+///   * `consumed` — the consumer signals the consumption of item n; a
+///     producer about to publish item n (> capacity) first awaits
+///     `consumed` phase n - capacity, so at most `capacity` items are ever
+///     in flight.
+///
+/// Both waits run through Armus: a misuse that cycles (e.g. two buffers
+/// exchanged by two tasks in opposite order, each blocked on the other's
+/// backpressure) is detected/avoided like any barrier deadlock.
+namespace armus::rt {
+
+template <typename T>
+class BoundedBuffer {
+ public:
+  /// `verifier` nullptr inherits the creator's ambient verifier.
+  /// Until the producer/consumer roles are claimed, synthetic signal-only
+  /// guards hold both phasers at phase 0: an early consumer cannot observe
+  /// a vacuously-advanced empty phaser, and an early producer cannot
+  /// outrun the (future) consumer's backpressure.
+  explicit BoundedBuffer(std::size_t capacity, Verifier* verifier = nullptr)
+      : capacity_(capacity),
+        slots_(capacity),
+        produced_(ph::Phaser::create(verifier != nullptr ? verifier
+                                                         : ambient_verifier())),
+        consumed_(ph::Phaser::create(produced_->verifier())),
+        producer_guard_(fresh_task_id()),
+        consumer_guard_(fresh_task_id()) {
+    if (capacity == 0) {
+      throw ph::PhaserError("BoundedBuffer needs a positive capacity");
+    }
+    produced_->register_task(producer_guard_, 0, ph::RegMode::kSig);
+    consumed_->register_task(consumer_guard_, 0, ph::RegMode::kSig);
+  }
+
+  ~BoundedBuffer() {
+    if (produced_->is_registered(producer_guard_)) {
+      produced_->deregister(producer_guard_);
+    }
+    if (consumed_->is_registered(consumer_guard_)) {
+      consumed_->deregister(consumer_guard_);
+    }
+  }
+
+  /// Declares `task` the producer (call before its thread starts when the
+  /// consumer may race ahead; the producer may also self-register first).
+  void register_producer(TaskId task) {
+    produced_->register_task(task, 0, ph::RegMode::kSig);
+    produced_->deregister(producer_guard_);
+  }
+  void register_producer() { register_producer(current_task()); }
+
+  /// Declares `task` the consumer.
+  void register_consumer(TaskId task) {
+    consumed_->register_task(task, 0, ph::RegMode::kSig);
+    consumed_->deregister(consumer_guard_);
+  }
+  void register_consumer() { register_consumer(current_task()); }
+
+  /// Publishes the next item; blocks (verified) while the buffer is full.
+  void put(T value) {
+    TaskId self = current_task();
+    Phase next = produced_->local_phase(self) + 1;
+    if (next > capacity_) {
+      // Backpressure: wait for the consumption of item next - capacity.
+      consumed_->await(self, next - capacity_);
+    }
+    slots_[static_cast<std::size_t>((next - 1) % capacity_)] = std::move(value);
+    produced_->arrive(self);
+  }
+
+  /// Takes the next item; blocks (verified) while the buffer is empty.
+  T take() {
+    TaskId self = current_task();
+    Phase next = consumed_->local_phase(self) + 1;
+    produced_->await(self, next);  // wait for item `next` to exist
+    T value = std::move(slots_[static_cast<std::size_t>((next - 1) % capacity_)]);
+    consumed_->arrive(self);
+    return value;
+  }
+
+  /// The producer retires; a consumer awaiting beyond the last item then
+  /// unblocks vacuously (empty signal set), mirroring PL's await semantics.
+  void close() { produced_->deregister(current_task()); }
+
+  /// True iff item `n` (1-based) has been produced.
+  [[nodiscard]] bool produced_at_least(Phase n) const {
+    return produced_->try_await(n);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::shared_ptr<ph::Phaser> produced_phaser() const {
+    return produced_;
+  }
+  [[nodiscard]] std::shared_ptr<ph::Phaser> consumed_phaser() const {
+    return consumed_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> slots_;
+  std::shared_ptr<ph::Phaser> produced_;
+  std::shared_ptr<ph::Phaser> consumed_;
+  TaskId producer_guard_;
+  TaskId consumer_guard_;
+};
+
+}  // namespace armus::rt

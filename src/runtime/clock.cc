@@ -1,0 +1,97 @@
+#include "runtime/clock.h"
+
+namespace armus::rt {
+
+Clock Clock::make(Verifier* verifier) {
+  if (verifier == nullptr) verifier = ambient_verifier();
+  Clock clock;
+  clock.impl_ = std::make_shared<Impl>();
+  clock.impl_->phaser = ph::Phaser::create(verifier);
+  TaskId creator = current_task();
+  clock.impl_->phaser->register_task(creator, 0, ph::RegMode::kSigWait);
+  current_context().add_termination_drop(clock.impl_->phaser);
+  return clock;
+}
+
+void Clock::advance() {
+  TaskId task = current_task();
+  bool already_resumed = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->resumed.find(task);
+    if (it != impl_->resumed.end() && it->second) {
+      already_resumed = true;
+      it->second = false;
+    }
+  }
+  try {
+    if (already_resumed) {
+      impl_->phaser->await(task, impl_->phaser->local_phase(task));
+    } else {
+      impl_->phaser->advance(task);
+    }
+  } catch (const DeadlockAvoidedError&) {
+    // §2.1: on avoidance "the tasks become deregistered from clock c", which
+    // lets the surviving members advance past the broken step.
+    if (impl_->phaser->is_registered(task)) impl_->phaser->deregister(task);
+    throw;
+  }
+}
+
+void Clock::resume() {
+  TaskId task = current_task();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  bool& resumed = impl_->resumed[task];
+  if (resumed) return;
+  impl_->phaser->arrive(task);
+  resumed = true;
+}
+
+void Clock::drop() {
+  TaskId task = current_task();
+  if (!impl_->phaser->is_registered(task)) return;
+  impl_->phaser->deregister(task);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->resumed.erase(task);
+}
+
+bool Clock::is_registered() const {
+  return impl_->phaser->is_registered(current_task());
+}
+
+Phase Clock::phase() const { return impl_->phaser->local_phase(current_task()); }
+
+std::shared_ptr<ph::Phaser> Clock::underlying() const { return impl_->phaser; }
+
+void register_clocked(const Clock& clock, TaskId child, Phase phase) {
+  clock.impl_->phaser->register_task(child, phase, ph::RegMode::kSigWait);
+}
+
+void async_clocked(Finish& finish, const std::vector<Clock>& clocks,
+                   std::function<void()> body, const std::string& name) {
+  TaskId parent = current_task();
+  // Capture the parent's phases outside pre_start: pre_start runs on the
+  // parent anyway, but local_phase must be read before any concurrent
+  // parent arrival.
+  std::vector<Phase> phases;
+  phases.reserve(clocks.size());
+  for (const Clock& clock : clocks) {
+    phases.push_back(clock.underlying()->local_phase(parent));
+  }
+  finish.spawn_with(
+      [&](TaskId child) {
+        for (std::size_t i = 0; i < clocks.size(); ++i) {
+          register_clocked(clocks[i], child, phases[i]);
+        }
+      },
+      [clocks, body = std::move(body)] {
+        // X10 tasks deregister from their clocks on termination.
+        for (const Clock& clock : clocks) {
+          current_context().add_termination_drop(clock.underlying());
+        }
+        body();
+      },
+      name);
+}
+
+}  // namespace armus::rt

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/finish.h"
+
+/// X10 clocks (§2.1) — cyclic barriers with dynamic membership — as a thin
+/// value-semantics wrapper over the phaser substrate:
+///
+///   * `Clock::make()`      creates the clock, registering the creator
+///                          (X10 registers the parent implicitly);
+///   * `advance()`          one barrier step ([adv] + [sync]);
+///   * `resume()/advance()` split-phase: resume signals the arrival, a later
+///                          advance only waits (X10's fuzzy barriers);
+///   * `drop()`             deregisters the calling task;
+///   * `async_clocked(...)` spawns a task registered with the given clocks,
+///                          inheriting the spawner's phases (X10's
+///                          `async clocked(c)`).
+///
+/// Avoidance-mode behaviour matches §2.1: when `advance()` would deadlock,
+/// the task is *deregistered from the clock* and DeadlockAvoidedError
+/// propagates, so the remaining members can make progress.
+namespace armus::rt {
+
+class Clock {
+ public:
+  /// Creates a clock registered to the calling task at phase 0 and arranges
+  /// for runtime-spawned tasks to drop it automatically on termination.
+  static Clock make(Verifier* verifier = nullptr);
+
+  Clock() = default;
+
+  /// One barrier step: signal arrival (unless already resumed) and wait for
+  /// the phase to be observed. On DeadlockAvoidedError the calling task is
+  /// deregistered before the exception propagates.
+  void advance();
+
+  /// Split-phase signal: non-blocking arrival. Idempotent until the next
+  /// advance().
+  void resume();
+
+  /// Deregisters the calling task. No-op if not registered.
+  void drop();
+
+  [[nodiscard]] bool is_registered() const;
+
+  /// The calling task's local phase.
+  [[nodiscard]] Phase phase() const;
+
+  [[nodiscard]] std::shared_ptr<ph::Phaser> underlying() const;
+
+  [[nodiscard]] bool valid() const { return impl_ != nullptr; }
+
+ private:
+  struct Impl {
+    std::shared_ptr<ph::Phaser> phaser;
+    std::mutex mutex;
+    std::unordered_map<TaskId, bool> resumed;  // split-phase bookkeeping
+  };
+
+  friend void register_clocked(const Clock& clock, TaskId child, Phase phase);
+
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Spawns a child inside `finish`, registered with each clock at the
+/// spawner's current phase (X10: `async clocked(c1, c2) { ... }`). The child
+/// drops any still-held clocks on termination, as X10/HJ tasks do.
+void async_clocked(Finish& finish, const std::vector<Clock>& clocks,
+                   std::function<void()> body, const std::string& name = {});
+
+}  // namespace armus::rt

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "runtime/task.h"
+
+/// Clocked variables after Atkins et al. [ACSC'13] (§2.2): a memory cell
+/// whose accesses are mediated by barrier synchronisation. The paper
+/// benchmarks three X10 algorithms built on them (SE, FI, FR — §6.3); we
+/// use this implementation for the same workloads.
+///
+/// Model: the variable pairs a value stream with a phaser. A *writer* is a
+/// signal-capable member; `put(v)` publishes the value for its next phase
+/// and arrives (so the value for phase n becomes readable exactly when the
+/// phase-n event is observed). A *reader* either joins wait-only (never
+/// impeding anyone) or simply awaits the phase it needs: `get(n)` blocks
+/// until phase n is observed and returns the value written for it. A
+/// single-write clocked variable is a future — which is how the recursive
+/// Fibonacci workload (FR) uses it.
+namespace armus::rt {
+
+template <typename T>
+class ClockedVar {
+ public:
+  /// `verifier` nullptr inherits the caller's ambient verifier.
+  explicit ClockedVar(Verifier* verifier = nullptr)
+      : phaser_(ph::Phaser::create(verifier != nullptr ? verifier
+                                                       : ambient_verifier())) {}
+
+  /// Joins `task` as a writer (signal-capable, at the observed phase so
+  /// late joiners cannot rewind the stream). Typically called by the parent
+  /// *before* forking the writer, so readers can never observe a phase the
+  /// writer has not joined yet.
+  void register_writer(TaskId task) {
+    phaser_->register_task_at_observed(task, ph::RegMode::kSig);
+  }
+
+  /// Joins the calling task as a writer.
+  void register_writer() { register_writer(current_task()); }
+
+  /// Joins the calling task as a wait-only reader. Optional: unregistered
+  /// tasks may also call get(); registering documents membership and allows
+  /// the runtime to reason about the reader's lifetime.
+  void register_reader() {
+    phaser_->register_task_at_observed(current_task(), ph::RegMode::kWait);
+  }
+
+  /// Leaves the variable (writers should retire once done so readers of
+  /// future phases are not impeded forever).
+  void deregister() { phaser_->deregister(current_task()); }
+
+  /// Publishes `value` for the writer's next phase and arrives at it.
+  /// Returns the phase the value belongs to.
+  Phase put(T value) {
+    TaskId task = current_task();
+    Phase next = phaser_->local_phase(task) + 1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      values_[next] = std::move(value);
+    }
+    phaser_->arrive(task);
+    return next;
+  }
+
+  /// Blocks until the phase-`n` event is observed, then returns the value
+  /// published for phase n. Throws std::out_of_range if the phase was
+  /// observed but no writer published a value for it.
+  T get(Phase n) {
+    phaser_->await(current_task(), n);
+    return peek(n);
+  }
+
+  /// Returns the phase-`n` value without synchronising (the caller has
+  /// already observed the phase, e.g. through a member-mode barrier step).
+  /// Throws std::out_of_range when no value was published for `n`.
+  T peek(Phase n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = values_.find(n);
+    if (it == values_.end()) {
+      throw std::out_of_range("ClockedVar: no value published for phase " +
+                              std::to_string(n));
+    }
+    return it->second;
+  }
+
+  /// Drops values for phases <= `watermark` (streaming workloads keep the
+  /// footprint bounded by pruning phases every reader has passed).
+  void prune(Phase watermark) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_.erase(values_.begin(), values_.upper_bound(watermark));
+  }
+
+  [[nodiscard]] std::shared_ptr<ph::Phaser> underlying() const { return phaser_; }
+
+ private:
+  std::shared_ptr<ph::Phaser> phaser_;
+  std::mutex mutex_;
+  std::map<Phase, T> values_;
+};
+
+}  // namespace armus::rt

@@ -1,0 +1,99 @@
+#include "runtime/finish.h"
+
+#include "util/log.h"
+
+namespace armus::rt {
+
+Finish::Finish(Verifier* verifier)
+    : verifier_(verifier != nullptr ? verifier : ambient_verifier()),
+      parent_(current_task()),
+      join_(ph::Phaser::create(verifier_)) {
+  join_->register_task(parent_, 0, ph::RegMode::kSigWait);
+}
+
+Finish::~Finish() {
+  if (!waited_) {
+    try {
+      wait();
+    } catch (...) {
+      // Destructors must not throw. wait() was not called explicitly, so
+      // the caller has no way to handle this; surface it loudly instead of
+      // losing it.
+      util::log_error("exception escaped ~Finish(); call wait() explicitly ",
+                      "to handle child errors");
+    }
+  }
+}
+
+void Finish::spawn(std::function<void()> body, const std::string& name) {
+  spawn_with(nullptr, std::move(body), name);
+}
+
+void Finish::spawn_with(const std::function<void(TaskId)>& pre_start,
+                        std::function<void()> body, const std::string& name) {
+  auto join = join_;
+  // [reg]: the child inherits the *registrar's* phase on the join phaser.
+  // The registrar is whoever calls spawn: the finish parent (phase 0, or 1
+  // once it arrived in wait()), or — for nested spawns à la the sieve
+  // pipeline — a child of this finish, which is always at phase 0. Using
+  // the registrar's own phase keeps grandchildren holding the join barrier
+  // back even when the parent has already arrived.
+  TaskId registrar = current_task();
+  Phase inherited = join_->is_registered(registrar)
+                        ? join_->local_phase(registrar)
+                        : join_->local_phase(parent_);
+  Task child = rt::spawn_with(
+      [&](TaskId child_id) {
+        // The child never advances the join phaser — termination
+        // deregisters, which is the PL encoding's "notify finish".
+        join->register_task(child_id, inherited, ph::RegMode::kSigWait);
+        if (pre_start) pre_start(child_id);
+      },
+      [join, body = std::move(body)] {
+        try {
+          body();
+        } catch (...) {
+          if (join->is_registered(current_task())) join->deregister(current_task());
+          throw;
+        }
+        if (join->is_registered(current_task())) join->deregister(current_task());
+      },
+      verifier_, name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  children_.push_back(std::move(child));
+}
+
+void Finish::wait() {
+  if (waited_) return;
+  // adv(pb); await(pb): completes when every child deregistered (their
+  // local phases leave the phaser, so the observed phase rises to ours).
+  // May throw DeadlockAvoidedError in avoidance mode; in that case we are
+  // *not* done — the caller must resolve the cycle and call wait() again
+  // (or accept that children are stuck). The arrive happens only once so a
+  // retry does not double-advance the parent.
+  if (!arrived_) {
+    target_ = join_->arrive(parent_);
+    arrived_ = true;
+  }
+  join_->await(parent_, target_);
+  waited_ = true;
+  join_->deregister(parent_);
+
+  // All children have deregistered; join the threads and surface errors.
+  std::vector<Task> children;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    children.swap(children_);
+  }
+  std::exception_ptr first;
+  for (Task& child : children) {
+    try {
+      child.join();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace armus::rt

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/task.h"
+
+/// The X10 `finish` construct: a join barrier over the tasks spawned inside
+/// the block, encoded exactly as Figure 3 encodes Figure 1 in PL:
+///
+///   * the parent creates a join phaser `pb` registered at phase 0;
+///   * each spawned child is registered with `pb` before it starts and
+///     deregisters on termination ("notify finish");
+///   * `wait()` performs `adv(pb); await(pb)` — it completes once every
+///     child has deregistered, and it is exactly the blocking operation
+///     where the Figure 1 deadlock manifests (and where detection/avoidance
+///     observe it).
+namespace armus::rt {
+
+class Finish {
+ public:
+  /// `verifier` nullptr inherits the caller's ambient verifier.
+  explicit Finish(Verifier* verifier = nullptr);
+
+  Finish(const Finish&) = delete;
+  Finish& operator=(const Finish&) = delete;
+
+  /// Joins all children (calling wait() if it has not run) — but see wait()
+  /// for the verified path; prefer calling it explicitly so exceptions
+  /// (including DeadlockAvoidedError) surface at a useful place.
+  ~Finish();
+
+  /// Spawns a child governed by this finish.
+  void spawn(std::function<void()> body, const std::string& name = {});
+
+  /// Spawns a child with extra parent-side registrations (used by
+  /// async_clocked to register the child on clocks with inherited phases).
+  void spawn_with(const std::function<void(TaskId)>& pre_start,
+                  std::function<void()> body, const std::string& name = {});
+
+  /// Blocks until every spawned child has terminated; rethrows the first
+  /// child exception. In avoidance mode may throw DeadlockAvoidedError
+  /// *before* blocking (the finish would never complete).
+  void wait();
+
+  [[nodiscard]] Verifier* verifier() const { return verifier_; }
+
+  /// The underlying join phaser (exposed for tests and diagnostics).
+  [[nodiscard]] const std::shared_ptr<ph::Phaser>& join_phaser() const {
+    return join_;
+  }
+
+ private:
+  Verifier* verifier_;
+  TaskId parent_;
+  std::shared_ptr<ph::Phaser> join_;
+  std::mutex mutex_;
+  std::vector<Task> children_;
+  /// Set once the parent has arrived at the join phaser, so a wait() retry
+  /// after DeadlockAvoidedError does not advance the parent a second time.
+  bool arrived_ = false;
+  Phase target_ = 0;
+  bool waited_ = false;
+};
+
+}  // namespace armus::rt

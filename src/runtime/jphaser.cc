@@ -1,0 +1,70 @@
+#include "runtime/jphaser.h"
+
+namespace armus::rt {
+
+JPhaser::JPhaser(std::size_t initial_parties, Verifier* verifier)
+    : phaser_(ph::Phaser::create(verifier != nullptr ? verifier
+                                                     : ambient_verifier())) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < initial_parties; ++i) add_guard();
+}
+
+JPhaser::~JPhaser() {
+  // Unbound parties die with the phaser object.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (TaskId guard : guards_) {
+    if (phaser_->is_registered(guard)) phaser_->deregister(guard);
+  }
+}
+
+void JPhaser::add_guard() {
+  TaskId guard = fresh_task_id();
+  phaser_->register_task_at_observed(guard, ph::RegMode::kSig);
+  if (Verifier* v = phaser_->verifier()) {
+    v->set_task_name(guard, "unbound-party-p" + std::to_string(phaser_->uid()));
+  }
+  guards_.push_back(guard);
+}
+
+void JPhaser::register_party() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  add_guard();
+}
+
+void JPhaser::bind_current() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (guards_.empty()) {
+    throw ph::PhaserError(
+        "JPhaser::bind_current: no unbound parties (book one with "
+        "register_party() or the constructor count)");
+  }
+  // Register the real task first so the phaser never transiently empties.
+  phaser_->register_task_at_observed(current_task(), ph::RegMode::kSigWait);
+  TaskId guard = guards_.back();
+  guards_.pop_back();
+  phaser_->deregister(guard);
+}
+
+Phase JPhaser::arrive() { return phaser_->arrive(current_task()) - 1; }
+
+void JPhaser::arrive_and_await_advance() { phaser_->advance(current_task()); }
+
+void JPhaser::arrive_and_deregister() {
+  phaser_->arrive_and_deregister(current_task());
+}
+
+void JPhaser::await_advance(Phase phase) {
+  phaser_->await(current_task(), phase + 1);
+}
+
+Phase JPhaser::phase() const {
+  Phase observed = phaser_->observed_phase();
+  return observed == ph::kPhaseInfinity ? 0 : observed;
+}
+
+std::size_t JPhaser::unbound_parties() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return guards_.size();
+}
+
+}  // namespace armus::rt

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/task.h"
+
+/// A facade after java.util.concurrent.Phaser (Java 7), the API used in the
+/// paper's Figure 2. Java separates *party counts* from *task identity* —
+/// which is exactly the information gap JArmus fills with explicit
+/// registration (§5.3). This facade mirrors that workflow:
+///
+///   * `JPhaser(initial_parties)` — books parties (Figure 2 line 1:
+///     `new Phaser(1)` books one for the parent);
+///   * `register_party()`         — books one more party (Figure 2 line 4);
+///   * `bind_current()`           — the JArmus.register analogue: the
+///     calling task claims one booked party and becomes a verified member.
+///
+/// Java semantics demand that an unarrived party hold the phase back, so
+/// every booked-but-unbound party is backed by a synthetic signal-only
+/// *guard* member pinned at the booking phase; binding swaps the guard for
+/// the real task. A party that is never bound therefore blocks the barrier
+/// exactly as an unarrived Java party would.
+///
+/// Arrival methods follow Java naming. A task must bind before arriving —
+/// the facade refuses to run unverifiable programs, making the paper's
+/// annotation requirement explicit.
+namespace armus::rt {
+
+class JPhaser {
+ public:
+  explicit JPhaser(std::size_t initial_parties = 0, Verifier* verifier = nullptr);
+  ~JPhaser();
+
+  JPhaser(const JPhaser&) = delete;
+  JPhaser& operator=(const JPhaser&) = delete;
+
+  /// Books one more party (Java's `register()`; renamed — `register` is a
+  /// C++ keyword).
+  void register_party();
+
+  /// Claims a booked party for the calling task. Thereafter the task is a
+  /// full signal+wait member at the current phase.
+  void bind_current();
+
+  /// Java `arrive()`: signal this phase, do not wait. Returns the phase
+  /// number the task arrived at (its new local phase - 1 in PL terms).
+  Phase arrive();
+
+  /// Java `arriveAndAwaitAdvance()`: one full barrier step.
+  void arrive_and_await_advance();
+
+  /// Java `arriveAndDeregister()`: signal and leave; never blocks.
+  void arrive_and_deregister();
+
+  /// Java `awaitAdvance(phase)`: wait until the phaser's phase exceeds
+  /// `phase` (no membership required).
+  void await_advance(Phase phase);
+
+  /// Java `getPhase()`: the current (observed) phase; 0 while nobody moved.
+  [[nodiscard]] Phase phase() const;
+
+  /// Booked parties not yet bound to a task.
+  [[nodiscard]] std::size_t unbound_parties() const;
+
+  [[nodiscard]] std::shared_ptr<ph::Phaser> underlying() const { return phaser_; }
+
+ private:
+  void add_guard();
+
+  std::shared_ptr<ph::Phaser> phaser_;
+  mutable std::mutex mutex_;
+  std::vector<TaskId> guards_;  // one synthetic member per unbound party
+};
+
+}  // namespace armus::rt

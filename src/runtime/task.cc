@@ -1,0 +1,94 @@
+#include "runtime/task.h"
+
+#include "util/log.h"
+
+namespace armus::rt {
+
+namespace {
+thread_local std::unique_ptr<TaskContext> t_context;
+}  // namespace
+
+void TaskContext::add_termination_drop(std::shared_ptr<ph::Phaser> phaser) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  drops_.push_back(std::move(phaser));
+}
+
+void TaskContext::run_termination_drops() {
+  std::vector<std::shared_ptr<ph::Phaser>> drops;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drops.swap(drops_);
+  }
+  for (auto& phaser : drops) {
+    if (phaser->is_registered(id_)) phaser->deregister(id_);
+  }
+}
+
+TaskContext& current_context() {
+  if (!t_context) {
+    t_context = std::make_unique<TaskContext>(fresh_task_id(), default_verifier());
+  }
+  return *t_context;
+}
+
+TaskId current_task() { return current_context().id(); }
+
+Verifier* ambient_verifier() {
+  Verifier* v = current_context().verifier();
+  return v != nullptr ? v : default_verifier();
+}
+
+Task::~Task() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Task::join() {
+  if (thread_.joinable()) thread_.join();
+  if (shared_ && shared_->error) {
+    std::exception_ptr error = shared_->error;
+    shared_->error = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+Task spawn_as(TaskId child, std::function<void()> body, Verifier* verifier,
+              const std::string& name) {
+  if (verifier == nullptr) verifier = ambient_verifier();
+  if (verifier != nullptr && !name.empty()) verifier->set_task_name(child, name);
+  bind_task_verifier(child, verifier);
+
+  Task task;
+  task.id_ = child;
+  task.shared_ = std::make_shared<Task::Shared>();
+  auto shared = task.shared_;
+  task.thread_ = std::thread([child, verifier, shared, body = std::move(body)] {
+    t_context = std::make_unique<TaskContext>(child, verifier);
+    try {
+      body();
+    } catch (...) {
+      shared->error = std::current_exception();
+    }
+    // X10/HJ-style cleanup for runtime-managed barriers (clocks, finish).
+    t_context->run_termination_drops();
+    unbind_task_verifier(child);
+  });
+  return task;
+}
+
+Task spawn_with(const std::function<void(TaskId)>& pre_start,
+                std::function<void()> body, Verifier* verifier,
+                const std::string& name) {
+  if (verifier == nullptr) verifier = ambient_verifier();
+  TaskId child = fresh_task_id();
+  // Bind before pre_start so parent-side registrations route the child's
+  // bookkeeping to the child's verifier (site) from the start.
+  bind_task_verifier(child, verifier);
+  if (pre_start) pre_start(child);
+  return spawn_as(child, std::move(body), verifier, name);
+}
+
+Task spawn(std::function<void()> body, Verifier* verifier, const std::string& name) {
+  return spawn_with(nullptr, std::move(body), verifier, name);
+}
+
+}  // namespace armus::rt

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "phaser/phaser.h"
+
+/// The task layer: our stand-in for the X10/Java runtimes, built on
+/// std::thread. Every task has a TaskId and an ambient Verifier; both are
+/// carried in a thread-local TaskContext so runtime objects (clocks,
+/// barriers, finish blocks) can attribute blocking events to the right task
+/// without threading ids through every call (the "task observer" of §5.3).
+namespace armus::rt {
+
+/// Per-task state. Foreign threads (e.g. `main`) get a context lazily on
+/// first use, so examples can use the runtime without ceremony.
+class TaskContext {
+ public:
+  TaskContext(TaskId id, Verifier* verifier) : id_(id), verifier_(verifier) {}
+
+  [[nodiscard]] TaskId id() const { return id_; }
+  [[nodiscard]] Verifier* verifier() const { return verifier_; }
+  void set_verifier(Verifier* verifier) { verifier_ = verifier; }
+
+  /// Schedules `phaser` to be dropped when the task terminates, mirroring
+  /// the X10/HJ rule that "tasks deregister from all barriers upon
+  /// termination" (§7, Deadlock avoidance). Java-style phasers do *not*
+  /// use this — a dead registered party keeps impeding, which is the real
+  /// (and detectable) Java behaviour.
+  void add_termination_drop(std::shared_ptr<ph::Phaser> phaser);
+
+  /// Runs the termination drops; idempotent.
+  void run_termination_drops();
+
+ private:
+  TaskId id_;
+  Verifier* verifier_;
+  std::mutex mutex_;
+  std::vector<std::shared_ptr<ph::Phaser>> drops_;
+};
+
+/// The calling thread's context (created on demand for foreign threads).
+TaskContext& current_context();
+
+/// The calling thread's task id.
+TaskId current_task();
+
+/// The calling thread's verifier: the context's if set, else the process
+/// default. May be nullptr (verification off).
+Verifier* ambient_verifier();
+
+/// Join handle for a spawned task. Joining rethrows the task's exception,
+/// if any. The destructor joins (never detaches) — a deliberate choice: a
+/// silently detached deadlocked task would defeat the purpose of this
+/// library.
+class Task {
+ public:
+  Task() = default;
+  Task(Task&&) = default;
+  Task& operator=(Task&&) = default;
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task();
+
+  [[nodiscard]] bool joinable() const { return thread_.joinable(); }
+  [[nodiscard]] TaskId id() const { return id_; }
+
+  /// Waits for completion and rethrows the task's exception, if any.
+  void join();
+
+ private:
+  friend Task spawn_as(TaskId child, std::function<void()> body,
+                       Verifier* verifier, const std::string& name);
+
+  struct Shared {
+    std::exception_ptr error;
+  };
+
+  TaskId id_ = kInvalidTask;
+  std::thread thread_;
+  std::shared_ptr<Shared> shared_;
+};
+
+/// Spawns a task running `body`.
+///
+/// `pre_start(child_id)` runs on the *parent*, before the thread launches —
+/// this is where clocks/finish phasers register the child with its inherited
+/// phase (PL's `t = newTid(); reg(p, t); fork(t)` sequence). `verifier`
+/// nullptr inherits the parent's ambient verifier. `name` labels the task in
+/// deadlock reports.
+Task spawn_with(const std::function<void(TaskId)>& pre_start,
+                std::function<void()> body, Verifier* verifier = nullptr,
+                const std::string& name = {});
+
+/// Spawns a task under a caller-allocated id (from fresh_task_id()). This
+/// is the fully explicit PL pattern — newTid, *all* registrations, then
+/// fork — for launching whole gangs: allocate every id, register every
+/// task on the shared barriers, and only then start any thread, so no
+/// early starter can race the clock ahead of an unregistered sibling.
+/// The caller must bind_task_verifier first (or pass the same verifier
+/// here) when registrations must route to a specific site.
+Task spawn_as(TaskId child, std::function<void()> body,
+              Verifier* verifier = nullptr, const std::string& name = {});
+
+/// Spawns a plain task (no registrations).
+Task spawn(std::function<void()> body, Verifier* verifier = nullptr,
+           const std::string& name = {});
+
+}  // namespace armus::rt

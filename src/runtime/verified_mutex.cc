@@ -1,0 +1,102 @@
+#include "runtime/verified_mutex.h"
+
+namespace armus::rt {
+
+VerifiedMutex::VerifiedMutex(Verifier* verifier)
+    : uid_(fresh_phaser_uid()),
+      verifier_(verifier != nullptr ? verifier : ambient_verifier()) {}
+
+void VerifiedMutex::lock() {
+  TaskId task = current_task();
+  const bool verified =
+      verifier_ != nullptr && verifier_->mode() != VerifyMode::kOff;
+
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  if (owner_ == task) {  // reentrant acquire
+    ++depth_;
+    return;
+  }
+  const bool avoidance =
+      verified && verifier_->mode() == VerifyMode::kAvoidance;
+  while (owner_ != kInvalidTask) {
+    // Publish: waiting for the next release event at the current generation.
+    // If ownership changes hands while we sleep, the loop republishes with
+    // the fresh generation so the holder edge is never stale.
+    Phase waited = generation_ + 1;
+    BlockedStatus status;
+    if (verified) {
+      status.task = task;
+      status.waits.push_back(Resource{uid_, waited});
+      lock.unlock();
+      verifier_->before_block(status);  // may throw DeadlockAvoidedError
+      lock.lock();
+      // State may have moved while unlocked; re-evaluate from scratch.
+      if (owner_ == kInvalidTask || generation_ + 1 != waited) {
+        verifier_->after_unblock(task);
+        continue;
+      }
+    }
+    auto moved = [&] { return owner_ == kInvalidTask || generation_ + 1 != waited; };
+    if (avoidance) {
+      // Poll the doom check while asleep so a cycle closed by a later
+      // blocker also interrupts this task (§2.1 behaviour).
+      const auto recheck = verifier_->config().avoidance_recheck;
+      while (!moved()) {
+        cv_.wait_for(lock, recheck, moved);
+        if (moved()) break;
+        lock.unlock();
+        verifier_->recheck_blocked(status);  // may throw, status withdrawn
+        lock.lock();
+      }
+    } else {
+      cv_.wait(lock, moved);
+    }
+    if (verified) verifier_->after_unblock(task);
+  }
+  owner_ = task;
+  depth_ = 1;
+  // The holder impedes (uid, generation_ + 1) — published as a registry
+  // entry with "local phase" = current generation (Definition 4.1 rule).
+  if (verified) verifier_->registry().set_entry(task, uid_, generation_);
+}
+
+bool VerifiedMutex::try_lock() {
+  TaskId task = current_task();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (owner_ == task) {
+    ++depth_;
+    return true;
+  }
+  if (owner_ != kInvalidTask) return false;
+  owner_ = task;
+  depth_ = 1;
+  if (verifier_ != nullptr && verifier_->mode() != VerifyMode::kOff) {
+    verifier_->registry().set_entry(task, uid_, generation_);
+  }
+  return true;
+}
+
+void VerifiedMutex::unlock() {
+  TaskId task = current_task();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (owner_ != task) {
+      throw std::logic_error("VerifiedMutex::unlock by non-owner task t" +
+                             std::to_string(task));
+    }
+    if (--depth_ > 0) return;
+    owner_ = kInvalidTask;
+    ++generation_;  // the release event: (uid, generation_) has now occurred
+    if (verifier_ != nullptr && verifier_->mode() != VerifyMode::kOff) {
+      verifier_->registry().remove_entry(task, uid_);
+    }
+  }
+  cv_.notify_all();
+}
+
+bool VerifiedMutex::held_by_current() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return owner_ == current_task();
+}
+
+}  // namespace armus::rt

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "runtime/task.h"
+
+/// A reentrant lock with Armus verification — the ReentrantLock support of
+/// JArmus (§5.3), folded into the same event-based dependency model as
+/// barriers:
+///
+///   * the lock carries a monotonic *release generation* g (a logical
+///     clock): acquiring the free lock at generation g and releasing it
+///     produces generation g+1;
+///   * a task blocked acquiring the lock waits for event (lock, g+1);
+///   * the holder impedes that event, published as the registry entry
+///     (lock, g) — exactly the `local phase < waited phase` rule used for
+///     phasers (Definition 4.1), so lock/lock, lock/barrier and
+///     barrier/barrier cycles all surface in one graph analysis.
+namespace armus::rt {
+
+class VerifiedMutex {
+ public:
+  explicit VerifiedMutex(Verifier* verifier = nullptr);
+
+  VerifiedMutex(const VerifiedMutex&) = delete;
+  VerifiedMutex& operator=(const VerifiedMutex&) = delete;
+
+  /// Acquires the lock (reentrant). In avoidance mode throws
+  /// DeadlockAvoidedError instead of blocking into a cycle.
+  void lock();
+
+  /// Non-blocking acquire attempt.
+  bool try_lock();
+
+  /// Releases one level of ownership; fully releasing advances the release
+  /// generation and wakes waiters. Throws if the caller is not the owner.
+  void unlock();
+
+  [[nodiscard]] bool held_by_current() const;
+
+  /// The lock's uid in deadlock reports (it shares the phaser id space).
+  [[nodiscard]] PhaserUid uid() const { return uid_; }
+
+  /// RAII guard.
+  class Guard {
+   public:
+    explicit Guard(VerifiedMutex& mutex) : mutex_(mutex) { mutex_.lock(); }
+    ~Guard() { mutex_.unlock(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    VerifiedMutex& mutex_;
+  };
+
+ private:
+  const PhaserUid uid_;
+  Verifier* const verifier_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable cv_;
+  TaskId owner_ = kInvalidTask;
+  std::size_t depth_ = 0;
+  Phase generation_ = 0;  // release generation (logical clock)
+};
+
+}  // namespace armus::rt

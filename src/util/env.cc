@@ -1,0 +1,58 @@
+#include "util/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace armus::util {
+
+std::optional<std::string> env_str(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  auto raw = env_str(name);
+  if (!raw) return fallback;
+  std::size_t pos = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(*raw, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(name + ": expected an integer, got '" + *raw + "'");
+  }
+  if (pos != raw->size()) {
+    throw std::invalid_argument(name + ": trailing junk in '" + *raw + "'");
+  }
+  return value;
+}
+
+double env_double(const std::string& name, double fallback) {
+  auto raw = env_str(name);
+  if (!raw) return fallback;
+  std::size_t pos = 0;
+  double value = 0;
+  try {
+    value = std::stod(*raw, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(name + ": expected a number, got '" + *raw + "'");
+  }
+  if (pos != raw->size()) {
+    throw std::invalid_argument(name + ": trailing junk in '" + *raw + "'");
+  }
+  return value;
+}
+
+bool env_bool(const std::string& name, bool fallback) {
+  auto raw = env_str(name);
+  if (!raw) return fallback;
+  std::string v = *raw;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument(name + ": expected a boolean, got '" + *raw + "'");
+}
+
+}  // namespace armus::util

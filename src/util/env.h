@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+/// Environment-variable configuration helpers.
+///
+/// All tunables of the library and the benchmark harness are read through
+/// these functions so that a single `ARMUS_*` naming convention applies and
+/// malformed values fail loudly instead of being silently ignored.
+namespace armus::util {
+
+/// Returns the raw value of environment variable `name`, if set and non-empty.
+std::optional<std::string> env_str(const std::string& name);
+
+/// Returns `name` parsed as a signed 64-bit integer, or `fallback` when unset.
+/// Throws std::invalid_argument when the variable is set but not numeric.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Returns `name` parsed as a double, or `fallback` when unset.
+/// Throws std::invalid_argument when the variable is set but not numeric.
+double env_double(const std::string& name, double fallback);
+
+/// Returns `name` parsed as a boolean (1/0, true/false, yes/no, on/off;
+/// case-insensitive), or `fallback` when unset.
+/// Throws std::invalid_argument for any other value.
+bool env_bool(const std::string& name, bool fallback);
+
+}  // namespace armus::util

@@ -1,0 +1,49 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/env.h"
+
+namespace armus::util {
+
+namespace {
+
+LogLevel initial_level() {
+  auto raw = env_str("ARMUS_LOG_LEVEL");
+  if (!raw) return LogLevel::kWarn;
+  if (*raw == "debug") return LogLevel::kDebug;
+  if (*raw == "info") return LogLevel::kInfo;
+  if (*raw == "warn") return LogLevel::kWarn;
+  if (*raw == "error") return LogLevel::kError;
+  if (*raw == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[armus %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace armus::util

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+/// Minimal thread-safe logging. The verification library reports deadlocks
+/// through callbacks; logging is for diagnostics only and is off by default
+/// below `Level::kWarn` (override with ARMUS_LOG_LEVEL=debug|info|warn|error).
+namespace armus::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current log threshold (initialised from ARMUS_LOG_LEVEL).
+LogLevel log_level();
+
+/// Overrides the log threshold for the process.
+void set_log_level(LogLevel level);
+
+/// Emits one line to stderr if `level` passes the threshold. Thread-safe.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_line(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace armus::util

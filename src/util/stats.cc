@@ -1,0 +1,84 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/timer.h"
+
+namespace armus::util {
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  s.count = samples.size();
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double sq = 0.0;
+    for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.count - 1));
+    s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  }
+  return s;
+}
+
+Summary run_samples(std::size_t samples, const std::function<void()>& body) {
+  body();  // warm-up sample, discarded per Georges et al.
+  std::vector<double> times;
+  times.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    Stopwatch sw;
+    body();
+    times.push_back(sw.seconds());
+  }
+  return summarize(times);
+}
+
+double relative_overhead(const Summary& measured, const Summary& baseline) {
+  if (baseline.mean == 0.0) return 0.0;
+  return (measured.mean - baseline.mean) / baseline.mean;
+}
+
+std::string format_overhead(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+WelchResult welch_t_test(const Summary& a, const Summary& b) {
+  WelchResult result;
+  if (a.count < 2 || b.count < 2) return result;
+  double va = (a.stddev * a.stddev) / static_cast<double>(a.count);
+  double vb = (b.stddev * b.stddev) / static_cast<double>(b.count);
+  double se = std::sqrt(va + vb);
+  if (se == 0.0) {
+    // Identical, noiseless samples: no evidence of a difference unless the
+    // means themselves differ (then the difference is exact).
+    result.significant_at_5pct = a.mean != b.mean;
+    result.t = result.significant_at_5pct ? INFINITY : 0.0;
+    return result;
+  }
+  result.t = (a.mean - b.mean) / se;
+  double num = (va + vb) * (va + vb);
+  double den = va * va / static_cast<double>(a.count - 1) +
+               vb * vb / static_cast<double>(b.count - 1);
+  result.degrees_of_freedom = den > 0 ? num / den : 1.0;
+
+  // Two-sided 5% critical values of Student's t for small df; beyond 30 df
+  // the normal approximation (1.96) is accurate to ~1%.
+  static constexpr double kCritical[] = {
+      0,     12.71, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  int df = static_cast<int>(result.degrees_of_freedom);
+  double critical = df >= 30 ? 1.96 : kCritical[std::max(df, 1)];
+  result.significant_at_5pct = std::fabs(result.t) > critical;
+  return result;
+}
+
+}  // namespace armus::util

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+/// Statistics for the benchmark harness.
+///
+/// The paper (Section 6) follows the start-up performance methodology of
+/// Georges et al. [OOPSLA'07]: take k+1 samples of the execution time,
+/// discard the first (warm-up), and report the mean of the remaining k with
+/// a 95% confidence interval computed with the standard normal z-statistic.
+/// `run_samples` implements exactly that protocol; the paper uses k = 30,
+/// our benches default to a smaller k (configurable via ARMUS_BENCH_SAMPLES)
+/// to keep the full suite fast.
+namespace armus::util {
+
+/// Summary statistics over a set of samples.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   // sample standard deviation (n-1 denominator)
+  double ci95 = 0.0;     // 95% CI half-width: 1.96 * stddev / sqrt(n)
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Relative half-width of the confidence interval (ci95 / mean).
+  [[nodiscard]] double ci95_rel() const { return mean != 0.0 ? ci95 / mean : 0.0; }
+};
+
+/// Computes summary statistics for `samples`. Returns a zeroed Summary for
+/// an empty input.
+Summary summarize(const std::vector<double>& samples);
+
+/// Runs `body` `samples + 1` times, discards the first run, and summarises
+/// the wall-clock seconds of the remaining runs (Georges et al. protocol).
+Summary run_samples(std::size_t samples, const std::function<void()>& body);
+
+/// Relative overhead of `measured` versus `baseline` means: (m - b) / b.
+double relative_overhead(const Summary& measured, const Summary& baseline);
+
+/// Renders an overhead fraction as the paper prints it, e.g. "7%", "-4%".
+std::string format_overhead(double fraction);
+
+/// Welch's two-sample t statistic for the difference of means, with the
+/// Welch-Satterthwaite degrees of freedom. Used to back the paper's §6.2
+/// claim of "no statistical evidence of an execution overhead": at the 5%
+/// level, |t| below the critical value means the checked and unchecked
+/// means are statistically indistinguishable.
+struct WelchResult {
+  double t = 0.0;
+  double degrees_of_freedom = 0.0;
+  bool significant_at_5pct = false;
+};
+
+WelchResult welch_t_test(const Summary& a, const Summary& b);
+
+}  // namespace armus::util

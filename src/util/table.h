@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// Plain-text table rendering for the benchmark harness. Each bench binary
+/// prints rows in the same layout as the corresponding paper table, plus a
+/// machine-readable CSV block for downstream processing.
+namespace armus::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with aligned columns.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders the table as CSV (header + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string fmt_double(double value, int digits = 2);
+
+}  // namespace armus::util

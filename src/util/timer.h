@@ -1,0 +1,32 @@
+#pragma once
+
+#include <chrono>
+
+/// Monotonic wall-clock stopwatch used by the verification scanner and the
+/// benchmark harness.
+namespace armus::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace armus::util

@@ -1,0 +1,116 @@
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/clocked_var.h"
+#include "runtime/finish.h"
+#include "workloads/workload.h"
+
+/// FI — iterative Fibonacci over clocked variables (§6.3): n tasks, one
+/// clocked variable each. Following the X10 clocked-variable design
+/// [Atkins et al.], *readers are full members* of a variable's barrier:
+/// variable i synchronises its writer (task i) with its readers (tasks i+1
+/// and i+2). Every task is therefore registered with up to three barriers,
+/// which is what gives FI its distinctive Table 3 profile — the SG carries
+/// more edges than the WFG ("more resources than tasks").
+///
+/// Protocol per task i:
+///   1. arrive at the two input variables (split-phase signal: "at the
+///      read point");
+///   2. await phase 1 of each input — satisfied once its writer has
+///      published *and* the sibling reader has arrived;
+///   3. read the inputs, compute fib(i);
+///   4. put into variable i (publish for phase 1 + arrive).
+///
+/// A start gate holds every task until all are spawned, so the whole chain
+/// is concurrently blocked — the worst-case dependency-graph shape the
+/// paper measures.
+namespace armus::wl {
+
+RunResult run_fi(const RunConfig& config) {
+  // fib(92) overflows uint64; stay safely below.
+  const std::size_t n =
+      std::min<std::size_t>(90, 24 * static_cast<std::size_t>(config.scale));
+
+  std::vector<std::unique_ptr<rt::ClockedVar<std::uint64_t>>> vars;
+  vars.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vars.push_back(
+        std::make_unique<rt::ClockedVar<std::uint64_t>>(config.verifier));
+  }
+
+  std::atomic<bool> start{false};
+  std::uint64_t result_value = 0;
+
+  {
+    rt::Finish finish(config.verifier);
+    for (std::size_t i = 0; i < n; ++i) {
+      finish.spawn_with(
+          // Membership of variable i's barrier: writer i plus its actual
+          // readers — the parent registers all roles before any task runs
+          // (no reader can miss a phase, no clock can rewind). Tasks 0 and
+          // 1 read nothing, so they join only their own variable.
+          [&, i](TaskId child) {
+            vars[i]->underlying()->register_task(child, 0,
+                                                 ph::RegMode::kSigWait);
+            if (i >= 2) {
+              vars[i - 1]->underlying()->register_task(child, 0,
+                                                       ph::RegMode::kSigWait);
+              vars[i - 2]->underlying()->register_task(child, 0,
+                                                       ph::RegMode::kSigWait);
+            }
+          },
+          [&, i] {
+            while (!start.load(std::memory_order_acquire)) {
+              std::this_thread::yield();
+            }
+            TaskId self = rt::current_task();
+            std::uint64_t value;
+            if (i < 2) {
+              value = 1;
+            } else {
+              auto& a = *vars[i - 1];
+              auto& b = *vars[i - 2];
+              // Split-phase: signal presence at both read points first, so
+              // the sibling readers are not held back by us...
+              a.underlying()->arrive(self);
+              b.underlying()->arrive(self);
+              // ...then wait for the writers (and sibling readers).
+              a.underlying()->await(self, 1);
+              b.underlying()->await(self, 1);
+              value = a.peek(1) + b.peek(1);
+            }
+            vars[i]->put(value);  // publish for phase 1 + arrive
+            if (i == n - 1) result_value = value;
+            // Retire from the input barriers; variable i's own membership
+            // is dropped when readers finish (or at phaser destruction).
+            if (i >= 2) {
+              vars[i - 1]->underlying()->deregister(self);
+              vars[i - 2]->underlying()->deregister(self);
+            }
+          },
+          "fi-" + std::to_string(i));
+    }
+    start.store(true, std::memory_order_release);
+    finish.wait();
+  }
+
+  // Serial validation.
+  std::uint64_t a = 1, b = 1;
+  for (std::size_t i = 2; i < n; ++i) {
+    std::uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  std::uint64_t expected = n >= 2 ? b : 1;
+
+  RunResult result;
+  result.checksum = static_cast<double>(result_value % 1000000007ull);
+  result.valid = result_value == expected;
+  result.detail =
+      "fib(" + std::to_string(n - 1) + ") = " + std::to_string(result_value);
+  return result;
+}
+
+}  // namespace armus::wl

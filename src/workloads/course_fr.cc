@@ -1,0 +1,60 @@
+#include <memory>
+
+#include "runtime/clocked_var.h"
+#include "runtime/finish.h"
+#include "workloads/workload.h"
+
+/// FR — recursive Fibonacci (§6.3): recursive calls run in parallel, and a
+/// single-write clocked variable (a future) synchronises each caller with
+/// its callee. Tasks and barriers are created dynamically in the recursion
+/// — the fork/join shape where "it can happen that there are as many join
+/// barriers as there are tasks" (§2.2).
+namespace armus::wl {
+
+namespace {
+
+std::uint64_t fib_parallel(int n, Verifier* verifier) {
+  if (n < 2) return 1;
+  auto left = std::make_unique<rt::ClockedVar<std::uint64_t>>(verifier);
+  auto right = std::make_unique<rt::ClockedVar<std::uint64_t>>(verifier);
+
+  rt::Finish finish(verifier);
+  finish.spawn_with(
+      [&](TaskId child) { left->register_writer(child); },
+      [&, n] {
+        left->put(fib_parallel(n - 1, verifier));
+        left->deregister();
+      });
+  finish.spawn_with(
+      [&](TaskId child) { right->register_writer(child); },
+      [&, n] {
+        right->put(fib_parallel(n - 2, verifier));
+        right->deregister();
+      });
+
+  // Futures synchronise caller and callees; the finish then reaps them.
+  std::uint64_t result = left->get(1) + right->get(1);
+  finish.wait();
+  return result;
+}
+
+std::uint64_t fib_serial(int n) {
+  return n < 2 ? 1 : fib_serial(n - 1) + fib_serial(n - 2);
+}
+
+}  // namespace
+
+RunResult run_fr(const RunConfig& config) {
+  // Task count grows as fib(n); keep the tree laptop-sized.
+  const int n = std::min(14, 9 + config.scale);
+  std::uint64_t got = fib_parallel(n, config.verifier);
+  std::uint64_t expected = fib_serial(n);
+
+  RunResult result;
+  result.checksum = static_cast<double>(got);
+  result.valid = got == expected;
+  result.detail = "fib(" + std::to_string(n) + ") = " + std::to_string(got);
+  return result;
+}
+
+}  // namespace armus::wl

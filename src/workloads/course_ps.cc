@@ -1,0 +1,55 @@
+#include <vector>
+
+#include "runtime/clock.h"
+#include "workloads/workload.h"
+
+/// PS — parallel prefix sum (§6.3): one task per array element, all
+/// synchronised by a single global barrier (a clock), stepping through the
+/// Hillis-Steele doubling algorithm. The extreme "many tasks, one barrier"
+/// shape: its WFG is huge while its SG has a handful of edges (Table 3:
+/// 781 vs 6).
+namespace armus::wl {
+
+RunResult run_ps(const RunConfig& config) {
+  const std::size_t n = 48 * static_cast<std::size_t>(config.scale);
+  std::vector<std::uint64_t> buf_a(n), buf_b(n);
+  for (std::size_t i = 0; i < n; ++i) buf_a[i] = (i * 2654435761u) % 1000;
+  const std::vector<std::uint64_t> input = buf_a;
+
+  rt::Clock clock = rt::Clock::make(config.verifier);
+  rt::Finish finish(config.verifier);
+  for (std::size_t i = 0; i < n; ++i) {
+    rt::async_clocked(finish, {clock}, [&, i] {
+      std::vector<std::uint64_t>* src = &buf_a;
+      std::vector<std::uint64_t>* dst = &buf_b;
+      for (std::size_t stride = 1; stride < n; stride *= 2) {
+        std::uint64_t value = (*src)[i];
+        if (i >= stride) value += (*src)[i - stride];
+        (*dst)[i] = value;
+        clock.advance();  // everyone wrote dst; safe to swap roles
+        std::swap(src, dst);
+        clock.advance();  // everyone swapped; safe to overwrite dst
+      }
+      if (src != &buf_a) buf_a[i] = (*src)[i];  // normalise result location
+    });
+  }
+  clock.drop();
+  finish.wait();
+
+  // Serial validation: inclusive prefix sum.
+  std::uint64_t running = 0;
+  bool valid = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    running += input[i];
+    if (buf_a[i] != running) valid = false;
+  }
+
+  RunResult result;
+  result.checksum = static_cast<double>(buf_a[n - 1] % 1000000007ull);
+  result.valid = valid;
+  result.detail = valid ? "prefix sums match serial"
+                        : "prefix sum mismatch";
+  return result;
+}
+
+}  // namespace armus::wl

@@ -1,0 +1,110 @@
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/clocked_var.h"
+#include "runtime/finish.h"
+#include "workloads/workload.h"
+
+/// SE — Sieve of Eratosthenes over clocked variables (§6.3): one task per
+/// prime, one clocked variable per task. Stages form a dataflow pipeline:
+/// the driver streams candidates into stage 1; each stage filters multiples
+/// of its prime and streams survivors to the next stage it spawns on
+/// demand. Similar task and barrier counts — the shape where all graph
+/// models perform alike (Table 3 SE).
+namespace armus::wl {
+
+namespace {
+
+constexpr std::uint32_t kEndOfStream = 0;
+
+struct SieveShared {
+  Verifier* verifier = nullptr;
+  std::mutex primes_mutex;
+  std::vector<std::uint32_t> primes;
+};
+
+using Stream = rt::ClockedVar<std::uint32_t>;
+
+/// One pipeline stage: consumes `input` phase by phase; the first value is
+/// this stage's prime; survivors flow to a lazily spawned next stage.
+void sieve_stage(std::shared_ptr<Stream> input, SieveShared* shared,
+                 rt::Finish* finish) {
+  Phase phase = 1;
+  std::uint32_t prime = input->get(phase);
+  if (prime == kEndOfStream) return;
+  {
+    std::lock_guard<std::mutex> lock(shared->primes_mutex);
+    shared->primes.push_back(prime);
+  }
+
+  std::shared_ptr<Stream> output;
+  for (;;) {
+    ++phase;
+    std::uint32_t value = input->get(phase);
+    input->prune(phase);  // sole consumer: drop delivered values
+    if (value == kEndOfStream) {
+      if (output) {
+        output->put(kEndOfStream);
+        output->deregister();
+      }
+      return;
+    }
+    if (value % prime == 0) continue;
+    if (!output) {
+      output = std::make_shared<Stream>(shared->verifier);
+      // This stage is the writer; claim the stream *before* the consumer
+      // exists so phase 1 cannot be observed unclaimed.
+      output->register_writer();
+      auto next_input = output;
+      finish->spawn([next_input, shared, finish] {
+        sieve_stage(next_input, shared, finish);
+      });
+    }
+    output->put(value);
+  }
+}
+
+}  // namespace
+
+RunResult run_se(const RunConfig& config) {
+  const std::uint32_t limit = 150 * static_cast<std::uint32_t>(config.scale);
+  SieveShared shared;
+  shared.verifier = config.verifier;
+
+  {
+    rt::Finish finish(config.verifier);
+    auto first = std::make_shared<Stream>(config.verifier);
+    first->register_writer();  // the driver feeds the first stage
+    finish.spawn([first, &shared, &finish] {
+      sieve_stage(first, &shared, &finish);
+    });
+    for (std::uint32_t candidate = 2; candidate <= limit; ++candidate) {
+      first->put(candidate);
+    }
+    first->put(kEndOfStream);
+    first->deregister();
+    finish.wait();
+  }
+
+  // Serial sieve for validation.
+  std::vector<bool> composite(limit + 1, false);
+  std::vector<std::uint32_t> expected;
+  for (std::uint32_t p = 2; p <= limit; ++p) {
+    if (composite[p]) continue;
+    expected.push_back(p);
+    for (std::uint32_t q = p * 2; q <= limit; q += p) composite[q] = true;
+  }
+
+  std::sort(shared.primes.begin(), shared.primes.end());
+  bool valid = shared.primes == expected;
+
+  RunResult result;
+  result.checksum = static_cast<double>(shared.primes.size());
+  result.valid = valid;
+  result.detail = "found " + std::to_string(shared.primes.size()) +
+                  " primes up to " + std::to_string(limit);
+  return result;
+}
+
+}  // namespace armus::wl

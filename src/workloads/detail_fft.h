@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+/// Shared 1D FFT used by the local (NPB) and distributed (HPCC) FT kernels.
+namespace armus::wl::detail {
+
+/// In-place iterative radix-2 Cooley-Tukey of `row[0..n)`; inverse when
+/// `invert` (without the 1/n normalisation — applied by the caller).
+inline void fft1d(std::complex<double>* row, std::size_t n, bool invert) {
+  using Cx = std::complex<double>;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(row[i], row[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2.0 * std::numbers::pi / static_cast<double>(len) *
+                   (invert ? 1.0 : -1.0);
+    Cx wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cx w(1.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        Cx u = row[i + j];
+        Cx v = row[i + j + len / 2] * w;
+        row[i + j] = u + v;
+        row[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace armus::wl::detail

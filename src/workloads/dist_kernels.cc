@@ -1,0 +1,491 @@
+#include "workloads/dist_kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <complex>
+#include <mutex>
+
+#include "phaser/phaser.h"
+#include "runtime/task.h"
+#include "util/rng.h"
+#include "workloads/detail_fft.h"
+#include "workloads/spmd.h"
+
+namespace armus::wl {
+
+namespace {
+
+/// Multi-site SPMD harness: `total_tasks` workers spread round-robin over
+/// the cluster's sites, all pre-registered on one shared phaser. Each
+/// worker's blocking events go to its own site's Armus instance via the
+/// task-verifier binding; the phaser itself carries site 0's verifier so
+/// checked/unchecked is decided by the cluster being present.
+void run_dist_spmd(const DistRunConfig& config,
+                   const std::function<void(int rank, ph::Phaser& barrier)>& body) {
+  Verifier* barrier_verifier =
+      config.cluster != nullptr ? &config.cluster->site(0).verifier() : nullptr;
+  auto barrier = ph::Phaser::create(barrier_verifier);
+
+  // The explicit PL gang launch: allocate every task name, bind each to its
+  // site, register all of them on the shared barrier, and only then fork —
+  // an early starter can therefore never advance the clock past a sibling
+  // that is still unregistered.
+  const int total = config.total_tasks();
+  std::vector<TaskId> ids;
+  ids.reserve(static_cast<std::size_t>(total));
+  for (int rank = 0; rank < total; ++rank) {
+    TaskId id = fresh_task_id();
+    bind_task_verifier(id, config.verifier_for(rank));
+    barrier->register_task(id, 0, ph::RegMode::kSigWait);
+    ids.push_back(id);
+  }
+
+  std::vector<rt::Task> workers;
+  workers.reserve(static_cast<std::size_t>(total));
+  for (int rank = 0; rank < total; ++rank) {
+    workers.push_back(rt::spawn_as(
+        ids[static_cast<std::size_t>(rank)],
+        [&body, rank, barrier] { body(rank, *barrier); },
+        config.verifier_for(rank), "dist-" + std::to_string(rank)));
+  }
+  std::exception_ptr first;
+  for (rt::Task& worker : workers) {
+    try {
+      worker.join();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+/// Barrier step for the calling worker.
+void step(ph::Phaser& barrier) { barrier.advance(rt::current_task()); }
+
+}  // namespace
+
+// --- JACOBI --------------------------------------------------------------------
+
+RunResult run_dist_jacobi(const DistRunConfig& config) {
+  const std::size_t g = 48 * static_cast<std::size_t>(config.scale);
+  const int iters = config.iterations > 0 ? config.iterations : 20;
+  const int total = config.total_tasks();
+
+  std::vector<double> a(g * g, 0.0), b(g * g, 0.0);
+  // Hot boundary at the top row (Dirichlet), zero elsewhere.
+  for (std::size_t j = 0; j < g; ++j) a[j] = b[j] = 100.0;
+
+  run_dist_spmd(config, [&](int rank, ph::Phaser& barrier) {
+    Range rows = partition(g - 2, total, rank);
+    std::vector<double>* src = &a;
+    std::vector<double>* dst = &b;
+    for (int it = 0; it < iters; ++it) {
+      for (std::size_t ri = rows.begin; ri < rows.end; ++ri) {
+        std::size_t i = ri + 1;
+        for (std::size_t j = 1; j + 1 < g; ++j) {
+          (*dst)[i * g + j] =
+              0.25 * ((*src)[(i - 1) * g + j] + (*src)[(i + 1) * g + j] +
+                      (*src)[i * g + j - 1] + (*src)[i * g + j + 1]);
+        }
+      }
+      step(barrier);  // halo exchange point
+      std::swap(src, dst);
+      step(barrier);  // everyone swapped before the next write
+    }
+  });
+
+  // Serial reference (identical arithmetic).
+  std::vector<double> ra(g * g, 0.0), rb(g * g, 0.0);
+  for (std::size_t j = 0; j < g; ++j) ra[j] = rb[j] = 100.0;
+  std::vector<double>* src = &ra;
+  std::vector<double>* dst = &rb;
+  for (int it = 0; it < iters; ++it) {
+    for (std::size_t i = 1; i + 1 < g; ++i) {
+      for (std::size_t j = 1; j + 1 < g; ++j) {
+        (*dst)[i * g + j] =
+            0.25 * ((*src)[(i - 1) * g + j] + (*src)[(i + 1) * g + j] +
+                    (*src)[i * g + j - 1] + (*src)[i * g + j + 1]);
+      }
+    }
+    std::swap(src, dst);
+  }
+  const std::vector<double>& parallel_result = (iters % 2 == 0) ? a : b;
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < g * g; ++i) {
+    max_diff = std::max(max_diff, std::abs(parallel_result[i] - (*src)[i]));
+  }
+
+  RunResult result;
+  result.checksum = 0.0;
+  for (double v : parallel_result) result.checksum += v;
+  result.valid = max_diff < 1e-12;
+  result.detail = "max deviation from serial " + std::to_string(max_diff);
+  return result;
+}
+
+// --- KMEANS --------------------------------------------------------------------
+
+RunResult run_dist_kmeans(const DistRunConfig& config) {
+  constexpr int kDim = 4;
+  const std::size_t n = 2000 * static_cast<std::size_t>(config.scale);
+  const std::size_t k = 8;
+  const int iters = config.iterations > 0 ? config.iterations : 5;
+  const int total = config.total_tasks();
+
+  std::vector<double> points(n * kDim);
+  util::Xoshiro256 rng(31);
+  for (double& v : points) v = rng.uniform() * 10.0;
+
+  auto assign_and_accumulate = [&](const std::vector<double>& centroids,
+                                   std::size_t lo, std::size_t hi,
+                                   std::vector<double>& sums,
+                                   std::vector<std::size_t>& counts,
+                                   double& inertia) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      double best = 1e300;
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double d2 = 0.0;
+        for (int d = 0; d < kDim; ++d) {
+          double diff = points[p * kDim + static_cast<std::size_t>(d)] -
+                        centroids[c * kDim + static_cast<std::size_t>(d)];
+          d2 += diff * diff;
+        }
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      inertia += best;
+      ++counts[best_c];
+      for (int d = 0; d < kDim; ++d) {
+        sums[best_c * kDim + static_cast<std::size_t>(d)] +=
+            points[p * kDim + static_cast<std::size_t>(d)];
+      }
+    }
+  };
+
+  // Shared per-rank partials.
+  std::vector<std::vector<double>> partial_sums(
+      static_cast<std::size_t>(total), std::vector<double>(k * kDim, 0.0));
+  std::vector<std::vector<std::size_t>> partial_counts(
+      static_cast<std::size_t>(total), std::vector<std::size_t>(k, 0));
+  std::vector<double> partial_inertia(static_cast<std::size_t>(total), 0.0);
+  std::vector<double> centroids(k * kDim);
+  for (std::size_t c = 0; c < k * kDim; ++c) centroids[c] = points[c];
+  double final_inertia = 0.0;
+
+  run_dist_spmd(config, [&](int rank, ph::Phaser& barrier) {
+    Range range = partition(n, total, rank);
+    std::vector<double> local_centroids = centroids;
+    for (int it = 0; it < iters; ++it) {
+      auto& sums = partial_sums[static_cast<std::size_t>(rank)];
+      auto& counts = partial_counts[static_cast<std::size_t>(rank)];
+      std::fill(sums.begin(), sums.end(), 0.0);
+      std::fill(counts.begin(), counts.end(), 0u);
+      partial_inertia[static_cast<std::size_t>(rank)] = 0.0;
+      assign_and_accumulate(local_centroids, range.begin, range.end, sums,
+                            counts, partial_inertia[static_cast<std::size_t>(rank)]);
+      step(barrier);  // all partials published
+      // Every rank recomputes the centroids deterministically.
+      for (std::size_t c = 0; c < k; ++c) {
+        std::size_t count = 0;
+        for (int t = 0; t < total; ++t) {
+          count += partial_counts[static_cast<std::size_t>(t)][c];
+        }
+        for (int d = 0; d < kDim; ++d) {
+          double sum = 0.0;
+          for (int t = 0; t < total; ++t) {
+            sum += partial_sums[static_cast<std::size_t>(t)]
+                               [c * kDim + static_cast<std::size_t>(d)];
+          }
+          if (count > 0) {
+            local_centroids[c * kDim + static_cast<std::size_t>(d)] =
+                sum / static_cast<double>(count);
+          }
+        }
+      }
+      step(barrier);  // partials consumed; next round may overwrite
+      if (rank == 0 && it == iters - 1) {
+        double inertia = 0.0;
+        for (int t = 0; t < total; ++t) {
+          inertia += partial_inertia[static_cast<std::size_t>(t)];
+        }
+        final_inertia = inertia;
+        centroids = local_centroids;
+      }
+    }
+  });
+
+  // Serial reference with identical initialisation and iteration count.
+  std::vector<double> ref_centroids(k * kDim);
+  for (std::size_t c = 0; c < k * kDim; ++c) ref_centroids[c] = points[c];
+  double ref_inertia = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    std::vector<double> sums(k * kDim, 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    ref_inertia = 0.0;
+    assign_and_accumulate(ref_centroids, 0, n, sums, counts, ref_inertia);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (int d = 0; d < kDim; ++d) {
+        ref_centroids[c * kDim + static_cast<std::size_t>(d)] =
+            sums[c * kDim + static_cast<std::size_t>(d)] /
+            static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  double max_diff = 0.0;
+  for (std::size_t c = 0; c < k * kDim; ++c) {
+    max_diff = std::max(max_diff, std::abs(centroids[c] - ref_centroids[c]));
+  }
+
+  RunResult result;
+  result.checksum = final_inertia;
+  result.valid = max_diff < 1e-9;
+  result.detail = "centroid deviation " + std::to_string(max_diff) +
+                  ", inertia " + std::to_string(final_inertia);
+  return result;
+}
+
+// --- SSCA2 ---------------------------------------------------------------------
+
+RunResult run_dist_ssca2(const DistRunConfig& config) {
+  // R-MAT-style scale-free graph; kernel: level-synchronised parallel BFS
+  // from several roots, counting visited vertices and traversed edges
+  // (the reachability core of SSCA2 kernel 4).
+  const std::size_t n = (static_cast<std::size_t>(1) << 10) *
+                        static_cast<std::size_t>(config.scale);
+  const std::size_t edges = 8 * n;
+  const int total = config.total_tasks();
+
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  util::Xoshiro256 rng(77);
+  for (std::size_t e = 0; e < edges; ++e) {
+    // R-MAT quadrant recursion with (a,b,c,d) = (.45,.2,.2,.15).
+    std::size_t u = 0, v = 0;
+    for (std::size_t bit = n >> 1; bit > 0; bit >>= 1) {
+      double r = rng.uniform();
+      if (r < 0.45) {
+      } else if (r < 0.65) {
+        v |= bit;
+      } else if (r < 0.85) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    if (u == v) continue;
+    adj[u].push_back(static_cast<std::uint32_t>(v));
+    adj[v].push_back(static_cast<std::uint32_t>(u));
+  }
+
+  const std::vector<std::uint32_t> roots{0, 1, 2, 3};
+  std::vector<std::size_t> visited_counts(roots.size(), 0);
+
+  // Shared BFS state: the frontier is partitioned per level, discovered
+  // vertices are claimed with CAS, and a barrier step closes every level.
+  std::vector<std::atomic<int>> dist(n);
+  std::vector<std::uint32_t> frontier;
+  std::mutex next_mutex;
+  std::vector<std::uint32_t> next_frontier;
+
+  run_dist_spmd(config, [&](int rank, ph::Phaser& barrier) {
+    for (std::size_t r = 0; r < roots.size(); ++r) {
+      if (rank == 0) {
+        for (auto& d : dist) d.store(-1, std::memory_order_relaxed);
+        dist[roots[r]].store(0);
+        frontier.assign(1, roots[r]);
+      }
+      step(barrier);  // shared BFS state ready
+      int level = 0;
+      for (;;) {
+        ++level;
+        Range part = partition(frontier.size(), total, rank);
+        std::vector<std::uint32_t> found;
+        for (std::size_t fi = part.begin; fi < part.end; ++fi) {
+          std::uint32_t u = frontier[fi];
+          for (std::uint32_t v : adj[u]) {
+            int expected = -1;
+            if (dist[v].compare_exchange_strong(expected, level)) {
+              found.push_back(v);
+            }
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(next_mutex);
+          next_frontier.insert(next_frontier.end(), found.begin(), found.end());
+        }
+        step(barrier);  // level complete
+        if (rank == 0) {
+          frontier = std::move(next_frontier);
+          next_frontier.clear();
+        }
+        step(barrier);  // frontier swapped
+        if (frontier.empty()) break;
+      }
+      if (rank == 0) {
+        std::size_t visited = 0;
+        for (const auto& d : dist) visited += (d.load() >= 0) ? 1 : 0;
+        visited_counts[r] = visited;
+      }
+      step(barrier);
+    }
+  });
+
+  // Serial validation of the visited counts.
+  bool valid = true;
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    std::vector<int> dist(n, -1);
+    std::vector<std::uint32_t> frontier{roots[r]};
+    dist[roots[r]] = 0;
+    std::size_t visited = 1;
+    int level = 0;
+    while (!frontier.empty()) {
+      ++level;
+      std::vector<std::uint32_t> next;
+      for (std::uint32_t u : frontier) {
+        for (std::uint32_t v : adj[u]) {
+          if (dist[v] == -1) {
+            dist[v] = level;
+            next.push_back(v);
+            ++visited;
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    if (visited != visited_counts[r]) valid = false;
+  }
+
+  RunResult result;
+  result.checksum = static_cast<double>(visited_counts[0]);
+  result.valid = valid;
+  result.detail = "visited " + std::to_string(visited_counts[0]) + " of " +
+                  std::to_string(n) + " vertices from root 0";
+  return result;
+}
+
+// --- STREAM --------------------------------------------------------------------
+
+RunResult run_dist_stream(const DistRunConfig& config) {
+  const std::size_t n = 200000 * static_cast<std::size_t>(config.scale);
+  const int reps = config.iterations > 0 ? config.iterations : 10;
+  const int total = config.total_tasks();
+  const double scalar = 3.0;
+
+  std::vector<double> a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = 1.0;
+    b[i] = 2.0;
+    c[i] = 0.0;
+  }
+
+  run_dist_spmd(config, [&](int rank, ph::Phaser& barrier) {
+    Range range = partition(n, total, rank);
+    for (int rep = 0; rep < reps; ++rep) {
+      for (std::size_t i = range.begin; i < range.end; ++i) c[i] = a[i];
+      step(barrier);  // COPY
+      for (std::size_t i = range.begin; i < range.end; ++i) b[i] = scalar * c[i];
+      step(barrier);  // SCALE
+      for (std::size_t i = range.begin; i < range.end; ++i) c[i] = a[i] + b[i];
+      step(barrier);  // ADD
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        a[i] = b[i] + scalar * c[i];
+      }
+      step(barrier);  // TRIAD
+    }
+  });
+
+  // Closed-form expected values after `reps` repetitions.
+  double ea = 1.0, eb = 2.0, ec = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    ec = ea;
+    eb = scalar * ec;
+    ec = ea + eb;
+    ea = eb + scalar * ec;
+  }
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < n; i += n / 97 + 1) {
+    max_diff = std::max({max_diff, std::abs(a[i] - ea), std::abs(b[i] - eb),
+                         std::abs(c[i] - ec)});
+  }
+
+  RunResult result;
+  result.checksum = ea;
+  result.valid = max_diff == 0.0;
+  result.detail = "max deviation from closed form " + std::to_string(max_diff);
+  return result;
+}
+
+// --- FT (distributed) -------------------------------------------------------------
+
+RunResult run_dist_ft(const DistRunConfig& config) {
+  using Cx = std::complex<double>;
+  std::size_t n = 32;
+  for (int s = 1; s < config.scale; ++s) n *= 2;
+  const int steps = config.iterations > 0 ? config.iterations : 2;
+  const int total = config.total_tasks();
+
+  std::vector<Cx> original(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      original[i * n + j] = Cx(std::cos(0.3 * static_cast<double>(i)),
+                               std::sin(0.5 * static_cast<double>(j)));
+    }
+  }
+  std::vector<Cx> a = original;
+  std::vector<Cx> t(n * n);
+
+  run_dist_spmd(config, [&](int rank, ph::Phaser& barrier) {
+    Range rows = partition(n, total, rank);
+    auto fft_rows = [&](std::vector<Cx>& m, bool invert) {
+      for (std::size_t i = rows.begin; i < rows.end; ++i) {
+        detail::fft1d(&m[i * n], n, invert);
+      }
+      step(barrier);
+    };
+    auto transpose = [&](const std::vector<Cx>& src, std::vector<Cx>& dst) {
+      for (std::size_t i = rows.begin; i < rows.end; ++i) {
+        for (std::size_t j = 0; j < n; ++j) dst[j * n + i] = src[i * n + j];
+      }
+      step(barrier);
+    };
+    for (int s = 0; s < steps; ++s) {
+      fft_rows(a, false);
+      transpose(a, t);
+      fft_rows(t, false);
+      fft_rows(t, true);
+      transpose(t, a);
+      fft_rows(a, true);
+      double norm = 1.0 / static_cast<double>(n * n);
+      for (std::size_t i = rows.begin * n; i < rows.end * n; ++i) a[i] *= norm;
+      step(barrier);
+    }
+  });
+
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n * n; ++i) {
+    max_err = std::max(max_err, std::abs(a[i] - original[i]));
+  }
+
+  RunResult result;
+  result.checksum = 0.0;
+  for (std::size_t i = 0; i < n * n; i += n + 1) result.checksum += std::abs(a[i]);
+  result.valid = max_err < 1e-9;
+  result.detail = "round-trip max error " + std::to_string(max_err);
+  return result;
+}
+
+const std::vector<DistKernel>& dist_kernels() {
+  static const std::vector<DistKernel> kernels{
+      {"FT", run_dist_ft},         {"KMEANS", run_dist_kmeans},
+      {"JACOBI", run_dist_jacobi}, {"SSCA2", run_dist_ssca2},
+      {"STREAM", run_dist_stream},
+  };
+  return kernels;
+}
+
+}  // namespace armus::wl

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "dist/site.h"
+#include "workloads/workload.h"
+
+/// Distributed workloads for §6.2: FT and STREAM from the HPC Challenge
+/// suite, SSCA2 from the HPCS graph-analysis benchmark, and JACOBI/KMEANS
+/// from the X10 distribution — re-implemented as multi-site kernels on the
+/// simulated cluster (src/dist). Tasks are spread across sites; each task's
+/// blocking events go to its own site's Armus instance, and the sites
+/// coordinate through the shared store exactly as §5.2 describes.
+namespace armus::wl {
+
+struct DistRunConfig {
+  int sites = 4;
+  int tasks_per_site = 2;
+  int scale = 1;
+  int iterations = 0;  ///< 0 = kernel default
+
+  /// nullptr runs unchecked; otherwise each task attaches to
+  /// cluster->site(s).verifier() for its site s.
+  dist::Cluster* cluster = nullptr;
+
+  [[nodiscard]] int total_tasks() const { return sites * tasks_per_site; }
+
+  /// The verifier for global task index `task` (round-robin by site).
+  [[nodiscard]] Verifier* verifier_for(int task) const {
+    if (cluster == nullptr) return nullptr;
+    return &cluster->site(static_cast<std::size_t>(task) %
+                          static_cast<std::size_t>(sites))
+                .verifier();
+  }
+};
+
+struct DistKernel {
+  std::string name;
+  std::function<RunResult(const DistRunConfig&)> run;
+};
+
+/// Paper order: FT, KMEANS, JACOBI, SSCA2, STREAM (Figure 7).
+const std::vector<DistKernel>& dist_kernels();
+
+RunResult run_dist_ft(const DistRunConfig& config);
+RunResult run_dist_kmeans(const DistRunConfig& config);
+RunResult run_dist_jacobi(const DistRunConfig& config);
+RunResult run_dist_ssca2(const DistRunConfig& config);
+RunResult run_dist_stream(const DistRunConfig& config);
+
+}  // namespace armus::wl

@@ -1,0 +1,33 @@
+#include <stdexcept>
+
+#include "workloads/workload.h"
+
+namespace armus::wl {
+
+const std::vector<Kernel>& npb_kernels() {
+  static const std::vector<Kernel> kernels{
+      {"BT", run_bt}, {"CG", run_cg}, {"FT", run_ft},
+      {"MG", run_mg}, {"RT", run_rt}, {"SP", run_sp},
+  };
+  return kernels;
+}
+
+const std::vector<Kernel>& course_kernels() {
+  static const std::vector<Kernel> kernels{
+      {"SE", run_se}, {"FI", run_fi}, {"FR", run_fr},
+      {"BFS", run_bfs}, {"PS", run_ps},
+  };
+  return kernels;
+}
+
+const Kernel& kernel_by_name(const std::string& name) {
+  for (const Kernel& k : npb_kernels()) {
+    if (k.name == name) return k;
+  }
+  for (const Kernel& k : course_kernels()) {
+    if (k.name == name) return k;
+  }
+  throw std::out_of_range("unknown kernel: " + name);
+}
+
+}  // namespace armus::wl

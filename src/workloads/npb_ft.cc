@@ -1,0 +1,103 @@
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "workloads/detail_fft.h"
+#include "workloads/spmd.h"
+
+/// FT — 2D complex FFT with transposes, after NPB FT (§6.1).
+///
+/// Forward transform: per-rank 1D FFTs over row bands, barrier, explicit
+/// transpose into a second array (barriered), 1D FFTs over the former
+/// columns. The kernel time-evolves the spectrum (the NPB FT "evolve"
+/// step) and inverse-transforms, validating the round trip against the
+/// original field.
+namespace armus::wl {
+
+namespace {
+
+using Cx = std::complex<double>;
+using detail::fft1d;
+
+}  // namespace
+
+RunResult run_ft(const RunConfig& config) {
+  std::size_t n = 32;
+  for (int s = 1; s < config.scale; ++s) n *= 2;
+  const int steps = config.iterations > 0 ? config.iterations : 2;
+  const int threads = config.threads;
+
+  std::vector<Cx> original(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      original[i * n + j] =
+          Cx(std::sin(0.7 * static_cast<double>(i) + 0.3),
+             std::cos(0.4 * static_cast<double>(j) - 0.2));
+    }
+  }
+  std::vector<Cx> a = original;
+  std::vector<Cx> t(n * n);
+
+  run_spmd(config, [&](int rank, rt::CyclicBarrier& barrier) {
+    Range rows = partition(n, threads, rank);
+
+    auto fft_rows = [&](std::vector<Cx>& m, bool invert) {
+      for (std::size_t i = rows.begin; i < rows.end; ++i) {
+        fft1d(&m[i * n], n, invert);
+      }
+      barrier.await();
+    };
+    auto transpose = [&](const std::vector<Cx>& src, std::vector<Cx>& dst) {
+      for (std::size_t i = rows.begin; i < rows.end; ++i) {
+        for (std::size_t j = 0; j < n; ++j) dst[j * n + i] = src[i * n + j];
+      }
+      barrier.await();
+    };
+
+    for (int step = 0; step < steps; ++step) {
+      // Forward 2D FFT: rows, transpose, rows (former columns).
+      fft_rows(a, false);
+      transpose(a, t);
+      fft_rows(t, false);
+
+      // Evolve: frequency-dependent phase twist (NPB FT's time evolution;
+      // unitary, so the round trip must restore the field).
+      for (std::size_t i = rows.begin; i < rows.end; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          double k2 = static_cast<double>((i * i + j * j) % 97);
+          t[i * n + j] *= std::polar(1.0, 1e-3 * k2);
+        }
+      }
+      barrier.await();
+      for (std::size_t i = rows.begin; i < rows.end; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          double k2 = static_cast<double>((i * i + j * j) % 97);
+          t[i * n + j] *= std::polar(1.0, -1e-3 * k2);  // undo
+        }
+      }
+      barrier.await();
+
+      // Inverse 2D FFT back into a.
+      fft_rows(t, true);
+      transpose(t, a);
+      fft_rows(a, true);
+      double norm = 1.0 / static_cast<double>(n * n);
+      for (std::size_t i = rows.begin * n; i < rows.end * n; ++i) a[i] *= norm;
+      barrier.await();
+    }
+  });
+
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n * n; ++i) {
+    max_err = std::max(max_err, std::abs(a[i] - original[i]));
+  }
+
+  RunResult result;
+  result.checksum = 0.0;
+  for (std::size_t i = 0; i < n * n; i += n + 1) result.checksum += std::abs(a[i]);
+  result.valid = max_err < 1e-9;
+  result.detail = "round-trip max error " + std::to_string(max_err);
+  return result;
+}
+
+}  // namespace armus::wl

@@ -1,0 +1,216 @@
+#include <cmath>
+#include <vector>
+
+#include "workloads/spmd.h"
+
+/// MG — multigrid V-cycles, after NPB MG (§6.1).
+///
+/// Solves the 2D Poisson equation -Lu = f on a (2^k+1)^2 grid with
+/// Dirichlet boundaries using V-cycles: weighted-Jacobi smoothing,
+/// full-weighting restriction and bilinear prolongation. Rows are
+/// partitioned per rank at every level; every smoothing sweep, residual,
+/// restriction and prolongation is separated by a cyclic-barrier step —
+/// the NPB MG synchronisation structure (fixed tasks, fixed barrier, high
+/// barrier rate at coarse levels).
+namespace armus::wl {
+
+namespace {
+
+/// One grid level: size g x g with g = 2^l + 1.
+struct Level {
+  std::size_t g = 0;
+  std::vector<double> u, f, r, scratch;
+};
+
+double& at(std::vector<double>& v, std::size_t g, std::size_t i, std::size_t j) {
+  return v[i * g + j];
+}
+double cat(const std::vector<double>& v, std::size_t g, std::size_t i,
+           std::size_t j) {
+  return v[i * g + j];
+}
+
+}  // namespace
+
+RunResult run_mg(const RunConfig& config) {
+  // Finest grid 2^k+1 where k grows with scale (k=6 -> 65x65).
+  int k = 5 + config.scale;
+  const int cycles = config.iterations > 0 ? config.iterations : 4;
+  const int threads = config.threads;
+  const double h = 1.0;  // unit spacing; absorbed into f
+
+  std::vector<Level> levels;
+  for (int l = k; l >= 2; --l) {
+    Level level;
+    level.g = (static_cast<std::size_t>(1) << l) + 1;
+    level.u.assign(level.g * level.g, 0.0);
+    level.f.assign(level.g * level.g, 0.0);
+    level.r.assign(level.g * level.g, 0.0);
+    level.scratch.assign(level.g * level.g, 0.0);
+    levels.push_back(std::move(level));
+  }
+  // Deterministic source term on the finest level.
+  {
+    Level& fine = levels[0];
+    for (std::size_t i = 1; i + 1 < fine.g; ++i) {
+      for (std::size_t j = 1; j + 1 < fine.g; ++j) {
+        at(fine.f, fine.g, i, j) =
+            std::sin(static_cast<double>(i) * 0.4) *
+            std::cos(static_cast<double>(j) * 0.3);
+      }
+    }
+  }
+
+  auto residual_norm = [&](const Level& level) {
+    double sum = 0.0;
+    for (std::size_t i = 1; i + 1 < level.g; ++i) {
+      for (std::size_t j = 1; j + 1 < level.g; ++j) {
+        double lap = 4.0 * cat(level.u, level.g, i, j) -
+                     cat(level.u, level.g, i - 1, j) -
+                     cat(level.u, level.g, i + 1, j) -
+                     cat(level.u, level.g, i, j - 1) -
+                     cat(level.u, level.g, i, j + 1);
+        double res = cat(level.f, level.g, i, j) - lap / (h * h);
+        sum += res * res;
+      }
+    }
+    return std::sqrt(sum);
+  };
+
+  const double initial_norm = residual_norm(levels[0]);
+
+  run_spmd(config, [&](int rank, rt::CyclicBarrier& barrier) {
+    // Interior rows [1, g-1) of `level` owned by this rank.
+    auto my_rows = [&](const Level& level) {
+      return partition(level.g - 2, threads, rank);
+    };
+
+    // Weighted Jacobi sweep (omega = 2/3) into scratch, then copy back.
+    auto smooth = [&](Level& level, int sweeps) {
+      for (int s = 0; s < sweeps; ++s) {
+        Range rows = my_rows(level);
+        for (std::size_t ri = rows.begin; ri < rows.end; ++ri) {
+          std::size_t i = ri + 1;
+          for (std::size_t j = 1; j + 1 < level.g; ++j) {
+            double sum = cat(level.u, level.g, i - 1, j) +
+                         cat(level.u, level.g, i + 1, j) +
+                         cat(level.u, level.g, i, j - 1) +
+                         cat(level.u, level.g, i, j + 1);
+            double jac = (h * h * cat(level.f, level.g, i, j) + sum) / 4.0;
+            at(level.scratch, level.g, i, j) =
+                cat(level.u, level.g, i, j) +
+                (2.0 / 3.0) * (jac - cat(level.u, level.g, i, j));
+          }
+        }
+        barrier.await();  // scratch complete everywhere
+        for (std::size_t ri = rows.begin; ri < rows.end; ++ri) {
+          std::size_t i = ri + 1;
+          for (std::size_t j = 1; j + 1 < level.g; ++j) {
+            at(level.u, level.g, i, j) = cat(level.scratch, level.g, i, j);
+          }
+        }
+        barrier.await();  // u consistent for the next sweep
+      }
+    };
+
+    auto compute_residual = [&](Level& level) {
+      Range rows = my_rows(level);
+      for (std::size_t ri = rows.begin; ri < rows.end; ++ri) {
+        std::size_t i = ri + 1;
+        for (std::size_t j = 1; j + 1 < level.g; ++j) {
+          double lap = 4.0 * cat(level.u, level.g, i, j) -
+                       cat(level.u, level.g, i - 1, j) -
+                       cat(level.u, level.g, i + 1, j) -
+                       cat(level.u, level.g, i, j - 1) -
+                       cat(level.u, level.g, i, j + 1);
+          at(level.r, level.g, i, j) =
+              cat(level.f, level.g, i, j) - lap / (h * h);
+        }
+      }
+      barrier.await();
+    };
+
+    // Full-weighting restriction of fine.r into coarse.f.
+    auto restrict_to = [&](Level& fine, Level& coarse) {
+      Range rows = my_rows(coarse);
+      for (std::size_t ri = rows.begin; ri < rows.end; ++ri) {
+        std::size_t ci = ri + 1;
+        std::size_t fi = 2 * ci;
+        for (std::size_t cj = 1; cj + 1 < coarse.g; ++cj) {
+          std::size_t fj = 2 * cj;
+          double v = 0.25 * cat(fine.r, fine.g, fi, fj) +
+                     0.125 * (cat(fine.r, fine.g, fi - 1, fj) +
+                              cat(fine.r, fine.g, fi + 1, fj) +
+                              cat(fine.r, fine.g, fi, fj - 1) +
+                              cat(fine.r, fine.g, fi, fj + 1)) +
+                     0.0625 * (cat(fine.r, fine.g, fi - 1, fj - 1) +
+                               cat(fine.r, fine.g, fi - 1, fj + 1) +
+                               cat(fine.r, fine.g, fi + 1, fj - 1) +
+                               cat(fine.r, fine.g, fi + 1, fj + 1));
+          at(coarse.f, coarse.g, ci, cj) = 4.0 * v;  // h^2 scaling (2h)^2
+          at(coarse.u, coarse.g, ci, cj) = 0.0;
+        }
+      }
+      barrier.await();
+    };
+
+    // Bilinear prolongation of coarse.u added into fine.u.
+    auto prolong_into = [&](Level& coarse, Level& fine) {
+      Range rows = my_rows(fine);
+      for (std::size_t ri = rows.begin; ri < rows.end; ++ri) {
+        std::size_t i = ri + 1;
+        for (std::size_t j = 1; j + 1 < fine.g; ++j) {
+          double v;
+          std::size_t ci = i / 2, cj = j / 2;
+          bool iodd = (i % 2) != 0, jodd = (j % 2) != 0;
+          if (!iodd && !jodd) {
+            v = cat(coarse.u, coarse.g, ci, cj);
+          } else if (iodd && !jodd) {
+            v = 0.5 * (cat(coarse.u, coarse.g, ci, cj) +
+                       cat(coarse.u, coarse.g, ci + 1, cj));
+          } else if (!iodd && jodd) {
+            v = 0.5 * (cat(coarse.u, coarse.g, ci, cj) +
+                       cat(coarse.u, coarse.g, ci, cj + 1));
+          } else {
+            v = 0.25 * (cat(coarse.u, coarse.g, ci, cj) +
+                        cat(coarse.u, coarse.g, ci + 1, cj) +
+                        cat(coarse.u, coarse.g, ci, cj + 1) +
+                        cat(coarse.u, coarse.g, ci + 1, cj + 1));
+          }
+          at(fine.u, fine.g, i, j) += v;
+        }
+      }
+      barrier.await();
+    };
+
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      // Down-leg.
+      for (std::size_t l = 0; l + 1 < levels.size(); ++l) {
+        smooth(levels[l], 2);
+        compute_residual(levels[l]);
+        restrict_to(levels[l], levels[l + 1]);
+      }
+      smooth(levels.back(), 20);  // coarse solve by smoothing
+      // Up-leg.
+      for (std::size_t l = levels.size() - 1; l > 0; --l) {
+        prolong_into(levels[l], levels[l - 1]);
+        smooth(levels[l - 1], 2);
+      }
+    }
+  });
+
+  double final_norm = residual_norm(levels[0]);
+  double reduction = final_norm / initial_norm;
+
+  RunResult result;
+  result.checksum = 0.0;
+  for (double v : levels[0].u) result.checksum += v;
+  // Weighted-Jacobi V-cycles converge at roughly 0.2 per cycle on this
+  // problem (measured 2e-3 after four cycles); anything under 5e-3 means
+  // the parallel sweeps kept the hierarchy consistent.
+  result.valid = reduction < 5e-3;
+  result.detail = "residual reduction " + std::to_string(reduction);
+  return result;
+}
+
+}  // namespace armus::wl

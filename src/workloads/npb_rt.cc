@@ -1,0 +1,186 @@
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "workloads/spmd.h"
+
+/// RT — ray tracer, after the JGF Section 3 RayTracer (§6.1).
+///
+/// Renders a deterministic sphere scene (Phong shading, hard shadows, one
+/// reflection bounce) over several frames with a slowly moving camera.
+/// Ranks render interleaved scanlines (the JGF distribution) and meet at a
+/// cyclic barrier after every frame; validation compares the parallel
+/// image checksum against a serial render (floating-point identical — each
+/// pixel's computation is independent and deterministic).
+namespace armus::wl {
+
+namespace {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+};
+Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+Vec3 operator*(Vec3 a, double s) { return {a.x * s, a.y * s, a.z * s}; }
+double dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+Vec3 normalize(Vec3 a) {
+  double len = std::sqrt(dot(a, a));
+  return a * (1.0 / len);
+}
+
+struct Sphere {
+  Vec3 center;
+  double radius = 1.0;
+  Vec3 color;
+  double reflect = 0.0;
+};
+
+struct Scene {
+  std::vector<Sphere> spheres;
+  Vec3 light;
+};
+
+Scene make_scene(int count) {
+  Scene scene;
+  util::Xoshiro256 rng(4242);
+  for (int i = 0; i < count; ++i) {
+    Sphere s;
+    s.center = {rng.uniform() * 8.0 - 4.0, rng.uniform() * 4.0 - 1.0,
+                6.0 + rng.uniform() * 6.0};
+    s.radius = 0.4 + rng.uniform() * 0.8;
+    s.color = {0.3 + rng.uniform() * 0.7, 0.3 + rng.uniform() * 0.7,
+               0.3 + rng.uniform() * 0.7};
+    s.reflect = rng.uniform() * 0.5;
+    scene.spheres.push_back(s);
+  }
+  // Ground sphere.
+  scene.spheres.push_back({{0.0, -1002.0, 10.0}, 1000.0, {0.6, 0.6, 0.6}, 0.1});
+  scene.light = {-6.0, 10.0, -2.0};
+  return scene;
+}
+
+/// Nearest intersection of ray o + t*d with the scene; -1 if none.
+int intersect(const Scene& scene, Vec3 o, Vec3 d, double& t_out) {
+  int hit = -1;
+  double best = 1e30;
+  for (std::size_t s = 0; s < scene.spheres.size(); ++s) {
+    const Sphere& sp = scene.spheres[s];
+    Vec3 oc = o - sp.center;
+    double b = dot(oc, d);
+    double c = dot(oc, oc) - sp.radius * sp.radius;
+    double disc = b * b - c;
+    if (disc < 0) continue;
+    double sq = std::sqrt(disc);
+    double t = -b - sq;
+    if (t < 1e-6) t = -b + sq;
+    if (t > 1e-6 && t < best) {
+      best = t;
+      hit = static_cast<int>(s);
+    }
+  }
+  t_out = best;
+  return hit;
+}
+
+Vec3 shade(const Scene& scene, Vec3 o, Vec3 d, int depth) {
+  double t;
+  int hit = intersect(scene, o, d, t);
+  if (hit < 0) return {0.1, 0.1, 0.2};  // sky
+  const Sphere& sp = scene.spheres[static_cast<std::size_t>(hit)];
+  Vec3 p = o + d * t;
+  Vec3 n = normalize(p - sp.center);
+  Vec3 l = normalize(scene.light - p);
+
+  // Hard shadow.
+  double st;
+  int blocker = intersect(scene, p + n * 1e-4, l, st);
+  double light_dist = std::sqrt(dot(scene.light - p, scene.light - p));
+  bool shadowed = blocker >= 0 && st < light_dist;
+
+  double diffuse = shadowed ? 0.0 : std::max(0.0, dot(n, l));
+  Vec3 color = sp.color * (0.15 + 0.85 * diffuse);
+
+  // Phong specular.
+  if (!shadowed) {
+    Vec3 r = n * (2.0 * dot(n, l)) - l;
+    double spec = std::pow(std::max(0.0, dot(r, normalize(o - p))), 32.0);
+    color = color + Vec3{1.0, 1.0, 1.0} * (0.4 * spec);
+  }
+
+  if (depth > 0 && sp.reflect > 0.0) {
+    Vec3 rd = d - n * (2.0 * dot(n, d));
+    Vec3 refl = shade(scene, p + n * 1e-4, rd, depth - 1);
+    color = color + refl * sp.reflect;
+  }
+  return color;
+}
+
+std::uint64_t render_checksum_row(const Scene& scene, std::size_t width,
+                                  std::size_t height, std::size_t row,
+                                  double camera_shift) {
+  std::uint64_t sum = 0;
+  Vec3 origin{camera_shift, 0.5, -4.0};
+  for (std::size_t col = 0; col < width; ++col) {
+    double u = (static_cast<double>(col) / static_cast<double>(width)) * 2 - 1;
+    double v = (static_cast<double>(row) / static_cast<double>(height)) * 2 - 1;
+    Vec3 dir = normalize(Vec3{u * 1.2, -v, 3.0});
+    Vec3 c = shade(scene, origin, dir, 1);
+    auto q = [](double x) {
+      return static_cast<std::uint64_t>(std::min(255.0, std::max(0.0, x * 255.0)));
+    };
+    sum += q(c.x) + 7 * q(c.y) + 31 * q(c.z);
+  }
+  return sum;
+}
+
+}  // namespace
+
+RunResult run_rt(const RunConfig& config) {
+  const std::size_t width = 40 * static_cast<std::size_t>(config.scale);
+  const std::size_t height = width;
+  const int frames = config.iterations > 0 ? config.iterations : 2;
+  const int threads = config.threads;
+  const Scene scene = make_scene(12);
+
+  std::vector<std::uint64_t> row_sums(height, 0);
+  std::vector<std::uint64_t> frame_sums(static_cast<std::size_t>(frames), 0);
+
+  run_spmd(config, [&](int rank, rt::CyclicBarrier& barrier) {
+    for (int frame = 0; frame < frames; ++frame) {
+      double shift = 0.05 * static_cast<double>(frame);
+      // Interleaved scanlines, as JGF RayTracer distributes them.
+      for (std::size_t row = static_cast<std::size_t>(rank); row < height;
+           row += static_cast<std::size_t>(threads)) {
+        row_sums[row] = render_checksum_row(scene, width, height, row, shift);
+      }
+      barrier.await();  // frame complete
+      if (rank == 0) {
+        std::uint64_t total = 0;
+        for (std::uint64_t s : row_sums) total += s;
+        frame_sums[static_cast<std::size_t>(frame)] = total;
+      }
+      barrier.await();  // checksum recorded before rows are overwritten
+    }
+  });
+
+  // Serial validation of every frame checksum.
+  bool valid = true;
+  for (int frame = 0; frame < frames; ++frame) {
+    double shift = 0.05 * static_cast<double>(frame);
+    std::uint64_t total = 0;
+    for (std::size_t row = 0; row < height; ++row) {
+      total += render_checksum_row(scene, width, height, row, shift);
+    }
+    if (total != frame_sums[static_cast<std::size_t>(frame)]) valid = false;
+  }
+
+  RunResult result;
+  result.checksum = static_cast<double>(frame_sums.back() % 1000000007ull);
+  result.valid = valid;
+  result.detail = valid ? "frame checksums match serial render"
+                        : "frame checksum mismatch";
+  return result;
+}
+
+}  // namespace armus::wl

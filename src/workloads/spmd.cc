@@ -1,0 +1,39 @@
+#include "workloads/spmd.h"
+
+#include "runtime/task.h"
+
+namespace armus::wl {
+
+void run_spmd(const RunConfig& config,
+              const std::function<void(int rank, rt::CyclicBarrier& barrier)>& body) {
+  rt::CyclicBarrier barrier(static_cast<std::size_t>(config.threads),
+                            config.verifier);
+  std::vector<rt::Task> workers;
+  workers.reserve(static_cast<std::size_t>(config.threads));
+  for (int rank = 0; rank < config.threads; ++rank) {
+    workers.push_back(rt::spawn_with(
+        [&](TaskId child) { barrier.register_task(child); },
+        [&body, rank, &barrier] { body(rank, barrier); }, config.verifier,
+        "spmd-" + std::to_string(rank)));
+  }
+  std::exception_ptr first;
+  for (rt::Task& worker : workers) {
+    try {
+      worker.join();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+Range partition(std::size_t count, int parts, int index) {
+  std::size_t base = count / static_cast<std::size_t>(parts);
+  std::size_t extra = count % static_cast<std::size_t>(parts);
+  std::size_t idx = static_cast<std::size_t>(index);
+  std::size_t begin = idx * base + std::min(idx, extra);
+  std::size_t size = base + (idx < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+}  // namespace armus::wl

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <functional>
+
+#include "runtime/barriers.h"
+#include "workloads/workload.h"
+
+/// SPMD harness shared by the NPB-style kernels: `threads` workers, one
+/// cyclic barrier, lockstep iteration — the exact §6.1 shape ("a fixed
+/// number of tasks and a fixed number of cyclic barriers throughout the
+/// whole computation").
+namespace armus::wl {
+
+/// Runs `body(rank, barrier)` on `config.threads` tasks, all pre-registered
+/// on a shared CyclicBarrier before any thread starts (the reg-before-fork
+/// pattern). Rethrows the first worker exception.
+void run_spmd(const RunConfig& config,
+              const std::function<void(int rank, rt::CyclicBarrier& barrier)>& body);
+
+/// Splits `count` items into `parts` contiguous ranges; returns the
+/// half-open range of `index`.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+Range partition(std::size_t count, int parts, int index);
+
+}  // namespace armus::wl

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/verifier.h"
+
+/// Common interface for the benchmark workloads of §6.
+///
+/// Every kernel re-implements the synchronisation skeleton of its paper
+/// counterpart — fixed task count, fixed set of cyclic barriers, stepwise
+/// iteration (NPB/JGF), or dynamic task/barrier creation (the §6.3 course
+/// programs) — and validates its own output (all paper benchmarks do).
+/// Absolute problem sizes default to laptop scale and grow with `scale`.
+namespace armus::wl {
+
+struct RunConfig {
+  /// SPMD worker count (ignored by kernels with intrinsic task structure).
+  int threads = 4;
+
+  /// Problem-size multiplier (>= 1).
+  int scale = 1;
+
+  /// Iteration override; 0 keeps the kernel's default.
+  int iterations = 0;
+
+  /// nullptr runs unchecked (the baseline of every table).
+  Verifier* verifier = nullptr;
+};
+
+struct RunResult {
+  bool valid = false;
+  double checksum = 0.0;   ///< kernel-specific output digest
+  std::string detail;      ///< human-readable validation note
+};
+
+struct Kernel {
+  std::string name;
+  std::function<RunResult(const RunConfig&)> run;
+};
+
+/// The NPB/JGF suite of §6.1: BT, CG, FT, MG, RT, SP (paper order).
+const std::vector<Kernel>& npb_kernels();
+
+/// The §6.3 course suite: SE, FI, FR, BFS, PS (paper order).
+const std::vector<Kernel>& course_kernels();
+
+/// Looks up a kernel by name in both suites; throws std::out_of_range.
+const Kernel& kernel_by_name(const std::string& name);
+
+// --- individual kernels (exposed for focused tests) -------------------------
+
+RunResult run_cg(const RunConfig& config);
+RunResult run_mg(const RunConfig& config);
+RunResult run_ft(const RunConfig& config);
+RunResult run_bt(const RunConfig& config);
+RunResult run_sp(const RunConfig& config);
+RunResult run_rt(const RunConfig& config);
+
+RunResult run_se(const RunConfig& config);
+RunResult run_fi(const RunConfig& config);
+RunResult run_fr(const RunConfig& config);
+RunResult run_bfs(const RunConfig& config);
+RunResult run_ps(const RunConfig& config);
+
+}  // namespace armus::wl

@@ -1,0 +1,266 @@
+// Graph-construction tests for the core library, anchored on the paper's
+// worked Example 4.1 (Figures 5a/5b/5c) and the §5.1 adaptive selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/checker.h"
+#include "core/graph_builder.h"
+#include "graph/cycle.h"
+
+namespace armus {
+namespace {
+
+using Edge = std::pair<std::string, std::string>;
+
+/// Renders all edges of a built graph as label pairs for readable asserts.
+std::set<Edge> edge_labels(const BuiltGraph& built) {
+  std::set<Edge> out;
+  for (std::size_t u = 0; u < built.graph.num_nodes(); ++u) {
+    for (graph::Node v : built.graph.out(static_cast<graph::Node>(u))) {
+      out.insert({built.label(static_cast<graph::Node>(u)), built.label(v)});
+    }
+  }
+  return out;
+}
+
+BlockedStatus status(TaskId task, std::vector<Resource> waits,
+                     std::vector<RegEntry> registered) {
+  BlockedStatus s;
+  s.task = task;
+  s.waits = std::move(waits);
+  s.registered = std::move(registered);
+  return s;
+}
+
+/// Example 4.1: tasks t1..t3 blocked at cyclic barrier pc (phaser 1) phase 1;
+/// driver t4 blocked at join barrier pb (phaser 2) phase 1. Registered
+/// phases mirror M1 from the paper.
+std::vector<BlockedStatus> example_4_1() {
+  const PhaserUid pc = 1, pb = 2;
+  std::vector<BlockedStatus> snapshot;
+  for (TaskId t : {1u, 2u, 3u}) {
+    snapshot.push_back(status(t, {{pc, 1}}, {{pc, 1}, {pb, 0}}));
+  }
+  snapshot.push_back(status(4, {{pb, 1}}, {{pc, 0}, {pb, 1}}));
+  return snapshot;
+}
+
+TEST(BuilderExample41Test, WfgMatchesFigure5a) {
+  auto snapshot = example_4_1();
+  BuiltGraph wfg = build_wfg(snapshot);
+  EXPECT_EQ(wfg.model, GraphModel::kWfg);
+  EXPECT_EQ(wfg.nodes(), 4u);
+  std::set<Edge> expected{{"t1", "t4"}, {"t2", "t4"}, {"t3", "t4"},
+                          {"t4", "t1"}, {"t4", "t2"}, {"t4", "t3"}};
+  EXPECT_EQ(edge_labels(wfg), expected);
+  EXPECT_TRUE(graph::has_cycle(wfg.graph));
+}
+
+TEST(BuilderExample41Test, SgMatchesFigure5c) {
+  auto snapshot = example_4_1();
+  BuiltGraph sg = build_sg(snapshot);
+  EXPECT_EQ(sg.model, GraphModel::kSg);
+  EXPECT_EQ(sg.nodes(), 2u);
+  std::set<Edge> expected{{"p1@1", "p2@1"}, {"p2@1", "p1@1"}};
+  EXPECT_EQ(edge_labels(sg), expected);
+  EXPECT_TRUE(graph::has_cycle(sg.graph));
+}
+
+TEST(BuilderExample41Test, GrgMatchesFigure5b) {
+  auto snapshot = example_4_1();
+  BuiltGraph grg = build_grg(snapshot);
+  EXPECT_EQ(grg.model, GraphModel::kGrg);
+  EXPECT_EQ(grg.nodes(), 6u);
+  std::set<Edge> expected{{"t1", "p1@1"}, {"t2", "p1@1"}, {"t3", "p1@1"},
+                          {"t4", "p2@1"}, {"p1@1", "t4"}, {"p2@1", "t1"},
+                          {"p2@1", "t2"}, {"p2@1", "t3"}};
+  EXPECT_EQ(edge_labels(grg), expected);
+  EXPECT_TRUE(graph::has_cycle(grg.graph));
+}
+
+TEST(BuilderExample41Test, CheckerReportsTheDeadlock) {
+  auto snapshot = example_4_1();
+  for (GraphModel model :
+       {GraphModel::kWfg, GraphModel::kSg, GraphModel::kAuto}) {
+    CheckResult result = check_deadlocks(snapshot, model);
+    ASSERT_EQ(result.reports.size(), 1u) << to_string(model);
+    const DeadlockReport& report = result.reports[0];
+    EXPECT_EQ(report.tasks, (std::vector<TaskId>{1, 2, 3, 4}));
+    EXPECT_EQ(report.resources,
+              (std::vector<Resource>{{1, 1}, {2, 1}}));
+  }
+}
+
+// --- edge-generation semantics ----------------------------------------------
+
+TEST(BuilderTest, EmptySnapshotYieldsEmptyGraphs) {
+  std::vector<BlockedStatus> empty;
+  EXPECT_EQ(build_wfg(empty).nodes(), 0u);
+  EXPECT_EQ(build_sg(empty).nodes(), 0u);
+  EXPECT_EQ(build_grg(empty).nodes(), 0u);
+  EXPECT_FALSE(check_deadlocks(empty, GraphModel::kAuto).deadlocked());
+}
+
+TEST(BuilderTest, ImpedesAllFuturePhasesNotJustTheNext) {
+  // t1 awaits phase 5 of p1; t2 is registered at phase 3 (not 4). The
+  // event-based rule (local phase < awaited phase) must still produce the
+  // edge — this is what supports awaiting arbitrary future phases (§2.2).
+  std::vector<BlockedStatus> snapshot{
+      status(1, {{1, 5}}, {{1, 5}}),
+      status(2, {{2, 1}}, {{1, 3}, {2, 1}}),
+  };
+  BuiltGraph wfg = build_wfg(snapshot);
+  std::set<Edge> expected{{"t1", "t2"}};
+  EXPECT_EQ(edge_labels(wfg), expected);
+  EXPECT_FALSE(graph::has_cycle(wfg.graph));
+}
+
+TEST(BuilderTest, EqualPhaseDoesNotImpede) {
+  // t2's local phase equals the awaited phase: no edge (Definition 4.1
+  // requires strictly smaller).
+  std::vector<BlockedStatus> snapshot{
+      status(1, {{1, 2}}, {{1, 2}}),
+      status(2, {{2, 1}}, {{1, 2}}),
+  };
+  EXPECT_TRUE(edge_labels(build_wfg(snapshot)).empty());
+}
+
+TEST(BuilderTest, SelfImpedingTaskYieldsSelfLoop) {
+  // A task awaiting a phase ahead of its own signal: waits (p,2) while
+  // registered at (p,0). Genuine single-task deadlock (Theorem 4.8 case 1).
+  std::vector<BlockedStatus> snapshot{status(1, {{1, 2}}, {{1, 0}})};
+  BuiltGraph wfg = build_wfg(snapshot);
+  std::set<Edge> expected{{"t1", "t1"}};
+  EXPECT_EQ(edge_labels(wfg), expected);
+  EXPECT_TRUE(graph::has_cycle(wfg.graph));
+
+  BuiltGraph sg = build_sg(snapshot);
+  std::set<Edge> expected_sg{{"p1@2", "p1@2"}};
+  EXPECT_EQ(edge_labels(sg), expected_sg);
+  EXPECT_TRUE(graph::has_cycle(sg.graph));
+}
+
+TEST(BuilderTest, WaitOnlyTasksNeverImpede) {
+  // t2 waits on p1 but has no registration there (wait-only members are not
+  // published): no edge toward t2.
+  std::vector<BlockedStatus> snapshot{
+      status(1, {{1, 1}}, {{1, 1}}),
+      status(2, {{1, 1}}, {}),
+  };
+  EXPECT_TRUE(edge_labels(build_wfg(snapshot)).empty());
+}
+
+TEST(BuilderTest, MultipleWaitsFanOut) {
+  // t1 waits on two resources (compound blocking); both produce edges.
+  std::vector<BlockedStatus> snapshot{
+      status(1, {{1, 1}, {2, 1}}, {}),
+      status(2, {{3, 1}}, {{1, 0}}),
+      status(3, {{3, 1}}, {{2, 0}}),
+  };
+  std::set<Edge> expected{{"t1", "t2"}, {"t1", "t3"}};
+  EXPECT_EQ(edge_labels(build_wfg(snapshot)), expected);
+}
+
+TEST(BuilderTest, DuplicateEdgesAreCoalesced) {
+  // t2 impedes two waited events of the same waiter; the WFG edge count
+  // must still be 1 (edge multiplicity carries no information).
+  std::vector<BlockedStatus> snapshot{
+      status(1, {{1, 1}, {2, 1}}, {}),
+      status(2, {{3, 9}}, {{1, 0}, {2, 0}, {3, 9}}),
+  };
+  BuiltGraph wfg = build_wfg(snapshot);
+  EXPECT_EQ(wfg.edges(), 1u);
+}
+
+// --- adaptive selection (§5.1) ------------------------------------------------
+
+TEST(AdaptiveTest, PicksSgWhenManyTasksShareOneBarrier) {
+  // SPMD shape: many tasks blocked on one event, one straggler blocked
+  // elsewhere. SG stays tiny; auto must keep it.
+  std::vector<BlockedStatus> snapshot;
+  for (TaskId t = 1; t <= 32; ++t) {
+    snapshot.push_back(status(t, {{1, 1}}, {{1, 1}}));
+  }
+  snapshot.push_back(status(33, {{2, 1}}, {{1, 0}, {2, 1}}));
+  BuiltGraph built = build_auto(snapshot);
+  EXPECT_EQ(built.model, GraphModel::kSg);
+  EXPECT_LE(built.edges(), 2u);
+}
+
+TEST(AdaptiveTest, FallsBackToWfgWhenSgExplodes) {
+  // Few tasks, many barriers, dense impeding: each task waits on its own
+  // event and is registered behind every other event. SG edges grow
+  // quadratically and cross the 2x-tasks threshold.
+  std::vector<BlockedStatus> snapshot;
+  const int n = 12;
+  for (TaskId t = 1; t <= n; ++t) {
+    std::vector<RegEntry> regs;
+    for (PhaserUid p = 1; p <= n; ++p) regs.push_back({p, 0});
+    snapshot.push_back(status(t, {{t /*phaser*/, 1}}, std::move(regs)));
+  }
+  BuiltGraph built = build_auto(snapshot);
+  EXPECT_EQ(built.model, GraphModel::kWfg);
+}
+
+TEST(AdaptiveTest, VerdictMatchesFixedModels) {
+  auto snapshot = example_4_1();
+  bool auto_cyclic = graph::has_cycle(build_auto(snapshot).graph);
+  bool wfg_cyclic = graph::has_cycle(build_wfg(snapshot).graph);
+  bool sg_cyclic = graph::has_cycle(build_sg(snapshot).graph);
+  EXPECT_EQ(auto_cyclic, wfg_cyclic);
+  EXPECT_EQ(auto_cyclic, sg_cyclic);
+}
+
+// --- model parsing ------------------------------------------------------------
+
+TEST(GraphModelTest, RoundTripsNames) {
+  for (GraphModel m : {GraphModel::kWfg, GraphModel::kSg, GraphModel::kGrg,
+                       GraphModel::kAuto}) {
+    EXPECT_EQ(graph_model_from_string(to_string(m)), m);
+  }
+  EXPECT_THROW(graph_model_from_string("bogus"), std::invalid_argument);
+}
+
+// --- task_is_doomed (avoidance primitive) --------------------------------------
+
+TEST(DoomedTest, TaskInCycleIsDoomed) {
+  auto snapshot = example_4_1();
+  BuiltGraph wfg = build_wfg(snapshot);
+  for (TaskId t : {1u, 2u, 3u, 4u}) {
+    EXPECT_TRUE(task_is_doomed(wfg, snapshot, t)) << t;
+  }
+}
+
+TEST(DoomedTest, TaskReachingCycleIsDoomed) {
+  // t5 waits on an event impeded by t4, which is inside the cycle: t5 can
+  // never unblock (Theorem 4.15's reachability phrasing).
+  auto snapshot = example_4_1();
+  snapshot.push_back(status(5, {{3, 1}}, {{3, 1}}));
+  snapshot[3].registered.push_back({3, 0});  // t4 impedes (p3, 1)
+  BuiltGraph wfg = build_wfg(snapshot);
+  EXPECT_TRUE(task_is_doomed(wfg, snapshot, 5));
+  BuiltGraph sg = build_sg(snapshot);
+  EXPECT_TRUE(task_is_doomed(sg, snapshot, 5));
+}
+
+TEST(DoomedTest, UnrelatedBlockedTaskIsNotDoomed) {
+  auto snapshot = example_4_1();
+  // t6 waits on (p9, 1), impeded by nobody in the snapshot: it is blocked
+  // but not deadlocked (someone outside may still arrive).
+  snapshot.push_back(status(6, {{9, 1}}, {{9, 1}}));
+  BuiltGraph wfg = build_wfg(snapshot);
+  EXPECT_FALSE(task_is_doomed(wfg, snapshot, 6));
+  BuiltGraph sg = build_sg(snapshot);
+  EXPECT_FALSE(task_is_doomed(sg, snapshot, 6));
+}
+
+TEST(DoomedTest, UnknownTaskIsNotDoomed) {
+  auto snapshot = example_4_1();
+  BuiltGraph wfg = build_wfg(snapshot);
+  EXPECT_FALSE(task_is_doomed(wfg, snapshot, 99));
+}
+
+}  // namespace
+}  // namespace armus

@@ -1,0 +1,212 @@
+// Tests for the dependency store and the event-based handling of *dynamic
+// membership* — the capability the paper says breaks every prior tool (§1,
+// §2.1): tasks register with and revoke from barriers mid-run, and the
+// checker must stay correct without ever tracking a membership list.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/checker.h"
+#include "core/dependency_state.h"
+#include "core/task_registry.h"
+#include "graph/cycle.h"
+#include "util/rng.h"
+
+namespace armus {
+namespace {
+
+BlockedStatus status(TaskId task, std::vector<Resource> waits,
+                     std::vector<RegEntry> registered) {
+  BlockedStatus s;
+  s.task = task;
+  s.waits = std::move(waits);
+  s.registered = std::move(registered);
+  return s;
+}
+
+// --- DependencyState ----------------------------------------------------------
+
+TEST(DependencyStateTest, SetClearSnapshot) {
+  DependencyState state;
+  EXPECT_EQ(state.blocked_count(), 0u);
+  state.set_blocked(status(3, {{1, 1}}, {}));
+  state.set_blocked(status(1, {{2, 1}}, {}));
+  EXPECT_EQ(state.blocked_count(), 2u);
+
+  auto snapshot = state.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].task, 1u);  // sorted by task id
+  EXPECT_EQ(snapshot[1].task, 3u);
+
+  state.clear_blocked(3);
+  EXPECT_EQ(state.blocked_count(), 1u);
+  state.clear_blocked(3);  // idempotent
+  EXPECT_EQ(state.blocked_count(), 1u);
+  state.clear();
+  EXPECT_EQ(state.blocked_count(), 0u);
+}
+
+TEST(DependencyStateTest, ReplacesStatusForSameTask) {
+  DependencyState state;
+  state.set_blocked(status(1, {{1, 1}}, {}));
+  state.set_blocked(status(1, {{2, 5}}, {}));
+  auto snapshot = state.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].waits[0], (Resource{2, 5}));
+}
+
+TEST(DependencyStateTest, ConcurrentUpdatesAreSafe) {
+  // "Maintaining the blocked status is more frequent than checking" (§5.1):
+  // hammer block/unblock from many threads while snapshotting.
+  DependencyState state;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto snapshot = state.snapshot();
+      // Every status in any snapshot must be internally consistent.
+      for (const auto& s : snapshot) {
+        ASSERT_FALSE(s.waits.empty());
+        ASSERT_EQ(s.waits[0].phaser, s.task);  // invariant by construction
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 1; t <= kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        TaskId self = static_cast<TaskId>(t);
+        state.set_blocked(status(self, {{self, static_cast<Phase>(op)}}, {}));
+        state.clear_blocked(self);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(state.blocked_count(), 0u);
+}
+
+// --- TaskRegistry ---------------------------------------------------------------
+
+TEST(TaskRegistryTest, EntriesFollowSetAndRemove) {
+  TaskRegistry registry;
+  registry.set_entry(1, 10, 0);
+  registry.set_entry(1, 11, 3);
+  auto entries = registry.entries(1);
+  EXPECT_EQ(entries.size(), 2u);
+  registry.set_entry(1, 10, 5);  // phase update
+  for (const RegEntry& e : registry.entries(1)) {
+    if (e.phaser == 10) EXPECT_EQ(e.local_phase, 5u);
+  }
+  registry.remove_entry(1, 10);
+  EXPECT_EQ(registry.entries(1).size(), 1u);
+  registry.remove_task(1);
+  EXPECT_TRUE(registry.entries(1).empty());
+}
+
+TEST(TaskRegistryTest, MergePreservesForeignEntries) {
+  TaskRegistry registry;
+  registry.set_entry(7, 1, 4);
+  BlockedStatus s = status(7, {{9, 1}}, {{2, 0}});  // entry unknown to registry
+  registry.merge_into(s);
+  ASSERT_EQ(s.registered.size(), 2u);
+  // Registry value appended; stored (lock-generation style) entry kept.
+  bool saw_lock = false, saw_phaser = false;
+  for (const RegEntry& e : s.registered) {
+    if (e.phaser == 2 && e.local_phase == 0) saw_lock = true;
+    if (e.phaser == 1 && e.local_phase == 4) saw_phaser = true;
+  }
+  EXPECT_TRUE(saw_lock);
+  EXPECT_TRUE(saw_phaser);
+}
+
+// --- dynamic membership through the event-based representation -------------------
+
+TEST(DynamicMembershipTest, DeregistrationDissolvesTheCycle) {
+  // The Figure 1 cycle, then the parent "drops": its registration entry
+  // disappears and the next analysis must be clean — no membership list
+  // ever existed to repair.
+  std::vector<BlockedStatus> snapshot{
+      status(1, {{1, 1}}, {{1, 1}, {2, 0}}),
+      status(2, {{2, 1}}, {{1, 0}, {2, 1}}),
+  };
+  EXPECT_TRUE(check_deadlocks(snapshot, GraphModel::kAuto).deadlocked());
+
+  // t2 deregisters from phaser 1 (the §2.1 fix applied at run time).
+  snapshot[1].registered = {{2, 1}};
+  EXPECT_FALSE(check_deadlocks(snapshot, GraphModel::kAuto).deadlocked());
+}
+
+TEST(DynamicMembershipTest, LateRegistrationCreatesTheCycle) {
+  // Conversely: a task joining a barrier *while others are blocked* can
+  // close a cycle; the snapshot-time registry merge makes this visible
+  // (the naive design that captures registrations only at block time
+  // misses it — see Verifier::current_snapshot).
+  std::vector<BlockedStatus> snapshot{
+      status(1, {{1, 1}}, {{1, 1}}),
+      status(2, {{2, 1}}, {{1, 0}, {2, 1}}),
+  };
+  EXPECT_FALSE(check_deadlocks(snapshot, GraphModel::kAuto).deadlocked());
+  // t1 is now also registered (by its parent) on phaser 2, lagging:
+  snapshot[0].registered.push_back({2, 0});
+  EXPECT_TRUE(check_deadlocks(snapshot, GraphModel::kAuto).deadlocked());
+}
+
+TEST(DynamicMembershipTest, PhaseLagDefinesImpedance) {
+  // The whole §4.1 representation in one test: impedance is nothing but
+  // "my local phase is behind the waited event" — there is no membership
+  // bookkeeping that could go stale when parties come and go.
+  for (Phase lag = 0; lag <= 3; ++lag) {
+    std::vector<BlockedStatus> snapshot{
+        status(1, {{1, 3}}, {{1, 3}, {2, 0}}),
+        status(2, {{2, 1}}, {{1, lag}, {2, 1}}),
+    };
+    bool cyclic = check_deadlocks(snapshot, GraphModel::kAuto).deadlocked();
+    EXPECT_EQ(cyclic, lag < 3) << "lag=" << lag;
+  }
+}
+
+TEST(DynamicMembershipTest, ChurnNeverCorruptsTheAnalysis) {
+  // Random churn: tasks blocking, unblocking, registering, deregistering
+  // concurrently with periodic checks. The assertion is stability (no
+  // crash, internally consistent results); the precision properties are
+  // covered by the PL suites.
+  DependencyState state;
+  util::Xoshiro256 seed_source(2025);
+  std::atomic<bool> stop{false};
+  std::thread checker([&] {
+    while (!stop.load()) {
+      auto snapshot = state.snapshot();
+      CheckResult result = check_deadlocks(snapshot, GraphModel::kAuto);
+      ASSERT_LE(result.reports.size(), snapshot.size());
+    }
+  });
+  std::vector<std::thread> churners;
+  for (int t = 1; t <= 6; ++t) {
+    churners.emplace_back([&, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 977);
+      for (int op = 0; op < 3000; ++op) {
+        TaskId self = static_cast<TaskId>(t);
+        BlockedStatus s;
+        s.task = self;
+        s.waits.push_back(Resource{1 + rng.below(4), 1 + rng.below(3)});
+        int regs = static_cast<int>(rng.below(3));
+        for (int r = 0; r < regs; ++r) {
+          s.registered.push_back({1 + rng.below(4), rng.below(3)});
+        }
+        state.set_blocked(s);
+        if (rng.chance(0.7)) state.clear_blocked(self);
+      }
+      state.clear_blocked(static_cast<TaskId>(t));
+    });
+  }
+  for (auto& c : churners) c.join();
+  stop.store(true);
+  checker.join();
+}
+
+}  // namespace
+}  // namespace armus

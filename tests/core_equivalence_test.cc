@@ -1,0 +1,171 @@
+// Property tests for Theorem 4.8 (WFG/SG equivalence) on randomly generated
+// resource-dependency states: the WFG has a cycle iff the SG has a cycle iff
+// the GRG has a cycle, and the adaptive builder always agrees.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/checker.h"
+#include "core/graph_builder.h"
+#include "graph/cycle.h"
+#include "util/rng.h"
+
+namespace armus {
+namespace {
+
+/// Renders all edges of a built graph as label pairs for set comparison.
+std::set<std::pair<std::string, std::string>> edge_labels(const BuiltGraph& built) {
+  std::set<std::pair<std::string, std::string>> out;
+  for (std::size_t u = 0; u < built.graph.num_nodes(); ++u) {
+    for (graph::Node v : built.graph.out(static_cast<graph::Node>(u))) {
+      out.insert({built.label(static_cast<graph::Node>(u)), built.label(v)});
+    }
+  }
+  return out;
+}
+
+/// Random resource-dependency states with tunable shape. Tasks wait on
+/// random events of random phasers and are registered behind random subsets
+/// — the unconstrained version of what real barrier programs publish.
+std::vector<BlockedStatus> random_state(util::Xoshiro256& rng, int max_tasks,
+                                        int max_phasers, int max_phase) {
+  int tasks = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(max_tasks)));
+  int phasers =
+      1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(max_phasers)));
+  std::vector<BlockedStatus> snapshot;
+  for (int t = 1; t <= tasks; ++t) {
+    BlockedStatus status;
+    status.task = static_cast<TaskId>(t);
+    int waits = 1 + static_cast<int>(rng.below(2));
+    for (int w = 0; w < waits; ++w) {
+      status.waits.push_back(
+          Resource{1 + rng.below(static_cast<std::uint64_t>(phasers)),
+                   1 + rng.below(static_cast<std::uint64_t>(max_phase))});
+    }
+    for (int p = 1; p <= phasers; ++p) {
+      if (rng.chance(0.6)) {
+        status.registered.push_back(
+            {static_cast<PhaserUid>(p),
+             rng.below(static_cast<std::uint64_t>(max_phase) + 1)});
+      }
+    }
+    snapshot.push_back(std::move(status));
+  }
+  return snapshot;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquivalenceTest, WfgSgGrgAgreeOnCyclicity) {
+  util::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    auto snapshot = random_state(rng, /*max_tasks=*/8, /*max_phasers=*/4,
+                                 /*max_phase=*/3);
+    bool wfg = graph::has_cycle(build_wfg(snapshot).graph);
+    bool sg = graph::has_cycle(build_sg(snapshot).graph);
+    bool grg = graph::has_cycle(build_grg(snapshot).graph);
+    bool adaptive = graph::has_cycle(build_auto(snapshot).graph);
+    EXPECT_EQ(wfg, sg) << "seed=" << GetParam() << " trial=" << trial;
+    EXPECT_EQ(wfg, grg) << "seed=" << GetParam() << " trial=" << trial;
+    EXPECT_EQ(wfg, adaptive) << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+TEST_P(EquivalenceTest, CheckersAgreeAcrossModels) {
+  util::Xoshiro256 rng(GetParam() + 1000);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto snapshot = random_state(rng, 6, 3, 3);
+    CheckResult wfg = check_deadlocks(snapshot, GraphModel::kWfg);
+    CheckResult sg = check_deadlocks(snapshot, GraphModel::kSg);
+    CheckResult adaptive = check_deadlocks(snapshot, GraphModel::kAuto);
+    EXPECT_EQ(wfg.deadlocked(), sg.deadlocked());
+    EXPECT_EQ(wfg.deadlocked(), adaptive.deadlocked());
+  }
+}
+
+TEST_P(EquivalenceTest, SgShrinksSpmdStatesWfgShrinksForkJoinStates) {
+  util::Xoshiro256 rng(GetParam() + 2000);
+  // SPMD shape: many tasks, one barrier -> SG no larger than WFG.
+  {
+    std::vector<BlockedStatus> snapshot;
+    int tasks = 8 + static_cast<int>(rng.below(24));
+    for (int t = 1; t <= tasks; ++t) {
+      BlockedStatus s;
+      s.task = static_cast<TaskId>(t);
+      s.waits.push_back(Resource{1, 1});
+      s.registered.push_back({1, t == 1 ? 0u : 1u});  // one straggler
+      snapshot.push_back(std::move(s));
+    }
+    EXPECT_LE(build_sg(snapshot).edges(), build_wfg(snapshot).edges());
+  }
+  // Fork/join shape: one task waits per private barrier chain -> WFG no
+  // larger than SG node-wise.
+  {
+    std::vector<BlockedStatus> snapshot;
+    int tasks = 3 + static_cast<int>(rng.below(4));
+    for (int t = 1; t <= tasks; ++t) {
+      BlockedStatus s;
+      s.task = static_cast<TaskId>(t);
+      s.waits.push_back(Resource{static_cast<PhaserUid>(t), 1});
+      // Registered behind several other chains' events.
+      for (int p = 1; p <= tasks; ++p) {
+        s.registered.push_back({static_cast<PhaserUid>(p), 0});
+      }
+      snapshot.push_back(std::move(s));
+    }
+    EXPECT_LE(build_wfg(snapshot).nodes(), build_sg(snapshot).nodes() + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+/// Lemmas 4.5/4.6 as executable properties: the WFG and SG are the edge
+/// contractions of the GRG. Every WFG edge (t1, t2) factors through a GRG
+/// path t1 -> r -> t2, and every SG edge (r1, r2) through r1 -> t -> r2 —
+/// and conversely, every 2-step GRG path contracts to an edge.
+class ContractionTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContractionTest, WfgAndSgAreGrgContractions) {
+  util::Xoshiro256 rng(GetParam() + 5000);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto snapshot = random_state(rng, 6, 4, 3);
+    BuiltGraph wfg = build_wfg(snapshot);
+    BuiltGraph sg = build_sg(snapshot);
+    BuiltGraph grg = build_grg(snapshot);
+
+    const auto task_count = grg.tasks.size();
+    auto is_task = [&](graph::Node v) {
+      return static_cast<std::size_t>(v) < task_count;
+    };
+
+    // Contract the GRG: task->resource->task gives WFG edges,
+    // resource->task->resource gives SG edges.
+    std::set<std::pair<std::string, std::string>> contracted_wfg, contracted_sg;
+    for (std::size_t u = 0; u < grg.graph.num_nodes(); ++u) {
+      auto un = static_cast<graph::Node>(u);
+      for (graph::Node mid : grg.graph.out(un)) {
+        for (graph::Node w : grg.graph.out(mid)) {
+          if (is_task(un) && !is_task(mid) && is_task(w)) {
+            contracted_wfg.insert({grg.label(un), grg.label(w)});
+          }
+          if (!is_task(un) && is_task(mid) && !is_task(w)) {
+            contracted_sg.insert({grg.label(un), grg.label(w)});
+          }
+        }
+      }
+    }
+
+    EXPECT_EQ(edge_labels(wfg), contracted_wfg)
+        << "Lemma 4.5 failed, seed=" << GetParam() << " trial=" << trial;
+    EXPECT_EQ(edge_labels(sg), contracted_sg)
+        << "Lemma 4.6 failed, seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContractionTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace armus

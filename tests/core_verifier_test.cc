@@ -1,0 +1,244 @@
+// Tests for the Verifier facade: detection scanning, avoidance interrupts,
+// report deduplication, statistics and env-based configuration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+
+#include "core/verifier.h"
+
+namespace armus {
+namespace {
+
+using namespace std::chrono_literals;
+
+BlockedStatus status(TaskId task, std::vector<Resource> waits,
+                     std::vector<RegEntry> registered) {
+  BlockedStatus s;
+  s.task = task;
+  s.waits = std::move(waits);
+  s.registered = std::move(registered);
+  return s;
+}
+
+/// A 2-task cycle: t1 waits (p1,1) impeded by t2; t2 waits (p2,1) impeded
+/// by t1.
+void plant_cycle(Verifier& v) {
+  v.state().set_blocked(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+  v.state().set_blocked(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+}
+
+TEST(VerifierDetectionTest, ScannerReportsPlantedCycle) {
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<DeadlockReport> got;
+
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = 5ms;
+  config.on_deadlock = [&](const DeadlockReport& r) {
+    std::lock_guard<std::mutex> lock(m);
+    got.push_back(r);
+    cv.notify_all();
+  };
+  Verifier verifier(config);
+  plant_cycle(verifier);
+
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, 2s, [&] { return !got.empty(); }));
+  EXPECT_EQ(got[0].tasks, (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(verifier.reported().size(), got.size());
+}
+
+TEST(VerifierDetectionTest, SameDeadlockReportedOnce) {
+  std::atomic<int> reports{0};
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = 2ms;
+  config.on_deadlock = [&](const DeadlockReport&) { ++reports; };
+  Verifier verifier(config);
+  plant_cycle(verifier);
+  std::this_thread::sleep_for(100ms);  // dozens of scan periods
+  EXPECT_EQ(reports.load(), 1);
+  EXPECT_EQ(verifier.stats().deadlocks_found, 1u);
+}
+
+TEST(VerifierDetectionTest, NoFalsePositiveOnAcyclicState) {
+  std::atomic<int> reports{0};
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = 2ms;
+  config.on_deadlock = [&](const DeadlockReport&) { ++reports; };
+  Verifier verifier(config);
+  verifier.state().set_blocked(status(1, {{1, 1}}, {{1, 1}}));
+  verifier.state().set_blocked(status(2, {{1, 1}}, {{1, 1}}));
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(reports.load(), 0);
+}
+
+TEST(VerifierDetectionTest, UnblockClearsState) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = 1000ms;  // scanner effectively idle
+  Verifier verifier(config);
+  verifier.before_block(status(7, {{1, 1}}, {}));
+  EXPECT_EQ(verifier.state().blocked_count(), 1u);
+  verifier.after_unblock(7);
+  EXPECT_EQ(verifier.state().blocked_count(), 0u);
+}
+
+TEST(VerifierAvoidanceTest, ThrowsWhenBlockWouldCloseCycle) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kAvoidance;
+  Verifier verifier(config);
+
+  // First blocker: no cycle yet, passes.
+  EXPECT_NO_THROW(verifier.before_block(status(1, {{1, 1}}, {{1, 1}, {2, 0}})));
+  // Second blocker closes the cycle: interrupted.
+  try {
+    verifier.before_block(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+    FAIL() << "expected DeadlockAvoidedError";
+  } catch (const DeadlockAvoidedError& e) {
+    EXPECT_EQ(e.report().tasks, (std::vector<TaskId>{1, 2}));
+  }
+  // The interrupted task's status must have been withdrawn.
+  EXPECT_EQ(verifier.state().blocked_count(), 1u);
+  EXPECT_EQ(verifier.stats().avoidance_interrupts, 1u);
+}
+
+TEST(VerifierAvoidanceTest, SelfDeadlockInterruptedImmediately) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kAvoidance;
+  Verifier verifier(config);
+  // Waiting two phases ahead of its own signal: a length-1 cycle.
+  EXPECT_THROW(verifier.before_block(status(3, {{1, 2}}, {{1, 0}})),
+               DeadlockAvoidedError);
+  EXPECT_EQ(verifier.state().blocked_count(), 0u);
+}
+
+TEST(VerifierAvoidanceTest, IndependentBlockersPass) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kAvoidance;
+  Verifier verifier(config);
+  EXPECT_NO_THROW(verifier.before_block(status(1, {{1, 1}}, {{1, 1}})));
+  EXPECT_NO_THROW(verifier.before_block(status(2, {{1, 1}}, {{1, 1}})));
+  EXPECT_EQ(verifier.state().blocked_count(), 2u);
+}
+
+TEST(VerifierOffTest, HooksAreNoOps) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kOff;
+  Verifier verifier(config);
+  verifier.before_block(status(1, {{1, 1}}, {{1, 0}}));
+  EXPECT_EQ(verifier.state().blocked_count(), 0u);
+}
+
+TEST(VerifierStatsTest, CountsChecksAndModels) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kAvoidance;
+  config.model = GraphModel::kSg;
+  Verifier verifier(config);
+  verifier.before_block(status(1, {{1, 1}}, {{1, 1}}));
+  verifier.before_block(status(2, {{1, 1}}, {{1, 1}}));
+  auto stats = verifier.stats();
+  EXPECT_EQ(stats.checks, 2u);
+  EXPECT_EQ(stats.sg_builds, 2u);
+  EXPECT_EQ(stats.wfg_builds, 0u);
+  verifier.reset_stats();
+  EXPECT_EQ(verifier.stats().checks, 0u);
+}
+
+TEST(VerifierStatsTest, MeanEdgesTracksGraphSizes) {
+  Verifier::Stats stats;
+  stats.checks = 4;
+  stats.total_edges = 10;
+  EXPECT_DOUBLE_EQ(stats.mean_edges(), 2.5);
+  EXPECT_DOUBLE_EQ(Verifier::Stats{}.mean_edges(), 0.0);
+}
+
+TEST(VerifierNamesTest, DescribeUsesRegisteredNames) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kOff;
+  Verifier verifier(config);
+  verifier.set_task_name(1, "worker-1");
+  DeadlockReport report;
+  report.tasks = {1, 2};
+  report.resources = {{3, 1}};
+  std::string text = verifier.describe(report);
+  EXPECT_NE(text.find("worker-1"), std::string::npos);
+  EXPECT_NE(text.find("t2"), std::string::npos);
+  EXPECT_NE(text.find("p3@1"), std::string::npos);
+}
+
+TEST(VerifierRegistryTest, SnapshotMergesLiveRegistrations) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = 1000ms;
+  Verifier verifier(config);
+  verifier.before_block(status(1, {{1, 1}}, {}));
+  // Registration arrives *after* the task blocked (e.g. a parent's reg).
+  verifier.registry().set_entry(1, 2, 0);
+  auto snapshot = verifier.current_snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  ASSERT_EQ(snapshot[0].registered.size(), 1u);
+  EXPECT_EQ(snapshot[0].registered[0].phaser, 2u);
+}
+
+TEST(VerifierRegistryTest, RegistryValueWinsOverStoredStatus) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = 1000ms;
+  Verifier verifier(config);
+  verifier.before_block(status(1, {{1, 5}}, {{2, 0}}));
+  verifier.registry().set_entry(1, 2, 3);  // fresher phase
+  auto snapshot = verifier.current_snapshot();
+  ASSERT_EQ(snapshot[0].registered.size(), 1u);
+  EXPECT_EQ(snapshot[0].registered[0].local_phase, 3u);
+}
+
+TEST(VerifierConfigTest, FromEnvParsesSettings) {
+  ::setenv("ARMUS_MODE", "avoidance", 1);
+  ::setenv("ARMUS_GRAPH_MODEL", "wfg", 1);
+  ::setenv("ARMUS_CHECK_PERIOD_MS", "250", 1);
+  VerifierConfig config = VerifierConfig::from_env();
+  EXPECT_EQ(config.mode, VerifyMode::kAvoidance);
+  EXPECT_EQ(config.model, GraphModel::kWfg);
+  EXPECT_EQ(config.period.count(), 250);
+  ::unsetenv("ARMUS_MODE");
+  ::unsetenv("ARMUS_GRAPH_MODEL");
+  ::unsetenv("ARMUS_CHECK_PERIOD_MS");
+}
+
+TEST(VerifierConfigTest, ModeNamesRoundTrip) {
+  for (VerifyMode m :
+       {VerifyMode::kOff, VerifyMode::kDetection, VerifyMode::kAvoidance}) {
+    EXPECT_EQ(verify_mode_from_string(to_string(m)), m);
+  }
+  EXPECT_THROW(verify_mode_from_string("nope"), std::invalid_argument);
+}
+
+TEST(DefaultVerifierTest, SetAndGet) {
+  EXPECT_EQ(default_verifier(), nullptr);
+  VerifierConfig config;
+  config.mode = VerifyMode::kOff;
+  Verifier v(config);
+  set_default_verifier(&v);
+  EXPECT_EQ(default_verifier(), &v);
+  set_default_verifier(nullptr);
+}
+
+TEST(ReportTest, FingerprintStableAndDistinct) {
+  DeadlockReport a, b, c;
+  a.tasks = {1, 2, 3};
+  b.tasks = {1, 2, 3};
+  c.tasks = {1, 2, 4};
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  EXPECT_NE(a.to_string().find("t1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace armus

@@ -1,0 +1,302 @@
+// Tests for the distributed substrate: codec round-trips, the store's
+// semantics and fault injection, and end-to-end cross-site deadlock
+// detection with fault tolerance (§5.2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "dist/codec.h"
+#include "dist/site.h"
+#include "phaser/phaser.h"
+#include "runtime/task.h"
+
+namespace armus::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+BlockedStatus status(TaskId task, std::vector<Resource> waits,
+                     std::vector<RegEntry> registered) {
+  BlockedStatus s;
+  s.task = task;
+  s.waits = std::move(waits);
+  s.registered = std::move(registered);
+  return s;
+}
+
+// --- codec -------------------------------------------------------------------
+
+TEST(CodecTest, RoundTripsEmpty) {
+  EXPECT_TRUE(decode_statuses(encode_statuses({})).empty());
+}
+
+TEST(CodecTest, RoundTripsStatuses) {
+  std::vector<BlockedStatus> in{
+      status(1, {{10, 1}}, {{10, 1}, {11, 0}}),
+      status(2, {{11, 3}, {12, 9}}, {}),
+      status(300, {}, {{1, 7}}),
+  };
+  auto out = decode_statuses(encode_statuses(in));
+  EXPECT_EQ(in, out);
+}
+
+TEST(CodecTest, RejectsTruncatedInput) {
+  std::string bytes = encode_statuses({status(1, {{10, 1}}, {})});
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(decode_statuses(bytes), std::runtime_error);
+}
+
+TEST(CodecTest, RejectsTrailingGarbage) {
+  std::string bytes = encode_statuses({status(1, {{10, 1}}, {})});
+  bytes += "xx";
+  EXPECT_THROW(decode_statuses(bytes), std::runtime_error);
+}
+
+TEST(CodecTest, RejectsBogusCounts) {
+  std::string bytes(8, '\xff');  // count = 2^64-1
+  EXPECT_THROW(decode_statuses(bytes), std::runtime_error);
+}
+
+// --- store -------------------------------------------------------------------
+
+TEST(StoreTest, SlicesAreDisjointPerSite) {
+  Store store;
+  store.put_slice(1, "aaa");
+  store.put_slice(2, "bbb");
+  store.put_slice(1, "ccc");  // overwrites site 1 only
+  auto snapshot = store.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].payload, "ccc");
+  EXPECT_EQ(snapshot[0].version, 2u);
+  EXPECT_EQ(snapshot[1].payload, "bbb");
+  EXPECT_EQ(snapshot[1].version, 1u);
+}
+
+TEST(StoreTest, RemoveSliceDropsSite) {
+  Store store;
+  store.put_slice(1, "a");
+  store.put_slice(2, "b");
+  store.remove_slice(1);
+  auto snapshot = store.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].site, 2u);
+}
+
+TEST(StoreTest, FailureInjection) {
+  Store store;
+  store.put_slice(1, "a");
+  store.set_available(false);
+  EXPECT_THROW(store.put_slice(1, "b"), StoreUnavailableError);
+  EXPECT_THROW(store.snapshot(), StoreUnavailableError);
+  store.set_available(true);
+  // Recovery: previous data survived the outage.
+  auto snapshot = store.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].payload, "a");
+}
+
+TEST(StoreTest, CountsOperations) {
+  Store store;
+  store.put_slice(1, "a");
+  store.put_slice(2, "b");
+  (void)store.snapshot();
+  EXPECT_EQ(store.writes(), 2u);
+  EXPECT_EQ(store.reads(), 1u);
+}
+
+// --- sites -------------------------------------------------------------------
+
+/// Plants one half of a 2-task cross-site cycle on each site's verifier.
+void plant_cross_site_cycle(Site& a, Site& b) {
+  a.verifier().state().set_blocked(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+  b.verifier().state().set_blocked(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+}
+
+TEST(SiteTest, DetectsCrossSiteDeadlock) {
+  auto store = std::make_shared<Store>();
+  Site::Config ca, cb;
+  ca.id = 0;
+  cb.id = 1;
+  Site a(ca, store), b(cb, store);
+  plant_cross_site_cycle(a, b);
+
+  // Drive the protocol by hand: publish both slices, then check at both.
+  a.publish_now();
+  b.publish_now();
+  a.check_now();
+  b.check_now();
+
+  ASSERT_EQ(a.reported().size(), 1u);
+  ASSERT_EQ(b.reported().size(), 1u);
+  EXPECT_EQ(a.reported()[0].tasks, (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(b.reported()[0].tasks, (std::vector<TaskId>{1, 2}));
+}
+
+TEST(SiteTest, NoSiteSeesTheCycleFromItsLocalHalfAlone) {
+  auto store = std::make_shared<Store>();
+  Site::Config ca, cb;
+  ca.id = 0;
+  cb.id = 1;
+  Site a(ca, store), b(cb, store);
+  plant_cross_site_cycle(a, b);
+
+  a.publish_now();  // only site a's slice is in the store
+  a.check_now();
+  EXPECT_TRUE(a.reported().empty());  // half a cycle is not a deadlock
+}
+
+TEST(SiteTest, PeriodicLoopsFindTheDeadlock) {
+  auto store = std::make_shared<Store>();
+  std::atomic<int> callbacks{0};
+  Site::Config ca, cb;
+  ca.id = 0;
+  ca.publish_period = 5ms;
+  ca.check_period = 5ms;
+  ca.on_deadlock = [&](const DeadlockReport&) { ++callbacks; };
+  cb = ca;
+  cb.id = 1;
+  cb.on_deadlock = nullptr;
+  Site a(ca, store), b(cb, store);
+  plant_cross_site_cycle(a, b);
+  a.start();
+  b.start();
+  for (int i = 0; i < 400 && callbacks.load() == 0; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  a.stop();
+  b.stop();
+  EXPECT_GE(callbacks.load(), 1);
+  EXPECT_EQ(a.stats().deadlocks_found, 1u);  // deduplicated
+}
+
+TEST(SiteTest, SurvivesStoreOutage) {
+  auto store = std::make_shared<Store>();
+  Site::Config config;
+  config.id = 0;
+  Site site(config, store);
+  site.verifier().state().set_blocked(status(1, {{1, 1}}, {{1, 1}}));
+
+  store->set_available(false);
+  site.publish_now();  // absorbed
+  site.check_now();    // absorbed
+  EXPECT_GE(site.stats().store_failures, 2u);
+
+  store->set_available(true);
+  site.publish_now();
+  site.check_now();
+  EXPECT_EQ(site.stats().publishes, 1u);
+  EXPECT_EQ(site.stats().checks, 1u);
+}
+
+TEST(SiteTest, SiteFailureLeavesOthersOperational) {
+  auto store = std::make_shared<Store>();
+  Site::Config ca, cb;
+  ca.id = 0;
+  cb.id = 1;
+  auto a = std::make_unique<Site>(ca, store);
+  Site b(cb, store);
+  plant_cross_site_cycle(*a, b);
+  a->publish_now();
+  a.reset();  // site a dies; its slice persists in the store
+  b.publish_now();
+  b.check_now();
+  ASSERT_EQ(b.reported().size(), 1u);  // b still detects the global cycle
+}
+
+TEST(ClusterTest, BuildsAndRunsNSites) {
+  Cluster::Config config;
+  config.site_count = 4;
+  config.publish_period = 5ms;
+  config.check_period = 5ms;
+  std::atomic<int> reports{0};
+  config.on_deadlock = [&](SiteId, const DeadlockReport&) { ++reports; };
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.size(), 4u);
+  plant_cross_site_cycle(cluster.site(0), cluster.site(1));
+  cluster.start();
+  for (int i = 0; i < 400 && reports.load() < 4; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  cluster.stop();
+  // Every site checks independently — all four must find the deadlock.
+  EXPECT_EQ(reports.load(), 4);
+  EXPECT_EQ(cluster.total_reports(), 4u);
+}
+
+// --- end-to-end: real phaser deadlock across sites ------------------------------
+
+TEST(DistEndToEndTest, CrossSitePhaserDeadlockDetected) {
+  Cluster::Config config;
+  config.site_count = 2;
+  config.publish_period = 5ms;
+  config.check_period = 5ms;
+  Cluster cluster(config);
+  cluster.start();
+
+  // A phaser spanning both sites. Task A (site 0) and task B (site 1) each
+  // wait at a barrier the other never arrives at.
+  auto p = ph::Phaser::create(&cluster.site(0).verifier());
+  auto q = ph::Phaser::create(&cluster.site(0).verifier());
+
+  // Start gate: neither body runs until both tasks are registered on both
+  // phasers, or an early arrival could make the second registration look
+  // like a clock rewind.
+  std::atomic<bool> start{false};
+
+  std::atomic<bool> resolved{false};
+  rt::Task ta = rt::spawn_with(
+      [&](TaskId child) {
+        p->register_task(child, 0);
+        q->register_task(child, 0);
+      },
+      [&] {
+        while (!start.load()) std::this_thread::yield();
+        TaskId self = rt::current_task();
+        p->arrive(self);
+        p->await(self, 1);  // site-0 task blocked on p
+        // The rescue may have deregistered us from q already.
+        if (q->is_registered(self)) q->arrive_and_deregister(self);
+        if (p->is_registered(self)) p->deregister(self);
+      },
+      &cluster.site(0).verifier(), "site0-task");
+  rt::Task tb = rt::spawn_with(
+      [&](TaskId child) {
+        p->register_task(child, 0);
+        q->register_task(child, 0);
+      },
+      [&] {
+        while (!start.load()) std::this_thread::yield();
+        TaskId self = rt::current_task();
+        q->arrive(self);
+        q->await(self, 1);  // site-1 task blocked on q -> cycle
+        if (p->is_registered(self)) p->arrive_and_deregister(self);
+        if (q->is_registered(self)) q->deregister(self);
+      },
+      &cluster.site(1).verifier(), "site1-task");
+
+  start.store(true);
+
+  // Wait for any site to report, then resolve by advancing from outside
+  // (deregistering the stragglers), so the test terminates.
+  for (int i = 0; i < 600 && cluster.total_reports() == 0; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  std::size_t reports = cluster.total_reports();
+  // Resolve: drop task A from q (it has not arrived there) so task B wakes;
+  // then A wakes in turn.
+  if (ta.id() != kInvalidTask && q->is_registered(ta.id())) {
+    q->deregister(ta.id());
+  }
+  if (tb.id() != kInvalidTask && p->is_registered(tb.id())) {
+    p->deregister(tb.id());
+  }
+  resolved = true;
+  ta.join();
+  tb.join();
+  cluster.stop();
+  EXPECT_GE(reports, 1u);
+  EXPECT_TRUE(resolved.load());
+}
+
+}  // namespace
+}  // namespace armus::dist

@@ -1,0 +1,176 @@
+// Unit and property tests for the graph substrate: cycle detection and SCCs
+// must agree with a naive reachability-based oracle on random digraphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/cycle.h"
+#include "graph/dot.h"
+#include "util/rng.h"
+
+namespace armus::graph {
+namespace {
+
+DiGraph from_edges(std::size_t n, const std::vector<std::pair<Node, Node>>& edges) {
+  DiGraph g(n);
+  for (auto [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+// --- find_cycle on known shapes ---------------------------------------------
+
+TEST(CycleTest, EmptyGraphHasNoCycle) {
+  DiGraph g;
+  EXPECT_FALSE(find_cycle(g).has_value());
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(CycleTest, SingleNodeNoEdges) {
+  DiGraph g(1);
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(CycleTest, SelfLoopIsALengthOneCycle) {
+  // Theorem 4.8 case 1: a task waiting on an event it itself impedes.
+  auto g = from_edges(1, {{0, 0}});
+  auto cycle = find_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 1u);
+  EXPECT_EQ((*cycle)[0], 0);
+}
+
+TEST(CycleTest, TwoCycle) {
+  auto g = from_edges(2, {{0, 1}, {1, 0}});
+  auto cycle = find_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 2u);
+}
+
+TEST(CycleTest, ChainIsAcyclic) {
+  auto g = from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(CycleTest, DiamondIsAcyclic) {
+  auto g = from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(CycleTest, CycleReachableOnlyFromLaterRoot) {
+  // DFS must find the cycle even when the first root explored is acyclic.
+  auto g = from_edges(5, {{0, 1}, {2, 3}, {3, 4}, {4, 2}});
+  auto cycle = find_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 3u);
+}
+
+TEST(CycleTest, ReturnedCycleIsAValidWalk) {
+  auto g = from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 1}, {3, 4}, {4, 5}});
+  auto cycle = find_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  // Every consecutive pair (and the wrap-around) must be an edge.
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    Node u = (*cycle)[i];
+    Node v = (*cycle)[(i + 1) % cycle->size()];
+    auto out = g.out(u);
+    EXPECT_NE(std::find(out.begin(), out.end(), v), out.end())
+        << "missing edge " << u << "->" << v;
+  }
+}
+
+TEST(CycleTest, ParallelEdgesAreHarmless) {
+  auto g = from_edges(2, {{0, 1}, {0, 1}, {1, 0}});
+  EXPECT_TRUE(has_cycle(g));
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+// --- SCCs --------------------------------------------------------------------
+
+TEST(SccTest, DistinctComponents) {
+  // {0,1,2} cyclic, {3} alone, {4,5} cyclic.
+  auto g = from_edges(6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 4}});
+  SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 3u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+  EXPECT_EQ(scc.component[4], scc.component[5]);
+}
+
+TEST(SccTest, CyclicComponentsFiltersSingletons) {
+  auto g = from_edges(5, {{0, 1}, {1, 0}, {2, 2}, {3, 4}});
+  auto cyclic = cyclic_components(g);
+  ASSERT_EQ(cyclic.size(), 2u);
+  std::size_t total = 0;
+  for (const auto& comp : cyclic) total += comp.size();
+  EXPECT_EQ(total, 3u);  // {0,1} and {2}
+}
+
+TEST(SccTest, AcyclicGraphHasNoCyclicComponents) {
+  auto g = from_edges(4, {{0, 1}, {1, 2}, {0, 3}, {3, 2}});
+  EXPECT_TRUE(cyclic_components(g).empty());
+}
+
+// --- dot export ---------------------------------------------------------------
+
+TEST(DotTest, ContainsNodesAndEdges) {
+  auto g = from_edges(2, {{0, 1}});
+  std::string dot =
+      to_dot(g, "test", [](Node v) { return "n" + std::to_string(v); });
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+// --- property: agreement with a naive oracle ---------------------------------
+
+/// O(V^3)-ish oracle: a cycle exists iff some node reaches itself through
+/// at least one edge (transitive closure).
+bool oracle_has_cycle(const DiGraph& g) {
+  std::size_t n = g.num_nodes();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (Node v : g.out(static_cast<Node>(u))) {
+      reach[u][static_cast<std::size_t>(v)] = true;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (reach[k][j]) reach[i][j] = true;
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (reach[v][v]) return true;
+  }
+  return false;
+}
+
+class RandomGraphCycleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphCycleTest, MatchesOracle) {
+  util::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::size_t n = 1 + rng.below(12);
+    double density = rng.uniform() * 0.35;
+    DiGraph g(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (rng.chance(density)) {
+          g.add_edge(static_cast<Node>(u), static_cast<Node>(v));
+        }
+      }
+    }
+    bool expected = oracle_has_cycle(g);
+    EXPECT_EQ(has_cycle(g), expected) << "seed=" << GetParam() << " trial=" << trial;
+    // SCC view must agree as well.
+    EXPECT_EQ(!cyclic_components(g).empty(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphCycleTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace armus::graph

@@ -1,0 +1,309 @@
+// Semantics tests for the phaser primitive against the Figure 4 rules:
+// registration/deregistration, arrival, observation, split-phase operation,
+// registration modes and misuse errors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "phaser/phaser.h"
+
+namespace armus::ph {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(PhaserTest, EmptyPhaserObservesEveryPhase) {
+  auto p = Phaser::create(nullptr);
+  EXPECT_EQ(p->observed_phase(), kPhaseInfinity);
+  EXPECT_TRUE(p->try_await(0));
+  EXPECT_TRUE(p->try_await(1000));  // await(P, n) vacuously true
+}
+
+TEST(PhaserTest, SingleMemberAdvances) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  EXPECT_EQ(p->observed_phase(), 0u);
+  EXPECT_EQ(p->local_phase(1), 0u);
+  EXPECT_EQ(p->arrive(1), 1u);
+  EXPECT_EQ(p->observed_phase(), 1u);
+  EXPECT_TRUE(p->try_await(1));
+  EXPECT_FALSE(p->try_await(2));
+}
+
+TEST(PhaserTest, ObservedIsMinimumOverMembers) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  p->register_task(2, 0);
+  p->arrive(1);
+  EXPECT_EQ(p->observed_phase(), 0u);  // t2 lags
+  p->arrive(2);
+  EXPECT_EQ(p->observed_phase(), 1u);
+}
+
+TEST(PhaserTest, RegistrationInheritsPhase) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  p->arrive(1);
+  p->arrive(1);
+  // [reg]: a child may join at the registrar's phase.
+  p->register_task(2, p->local_phase(1));
+  EXPECT_EQ(p->local_phase(2), 2u);
+  EXPECT_EQ(p->observed_phase(), 2u);
+}
+
+TEST(PhaserTest, RegistrationCannotRewindTheClock) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  p->arrive(1);  // observed = 1
+  EXPECT_THROW(p->register_task(2, 0), PhaserError);
+}
+
+TEST(PhaserTest, RegisterAtObservedJoinsLate) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  p->arrive(1);
+  p->register_task_at_observed(2);
+  EXPECT_EQ(p->local_phase(2), 1u);
+}
+
+TEST(PhaserTest, DoubleRegistrationRejected) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  EXPECT_THROW(p->register_task(1, 0), PhaserError);
+}
+
+TEST(PhaserTest, OperationsRequireMembership) {
+  auto p = Phaser::create(nullptr);
+  EXPECT_THROW(p->arrive(9), PhaserError);
+  EXPECT_THROW(p->deregister(9), PhaserError);
+  EXPECT_THROW(p->local_phase(9), PhaserError);
+  EXPECT_THROW(p->mode_of(9), PhaserError);
+}
+
+TEST(PhaserTest, DeregistrationReleasesWaiters) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  p->register_task(2, 0);
+  p->arrive(1);
+
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    p->await(1, 1);  // blocked: t2 is at phase 0
+    released = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(released.load());
+  p->deregister(2);  // [dereg] lifts the impediment
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(PhaserTest, TwoThreadBarrierStep) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  p->register_task(2, 0);
+  std::atomic<int> phase_seen{-1};
+  std::thread a([&] {
+    Phase observed = p->advance(1);
+    phase_seen = static_cast<int>(observed);
+  });
+  std::thread b([&] { p->advance(2); });
+  a.join();
+  b.join();
+  EXPECT_EQ(phase_seen.load(), 1);
+  EXPECT_EQ(p->observed_phase(), 1u);
+}
+
+TEST(PhaserTest, ManyThreadsManySteps) {
+  constexpr int kTasks = 8;
+  constexpr int kSteps = 50;
+  auto p = Phaser::create(nullptr);
+  for (TaskId t = 1; t <= kTasks; ++t) p->register_task(t, 0);
+
+  // Each task increments a shared counter between barrier steps; with
+  // correct barrier semantics every step sees exactly kTasks increments.
+  std::atomic<int> counter{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (TaskId t = 1; t <= kTasks; ++t) {
+    threads.emplace_back([&, t] {
+      for (int step = 0; step < kSteps; ++step) {
+        ++counter;
+        p->advance(t);
+        if (counter.load() != kTasks * (step + 1)) {
+          // Reads may race with increments of the *next* step only if the
+          // barrier failed; a second advance orders them.
+        }
+        p->advance(t);
+        if (counter.load() < kTasks * (step + 1)) failed = true;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kTasks * kSteps);
+  EXPECT_EQ(p->observed_phase(), 2u * kSteps);
+}
+
+TEST(PhaserTest, SplitPhaseArriveThenAwait) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  p->register_task(2, 0);
+  // t1 signals early (non-blocking), does "other work", then waits.
+  Phase ticket = p->arrive(1);
+  EXPECT_EQ(ticket, 1u);
+  EXPECT_FALSE(p->try_await(ticket));
+  p->arrive(2);
+  p->await(1, ticket);  // returns immediately now
+  EXPECT_TRUE(p->try_await(ticket));
+}
+
+TEST(PhaserTest, AwaitArbitraryFuturePhase) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0, RegMode::kSig);  // producer
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    p->await(2, 3);  // consumer (not a member) waits for phase 3
+    got = true;
+  });
+  std::this_thread::sleep_for(10ms);
+  p->arrive(1);
+  p->arrive(1);
+  EXPECT_FALSE(got.load());
+  p->arrive(1);  // phase 3 reached
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(PhaserTest, WaitOnlyMembersDoNotImpede) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0, RegMode::kSigWait);
+  p->register_task(2, 0, RegMode::kWait);  // consumer
+  p->arrive(1);
+  // Observed phase ignores the wait-only member still at 0.
+  EXPECT_EQ(p->observed_phase(), 1u);
+}
+
+TEST(PhaserTest, SigOnlyMembersImpede) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0, RegMode::kSigWait);
+  p->register_task(2, 0, RegMode::kSig);
+  p->arrive(1);
+  EXPECT_EQ(p->observed_phase(), 0u);  // producer t2 has not signalled
+  p->arrive(2);
+  EXPECT_EQ(p->observed_phase(), 1u);
+}
+
+TEST(PhaserTest, ArriveAndDeregisterNeverBlocks) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  p->register_task(2, 0);
+  EXPECT_EQ(p->arrive_and_deregister(1), 1u);
+  EXPECT_FALSE(p->is_registered(1));
+  EXPECT_EQ(p->member_count(), 1u);
+  // t2 alone now: its advance completes immediately.
+  p->advance(2);
+}
+
+TEST(PhaserTest, AwaitForTimesOut) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  p->register_task(2, 0);
+  p->arrive(1);
+  EXPECT_FALSE(p->await_for(1, 1, 30ms));  // t2 never arrives
+  p->arrive(2);
+  EXPECT_TRUE(p->await_for(1, 1, 30ms));
+}
+
+TEST(PhaserTest, AwaitPastPhaseReturnsImmediately) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0);
+  p->arrive(1);
+  p->await(1, 0);  // already past
+  p->await(1, 1);
+}
+
+TEST(PhaserTest, UidsAreUnique) {
+  auto a = Phaser::create(nullptr);
+  auto b = Phaser::create(nullptr);
+  EXPECT_NE(a->uid(), b->uid());
+}
+
+TEST(PhaserTest, ModeOfReflectsRegistration) {
+  auto p = Phaser::create(nullptr);
+  p->register_task(1, 0, RegMode::kSig);
+  EXPECT_EQ(p->mode_of(1), RegMode::kSig);
+}
+
+// --- verifier integration at the phaser level ---------------------------------
+
+TEST(PhaserVerifierTest, RegistryTracksPhases) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = std::chrono::milliseconds(1000);
+  Verifier verifier(config);
+
+  auto p = Phaser::create(&verifier);
+  p->register_task(1, 0);
+  auto entries = verifier.registry().entries(1);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].local_phase, 0u);
+  p->arrive(1);
+  EXPECT_EQ(verifier.registry().entries(1)[0].local_phase, 1u);
+  p->deregister(1);
+  EXPECT_TRUE(verifier.registry().entries(1).empty());
+}
+
+TEST(PhaserVerifierTest, WaitOnlyRegistrationStaysOutOfRegistry) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = std::chrono::milliseconds(1000);
+  Verifier verifier(config);
+  auto p = Phaser::create(&verifier);
+  p->register_task(1, 0, RegMode::kWait);
+  EXPECT_TRUE(verifier.registry().entries(1).empty());
+}
+
+TEST(PhaserVerifierTest, AvoidanceInterruptsSelfDeadlock) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kAvoidance;
+  Verifier verifier(config);
+  auto p = Phaser::create(&verifier);
+  p->register_task(1, 0);
+  // Awaiting one phase ahead of one's own signal can never be satisfied.
+  EXPECT_THROW(p->await(1, 1), DeadlockAvoidedError);
+  // The task is still registered (policy decisions live in the runtime
+  // layer) but nothing is left in the blocked set.
+  EXPECT_TRUE(p->is_registered(1));
+  EXPECT_EQ(verifier.state().blocked_count(), 0u);
+}
+
+TEST(PhaserVerifierTest, BlockedStatusPublishedWhileWaiting) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = std::chrono::milliseconds(1000);
+  Verifier verifier(config);
+  auto p = Phaser::create(&verifier);
+  p->register_task(1, 0);
+  p->register_task(2, 0);
+  p->arrive(1);
+
+  std::thread waiter([&] { p->await(1, 1); });
+  // Wait until the status shows up, then release.
+  for (int i = 0; i < 200 && verifier.state().blocked_count() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(verifier.state().blocked_count(), 1u);
+  auto snapshot = verifier.current_snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].task, 1u);
+  ASSERT_EQ(snapshot[0].waits.size(), 1u);
+  EXPECT_EQ(snapshot[0].waits[0], (Resource{p->uid(), 1}));
+  p->arrive(2);
+  waiter.join();
+  EXPECT_EQ(verifier.state().blocked_count(), 0u);
+}
+
+}  // namespace
+}  // namespace armus::ph

@@ -1,0 +1,127 @@
+// Parser tests: concrete-syntax round trips with the pretty printer,
+// acceptance of the paper's Figure 3, and error reporting.
+#include <gtest/gtest.h>
+
+#include "pl/deadlock.h"
+#include "pl/explorer.h"
+#include "pl/parser.h"
+
+namespace armus::pl {
+namespace {
+
+TEST(ParserTest, EmptyProgram) {
+  EXPECT_TRUE(parse_program("").empty());
+  EXPECT_TRUE(parse_program("  \n // just a comment\n").empty());
+}
+
+TEST(ParserTest, SimpleInstructions) {
+  Seq seq = parse_program("p = newPhaser(); adv(p); await(p); dereg(p); skip;");
+  ASSERT_EQ(seq.size(), 5u);
+  EXPECT_EQ(seq[0].op, Op::kNewPhaser);
+  EXPECT_EQ(seq[1].op, Op::kAdv);
+  EXPECT_EQ(seq[2].op, Op::kAwait);
+  EXPECT_EQ(seq[3].op, Op::kDereg);
+  EXPECT_EQ(seq[4].op, Op::kSkip);
+  EXPECT_EQ(seq[1].var, "p");
+}
+
+TEST(ParserTest, RegUsesPaperArgumentOrder) {
+  // Figure 3 writes reg(pc, t): phaser first, task second.
+  Seq seq = parse_program("p = newPhaser(); t = newTid(); reg(p, t);");
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[2].op, Op::kReg);
+  EXPECT_EQ(seq[2].var, "t");   // task var
+  EXPECT_EQ(seq[2].var2, "p");  // phaser var
+}
+
+TEST(ParserTest, ForkAndLoopBlocks) {
+  Seq seq = parse_program(R"(
+    t = newTid();
+    fork(t)
+      loop
+        skip;
+      end;
+    end;
+  )");
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq[1].op, Op::kFork);
+  ASSERT_NE(seq[1].body, nullptr);
+  ASSERT_EQ(seq[1].body->size(), 1u);
+  EXPECT_EQ((*seq[1].body)[0].op, Op::kLoop);
+}
+
+TEST(ParserTest, CommentsAreSkipped) {
+  Seq seq = parse_program(R"(
+    // leading comment
+    skip;  // trailing comment
+    skip;
+  )");
+  EXPECT_EQ(seq.size(), 2u);
+}
+
+TEST(ParserTest, PrettyPrintRoundTrip) {
+  Seq original = parse_program(R"(
+    pc = newPhaser();
+    pb = newPhaser();
+    t0 = newTid();
+    reg(pc, t0);
+    reg(pb, t0);
+    fork(t0)
+      loop
+        skip;
+        adv(pc);
+        await(pc);
+      end;
+      dereg(pc);
+      dereg(pb);
+    end;
+    adv(pb);
+    await(pb);
+  )");
+  Seq reparsed = parse_program(to_string(original));
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(ParserTest, ParsedFigure3DeadlocksUnderExploration) {
+  Seq program = parse_program(R"(
+    pc = newPhaser();
+    pb = newPhaser();
+    t0 = newTid();
+    reg(pc, t0); reg(pb, t0);
+    fork(t0)
+      adv(pc); await(pc);
+      dereg(pc); dereg(pb);
+    end;
+    adv(pb); await(pb);
+  )");
+  ExploreResult result = explore(program, {20000, 60});
+  EXPECT_GT(result.deadlocked_states, 0u);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_program("skip;\nskip;\nbogus(p);\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse_program("skip"), ParseError);            // missing ';'
+  EXPECT_THROW(parse_program("adv(p;"), ParseError);          // missing ')'
+  EXPECT_THROW(parse_program("x = frob();"), ParseError);     // unknown call
+  EXPECT_THROW(parse_program("loop skip; "), ParseError);     // missing end
+  EXPECT_THROW(parse_program("fork(t) skip; end"), ParseError);  // missing ';'
+  EXPECT_THROW(parse_program("reg(p);"), ParseError);         // arity
+  EXPECT_THROW(parse_program("@"), ParseError);               // bad char
+  EXPECT_THROW(parse_program("skip; )"), ParseError);         // trailing junk
+}
+
+TEST(ParserTest, EndAsVariableNameIsRejected) {
+  // `end` is the block closer; using it as a variable cannot parse.
+  EXPECT_THROW(parse_program("end = newTid();"), ParseError);
+}
+
+}  // namespace
+}  // namespace armus::pl

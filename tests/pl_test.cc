@@ -1,0 +1,338 @@
+// Unit tests for the PL core language: the Figure 4 rules, the deadlock
+// definitions, the ϕ abstraction, and the Figure 3 running example.
+#include <gtest/gtest.h>
+
+#include "pl/deadlock.h"
+#include "pl/explorer.h"
+#include "pl/generator.h"
+#include "pl/semantics.h"
+
+namespace armus::pl {
+namespace {
+
+/// Applies the only enabled step of the given task (loops pick `kind`).
+State step_task(const State& state, TaskName task,
+                Step::Kind kind = Step::Kind::kPlain) {
+  return apply_step(state, Step{task, kind});
+}
+
+// --- individual rules ---------------------------------------------------------
+
+TEST(SemanticsTest, SkipPopsInstruction) {
+  State s = initial_state({skip(), skip()});
+  EXPECT_EQ(s.tasks.at(1).remaining.size(), 2u);
+  s = step_task(s, 1);
+  EXPECT_EQ(s.tasks.at(1).remaining.size(), 1u);
+  EXPECT_EQ(task_status(s, 1), TaskStatus::kRunnable);
+}
+
+TEST(SemanticsTest, NewTidCreatesTerminatedTask) {
+  State s = initial_state({new_tid("t")});
+  s = step_task(s, 1);
+  EXPECT_EQ(s.tasks.size(), 2u);
+  TaskName fresh = s.tasks.at(1).env.at("t");
+  EXPECT_EQ(task_status(s, fresh), TaskStatus::kTerminated);
+}
+
+TEST(SemanticsTest, ForkInstallsBodyWithParentEnv) {
+  State s = initial_state({new_phaser("p"), new_tid("t"), reg("t", "p"),
+                           fork("t", {adv("p")})});
+  s = step_task(s, 1);  // newPhaser
+  s = step_task(s, 1);  // newTid
+  s = step_task(s, 1);  // reg
+  s = step_task(s, 1);  // fork
+  TaskName child = s.tasks.at(1).env.at("t");
+  EXPECT_EQ(task_status(s, child), TaskStatus::kRunnable);
+  // The child's env resolves p: its adv must be executable.
+  State after = step_task(s, child);
+  PhaserName p = s.tasks.at(1).env.at("p");
+  EXPECT_EQ(after.phasers.at(p).at(child), 1u);
+}
+
+TEST(SemanticsTest, ForkBeforeNewTidIsStuck) {
+  State s = initial_state({fork("t", {skip()})});
+  EXPECT_EQ(task_status(s, 1), TaskStatus::kStuck);
+  EXPECT_TRUE(enabled_steps(s).empty());
+}
+
+TEST(SemanticsTest, NewPhaserRegistersCreatorAtZero) {
+  State s = initial_state({new_phaser("p")});
+  s = step_task(s, 1);
+  PhaserName p = s.tasks.at(1).env.at("p");
+  EXPECT_EQ(s.phasers.at(p).at(1), 0u);
+}
+
+TEST(SemanticsTest, RegInheritsRegistrarPhase) {
+  State s = initial_state(
+      {new_phaser("p"), adv("p"), new_tid("t"), reg("t", "p")});
+  s = step_task(s, 1);  // newPhaser
+  s = step_task(s, 1);  // adv -> root at phase 1
+  s = step_task(s, 1);  // newTid
+  s = step_task(s, 1);  // reg
+  TaskName child = s.tasks.at(1).env.at("t");
+  PhaserName p = s.tasks.at(1).env.at("p");
+  EXPECT_EQ(s.phasers.at(p).at(child), 1u);
+}
+
+TEST(SemanticsTest, DoubleRegIsStuck) {
+  State s = initial_state(
+      {new_phaser("p"), new_tid("t"), reg("t", "p"), reg("t", "p")});
+  s = step_task(s, 1);
+  s = step_task(s, 1);
+  s = step_task(s, 1);
+  EXPECT_EQ(task_status(s, 1), TaskStatus::kStuck);
+}
+
+TEST(SemanticsTest, DeregRemovesMembership) {
+  State s = initial_state({new_phaser("p"), dereg("p"), adv("p")});
+  s = step_task(s, 1);
+  s = step_task(s, 1);
+  PhaserName p = s.tasks.at(1).env.at("p");
+  EXPECT_TRUE(s.phasers.at(p).empty());
+  // adv on a phaser we are no longer registered with: stuck.
+  EXPECT_EQ(task_status(s, 1), TaskStatus::kStuck);
+}
+
+TEST(SemanticsTest, AwaitSatisfiedWhenAllMembersReachPhase) {
+  State s = initial_state({new_phaser("p"), adv("p"), await("p")});
+  s = step_task(s, 1);
+  s = step_task(s, 1);
+  // Sole member at phase 1 awaiting phase 1: satisfied.
+  EXPECT_EQ(task_status(s, 1), TaskStatus::kRunnable);
+  s = step_task(s, 1);
+  EXPECT_EQ(task_status(s, 1), TaskStatus::kTerminated);
+}
+
+TEST(SemanticsTest, AwaitBlocksOnLaggingMember) {
+  State s = initial_state({new_phaser("p"), new_tid("t"), reg("t", "p"),
+                           fork("t", {}), adv("p"), await("p")});
+  for (int i = 0; i < 5; ++i) s = step_task(s, 1);
+  // Child (at phase 0) never advances: the root is blocked.
+  EXPECT_EQ(task_status(s, 1), TaskStatus::kBlocked);
+}
+
+TEST(SemanticsTest, LoopHasTwoOutcomes) {
+  State s = initial_state({loop({skip()})});
+  auto steps = enabled_steps(s);
+  ASSERT_EQ(steps.size(), 2u);
+  // [i-loop]: body prepended, loop kept.
+  State iter = apply_step(s, Step{1, Step::Kind::kLoopIter});
+  EXPECT_EQ(iter.tasks.at(1).remaining.size(), 2u);
+  EXPECT_EQ(iter.tasks.at(1).remaining[0].op, Op::kSkip);
+  EXPECT_EQ(iter.tasks.at(1).remaining[1].op, Op::kLoop);
+  // [e-loop]: loop dropped.
+  State exit = apply_step(s, Step{1, Step::Kind::kLoopExit});
+  EXPECT_TRUE(exit.tasks.at(1).remaining.empty());
+}
+
+TEST(SemanticsTest, RunWithDeterministicScheduler) {
+  State s = initial_state({new_phaser("p"), adv("p"), await("p"), skip()});
+  State final = run(std::move(s), 100,
+                    [](const State&, const std::vector<Step>&) { return 0u; });
+  EXPECT_EQ(task_status(final, 1), TaskStatus::kTerminated);
+}
+
+// --- deadlock definitions -------------------------------------------------------
+
+/// Hand-builds the deadlocked state of Example 4.1 (3 workers + driver).
+State example_4_1_state() {
+  State s;
+  // pc = phaser 1, pb = phaser 2; workers 1..3, driver 4.
+  s.phasers[1] = PhaserState{{1, 1}, {2, 1}, {3, 1}, {4, 0}};
+  s.phasers[2] = PhaserState{{1, 0}, {2, 0}, {3, 0}, {4, 1}};
+  Env env{{"pc", 1}, {"pb", 2}};
+  for (TaskName t : {1u, 2u, 3u}) {
+    s.tasks[t] = TaskState{{await("pc")}, env};
+  }
+  s.tasks[4] = TaskState{{await("pb")}, env};
+  s.next_task = 5;
+  s.next_phaser = 3;
+  return s;
+}
+
+TEST(DeadlockDefTest, Example41IsTotallyDeadlocked) {
+  State s = example_4_1_state();
+  EXPECT_TRUE(is_totally_deadlocked(s));
+  EXPECT_TRUE(is_deadlocked(s));
+  EXPECT_EQ(deadlocked_tasks(s), (std::vector<TaskName>{1, 2, 3, 4}));
+}
+
+TEST(DeadlockDefTest, ExtraRunnableTaskMakesItDeadlockedNotTotally) {
+  State s = example_4_1_state();
+  s.tasks[5] = TaskState{{skip()}, {}};
+  EXPECT_FALSE(is_totally_deadlocked(s));  // t5 can still reduce
+  EXPECT_TRUE(is_deadlocked(s));           // Definition 3.2
+  EXPECT_EQ(deadlocked_tasks(s).size(), 4u);
+}
+
+TEST(DeadlockDefTest, BlockedOnExternalTaskIsNotDeadlock) {
+  // A task blocked behind a *runnable* member is waiting, not deadlocked.
+  State s;
+  s.phasers[1] = PhaserState{{1, 1}, {2, 0}};
+  s.tasks[1] = TaskState{{await("p")}, Env{{"p", 1}}};
+  s.tasks[2] = TaskState{{adv("p")}, Env{{"p", 1}}};  // will arrive
+  s.next_task = 3;
+  s.next_phaser = 2;
+  EXPECT_FALSE(is_deadlocked(s));
+}
+
+TEST(DeadlockDefTest, PhiMatchesDefinition41) {
+  State s = example_4_1_state();
+  auto statuses = phi(s);
+  ASSERT_EQ(statuses.size(), 4u);
+  // Worker 1: waits (pc,1); registered pc@1 and pb@0.
+  const BlockedStatus& w = statuses[0];
+  EXPECT_EQ(w.task, 1u);
+  ASSERT_EQ(w.waits.size(), 1u);
+  EXPECT_EQ(w.waits[0], (Resource{1, 1}));
+  ASSERT_EQ(w.registered.size(), 2u);
+  EXPECT_EQ(w.registered[0], (RegEntry{1, 1}));
+  EXPECT_EQ(w.registered[1], (RegEntry{2, 0}));
+  // Driver: waits (pb,1); registered pc@0, pb@1.
+  const BlockedStatus& d = statuses[3];
+  EXPECT_EQ(d.task, 4u);
+  EXPECT_EQ(d.waits[0], (Resource{2, 1}));
+}
+
+// --- the running example (Figure 3) ---------------------------------------------
+
+/// Figure 3 with bounded loops: the driver forks `workers` tasks registered
+/// on pc and pb; each worker does `iters` barrier double-steps then
+/// deregisters from both; the driver then joins via pb. `fixed` inserts the
+/// §2.1 fix (driver deregisters from pc before the join).
+Seq figure3_program(int workers, int iters, bool fixed) {
+  Seq program{new_phaser("pc"), new_phaser("pb")};
+  for (int w = 0; w < workers; ++w) {
+    std::string t = "t" + std::to_string(w);
+    Seq body;
+    for (int j = 0; j < iters; ++j) {
+      body.push_back(skip());
+      body.push_back(adv("pc"));
+      body.push_back(await("pc"));
+      body.push_back(skip());
+      body.push_back(adv("pc"));
+      body.push_back(await("pc"));
+    }
+    body.push_back(dereg("pc"));
+    body.push_back(dereg("pb"));
+    program.push_back(new_tid(t));
+    program.push_back(reg(t, "pc"));
+    program.push_back(reg(t, "pb"));
+    program.push_back(fork(t, std::move(body)));
+  }
+  if (fixed) program.push_back(dereg("pc"));
+  program.push_back(adv("pb"));
+  program.push_back(await("pb"));
+  program.push_back(skip());
+  return program;
+}
+
+TEST(Figure3Test, BuggyProgramReachesDeadlock) {
+  ExploreResult result =
+      explore(figure3_program(2, 1, /*fixed=*/false), {20000, 64});
+  EXPECT_GT(result.deadlocked_states, 0u);
+  // Inspect one example: the driver must be among the deadlocked tasks.
+  ASSERT_FALSE(result.deadlock_examples.empty());
+  auto tasks = deadlocked_tasks(result.deadlock_examples[0]);
+  EXPECT_GE(tasks.size(), 2u);
+}
+
+TEST(Figure3Test, FixedProgramNeverDeadlocks) {
+  ExploreResult result =
+      explore(figure3_program(2, 1, /*fixed=*/true), {40000, 80});
+  EXPECT_EQ(result.deadlocked_states, 0u);
+  EXPECT_GT(result.terminal_states, 0u);
+}
+
+TEST(Figure3Test, PrettyPrinterShowsStructure) {
+  std::string text = to_string(figure3_program(1, 1, false));
+  EXPECT_NE(text.find("newPhaser"), std::string::npos);
+  EXPECT_NE(text.find("fork(t0)"), std::string::npos);
+  EXPECT_NE(text.find("await(pc)"), std::string::npos);
+}
+
+// --- explorer ---------------------------------------------------------------------
+
+TEST(ExplorerTest, CountsTerminalStates) {
+  ExploreResult result = explore({skip(), skip()});
+  EXPECT_EQ(result.states_visited, 3u);  // 2 skips = 3 states on one path
+  EXPECT_EQ(result.terminal_states, 1u);
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(ExplorerTest, LoopOverSkipIsAFiniteStateSpace) {
+  // loop { skip } folds back into itself: memoisation must terminate the
+  // exploration without hitting any bound.
+  ExploreResult result = explore({loop({skip()})}, {1000, 10});
+  EXPECT_FALSE(result.truncated);
+  EXPECT_EQ(result.states_visited, 3u);  // loop | skip;loop | end
+}
+
+TEST(ExplorerTest, LoopTruncatesAtDepth) {
+  // loop { adv(p) } grows the phase forever: every unfolding is a fresh
+  // state, so the depth bound must kick in.
+  ExploreResult result = explore({new_phaser("p"), loop({adv("p")})}, {1000, 10});
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST(ExplorerTest, InterleavingsAreMerged) {
+  // Two independent tasks with 1 skip each: the diamond has 4 states, not 5.
+  Seq program{new_tid("a"), fork("a", {skip()}), skip()};
+  ExploreResult result = explore(program);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_GT(result.states_visited, 0u);
+  EXPECT_EQ(result.deadlocked_states, 0u);
+}
+
+// --- generator ----------------------------------------------------------------------
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  util::Xoshiro256 a(5), b(5);
+  EXPECT_EQ(random_program(a), random_program(b));
+}
+
+TEST(GeneratorTest, ProgramsAreWellFormedUnderExploration) {
+  // Generated programs must never reach a stuck (ill-formed) task.
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 10; ++i) {
+    Seq program = random_program(rng);
+    explore(program, {3000, 40}, [&](const State& s) {
+      for (const auto& [name, task] : s.tasks) {
+        EXPECT_NE(task_status(s, name), TaskStatus::kStuck)
+            << "program:\n" << to_string(program) << "state:\n" << s.to_string();
+      }
+    });
+  }
+}
+
+TEST(GeneratorTest, ProducesBothDeadlockingAndCleanPrograms) {
+  // Single-phaser programs can never deadlock (phases are totally ordered),
+  // so ask for 2-3 phasers; empirically ~25-35% of these programs reach a
+  // deadlocked state.
+  util::Xoshiro256 rng(2024);
+  GenConfig config;
+  config.min_phasers = 2;
+  config.max_phasers = 3;
+  int deadlocking = 0, clean = 0;
+  for (int i = 0; i < 30; ++i) {
+    ExploreResult result = explore(random_program(rng, config), {3000, 40});
+    if (result.deadlocked_states > 0) {
+      ++deadlocking;
+    } else {
+      ++clean;
+    }
+  }
+  EXPECT_GT(deadlocking, 0);
+  EXPECT_GT(clean, 0);
+}
+
+TEST(StateTest, KeyDistinguishesStates) {
+  State a = initial_state({skip()});
+  State b = initial_state({adv("p")});
+  EXPECT_NE(a.key(), b.key());
+  State a2 = initial_state({skip()});
+  EXPECT_EQ(a.key(), a2.key());
+}
+
+}  // namespace
+}  // namespace armus::pl

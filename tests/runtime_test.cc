@@ -1,0 +1,678 @@
+// Runtime-layer tests: tasks, finish blocks, X10 clocks, Java-style
+// barriers, clocked variables and the verified mutex — including end-to-end
+// reproduction of the paper's running example (Figures 1 and 2) under both
+// detection and avoidance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "runtime/barriers.h"
+#include "runtime/clock.h"
+#include "runtime/clocked_var.h"
+#include "runtime/finish.h"
+#include "runtime/jphaser.h"
+#include "runtime/task.h"
+#include "runtime/verified_mutex.h"
+
+namespace armus::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A detection-mode verifier with a fast scan period.
+VerifierConfig detection_config(std::chrono::milliseconds period = 5ms) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.period = period;
+  config.on_deadlock = [](const DeadlockReport&) {};  // silence default log
+  return config;
+}
+
+VerifierConfig avoidance_config() {
+  VerifierConfig config;
+  config.mode = VerifyMode::kAvoidance;
+  return config;
+}
+
+// --- tasks -------------------------------------------------------------------
+
+TEST(TaskTest, SpawnRunsBodyOnFreshTask) {
+  TaskId parent = current_task();
+  std::atomic<TaskId> child_id{0};
+  Task t = spawn([&] { child_id = current_task(); });
+  t.join();
+  EXPECT_NE(child_id.load(), 0u);
+  EXPECT_NE(child_id.load(), parent);
+}
+
+TEST(TaskTest, JoinRethrowsChildException) {
+  Task t = spawn([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(t.join(), std::runtime_error);
+}
+
+TEST(TaskTest, SpawnAsGangLaunch) {
+  // The explicit PL pattern: allocate ids, register everyone on the shared
+  // phaser, then fork. Even the first-started task cannot advance the clock
+  // past a sibling, because all siblings are already members.
+  auto p = ph::Phaser::create(nullptr);
+  constexpr int kGang = 6;
+  std::vector<TaskId> ids;
+  for (int i = 0; i < kGang; ++i) {
+    TaskId id = fresh_task_id();
+    p->register_task(id, 0);
+    ids.push_back(id);
+  }
+  std::atomic<int> arrived{0};
+  std::atomic<bool> skew{false};
+  std::vector<Task> gang;
+  for (int i = 0; i < kGang; ++i) {
+    gang.push_back(spawn_as(ids[static_cast<std::size_t>(i)], [&] {
+      TaskId self = current_task();
+      ++arrived;
+      p->advance(self);
+      if (arrived.load() < kGang) skew = true;  // barrier must gate everyone
+      p->arrive_and_deregister(self);
+    }));
+  }
+  for (Task& t : gang) t.join();
+  EXPECT_FALSE(skew.load());
+  EXPECT_EQ(arrived.load(), kGang);
+}
+
+TEST(TaskTest, SpawnAsUsesTheGivenId) {
+  TaskId id = fresh_task_id();
+  std::atomic<TaskId> seen{kInvalidTask};
+  Task t = spawn_as(id, [&] { seen = current_task(); });
+  t.join();
+  EXPECT_EQ(seen.load(), id);
+  EXPECT_EQ(t.id(), id);
+}
+
+TEST(TaskTest, ForeignThreadGetsContextLazily) {
+  std::atomic<TaskId> a{0}, b{0};
+  std::thread t1([&] { a = current_task(); });
+  std::thread t2([&] { b = current_task(); });
+  t1.join();
+  t2.join();
+  EXPECT_NE(a.load(), b.load());
+}
+
+// --- finish -------------------------------------------------------------------
+
+TEST(FinishTest, WaitsForAllChildren) {
+  std::atomic<int> done{0};
+  Finish f(nullptr);
+  for (int i = 0; i < 8; ++i) {
+    f.spawn([&] {
+      std::this_thread::sleep_for(2ms);
+      ++done;
+    });
+  }
+  f.wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(FinishTest, NestedFinish) {
+  std::atomic<int> done{0};
+  Finish outer(nullptr);
+  outer.spawn([&] {
+    Finish inner(nullptr);
+    inner.spawn([&] { ++done; });
+    inner.spawn([&] { ++done; });
+    inner.wait();
+    ++done;
+  });
+  outer.wait();
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(FinishTest, ChildExceptionPropagates) {
+  Finish f(nullptr);
+  f.spawn([] { throw std::runtime_error("child failed"); });
+  EXPECT_THROW(f.wait(), std::runtime_error);
+}
+
+TEST(FinishTest, WaitIsIdempotent) {
+  Finish f(nullptr);
+  f.spawn([] {});
+  f.wait();
+  f.wait();
+}
+
+// --- the running example (Figure 1) under detection ---------------------------
+
+/// Builds the deadlocking iterative-averaging program of Figure 1: I worker
+/// tasks advance a clock twice per iteration; the parent is registered with
+/// the clock (implicitly, by creating it) but never advances, then blocks
+/// at the finish.
+void run_figure1(Verifier* verifier, int workers, int iters, bool fixed) {
+  set_default_verifier(verifier);
+  std::vector<double> a(static_cast<std::size_t>(workers) + 2, 1.0);
+
+  Clock c = Clock::make(verifier);
+  Finish f(verifier);
+  for (int i = 1; i <= workers; ++i) {
+    async_clocked(f, {c}, [&, i] {
+      for (int j = 0; j < iters; ++j) {
+        double l = a[static_cast<std::size_t>(i) - 1];
+        double r = a[static_cast<std::size_t>(i) + 1];
+        c.advance();
+        a[static_cast<std::size_t>(i)] = (l + r) / 2;
+        c.advance();
+      }
+    });
+  }
+  if (fixed) c.drop();  // the one-line fix from §2.1
+  try {
+    f.wait();
+  } catch (const DeadlockAvoidedError&) {
+    // Avoidance interrupted the parent's join: recover exactly as §2.1
+    // prescribes — deregister from the clock — and complete the join. The
+    // workers' own interrupts (if any) surface as a child exception here.
+    if (c.is_registered()) c.drop();
+    try {
+      f.wait();
+    } catch (const DeadlockAvoidedError&) {
+      // A worker was interrupted too; that is fine.
+    }
+    set_default_verifier(nullptr);
+    throw;
+  }
+  set_default_verifier(nullptr);
+}
+
+TEST(Figure1Test, FixedProgramCompletes) {
+  Verifier verifier(detection_config());
+  run_figure1(&verifier, 4, 3, /*fixed=*/true);
+  EXPECT_TRUE(verifier.reported().empty());
+}
+
+TEST(Figure1Test, DetectionReportsTheDeadlock) {
+  // The deadlocked program never finishes on its own; the detection
+  // callback doubles as the rescue: it deregisters the parent from the
+  // clock (exactly the fix), unblocking the workers.
+  std::atomic<int> reports{0};
+  Clock c;
+  TaskId parent = current_task();
+
+  VerifierConfig config = detection_config();
+  config.on_deadlock = [&](const DeadlockReport& report) {
+    ++reports;
+    EXPECT_GE(report.tasks.size(), 2u);  // parent + workers
+    if (c.underlying()->is_registered(parent)) {
+      c.underlying()->deregister(parent);
+    }
+  };
+  Verifier verifier(config);
+  set_default_verifier(&verifier);
+
+  c = Clock::make(&verifier);
+  Finish f(&verifier);
+  for (int i = 1; i <= 3; ++i) {
+    async_clocked(f, {c}, [&] {
+      c.advance();
+      c.advance();
+    });
+  }
+  f.wait();  // unblocked once the callback removes the parent
+  set_default_verifier(nullptr);
+  EXPECT_GE(reports.load(), 1);
+  // The report should implicate the parent task.
+  auto reported = verifier.reported();
+  ASSERT_FALSE(reported.empty());
+  bool parent_in_report = false;
+  for (TaskId t : reported[0].tasks) parent_in_report |= (t == parent);
+  EXPECT_TRUE(parent_in_report);
+}
+
+TEST(Figure1Test, AvoidanceInterruptsInsteadOfDeadlocking) {
+  Verifier verifier(avoidance_config());
+  // Either the parent's finish-wait or a worker's advance is interrupted —
+  // scheduling decides which blocks last — but the program must terminate
+  // and at least one interrupt must fire.
+  bool interrupted = false;
+  try {
+    run_figure1(&verifier, 3, 2, /*fixed=*/false);
+  } catch (const DeadlockAvoidedError&) {
+    interrupted = true;
+  }
+  EXPECT_GE(verifier.stats().avoidance_interrupts, 1u);
+  // Whichever side survived, the avoidance policy (deregistering the
+  // blocked-side from the clock) must have allowed every task to finish:
+  // nothing is left in the blocked set.
+  EXPECT_EQ(verifier.state().blocked_count(), 0u);
+  (void)interrupted;
+}
+
+TEST(Figure1Test, AvoidanceCleanRunRaisesNothing) {
+  Verifier verifier(avoidance_config());
+  run_figure1(&verifier, 4, 3, /*fixed=*/true);
+  EXPECT_EQ(verifier.stats().avoidance_interrupts, 0u);
+}
+
+// --- clocks -------------------------------------------------------------------
+
+TEST(ClockTest, LockstepIteration) {
+  Verifier verifier(detection_config(50ms));
+  set_default_verifier(&verifier);
+  constexpr int kWorkers = 6, kIters = 20;
+  std::vector<int> progress(kWorkers, 0);
+  std::atomic<bool> skew{false};
+
+  Clock c = Clock::make(&verifier);
+  Finish f(&verifier);
+  for (int w = 0; w < kWorkers; ++w) {
+    async_clocked(f, {c}, [&, w] {
+      for (int j = 0; j < kIters; ++j) {
+        progress[static_cast<std::size_t>(w)] = j;
+        c.advance();
+        // After the barrier every worker must have published iteration j.
+        for (int other = 0; other < kWorkers; ++other) {
+          if (progress[static_cast<std::size_t>(other)] < j) skew = true;
+        }
+        c.advance();
+      }
+    });
+  }
+  c.drop();
+  f.wait();
+  set_default_verifier(nullptr);
+  EXPECT_FALSE(skew.load());
+}
+
+TEST(ClockTest, SplitPhaseResume) {
+  Clock c = Clock::make(nullptr);
+  Finish f(nullptr);
+  std::atomic<int> overlapped{0};
+  async_clocked(f, {c}, [&] {
+    c.resume();       // signal early
+    ++overlapped;     // work between signal and wait
+    c.advance();      // completes the same step (no double arrival)
+    EXPECT_EQ(c.phase(), 1u);
+  });
+  async_clocked(f, {c}, [&] { c.advance(); });
+  c.drop();
+  f.wait();
+  EXPECT_EQ(overlapped.load(), 1);
+}
+
+TEST(ClockTest, DropIsIdempotent) {
+  Clock c = Clock::make(nullptr);
+  c.drop();
+  c.drop();
+  EXPECT_FALSE(c.is_registered());
+}
+
+TEST(ClockTest, TerminatedTasksAutoDrop) {
+  // A worker that returns without dropping must not impede the others
+  // (X10/HJ termination semantics).
+  Clock c = Clock::make(nullptr);
+  Finish f(nullptr);
+  async_clocked(f, {c}, [&] { /* returns immediately, no drop */ });
+  f.wait();
+  c.advance();  // would hang if the dead worker still held phase 0
+}
+
+// --- Java phaser (Figure 2) -----------------------------------------------------
+
+TEST(Figure2Test, JavaPhaserVersionCompletesWithFix) {
+  Verifier verifier(detection_config());
+  constexpr int kWorkers = 4, kIters = 3;
+  std::vector<double> a(kWorkers + 2, 1.0);
+
+  JPhaser c(1, &verifier);  // parent's party (Figure 2 line 1)
+  JPhaser b(1, &verifier);
+  c.bind_current();
+  b.bind_current();
+
+  std::vector<Task> threads;
+  for (int i = 1; i <= kWorkers; ++i) {
+    c.register_party();
+    b.register_party();
+    threads.push_back(spawn([&, i] {
+      c.bind_current();  // the JArmus.register annotation
+      b.bind_current();
+      for (int j = 0; j < kIters; ++j) {
+        double l = a[static_cast<std::size_t>(i) - 1];
+        double r = a[static_cast<std::size_t>(i) + 1];
+        c.arrive_and_await_advance();
+        a[static_cast<std::size_t>(i)] = (l + r) / 2;
+        c.arrive_and_await_advance();
+      }
+      c.arrive_and_deregister();
+      b.arrive_and_deregister();
+    }, &verifier));
+  }
+  c.arrive_and_deregister();  // the fix: parent leaves the cyclic barrier
+  b.arrive_and_await_advance();
+  for (Task& t : threads) t.join();
+  EXPECT_TRUE(verifier.reported().empty());
+}
+
+TEST(Figure2Test, UnfixedJavaVersionIsDetected) {
+  std::atomic<int> reports{0};
+  TaskId parent = current_task();
+
+  VerifierConfig config = detection_config();
+  Verifier* vptr = nullptr;
+  std::shared_ptr<ph::Phaser> cyclic;
+  config.on_deadlock = [&](const DeadlockReport&) {
+    ++reports;
+    // Rescue: deregister the parent from the cyclic phaser so the test can
+    // finish (the fix applied at runtime).
+    if (cyclic && cyclic->is_registered(parent)) cyclic->deregister(parent);
+  };
+  Verifier verifier(config);
+  vptr = &verifier;
+
+  JPhaser c(1, vptr);
+  JPhaser b(1, vptr);
+  c.bind_current();
+  b.bind_current();
+  cyclic = c.underlying();
+
+  std::vector<Task> threads;
+  for (int i = 0; i < 3; ++i) {
+    c.register_party();
+    b.register_party();
+    threads.push_back(spawn([&] {
+      c.bind_current();
+      b.bind_current();
+      c.arrive_and_await_advance();  // deadlock: parent never arrives at c
+      c.arrive_and_deregister();
+      b.arrive_and_deregister();
+    }, vptr));
+  }
+  b.arrive_and_await_advance();  // parent blocks at the join phaser
+  for (Task& t : threads) t.join();
+  EXPECT_GE(reports.load(), 1);
+}
+
+TEST(JPhaserTest, UnboundPartyHoldsTheBarrier) {
+  JPhaser p(2, nullptr);
+  p.bind_current();
+  EXPECT_EQ(p.unbound_parties(), 1u);
+  p.arrive();
+  EXPECT_EQ(p.phase(), 0u);  // the unbound party has not arrived
+}
+
+TEST(JPhaserTest, BindWithoutBookingThrows) {
+  JPhaser p(0, nullptr);
+  EXPECT_THROW(p.bind_current(), ph::PhaserError);
+}
+
+TEST(JPhaserTest, AwaitAdvanceObservesPhaseChange) {
+  JPhaser p(1, nullptr);
+  p.bind_current();
+  std::atomic<bool> woke{false};
+  Task waiter = spawn([&] {
+    p.await_advance(0);
+    woke = true;
+  }, nullptr);
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(woke.load());
+  p.arrive();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+// --- CyclicBarrier -------------------------------------------------------------
+
+TEST(CyclicBarrierTest, SynchronisesParties) {
+  constexpr int kParties = 5, kSteps = 10;
+  CyclicBarrier barrier(kParties, nullptr);
+  std::atomic<int> counter{0};
+  std::atomic<bool> failed{false};
+  std::vector<Task> tasks;
+  for (int i = 0; i < kParties; ++i) {
+    // Parent-side registration: no thread can race through the barrier
+    // while others are still registering.
+    tasks.push_back(spawn_with(
+        [&](TaskId child) { barrier.register_task(child); },
+        [&] {
+          for (int s = 0; s < kSteps; ++s) {
+            ++counter;
+            barrier.await();
+            if (counter.load() < kParties * (s + 1)) failed = true;
+            barrier.await();
+          }
+        },
+        nullptr));
+  }
+  for (Task& t : tasks) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kParties * kSteps);
+}
+
+TEST(CyclicBarrierTest, AwaitWithoutRegistrationThrows) {
+  CyclicBarrier barrier(2, nullptr);
+  EXPECT_THROW(barrier.await(), ph::PhaserError);
+}
+
+TEST(CyclicBarrierTest, OverRegistrationThrows) {
+  CyclicBarrier barrier(1, nullptr);
+  barrier.register_current();
+  Task t = spawn([&] {
+    EXPECT_THROW(barrier.register_current(), ph::PhaserError);
+  }, nullptr);
+  t.join();
+}
+
+// --- CountDownLatch --------------------------------------------------------------
+
+TEST(CountDownLatchTest, ReleasesAfterAllContributions) {
+  CountDownLatch latch(3, nullptr);
+  EXPECT_FALSE(latch.ready());
+  std::vector<Task> tasks;
+  for (int i = 0; i < 3; ++i) {
+    tasks.push_back(spawn([&] {
+      latch.register_current();
+      std::this_thread::sleep_for(5ms);
+      latch.count_down();
+    }, nullptr));
+  }
+  latch.wait();
+  EXPECT_TRUE(latch.ready());
+  for (Task& t : tasks) t.join();
+}
+
+TEST(CountDownLatchTest, GuardPreventsPrematureRelease) {
+  // No contributor registered yet: the latch must hold.
+  CountDownLatch latch(2, nullptr);
+  EXPECT_FALSE(latch.ready());
+  Task contributor = spawn([&] {
+    latch.register_current();
+    latch.count_down();
+  }, nullptr);
+  contributor.join();
+  EXPECT_FALSE(latch.ready());  // 1 of 2 contributions
+  Task second = spawn([&] {
+    latch.register_current();
+    latch.count_down();
+  }, nullptr);
+  second.join();
+  EXPECT_TRUE(latch.ready());
+  latch.wait();  // immediate
+}
+
+// --- ClockedVar -----------------------------------------------------------------
+
+TEST(ClockedVarTest, SingleWriteActsAsFuture) {
+  ClockedVar<int> future(nullptr);
+  // The parent registers the writer before the fork, so the reader can
+  // never slip past an "empty" phaser (the PL reg-before-fork pattern).
+  Task producer = spawn_with(
+      [&](TaskId child) { future.register_writer(child); },
+      [&] {
+        std::this_thread::sleep_for(5ms);
+        future.put(42);
+        future.deregister();
+      },
+      nullptr);
+  EXPECT_EQ(future.get(1), 42);
+  producer.join();
+}
+
+TEST(ClockedVarTest, StreamsValuesPerPhase) {
+  ClockedVar<int> stream(nullptr);
+  constexpr int kItems = 20;
+  Task producer = spawn_with(
+      [&](TaskId child) { stream.register_writer(child); },
+      [&] {
+        for (int i = 0; i < kItems; ++i) stream.put(i * i);
+        stream.deregister();
+      },
+      nullptr);
+  for (Phase n = 1; n <= kItems; ++n) {
+    EXPECT_EQ(stream.get(n), static_cast<int>((n - 1) * (n - 1)));
+  }
+  producer.join();
+}
+
+TEST(ClockedVarTest, MissingValueThrows) {
+  ClockedVar<int> v(nullptr);
+  // Phase 1 is trivially observed (no writers): but no value exists.
+  EXPECT_THROW(v.get(1), std::out_of_range);
+}
+
+TEST(ClockedVarTest, PruneDropsOldPhases) {
+  ClockedVar<int> v(nullptr);
+  Task producer = spawn([&] {
+    v.register_writer();
+    v.put(1);
+    v.put(2);
+    v.put(3);
+    v.deregister();
+  }, nullptr);
+  producer.join();
+  EXPECT_EQ(v.get(3), 3);
+  v.prune(2);
+  EXPECT_THROW(v.get(1), std::out_of_range);
+  EXPECT_EQ(v.get(3), 3);
+}
+
+// --- VerifiedMutex ----------------------------------------------------------------
+
+TEST(VerifiedMutexTest, MutualExclusion) {
+  VerifiedMutex mutex(nullptr);
+  long counter = 0;
+  std::vector<Task> tasks;
+  for (int t = 0; t < 8; ++t) {
+    tasks.push_back(spawn([&] {
+      for (int i = 0; i < 1000; ++i) {
+        VerifiedMutex::Guard guard(mutex);
+        ++counter;
+      }
+    }, nullptr));
+  }
+  for (Task& t : tasks) t.join();
+  EXPECT_EQ(counter, 8000);
+}
+
+TEST(VerifiedMutexTest, Reentrant) {
+  VerifiedMutex mutex(nullptr);
+  mutex.lock();
+  mutex.lock();
+  EXPECT_TRUE(mutex.held_by_current());
+  mutex.unlock();
+  EXPECT_TRUE(mutex.held_by_current());
+  mutex.unlock();
+  EXPECT_FALSE(mutex.held_by_current());
+}
+
+TEST(VerifiedMutexTest, UnlockByNonOwnerThrows) {
+  VerifiedMutex mutex(nullptr);
+  mutex.lock();
+  Task t = spawn([&] { EXPECT_THROW(mutex.unlock(), std::logic_error); }, nullptr);
+  t.join();
+  mutex.unlock();
+}
+
+TEST(VerifiedMutexTest, TryLockRespectsOwnership) {
+  VerifiedMutex mutex(nullptr);
+  EXPECT_TRUE(mutex.try_lock());
+  Task t = spawn([&] { EXPECT_FALSE(mutex.try_lock()); }, nullptr);
+  t.join();
+  mutex.unlock();
+}
+
+TEST(VerifiedMutexTest, AvoidanceInterruptsLockOrderDeadlock) {
+  Verifier verifier(avoidance_config());
+  VerifiedMutex a(&verifier), b(&verifier);
+  CyclicBarrier both_hold(2, nullptr);  // unverified helper barrier
+
+  std::atomic<int> interrupts{0};
+  Task t1 = spawn_with(
+      [&](TaskId child) { both_hold.register_task(child); },
+      [&] {
+        a.lock();
+        both_hold.await();
+        try {
+          b.lock();
+          b.unlock();
+        } catch (const DeadlockAvoidedError&) {
+          ++interrupts;
+        }
+        a.unlock();
+      },
+      &verifier);
+  Task t2 = spawn_with(
+      [&](TaskId child) { both_hold.register_task(child); },
+      [&] {
+        b.lock();
+        both_hold.await();
+        try {
+          a.lock();
+          a.unlock();
+        } catch (const DeadlockAvoidedError&) {
+          ++interrupts;
+        }
+        b.unlock();
+      },
+      &verifier);
+  t1.join();
+  t2.join();
+  // At least one side must have been interrupted; both may be, depending on
+  // interleaving, but never zero (that would have been the deadlock).
+  EXPECT_GE(interrupts.load(), 1);
+  EXPECT_EQ(verifier.state().blocked_count(), 0u);
+}
+
+TEST(VerifiedMutexTest, BarrierLockMixedCycleAvoided) {
+  // t1 holds lock L and blocks on clock advance; t2 must acquire L before
+  // it can advance: a lock/barrier cycle — only a unified analysis sees it.
+  Verifier verifier(avoidance_config());
+  set_default_verifier(&verifier);
+  VerifiedMutex lock(&verifier);
+  Clock c = Clock::make(&verifier);
+
+  std::atomic<int> interrupts{0};
+  Finish f(&verifier);
+  async_clocked(f, {c}, [&] {
+    lock.lock();
+    try {
+      c.advance();  // needs t2 (and the parent, which dropped) to advance
+    } catch (const DeadlockAvoidedError&) {
+      ++interrupts;
+    }
+    lock.unlock();
+  });
+  async_clocked(f, {c}, [&] {
+    std::this_thread::sleep_for(10ms);  // let t1 take the lock and block
+    try {
+      lock.lock();   // held by t1, which waits for us: cycle
+      lock.unlock();
+      c.advance();
+    } catch (const DeadlockAvoidedError&) {
+      ++interrupts;
+    }
+  });
+  c.drop();
+  f.wait();
+  set_default_verifier(nullptr);
+  EXPECT_GE(interrupts.load(), 1);
+}
+
+}  // namespace
+}  // namespace armus::rt

@@ -1,0 +1,198 @@
+// Unit tests for src/util: env parsing, RNG determinism, the Georges et al.
+// statistics protocol and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace armus::util {
+namespace {
+
+// --- env -------------------------------------------------------------------
+
+TEST(EnvTest, UnsetReturnsFallback) {
+  ::unsetenv("ARMUS_TEST_UNSET");
+  EXPECT_EQ(env_int("ARMUS_TEST_UNSET", 42), 42);
+  EXPECT_DOUBLE_EQ(env_double("ARMUS_TEST_UNSET", 1.5), 1.5);
+  EXPECT_TRUE(env_bool("ARMUS_TEST_UNSET", true));
+  EXPECT_FALSE(env_str("ARMUS_TEST_UNSET").has_value());
+}
+
+TEST(EnvTest, ParsesInteger) {
+  ::setenv("ARMUS_TEST_INT", "123", 1);
+  EXPECT_EQ(env_int("ARMUS_TEST_INT", 0), 123);
+  ::setenv("ARMUS_TEST_INT", "-7", 1);
+  EXPECT_EQ(env_int("ARMUS_TEST_INT", 0), -7);
+  ::unsetenv("ARMUS_TEST_INT");
+}
+
+TEST(EnvTest, RejectsMalformedInteger) {
+  ::setenv("ARMUS_TEST_BAD", "12x", 1);
+  EXPECT_THROW(env_int("ARMUS_TEST_BAD", 0), std::invalid_argument);
+  ::setenv("ARMUS_TEST_BAD", "abc", 1);
+  EXPECT_THROW(env_int("ARMUS_TEST_BAD", 0), std::invalid_argument);
+  ::unsetenv("ARMUS_TEST_BAD");
+}
+
+TEST(EnvTest, ParsesDouble) {
+  ::setenv("ARMUS_TEST_DBL", "2.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("ARMUS_TEST_DBL", 0), 2.25);
+  ::unsetenv("ARMUS_TEST_DBL");
+}
+
+TEST(EnvTest, ParsesBooleans) {
+  for (const char* yes : {"1", "true", "YES", "On"}) {
+    ::setenv("ARMUS_TEST_BOOL", yes, 1);
+    EXPECT_TRUE(env_bool("ARMUS_TEST_BOOL", false)) << yes;
+  }
+  for (const char* no : {"0", "false", "NO", "off"}) {
+    ::setenv("ARMUS_TEST_BOOL", no, 1);
+    EXPECT_FALSE(env_bool("ARMUS_TEST_BOOL", true)) << no;
+  }
+  ::setenv("ARMUS_TEST_BOOL", "maybe", 1);
+  EXPECT_THROW(env_bool("ARMUS_TEST_BOOL", false), std::invalid_argument);
+  ::unsetenv("ARMUS_TEST_BOOL");
+}
+
+// --- rng -------------------------------------------------------------------
+
+TEST(RngTest, DeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  bool all_equal = true;
+  bool any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    auto va = a(), vb = b(), vc = c();
+    all_equal &= (va == vb);
+    any_diff_c |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(10), 10u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Xoshiro256 rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+// --- stats -----------------------------------------------------------------
+
+TEST(StatsTest, SummaryOfKnownSamples) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  // stddev of {1,2,3,4} with n-1 = sqrt(5/3)
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(s.ci95, 1.96 * s.stddev / 2.0, 1e-12);
+}
+
+TEST(StatsTest, EmptyInputIsZeroed) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_rel(), 0.0);
+}
+
+TEST(StatsTest, RunSamplesDiscardsWarmup) {
+  int calls = 0;
+  Summary s = run_samples(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 6);  // 5 samples + 1 discarded warm-up
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(StatsTest, RelativeOverhead) {
+  Summary base = summarize({2.0, 2.0});
+  Summary measured = summarize({2.2, 2.2});
+  EXPECT_NEAR(relative_overhead(measured, base), 0.10, 1e-9);
+  EXPECT_EQ(format_overhead(0.07), "7%");
+  EXPECT_EQ(format_overhead(-0.04), "-4%");
+}
+
+TEST(StatsTest, WelchDetectsAClearDifference) {
+  Summary a = summarize({10.0, 10.1, 9.9, 10.05, 9.95});
+  Summary b = summarize({12.0, 12.1, 11.9, 12.05, 11.95});
+  WelchResult r = welch_t_test(a, b);
+  EXPECT_TRUE(r.significant_at_5pct);
+  EXPECT_LT(r.t, 0.0);  // a's mean is below b's
+}
+
+TEST(StatsTest, WelchAcceptsOverlappingSamples) {
+  Summary a = summarize({10.0, 10.8, 9.2, 10.5, 9.5});
+  Summary b = summarize({10.1, 10.9, 9.3, 10.4, 9.6});
+  WelchResult r = welch_t_test(a, b);
+  EXPECT_FALSE(r.significant_at_5pct);  // no evidence of a difference
+}
+
+TEST(StatsTest, WelchHandlesDegenerateInputs) {
+  // Too few samples: never significant.
+  EXPECT_FALSE(welch_t_test(summarize({1.0}), summarize({2.0, 2.1}))
+                   .significant_at_5pct);
+  // Zero variance, equal means: indistinguishable.
+  EXPECT_FALSE(welch_t_test(summarize({3.0, 3.0}), summarize({3.0, 3.0}))
+                   .significant_at_5pct);
+  // Zero variance, different means: exactly different.
+  EXPECT_TRUE(welch_t_test(summarize({3.0, 3.0}), summarize({4.0, 4.0}))
+                  .significant_at_5pct);
+}
+
+// --- table -----------------------------------------------------------------
+
+TEST(TableTest, RendersAlignedColumnsAndCsv) {
+  Table t({"bench", "threads", "overhead"});
+  t.add_row({"CG", "64", "9%"});
+  t.add_row({"MG", "2", "-5%"});
+  std::string text = t.to_text();
+  EXPECT_NE(text.find("bench"), std::string::npos);
+  EXPECT_NE(text.find("CG"), std::string::npos);
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("bench,threads,overhead\n"), std::string::npos);
+  EXPECT_NE(csv.find("CG,64,9%\n"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, FormatsDoubles) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace armus::util
