@@ -6,38 +6,30 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/blocked_status.h"
+#include "core/state_store.h"
 
-/// The resource-dependency store of the verification library (§5.1).
+/// The process-local StateStore implementation (§5.1).
 ///
 /// "Maintaining the blocked status is more frequent than checking for
 /// deadlocks, so the resource-dependencies are rearranged per task to
 /// optimise updates": statuses are keyed by task and sharded across
 /// independently locked buckets so that concurrent block/unblock events on
 /// different tasks never contend. The checker takes an O(blocked) snapshot.
+///
+/// One instance may back several Verifiers (VerifierConfig::store): each
+/// publishes its tasks' statuses into the shared state, and every checker
+/// sees the union — the in-process analogue of the §5.2 global store.
 namespace armus {
 
-class DependencyState {
+class DependencyState final : public StateStore {
  public:
   DependencyState() = default;
-  DependencyState(const DependencyState&) = delete;
-  DependencyState& operator=(const DependencyState&) = delete;
 
-  /// Publishes (or replaces) the blocked status of `status.task`.
-  void set_blocked(BlockedStatus status);
-
-  /// Removes the blocked status of `task` (no-op if absent).
-  void clear_blocked(TaskId task);
-
-  /// Copies all current blocked statuses, sorted by task id so downstream
-  /// graph construction (and tests) are deterministic.
-  [[nodiscard]] std::vector<BlockedStatus> snapshot() const;
-
-  /// Number of currently blocked tasks.
-  [[nodiscard]] std::size_t blocked_count() const;
-
-  /// Removes every status (used between test cases / site restarts).
-  void clear();
+  void set_blocked(BlockedStatus status) override;
+  void clear_blocked(TaskId task) override;
+  [[nodiscard]] std::vector<BlockedStatus> snapshot() const override;
+  [[nodiscard]] std::size_t blocked_count() const override;
+  void clear() override;
 
  private:
   static constexpr std::size_t kShards = 16;

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/blocked_status.h"
+
+/// The pluggable blocked-status store of the verification library (§5.1).
+///
+/// The paper's architecture separates *maintaining* the blocked statuses
+/// (frequent, per-task) from *checking* them (periodic, whole-snapshot).
+/// This interface is the seam between the two: a Verifier performs every
+/// state read/write through it, so the same verification layer runs against
+///
+///   * a process-local store (DependencyState — sharded, lock-striped), or
+///   * a store shared by several Verifiers in one process (pass one
+///     DependencyState to many VerifierConfigs), or
+///   * a site slice of a distributed global store (dist::SharedStore, the
+///     §5.2 multi-site deployment where per-site Armus instances publish
+///     into one logically-shared store).
+namespace armus {
+
+class StateStore {
+ public:
+  StateStore() = default;
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+  virtual ~StateStore() = default;
+
+  /// Publishes (or replaces) the blocked status of `status.task`. A task has
+  /// at most one live status; re-publishing overwrites.
+  virtual void set_blocked(BlockedStatus status) = 0;
+
+  /// Removes the blocked status of `task` (no-op if absent).
+  virtual void clear_blocked(TaskId task) = 0;
+
+  /// Copies all current blocked statuses, sorted by task id so downstream
+  /// graph construction (and tests) are deterministic. For shared stores
+  /// this is the *merged* view over every publisher.
+  [[nodiscard]] virtual std::vector<BlockedStatus> snapshot() const = 0;
+
+  /// Number of currently blocked tasks (merged view for shared stores).
+  [[nodiscard]] virtual std::size_t blocked_count() const = 0;
+
+  /// Removes every status this store is responsible for (used between test
+  /// cases / site restarts).
+  virtual void clear() = 0;
+};
+
+}  // namespace armus

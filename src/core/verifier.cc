@@ -24,6 +24,22 @@ VerifyMode verify_mode_from_string(const std::string& name) {
   throw std::invalid_argument("unknown verify mode: '" + name + "'");
 }
 
+namespace {
+
+/// A scan/recheck period must be positive — zero or negative would spin the
+/// scanner or divide the recheck loop by nothing; fail loudly instead.
+std::chrono::milliseconds positive_period_from_env(const std::string& name,
+                                                   std::int64_t fallback) {
+  std::int64_t ms = util::env_int(name, fallback);
+  if (ms <= 0) {
+    throw std::invalid_argument(name + " must be positive, got " +
+                                std::to_string(ms));
+  }
+  return std::chrono::milliseconds(ms);
+}
+
+}  // namespace
+
 VerifierConfig VerifierConfig::from_env() {
   VerifierConfig config;
   if (auto mode = util::env_str("ARMUS_MODE")) {
@@ -32,17 +48,22 @@ VerifierConfig VerifierConfig::from_env() {
   if (auto model = util::env_str("ARMUS_GRAPH_MODEL")) {
     config.model = graph_model_from_string(*model);
   }
-  config.period = std::chrono::milliseconds(
-      util::env_int("ARMUS_CHECK_PERIOD_MS", config.period.count()));
-  config.avoidance_recheck = std::chrono::milliseconds(util::env_int(
-      "ARMUS_AVOIDANCE_RECHECK_MS", config.avoidance_recheck.count()));
+  config.period =
+      positive_period_from_env("ARMUS_CHECK_PERIOD_MS", config.period.count());
+  config.avoidance_recheck = positive_period_from_env(
+      "ARMUS_AVOIDANCE_RECHECK_MS", config.avoidance_recheck.count());
+  config.scanner_enabled =
+      util::env_bool("ARMUS_SCANNER", config.scanner_enabled);
   return config;
 }
 
 DeadlockAvoidedError::DeadlockAvoidedError(DeadlockReport report)
     : std::runtime_error(report.to_string()), report_(std::move(report)) {}
 
-Verifier::Verifier(VerifierConfig config) : config_(std::move(config)) {
+Verifier::Verifier(VerifierConfig config)
+    : config_(std::move(config)),
+      store_(config_.store ? config_.store
+                           : std::make_shared<DependencyState>()) {
   if (!config_.on_deadlock) {
     config_.on_deadlock = [this](const DeadlockReport& report) {
       util::log_error(describe(report));
@@ -78,20 +99,29 @@ void Verifier::scanner_loop() {
       return;
     }
     lock.unlock();
-    scan_once();
+    try {
+      scan_once();
+    } catch (const std::exception& e) {
+      // A pluggable store (VerifierConfig::store) may fail transiently —
+      // e.g. dist::StoreUnavailableError during an outage. The scanner
+      // must outlive the outage, not terminate the process.
+      util::log_error(std::string("scan failed: ") + e.what());
+    }
     lock.lock();
   }
 }
 
 std::vector<BlockedStatus> Verifier::current_snapshot() const {
-  auto snapshot = state_.snapshot();
+  auto snapshot = store_->snapshot();
   for (BlockedStatus& status : snapshot) registry_.merge_into(status);
   return snapshot;
 }
 
 void Verifier::scan_once() {
-  if (state_.blocked_count() == 0) return;
+  // One store read per tick: blocked_count() would cost a second full
+  // snapshot round-trip on remote-backed stores.
   auto snapshot = current_snapshot();
+  if (snapshot.empty()) return;
   CheckResult result = check_deadlocks(snapshot, config_.model);
   record_check(result);
   for (const DeadlockReport& report : result.reports) {
@@ -122,14 +152,14 @@ void Verifier::record_check(const CheckResult& result) {
 
 void Verifier::before_block(const BlockedStatus& status) {
   if (config_.mode == VerifyMode::kOff) return;
-  state_.set_blocked(status);
+  store_->set_blocked(status);
   if (config_.mode != VerifyMode::kAvoidance) return;
   check_doomed_or_throw(status.task);
 }
 
 void Verifier::recheck_blocked(const BlockedStatus& status) {
   if (config_.mode != VerifyMode::kAvoidance) return;
-  state_.set_blocked(status);
+  store_->set_blocked(status);
   check_doomed_or_throw(status.task);
 }
 
@@ -152,7 +182,7 @@ void Verifier::check_doomed_or_throw(TaskId task) {
 
   // The block would never complete: withdraw the status and interrupt the
   // operation. The report aggregates every cycle present plus this task.
-  state_.clear_blocked(task);
+  store_->clear_blocked(task);
   DeadlockReport merged;
   merged.model = built.model;
   for (const auto& component : graph::cyclic_components(built.graph)) {
@@ -178,7 +208,7 @@ void Verifier::check_doomed_or_throw(TaskId task) {
 
 void Verifier::after_unblock(TaskId task) {
   if (config_.mode == VerifyMode::kOff) return;
-  state_.clear_blocked(task);
+  store_->clear_blocked(task);
 }
 
 CheckResult Verifier::check_now() {
@@ -232,36 +262,22 @@ std::string Verifier::describe(const DeadlockReport& report) const {
   return out;
 }
 
-namespace {
-std::atomic<Verifier*> g_default_verifier{nullptr};
-
-struct TaskVerifierMap {
-  static constexpr std::size_t kShards = 16;
-  struct Shard {
-    std::mutex mutex;
-    std::unordered_map<TaskId, Verifier*> map;
-  };
-  Shard shards[kShards];
-
-  Shard& shard_for(TaskId task) { return shards[task % kShards]; }
-};
-
-TaskVerifierMap& task_verifier_map() {
-  static TaskVerifierMap map;
-  return map;
-}
-}  // namespace
-
-Verifier* default_verifier() {
-  return g_default_verifier.load(std::memory_order_acquire);
+VerifierRegistry& VerifierRegistry::instance() {
+  // Leaked intentionally: tasks may unbind during static destruction.
+  static VerifierRegistry* registry = new VerifierRegistry();
+  return *registry;
 }
 
-void set_default_verifier(Verifier* verifier) {
-  g_default_verifier.store(verifier, std::memory_order_release);
+Verifier* VerifierRegistry::fallback() const {
+  return fallback_.load(std::memory_order_acquire);
 }
 
-void bind_task_verifier(TaskId task, Verifier* verifier) {
-  auto& shard = task_verifier_map().shard_for(task);
+void VerifierRegistry::set_fallback(Verifier* verifier) {
+  fallback_.store(verifier, std::memory_order_release);
+}
+
+void VerifierRegistry::bind(TaskId task, Verifier* verifier) {
+  Shard& shard = shard_for(task);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (verifier == nullptr) {
     shard.map.erase(task);
@@ -270,13 +286,31 @@ void bind_task_verifier(TaskId task, Verifier* verifier) {
   }
 }
 
-void unbind_task_verifier(TaskId task) { bind_task_verifier(task, nullptr); }
+void VerifierRegistry::unbind(TaskId task) { bind(task, nullptr); }
 
-Verifier* task_verifier(TaskId task) {
-  auto& shard = task_verifier_map().shard_for(task);
+Verifier* VerifierRegistry::bound(TaskId task) const {
+  const Shard& shard = shard_for(task);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(task);
   return it == shard.map.end() ? nullptr : it->second;
+}
+
+Verifier* default_verifier() { return VerifierRegistry::instance().fallback(); }
+
+void set_default_verifier(Verifier* verifier) {
+  VerifierRegistry::instance().set_fallback(verifier);
+}
+
+void bind_task_verifier(TaskId task, Verifier* verifier) {
+  VerifierRegistry::instance().bind(task, verifier);
+}
+
+void unbind_task_verifier(TaskId task) {
+  VerifierRegistry::instance().unbind(task);
+}
+
+Verifier* task_verifier(TaskId task) {
+  return VerifierRegistry::instance().bound(task);
 }
 
 }  // namespace armus

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -13,6 +15,7 @@
 
 #include "core/checker.h"
 #include "core/dependency_state.h"
+#include "core/state_store.h"
 #include "core/task_registry.h"
 
 /// The verification layer of Armus (§5): owns the resource-dependency state
@@ -52,11 +55,22 @@ struct VerifierConfig {
   /// instead, driven by dist::Site.
   bool scanner_enabled = true;
 
+  /// The blocked-status store this Verifier reads and writes. nullptr (the
+  /// default) gives the Verifier a fresh process-local DependencyState.
+  /// Passing the same store to several configs makes their Verifiers
+  /// publish into — and check against — one shared state, so a checker at
+  /// any of them sees cross-verifier cycles (the in-process analogue of the
+  /// §5.2 shared global store; dist::SharedStore plugs in an actual
+  /// multi-site store slice here).
+  std::shared_ptr<StateStore> store;
+
   /// Invoked by the detection scanner once per newly found deadlock
   /// (deduplicated by task set). Defaults to logging via util::log_error.
   std::function<void(const DeadlockReport&)> on_deadlock;
 
-  /// Reads ARMUS_MODE, ARMUS_GRAPH_MODEL and ARMUS_CHECK_PERIOD_MS.
+  /// Reads ARMUS_MODE, ARMUS_GRAPH_MODEL, ARMUS_CHECK_PERIOD_MS,
+  /// ARMUS_AVOIDANCE_RECHECK_MS and ARMUS_SCANNER. Non-positive periods and
+  /// malformed values raise std::invalid_argument.
   static VerifierConfig from_env();
 };
 
@@ -124,7 +138,16 @@ class Verifier {
   [[nodiscard]] VerifyMode mode() const { return config_.mode; }
   [[nodiscard]] GraphModel model() const { return config_.model; }
   [[nodiscard]] const VerifierConfig& config() const { return config_; }
-  DependencyState& state() { return state_; }
+
+  /// The blocked-status store (local by default, possibly shared — see
+  /// VerifierConfig::store). All of the Verifier's own reads/writes go
+  /// through this interface too.
+  StateStore& state() { return *store_; }
+  [[nodiscard]] const StateStore& state() const { return *store_; }
+  [[nodiscard]] const std::shared_ptr<StateStore>& store() const {
+    return store_;
+  }
+
   TaskRegistry& registry() { return registry_; }
   [[nodiscard]] const TaskRegistry& registry() const { return registry_; }
 
@@ -164,7 +187,7 @@ class Verifier {
   void check_doomed_or_throw(TaskId task);
 
   VerifierConfig config_;
-  DependencyState state_;
+  std::shared_ptr<StateStore> store_;
   TaskRegistry registry_;
 
   mutable std::mutex mutex_;  // guards stats_, reported_, names_, fingerprints_
@@ -179,16 +202,55 @@ class Verifier {
   std::thread scanner_;
 };
 
-/// The process-wide default verifier used by runtime objects constructed
-/// without an explicit one. Starts as nullptr (verification off).
+/// Process-wide task→verifier bindings plus the default verifier, in one
+/// place (this used to be three loose globals). Two layers:
+///
+///   * **fallback** — the verifier used by runtime objects constructed
+///     without an explicit one. Starts as nullptr (verification off).
+///   * **per-task bindings** — multi-site (distributed) runs have phasers
+///     spanning sites, but each task must report its blocking events to its
+///     *own* site's Armus instance (§5.2). The runtime binds a task at
+///     spawn and unbinds at termination; dist::Cluster::bind_task routes a
+///     task to its site; phasers resolve per-task bookkeeping through the
+///     binding when present (unless the phaser itself is unchecked).
+///
+/// Bindings are sharded by task id, so binding/unbinding on task spawn and
+/// exit never serialises distinct tasks.
+class VerifierRegistry {
+ public:
+  static VerifierRegistry& instance();
+
+  /// The process default. nullptr = verification off.
+  [[nodiscard]] Verifier* fallback() const;
+  void set_fallback(Verifier* verifier);
+
+  /// Binds `task` to `verifier`; nullptr unbinds.
+  void bind(TaskId task, Verifier* verifier);
+  void unbind(TaskId task);
+
+  /// The task's own binding, nullptr when unbound.
+  [[nodiscard]] Verifier* bound(TaskId task) const;
+
+ private:
+  VerifierRegistry() = default;
+
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<TaskId, Verifier*> map;
+  };
+
+  Shard& shard_for(TaskId task) { return shards_[task % kShards]; }
+  const Shard& shard_for(TaskId task) const { return shards_[task % kShards]; }
+
+  std::atomic<Verifier*> fallback_{nullptr};
+  std::array<Shard, kShards> shards_;
+};
+
+// The call-site spelling of the registry operations; use these everywhere
+// (VerifierRegistry::instance() exists for holding a reference).
 Verifier* default_verifier();
 void set_default_verifier(Verifier* verifier);
-
-/// Per-task verifier binding, used by multi-site (distributed) runs where a
-/// phaser spans sites but each task must report its blocking events to its
-/// *own* site's Armus instance (§5.2). The runtime binds a task at spawn
-/// and unbinds at termination; phasers route per-task bookkeeping through
-/// the binding when present (unless the phaser itself is unchecked).
 void bind_task_verifier(TaskId task, Verifier* verifier);
 void unbind_task_verifier(TaskId task);
 Verifier* task_verifier(TaskId task);  ///< nullptr when unbound

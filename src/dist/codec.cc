@@ -1,0 +1,108 @@
+#include "dist/codec.h"
+
+#include <cstdint>
+
+namespace armus::dist {
+
+namespace {
+
+void append_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+/// Strict LEB128 reader over [*offset, bytes.size()).
+std::uint64_t read_varint(std::string_view bytes, std::size_t* offset) {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*offset >= bytes.size()) {
+      throw CodecError("truncated varint at byte " + std::to_string(*offset));
+    }
+    std::uint8_t byte = static_cast<std::uint8_t>(bytes[(*offset)++]);
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // The final group of a 64-bit varint (shift 63) has one payload bit.
+      if (shift == 63 && (byte & 0x7e) != 0) {
+        throw CodecError("varint overflows 64 bits");
+      }
+      return value;
+    }
+  }
+  throw CodecError("varint longer than 10 bytes");
+}
+
+/// Guards element counts before anything is allocated: every encoded
+/// element occupies at least one byte, so a count exceeding the remaining
+/// input is bogus no matter what follows.
+std::uint64_t read_count(std::string_view bytes, std::size_t* offset,
+                         const char* what) {
+  std::uint64_t count = read_varint(bytes, offset);
+  if (count > bytes.size() - *offset) {
+    throw CodecError(std::string("implausible ") + what + " count " +
+                     std::to_string(count) + " with " +
+                     std::to_string(bytes.size() - *offset) +
+                     " bytes remaining");
+  }
+  return count;
+}
+
+}  // namespace
+
+std::string encode_statuses(const std::vector<BlockedStatus>& statuses) {
+  std::string out;
+  // Varints below 128 dominate; 4 bytes/status is a good starting guess.
+  out.reserve(8 + statuses.size() * 4);
+  append_varint(out, statuses.size());
+  for (const BlockedStatus& status : statuses) {
+    append_varint(out, status.task);
+    append_varint(out, status.waits.size());
+    for (const Resource& wait : status.waits) {
+      append_varint(out, wait.phaser);
+      append_varint(out, wait.phase);
+    }
+    append_varint(out, status.registered.size());
+    for (const RegEntry& reg : status.registered) {
+      append_varint(out, reg.phaser);
+      append_varint(out, reg.local_phase);
+    }
+  }
+  return out;
+}
+
+std::vector<BlockedStatus> decode_statuses(std::string_view bytes) {
+  std::size_t offset = 0;
+  std::uint64_t count = read_count(bytes, &offset, "status");
+  std::vector<BlockedStatus> statuses;
+  statuses.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    BlockedStatus status;
+    status.task = read_varint(bytes, &offset);
+    std::uint64_t nwaits = read_count(bytes, &offset, "wait");
+    status.waits.reserve(nwaits);
+    for (std::uint64_t w = 0; w < nwaits; ++w) {
+      Resource wait;
+      wait.phaser = read_varint(bytes, &offset);
+      wait.phase = read_varint(bytes, &offset);
+      status.waits.push_back(wait);
+    }
+    std::uint64_t nregs = read_count(bytes, &offset, "registration");
+    status.registered.reserve(nregs);
+    for (std::uint64_t r = 0; r < nregs; ++r) {
+      RegEntry reg;
+      reg.phaser = read_varint(bytes, &offset);
+      reg.local_phase = read_varint(bytes, &offset);
+      status.registered.push_back(reg);
+    }
+    statuses.push_back(std::move(status));
+  }
+  if (offset != bytes.size()) {
+    throw CodecError("trailing garbage: " + std::to_string(bytes.size() - offset) +
+                     " bytes after " + std::to_string(count) + " statuses");
+  }
+  return statuses;
+}
+
+}  // namespace armus::dist

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/blocked_status.h"
+
+/// Compact binary (de)serialisation of BlockedStatus batches — the wire
+/// format a site uses to publish its slice of blocked statuses into the
+/// shared global store (§5.2). The paper's Fig. 7 setup pays exactly this
+/// cost on every publish/check round, so the encoding is sized for the
+/// common case: ids and phases are small integers, encoded as LEB128
+/// varints (1 byte below 128) rather than fixed 8-byte words.
+///
+/// Layout (all integers unsigned LEB128):
+///
+///   batch    := count:varint status*
+///   status   := task:varint
+///               nwaits:varint (phaser:varint phase:varint)*
+///               nregs:varint  (phaser:varint phase:varint)*
+///
+/// Decoding is strict: truncated input, an unterminated varint, a count
+/// that cannot fit in the remaining bytes, and trailing garbage all raise
+/// CodecError. A store snapshot is only as trustworthy as its slices, so a
+/// corrupt slice must fail loudly instead of yielding a bogus graph.
+namespace armus::dist {
+
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialises `statuses` into the batch format above.
+std::string encode_statuses(const std::vector<BlockedStatus>& statuses);
+
+/// Parses a batch produced by encode_statuses. Throws CodecError on any
+/// malformed input.
+std::vector<BlockedStatus> decode_statuses(std::string_view bytes);
+
+}  // namespace armus::dist

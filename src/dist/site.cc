@@ -1,0 +1,169 @@
+#include "dist/site.h"
+
+#include <algorithm>
+
+namespace armus::dist {
+
+namespace {
+
+VerifierConfig site_verifier_config(const Site::Config& config) {
+  VerifierConfig vc;
+  vc.mode = VerifyMode::kDetection;
+  vc.model = config.model;
+  vc.period = config.check_period;
+  // The local scanner stays off: this verifier's state holds only this
+  // site's half of any cross-site cycle. Site::check_now analyses the
+  // merged global snapshot instead.
+  vc.scanner_enabled = false;
+  // Deadlocks are reported by the site's global checker, never by the
+  // verifier itself; silence its default logging callback.
+  vc.on_deadlock = [](const DeadlockReport&) {};
+  return vc;
+}
+
+}  // namespace
+
+Site::Site(Config config, std::shared_ptr<Store> store)
+    : config_(std::move(config)),
+      store_(std::move(store)),
+      verifier_(site_verifier_config(config_)) {}
+
+Site::~Site() { stop(); }
+
+bool Site::publish_now() {
+  std::string payload = encode_statuses(verifier_.current_snapshot());
+  try {
+    store_->put_slice(config_.id, std::move(payload));
+  } catch (const StoreUnavailableError&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.store_failures;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.publishes;
+  return true;
+}
+
+bool Site::check_now() {
+  std::vector<Store::Slice> slices;
+  try {
+    slices = store_->snapshot();
+  } catch (const StoreUnavailableError&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.store_failures;
+    return false;
+  }
+
+  // A corrupt slice must not blind the checker to the healthy ones.
+  std::vector<BlockedStatus> merged =
+      merge_slices(slices, [this](SiteId, const CodecError&) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.store_failures;
+      });
+
+  CheckResult result = check_deadlocks(merged, config_.model);
+  std::vector<DeadlockReport> fresh;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.checks;
+    for (DeadlockReport& report : result.reports) {
+      if (!fingerprints_.insert(report.fingerprint()).second) continue;
+      reported_.push_back(report);
+      ++stats_.deadlocks_found;
+      fresh.push_back(std::move(report));
+    }
+  }
+  if (config_.on_deadlock) {
+    for (const DeadlockReport& report : fresh) config_.on_deadlock(report);
+  }
+  return true;
+}
+
+std::vector<DeadlockReport> Site::reported() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reported_;
+}
+
+Site::Stats Site::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Site::start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (publisher_.joinable()) return;
+  stop_requested_ = false;
+  publisher_ = std::thread(
+      [this] { loop(config_.publish_period, &Site::publish_now); });
+  checker_ =
+      std::thread([this] { loop(config_.check_period, &Site::check_now); });
+}
+
+void Site::stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (publisher_.joinable()) publisher_.join();
+  if (checker_.joinable()) checker_.join();
+}
+
+void Site::loop(std::chrono::milliseconds period, bool (Site::*step)()) {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  for (;;) {
+    if (stop_cv_.wait_for(lock, period, [this] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    (this->*step)();
+    lock.lock();
+  }
+}
+
+// --- Cluster -----------------------------------------------------------------
+
+Cluster::Cluster(Config config)
+    : config_(std::move(config)),
+      store_(std::make_shared<Store>(config_.store)) {
+  sites_.reserve(config_.site_count);
+  for (std::size_t i = 0; i < config_.site_count; ++i) {
+    Site::Config sc;
+    sc.id = static_cast<SiteId>(i);
+    sc.publish_period = config_.publish_period;
+    sc.check_period = config_.check_period;
+    sc.model = config_.model;
+    if (config_.on_deadlock) {
+      sc.on_deadlock = [this, id = sc.id](const DeadlockReport& report) {
+        config_.on_deadlock(id, report);
+      };
+    }
+    sites_.push_back(std::make_unique<Site>(std::move(sc), store_));
+  }
+}
+
+Cluster::~Cluster() { stop(); }
+
+void Cluster::start() {
+  for (auto& site : sites_) site->start();
+}
+
+void Cluster::stop() {
+  for (auto& site : sites_) site->stop();
+}
+
+std::size_t Cluster::total_reports() const {
+  std::size_t total = 0;
+  for (const auto& site : sites_) total += site->reported().size();
+  return total;
+}
+
+void Cluster::bind_task(TaskId task, SiteId site) {
+  // at(): a miscomputed site id must fail loudly, not hand the registry a
+  // garbage Verifier*.
+  bind_task_verifier(task, &sites_.at(static_cast<std::size_t>(site))->verifier());
+}
+
+void Cluster::unbind_task(TaskId task) { unbind_task_verifier(task); }
+
+}  // namespace armus::dist

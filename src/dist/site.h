@@ -1,0 +1,154 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/verifier.h"
+#include "dist/codec.h"
+#include "dist/store.h"
+
+/// The multi-site deployment of §5.2: one Armus instance ("site") per
+/// process-group, all publishing their blocked statuses into a shared
+/// global store and each checking the *merged* snapshot on a period
+/// (200 ms in the paper's distributed runs).
+///
+/// A Site wraps a scanner-disabled Verifier: the local detection thread is
+/// off because a site's own state holds only its half of any cross-site
+/// cycle — the checker must run over the global snapshot instead. Tasks
+/// attach to their site through the VerifierRegistry binding
+/// (Cluster::bind_task), so a phaser spanning sites still reports each
+/// task's blocking events to that task's own site.
+namespace armus::dist {
+
+class Site {
+ public:
+  struct Config {
+    SiteId id = 0;
+
+    /// How often the publisher pushes this site's slice to the store.
+    std::chrono::milliseconds publish_period{200};
+
+    /// How often the checker analyses the merged global snapshot (the
+    /// paper's distributed detection period).
+    std::chrono::milliseconds check_period{200};
+
+    GraphModel model = GraphModel::kAuto;
+
+    /// Invoked once per newly found deadlock (deduplicated by task set).
+    /// nullptr = silent (reports still accumulate).
+    std::function<void(const DeadlockReport&)> on_deadlock;
+  };
+
+  struct Stats {
+    std::uint64_t publishes = 0;       ///< completed slice publishes
+    std::uint64_t checks = 0;          ///< completed global checks
+    std::uint64_t deadlocks_found = 0; ///< deduplicated reports
+    std::uint64_t store_failures = 0;  ///< absorbed outages / corrupt slices
+  };
+
+  Site(Config config, std::shared_ptr<Store> store);
+  ~Site();
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  [[nodiscard]] SiteId id() const { return config_.id; }
+  Verifier& verifier() { return verifier_; }
+  [[nodiscard]] const std::shared_ptr<Store>& store() const { return store_; }
+
+  /// Encodes this site's current snapshot (stored waits overlaid with live
+  /// registrations) and publishes it as the site's slice. Returns false —
+  /// and counts a store failure — when the store is unavailable.
+  bool publish_now();
+
+  /// Reads every slice from the store, decodes and merges them, and runs
+  /// the deadlock checker over the global snapshot. New deadlocks (by task
+  /// set) are recorded and reported through on_deadlock. Returns false —
+  /// and counts a store failure — when the store is unavailable.
+  bool check_now();
+
+  /// All deadlocks this site found in the global snapshot, in discovery
+  /// order.
+  [[nodiscard]] std::vector<DeadlockReport> reported() const;
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Starts the publisher and checker threads (idempotent).
+  void start();
+
+  /// Stops them; safe to call repeatedly.
+  void stop();
+
+ private:
+  void loop(std::chrono::milliseconds period, bool (Site::*step)());
+
+  Config config_;
+  std::shared_ptr<Store> store_;
+  Verifier verifier_;
+
+  mutable std::mutex mutex_;  // guards stats_, reported_, fingerprints_
+  Stats stats_;
+  std::vector<DeadlockReport> reported_;
+  std::unordered_set<std::uint64_t> fingerprints_;
+
+  std::mutex thread_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::thread publisher_;
+  std::thread checker_;
+};
+
+/// N sites over one shared store — the whole simulated cluster, plus the
+/// task-binding glue the distributed workloads use to spread tasks over
+/// sites.
+class Cluster {
+ public:
+  struct Config {
+    std::size_t site_count = 2;
+    std::chrono::milliseconds publish_period{200};
+    std::chrono::milliseconds check_period{200};
+    GraphModel model = GraphModel::kAuto;
+
+    /// Per-site deadlock callback (every site checks the global snapshot
+    /// independently, so N sites report a cluster-wide deadlock N times —
+    /// once each).
+    std::function<void(SiteId, const DeadlockReport&)> on_deadlock;
+
+    /// Store knobs (latency injection for benchmarks).
+    Store::Config store;
+  };
+
+  explicit Cluster(Config config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return sites_.size(); }
+  Site& site(std::size_t index) { return *sites_.at(index); }
+  [[nodiscard]] const std::shared_ptr<Store>& store() const { return store_; }
+
+  void start();
+  void stop();
+
+  /// Sum of every site's reported deadlock count.
+  [[nodiscard]] std::size_t total_reports() const;
+
+  /// Attaches `task` to `site`'s verifier through the VerifierRegistry, so
+  /// the task's blocking events (on any phaser) go to that site's Armus
+  /// instance. The runtime's spawn/exit path unbinds automatically;
+  /// unbind_task covers externally managed tasks.
+  void bind_task(TaskId task, SiteId site);
+  void unbind_task(TaskId task);
+
+ private:
+  Config config_;
+  std::shared_ptr<Store> store_;
+  std::vector<std::unique_ptr<Site>> sites_;
+};
+
+}  // namespace armus::dist

@@ -1,0 +1,174 @@
+#include "dist/store.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace armus::dist {
+
+namespace {
+
+void simulate_hop(std::chrono::microseconds latency) {
+  if (latency.count() > 0) std::this_thread::sleep_for(latency);
+}
+
+}  // namespace
+
+void Store::check_available_locked() const {
+  if (!available_) throw StoreUnavailableError();
+}
+
+void Store::put_slice(SiteId site, std::string payload) {
+  simulate_hop(config_.latency);
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_available_locked();
+  Slice& slice = slices_[site];
+  slice.site = site;
+  slice.payload = std::move(payload);
+  ++slice.version;
+  ++writes_;
+}
+
+void Store::remove_slice(SiteId site) {
+  simulate_hop(config_.latency);
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_available_locked();
+  slices_.erase(site);
+  ++writes_;
+}
+
+std::vector<Store::Slice> Store::snapshot() const {
+  simulate_hop(config_.latency);
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_available_locked();
+  std::vector<Slice> out;
+  out.reserve(slices_.size());
+  for (const auto& [site, slice] : slices_) out.push_back(slice);
+  ++reads_;
+  return out;
+}
+
+void Store::set_available(bool available) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  available_ = available;
+}
+
+bool Store::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return available_;
+}
+
+std::uint64_t Store::writes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writes_;
+}
+
+std::uint64_t Store::reads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reads_;
+}
+
+std::vector<BlockedStatus> merge_slices(
+    const std::vector<Store::Slice>& slices,
+    const std::function<void(SiteId, const CodecError&)>& on_corrupt) {
+  std::vector<BlockedStatus> merged;
+  for (const Store::Slice& slice : slices) {
+    std::vector<BlockedStatus> decoded;
+    try {
+      decoded = decode_statuses(slice.payload);
+    } catch (const CodecError& e) {
+      if (!on_corrupt) throw;
+      on_corrupt(slice.site, e);
+      continue;
+    }
+    merged.insert(merged.end(), std::make_move_iterator(decoded.begin()),
+                  std::make_move_iterator(decoded.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const BlockedStatus& a, const BlockedStatus& b) {
+              return a.task < b.task;
+            });
+  return merged;
+}
+
+// --- SharedStore -------------------------------------------------------------
+
+SharedStore::SharedStore(std::shared_ptr<Store> store, SiteId site)
+    : store_(std::move(store)), site_(site) {}
+
+SharedStore::~SharedStore() {
+  try {
+    store_->remove_slice(site_);
+  } catch (const StoreUnavailableError&) {
+    // A slice stranded by an outage is the crash case: survivors cope.
+  }
+}
+
+void SharedStore::flush_locked() {
+  std::vector<BlockedStatus> batch;
+  batch.reserve(mirror_.size());
+  for (const auto& [task, status] : mirror_) batch.push_back(status);
+  store_->put_slice(site_, encode_statuses(batch));
+}
+
+void SharedStore::set_blocked(BlockedStatus status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TaskId task = status.task;
+  auto it = mirror_.find(task);
+  if (it != mirror_.end() && it->second == status) return;  // no-op republish
+  BlockedStatus previous;
+  bool had_previous = it != mirror_.end();
+  if (had_previous) previous = it->second;
+  mirror_[task] = std::move(status);
+  try {
+    flush_locked();
+  } catch (...) {
+    // Keep mirror and store consistent: withdraw the failed update.
+    if (had_previous) {
+      mirror_[task] = std::move(previous);
+    } else {
+      mirror_.erase(task);
+    }
+    throw;
+  }
+}
+
+void SharedStore::clear_blocked(TaskId task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = mirror_.find(task);
+  if (it == mirror_.end()) return;
+  BlockedStatus previous = std::move(it->second);
+  mirror_.erase(it);
+  try {
+    flush_locked();
+  } catch (...) {
+    mirror_[task] = std::move(previous);
+    throw;
+  }
+}
+
+std::vector<BlockedStatus> SharedStore::snapshot() const {
+  return merge_slices(store_->snapshot());
+}
+
+std::size_t SharedStore::blocked_count() const {
+  std::size_t count = 0;
+  for (const Store::Slice& slice : store_->snapshot()) {
+    count += decode_statuses(slice.payload).size();
+  }
+  return count;
+}
+
+void SharedStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (mirror_.empty()) return;
+  auto previous = std::move(mirror_);
+  mirror_.clear();
+  try {
+    flush_locked();
+  } catch (...) {
+    mirror_ = std::move(previous);
+    throw;
+  }
+}
+
+}  // namespace armus::dist

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/state_store.h"
+#include "dist/codec.h"
+
+/// The shared global store of the distributed deployment (§5.2): our
+/// in-process stand-in for the Redis instance the paper's multi-site Armus
+/// publishes blocked statuses into.
+///
+/// Each site owns one *slice* — an opaque payload (codec-encoded
+/// BlockedStatus batch) it overwrites wholesale on every publish — and a
+/// checker reads the snapshot of every slice. Slices are independent, so a
+/// site crash leaves its last published slice visible (exactly what lets a
+/// surviving site still detect a cycle through the dead site's tasks).
+namespace armus::dist {
+
+using SiteId = std::uint32_t;
+
+/// Raised by store operations while the store is unavailable (simulated
+/// network partition / Redis outage). Sites absorb it and retry on their
+/// next period.
+class StoreUnavailableError : public std::runtime_error {
+ public:
+  StoreUnavailableError() : std::runtime_error("store unavailable") {}
+};
+
+class Store {
+ public:
+  struct Config {
+    /// Simulated one-way network latency added to every operation.
+    std::chrono::microseconds latency{0};
+  };
+
+  /// One site's published payload. `version` counts that site's writes, so
+  /// a checker (or test) can tell a re-publish from a stale read.
+  struct Slice {
+    SiteId site = 0;
+    std::string payload;
+    std::uint64_t version = 0;
+  };
+
+  Store() = default;
+  explicit Store(Config config) : config_(config) {}
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Overwrites `site`'s slice. Throws StoreUnavailableError during an
+  /// outage.
+  void put_slice(SiteId site, std::string payload);
+
+  /// Drops `site`'s slice (graceful site shutdown; a crashed site leaves
+  /// its slice behind).
+  void remove_slice(SiteId site);
+
+  /// Every current slice, sorted by site id. Throws StoreUnavailableError
+  /// during an outage.
+  [[nodiscard]] std::vector<Slice> snapshot() const;
+
+  /// Failure injection: while unavailable, every operation throws. Data
+  /// survives the outage.
+  void set_available(bool available);
+  [[nodiscard]] bool available() const;
+
+  /// Completed write / read operation counts (put_slice + remove_slice are
+  /// writes, snapshot is a read; failed attempts don't count).
+  [[nodiscard]] std::uint64_t writes() const;
+  [[nodiscard]] std::uint64_t reads() const;
+
+ private:
+  void check_available_locked() const;
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::map<SiteId, Slice> slices_;
+  bool available_ = true;
+  std::uint64_t writes_ = 0;
+  mutable std::uint64_t reads_ = 0;
+};
+
+/// Decodes every slice and merges the statuses into one snapshot, sorted
+/// by task — the global view a distributed checker analyses. A corrupt
+/// slice is reported through `on_corrupt` and skipped when the callback is
+/// set; with no callback the CodecError propagates.
+std::vector<BlockedStatus> merge_slices(
+    const std::vector<Store::Slice>& slices,
+    const std::function<void(SiteId, const CodecError&)>& on_corrupt = {});
+
+/// A StateStore that *is* a site's window onto the shared store: every
+/// mutation re-encodes this site's slice and writes it through, and every
+/// read decodes the merged snapshot of all sites. Plugging one of these
+/// into VerifierConfig::store yields the §5.2 "Verifier bound to the shared
+/// store" — its checker sees the whole cluster's blocked statuses, while
+/// its blocking hooks publish only this site's tasks.
+///
+/// dist::Site instead batches its publishes on a period (write-through on
+/// every block/unblock costs a store round-trip per event); SharedStore is
+/// the strongly consistent variant for in-process sharing and tests.
+///
+/// Store outages surface as StoreUnavailableError from the mutating and
+/// reading calls; the local mirror stays coherent, so the next successful
+/// write re-publishes the full slice.
+class SharedStore final : public StateStore {
+ public:
+  SharedStore(std::shared_ptr<Store> store, SiteId site);
+
+  /// Removes this site's slice on clean destruction; a crashed site (one
+  /// that never destructs) leaves its slice for the survivors to analyse.
+  ~SharedStore() override;
+
+  void set_blocked(BlockedStatus status) override;
+  void clear_blocked(TaskId task) override;
+
+  /// The merged, decoded view of *every* site's slice, sorted by task.
+  [[nodiscard]] std::vector<BlockedStatus> snapshot() const override;
+  [[nodiscard]] std::size_t blocked_count() const override;
+
+  /// Clears this site's tasks (not other sites').
+  void clear() override;
+
+  [[nodiscard]] SiteId site() const { return site_; }
+  [[nodiscard]] const std::shared_ptr<Store>& backing() const { return store_; }
+
+ private:
+  /// Re-encodes the mirror and publishes it; caller holds mutex_.
+  void flush_locked();
+
+  std::shared_ptr<Store> store_;
+  SiteId site_;
+  mutable std::mutex mutex_;
+  /// This site's statuses, ordered by task for a deterministic encoding.
+  std::map<TaskId, BlockedStatus> mirror_;
+};
+
+}  // namespace armus::dist

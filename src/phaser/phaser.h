@@ -71,9 +71,10 @@ class Phaser : public std::enable_shared_from_this<Phaser> {
   [[nodiscard]] Verifier* verifier() const { return verifier_; }
 
   /// The verifier used for `task`'s bookkeeping: the task's own binding
-  /// (multi-site runs, see bind_task_verifier) when present, else the
-  /// phaser's. An unchecked phaser (nullptr) stays unchecked — benchmark
-  /// baselines must not become verified through task bindings.
+  /// (multi-site runs, see VerifierRegistry / dist::Cluster::bind_task)
+  /// when present, else the phaser's. An unchecked phaser (nullptr) stays
+  /// unchecked — benchmark baselines must not become verified through task
+  /// bindings.
   [[nodiscard]] Verifier* effective_verifier(TaskId task) const {
     if (verifier_ == nullptr) return nullptr;
     Verifier* bound = task_verifier(task);

@@ -35,7 +35,9 @@ void run_dist_spmd(const DistRunConfig& config,
   ids.reserve(static_cast<std::size_t>(total));
   for (int rank = 0; rank < total; ++rank) {
     TaskId id = fresh_task_id();
-    bind_task_verifier(id, config.verifier_for(rank));
+    if (config.cluster != nullptr) {
+      config.cluster->bind_task(id, config.site_for(rank));
+    }
     barrier->register_task(id, 0, ph::RegMode::kSigWait);
     ids.push_back(id);
   }

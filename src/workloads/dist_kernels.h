@@ -23,12 +23,15 @@ struct DistRunConfig {
 
   [[nodiscard]] int total_tasks() const { return sites * tasks_per_site; }
 
+  /// The site hosting global task index `task` (round-robin).
+  [[nodiscard]] dist::SiteId site_for(int task) const {
+    return static_cast<dist::SiteId>(task % sites);
+  }
+
   /// The verifier for global task index `task` (round-robin by site).
   [[nodiscard]] Verifier* verifier_for(int task) const {
     if (cluster == nullptr) return nullptr;
-    return &cluster->site(static_cast<std::size_t>(task) %
-                          static_cast<std::size_t>(sites))
-                .verifier();
+    return &cluster->site(site_for(task)).verifier();
   }
 };
 

@@ -212,6 +212,48 @@ TEST(VerifierConfigTest, FromEnvParsesSettings) {
   ::unsetenv("ARMUS_CHECK_PERIOD_MS");
 }
 
+TEST(VerifierConfigTest, FromEnvRejectsNonPositivePeriods) {
+  ::setenv("ARMUS_CHECK_PERIOD_MS", "0", 1);
+  EXPECT_THROW(VerifierConfig::from_env(), std::invalid_argument);
+  ::setenv("ARMUS_CHECK_PERIOD_MS", "-5", 1);
+  EXPECT_THROW(VerifierConfig::from_env(), std::invalid_argument);
+  ::unsetenv("ARMUS_CHECK_PERIOD_MS");
+
+  ::setenv("ARMUS_AVOIDANCE_RECHECK_MS", "0", 1);
+  EXPECT_THROW(VerifierConfig::from_env(), std::invalid_argument);
+  ::unsetenv("ARMUS_AVOIDANCE_RECHECK_MS");
+}
+
+TEST(VerifierConfigTest, FromEnvHonoursScannerToggle) {
+  ::unsetenv("ARMUS_SCANNER");  // shield against the ambient shell
+  EXPECT_TRUE(VerifierConfig::from_env().scanner_enabled);  // default on
+  ::setenv("ARMUS_SCANNER", "off", 1);
+  EXPECT_FALSE(VerifierConfig::from_env().scanner_enabled);
+  ::setenv("ARMUS_SCANNER", "1", 1);
+  EXPECT_TRUE(VerifierConfig::from_env().scanner_enabled);
+  ::setenv("ARMUS_SCANNER", "maybe", 1);
+  EXPECT_THROW(VerifierConfig::from_env(), std::invalid_argument);
+  ::unsetenv("ARMUS_SCANNER");
+}
+
+TEST(VerifierRegistryApiTest, AliasesAndRegistryAgree) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kOff;
+  Verifier site_a(config), site_b(config);
+  auto& registry = VerifierRegistry::instance();
+
+  set_default_verifier(&site_a);
+  EXPECT_EQ(registry.fallback(), &site_a);
+  EXPECT_EQ(default_verifier(), &site_a);
+
+  bind_task_verifier(41, &site_b);
+  EXPECT_EQ(registry.bound(41), &site_b);
+  EXPECT_EQ(task_verifier(41), &site_b);
+  registry.unbind(41);
+  EXPECT_EQ(task_verifier(41), nullptr);
+  set_default_verifier(nullptr);
+}
+
 TEST(VerifierConfigTest, ModeNamesRoundTrip) {
   for (VerifyMode m :
        {VerifyMode::kOff, VerifyMode::kDetection, VerifyMode::kAvoidance}) {

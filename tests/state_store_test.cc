@@ -1,0 +1,286 @@
+// Tests for the pluggable StateStore API: a conformance suite run against
+// both the process-local implementation (DependencyState) and the
+// shared-global-store one (dist::SharedStore), codec round-trip property
+// tests, and cross-verifier deadlock detection through a shared store.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+
+#include "core/dependency_state.h"
+#include "core/verifier.h"
+#include "dist/codec.h"
+#include "dist/store.h"
+#include "util/rng.h"
+
+namespace armus {
+namespace {
+
+BlockedStatus status(TaskId task, std::vector<Resource> waits,
+                     std::vector<RegEntry> registered) {
+  BlockedStatus s;
+  s.task = task;
+  s.waits = std::move(waits);
+  s.registered = std::move(registered);
+  return s;
+}
+
+// --- StateStore conformance ---------------------------------------------------
+
+/// Factory per implementation; the typed suite below runs every case
+/// against each. SharedStoreFactory hands out views onto one backing
+/// dist::Store, so the conformance suite also pins down the merged-view
+/// semantics (a second factory call is a *different site* of the same
+/// store).
+struct LocalStoreFactory {
+  std::shared_ptr<StateStore> make() {
+    return std::make_shared<DependencyState>();
+  }
+};
+
+struct SharedStoreFactory {
+  std::shared_ptr<dist::Store> backing = std::make_shared<dist::Store>();
+  dist::SiteId next_site = 0;
+
+  std::shared_ptr<StateStore> make() {
+    return std::make_shared<dist::SharedStore>(backing, next_site++);
+  }
+};
+
+template <typename Factory>
+class StateStoreConformanceTest : public ::testing::Test {
+ protected:
+  Factory factory_;
+};
+
+using StoreFactories = ::testing::Types<LocalStoreFactory, SharedStoreFactory>;
+TYPED_TEST_SUITE(StateStoreConformanceTest, StoreFactories);
+
+TYPED_TEST(StateStoreConformanceTest, StartsEmpty) {
+  auto store = this->factory_.make();
+  EXPECT_EQ(store->blocked_count(), 0u);
+  EXPECT_TRUE(store->snapshot().empty());
+}
+
+TYPED_TEST(StateStoreConformanceTest, SnapshotIsSortedByTask) {
+  auto store = this->factory_.make();
+  store->set_blocked(status(30, {{3, 1}}, {{3, 0}}));
+  store->set_blocked(status(10, {{1, 1}}, {}));
+  store->set_blocked(status(20, {{2, 2}}, {{2, 1}}));
+  auto snapshot = store->snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].task, 10u);
+  EXPECT_EQ(snapshot[1].task, 20u);
+  EXPECT_EQ(snapshot[2].task, 30u);
+  EXPECT_EQ(snapshot[1].waits, (std::vector<Resource>{{2, 2}}));
+  EXPECT_EQ(snapshot[1].registered, (std::vector<RegEntry>{{2, 1}}));
+}
+
+TYPED_TEST(StateStoreConformanceTest, SetBlockedReplacesSameTask) {
+  auto store = this->factory_.make();
+  store->set_blocked(status(1, {{1, 1}}, {}));
+  store->set_blocked(status(1, {{2, 5}}, {{2, 4}}));
+  auto snapshot = store->snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].waits, (std::vector<Resource>{{2, 5}}));
+  EXPECT_EQ(store->blocked_count(), 1u);
+}
+
+TYPED_TEST(StateStoreConformanceTest, ClearBlockedRemovesOnlyThatTask) {
+  auto store = this->factory_.make();
+  store->set_blocked(status(1, {{1, 1}}, {}));
+  store->set_blocked(status(2, {{2, 1}}, {}));
+  store->clear_blocked(1);
+  store->clear_blocked(99);  // absent: no-op
+  auto snapshot = store->snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].task, 2u);
+}
+
+TYPED_TEST(StateStoreConformanceTest, ClearEmptiesTheStore) {
+  auto store = this->factory_.make();
+  store->set_blocked(status(1, {{1, 1}}, {}));
+  store->set_blocked(status(2, {{2, 1}}, {}));
+  store->clear();
+  EXPECT_EQ(store->blocked_count(), 0u);
+  EXPECT_TRUE(store->snapshot().empty());
+}
+
+TYPED_TEST(StateStoreConformanceTest, TwoStoresShareTheMergedView) {
+  // For the local factory both handles are independent stores; for the
+  // shared factory they are two sites of one global store, whose snapshots
+  // merge. Both behaviours are asserted through the same operations.
+  auto a = this->factory_.make();
+  auto b = this->factory_.make();
+  a->set_blocked(status(1, {{1, 1}}, {}));
+  b->set_blocked(status(2, {{2, 1}}, {}));
+  bool shared = std::is_same_v<TypeParam, SharedStoreFactory>;
+  EXPECT_EQ(a->snapshot().size(), shared ? 2u : 1u);
+  EXPECT_EQ(b->blocked_count(), shared ? 2u : 1u);
+  // clear() only drops the clearing store's own tasks.
+  a->clear();
+  auto remaining = b->snapshot();
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].task, 2u);
+}
+
+// --- codec property tests -----------------------------------------------------
+
+std::vector<BlockedStatus> random_batch(util::Xoshiro256& rng) {
+  std::vector<BlockedStatus> batch;
+  std::size_t count = rng.below(12);
+  for (std::size_t i = 0; i < count; ++i) {
+    BlockedStatus s;
+    // Mix small ids (1-byte varints) with huge ones (full 10-byte varints).
+    s.task = rng.chance(0.2) ? rng() : 1 + rng.below(300);
+    std::size_t nwaits = rng.below(4);
+    for (std::size_t w = 0; w < nwaits; ++w) {
+      s.waits.push_back({1 + rng.below(40), rng.chance(0.1) ? rng() : rng.below(9)});
+    }
+    std::size_t nregs = rng.below(5);
+    for (std::size_t r = 0; r < nregs; ++r) {
+      s.registered.push_back({1 + rng.below(40), rng.below(9)});
+    }
+    batch.push_back(std::move(s));
+  }
+  return batch;
+}
+
+TEST(CodecPropertyTest, RandomBatchesRoundTrip) {
+  util::Xoshiro256 rng(2015);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto batch = random_batch(rng);
+    std::string bytes = dist::encode_statuses(batch);
+    EXPECT_EQ(dist::decode_statuses(bytes), batch) << "iteration " << iter;
+  }
+}
+
+TEST(CodecPropertyTest, EveryStrictPrefixIsRejected) {
+  // The decoder knows exactly how many fields follow from the embedded
+  // counts, so no strict prefix of a valid encoding may parse.
+  util::Xoshiro256 rng(4099);
+  for (int iter = 0; iter < 20; ++iter) {
+    auto batch = random_batch(rng);
+    if (batch.empty()) continue;
+    std::string bytes = dist::encode_statuses(batch);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_THROW(dist::decode_statuses(std::string_view(bytes).substr(0, len)),
+                   dist::CodecError)
+          << "prefix length " << len << " of " << bytes.size();
+    }
+  }
+}
+
+TEST(CodecPropertyTest, AppendedGarbageIsRejected) {
+  util::Xoshiro256 rng(77);
+  auto batch = random_batch(rng);
+  std::string bytes = dist::encode_statuses(batch);
+  bytes.push_back('\0');
+  EXPECT_THROW(dist::decode_statuses(bytes), dist::CodecError);
+}
+
+// --- cross-verifier deadlock through a shared store ---------------------------
+
+/// Half a 2-task cycle per verifier; neither half alone is cyclic.
+void plant_split_cycle(Verifier& a, Verifier& b) {
+  a.state().set_blocked(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+  b.state().set_blocked(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+}
+
+TEST(SharedStateTest, TwoVerifiersOnOneLocalStoreSeeEachOther) {
+  auto shared = std::make_shared<DependencyState>();
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.scanner_enabled = false;
+  config.store = shared;
+  Verifier a(config), b(config);
+
+  plant_split_cycle(a, b);
+  EXPECT_EQ(a.state().blocked_count(), 2u);  // both publishers visible
+
+  // Either verifier's checker sees the cross-verifier cycle.
+  CheckResult at_a = a.check_now();
+  CheckResult at_b = b.check_now();
+  ASSERT_EQ(at_a.reports.size(), 1u);
+  ASSERT_EQ(at_b.reports.size(), 1u);
+  EXPECT_EQ(at_a.reports[0].tasks, (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(at_b.reports[0].tasks, (std::vector<TaskId>{1, 2}));
+}
+
+TEST(SharedStateTest, ScannerDetectsCrossVerifierCycle) {
+  auto shared = std::make_shared<DependencyState>();
+  VerifierConfig ca;
+  ca.mode = VerifyMode::kDetection;
+  ca.scanner_enabled = false;
+  ca.store = shared;
+  Verifier a(ca);  // pure publisher
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<DeadlockReport> got;
+  VerifierConfig cb = ca;
+  cb.scanner_enabled = true;
+  cb.period = std::chrono::milliseconds(5);
+  cb.on_deadlock = [&](const DeadlockReport& r) {
+    std::lock_guard<std::mutex> lock(m);
+    got.push_back(r);
+    cv.notify_all();
+  };
+  Verifier b(cb);  // the one checker of the shared state
+
+  plant_split_cycle(a, b);
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(2),
+                          [&] { return !got.empty(); }));
+  EXPECT_EQ(got[0].tasks, (std::vector<TaskId>{1, 2}));
+}
+
+TEST(SharedStateTest, UnblockByOneVerifierVisibleToTheOther) {
+  auto shared = std::make_shared<DependencyState>();
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.scanner_enabled = false;
+  config.store = shared;
+  Verifier a(config), b(config);
+  a.before_block(status(1, {{1, 1}}, {{1, 0}}));
+  EXPECT_EQ(b.state().blocked_count(), 1u);
+  a.after_unblock(1);
+  EXPECT_EQ(b.state().blocked_count(), 0u);
+}
+
+TEST(SharedStateTest, CrossSiteCycleThroughSharedStoreViews) {
+  // The same split cycle, but each verifier talks to its own *site view*
+  // of one dist::Store — statuses round-trip through the codec and the
+  // slice store before the checker sees them.
+  auto backing = std::make_shared<dist::Store>();
+  VerifierConfig ca, cb;
+  ca.mode = cb.mode = VerifyMode::kDetection;
+  ca.scanner_enabled = cb.scanner_enabled = false;
+  ca.store = std::make_shared<dist::SharedStore>(backing, 0);
+  cb.store = std::make_shared<dist::SharedStore>(backing, 1);
+  Verifier a(ca), b(cb);
+
+  plant_split_cycle(a, b);
+  CheckResult result = a.check_now();
+  ASSERT_EQ(result.reports.size(), 1u);
+  EXPECT_EQ(result.reports[0].tasks, (std::vector<TaskId>{1, 2}));
+  EXPECT_GT(backing->writes(), 0u);
+  EXPECT_GT(backing->reads(), 0u);
+}
+
+TEST(SharedStateTest, DefaultConfigKeepsStoresPrivate) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.scanner_enabled = false;
+  Verifier a(config), b(config);
+  a.state().set_blocked(status(1, {{1, 1}}, {}));
+  EXPECT_EQ(a.state().blocked_count(), 1u);
+  EXPECT_EQ(b.state().blocked_count(), 0u);
+  EXPECT_NE(a.store().get(), b.store().get());
+}
+
+}  // namespace
+}  // namespace armus
