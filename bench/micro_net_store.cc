@@ -1,0 +1,165 @@
+// Ablation for the networked slice store: armus-kv round-trip costs
+// (PUT_SLICE, LIST_SLICES, full publish+check rounds) against the
+// in-process store, plus the SharedStore/SliceCache decode-caching win —
+// repeated blocked_count()/snapshot() over unchanged slices is O(changed),
+// shown by the decodes counter staying flat.
+#include <benchmark/benchmark.h>
+
+#include "dist/codec.h"
+#include "dist/site.h"
+#include "net/kv_server.h"
+#include "net/remote_store.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace armus;
+
+std::vector<BlockedStatus> synthetic_statuses(int count) {
+  util::Xoshiro256 rng(5);
+  std::vector<BlockedStatus> statuses;
+  for (int i = 1; i <= count; ++i) {
+    BlockedStatus s;
+    s.task = static_cast<TaskId>(i);
+    s.waits.push_back(Resource{1 + rng.below(8), 1 + rng.below(4)});
+    for (int r = 0; r < 3; ++r) {
+      s.registered.push_back({1 + rng.below(8), rng.below(4)});
+    }
+    statuses.push_back(std::move(s));
+  }
+  return statuses;
+}
+
+net::RemoteStore::Config client_config(std::uint16_t port) {
+  net::RemoteStore::Config config;
+  config.port = port;
+  return config;
+}
+
+/// One armus-kv PUT_SLICE round trip over loopback TCP.
+void BM_RemotePutSlice(benchmark::State& state) {
+  net::KvServer server;
+  server.start();
+  net::RemoteStore client(client_config(server.port()));
+  std::string payload =
+      dist::encode_statuses(synthetic_statuses(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.put_slice(1, payload));
+  }
+  state.counters["payload_bytes"] = static_cast<double>(payload.size());
+}
+BENCHMARK(BM_RemotePutSlice)->Arg(8)->Arg(64)->Arg(512);
+
+/// LIST_SLICES of N sites over loopback TCP.
+void BM_RemoteSnapshot(benchmark::State& state) {
+  net::KvServer server;
+  server.start();
+  net::RemoteStore client(client_config(server.port()));
+  std::string payload = dist::encode_statuses(synthetic_statuses(32));
+  for (dist::SiteId s = 0; s < static_cast<dist::SiteId>(state.range(0)); ++s) {
+    client.put_slice(s, payload);
+  }
+  for (auto _ : state) {
+    auto snapshot = client.snapshot();
+    benchmark::DoNotOptimize(snapshot);
+  }
+  state.counters["sites"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RemoteSnapshot)->Arg(4)->Arg(16)->Arg(64);
+
+/// A site's full publish+check round, in-process store vs armus-kv: what
+/// moving the store out of the process costs per §5.2 period.
+void publish_check_round(benchmark::State& state,
+                         std::shared_ptr<dist::SliceStore> store, int sites) {
+  std::vector<std::unique_ptr<dist::Site>> cluster;
+  for (int s = 0; s < sites; ++s) {
+    dist::Site::Config config;
+    config.id = static_cast<dist::SiteId>(s);
+    cluster.push_back(std::make_unique<dist::Site>(config, store));
+    for (int t = 0; t < 8; ++t) {
+      BlockedStatus status;
+      status.task = static_cast<TaskId>(s * 100 + t + 1);
+      status.waits.push_back(Resource{static_cast<PhaserUid>(s + 1), 1});
+      status.registered.push_back({static_cast<PhaserUid>(s + 1), 1});
+      cluster.back()->verifier().state().set_blocked(status);
+    }
+    cluster.back()->publish_now();
+  }
+  dist::Site& probe = *cluster[0];
+  for (auto _ : state) {
+    probe.publish_now();
+    probe.check_now();
+  }
+  state.counters["sites"] = static_cast<double>(sites);
+}
+
+void BM_InProcessPublishCheckRound(benchmark::State& state) {
+  publish_check_round(state, std::make_shared<dist::Store>(),
+                      static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_InProcessPublishCheckRound)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_RemotePublishCheckRound(benchmark::State& state) {
+  net::KvServer server;
+  server.start();
+  publish_check_round(
+      state, std::make_shared<net::RemoteStore>(client_config(server.port())),
+      static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_RemotePublishCheckRound)->Arg(2)->Arg(8)->Arg(32);
+
+/// The decode-cache win: blocked_count over N sites when slices never
+/// change between reads. `decodes_per_read` collapses to ~0 with the
+/// version cache (every payload served from cache); it would be N without.
+void BM_SharedStoreBlockedCountUnchanged(benchmark::State& state) {
+  auto backing = std::make_shared<dist::Store>();
+  int sites = static_cast<int>(state.range(0));
+  std::string payload = dist::encode_statuses(synthetic_statuses(32));
+  for (dist::SiteId s = 1; s <= static_cast<dist::SiteId>(sites); ++s) {
+    backing->put_slice(s, payload);
+  }
+  dist::SharedStore store(backing, 0);
+  (void)store.blocked_count();  // warm the cache
+  std::uint64_t decodes_before = store.decode_count();
+  std::uint64_t reads = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.blocked_count());
+    ++reads;
+  }
+  state.counters["sites"] = static_cast<double>(sites);
+  state.counters["decodes_per_read"] =
+      reads == 0 ? 0.0
+                 : static_cast<double>(store.decode_count() - decodes_before) /
+                       static_cast<double>(reads);
+}
+BENCHMARK(BM_SharedStoreBlockedCountUnchanged)->Arg(4)->Arg(16)->Arg(64);
+
+/// Worst case for the cache: every read follows a republish of one slice,
+/// so each round decodes exactly the changed slice (O(changed), not O(N)).
+void BM_SharedStoreBlockedCountOneChanged(benchmark::State& state) {
+  auto backing = std::make_shared<dist::Store>();
+  int sites = static_cast<int>(state.range(0));
+  std::string payload = dist::encode_statuses(synthetic_statuses(32));
+  for (dist::SiteId s = 1; s <= static_cast<dist::SiteId>(sites); ++s) {
+    backing->put_slice(s, payload);
+  }
+  dist::SharedStore store(backing, 0);
+  (void)store.blocked_count();
+  std::uint64_t decodes_before = store.decode_count();
+  std::uint64_t reads = 0;
+  for (auto _ : state) {
+    backing->put_slice(1, payload);  // bump one slice's version
+    benchmark::DoNotOptimize(store.blocked_count());
+    ++reads;
+  }
+  state.counters["sites"] = static_cast<double>(sites);
+  state.counters["decodes_per_read"] =
+      reads == 0 ? 0.0
+                 : static_cast<double>(store.decode_count() - decodes_before) /
+                       static_cast<double>(reads);
+}
+BENCHMARK(BM_SharedStoreBlockedCountOneChanged)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

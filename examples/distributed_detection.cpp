@@ -57,10 +57,10 @@ int main() {
   // running (fault tolerance) and detect once the store recovers.
   std::this_thread::sleep_for(30ms);
   std::printf("-- injecting store outage --\n");
-  cluster.store()->set_available(false);
+  cluster.local_store()->set_available(false);
   std::this_thread::sleep_for(100ms);
   std::printf("-- store recovered --\n");
-  cluster.store()->set_available(true);
+  cluster.local_store()->set_available(true);
 
   for (int i = 0; i < 400 && reports.load() < 4; ++i) {
     std::this_thread::sleep_for(10ms);

@@ -1,0 +1,278 @@
+// Multi-process distributed detection through armus-kv: the first run of
+// the §5.2 protocol where "distributed" actually crosses OS process
+// boundaries.
+//
+// The binary plays three roles, selected by argv[1]:
+//
+//   (none)        driver: forks `server`, reads its port, forks two
+//                 `site` children wired to it via ARMUS_STORE, waits for
+//                 both to report success.
+//   server        runs a KvServer on an ephemeral loopback port and
+//                 prints "PORT <n>" on stdout; exits on stdin EOF.
+//   site <id>     one Armus site: spawns a real task that blocks on a
+//                 phaser so that the two site processes deadlock against
+//                 each other; exits 0 once its checker has detected the
+//                 cross-process cycle (and the task has been rescued).
+//
+// The deadlock is the classic two-phaser cycle: site 0's task arrives on
+// p and awaits p's phase 1 while still registered on q; site 1's task
+// arrives on q and awaits q's phase 1 while still registered on p. No
+// single process ever holds both halves — only the merged armus-kv
+// snapshot shows the cycle.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/ids.h"
+#include "dist/site.h"
+#include "net/config.h"
+#include "net/kv_server.h"
+#include "net/remote_store.h"
+#include "phaser/phaser.h"
+#include "runtime/task.h"
+
+using namespace armus;
+using namespace std::chrono_literals;
+
+namespace {
+
+int run_server() {
+  // Blocked before any server thread exists, so every thread inherits
+  // the mask and sigwait below is the one consumer.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  net::KvServer server;  // ephemeral loopback port
+  server.start();
+  std::printf("PORT %u\n", server.port());
+  std::fflush(stdout);
+
+  // Shutdown: a "STOP" line (the driver's pipe) or EOF after any input;
+  // with no usable stdin at all (backgrounded with </dev/null) serve
+  // until SIGINT/SIGTERM.
+  std::string input;
+  char buf[64];
+  ssize_t n;
+  while ((n = ::read(STDIN_FILENO, buf, sizeof(buf))) > 0) {
+    input.append(buf, static_cast<std::size_t>(n));
+    if (input.find("STOP") != std::string::npos) break;
+  }
+  if (input.empty()) {
+    int sig = 0;
+    sigwait(&signals, &sig);
+  }
+  server.stop();
+  return 0;
+}
+
+int run_site(dist::SiteId id, const std::string& url) {
+  // Task ids are allocated per process; give each site its own range so
+  // the merged snapshot never conflates tasks of different processes.
+  // Phaser uids are deliberately NOT offset: both site processes create
+  // p then q as their first phasers, so "phaser 1"/"phaser 2" name the
+  // same logical barriers cluster-wide.
+  seed_task_ids(1 + static_cast<TaskId>(id) * (1ull << 32));
+
+  dist::Site::Config config;
+  config.id = id;
+  config.publish_period = 20ms;
+  config.check_period = 20ms;
+  std::atomic<int> detections{0};
+  config.on_deadlock = [&](const DeadlockReport& report) {
+    std::printf("site %u detected cross-process deadlock: %s\n", id,
+                report.to_string().c_str());
+    std::fflush(stdout);
+    ++detections;
+  };
+  dist::Site site(config, net::remote_store_from_url(url));
+
+  auto p = ph::Phaser::create(&site.verifier());
+  auto q = ph::Phaser::create(&site.verifier());
+  auto& mine = id == 0 ? p : q;
+  auto& theirs = id == 0 ? q : p;
+
+  // The peer site's task, represented locally by a ghost member that never
+  // arrives: phaser instances do not span processes, so each process pins
+  // its local p and q open on behalf of the remote task — without it the
+  // local barrier would complete and nothing would ever block. The ghost
+  // never blocks, so it is never published; only the merged armus-kv
+  // snapshot (local worker + remote worker) contains the cycle.
+  TaskId ghost = fresh_task_id();
+  p->register_task(ghost, 0);
+  q->register_task(ghost, 0);
+
+  rt::Task worker = rt::spawn_with(
+      [&](TaskId child) {
+        p->register_task(child, 0);
+        q->register_task(child, 0);
+      },
+      [&] {
+        TaskId self = rt::current_task();
+        mine->arrive(self);
+        mine->await(self, 1);  // blocks until the driver-side rescue
+        if (theirs->is_registered(self)) theirs->arrive_and_deregister(self);
+        if (mine->is_registered(self)) mine->deregister(self);
+      },
+      &site.verifier(), "site" + std::to_string(id) + "-worker");
+
+  site.start();
+  for (int i = 0; i < 1500 && detections.load() == 0; ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  bool detected = detections.load() > 0;
+
+  // Rescue the worker so the process can exit cleanly: dropping the ghost
+  // lets the local barrier complete, exactly like deregistering the remote
+  // straggler would in a single-process run.
+  if (mine->is_registered(ghost)) mine->deregister(ghost);
+  if (theirs->is_registered(ghost)) theirs->deregister(ghost);
+  worker.join();
+  site.stop();
+
+  auto stats = site.stats();
+  std::printf("site %u: publishes=%llu checks=%llu store_failures=%llu %s\n",
+              id, static_cast<unsigned long long>(stats.publishes),
+              static_cast<unsigned long long>(stats.checks),
+              static_cast<unsigned long long>(stats.store_failures),
+              detected ? "DETECTED" : "TIMEOUT");
+  std::fflush(stdout);
+  return detected ? 0 : 1;
+}
+
+pid_t spawn_child(const char* exe, const std::vector<std::string>& args,
+                  const std::string& store_url, int* stdout_pipe,
+                  int* stdin_pipe) {
+  int out_fds[2] = {-1, -1};
+  int in_fds[2] = {-1, -1};
+  if (stdout_pipe && ::pipe(out_fds) != 0) return -1;
+  if (stdin_pipe && ::pipe(in_fds) != 0) return -1;
+  pid_t pid = ::fork();
+  if (pid != 0) {  // parent (or fork failure)
+    if (stdout_pipe) {
+      ::close(out_fds[1]);
+      *stdout_pipe = out_fds[0];
+    }
+    if (stdin_pipe) {
+      ::close(in_fds[0]);
+      *stdin_pipe = in_fds[1];
+    }
+    return pid;
+  }
+  // child
+  if (stdout_pipe) {
+    ::dup2(out_fds[1], STDOUT_FILENO);
+    ::close(out_fds[0]);
+    ::close(out_fds[1]);
+  }
+  if (stdin_pipe) {
+    ::dup2(in_fds[0], STDIN_FILENO);
+    ::close(in_fds[0]);
+    ::close(in_fds[1]);
+  }
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(exe));
+  for (const std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  if (!store_url.empty()) ::setenv("ARMUS_STORE", store_url.c_str(), 1);
+  ::execv(exe, argv.data());
+  std::perror("execv");
+  std::_Exit(127);
+}
+
+int run_driver(const char* exe) {
+  // 1. armus-kv server process, ephemeral port reported on its stdout.
+  int server_out = -1, server_in = -1;
+  pid_t server = spawn_child(exe, {"server"}, "", &server_out, &server_in);
+  if (server <= 0) {
+    std::fprintf(stderr, "driver: cannot fork server\n");
+    return 1;
+  }
+  std::string banner;
+  char c;
+  while (banner.find('\n') == std::string::npos &&
+         ::read(server_out, &c, 1) == 1) {
+    banner.push_back(c);
+  }
+  unsigned port = 0;
+  if (std::sscanf(banner.c_str(), "PORT %u", &port) != 1 || port == 0) {
+    std::fprintf(stderr, "driver: no port from server (got '%s')\n",
+                 banner.c_str());
+    ::kill(server, SIGKILL);
+    return 1;
+  }
+  std::string url = "tcp://127.0.0.1:" + std::to_string(port);
+  std::printf("driver: armus-kv server pid %d on %s\n", server, url.c_str());
+
+  // 2. Two site processes, each holding one half of the deadlock.
+  pid_t sites[2];
+  for (int id = 0; id < 2; ++id) {
+    sites[id] = spawn_child(exe, {"site", std::to_string(id)}, url, nullptr,
+                            nullptr);
+    if (sites[id] <= 0) {
+      std::fprintf(stderr, "driver: cannot fork site %d\n", id);
+      ::kill(server, SIGKILL);
+      return 1;
+    }
+  }
+
+  // 3. Both sites must exit 0 (= detected the cross-process deadlock).
+  int failures = 0;
+  for (int id = 0; id < 2; ++id) {
+    int status = 0;
+    ::waitpid(sites[id], &status, 0);
+    bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    std::printf("driver: site %d %s\n", id, ok ? "detected" : "FAILED");
+    if (!ok) ++failures;
+  }
+
+  // 4. A STOP line on the server's stdin asks it to exit.
+  (void)!::write(server_in, "STOP\n", 5);
+  ::close(server_in);
+  int status = 0;
+  ::waitpid(server, &status, 0);
+  ::close(server_out);
+
+  std::printf("driver: %s\n", failures == 0
+                                  ? "cross-process deadlock detected by "
+                                    "both sites through armus-kv"
+                                  : "FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "server") == 0) {
+    return run_server();
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "site") == 0) {
+    dist::SiteId id = static_cast<dist::SiteId>(std::atoi(argv[2]));
+    const char* url = std::getenv("ARMUS_STORE");
+    if (!url) {
+      std::fprintf(stderr, "site: ARMUS_STORE not set\n");
+      return 1;
+    }
+    return run_site(id, url);
+  }
+  if (argc == 1) {
+    return run_driver(argv[0]);
+  }
+  std::fprintf(stderr,
+               "usage: %s            (driver: server + 2 sites)\n"
+               "       %s server     (armus-kv on an ephemeral port)\n"
+               "       %s site <id>  (requires ARMUS_STORE=tcp://host:port)\n",
+               argv[0], argv[0], argv[0]);
+  return 2;
+}

@@ -15,4 +15,12 @@ PhaserUid fresh_phaser_uid() {
   return g_next_phaser.fetch_add(1, std::memory_order_relaxed);
 }
 
+void seed_task_ids(TaskId first) {
+  TaskId current = g_next_task.load(std::memory_order_relaxed);
+  while (current < first &&
+         !g_next_task.compare_exchange_weak(current, first,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace armus

@@ -24,4 +24,12 @@ TaskId fresh_task_id();
 /// Allocates a fresh, never-reused phaser id (ids start at 1).
 PhaserUid fresh_phaser_uid();
 
+/// Raises the task-id counter to at least `first` (never lowers it). A
+/// multi-process deployment calls this once at startup with a per-site
+/// base (e.g. 1 + site_id * 2^32) so task ids are disjoint across the
+/// processes publishing into one shared store — ids are allocated
+/// per-process, and the merged global snapshot must never conflate two
+/// sites' tasks.
+void seed_task_ids(TaskId first);
+
 }  // namespace armus

@@ -4,8 +4,6 @@
 
 namespace armus::dist {
 
-namespace {
-
 void append_varint(std::string& out, std::uint64_t value) {
   while (value >= 0x80) {
     out.push_back(static_cast<char>((value & 0x7f) | 0x80));
@@ -14,7 +12,6 @@ void append_varint(std::string& out, std::uint64_t value) {
   out.push_back(static_cast<char>(value));
 }
 
-/// Strict LEB128 reader over [*offset, bytes.size()).
 std::uint64_t read_varint(std::string_view bytes, std::size_t* offset) {
   std::uint64_t value = 0;
   for (int shift = 0; shift < 64; shift += 7) {
@@ -33,6 +30,8 @@ std::uint64_t read_varint(std::string_view bytes, std::size_t* offset) {
   }
   throw CodecError("varint longer than 10 bytes");
 }
+
+namespace {
 
 /// Guards element counts before anything is allocated: every encoded
 /// element occupies at least one byte, so a count exceeding the remaining

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -31,6 +32,16 @@ class CodecError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (the primitive
+/// every armus wire format builds on — slice batches here, armus-kv
+/// message bodies in src/net/).
+void append_varint(std::string& out, std::uint64_t value);
+
+/// Strict LEB128 reader over [*offset, bytes.size()): advances *offset
+/// past the varint. Throws CodecError on truncation, a varint longer than
+/// 10 bytes, or 64-bit overflow.
+std::uint64_t read_varint(std::string_view bytes, std::size_t* offset);
 
 /// Serialises `statuses` into the batch format above.
 std::string encode_statuses(const std::vector<BlockedStatus>& statuses);

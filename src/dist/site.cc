@@ -23,7 +23,7 @@ VerifierConfig site_verifier_config(const Site::Config& config) {
 
 }  // namespace
 
-Site::Site(Config config, std::shared_ptr<Store> store)
+Site::Site(Config config, std::shared_ptr<SliceStore> store)
     : config_(std::move(config)),
       store_(std::move(store)),
       verifier_(site_verifier_config(config_)) {}
@@ -45,7 +45,7 @@ bool Site::publish_now() {
 }
 
 bool Site::check_now() {
-  std::vector<Store::Slice> slices;
+  std::vector<Slice> slices;
   try {
     slices = store_->snapshot();
   } catch (const StoreUnavailableError&) {
@@ -54,12 +54,18 @@ bool Site::check_now() {
     return false;
   }
 
-  // A corrupt slice must not blind the checker to the healthy ones.
-  std::vector<BlockedStatus> merged =
-      merge_slices(slices, [this](SiteId, const CodecError&) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.store_failures;
-      });
+  // A corrupt slice must not blind the checker to the healthy ones (it is
+  // counted as a store failure — once per corrupt publish, since the cache
+  // remembers the verdict until the slice's version changes). Unchanged
+  // healthy slices are served from the cache without re-decoding.
+  std::vector<BlockedStatus> merged;
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    merged = cache_.merge(slices, [this](SiteId, const CodecError&) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.store_failures;
+    });
+  }
 
   CheckResult result = check_deadlocks(merged, config_.model);
   std::vector<DeadlockReport> fresh;
@@ -125,7 +131,8 @@ void Site::loop(std::chrono::milliseconds period, bool (Site::*step)()) {
 
 Cluster::Cluster(Config config)
     : config_(std::move(config)),
-      store_(std::make_shared<Store>(config_.store)) {
+      store_(config_.backing ? config_.backing
+                             : std::make_shared<Store>(config_.store)) {
   sites_.reserve(config_.site_count);
   for (std::size_t i = 0; i < config_.site_count; ++i) {
     Site::Config sc;
@@ -150,6 +157,10 @@ void Cluster::start() {
 
 void Cluster::stop() {
   for (auto& site : sites_) site->stop();
+}
+
+std::shared_ptr<Store> Cluster::local_store() const {
+  return std::dynamic_pointer_cast<Store>(store_);
 }
 
 std::size_t Cluster::total_reports() const {

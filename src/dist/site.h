@@ -52,14 +52,18 @@ class Site {
     std::uint64_t store_failures = 0;  ///< absorbed outages / corrupt slices
   };
 
-  Site(Config config, std::shared_ptr<Store> store);
+  /// `store` may be any SliceStore backend: the in-process dist::Store or
+  /// a net::RemoteStore speaking to an armus-kv server in another process.
+  Site(Config config, std::shared_ptr<SliceStore> store);
   ~Site();
   Site(const Site&) = delete;
   Site& operator=(const Site&) = delete;
 
   [[nodiscard]] SiteId id() const { return config_.id; }
   Verifier& verifier() { return verifier_; }
-  [[nodiscard]] const std::shared_ptr<Store>& store() const { return store_; }
+  [[nodiscard]] const std::shared_ptr<SliceStore>& store() const {
+    return store_;
+  }
 
   /// Encodes this site's current snapshot (stored waits overlaid with live
   /// registrations) and publishes it as the site's slice. Returns false —
@@ -88,10 +92,16 @@ class Site {
   void loop(std::chrono::milliseconds period, bool (Site::*step)());
 
   Config config_;
-  std::shared_ptr<Store> store_;
+  std::shared_ptr<SliceStore> store_;
   Verifier verifier_;
 
   mutable std::mutex mutex_;  // guards stats_, reported_, fingerprints_
+  /// Unchanged slices are served from their cached decode, so a check is
+  /// O(changed slices) — see SliceCache. Guarded by its own mutex so a
+  /// long decode round never blocks stats()/reported() readers. Lock
+  /// order where both are held: cache_mutex_ before mutex_.
+  std::mutex cache_mutex_;
+  SliceCache cache_;
   Stats stats_;
   std::vector<DeadlockReport> reported_;
   std::unordered_set<std::uint64_t> fingerprints_;
@@ -119,8 +129,14 @@ class Cluster {
     /// once each).
     std::function<void(SiteId, const DeadlockReport&)> on_deadlock;
 
-    /// Store knobs (latency injection for benchmarks).
+    /// Store knobs for the default in-process backend (latency injection
+    /// for benchmarks). Ignored when `backing` is set.
     Store::Config store;
+
+    /// Optional externally owned backend every site publishes into — e.g.
+    /// a net::RemoteStore bound to an armus-kv server. nullptr (default):
+    /// the cluster creates its own in-process Store.
+    std::shared_ptr<SliceStore> backing;
   };
 
   explicit Cluster(Config config);
@@ -130,7 +146,13 @@ class Cluster {
 
   [[nodiscard]] std::size_t size() const { return sites_.size(); }
   Site& site(std::size_t index) { return *sites_.at(index); }
-  [[nodiscard]] const std::shared_ptr<Store>& store() const { return store_; }
+  [[nodiscard]] const std::shared_ptr<SliceStore>& store() const {
+    return store_;
+  }
+
+  /// The in-process backend, for fault injection — nullptr when the
+  /// cluster runs over an external `Config::backing`.
+  [[nodiscard]] std::shared_ptr<Store> local_store() const;
 
   void start();
   void stop();
@@ -147,7 +169,7 @@ class Cluster {
 
  private:
   Config config_;
-  std::shared_ptr<Store> store_;
+  std::shared_ptr<SliceStore> store_;
   std::vector<std::unique_ptr<Site>> sites_;
 };
 

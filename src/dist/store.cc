@@ -11,21 +11,47 @@ void simulate_hop(std::chrono::microseconds latency) {
   if (latency.count() > 0) std::this_thread::sleep_for(latency);
 }
 
+void sort_by_task(std::vector<BlockedStatus>& statuses) {
+  std::sort(statuses.begin(), statuses.end(),
+            [](const BlockedStatus& a, const BlockedStatus& b) {
+              return a.task < b.task;
+            });
+}
+
 }  // namespace
 
 void Store::check_available_locked() const {
   if (!available_) throw StoreUnavailableError();
 }
 
-void Store::put_slice(SiteId site, std::string payload) {
+std::uint64_t Store::put_slice(SiteId site, std::string payload) {
   simulate_hop(config_.latency);
   std::lock_guard<std::mutex> lock(mutex_);
   check_available_locked();
-  Slice& slice = slices_[site];
+  dist::Slice& slice = slices_[site];
   slice.site = site;
   slice.payload = std::move(payload);
   ++slice.version;
   ++writes_;
+  return slice.version;
+}
+
+std::pair<bool, std::uint64_t> Store::put_slice_if_newer(SiteId site,
+                                                         std::string payload,
+                                                         std::uint64_t version) {
+  simulate_hop(config_.latency);
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_available_locked();
+  auto it = slices_.find(site);
+  if (it != slices_.end() && version <= it->second.version) {
+    return {false, it->second.version};
+  }
+  dist::Slice& slice = slices_[site];
+  slice.site = site;
+  slice.payload = std::move(payload);
+  slice.version = version;
+  ++writes_;
+  return {true, version};
 }
 
 void Store::remove_slice(SiteId site) {
@@ -36,11 +62,21 @@ void Store::remove_slice(SiteId site) {
   ++writes_;
 }
 
-std::vector<Store::Slice> Store::snapshot() const {
+std::optional<dist::Slice> Store::get_slice(SiteId site) const {
   simulate_hop(config_.latency);
   std::lock_guard<std::mutex> lock(mutex_);
   check_available_locked();
-  std::vector<Slice> out;
+  ++reads_;
+  auto it = slices_.find(site);
+  if (it == slices_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<dist::Slice> Store::snapshot() const {
+  simulate_hop(config_.latency);
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_available_locked();
+  std::vector<dist::Slice> out;
   out.reserve(slices_.size());
   for (const auto& [site, slice] : slices_) out.push_back(slice);
   ++reads_;
@@ -68,10 +104,10 @@ std::uint64_t Store::reads() const {
 }
 
 std::vector<BlockedStatus> merge_slices(
-    const std::vector<Store::Slice>& slices,
+    const std::vector<Slice>& slices,
     const std::function<void(SiteId, const CodecError&)>& on_corrupt) {
   std::vector<BlockedStatus> merged;
-  for (const Store::Slice& slice : slices) {
+  for (const Slice& slice : slices) {
     std::vector<BlockedStatus> decoded;
     try {
       decoded = decode_statuses(slice.payload);
@@ -83,16 +119,67 @@ std::vector<BlockedStatus> merge_slices(
     merged.insert(merged.end(), std::make_move_iterator(decoded.begin()),
                   std::make_move_iterator(decoded.end()));
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const BlockedStatus& a, const BlockedStatus& b) {
-              return a.task < b.task;
-            });
+  sort_by_task(merged);
   return merged;
+}
+
+// --- SliceCache --------------------------------------------------------------
+
+void SliceCache::refresh(
+    const std::vector<Slice>& slices,
+    const std::function<void(SiteId, const CodecError&)>& on_corrupt) {
+  for (const Slice& slice : slices) {
+    auto it = entries_.find(slice.site);
+    if (it != entries_.end() && it->second.version == slice.version) continue;
+    Entry entry;
+    entry.version = slice.version;
+    ++decodes_;
+    try {
+      entry.statuses = decode_statuses(slice.payload);
+    } catch (const CodecError& e) {
+      if (!on_corrupt) throw;
+      // Cache the corruption verdict too: an unchanged corrupt slice must
+      // not be re-decoded (and re-reported) on every round.
+      entry.corrupt = true;
+      on_corrupt(slice.site, e);
+    }
+    entries_[slice.site] = std::move(entry);
+  }
+  // Evict sites that vanished from the snapshot (remove_slice / restarted
+  // store). Both `slices` (SliceStore contract) and `entries_` are sorted
+  // by site id, so one linear sweep finds the absentees.
+  auto slice_it = slices.begin();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    while (slice_it != slices.end() && slice_it->site < it->first) ++slice_it;
+    bool present = slice_it != slices.end() && slice_it->site == it->first;
+    it = present ? std::next(it) : entries_.erase(it);
+  }
+}
+
+std::vector<BlockedStatus> SliceCache::merge(
+    const std::vector<Slice>& slices,
+    const std::function<void(SiteId, const CodecError&)>& on_corrupt) {
+  refresh(slices, on_corrupt);
+  std::vector<BlockedStatus> merged;
+  for (const auto& [site, entry] : entries_) {
+    merged.insert(merged.end(), entry.statuses.begin(), entry.statuses.end());
+  }
+  sort_by_task(merged);
+  return merged;
+}
+
+std::size_t SliceCache::status_count(
+    const std::vector<Slice>& slices,
+    const std::function<void(SiteId, const CodecError&)>& on_corrupt) {
+  refresh(slices, on_corrupt);
+  std::size_t count = 0;
+  for (const auto& [site, entry] : entries_) count += entry.statuses.size();
+  return count;
 }
 
 // --- SharedStore -------------------------------------------------------------
 
-SharedStore::SharedStore(std::shared_ptr<Store> store, SiteId site)
+SharedStore::SharedStore(std::shared_ptr<SliceStore> store, SiteId site)
     : store_(std::move(store)), site_(site) {}
 
 SharedStore::~SharedStore() {
@@ -147,15 +234,20 @@ void SharedStore::clear_blocked(TaskId task) {
 }
 
 std::vector<BlockedStatus> SharedStore::snapshot() const {
-  return merge_slices(store_->snapshot());
+  std::vector<Slice> slices = store_->snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.merge(slices);
 }
 
 std::size_t SharedStore::blocked_count() const {
-  std::size_t count = 0;
-  for (const Store::Slice& slice : store_->snapshot()) {
-    count += decode_statuses(slice.payload).size();
-  }
-  return count;
+  std::vector<Slice> slices = store_->snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.status_count(slices);
+}
+
+std::uint64_t SharedStore::decode_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.decodes();
 }
 
 void SharedStore::clear() {

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -13,41 +14,72 @@
 #include "core/state_store.h"
 #include "dist/codec.h"
 
-/// The shared global store of the distributed deployment (§5.2): our
-/// in-process stand-in for the Redis instance the paper's multi-site Armus
-/// publishes blocked statuses into.
+/// The shared global store of the distributed deployment (§5.2): sites
+/// publish blocked-status slices into it, checkers read the snapshot of
+/// every slice.
 ///
 /// Each site owns one *slice* — an opaque payload (codec-encoded
 /// BlockedStatus batch) it overwrites wholesale on every publish — and a
 /// checker reads the snapshot of every slice. Slices are independent, so a
 /// site crash leaves its last published slice visible (exactly what lets a
 /// surviving site still detect a cycle through the dead site's tasks).
+///
+/// Two backends implement the SliceStore interface:
+///   * Store            — in-process (one address space, tests/benchmarks)
+///   * net::RemoteStore — TCP client of an armus-kv server (separate
+///                        processes/hosts; see src/net/ and
+///                        docs/WIRE_PROTOCOL.md)
 namespace armus::dist {
 
 using SiteId = std::uint32_t;
 
-/// Raised by store operations while the store is unavailable (simulated
-/// network partition / Redis outage). Sites absorb it and retry on their
-/// next period.
+/// Raised by store operations while the store is unavailable: a simulated
+/// outage on the in-process Store, or any network failure on a
+/// net::RemoteStore. Sites absorb it and retry on their next period.
 class StoreUnavailableError : public std::runtime_error {
  public:
   StoreUnavailableError() : std::runtime_error("store unavailable") {}
+  explicit StoreUnavailableError(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
-class Store {
+/// One site's published payload. `version` is strictly increasing per
+/// site, so a reader (or a cache) can tell a re-publish from an unchanged
+/// slice without decoding the payload.
+struct Slice {
+  SiteId site = 0;
+  std::string payload;
+  std::uint64_t version = 0;
+};
+
+/// The slice API every store backend exposes. Site/Cluster and
+/// SharedStore run unchanged over any implementation; backends signal
+/// unavailability (outage, network failure) with StoreUnavailableError
+/// and callers map that onto the periodic-retry path.
+class SliceStore {
+ public:
+  virtual ~SliceStore() = default;
+
+  /// Overwrites `site`'s slice; returns the slice's new version.
+  virtual std::uint64_t put_slice(SiteId site, std::string payload) = 0;
+
+  /// Drops `site`'s slice (graceful site shutdown; a crashed site leaves
+  /// its slice behind).
+  virtual void remove_slice(SiteId site) = 0;
+
+  /// Every current slice, sorted by site id.
+  [[nodiscard]] virtual std::vector<Slice> snapshot() const = 0;
+};
+
+class Store final : public SliceStore {
  public:
   struct Config {
     /// Simulated one-way network latency added to every operation.
     std::chrono::microseconds latency{0};
   };
 
-  /// One site's published payload. `version` counts that site's writes, so
-  /// a checker (or test) can tell a re-publish from a stale read.
-  struct Slice {
-    SiteId site = 0;
-    std::string payload;
-    std::uint64_t version = 0;
-  };
+  /// Back-compat spelling: the slice type predates the SliceStore split.
+  using Slice = dist::Slice;
 
   Store() = default;
   explicit Store(Config config) : config_(config) {}
@@ -56,15 +88,26 @@ class Store {
 
   /// Overwrites `site`'s slice. Throws StoreUnavailableError during an
   /// outage.
-  void put_slice(SiteId site, std::string payload);
+  std::uint64_t put_slice(SiteId site, std::string payload) override;
 
-  /// Drops `site`'s slice (graceful site shutdown; a crashed site leaves
-  /// its slice behind).
-  void remove_slice(SiteId site);
+  /// Conditional write for replicated clients (the armus-kv server's PUT
+  /// path): stores `payload` at exactly `version` when `version` is newer
+  /// than the current slice, otherwise leaves the slice untouched.
+  /// Returns {accepted, current version after the call}; a rejected write
+  /// reports the version the writer must exceed. Throws
+  /// StoreUnavailableError during an outage.
+  std::pair<bool, std::uint64_t> put_slice_if_newer(SiteId site,
+                                                    std::string payload,
+                                                    std::uint64_t version);
+
+  void remove_slice(SiteId site) override;
+
+  /// `site`'s slice, if published.
+  [[nodiscard]] std::optional<dist::Slice> get_slice(SiteId site) const;
 
   /// Every current slice, sorted by site id. Throws StoreUnavailableError
   /// during an outage.
-  [[nodiscard]] std::vector<Slice> snapshot() const;
+  [[nodiscard]] std::vector<dist::Slice> snapshot() const override;
 
   /// Failure injection: while unavailable, every operation throws. Data
   /// survives the outage.
@@ -72,7 +115,7 @@ class Store {
   [[nodiscard]] bool available() const;
 
   /// Completed write / read operation counts (put_slice + remove_slice are
-  /// writes, snapshot is a read; failed attempts don't count).
+  /// writes, snapshot/get_slice are reads; failed attempts don't count).
   [[nodiscard]] std::uint64_t writes() const;
   [[nodiscard]] std::uint64_t reads() const;
 
@@ -81,7 +124,7 @@ class Store {
 
   Config config_;
   mutable std::mutex mutex_;
-  std::map<SiteId, Slice> slices_;
+  std::map<SiteId, dist::Slice> slices_;
   bool available_ = true;
   std::uint64_t writes_ = 0;
   mutable std::uint64_t reads_ = 0;
@@ -92,8 +135,50 @@ class Store {
 /// slice is reported through `on_corrupt` and skipped when the callback is
 /// set; with no callback the CodecError propagates.
 std::vector<BlockedStatus> merge_slices(
-    const std::vector<Store::Slice>& slices,
+    const std::vector<Slice>& slices,
     const std::function<void(SiteId, const CodecError&)>& on_corrupt = {});
+
+/// Version-keyed decode cache: a slice whose version is unchanged since
+/// the previous call is served from its cached decode, so a snapshot
+/// round costs O(changed slices) decodes instead of O(all slices) — the
+/// per-check-proportional-to-change property the periodic checkers need
+/// at scale. Entries for sites that vanish from the snapshot are evicted.
+///
+/// Not internally synchronised; callers (SharedStore, Site) hold their
+/// own lock around it.
+class SliceCache {
+ public:
+  /// merge_slices, but re-decoding only slices whose version changed.
+  std::vector<BlockedStatus> merge(
+      const std::vector<Slice>& slices,
+      const std::function<void(SiteId, const CodecError&)>& on_corrupt = {});
+
+  /// Total status count across `slices` — blocked_count without building
+  /// the merged vector. Same caching; corrupt slices count zero.
+  std::size_t status_count(
+      const std::vector<Slice>& slices,
+      const std::function<void(SiteId, const CodecError&)>& on_corrupt = {});
+
+  /// Cumulative payload decodes performed (i.e. cache misses). A caller
+  /// issuing N calls over unchanged slices sees this stay constant after
+  /// the first — the unit-level evidence for the O(changed) claim.
+  [[nodiscard]] std::uint64_t decodes() const { return decodes_; }
+
+ private:
+  struct Entry {
+    std::uint64_t version = 0;
+    bool corrupt = false;
+    std::vector<BlockedStatus> statuses;
+  };
+
+  /// Refreshes entries for `slices` (decoding the changed ones) and
+  /// evicts entries for absent sites.
+  void refresh(const std::vector<Slice>& slices,
+               const std::function<void(SiteId, const CodecError&)>& on_corrupt);
+
+  std::map<SiteId, Entry> entries_;
+  std::uint64_t decodes_ = 0;
+};
 
 /// A StateStore that *is* a site's window onto the shared store: every
 /// mutation re-encodes this site's slice and writes it through, and every
@@ -104,14 +189,15 @@ std::vector<BlockedStatus> merge_slices(
 ///
 /// dist::Site instead batches its publishes on a period (write-through on
 /// every block/unblock costs a store round-trip per event); SharedStore is
-/// the strongly consistent variant for in-process sharing and tests.
+/// the strongly consistent variant for in-process sharing, tests, and the
+/// ARMUS_STORE=tcp://… env path (over a net::RemoteStore backend).
 ///
 /// Store outages surface as StoreUnavailableError from the mutating and
 /// reading calls; the local mirror stays coherent, so the next successful
 /// write re-publishes the full slice.
 class SharedStore final : public StateStore {
  public:
-  SharedStore(std::shared_ptr<Store> store, SiteId site);
+  SharedStore(std::shared_ptr<SliceStore> store, SiteId site);
 
   /// Removes this site's slice on clean destruction; a crashed site (one
   /// that never destructs) leaves its slice for the survivors to analyse.
@@ -121,6 +207,7 @@ class SharedStore final : public StateStore {
   void clear_blocked(TaskId task) override;
 
   /// The merged, decoded view of *every* site's slice, sorted by task.
+  /// Unchanged slices are served from the version cache.
   [[nodiscard]] std::vector<BlockedStatus> snapshot() const override;
   [[nodiscard]] std::size_t blocked_count() const override;
 
@@ -128,17 +215,24 @@ class SharedStore final : public StateStore {
   void clear() override;
 
   [[nodiscard]] SiteId site() const { return site_; }
-  [[nodiscard]] const std::shared_ptr<Store>& backing() const { return store_; }
+  [[nodiscard]] const std::shared_ptr<SliceStore>& backing() const {
+    return store_;
+  }
+
+  /// Payload decodes performed by snapshot()/blocked_count() so far; stays
+  /// flat across repeated calls while no slice changes.
+  [[nodiscard]] std::uint64_t decode_count() const;
 
  private:
   /// Re-encodes the mirror and publishes it; caller holds mutex_.
   void flush_locked();
 
-  std::shared_ptr<Store> store_;
+  std::shared_ptr<SliceStore> store_;
   SiteId site_;
   mutable std::mutex mutex_;
   /// This site's statuses, ordered by task for a deterministic encoding.
   std::map<TaskId, BlockedStatus> mirror_;
+  mutable SliceCache cache_;
 };
 
 }  // namespace armus::dist

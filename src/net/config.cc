@@ -1,0 +1,63 @@
+#include "net/config.h"
+
+#include <stdexcept>
+
+#include "util/env.h"
+
+namespace armus::net {
+
+Endpoint parse_tcp_endpoint(const std::string& url) {
+  const std::string scheme = "tcp://";
+  if (url.rfind(scheme, 0) != 0) {
+    throw std::invalid_argument("ARMUS_STORE url must start with tcp://, got " +
+                                url);
+  }
+  std::string rest = url.substr(scheme.size());
+  std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+    throw std::invalid_argument("ARMUS_STORE url must be tcp://host:port, got " +
+                                url);
+  }
+  Endpoint endpoint;
+  endpoint.host = rest.substr(0, colon);
+  std::string port_str = rest.substr(colon + 1);
+  std::size_t consumed = 0;
+  unsigned long port = 0;
+  try {
+    port = std::stoul(port_str, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != port_str.size() || port == 0 || port > 65535) {
+    throw std::invalid_argument("ARMUS_STORE port must be 1..65535, got " +
+                                port_str);
+  }
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+std::shared_ptr<RemoteStore> remote_store_from_url(const std::string& url,
+                                                   RemoteStore::Config base) {
+  Endpoint endpoint = parse_tcp_endpoint(url);
+  base.host = endpoint.host;
+  base.port = endpoint.port;
+  return std::make_shared<RemoteStore>(std::move(base));
+}
+
+std::shared_ptr<dist::SliceStore> slice_store_from_env() {
+  auto url = util::env_str("ARMUS_STORE");
+  if (!url) return nullptr;
+  return remote_store_from_url(*url);
+}
+
+VerifierConfig verifier_config_from_env() {
+  VerifierConfig config = VerifierConfig::from_env();
+  std::shared_ptr<dist::SliceStore> backend = slice_store_from_env();
+  if (backend) {
+    auto site = static_cast<dist::SiteId>(util::env_int("ARMUS_SITE_ID", 0));
+    config.store = std::make_shared<dist::SharedStore>(std::move(backend), site);
+  }
+  return config;
+}
+
+}  // namespace armus::net

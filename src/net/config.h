@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/verifier.h"
+#include "dist/store.h"
+#include "net/remote_store.h"
+
+/// Backend selection: the string/env surface that picks which SliceStore
+/// a process publishes into. Lives in net/ (the top layer) so core/ and
+/// dist/ never depend back on the network code.
+///
+///   ARMUS_STORE=tcp://host:port   slices go to an armus-kv server
+///   ARMUS_STORE unset             in-process store (single address space)
+///   ARMUS_SITE_ID=N               this process's site id (default 0)
+namespace armus::net {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "tcp://host:port". Throws std::invalid_argument on any other
+/// shape (unknown scheme, missing/bad port).
+Endpoint parse_tcp_endpoint(const std::string& url);
+
+/// A RemoteStore for `url` ("tcp://host:port"); `base` supplies the
+/// non-address knobs (timeouts, backoff).
+std::shared_ptr<RemoteStore> remote_store_from_url(
+    const std::string& url, RemoteStore::Config base = {});
+
+/// The backend named by ARMUS_STORE: a RemoteStore for "tcp://…", or
+/// nullptr when the variable is unset (callers fall back to in-process).
+/// Throws std::invalid_argument on a malformed value — a typo must not
+/// silently demote a deployment to a process-local store.
+std::shared_ptr<dist::SliceStore> slice_store_from_env();
+
+/// VerifierConfig::from_env() plus backend selection: when ARMUS_STORE
+/// names a server, the config's store becomes a dist::SharedStore slice
+/// (site ARMUS_SITE_ID) over a RemoteStore — so a plain Verifier built
+/// from this config publishes its blocked statuses into armus-kv and its
+/// checker sees every process's statuses.
+VerifierConfig verifier_config_from_env();
+
+}  // namespace armus::net

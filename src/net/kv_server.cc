@@ -1,0 +1,258 @@
+#include "net/kv_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "net/socket_io.h"
+
+namespace armus::net {
+
+using dist::append_varint;
+using dist::CodecError;
+using dist::read_varint;
+
+namespace {
+
+std::string status_only(WireStatus status) {
+  std::string out;
+  append_varint(out, static_cast<std::uint64_t>(status));
+  return out;
+}
+
+}  // namespace
+
+KvServer::KvServer() : KvServer(Config{}) {}
+
+KvServer::KvServer(Config config, std::shared_ptr<dist::Store> backing)
+    : config_(std::move(config)),
+      backing_(backing ? std::move(backing)
+                       : std::make_shared<dist::Store>()) {}
+
+KvServer::~KvServer() { stop(); }
+
+void KvServer::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (listen_fd_ >= 0) return;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("armus-kv: socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    io::close_fd(fd);
+    throw std::runtime_error("armus-kv: bad bind address " +
+                             config_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    io::close_fd(fd);
+    throw std::runtime_error("armus-kv: cannot bind " + config_.bind_address +
+                             ":" + std::to_string(config_.port));
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+    io::close_fd(fd);
+    throw std::runtime_error("armus-kv: getsockname() failed");
+  }
+  bound_port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_ = false;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void KvServer::stop() {
+  std::thread acceptor;
+  std::vector<std::unique_ptr<Connection>> connections;
+  int listen_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (listen_fd_ < 0 && !acceptor_.joinable()) return;
+    stopping_ = true;
+    listen_fd = listen_fd_;
+    // shutdown() wakes the acceptor out of accept(2); the fd is closed
+    // only *after* the join below, so its number cannot be reused by an
+    // unrelated thread while the acceptor still references it.
+    if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
+    // Same for the connection threads blocked in read.
+    for (auto& conn : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    acceptor = std::move(acceptor_);
+    connections = std::move(connections_);
+  }
+  if (acceptor.joinable()) acceptor.join();
+  for (auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+    io::close_fd(conn->fd);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  io::close_fd(listen_fd);
+  listen_fd_ = -1;
+}
+
+bool KvServer::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return listen_fd_ >= 0;
+}
+
+std::uint16_t KvServer::port() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bound_port_;
+}
+
+KvServer::Stats KvServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void KvServer::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      io::close_fd((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void KvServer::accept_loop() {
+  for (;;) {
+    int listen_fd;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      listen_fd = listen_fd_;
+    }
+    if (listen_fd < 0) return;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      continue;  // transient accept failure
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      io::close_fd(fd);
+      return;
+    }
+    reap_finished_locked();
+    ++stats_.connections;
+    auto conn = std::make_unique<Connection>();
+    Connection* raw = conn.get();
+    raw->fd = fd;
+    connections_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] {
+      serve_connection(raw->fd);
+      std::lock_guard<std::mutex> inner(mutex_);
+      raw->done = true;
+    });
+  }
+}
+
+void KvServer::serve_connection(int fd) {
+  for (;;) {
+    std::optional<std::string> body = io::read_frame(fd, config_.max_frame);
+    if (!body) return;  // EOF, error, or oversized frame: drop connection
+    std::string response = handle_request(*body);
+    if (!io::write_all(fd, frame(response))) return;
+  }
+}
+
+std::string KvServer::handle_request(std::string_view body) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+  }
+  WireStatus error = WireStatus::kBadRequest;
+  try {
+    std::size_t offset = 0;
+    std::uint64_t proto = read_varint(body, &offset);
+    std::uint64_t type = read_varint(body, &offset);
+    if (proto != kProtocolVersion) {
+      error = WireStatus::kBadVersion;
+      throw CodecError("protocol revision " + std::to_string(proto));
+    }
+    switch (static_cast<MsgType>(type)) {
+      case MsgType::kPutSlice: {
+        auto site = static_cast<dist::SiteId>(read_varint(body, &offset));
+        std::uint64_t version = read_varint(body, &offset);
+        std::string payload(read_bytes(body, &offset));
+        expect_end(body, offset);
+        auto [accepted, current] =
+            backing_->put_slice_if_newer(site, std::move(payload), version);
+        std::string out;
+        if (!accepted) {
+          append_varint(out, static_cast<std::uint64_t>(WireStatus::kStaleVersion));
+          append_varint(out, current);
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.errors;
+          return out;
+        }
+        append_varint(out, static_cast<std::uint64_t>(WireStatus::kOk));
+        append_varint(out, current);
+        return out;
+      }
+      case MsgType::kGetSlice: {
+        auto site = static_cast<dist::SiteId>(read_varint(body, &offset));
+        expect_end(body, offset);
+        std::optional<dist::Slice> slice = backing_->get_slice(site);
+        if (!slice) {
+          error = WireStatus::kNotFound;
+          throw CodecError("no slice for site " + std::to_string(site));
+        }
+        std::string out = status_only(WireStatus::kOk);
+        append_slice(out, *slice);
+        return out;
+      }
+      case MsgType::kListSlices: {
+        expect_end(body, offset);
+        std::vector<dist::Slice> slices = backing_->snapshot();
+        std::string out = status_only(WireStatus::kOk);
+        append_varint(out, slices.size());
+        for (const dist::Slice& slice : slices) append_slice(out, slice);
+        return out;
+      }
+      case MsgType::kHeartbeat: {
+        expect_end(body, offset);
+        std::string out = status_only(WireStatus::kOk);
+        append_varint(out, kProtocolVersion);
+        return out;
+      }
+      case MsgType::kClear: {
+        auto site = static_cast<dist::SiteId>(read_varint(body, &offset));
+        expect_end(body, offset);
+        backing_->remove_slice(site);
+        return status_only(WireStatus::kOk);
+      }
+      default:
+        error = WireStatus::kUnknownType;
+        throw CodecError("message type " + std::to_string(type));
+    }
+  } catch (const dist::StoreUnavailableError&) {
+    error = WireStatus::kUnavailable;
+  } catch (const CodecError&) {
+    // `error` already names the failure class.
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.errors;
+  return status_only(error);
+}
+
+}  // namespace armus::net

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/store.h"
+#include "net/protocol.h"
+
+/// armus-kv: the networked slice store. A deliberately tiny TCP server —
+/// a protocol shim over the in-process dist::Store — that lets sites in
+/// *separate OS processes* publish their blocked-status slices and read
+/// the global snapshot (the role Redis plays in the paper's §5.2 setup).
+///
+/// Concurrency model: one accept thread plus one thread per connection.
+/// Slice traffic is a few small frames per site per period (200 ms in the
+/// paper), so connection counts stay in the tens; the shared dist::Store
+/// provides the single point of synchronisation.
+namespace armus::net {
+
+class KvServer {
+ public:
+  struct Config {
+    /// Listen address. Default loopback: armus-kv has no auth; exposing
+    /// it beyond the host is an explicit operator decision.
+    std::string bind_address = "127.0.0.1";
+
+    /// 0 = ephemeral; read the chosen port via port() after start().
+    std::uint16_t port = 0;
+
+    /// Frames with a larger declared body are a protocol violation; the
+    /// connection is dropped without allocating.
+    std::size_t max_frame = kDefaultMaxFrame;
+  };
+
+  struct Stats {
+    std::uint64_t connections = 0;  ///< accepted so far
+    std::uint64_t requests = 0;     ///< well-framed requests handled
+    std::uint64_t errors = 0;       ///< non-OK responses sent
+  };
+
+  /// `backing` defaults to a fresh in-process Store. Passing one in lets a
+  /// test (or an embedding process) inject outages with set_available or
+  /// inspect slices directly.
+  KvServer();
+  explicit KvServer(Config config,
+                    std::shared_ptr<dist::Store> backing = nullptr);
+  ~KvServer();
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  /// Binds and starts the accept loop. Throws std::runtime_error when the
+  /// address cannot be bound (port in use, bad address).
+  void start();
+
+  /// Closes the listen socket and every live connection, then joins all
+  /// threads. Safe to call repeatedly; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// The bound port (after start(); the ephemeral choice when port 0 was
+  /// configured).
+  [[nodiscard]] std::uint16_t port() const;
+
+  [[nodiscard]] const std::shared_ptr<dist::Store>& backing() const {
+    return backing_;
+  }
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Handles one decoded request body, returning the response body. Pure
+  /// protocol logic (no sockets) — exercised directly by the unit tests.
+  std::string handle_request(std::string_view body);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void reap_finished_locked();
+
+  Config config_;
+  std::shared_ptr<dist::Store> backing_;
+
+  mutable std::mutex mutex_;  // guards fds/threads/stats below
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  bool stopping_ = false;
+  std::thread acceptor_;
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    bool done = false;
+  };
+  std::vector<std::unique_ptr<Connection>> connections_;
+  Stats stats_;
+};
+
+}  // namespace armus::net

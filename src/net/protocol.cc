@@ -1,0 +1,78 @@
+#include "net/protocol.h"
+
+namespace armus::net {
+
+using dist::append_varint;
+using dist::CodecError;
+using dist::read_varint;
+
+std::string to_string(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "OK";
+    case WireStatus::kBadRequest: return "BAD_REQUEST";
+    case WireStatus::kUnknownType: return "UNKNOWN_TYPE";
+    case WireStatus::kBadVersion: return "BAD_VERSION";
+    case WireStatus::kNotFound: return "NOT_FOUND";
+    case WireStatus::kUnavailable: return "UNAVAILABLE";
+    case WireStatus::kStaleVersion: return "STALE_VERSION";
+  }
+  return "status " + std::to_string(static_cast<std::uint64_t>(status));
+}
+
+std::string frame(std::string_view body) {
+  std::string out;
+  out.reserve(4 + body.size());
+  std::uint32_t length = static_cast<std::uint32_t>(body.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((length >> shift) & 0xff));
+  }
+  out.append(body);
+  return out;
+}
+
+std::string request_header(MsgType type) {
+  std::string out;
+  append_varint(out, kProtocolVersion);
+  append_varint(out, static_cast<std::uint64_t>(type));
+  return out;
+}
+
+void append_bytes(std::string& out, std::string_view bytes) {
+  append_varint(out, bytes.size());
+  out.append(bytes);
+}
+
+std::string_view read_bytes(std::string_view body, std::size_t* offset) {
+  std::uint64_t length = read_varint(body, offset);
+  if (length > body.size() - *offset) {
+    throw CodecError("byte string of " + std::to_string(length) +
+                     " bytes with " + std::to_string(body.size() - *offset) +
+                     " remaining");
+  }
+  std::string_view bytes = body.substr(*offset, length);
+  *offset += length;
+  return bytes;
+}
+
+void append_slice(std::string& out, const dist::Slice& slice) {
+  append_varint(out, slice.site);
+  append_varint(out, slice.version);
+  append_bytes(out, slice.payload);
+}
+
+dist::Slice read_slice(std::string_view body, std::size_t* offset) {
+  dist::Slice slice;
+  slice.site = static_cast<dist::SiteId>(read_varint(body, offset));
+  slice.version = read_varint(body, offset);
+  slice.payload = std::string(read_bytes(body, offset));
+  return slice;
+}
+
+void expect_end(std::string_view body, std::size_t offset) {
+  if (offset != body.size()) {
+    throw CodecError("trailing garbage: " +
+                     std::to_string(body.size() - offset) + " bytes");
+  }
+}
+
+}  // namespace armus::net

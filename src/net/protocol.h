@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dist/codec.h"
+#include "dist/store.h"
+
+/// The armus-kv wire protocol: how a net::RemoteStore client and the
+/// armus-kv server exchange slice operations over TCP. Normative spec with
+/// byte-level examples: docs/WIRE_PROTOCOL.md.
+///
+/// Every message travels in a length-prefixed frame:
+///
+///   frame    := length:u32le body(length bytes)
+///
+/// and every body is built from the same unsigned LEB128 varints as the
+/// slice codec (dist/codec.h):
+///
+///   request  := proto:varint type:varint payload
+///   response := status:varint payload
+///   slice    := site:varint version:varint nbytes:varint bytes[nbytes]
+///
+/// A peer that cannot parse a *frame* (oversized length, torn prefix)
+/// closes the connection — the stream is no longer trustworthy. A server
+/// that can frame but not parse the *body* answers with an error status
+/// and keeps the connection.
+namespace armus::net {
+
+/// Protocol revision carried in every request; bumped on incompatible
+/// changes. A server answers requests carrying an unknown revision with
+/// WireStatus::kBadVersion.
+inline constexpr std::uint64_t kProtocolVersion = 1;
+
+/// Upper bound on a frame body; a length prefix above this is treated as
+/// a protocol violation (connection close), never allocated.
+inline constexpr std::size_t kDefaultMaxFrame = 16 * 1024 * 1024;
+
+enum class MsgType : std::uint64_t {
+  kPutSlice = 1,    ///< site version nbytes bytes → OK(version)
+  kGetSlice = 2,    ///< site                      → OK(slice) | kNotFound
+  kListSlices = 3,  ///< (empty)                   → OK(count slice*)
+  kHeartbeat = 4,   ///< (empty)                   → OK(proto)
+  kClear = 5,       ///< site                      → OK()
+};
+
+enum class WireStatus : std::uint64_t {
+  kOk = 0,
+  kBadRequest = 1,    ///< well-framed but unparseable body
+  kUnknownType = 2,   ///< unrecognised MsgType
+  kBadVersion = 3,    ///< unsupported protocol revision
+  kNotFound = 4,      ///< GET_SLICE for a site with no slice
+  kUnavailable = 5,   ///< backing store outage; retry later
+  kStaleVersion = 6,  ///< PUT_SLICE version not newer; payload = current
+};
+
+[[nodiscard]] std::string to_string(WireStatus status);
+
+/// Wraps `body` in a frame: 4-byte little-endian length prefix + body.
+[[nodiscard]] std::string frame(std::string_view body);
+
+/// `proto type` — the prefix of every request body.
+[[nodiscard]] std::string request_header(MsgType type);
+
+/// `nbytes:varint bytes` (length-delimited byte string).
+void append_bytes(std::string& out, std::string_view bytes);
+
+/// Reads a length-delimited byte string; throws dist::CodecError when the
+/// declared length exceeds the remaining input.
+[[nodiscard]] std::string_view read_bytes(std::string_view body,
+                                          std::size_t* offset);
+
+/// `site version nbytes bytes`.
+void append_slice(std::string& out, const dist::Slice& slice);
+[[nodiscard]] dist::Slice read_slice(std::string_view body,
+                                     std::size_t* offset);
+
+/// Throws dist::CodecError unless exactly `offset == body.size()` — the
+/// same trailing-garbage strictness as the slice codec.
+void expect_end(std::string_view body, std::size_t offset);
+
+}  // namespace armus::net

@@ -1,0 +1,217 @@
+#include "net/remote_store.h"
+
+#include <algorithm>
+
+#include "net/socket_io.h"
+
+namespace armus::net {
+
+using dist::append_varint;
+using dist::CodecError;
+using dist::read_varint;
+using dist::StoreUnavailableError;
+
+RemoteStore::RemoteStore(Config config) : config_(std::move(config)) {}
+
+RemoteStore::~RemoteStore() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  io::close_fd(fd_);
+  fd_ = -1;
+}
+
+void RemoteStore::disconnect_locked(const char* reason) const {
+  (void)reason;
+  io::close_fd(fd_);
+  fd_ = -1;
+  ++stats_.failures;
+  backoff_ = backoff_.count() == 0
+                 ? config_.backoff_initial
+                 : std::min(backoff_ * 2, config_.backoff_max);
+  retry_after_ = std::chrono::steady_clock::now() + backoff_;
+}
+
+void RemoteStore::ensure_connected_locked() const {
+  if (fd_ >= 0) return;
+  if (std::chrono::steady_clock::now() < retry_after_) {
+    ++stats_.fast_failures;
+    throw StoreUnavailableError("armus-kv: backing off after failure");
+  }
+  int fd = io::connect_to(
+      config_.host, config_.port,
+      static_cast<int>(config_.connect_timeout.count()));
+  if (fd < 0) {
+    disconnect_locked("connect failed");
+    throw StoreUnavailableError("armus-kv: cannot connect to " + config_.host +
+                                ":" + std::to_string(config_.port));
+  }
+  io::set_io_timeout(fd, static_cast<int>(config_.io_timeout.count()));
+  fd_ = fd;
+  backoff_ = std::chrono::milliseconds{0};
+  retry_after_ = {};
+  ++stats_.connects;
+}
+
+std::string RemoteStore::roundtrip(std::string_view body) const {
+  if (body.size() > config_.max_frame) {
+    // A permanent condition, not an outage: retrying the same payload can
+    // never succeed, so name the real cause instead of backing off.
+    throw StoreUnavailableError(
+        "armus-kv: request of " + std::to_string(body.size()) +
+        " bytes exceeds max_frame " + std::to_string(config_.max_frame) +
+        " (slice too large; raise max_frame on both ends)");
+  }
+  ensure_connected_locked();
+  if (!io::write_all(fd_, frame(body))) {
+    disconnect_locked("send failed");
+    throw StoreUnavailableError("armus-kv: send failed");
+  }
+  std::optional<std::string> response = io::read_frame(fd_, config_.max_frame);
+  if (!response) {
+    disconnect_locked("recv failed");
+    throw StoreUnavailableError("armus-kv: connection lost awaiting response");
+  }
+  return std::move(*response);
+}
+
+WireStatus RemoteStore::read_status(std::string_view response,
+                                    std::size_t* offset) {
+  WireStatus status;
+  try {
+    status = static_cast<WireStatus>(read_varint(response, offset));
+  } catch (const CodecError&) {
+    throw StoreUnavailableError("armus-kv: malformed response");
+  }
+  if (status == WireStatus::kUnavailable) {
+    throw StoreUnavailableError("armus-kv: server-side store unavailable");
+  }
+  return status;
+}
+
+std::uint64_t RemoteStore::put_slice(dist::SiteId site, std::string payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t proposed = versions_[site] + 1;
+  for (int attempt = 0;; ++attempt) {
+    std::string body = request_header(MsgType::kPutSlice);
+    append_varint(body, site);
+    append_varint(body, proposed);
+    append_bytes(body, payload);
+    std::string response = roundtrip(body);
+    std::size_t offset = 0;
+    WireStatus status = read_status(response, &offset);
+    try {
+      if (status == WireStatus::kOk) {
+        std::uint64_t stored = read_varint(response, &offset);
+        expect_end(response, offset);
+        versions_[site] = stored;
+        return stored;
+      }
+      if (status == WireStatus::kStaleVersion) {
+        std::uint64_t current = read_varint(response, &offset);
+        expect_end(response, offset);
+        if (attempt == 0) {
+          // Another writer (or an earlier life of this client) owns a
+          // higher version; jump past it and retry once.
+          proposed = current + 1;
+          ++stats_.stale_retries;
+          continue;
+        }
+        throw StoreUnavailableError(
+            "armus-kv: PUT_SLICE still stale after re-sequencing (current " +
+            std::to_string(current) + ", proposed " +
+            std::to_string(proposed) + ")");
+      }
+    } catch (const CodecError&) {
+      disconnect_locked("malformed response");
+      throw StoreUnavailableError("armus-kv: malformed PUT_SLICE response");
+    }
+    throw StoreUnavailableError("armus-kv: PUT_SLICE failed: " +
+                                to_string(status));
+  }
+}
+
+void RemoteStore::remove_slice(dist::SiteId site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body = request_header(MsgType::kClear);
+  append_varint(body, site);
+  std::string response = roundtrip(body);
+  std::size_t offset = 0;
+  WireStatus status = read_status(response, &offset);
+  if (status != WireStatus::kOk) {
+    throw StoreUnavailableError("armus-kv: CLEAR failed: " + to_string(status));
+  }
+}
+
+std::vector<dist::Slice> RemoteStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string response = roundtrip(request_header(MsgType::kListSlices));
+  std::size_t offset = 0;
+  WireStatus status = read_status(response, &offset);
+  if (status != WireStatus::kOk) {
+    throw StoreUnavailableError("armus-kv: LIST_SLICES failed: " +
+                                to_string(status));
+  }
+  try {
+    std::uint64_t count = read_varint(response, &offset);
+    std::vector<dist::Slice> slices;
+    slices.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      slices.push_back(read_slice(response, &offset));
+    }
+    expect_end(response, offset);
+    return slices;
+  } catch (const CodecError&) {
+    disconnect_locked("malformed response");
+    throw StoreUnavailableError("armus-kv: malformed LIST_SLICES response");
+  }
+}
+
+std::optional<dist::Slice> RemoteStore::get_slice(dist::SiteId site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body = request_header(MsgType::kGetSlice);
+  append_varint(body, site);
+  std::string response = roundtrip(body);
+  std::size_t offset = 0;
+  WireStatus status = read_status(response, &offset);
+  if (status == WireStatus::kNotFound) return std::nullopt;
+  if (status != WireStatus::kOk) {
+    throw StoreUnavailableError("armus-kv: GET_SLICE failed: " +
+                                to_string(status));
+  }
+  try {
+    dist::Slice slice = read_slice(response, &offset);
+    expect_end(response, offset);
+    return slice;
+  } catch (const CodecError&) {
+    disconnect_locked("malformed response");
+    throw StoreUnavailableError("armus-kv: malformed GET_SLICE response");
+  }
+}
+
+bool RemoteStore::heartbeat() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  try {
+    std::string response = roundtrip(request_header(MsgType::kHeartbeat));
+    std::size_t offset = 0;
+    if (read_status(response, &offset) != WireStatus::kOk) return false;
+    std::uint64_t proto = read_varint(response, &offset);
+    expect_end(response, offset);
+    return proto == kProtocolVersion;
+  } catch (const StoreUnavailableError&) {
+    return false;
+  } catch (const CodecError&) {
+    disconnect_locked("malformed response");
+    return false;
+  }
+}
+
+bool RemoteStore::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fd_ >= 0;
+}
+
+RemoteStore::Stats RemoteStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace armus::net

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "dist/store.h"
+#include "net/protocol.h"
+
+/// The client side of armus-kv: a dist::SliceStore whose operations are
+/// request/response exchanges with a KvServer over TCP. dist::Site,
+/// Cluster and SharedStore run unchanged over one of these — that is the
+/// whole point of the SliceStore seam.
+///
+/// Failure model: any network failure (connect refused, peer reset, torn
+/// or malformed response, server-side outage) closes the connection and
+/// surfaces as dist::StoreUnavailableError — the same exception the
+/// in-process store throws during an injected outage — so a Site absorbs
+/// it through its existing outage path and simply retries next period.
+/// Reconnection is lazy with exponential backoff: while the backoff
+/// window is open, operations fail fast without touching the network.
+namespace armus::net {
+
+class RemoteStore final : public dist::SliceStore {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    /// Bound on one connect(2) attempt.
+    std::chrono::milliseconds connect_timeout{500};
+
+    /// Bound on each send/recv on an established connection (SO_SNDTIMEO
+    /// / SO_RCVTIMEO): a stalled-but-open server (stopped process,
+    /// blackholed route) must surface as StoreUnavailableError, never
+    /// block a site thread forever.
+    std::chrono::milliseconds io_timeout{2000};
+
+    /// First retry delay after a failure; doubles per consecutive failure
+    /// up to backoff_max, resets on success.
+    std::chrono::milliseconds backoff_initial{25};
+    std::chrono::milliseconds backoff_max{1000};
+
+    std::size_t max_frame = kDefaultMaxFrame;
+  };
+
+  struct Stats {
+    std::uint64_t connects = 0;       ///< successful (re)connects
+    std::uint64_t failures = 0;       ///< operations failed on the network
+    std::uint64_t fast_failures = 0;  ///< failed inside the backoff window
+    std::uint64_t stale_retries = 0;  ///< puts re-sequenced after kStaleVersion
+  };
+
+  explicit RemoteStore(Config config);
+  ~RemoteStore() override;
+  RemoteStore(const RemoteStore&) = delete;
+  RemoteStore& operator=(const RemoteStore&) = delete;
+
+  // --- SliceStore ----------------------------------------------------------
+
+  /// PUT_SLICE with the next per-site sequence number as the proposed
+  /// version. On kStaleVersion (another writer — or an earlier life of
+  /// this one — got there first) jumps past the server's version and
+  /// retries once. Throws dist::StoreUnavailableError on network failure.
+  std::uint64_t put_slice(dist::SiteId site, std::string payload) override;
+
+  void remove_slice(dist::SiteId site) override;
+
+  [[nodiscard]] std::vector<dist::Slice> snapshot() const override;
+
+  // --- armus-kv extras -----------------------------------------------------
+
+  /// GET_SLICE: one site's slice, nullopt when the server has none.
+  std::optional<dist::Slice> get_slice(dist::SiteId site) const;
+
+  /// HEARTBEAT round trip; false (instead of throwing) when the server is
+  /// unreachable. Also the cheap way to force a reconnect attempt.
+  bool heartbeat();
+
+  [[nodiscard]] bool connected() const;
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  /// Sends `body` and returns the response body. Connects first if
+  /// needed. Any failure closes the socket, opens/extends the backoff
+  /// window, and throws dist::StoreUnavailableError.
+  std::string roundtrip(std::string_view body) const;
+
+  /// Ensures fd_ holds a live connection; throws on failure (fast while
+  /// the backoff window is open). Caller holds mutex_.
+  void ensure_connected_locked() const;
+  void disconnect_locked(const char* reason) const;
+
+  /// Parses `status payload`; returns the offset just past the status.
+  /// Maps kUnavailable onto StoreUnavailableError.
+  static WireStatus read_status(std::string_view response,
+                                std::size_t* offset);
+
+  Config config_;
+
+  mutable std::mutex mutex_;
+  mutable int fd_ = -1;
+  mutable std::chrono::milliseconds backoff_{0};
+  mutable std::chrono::steady_clock::time_point retry_after_{};
+  mutable Stats stats_;
+  /// Highest version this client has stored per site; the next put
+  /// proposes +1. See docs/WIRE_PROTOCOL.md on stale-version rejection.
+  std::map<dist::SiteId, std::uint64_t> versions_;
+};
+
+}  // namespace armus::net

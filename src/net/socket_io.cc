@@ -1,0 +1,126 @@
+#include "net/socket_io.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace armus::net::io {
+
+namespace {
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Completes a non-blocking connect within `timeout_ms`; returns false on
+/// timeout or socket error.
+bool await_connect(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc <= 0) return false;
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return false;
+  return err == 0;
+}
+
+}  // namespace
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool read_exact(int fd, std::size_t length, std::string* out) {
+  std::size_t start = out->size();
+  out->resize(start + length);
+  std::size_t got = 0;
+  while (got < length) {
+    ssize_t n = ::recv(fd, out->data() + start + got, length - got, 0);
+    if (n == 0) return false;  // EOF mid-message
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> read_frame(int fd, std::size_t max_frame) {
+  std::string prefix;
+  if (!read_exact(fd, 4, &prefix)) return std::nullopt;
+  std::uint32_t length = 0;
+  for (int i = 3; i >= 0; --i) {
+    length = (length << 8) | static_cast<std::uint8_t>(prefix[i]);
+  }
+  if (length > max_frame) return std::nullopt;
+  std::string body;
+  if (!read_exact(fd, length, &body)) return std::nullopt;
+  return body;
+}
+
+void set_io_timeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+int connect_to(const std::string& host, std::uint16_t port, int timeout_ms) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* result = nullptr;
+  std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &result) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK,
+                  ai->ai_protocol);
+    if (fd < 0) continue;
+    int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc == 0 || (rc < 0 && errno == EINPROGRESS &&
+                    await_connect(fd, timeout_ms))) {
+      break;  // connected
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) return -1;
+  // Back to blocking mode for the simple request/response exchanges.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  set_nodelay(fd);
+  return fd;
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace armus::net::io

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+/// Internal POSIX socket plumbing shared by the armus-kv server and the
+/// RemoteStore client: exact-length reads/writes and framed message I/O.
+/// Nothing here knows the protocol beyond the 4-byte length prefix.
+namespace armus::net::io {
+
+/// Writes all of `data`, retrying short writes. MSG_NOSIGNAL — a closed
+/// peer yields false, never SIGPIPE. Returns false on any error.
+bool write_all(int fd, std::string_view data);
+
+/// Reads exactly `length` bytes into `out` (appended). Returns false on
+/// EOF or error.
+bool read_exact(int fd, std::size_t length, std::string* out);
+
+/// Reads one length-prefixed frame body. nullopt on clean EOF before the
+/// prefix, on any I/O error or timeout, or on a length above `max_frame`
+/// (protocol violation — the caller must drop the connection).
+std::optional<std::string> read_frame(int fd, std::size_t max_frame);
+
+/// Bounds every subsequent send/recv on `fd` (SO_SNDTIMEO/SO_RCVTIMEO);
+/// a timed-out operation fails like any other I/O error. <= 0 leaves the
+/// socket unbounded.
+void set_io_timeout(int fd, int timeout_ms);
+
+/// Connects to host:port with a bounded connect(2). Returns the connected
+/// fd (TCP_NODELAY set) or -1. `host` may be a numeric address or a name.
+int connect_to(const std::string& host, std::uint16_t port,
+               int timeout_ms);
+
+/// close(2) that tolerates fd < 0.
+void close_fd(int fd);
+
+}  // namespace armus::net::io

@@ -104,6 +104,92 @@ TEST(StoreTest, CountsOperations) {
   EXPECT_EQ(store.reads(), 1u);
 }
 
+// --- slice cache -------------------------------------------------------------
+
+TEST(SliceCacheTest, OnlyRedecodesChangedSlices) {
+  Store store;
+  store.put_slice(1, encode_statuses({status(1, {{1, 1}}, {})}));
+  store.put_slice(2, encode_statuses({status(2, {{2, 1}}, {})}));
+
+  SliceCache cache;
+  EXPECT_EQ(cache.merge(store.snapshot()).size(), 2u);
+  EXPECT_EQ(cache.decodes(), 2u);
+
+  // Unchanged snapshot: merged view served entirely from the cache.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(cache.status_count(store.snapshot()), 2u);
+  }
+  EXPECT_EQ(cache.decodes(), 2u);
+
+  // One slice republished → exactly one further decode.
+  store.put_slice(2, encode_statuses({status(2, {{2, 2}}, {}),
+                                      status(3, {{2, 2}}, {})}));
+  auto merged = cache.merge(store.snapshot());
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_EQ(cache.decodes(), 3u);
+}
+
+TEST(SliceCacheTest, EvictsRemovedSites) {
+  Store store;
+  store.put_slice(1, encode_statuses({status(1, {{1, 1}}, {})}));
+  store.put_slice(2, encode_statuses({status(2, {{2, 1}}, {})}));
+  SliceCache cache;
+  EXPECT_EQ(cache.status_count(store.snapshot()), 2u);
+  store.remove_slice(1);
+  EXPECT_EQ(cache.status_count(store.snapshot()), 1u);
+  EXPECT_EQ(cache.merge(store.snapshot())[0].task, 2u);
+}
+
+TEST(SliceCacheTest, RemembersCorruptVerdictUntilRepublish) {
+  Store store;
+  store.put_slice(1, "not a valid payload");
+  store.put_slice(2, encode_statuses({status(2, {{2, 1}}, {})}));
+  SliceCache cache;
+  int corrupt_reports = 0;
+  auto on_corrupt = [&](SiteId, const CodecError&) { ++corrupt_reports; };
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cache.merge(store.snapshot(), on_corrupt).size(), 1u);
+  }
+  // The corrupt slice was decoded (and reported) once, not per call.
+  EXPECT_EQ(corrupt_reports, 1);
+  EXPECT_EQ(cache.decodes(), 2u);
+
+  // A healthy republish of the bad site clears the verdict.
+  store.put_slice(1, encode_statuses({status(1, {{1, 1}}, {})}));
+  EXPECT_EQ(cache.merge(store.snapshot(), on_corrupt).size(), 2u);
+  EXPECT_EQ(corrupt_reports, 1);
+}
+
+TEST(SliceCacheTest, PropagatesCodecErrorWithoutCallback) {
+  Store store;
+  store.put_slice(1, "garbage");
+  SliceCache cache;
+  EXPECT_THROW(cache.merge(store.snapshot()), CodecError);
+  // Not cached as success: the next call still fails.
+  EXPECT_THROW(cache.status_count(store.snapshot()), CodecError);
+}
+
+TEST(SharedStoreTest, BlockedCountIsCachedByVersion) {
+  auto backing = std::make_shared<Store>();
+  SharedStore a(backing, 0);
+  SharedStore b(backing, 1);
+  a.set_blocked(status(1, {{1, 1}}, {{1, 1}}));
+  b.set_blocked(status(2, {{2, 1}}, {{2, 1}}));
+
+  (void)a.blocked_count();
+  std::uint64_t baseline = a.decode_count();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.blocked_count(), 2u);
+    EXPECT_EQ(a.snapshot().size(), 2u);
+  }
+  EXPECT_EQ(a.decode_count(), baseline);  // nothing changed, nothing decoded
+
+  b.set_blocked(status(3, {{2, 1}}, {{2, 1}}));  // one slice changes
+  EXPECT_EQ(a.blocked_count(), 3u);
+  EXPECT_EQ(a.decode_count(), baseline + 1);
+}
+
 // --- sites -------------------------------------------------------------------
 
 /// Plants one half of a 2-task cross-site cycle on each site's verifier.

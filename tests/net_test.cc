@@ -1,0 +1,509 @@
+// Tests for the armus-kv networked slice store: wire protocol encoding
+// (including the byte-level examples pinned by docs/WIRE_PROTOCOL.md),
+// server request handling and error codes, RemoteStore round trips over
+// real TCP, disconnect/reconnect with backoff, stale-version rejection,
+// and Site/SharedStore behaviour across server outages.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <thread>
+
+#include "core/checker.h"
+
+#include "dist/site.h"
+#include "net/config.h"
+#include "net/kv_server.h"
+#include "net/protocol.h"
+#include "net/remote_store.h"
+
+namespace armus::net {
+namespace {
+
+using namespace std::chrono_literals;
+using dist::append_varint;
+using dist::read_varint;
+
+BlockedStatus status(TaskId task, std::vector<Resource> waits,
+                     std::vector<RegEntry> registered) {
+  BlockedStatus s;
+  s.task = task;
+  s.waits = std::move(waits);
+  s.registered = std::move(registered);
+  return s;
+}
+
+/// A RemoteStore config tuned for fast tests.
+RemoteStore::Config client_config(std::uint16_t port) {
+  RemoteStore::Config config;
+  config.host = "127.0.0.1";
+  config.port = port;
+  config.connect_timeout = 200ms;
+  config.backoff_initial = 5ms;
+  config.backoff_max = 20ms;
+  return config;
+}
+
+std::string hex(std::string_view bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (unsigned char c : bytes) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xf]);
+    out.push_back(' ');
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+// --- protocol ----------------------------------------------------------------
+
+TEST(ProtocolTest, FramePrefixIsLittleEndianLength) {
+  std::string framed = frame("abc");
+  ASSERT_EQ(framed.size(), 7u);
+  EXPECT_EQ(hex(framed), "03 00 00 00 61 62 63");
+}
+
+TEST(ProtocolTest, RequestHeaderBytes) {
+  // docs/WIRE_PROTOCOL.md "HEARTBEAT request" example: proto=1, type=4.
+  EXPECT_EQ(hex(request_header(MsgType::kHeartbeat)), "01 04");
+}
+
+TEST(ProtocolTest, DocumentedPutSliceExample) {
+  // The byte-level PUT_SLICE example in docs/WIRE_PROTOCOL.md: site 2,
+  // version 3, payload = encode_statuses of task 7 waiting on (phaser 1,
+  // phase 1) while registered on (1,1) and (2,0).
+  std::string payload =
+      dist::encode_statuses({status(7, {{1, 1}}, {{1, 1}, {2, 0}})});
+  EXPECT_EQ(hex(payload), "01 07 01 01 01 02 01 01 02 00");
+
+  std::string body = request_header(MsgType::kPutSlice);
+  append_varint(body, 2);
+  append_varint(body, 3);
+  append_bytes(body, payload);
+  EXPECT_EQ(hex(body), "01 01 02 03 0a 01 07 01 01 01 02 01 01 02 00");
+
+  std::string framed = frame(body);
+  EXPECT_EQ(hex(framed.substr(0, 4)), "0f 00 00 00");
+}
+
+TEST(ProtocolTest, SliceRoundTrip) {
+  dist::Slice in;
+  in.site = 300;
+  in.version = 41;
+  in.payload = "payload-bytes";
+  std::string out;
+  append_slice(out, in);
+  std::size_t offset = 0;
+  dist::Slice decoded = read_slice(out, &offset);
+  expect_end(out, offset);
+  EXPECT_EQ(decoded.site, in.site);
+  EXPECT_EQ(decoded.version, in.version);
+  EXPECT_EQ(decoded.payload, in.payload);
+}
+
+TEST(ProtocolTest, ReadBytesRejectsOverlongLength) {
+  std::string out;
+  append_bytes(out, "xy");
+  out.resize(out.size() - 1);  // declared 2 bytes, only 1 present
+  std::size_t offset = 0;
+  EXPECT_THROW((void)read_bytes(out, &offset), dist::CodecError);
+}
+
+// --- server request handling (no sockets) ------------------------------------
+
+std::uint64_t response_status(const std::string& response) {
+  std::size_t offset = 0;
+  return read_varint(response, &offset);
+}
+
+TEST(KvServerTest, HandlesPutListClearDirectly) {
+  KvServer server;
+
+  std::string put = request_header(MsgType::kPutSlice);
+  append_varint(put, 1);  // site
+  append_varint(put, 1);  // version
+  append_bytes(put, dist::encode_statuses({status(1, {{1, 1}}, {})}));
+  EXPECT_EQ(response_status(server.handle_request(put)),
+            static_cast<std::uint64_t>(WireStatus::kOk));
+
+  std::string list = request_header(MsgType::kListSlices);
+  std::string response = server.handle_request(list);
+  std::size_t offset = 0;
+  ASSERT_EQ(read_varint(response, &offset),
+            static_cast<std::uint64_t>(WireStatus::kOk));
+  ASSERT_EQ(read_varint(response, &offset), 1u);  // one slice
+  dist::Slice slice = read_slice(response, &offset);
+  expect_end(response, offset);
+  EXPECT_EQ(slice.site, 1u);
+  EXPECT_EQ(slice.version, 1u);
+
+  std::string clear = request_header(MsgType::kClear);
+  append_varint(clear, 1);
+  EXPECT_EQ(response_status(server.handle_request(clear)),
+            static_cast<std::uint64_t>(WireStatus::kOk));
+  EXPECT_TRUE(server.backing()->snapshot().empty());
+}
+
+TEST(KvServerTest, RejectsStaleVersionWithCurrent) {
+  KvServer server;
+  server.backing()->put_slice(4, "newer");  // version 1
+  server.backing()->put_slice(4, "newest"); // version 2
+
+  std::string put = request_header(MsgType::kPutSlice);
+  append_varint(put, 4);
+  append_varint(put, 2);  // not newer than current 2
+  append_bytes(put, "stale");
+  std::string response = server.handle_request(put);
+  std::size_t offset = 0;
+  EXPECT_EQ(read_varint(response, &offset),
+            static_cast<std::uint64_t>(WireStatus::kStaleVersion));
+  EXPECT_EQ(read_varint(response, &offset), 2u);  // current version
+  auto slice = server.backing()->get_slice(4);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(slice->payload, "newest");  // rejected write left no trace
+}
+
+TEST(KvServerTest, ErrorCodes) {
+  KvServer server;
+
+  std::string bad_version;
+  append_varint(bad_version, 99);  // unsupported protocol revision
+  append_varint(bad_version, static_cast<std::uint64_t>(MsgType::kHeartbeat));
+  EXPECT_EQ(response_status(server.handle_request(bad_version)),
+            static_cast<std::uint64_t>(WireStatus::kBadVersion));
+
+  std::string unknown;
+  append_varint(unknown, kProtocolVersion);
+  append_varint(unknown, 42);  // no such message type
+  EXPECT_EQ(response_status(server.handle_request(unknown)),
+            static_cast<std::uint64_t>(WireStatus::kUnknownType));
+
+  std::string truncated = request_header(MsgType::kGetSlice);  // missing site
+  EXPECT_EQ(response_status(server.handle_request(truncated)),
+            static_cast<std::uint64_t>(WireStatus::kBadRequest));
+
+  std::string trailing = request_header(MsgType::kHeartbeat);
+  trailing += "x";
+  EXPECT_EQ(response_status(server.handle_request(trailing)),
+            static_cast<std::uint64_t>(WireStatus::kBadRequest));
+
+  std::string absent = request_header(MsgType::kGetSlice);
+  append_varint(absent, 123);
+  EXPECT_EQ(response_status(server.handle_request(absent)),
+            static_cast<std::uint64_t>(WireStatus::kNotFound));
+
+  server.backing()->set_available(false);
+  std::string list = request_header(MsgType::kListSlices);
+  EXPECT_EQ(response_status(server.handle_request(list)),
+            static_cast<std::uint64_t>(WireStatus::kUnavailable));
+  EXPECT_GE(server.stats().errors, 5u);
+}
+
+// --- RemoteStore over real TCP ----------------------------------------------
+
+TEST(RemoteStoreTest, RoundTripsSliceOperations) {
+  KvServer server;
+  server.start();
+  RemoteStore client(client_config(server.port()));
+
+  EXPECT_TRUE(client.heartbeat());
+  EXPECT_EQ(client.put_slice(1, "one"), 1u);
+  EXPECT_EQ(client.put_slice(1, "one-again"), 2u);
+  EXPECT_EQ(client.put_slice(2, "two"), 1u);
+
+  auto snapshot = client.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].site, 1u);
+  EXPECT_EQ(snapshot[0].payload, "one-again");
+  EXPECT_EQ(snapshot[0].version, 2u);
+  EXPECT_EQ(snapshot[1].payload, "two");
+
+  auto one = client.get_slice(1);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->payload, "one-again");
+  EXPECT_FALSE(client.get_slice(9).has_value());
+
+  client.remove_slice(1);
+  EXPECT_EQ(client.snapshot().size(), 1u);
+  EXPECT_EQ(client.stats().connects, 1u);  // one connection served it all
+}
+
+TEST(RemoteStoreTest, SecondWriterOfSameSiteResequencesPastStaleVersion) {
+  KvServer server;
+  server.start();
+  RemoteStore first(client_config(server.port()));
+  RemoteStore second(client_config(server.port()));
+
+  EXPECT_EQ(first.put_slice(7, "a"), 1u);
+  EXPECT_EQ(first.put_slice(7, "b"), 2u);
+  // `second` has never written site 7, so it proposes version 1 — stale.
+  // It must jump past the server's version and win on the retry.
+  EXPECT_EQ(second.put_slice(7, "usurper"), 3u);
+  EXPECT_EQ(second.stats().stale_retries, 1u);
+  auto slice = server.backing()->get_slice(7);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(slice->payload, "usurper");
+}
+
+TEST(RemoteStoreTest, DisconnectBacksOffThenReconnects) {
+  auto backing = std::make_shared<dist::Store>();
+  KvServer::Config server_config;
+  auto server = std::make_unique<KvServer>(server_config, backing);
+  server->start();
+  std::uint16_t port = server->port();
+
+  RemoteStore client(client_config(port));
+  EXPECT_EQ(client.put_slice(1, "before-outage"), 1u);
+
+  server->stop();
+  EXPECT_THROW(client.put_slice(1, "during-outage"),
+               dist::StoreUnavailableError);
+  // Inside the backoff window operations fail fast, without the network.
+  EXPECT_THROW(client.put_slice(1, "still-down"),
+               dist::StoreUnavailableError);
+  EXPECT_GE(client.stats().failures, 1u);
+
+  // Same port, same backing: the server came back with its data intact.
+  server_config.port = port;
+  server = std::make_unique<KvServer>(server_config, backing);
+  server->start();
+  std::this_thread::sleep_for(50ms);  // let the backoff window expire
+
+  EXPECT_EQ(client.put_slice(1, "after-recovery"), 2u);
+  EXPECT_GE(client.stats().connects, 2u);
+  auto slice = backing->get_slice(1);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(slice->payload, "after-recovery");
+}
+
+// --- Site / SharedStore over armus-kv ----------------------------------------
+
+void plant_cross_site_cycle(dist::Site& a, dist::Site& b) {
+  a.verifier().state().set_blocked(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+  b.verifier().state().set_blocked(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+}
+
+TEST(NetSiteTest, DetectsCrossSiteDeadlockThroughTcp) {
+  KvServer server;
+  server.start();
+
+  dist::Site::Config ca, cb;
+  ca.id = 0;
+  cb.id = 1;
+  dist::Site a(ca, std::make_shared<RemoteStore>(client_config(server.port())));
+  dist::Site b(cb, std::make_shared<RemoteStore>(client_config(server.port())));
+  plant_cross_site_cycle(a, b);
+
+  ASSERT_TRUE(a.publish_now());
+  ASSERT_TRUE(b.publish_now());
+  ASSERT_TRUE(a.check_now());
+  ASSERT_TRUE(b.check_now());
+
+  ASSERT_EQ(a.reported().size(), 1u);
+  ASSERT_EQ(b.reported().size(), 1u);
+  EXPECT_EQ(a.reported()[0].tasks, (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(b.reported()[0].tasks, (std::vector<TaskId>{1, 2}));
+}
+
+TEST(NetSiteTest, AbsorbsTcpOutageAndPublishesAfterRecovery) {
+  auto backing = std::make_shared<dist::Store>();
+  KvServer::Config server_config;
+  auto server = std::make_unique<KvServer>(server_config, backing);
+  server->start();
+  std::uint16_t port = server->port();
+
+  dist::Site::Config config;
+  config.id = 3;
+  dist::Site site(config, std::make_shared<RemoteStore>(client_config(port)));
+  site.verifier().state().set_blocked(status(30, {{5, 1}}, {{5, 1}}));
+  ASSERT_TRUE(site.publish_now());
+
+  server->stop();
+  EXPECT_FALSE(site.publish_now());  // absorbed, not thrown
+  EXPECT_FALSE(site.check_now());
+  EXPECT_GE(site.stats().store_failures, 2u);
+
+  // The site keeps accumulating state during the outage...
+  site.verifier().state().set_blocked(status(31, {{6, 1}}, {{6, 1}}));
+
+  server_config.port = port;
+  server = std::make_unique<KvServer>(server_config, backing);
+  server->start();
+  std::this_thread::sleep_for(50ms);
+
+  // ...and the first successful publish carries the *full* slice.
+  ASSERT_TRUE(site.publish_now());
+  auto slice = backing->get_slice(3);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(dist::decode_statuses(slice->payload).size(), 2u);
+  ASSERT_TRUE(site.check_now());
+  EXPECT_EQ(site.stats().publishes, 2u);
+}
+
+TEST(NetSiteTest, PeriodicLoopsDetectThroughServerRestart) {
+  auto backing = std::make_shared<dist::Store>();
+  KvServer::Config server_config;
+  auto server = std::make_unique<KvServer>(server_config, backing);
+  server->start();
+  std::uint16_t port = server->port();
+
+  std::atomic<int> detections{0};
+  dist::Site::Config ca, cb;
+  ca.id = 0;
+  ca.publish_period = 5ms;
+  ca.check_period = 5ms;
+  ca.on_deadlock = [&](const DeadlockReport&) { ++detections; };
+  cb = ca;
+  cb.id = 1;
+  cb.on_deadlock = nullptr;
+  dist::Site a(ca, std::make_shared<RemoteStore>(client_config(port)));
+  dist::Site b(cb, std::make_shared<RemoteStore>(client_config(port)));
+
+  // Kill the server before the sites ever publish: every early round
+  // fails, and the sites must ride it out.
+  server->stop();
+  plant_cross_site_cycle(a, b);
+  a.start();
+  b.start();
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(detections.load(), 0);
+  EXPECT_GE(a.stats().store_failures, 1u);
+
+  server_config.port = port;
+  server = std::make_unique<KvServer>(server_config, backing);
+  server->start();
+  for (int i = 0; i < 600 && detections.load() == 0; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  a.stop();
+  b.stop();
+  EXPECT_GE(detections.load(), 1);
+  EXPECT_EQ(a.stats().deadlocks_found, 1u);
+}
+
+TEST(NetSharedStoreTest, VerifierOverTcpSeesRemoteTasks) {
+  KvServer server;
+  server.start();
+
+  auto store_a = std::make_shared<dist::SharedStore>(
+      std::make_shared<RemoteStore>(client_config(server.port())), 0);
+  auto store_b = std::make_shared<dist::SharedStore>(
+      std::make_shared<RemoteStore>(client_config(server.port())), 1);
+
+  store_a->set_blocked(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+  store_b->set_blocked(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+
+  // Either window sees the global merged state...
+  EXPECT_EQ(store_a->blocked_count(), 2u);
+  EXPECT_EQ(store_b->snapshot().size(), 2u);
+
+  // ...and a checker over one of them closes the cross-process cycle.
+  CheckResult result = check_deadlocks(store_a->snapshot(), GraphModel::kAuto);
+  ASSERT_EQ(result.reports.size(), 1u);
+  EXPECT_EQ(result.reports[0].tasks, (std::vector<TaskId>{1, 2}));
+}
+
+TEST(NetSharedStoreTest, RepeatedReadsDoNotRedecodeUnchangedSlices) {
+  KvServer server;
+  server.start();
+  auto store = std::make_shared<dist::SharedStore>(
+      std::make_shared<RemoteStore>(client_config(server.port())), 0);
+  RemoteStore other(client_config(server.port()));
+  other.put_slice(1, dist::encode_statuses({status(10, {{1, 1}}, {})}));
+
+  store->set_blocked(status(1, {{2, 1}}, {{2, 1}}));
+  (void)store->blocked_count();
+  std::uint64_t decodes_after_first = store->decode_count();
+  EXPECT_GE(decodes_after_first, 2u);  // both slices decoded once
+
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(store->blocked_count(), 2u);
+    (void)store->snapshot();
+  }
+  // 22 further reads, zero further decodes: O(changed slices).
+  EXPECT_EQ(store->decode_count(), decodes_after_first);
+
+  // One slice changes → exactly one further decode.
+  other.put_slice(1, dist::encode_statuses({status(10, {{1, 2}}, {})}));
+  EXPECT_EQ(store->blocked_count(), 2u);
+  EXPECT_EQ(store->decode_count(), decodes_after_first + 1);
+}
+
+// --- config / env ------------------------------------------------------------
+
+TEST(NetConfigTest, ParsesTcpEndpoints) {
+  Endpoint endpoint = parse_tcp_endpoint("tcp://10.1.2.3:6379");
+  EXPECT_EQ(endpoint.host, "10.1.2.3");
+  EXPECT_EQ(endpoint.port, 6379);
+  EXPECT_EQ(parse_tcp_endpoint("tcp://localhost:1").port, 1);
+
+  EXPECT_THROW(parse_tcp_endpoint("redis://x:1"), std::invalid_argument);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://nohost"), std::invalid_argument);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://:123"), std::invalid_argument);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://h:"), std::invalid_argument);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://h:0"), std::invalid_argument);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://h:99999"), std::invalid_argument);
+  EXPECT_THROW(parse_tcp_endpoint("tcp://h:12x"), std::invalid_argument);
+}
+
+/// Restores an env var on scope exit.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* value = std::getenv(name);
+    if (value) previous_ = value;
+  }
+  ~EnvGuard() {
+    if (previous_) {
+      ::setenv(name_, previous_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> previous_;
+};
+
+TEST(NetConfigTest, EnvSelectsRemoteBackend) {
+  KvServer server;
+  server.start();
+  EnvGuard store_guard("ARMUS_STORE");
+  EnvGuard site_guard("ARMUS_SITE_ID");
+  EnvGuard scanner_guard("ARMUS_SCANNER");
+  std::string url = "tcp://127.0.0.1:" + std::to_string(server.port());
+  ::setenv("ARMUS_STORE", url.c_str(), 1);
+  ::setenv("ARMUS_SITE_ID", "5", 1);
+  ::setenv("ARMUS_SCANNER", "0", 1);
+
+  VerifierConfig config = verifier_config_from_env();
+  ASSERT_NE(config.store, nullptr);
+  auto shared = std::dynamic_pointer_cast<dist::SharedStore>(config.store);
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->site(), 5u);
+
+  // A Verifier built from the env config publishes straight into armus-kv.
+  Verifier verifier(config);
+  verifier.state().set_blocked(status(50, {{9, 1}}, {{9, 1}}));
+  auto slice = server.backing()->get_slice(5);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(dist::decode_statuses(slice->payload).size(), 1u);
+}
+
+TEST(NetConfigTest, UnsetEnvMeansLocalStore) {
+  EnvGuard store_guard("ARMUS_STORE");
+  ::unsetenv("ARMUS_STORE");
+  EXPECT_EQ(slice_store_from_env(), nullptr);
+}
+
+TEST(NetConfigTest, MalformedEnvThrows) {
+  EnvGuard store_guard("ARMUS_STORE");
+  ::setenv("ARMUS_STORE", "tcp://missing-port", 1);
+  EXPECT_THROW(slice_store_from_env(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace armus::net

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links resolve to real files.
+
+Usage: check_md_links.py [path ...]
+
+Each path is a markdown file or a directory to scan recursively for
+*.md. External links (http/https/mailto) are not fetched — CI must not
+depend on the internet — and pure same-file anchors (#section) are
+accepted. A relative link's target must exist on disk, relative to the
+file containing it. Exit status 1 when any link is broken.
+
+Stdlib only, so it runs identically in CI and on a bare dev box.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — excluding images' leading ! is unnecessary: image
+# targets must exist too. Stops at the first unescaped ')'.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def collect(paths):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.suffix == ".md":
+            yield path
+        else:
+            print(f"warning: skipping non-markdown argument {path}")
+
+
+def check_file(md: Path) -> list:
+    broken = []
+    text = md.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            if target.startswith("#"):
+                continue  # same-file anchor
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            if not (md.parent / rel).exists():
+                broken.append((md, lineno, target))
+    return broken
+
+
+def main(argv):
+    paths = argv[1:] or ["."]
+    files = list(collect(paths))
+    if not files:
+        print("error: no markdown files found")
+        return 1
+    broken = []
+    checked = 0
+    for md in files:
+        file_broken = check_file(md)
+        broken.extend(file_broken)
+        checked += 1
+    for md, lineno, target in broken:
+        print(f"{md}:{lineno}: broken link -> {target}")
+    print(f"checked {checked} markdown file(s): "
+          f"{'all links ok' if not broken else f'{len(broken)} broken'}")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
