@@ -1,0 +1,301 @@
+// Ablation for the incremental scan engine (epoch-versioned stores +
+// IncrementalChecker + change-skipping publishes + LIST_SLICES_SINCE-style
+// narrowed reads), emitting machine-readable JSON so successive PRs have a
+// perf trajectory.
+//
+// Three workloads:
+//   * steady_state_local — 1k blocked tasks, nothing changes between scans:
+//     every scan_now() is epoch-skipped (zero snapshot copies, zero graph
+//     builds), vs. the from-scratch snapshot+build baseline.
+//   * one_site_churn     — 8 sites over one in-process slice store, one
+//     site churns one task per round: the checking site fetches exactly
+//     the changed slice, the quiet sites skip their publishes, and the
+//     churning site publishes codec deltas.
+//   * full_churn         — every site changes every round: the worst case,
+//     nothing skippable, everything still correct.
+//
+// Counters (not wall-clock) carry the guarantees; tools/check_bench_json.py
+// asserts them in CI. Wall-clock numbers are reported for the trajectory.
+//
+// Usage: micro_incremental_scan [output.json]
+//        (default output: BENCH_incremental_scan.json)
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/verifier.h"
+#include "dist/site.h"
+
+namespace {
+
+using namespace armus;
+using Clock = std::chrono::steady_clock;
+
+double ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+BlockedStatus chain_status(TaskId task, PhaserUid phaser, PhaserUid next,
+                           Phase wait_phase) {
+  // Task waits on its own phaser's next phase (having arrived) and lags one
+  // phase behind on the next phaser: an acyclic SG chain, ~1 edge per task,
+  // no deadlock — the steady shape of a healthy barrier program.
+  BlockedStatus s;
+  s.task = task;
+  s.waits.push_back(Resource{phaser, wait_phase});
+  s.registered.push_back({phaser, wait_phase});
+  if (next != 0) s.registered.push_back({next, 0});
+  return s;
+}
+
+std::string json_escape_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+/// Tiny JSON assembler: objects only ever hold numbers, strings, and one
+/// nested "counters" object — no external dependency needed.
+class JsonObject {
+ public:
+  void add(const std::string& key, std::uint64_t value) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(value));
+  }
+  void add(const std::string& key, double value) {
+    fields_.push_back("\"" + key + "\": " + json_escape_num(value));
+  }
+  void add(const std::string& key, const std::string& value) {
+    fields_.push_back("\"" + key + "\": \"" + value + "\"");
+  }
+  void add_raw(const std::string& key, const std::string& raw) {
+    fields_.push_back("\"" + key + "\": " + raw);
+  }
+  [[nodiscard]] std::string str(int indent) const {
+    std::string pad(indent, ' ');
+    std::string inner_pad(indent + 2, ' ');
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += inner_pad + fields_[i];
+      if (i + 1 < fields_.size()) out += ",";
+      out += "\n";
+    }
+    return out + pad + "}";
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+JsonObject steady_state_local() {
+  constexpr std::size_t kTasks = 1000;
+  constexpr std::size_t kScans = 500;
+  constexpr std::size_t kBaselineScans = 50;
+
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.scanner_enabled = false;  // driven synchronously below
+  Verifier verifier(config);
+  for (std::size_t i = 1; i <= kTasks; ++i) {
+    PhaserUid p = static_cast<PhaserUid>(i);
+    PhaserUid next = i < kTasks ? static_cast<PhaserUid>(i + 1) : 0;
+    verifier.state().set_blocked(chain_status(static_cast<TaskId>(i), p, next, 1));
+  }
+
+  // From-scratch baseline: what every scan used to cost.
+  auto t0 = Clock::now();
+  for (std::size_t i = 0; i < kBaselineScans; ++i) {
+    auto snapshot = verifier.current_snapshot();
+    CheckResult result = check_deadlocks(snapshot, config.model);
+    if (result.deadlocked()) std::abort();  // the chain must be acyclic
+  }
+  auto t1 = Clock::now();
+  double scratch_ns = ns_between(t0, t1) / kBaselineScans;
+
+  verifier.scan_now();  // prime: first scan builds the graph once
+  verifier.reset_stats();
+
+  auto t2 = Clock::now();
+  for (std::size_t i = 0; i < kScans; ++i) verifier.scan_now();
+  auto t3 = Clock::now();
+  double incremental_ns = ns_between(t2, t3) / kScans;
+
+  Verifier::Stats stats = verifier.stats();
+  JsonObject counters;
+  counters.add("scans", static_cast<std::uint64_t>(kScans));
+  counters.add("scans_skipped", stats.scans_skipped);
+  counters.add("graphs_built", stats.graphs_built);
+  counters.add("checks", stats.checks);
+
+  JsonObject out;
+  out.add("name", std::string("steady_state_local"));
+  out.add("tasks", static_cast<std::uint64_t>(kTasks));
+  out.add("scans", static_cast<std::uint64_t>(kScans));
+  out.add("from_scratch_ns_per_scan", scratch_ns);
+  out.add("incremental_ns_per_scan", incremental_ns);
+  out.add("speedup", incremental_ns > 0 ? scratch_ns / incremental_ns : 0.0);
+  out.add_raw("counters", counters.str(4));
+  return out;
+}
+
+struct ChurnSetup {
+  std::shared_ptr<dist::Store> store;
+  std::vector<std::unique_ptr<dist::Site>> sites;
+};
+
+ChurnSetup make_cluster(std::size_t site_count, std::size_t tasks_per_site) {
+  ChurnSetup setup;
+  setup.store = std::make_shared<dist::Store>();
+  for (std::size_t s = 0; s < site_count; ++s) {
+    dist::Site::Config config;
+    config.id = static_cast<dist::SiteId>(s);
+    setup.sites.push_back(
+        std::make_unique<dist::Site>(config, setup.store));
+    for (std::size_t t = 0; t < tasks_per_site; ++t) {
+      TaskId task = static_cast<TaskId>(s * 1000 + t + 1);
+      PhaserUid p = static_cast<PhaserUid>(s * 1000 + t + 1);
+      setup.sites.back()->verifier().state().set_blocked(
+          chain_status(task, p, 0, 1));
+    }
+    setup.sites.back()->publish_now();
+  }
+  return setup;
+}
+
+void churn_task(dist::Site& site, dist::SiteId site_id, std::size_t round) {
+  // Re-block one task with an alternating wait phase (2, 1, 2, ... — the
+  // initial state is phase 1): a genuine change every round.
+  TaskId task = static_cast<TaskId>(site_id * 1000 + 1);
+  PhaserUid p = static_cast<PhaserUid>(site_id * 1000 + 1);
+  site.verifier().state().set_blocked(
+      chain_status(task, p, 0, 2 - (round % 2)));
+}
+
+JsonObject one_site_churn() {
+  constexpr std::size_t kSites = 8;
+  constexpr std::size_t kTasksPerSite = 64;
+  constexpr std::size_t kRounds = 100;
+  constexpr std::size_t kSteadyRounds = 100;
+
+  ChurnSetup setup = make_cluster(kSites, kTasksPerSite);
+  dist::Site& churner = *setup.sites[0];
+  dist::Site& checker = *setup.sites[1];
+
+  checker.check_now();  // bootstrap: fetches all kSites slices once
+  std::uint64_t fetched_before = checker.stats().slices_fetched;
+
+  auto t0 = Clock::now();
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    churn_task(churner, 0, round);
+    for (auto& site : setup.sites) site->publish_now();
+    checker.check_now();
+  }
+  auto t1 = Clock::now();
+
+  std::uint64_t fetched_churn =
+      checker.stats().slices_fetched - fetched_before;
+
+  // Steady phase: nobody changes anything; publishes and checks all skip.
+  for (std::size_t round = 0; round < kSteadyRounds; ++round) {
+    for (auto& site : setup.sites) site->publish_now();
+    checker.check_now();
+  }
+
+  std::uint64_t quiet_skips = 0;
+  for (std::size_t s = 1; s < kSites; ++s) {
+    quiet_skips += setup.sites[s]->stats().publishes_skipped;
+  }
+
+  JsonObject counters;
+  counters.add("changed_slices", static_cast<std::uint64_t>(kRounds));
+  counters.add("slices_fetched_during_churn", fetched_churn);
+  counters.add("churner_delta_publishes", churner.stats().delta_publishes);
+  counters.add("churner_publishes_skipped", churner.stats().publishes_skipped);
+  counters.add("quiet_site_publishes_skipped", quiet_skips);
+  counters.add("checker_checks_skipped", checker.stats().checks_skipped);
+  counters.add("store_failures", checker.stats().store_failures);
+
+  JsonObject out;
+  out.add("name", std::string("one_site_churn"));
+  out.add("sites", static_cast<std::uint64_t>(kSites));
+  out.add("tasks_per_site", static_cast<std::uint64_t>(kTasksPerSite));
+  out.add("rounds", static_cast<std::uint64_t>(kRounds));
+  out.add("steady_rounds", static_cast<std::uint64_t>(kSteadyRounds));
+  out.add("ns_per_churn_round", ns_between(t0, t1) / kRounds);
+  out.add_raw("counters", counters.str(4));
+  return out;
+}
+
+JsonObject full_churn() {
+  constexpr std::size_t kSites = 8;
+  constexpr std::size_t kTasksPerSite = 64;
+  constexpr std::size_t kRounds = 50;
+
+  ChurnSetup setup = make_cluster(kSites, kTasksPerSite);
+  dist::Site& checker = *setup.sites[0];
+  checker.check_now();
+  std::uint64_t fetched_before = checker.stats().slices_fetched;
+
+  auto t0 = Clock::now();
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    for (std::size_t s = 0; s < kSites; ++s) {
+      churn_task(*setup.sites[s], static_cast<dist::SiteId>(s), round);
+      setup.sites[s]->publish_now();
+    }
+    checker.check_now();
+  }
+  auto t1 = Clock::now();
+
+  JsonObject counters;
+  counters.add("changed_slices", static_cast<std::uint64_t>(kSites * kRounds));
+  counters.add("slices_fetched_during_churn",
+               checker.stats().slices_fetched - fetched_before);
+  counters.add("checker_checks_skipped", checker.stats().checks_skipped);
+  counters.add("store_failures", checker.stats().store_failures);
+
+  JsonObject out;
+  out.add("name", std::string("full_churn"));
+  out.add("sites", static_cast<std::uint64_t>(kSites));
+  out.add("tasks_per_site", static_cast<std::uint64_t>(kTasksPerSite));
+  out.add("rounds", static_cast<std::uint64_t>(kRounds));
+  out.add("ns_per_churn_round", ns_between(t0, t1) / kRounds);
+  out.add_raw("counters", counters.str(4));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = argc > 1 ? argv[1] : "BENCH_incremental_scan.json";
+
+  std::vector<JsonObject> workloads;
+  workloads.push_back(steady_state_local());
+  workloads.push_back(one_site_churn());
+  workloads.push_back(full_churn());
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"armus.bench.incremental_scan.v1\",\n"
+       << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    json << "    " << workloads[i].str(4);
+    if (i + 1 < workloads.size()) json << ",";
+    json << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << json.str();
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}

@@ -7,60 +7,7 @@
 
 namespace armus {
 
-namespace {
-
 using graph::Node;
-
-/// Flags per SCC: true when the component is cyclic (size >= 2 or self-loop).
-std::vector<bool> cyclic_flags(const graph::DiGraph& g,
-                               const graph::SccResult& scc) {
-  std::vector<std::size_t> sizes(scc.count, 0);
-  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
-    ++sizes[static_cast<std::size_t>(scc.component[v])];
-  }
-  std::vector<bool> cyclic(scc.count, false);
-  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
-    std::size_t c = static_cast<std::size_t>(scc.component[v]);
-    if (sizes[c] >= 2) {
-      cyclic[c] = true;
-    } else {
-      auto edges = g.out(static_cast<Node>(v));
-      if (std::find(edges.begin(), edges.end(), static_cast<Node>(v)) !=
-          edges.end()) {
-        cyclic[c] = true;
-      }
-    }
-  }
-  return cyclic;
-}
-
-/// True iff a DFS from any of `starts` reaches a node in a cyclic SCC.
-bool reaches_cycle(const graph::DiGraph& g, const std::vector<Node>& starts) {
-  graph::SccResult scc = graph::strongly_connected_components(g);
-  std::vector<bool> cyclic = cyclic_flags(g, scc);
-  std::vector<bool> visited(g.num_nodes(), false);
-  std::vector<Node> stack;
-  for (Node s : starts) {
-    if (!visited[static_cast<std::size_t>(s)]) {
-      visited[static_cast<std::size_t>(s)] = true;
-      stack.push_back(s);
-    }
-  }
-  while (!stack.empty()) {
-    Node v = stack.back();
-    stack.pop_back();
-    if (cyclic[static_cast<std::size_t>(scc.component[v])]) return true;
-    for (Node w : g.out(v)) {
-      if (!visited[static_cast<std::size_t>(w)]) {
-        visited[static_cast<std::size_t>(w)] = true;
-        stack.push_back(w);
-      }
-    }
-  }
-  return false;
-}
-
-}  // namespace
 
 DeadlockReport make_report(const BuiltGraph& built,
                            std::span<const BlockedStatus> snapshot,
@@ -103,24 +50,27 @@ DeadlockReport make_report(const BuiltGraph& built,
   return report;
 }
 
-CheckResult check_deadlocks(std::span<const BlockedStatus> snapshot,
-                            GraphModel model) {
+CheckResult check_deadlocks(const BuiltGraph& built,
+                            std::span<const BlockedStatus> snapshot) {
   CheckResult result;
-  if (snapshot.empty()) return result;
-
-  BuiltGraph built = build_graph(snapshot, model);
   result.model_used = built.model;
   result.nodes = built.nodes();
   result.edges = built.edges();
-
-  for (const auto& component : graph::cyclic_components(built.graph)) {
+  for (const auto& component : built.analysis().cyclic_components()) {
     result.reports.push_back(make_report(built, snapshot, component));
   }
   return result;
 }
 
+CheckResult check_deadlocks(std::span<const BlockedStatus> snapshot,
+                            GraphModel model) {
+  if (snapshot.empty()) return CheckResult{};
+  return check_deadlocks(build_graph(snapshot, model), snapshot);
+}
+
 bool task_is_doomed(const BuiltGraph& built,
                     std::span<const BlockedStatus> snapshot, TaskId task) {
+  const GraphAnalysis& analysis = built.analysis();
   std::vector<Node> starts;
   if (built.model == GraphModel::kSg) {
     // Start from the events the task waits on.
@@ -132,25 +82,17 @@ bool task_is_doomed(const BuiltGraph& built,
       }
     }
     if (status == nullptr) return false;
-    std::unordered_map<Resource, Node, ResourceHash> ids;
-    for (std::size_t v = 0; v < built.resources.size(); ++v) {
-      ids.emplace(built.resources[v], static_cast<Node>(v));
-    }
     for (const Resource& r : status->waits) {
-      auto it = ids.find(r);
-      if (it != ids.end()) starts.push_back(it->second);
+      auto it = analysis.resource_nodes.find(r);
+      if (it != analysis.resource_nodes.end()) starts.push_back(it->second);
     }
   } else {
     // WFG / GRG: start from the task's own node.
-    for (std::size_t v = 0; v < built.tasks.size(); ++v) {
-      if (built.tasks[v] == task) {
-        starts.push_back(static_cast<Node>(v));
-        break;
-      }
-    }
+    auto it = analysis.task_nodes.find(task);
+    if (it != analysis.task_nodes.end()) starts.push_back(it->second);
   }
   if (starts.empty()) return false;
-  return reaches_cycle(built.graph, starts);
+  return analysis.reaches_cycle(built.graph, starts);
 }
 
 }  // namespace armus

@@ -27,6 +27,13 @@ struct CheckResult {
 CheckResult check_deadlocks(std::span<const BlockedStatus> snapshot,
                             GraphModel model);
 
+/// Analyses an already-built graph (the incremental maintainer's path —
+/// core/incremental_checker.h — and any caller holding a BuiltGraph).
+/// Cycle enumeration runs off `built.analysis()`, so repeated calls on one
+/// graph share a single SCC computation.
+CheckResult check_deadlocks(const BuiltGraph& built,
+                            std::span<const BlockedStatus> snapshot);
+
 /// True iff `task` can never unblock given this snapshot: its node (WFG) or
 /// one of its waited events (SG) reaches a cycle. This is the avoidance-mode
 /// test (§5) and mirrors Theorem 4.15's "there exists a cycle reachable

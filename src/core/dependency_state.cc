@@ -7,13 +7,21 @@ namespace armus {
 void DependencyState::set_blocked(BlockedStatus status) {
   Shard& shard = shard_for(status.task);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.blocked[status.task] = std::move(status);
+  auto [it, inserted] = shard.blocked.try_emplace(status.task);
+  // Only a mutation that alters the contents advances the epoch: avoidance
+  // rechecks re-publish identical statuses every few milliseconds, and those
+  // must not make the periodic scanner rebuild an unchanged graph.
+  if (!inserted && it->second == status) return;
+  it->second = std::move(status);
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void DependencyState::clear_blocked(TaskId task) {
   Shard& shard = shard_for(task);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.blocked.erase(task);
+  if (shard.blocked.erase(task) > 0) {
+    version_.fetch_add(1, std::memory_order_acq_rel);
+  }
 }
 
 std::vector<BlockedStatus> DependencyState::snapshot() const {
@@ -41,8 +49,15 @@ std::size_t DependencyState::blocked_count() const {
 void DependencyState::clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.blocked.clear();
+    if (!shard.blocked.empty()) {
+      shard.blocked.clear();
+      version_.fetch_add(1, std::memory_order_acq_rel);
+    }
   }
+}
+
+std::uint64_t DependencyState::version() const {
+  return version_.load(std::memory_order_acquire);
 }
 
 }  // namespace armus

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <unordered_map>
@@ -31,6 +32,12 @@ class DependencyState final : public StateStore {
   [[nodiscard]] std::size_t blocked_count() const override;
   void clear() override;
 
+  /// Change epoch (always versioned, starts at 1): bumped only by mutations
+  /// that actually alter the contents, so an avoidance-mode task
+  /// re-publishing its unchanged status keeps the epoch stable and periodic
+  /// scans stay skippable.
+  [[nodiscard]] std::uint64_t version() const override;
+
  private:
   static constexpr std::size_t kShards = 16;
 
@@ -43,6 +50,7 @@ class DependencyState final : public StateStore {
   const Shard& shard_for(TaskId task) const { return shards_[task % kShards]; }
 
   std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> version_{1};
 };
 
 }  // namespace armus

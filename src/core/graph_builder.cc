@@ -15,6 +15,13 @@ using graph::Node;
 /// (a snapshot never holds 2^32 tasks), so an edge packs into one word.
 class EdgeSet {
  public:
+  /// `expected_tasks` sizes the hash table up front: blocked tasks
+  /// contribute a few edges each in the common (sparse) shapes, so one
+  /// rehash-free reservation covers the whole build.
+  explicit EdgeSet(std::size_t expected_tasks) {
+    seen_.reserve(expected_tasks * 2);
+  }
+
   bool insert(Node u, Node v) {
     std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u))
                          << 32) |
@@ -47,6 +54,11 @@ struct WaitIndex {
   }
 
   explicit WaitIndex(std::span<const BlockedStatus> snapshot) {
+    std::size_t total_waits = 0;
+    for (const BlockedStatus& status : snapshot) total_waits += status.waits.size();
+    ids.reserve(total_waits);
+    resources.reserve(total_waits);
+    by_phaser.reserve(total_waits);
     for (const BlockedStatus& status : snapshot) {
       for (const Resource& r : status.waits) {
         Node node = intern(r);
@@ -100,13 +112,14 @@ bool build_sg_into(std::span<const BlockedStatus> snapshot, BuiltGraph& out,
   out.model = GraphModel::kSg;
   out.resources = index.resources;
   out.graph = graph::DiGraph(index.resources.size());
-  EdgeSet edges;
+  EdgeSet edges(snapshot.size());
 
   std::size_t tasks_processed = 0;
+  std::vector<Node> waited_nodes;  // hoisted: one allocation for the build
   for (const BlockedStatus& status : snapshot) {
     ++tasks_processed;
     // Edges (r1, r2) for every r1 impeded by this task and r2 it waits on.
-    std::vector<Node> waited_nodes;
+    waited_nodes.clear();
     waited_nodes.reserve(status.waits.size());
     for (const Resource& r : status.waits) waited_nodes.push_back(index.ids.at(r));
 
@@ -150,6 +163,83 @@ std::string BuiltGraph::label(graph::Node v) const {
   return to_string(resources[static_cast<std::size_t>(v) - tasks.size()]);
 }
 
+std::vector<std::vector<Node>> GraphAnalysis::cyclic_components() const {
+  std::vector<std::vector<Node>> members(scc.count);
+  for (std::size_t v = 0; v < scc.component.size(); ++v) {
+    std::size_t c = static_cast<std::size_t>(scc.component[v]);
+    if (cyclic[c]) members[c].push_back(static_cast<Node>(v));
+  }
+  std::vector<std::vector<Node>> out;
+  for (auto& group : members) {
+    if (!group.empty()) out.push_back(std::move(group));
+  }
+  return out;
+}
+
+bool GraphAnalysis::reaches_cycle(const graph::DiGraph& g,
+                                  std::span<const Node> starts) const {
+  std::vector<bool> visited(g.num_nodes(), false);
+  std::vector<Node> stack;
+  for (Node s : starts) {
+    if (!visited[static_cast<std::size_t>(s)]) {
+      visited[static_cast<std::size_t>(s)] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    Node v = stack.back();
+    stack.pop_back();
+    if (cyclic[static_cast<std::size_t>(scc.component[v])]) return true;
+    for (Node w : g.out(v)) {
+      if (!visited[static_cast<std::size_t>(w)]) {
+        visited[static_cast<std::size_t>(w)] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+const GraphAnalysis& BuiltGraph::analysis() const {
+  if (analysis_) return *analysis_;
+  auto computed = std::make_shared<GraphAnalysis>();
+  computed->scc = graph::strongly_connected_components(graph);
+
+  // Per-SCC cyclic flags: size >= 2, or a singleton carrying a self-loop.
+  std::vector<std::size_t> sizes(computed->scc.count, 0);
+  for (std::size_t v = 0; v < graph.num_nodes(); ++v) {
+    ++sizes[static_cast<std::size_t>(computed->scc.component[v])];
+  }
+  computed->cyclic.assign(computed->scc.count, false);
+  for (std::size_t v = 0; v < graph.num_nodes(); ++v) {
+    std::size_t c = static_cast<std::size_t>(computed->scc.component[v]);
+    if (sizes[c] >= 2) {
+      computed->cyclic[c] = true;
+    } else {
+      auto edges = graph.out(static_cast<Node>(v));
+      if (std::find(edges.begin(), edges.end(), static_cast<Node>(v)) !=
+          edges.end()) {
+        computed->cyclic[c] = true;
+      }
+    }
+  }
+
+  computed->task_nodes.reserve(tasks.size());
+  for (std::size_t v = 0; v < tasks.size(); ++v) {
+    computed->task_nodes.emplace(tasks[v], static_cast<Node>(v));
+  }
+  computed->resource_nodes.reserve(resources.size());
+  for (std::size_t v = 0; v < resources.size(); ++v) {
+    // Resource nodes follow the task nodes (for the SG, tasks is empty and
+    // the offset is zero).
+    computed->resource_nodes.emplace(resources[v],
+                                     static_cast<Node>(v + tasks.size()));
+  }
+
+  analysis_ = std::move(computed);
+  return *analysis_;
+}
+
 BuiltGraph build_wfg(std::span<const BlockedStatus> snapshot) {
   BuiltGraph out;
   out.model = GraphModel::kWfg;
@@ -169,7 +259,7 @@ BuiltGraph build_wfg(std::span<const BlockedStatus> snapshot) {
     }
   }
 
-  EdgeSet edges;
+  EdgeSet edges(snapshot.size());
   for (const BlockedStatus& status : snapshot) {
     Node impeder = nodes.at(status.task);
     for (const RegEntry& reg : status.registered) {
@@ -200,7 +290,7 @@ BuiltGraph build_grg(std::span<const BlockedStatus> snapshot) {
   out.graph = graph::DiGraph(snapshot.size() + index.resources.size());
   const Node resource_base = static_cast<Node>(snapshot.size());
 
-  EdgeSet edges;
+  EdgeSet edges(snapshot.size());
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
     const BlockedStatus& status = snapshot[i];
     Node task_node = static_cast<Node>(i);

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/blocked_status.h"
+#include "graph/cycle.h"
 #include "graph/digraph.h"
 
 /// Construction of the three graph models of §4.2 from a snapshot of blocked
@@ -26,6 +29,29 @@ std::string to_string(GraphModel model);
 
 /// Parses "wfg" / "sg" / "grg" / "auto" (used by ARMUS_GRAPH_MODEL).
 GraphModel graph_model_from_string(const std::string& name);
+
+/// Cycle analysis of a BuiltGraph, computed once and reused: SCCs, the
+/// per-component cyclic flags, and the payload→node indices. Avoidance-mode
+/// doom checks used to rebuild all three per query (SCC per reaches-cycle
+/// call, a resource→node map per SG query, a linear task scan per WFG
+/// query); with the cache a doom check is one indexed lookup plus one DFS —
+/// O(reachability) per query.
+struct GraphAnalysis {
+  graph::SccResult scc;
+  /// Per SCC: true when the component is cyclic (size >= 2 or a self-loop).
+  std::vector<bool> cyclic;
+  /// Node id of each task payload (WFG and GRG task nodes).
+  std::unordered_map<TaskId, graph::Node> task_nodes;
+  /// Node id of each resource payload (SG and GRG resource nodes).
+  std::unordered_map<Resource, graph::Node, ResourceHash> resource_nodes;
+
+  /// The members of every cyclic SCC (the independent deadlocks).
+  [[nodiscard]] std::vector<std::vector<graph::Node>> cyclic_components() const;
+
+  /// True iff a DFS over `g` from any of `starts` reaches a cyclic SCC.
+  [[nodiscard]] bool reaches_cycle(const graph::DiGraph& g,
+                                   std::span<const graph::Node> starts) const;
+};
 
 /// A constructed graph plus the payload mapping from dense node ids back to
 /// tasks/resources. For the WFG all nodes are tasks; for the SG all nodes
@@ -52,6 +78,15 @@ struct BuiltGraph {
 
   /// Display label for node `v` (task or resource).
   [[nodiscard]] std::string label(graph::Node v) const;
+
+  /// The cycle analysis of this graph, computed lazily on first use and
+  /// cached (the graph is immutable once built). Not internally
+  /// synchronised: callers sharing one BuiltGraph across threads hold their
+  /// own lock, as the Verifier does.
+  [[nodiscard]] const GraphAnalysis& analysis() const;
+
+ private:
+  mutable std::shared_ptr<const GraphAnalysis> analysis_;
 };
 
 /// Wait-For Graph (Definition 4.2): edge t1 -> t2 iff some r in W(t1) is

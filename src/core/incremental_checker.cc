@@ -1,0 +1,502 @@
+#include "core/incremental_checker.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace armus {
+
+namespace {
+
+using graph::Node;
+
+/// Sorted multiset of (phase, task) registration occurrences on one phaser:
+/// "every occurrence with phase < n" is the range [begin, lower_bound(n)).
+using ImpederSet = std::multiset<std::pair<Phase, TaskId>>;
+
+}  // namespace
+
+/// One incrementally maintained graph. All three §4.2 models share the same
+/// machinery: interned node ids with free lists (stable while a payload is
+/// live), the wait/impeder indices, and a counted edge multiset — an edge
+/// exists while at least one (task occurrence, wait/registration occurrence)
+/// pair implies it, so add_task/remove_task are exact inverses.
+class IncrementalChecker::Core {
+ public:
+  explicit Core(GraphModel model) : model_(model) {}
+
+  using Current = std::map<TaskId, BlockedStatus>;
+
+  void add_task(const BlockedStatus& s, const Current& current) {
+    switch (model_) {
+      case GraphModel::kSg: add_sg(s, current); return;
+      case GraphModel::kWfg: add_wfg(s); return;
+      case GraphModel::kGrg: add_grg(s); return;
+      case GraphModel::kAuto: break;
+    }
+  }
+
+  void remove_task(const BlockedStatus& s, const Current& current) {
+    switch (model_) {
+      case GraphModel::kSg: remove_sg(s, current); return;
+      case GraphModel::kWfg: remove_wfg(s); return;
+      case GraphModel::kGrg: remove_grg(s); return;
+      case GraphModel::kAuto: break;
+    }
+  }
+
+  void clear() {
+    task_ids_.clear();
+    task_slots_.clear();
+    task_free_.clear();
+    resource_ids_.clear();
+    resource_slots_.clear();
+    resource_free_.clear();
+    edges_.clear();
+    waited_count_.clear();
+    waited_by_phaser_.clear();
+    impeders_.clear();
+    waiters_.clear();
+  }
+
+  [[nodiscard]] std::size_t unique_edges() const { return edges_.size(); }
+
+  /// Dense, deterministic materialisation: task nodes sorted by id first,
+  /// resource nodes sorted by (phaser, phase) after — the same payload sets
+  /// (and therefore the same CheckResult) as the from-scratch builder.
+  [[nodiscard]] BuiltGraph materialise() const {
+    BuiltGraph out;
+    out.model = model_;
+
+    out.tasks.reserve(task_ids_.size());
+    for (const auto& [task, id] : task_ids_) out.tasks.push_back(task);
+    std::sort(out.tasks.begin(), out.tasks.end());
+
+    out.resources.reserve(resource_ids_.size());
+    for (const auto& [resource, id] : resource_ids_) out.resources.push_back(resource);
+    std::sort(out.resources.begin(), out.resources.end());
+
+    std::vector<Node> task_dense(task_slots_.size(), -1);
+    for (std::size_t i = 0; i < out.tasks.size(); ++i) {
+      task_dense[task_ids_.at(out.tasks[i])] = static_cast<Node>(i);
+    }
+    std::vector<Node> resource_dense(resource_slots_.size(), -1);
+    for (std::size_t i = 0; i < out.resources.size(); ++i) {
+      resource_dense[resource_ids_.at(out.resources[i])] =
+          static_cast<Node>(i + out.tasks.size());
+    }
+
+    out.graph = graph::DiGraph(out.tasks.size() + out.resources.size());
+    std::vector<std::pair<Node, Node>> edges;
+    edges.reserve(edges_.size());
+    for (const auto& [key, count] : edges_) {
+      std::uint32_t uk = static_cast<std::uint32_t>(key >> 32);
+      std::uint32_t vk = static_cast<std::uint32_t>(key);
+      edges.emplace_back(dense_of(uk, task_dense, resource_dense),
+                         dense_of(vk, task_dense, resource_dense));
+    }
+    std::sort(edges.begin(), edges.end());
+    for (const auto& [u, v] : edges) out.graph.add_edge(u, v);
+    return out;
+  }
+
+ private:
+  /// Tag bit distinguishing resource ids from task ids inside edge keys
+  /// (the GRG mixes both kinds in one graph).
+  static constexpr std::uint32_t kResourceTag = 0x80000000u;
+
+  static Node dense_of(std::uint32_t key, const std::vector<Node>& task_dense,
+                       const std::vector<Node>& resource_dense) {
+    return (key & kResourceTag) ? resource_dense[key & ~kResourceTag]
+                                : task_dense[key];
+  }
+
+  // --- node interning (persistent ids, reused via free lists) -------------
+
+  std::uint32_t acquire_task(TaskId task) {
+    std::uint32_t id;
+    if (task_free_.empty()) {
+      id = static_cast<std::uint32_t>(task_slots_.size());
+      task_slots_.push_back(task);
+    } else {
+      id = task_free_.back();
+      task_free_.pop_back();
+      task_slots_[id] = task;
+    }
+    task_ids_.emplace(task, id);
+    return id;
+  }
+
+  void release_task(TaskId task) {
+    auto it = task_ids_.find(task);
+    task_free_.push_back(it->second);
+    task_ids_.erase(it);
+  }
+
+  std::uint32_t acquire_resource(const Resource& r) {
+    std::uint32_t id;
+    if (resource_free_.empty()) {
+      id = static_cast<std::uint32_t>(resource_slots_.size());
+      resource_slots_.push_back(r);
+    } else {
+      id = resource_free_.back();
+      resource_free_.pop_back();
+      resource_slots_[id] = r;
+    }
+    resource_ids_.emplace(r, id);
+    return id;
+  }
+
+  void release_resource(const Resource& r) {
+    auto it = resource_ids_.find(r);
+    resource_free_.push_back(it->second);
+    resource_ids_.erase(it);
+  }
+
+  [[nodiscard]] std::uint32_t task_key(TaskId task) const {
+    return task_ids_.at(task);
+  }
+  [[nodiscard]] std::uint32_t resource_key(const Resource& r) const {
+    return resource_ids_.at(r) | kResourceTag;
+  }
+
+  // --- counted edges -------------------------------------------------------
+
+  static std::uint64_t pack(std::uint32_t u, std::uint32_t v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  void add_edge(std::uint32_t u, std::uint32_t v) { ++edges_[pack(u, v)]; }
+
+  void remove_edge(std::uint32_t u, std::uint32_t v) {
+    auto it = edges_.find(pack(u, v));
+    if (--it->second == 0) edges_.erase(it);
+  }
+
+  // --- index helpers -------------------------------------------------------
+
+  /// Invokes fn(task) once per registration occurrence on `phaser` with a
+  /// local phase strictly below `phase` — the tasks impeding event
+  /// (phaser, phase), one call per occurrence.
+  template <typename Fn>
+  void for_each_impeder(PhaserUid phaser, Phase phase, Fn&& fn) const {
+    auto it = impeders_.find(phaser);
+    if (it == impeders_.end()) return;
+    auto end = it->second.lower_bound({phase, 0});
+    for (auto imp = it->second.begin(); imp != end; ++imp) fn(imp->second);
+  }
+
+  /// Invokes fn(resource) for every currently waited event on `phaser` with
+  /// a phase strictly greater than `local_phase` — the events the
+  /// registration (phaser, local_phase) impedes.
+  template <typename Fn>
+  void for_each_impeded(PhaserUid phaser, Phase local_phase, Fn&& fn) const {
+    auto it = waited_by_phaser_.find(phaser);
+    if (it == waited_by_phaser_.end()) return;
+    for (auto ev = it->second.upper_bound(local_phase); ev != it->second.end();
+         ++ev) {
+      fn(ev->second);
+    }
+  }
+
+  void index_wait(const Resource& r) {
+    waited_by_phaser_[r.phaser].emplace(r.phase, r);
+  }
+
+  void unindex_wait(const Resource& r) {
+    auto it = waited_by_phaser_.find(r.phaser);
+    it->second.erase(r.phase);
+    if (it->second.empty()) waited_by_phaser_.erase(it);
+  }
+
+  void index_reg(const RegEntry& reg, TaskId task) {
+    impeders_[reg.phaser].insert({reg.local_phase, task});
+  }
+
+  void unindex_reg(const RegEntry& reg, TaskId task) {
+    auto it = impeders_.find(reg.phaser);
+    it->second.erase(it->second.find({reg.local_phase, task}));
+    if (it->second.empty()) impeders_.erase(it);
+  }
+
+  // --- SG: edges (r1, r2) — r1 impeded by a task that waits on r2 ---------
+  //
+  // Contribution accounting: edge (e, w) carries one count per
+  // (registration occurrence impeding e, wait occurrence w) pair over live
+  // tasks, gated on e being waited. A pair is added at the later of "the
+  // impeding task appears" / "e enters the wait index", and removed at the
+  // earlier of the mirrored events — add and remove below are exact
+  // inverses of each other.
+
+  void add_sg(const BlockedStatus& s, const Current& current) {
+    // Waits into the index first: an event entering the index picks up the
+    // contributions of every existing impeder. s itself is not registered
+    // yet, so its own contributions cannot be double counted.
+    for (const Resource& r : s.waits) {
+      if (waited_count_[r]++ == 0) {
+        std::uint32_t rn = acquire_resource(r) | kResourceTag;
+        index_wait(r);
+        for_each_impeder(r.phaser, r.phase, [&](TaskId v) {
+          for (const Resource& w : current.at(v).waits) {
+            add_edge(rn, resource_key(w));
+          }
+        });
+      }
+    }
+    // Own registrations: every impeded waited event (including s's own
+    // waits) gains edges to s's waits.
+    for (const RegEntry& reg : s.registered) {
+      index_reg(reg, s.task);
+      for_each_impeded(reg.phaser, reg.local_phase, [&](const Resource& e) {
+        std::uint32_t en = resource_key(e);
+        for (const Resource& w : s.waits) add_edge(en, resource_key(w));
+      });
+    }
+  }
+
+  void remove_sg(const BlockedStatus& s, const Current& current) {
+    for (const RegEntry& reg : s.registered) {
+      for_each_impeded(reg.phaser, reg.local_phase, [&](const Resource& e) {
+        std::uint32_t en = resource_key(e);
+        for (const Resource& w : s.waits) remove_edge(en, resource_key(w));
+      });
+      unindex_reg(reg, s.task);
+    }
+    for (const Resource& r : s.waits) {
+      auto count = waited_count_.find(r);
+      if (--count->second == 0) {
+        std::uint32_t rn = resource_key(r);
+        for_each_impeder(r.phaser, r.phase, [&](TaskId v) {
+          for (const Resource& w : current.at(v).waits) {
+            remove_edge(rn, resource_key(w));
+          }
+        });
+        unindex_wait(r);
+        waited_count_.erase(count);
+        release_resource(r);
+      }
+    }
+  }
+
+  // --- WFG: edges (t1, t2) — t1 waits on an event t2 impedes --------------
+
+  void add_wfg(const BlockedStatus& s) {
+    std::uint32_t un = acquire_task(s.task);
+    // As waiter: one contribution per (wait occurrence, existing
+    // registration occurrence impeding it).
+    for (const Resource& r : s.waits) {
+      for_each_impeder(r.phaser, r.phase,
+                       [&](TaskId v) { add_edge(un, task_key(v)); });
+      if (waited_count_[r]++ == 0) index_wait(r);
+      waiters_[r].insert(s.task);
+    }
+    // As impeder: one contribution per (registration occurrence, existing
+    // wait occurrence it impedes) — s's own waits are indexed by now, so a
+    // task impeding its own wait yields its self-loop here, exactly once.
+    for (const RegEntry& reg : s.registered) {
+      index_reg(reg, s.task);
+      for_each_impeded(reg.phaser, reg.local_phase, [&](const Resource& e) {
+        for (TaskId t : waiters_.at(e)) add_edge(task_key(t), un);
+      });
+    }
+  }
+
+  void remove_wfg(const BlockedStatus& s) {
+    std::uint32_t un = task_key(s.task);
+    for (const RegEntry& reg : s.registered) {
+      for_each_impeded(reg.phaser, reg.local_phase, [&](const Resource& e) {
+        for (TaskId t : waiters_.at(e)) remove_edge(task_key(t), un);
+      });
+      unindex_reg(reg, s.task);
+    }
+    for (const Resource& r : s.waits) {
+      for_each_impeder(r.phaser, r.phase,
+                       [&](TaskId v) { remove_edge(un, task_key(v)); });
+      auto ws = waiters_.find(r);
+      ws->second.erase(ws->second.find(s.task));
+      if (ws->second.empty()) waiters_.erase(ws);
+      auto count = waited_count_.find(r);
+      if (--count->second == 0) {
+        unindex_wait(r);
+        waited_count_.erase(count);
+      }
+    }
+    release_task(s.task);
+  }
+
+  // --- GRG: (t, r) for r in W(t); (r, t) for waited r impeded by t --------
+
+  void add_grg(const BlockedStatus& s) {
+    std::uint32_t un = acquire_task(s.task);
+    for (const Resource& r : s.waits) {
+      if (waited_count_[r]++ == 0) {
+        std::uint32_t rn = acquire_resource(r) | kResourceTag;
+        index_wait(r);
+        for_each_impeder(r.phaser, r.phase,
+                         [&](TaskId v) { add_edge(rn, task_key(v)); });
+      }
+      add_edge(un, resource_key(r));
+    }
+    for (const RegEntry& reg : s.registered) {
+      index_reg(reg, s.task);
+      for_each_impeded(reg.phaser, reg.local_phase, [&](const Resource& e) {
+        add_edge(resource_key(e), un);
+      });
+    }
+  }
+
+  void remove_grg(const BlockedStatus& s) {
+    std::uint32_t un = task_key(s.task);
+    for (const RegEntry& reg : s.registered) {
+      for_each_impeded(reg.phaser, reg.local_phase, [&](const Resource& e) {
+        remove_edge(resource_key(e), un);
+      });
+      unindex_reg(reg, s.task);
+    }
+    for (const Resource& r : s.waits) {
+      remove_edge(un, resource_key(r));
+      auto count = waited_count_.find(r);
+      if (--count->second == 0) {
+        std::uint32_t rn = resource_key(r);
+        for_each_impeder(r.phaser, r.phase,
+                         [&](TaskId v) { remove_edge(rn, task_key(v)); });
+        unindex_wait(r);
+        waited_count_.erase(count);
+        release_resource(r);
+      }
+    }
+    release_task(s.task);
+  }
+
+  GraphModel model_;
+
+  std::unordered_map<TaskId, std::uint32_t> task_ids_;
+  std::vector<TaskId> task_slots_;  ///< persistent id -> payload
+  std::vector<std::uint32_t> task_free_;
+  std::unordered_map<Resource, std::uint32_t, ResourceHash> resource_ids_;
+  std::vector<Resource> resource_slots_;
+  std::vector<std::uint32_t> resource_free_;
+
+  /// Edge key (packed persistent node ids) -> contribution count.
+  std::unordered_map<std::uint64_t, std::uint32_t> edges_;
+
+  /// How many live wait occurrences reference each event (> 0 while the
+  /// event is in the wait index / interned as a node).
+  std::unordered_map<Resource, std::uint32_t, ResourceHash> waited_count_;
+  /// Waited events per phaser, phase-ordered (incremental WaitIndex).
+  std::unordered_map<PhaserUid, std::map<Phase, Resource>> waited_by_phaser_;
+  /// Registration occurrences per phaser, phase-ordered.
+  std::unordered_map<PhaserUid, ImpederSet> impeders_;
+  /// Wait occurrences per event (WFG only: its edges target waiter tasks).
+  std::unordered_map<Resource, std::multiset<TaskId>, ResourceHash> waiters_;
+};
+
+IncrementalChecker::IncrementalChecker(Config config) : config_(config) {
+  GraphModel primary = config_.model == GraphModel::kAuto ? GraphModel::kSg
+                                                          : config_.model;
+  primary_ = std::make_unique<Core>(primary);
+  if (config_.model == GraphModel::kAuto) {
+    secondary_ = std::make_unique<Core>(GraphModel::kWfg);
+  }
+}
+
+IncrementalChecker::~IncrementalChecker() = default;
+
+const IncrementalChecker::Core& IncrementalChecker::chosen_core() const {
+  if (config_.model != GraphModel::kAuto) return *primary_;
+  // §5.1 density rule on the final counts: keep the SG while it stays
+  // within 2 edges per blocked task, otherwise report from the WFG.
+  return primary_->unique_edges() <= 2 * current_.size() ? *primary_
+                                                         : *secondary_;
+}
+
+CheckResult IncrementalChecker::check(std::span<const BlockedStatus> snapshot) {
+  ++stats_.checks;
+
+  // Task-level delta between the maintained state and the new snapshot
+  // (both sorted by task id).
+  std::vector<const BlockedStatus*> upserts;
+  std::vector<TaskId> removals;
+  auto it = current_.begin();
+  for (const BlockedStatus& s : snapshot) {
+    while (it != current_.end() && it->first < s.task) {
+      removals.push_back(it->first);
+      ++it;
+    }
+    if (it != current_.end() && it->first == s.task) {
+      if (!(it->second == s)) upserts.push_back(&s);
+      ++it;
+    } else {
+      upserts.push_back(&s);
+    }
+  }
+  for (; it != current_.end(); ++it) removals.push_back(it->first);
+
+  if (upserts.empty() && removals.empty() && has_result_) {
+    ++stats_.unchanged_hits;
+    return last_result_;
+  }
+
+  const std::size_t changes = upserts.size() + removals.size();
+  const auto threshold = std::max<std::size_t>(
+      config_.rebuild_min_tasks,
+      static_cast<std::size_t>(config_.rebuild_fraction *
+                               static_cast<double>(snapshot.size())));
+  if (!has_result_ || changes > threshold) {
+    ++stats_.full_rebuilds;
+    current_.clear();
+    primary_->clear();
+    if (secondary_) secondary_->clear();
+    for (const BlockedStatus& s : snapshot) current_.emplace(s.task, s);
+    for (const auto& [task, status] : current_) {
+      primary_->add_task(status, current_);
+      if (secondary_) secondary_->add_task(status, current_);
+    }
+  } else {
+    ++stats_.delta_applies;
+    stats_.tasks_applied += changes;
+    // current_ mirrors the cores at every core call: remove with the old
+    // status still mapped, then swap the map entry, then add.
+    for (TaskId task : removals) {
+      auto node = current_.find(task);
+      primary_->remove_task(node->second, current_);
+      if (secondary_) secondary_->remove_task(node->second, current_);
+      current_.erase(node);
+    }
+    for (const BlockedStatus* s : upserts) {
+      auto node = current_.find(s->task);
+      if (node != current_.end()) {
+        primary_->remove_task(node->second, current_);
+        if (secondary_) secondary_->remove_task(node->second, current_);
+        node->second = *s;
+      } else {
+        node = current_.emplace(s->task, *s).first;
+      }
+      primary_->add_task(node->second, current_);
+      if (secondary_) secondary_->add_task(node->second, current_);
+    }
+  }
+
+  if (current_.empty()) {
+    built_ = BuiltGraph{};
+    last_result_ = CheckResult{};
+  } else {
+    ++stats_.graphs_built;
+    built_ = chosen_core().materialise();
+    last_result_ = check_deadlocks(built_, snapshot);
+  }
+  has_result_ = true;
+  return last_result_;
+}
+
+void IncrementalChecker::reset() {
+  current_.clear();
+  primary_->clear();
+  if (secondary_) secondary_->clear();
+  built_ = BuiltGraph{};
+  last_result_ = CheckResult{};
+  has_result_ = false;
+}
+
+}  // namespace armus

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+
+#include "core/checker.h"
+
+/// Incremental maintenance of the §4 dependency graphs across periodic
+/// checks.
+///
+/// The from-scratch builders (graph_builder.h) pay O(blocked) per scan:
+/// re-interning every waited event, re-sorting the wait index, re-hashing
+/// every edge. At a 100 ms scan period almost nothing changes between
+/// scans, so this class keeps the wait/impeder indices and the per-task
+/// edge contributions alive and applies *task-level deltas* — the tasks
+/// that blocked, unblocked, or changed status since the previous check —
+/// making graph maintenance O(changed) instead of O(blocked). Cycle
+/// analysis still runs over the maintained graph (O(V+E), allocation-light
+/// via BuiltGraph::analysis()); when the delta fraction is large the
+/// checker falls back to a from-scratch rebuild, which is cheaper than
+/// replaying many deltas.
+///
+/// Every edge is kept with a contribution count (how many task/occurrence
+/// pairs imply it), so removing a task subtracts exactly what adding it
+/// contributed and the maintained graph is always identical — nodes, edge
+/// set, deadlock reports — to the one the from-scratch builder would
+/// produce for the same snapshot (pinned by tests/incremental_test.cc).
+///
+/// Model policy: kWfg/kSg/kGrg maintain that one graph. kAuto maintains
+/// the SG and WFG side by side (both O(changed) per delta) and picks per
+/// check by the §5.1 density rule on the *final* edge count
+/// (SG edges > 2 × blocked tasks → WFG). The streaming builder's
+/// `build_auto` applies the same threshold per processed-task prefix and
+/// may therefore fall back on shapes the final count accepts; both
+/// choices are sound and CheckResult::model_used records the outcome.
+namespace armus {
+
+class IncrementalChecker {
+ public:
+  struct Config {
+    GraphModel model = GraphModel::kAuto;
+
+    /// When more than this fraction of the snapshot changed since the last
+    /// check, rebuild from scratch instead of applying per-task deltas.
+    double rebuild_fraction = 0.5;
+
+    /// Deltas of at most this many tasks are always applied incrementally,
+    /// regardless of the fraction (tiny snapshots would otherwise always
+    /// rebuild).
+    std::size_t rebuild_min_tasks = 8;
+  };
+
+  struct Stats {
+    std::uint64_t checks = 0;          ///< check() calls
+    std::uint64_t unchanged_hits = 0;  ///< cached result returned, no graph work
+    std::uint64_t graphs_built = 0;    ///< checks that materialised + analysed
+    std::uint64_t full_rebuilds = 0;   ///< state rebuilt from scratch
+    std::uint64_t delta_applies = 0;   ///< checks maintained incrementally
+    std::uint64_t tasks_applied = 0;   ///< task-level deltas applied in total
+  };
+
+  explicit IncrementalChecker(GraphModel model) : IncrementalChecker(Config{.model = model}) {}
+  explicit IncrementalChecker(Config config);
+  ~IncrementalChecker();
+  IncrementalChecker(const IncrementalChecker&) = delete;
+  IncrementalChecker& operator=(const IncrementalChecker&) = delete;
+
+  /// Analyses `snapshot` (sorted by task id, one entry per task — the
+  /// StateStore::snapshot() contract), reusing graph state from the
+  /// previous call. An unchanged snapshot returns the cached result
+  /// without touching the graph.
+  CheckResult check(std::span<const BlockedStatus> snapshot);
+
+  /// The graph behind the most recent check(): the avoidance path runs
+  /// task_is_doomed over it, sharing its analysis() cache across doom
+  /// queries while the state is unchanged. Empty before the first check.
+  [[nodiscard]] const BuiltGraph& built() const { return built_; }
+
+  /// The most recent check()'s result (valid once has_result()). Callers
+  /// that can prove the state is unchanged — e.g. a Verifier whose change
+  /// epoch did not move — reuse it without even assembling a snapshot.
+  [[nodiscard]] const CheckResult& last_result() const { return last_result_; }
+  [[nodiscard]] bool has_result() const { return has_result_; }
+
+  /// Drops all maintained state (stats survive; reset_stats clears those).
+  void reset();
+
+  [[nodiscard]] Stats stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+  [[nodiscard]] GraphModel model() const { return config_.model; }
+
+ private:
+  class Core;  // one maintained graph (defined in incremental_checker.cc)
+
+  /// The core whose graph this check reports (kAuto: density rule).
+  [[nodiscard]] const Core& chosen_core() const;
+
+  Config config_;
+  /// The statuses the cores currently reflect, keyed (and ordered) by task.
+  std::map<TaskId, BlockedStatus> current_;
+  std::unique_ptr<Core> primary_;    ///< the model's graph (SG for kAuto)
+  std::unique_ptr<Core> secondary_;  ///< WFG side of kAuto, else null
+  BuiltGraph built_;
+  CheckResult last_result_;
+  bool has_result_ = false;
+  Stats stats_;
+};
+
+}  // namespace armus

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/blocked_status.h"
@@ -45,6 +46,21 @@ class StateStore {
   /// Removes every status this store is responsible for (used between test
   /// cases / site restarts).
   virtual void clear() = 0;
+
+  /// Monotonic change epoch: advances whenever the store's visible contents
+  /// change (a successful set_blocked that alters a status, a clear_blocked
+  /// that removes one, a clear of a non-empty store — and, for shared
+  /// stores, any other publisher's change). Two equal non-zero epochs mean
+  /// "nothing changed in between", which is what lets a periodic checker
+  /// skip the snapshot + graph build entirely at steady state.
+  ///
+  /// Returns kUnversioned (0) when the implementation cannot provide the
+  /// guarantee; callers must then treat every read as potentially changed.
+  /// Versioned implementations never return 0.
+  [[nodiscard]] virtual std::uint64_t version() const { return kUnversioned; }
+
+  /// The version() sentinel of stores that cannot track change epochs.
+  static constexpr std::uint64_t kUnversioned = 0;
 };
 
 }  // namespace armus

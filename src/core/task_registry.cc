@@ -7,7 +7,12 @@ namespace armus {
 void TaskRegistry::set_entry(TaskId task, PhaserUid phaser, Phase local_phase) {
   Shard& shard = shard_for(task);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.regs[task][phaser] = local_phase;
+  auto [it, inserted] = shard.regs[task].try_emplace(phaser, local_phase);
+  if (!inserted) {
+    if (it->second == local_phase) return;  // no-op re-registration
+    it->second = local_phase;
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void TaskRegistry::remove_entry(TaskId task, PhaserUid phaser) {
@@ -15,14 +20,17 @@ void TaskRegistry::remove_entry(TaskId task, PhaserUid phaser) {
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.regs.find(task);
   if (it == shard.regs.end()) return;
-  it->second.erase(phaser);
+  if (it->second.erase(phaser) == 0) return;
   if (it->second.empty()) shard.regs.erase(it);
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void TaskRegistry::remove_task(TaskId task) {
   Shard& shard = shard_for(task);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.regs.erase(task);
+  if (shard.regs.erase(task) > 0) {
+    version_.fetch_add(1, std::memory_order_acq_rel);
+  }
 }
 
 std::vector<RegEntry> TaskRegistry::entries(TaskId task) const {

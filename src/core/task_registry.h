@@ -1,6 +1,8 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +45,14 @@ class TaskRegistry {
   /// are preserved).
   void merge_into(BlockedStatus& status) const;
 
+  /// Monotonic change epoch (starts at 1): bumped only by mutations that
+  /// alter a registration. Part of the scan epoch — a registration change
+  /// while the blocked set is stable (e.g. a parent registering a blocked
+  /// child, X10 `clocked`) must still invalidate a skipped scan.
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
   static constexpr std::size_t kShards = 16;
 
@@ -55,6 +65,7 @@ class TaskRegistry {
   const Shard& shard_for(TaskId task) const { return shards_[task % kShards]; }
 
   std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> version_{1};
 };
 
 }  // namespace armus

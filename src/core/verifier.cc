@@ -63,7 +63,8 @@ DeadlockAvoidedError::DeadlockAvoidedError(DeadlockReport report)
 Verifier::Verifier(VerifierConfig config)
     : config_(std::move(config)),
       store_(config_.store ? config_.store
-                           : std::make_shared<DependencyState>()) {
+                           : std::make_shared<DependencyState>()),
+      incremental_(config_.model) {
   if (!config_.on_deadlock) {
     config_.on_deadlock = [this](const DeadlockReport& report) {
       util::log_error(describe(report));
@@ -100,7 +101,7 @@ void Verifier::scanner_loop() {
     }
     lock.unlock();
     try {
-      scan_once();
+      scan_now();
     } catch (const std::exception& e) {
       // A pluggable store (VerifierConfig::store) may fail transiently —
       // e.g. dist::StoreUnavailableError during an outage. The scanner
@@ -117,25 +118,64 @@ std::vector<BlockedStatus> Verifier::current_snapshot() const {
   return snapshot;
 }
 
-void Verifier::scan_once() {
+Verifier::Epoch Verifier::read_epoch() const {
+  // The store version is read first and committed only after a successful
+  // analysis, so an exception (e.g. a store outage) can never mark a state
+  // as scanned that was not.
+  return Epoch{store_->version(), registry_.version()};
+}
+
+bool Verifier::epoch_unchanged_locked(const Epoch& epoch) const {
+  return epoch_valid_ && epoch.store_version != StateStore::kUnversioned &&
+         epoch.store_version == last_epoch_.store_version &&
+         epoch.registry_version == last_epoch_.registry_version;
+}
+
+void Verifier::commit_epoch_locked(const Epoch& epoch) {
+  last_epoch_ = epoch;
+  epoch_valid_ = epoch.store_version != StateStore::kUnversioned;
+}
+
+bool Verifier::scan_now() {
+  Epoch epoch = read_epoch();
+  {
+    std::lock_guard<std::mutex> lock(check_mutex_);
+    if (epoch_unchanged_locked(epoch)) {
+      std::lock_guard<std::mutex> stats_lock(mutex_);
+      ++stats_.scans_skipped;
+      return false;
+    }
+  }
   // One store read per tick: blocked_count() would cost a second full
   // snapshot round-trip on remote-backed stores.
   auto snapshot = current_snapshot();
-  if (snapshot.empty()) return;
-  CheckResult result = check_deadlocks(snapshot, config_.model);
-  record_check(result);
-  for (const DeadlockReport& report : result.reports) {
-    bool fresh = false;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      fresh = fingerprints_.insert(report.fingerprint()).second;
-      if (fresh) {
-        reported_.push_back(report);
-        ++stats_.deadlocks_found;
-      }
-    }
-    if (fresh && config_.on_deadlock) config_.on_deadlock(report);
+  CheckResult result;
+  {
+    std::lock_guard<std::mutex> lock(check_mutex_);
+    result = incremental_.check(snapshot);
   }
+  if (!snapshot.empty()) {
+    record_check(result);
+    for (const DeadlockReport& report : result.reports) {
+      bool fresh = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fresh = fingerprints_.insert(report.fingerprint()).second;
+        if (fresh) {
+          reported_.push_back(report);
+          ++stats_.deadlocks_found;
+        }
+      }
+      if (fresh && config_.on_deadlock) config_.on_deadlock(report);
+    }
+  }
+  // Committed only now: a throwing on_deadlock callback leaves the epoch
+  // open, so the next tick re-runs the (cached) analysis and delivers the
+  // reports that did not make it out — already-delivered ones stay
+  // deduplicated by their fingerprints.
+  std::lock_guard<std::mutex> lock(check_mutex_);
+  commit_epoch_locked(epoch);
+  return true;
 }
 
 void Verifier::record_check(const CheckResult& result) {
@@ -164,29 +204,30 @@ void Verifier::recheck_blocked(const BlockedStatus& status) {
 }
 
 void Verifier::check_doomed_or_throw(TaskId task) {
+  // No epoch bookkeeping here: avoidance mode runs no scanner, the
+  // preceding set_blocked moved the epoch anyway, and reading it would
+  // cost remote-backed stores an extra round trip on the blocking path.
   auto snapshot = current_snapshot();
-  BuiltGraph built = build_graph(snapshot, config_.model);
+  CheckResult result;
+  bool doomed = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.checks;
-    if (built.model == GraphModel::kSg) {
-      ++stats_.sg_builds;
-    } else {
-      ++stats_.wfg_builds;
-    }
-    stats_.total_edges += built.edges();
-    stats_.max_edges = std::max<std::uint64_t>(stats_.max_edges, built.edges());
+    // The incremental checker keeps the graph (and its SCC analysis) alive
+    // across doom checks: a poll over an unchanged state costs one delta
+    // comparison plus one DFS, not a rebuild.
+    std::lock_guard<std::mutex> lock(check_mutex_);
+    result = incremental_.check(snapshot);
+    doomed = task_is_doomed(incremental_.built(), snapshot, task);
   }
+  record_check(result);
 
-  if (!task_is_doomed(built, snapshot, task)) return;
+  if (!doomed) return;
 
   // The block would never complete: withdraw the status and interrupt the
   // operation. The report aggregates every cycle present plus this task.
   store_->clear_blocked(task);
   DeadlockReport merged;
-  merged.model = built.model;
-  for (const auto& component : graph::cyclic_components(built.graph)) {
-    DeadlockReport part = make_report(built, snapshot, component);
+  merged.model = result.model_used;
+  for (const DeadlockReport& part : result.reports) {
     merged.tasks.insert(merged.tasks.end(), part.tasks.begin(), part.tasks.end());
     merged.resources.insert(merged.resources.end(), part.resources.begin(),
                             part.resources.end());
@@ -212,8 +253,22 @@ void Verifier::after_unblock(TaskId task) {
 }
 
 CheckResult Verifier::check_now() {
+  Epoch epoch = read_epoch();
+  {
+    std::lock_guard<std::mutex> lock(check_mutex_);
+    if (epoch_unchanged_locked(epoch) && incremental_.has_result()) {
+      CheckResult result = incremental_.last_result();
+      record_check(result);
+      return result;
+    }
+  }
   auto snapshot = current_snapshot();
-  CheckResult result = check_deadlocks(snapshot, config_.model);
+  CheckResult result;
+  {
+    std::lock_guard<std::mutex> lock(check_mutex_);
+    result = incremental_.check(snapshot);
+    commit_epoch_locked(epoch);
+  }
   record_check(result);
   return result;
 }
@@ -224,15 +279,30 @@ std::vector<DeadlockReport> Verifier::reported() const {
 }
 
 Verifier::Stats Verifier::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(check_mutex_);
+    IncrementalChecker::Stats inc = incremental_.stats();
+    out.graphs_built = inc.graphs_built;
+    out.incremental_applies = inc.delta_applies;
+    out.full_rebuilds = inc.full_rebuilds;
+  }
+  return out;
 }
 
 void Verifier::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_ = Stats{};
-  reported_.clear();
-  fingerprints_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = Stats{};
+    reported_.clear();
+    fingerprints_.clear();
+  }
+  std::lock_guard<std::mutex> lock(check_mutex_);
+  incremental_.reset_stats();
 }
 
 void Verifier::set_task_name(TaskId task, std::string name) {

@@ -15,6 +15,7 @@
 
 #include "core/checker.h"
 #include "core/dependency_state.h"
+#include "core/incremental_checker.h"
 #include "core/state_store.h"
 #include "core/task_registry.h"
 
@@ -112,8 +113,18 @@ class Verifier {
   // --- Analysis ------------------------------------------------------------
 
   /// Runs one synchronous analysis of the current state (updates stats but
-  /// does not fire callbacks).
+  /// does not fire callbacks). When the change epoch (store version +
+  /// registry version) is unchanged since the previous analysis, returns
+  /// the cached result without copying a snapshot or touching the graph.
   CheckResult check_now();
+
+  /// One detection-scanner tick, run synchronously: analyse the state and
+  /// report new deadlocks through on_deadlock. Returns false when the scan
+  /// was skipped because the change epoch is unchanged — the O(changed)
+  /// steady-state guarantee (zero snapshot copies, zero graph builds),
+  /// pinned by Stats::scans_skipped / graphs_built. The scanner thread
+  /// calls this every period; tests and benchmarks drive it directly.
+  bool scan_now();
 
   /// The blocked statuses as the checker sees them: stored waits overlaid
   /// with the *current* registrations from the task registry, so that
@@ -160,6 +171,19 @@ class Verifier {
     std::uint64_t total_edges = 0;
     std::uint64_t max_edges = 0;
 
+    /// Scanner ticks skipped because the change epoch was unchanged (no
+    /// snapshot copy, no graph work).
+    std::uint64_t scans_skipped = 0;
+
+    /// Analyses that actually materialised a graph (an unchanged-state
+    /// check served from cache does not count). Steady state: 0.
+    std::uint64_t graphs_built = 0;
+
+    /// Of the graph maintenance rounds, how many applied task-level deltas
+    /// vs. rebuilt from scratch (IncrementalChecker passthrough).
+    std::uint64_t incremental_applies = 0;
+    std::uint64_t full_rebuilds = 0;
+
     /// Average graph size per analysis — the paper's Table 3 "Edges" rows.
     [[nodiscard]] double mean_edges() const {
       return checks == 0 ? 0.0 : static_cast<double>(total_edges) /
@@ -178,9 +202,23 @@ class Verifier {
   [[nodiscard]] std::string describe(const DeadlockReport& report) const;
 
  private:
+  /// The change epoch a scan observed: store version + registry version,
+  /// read *before* the snapshot so a concurrent mutation can only make the
+  /// next scan conservative (an extra scan), never miss one.
+  struct Epoch {
+    std::uint64_t store_version = 0;
+    std::uint64_t registry_version = 0;
+  };
+
   void scanner_loop();
-  void scan_once();
   void record_check(const CheckResult& result);
+
+  [[nodiscard]] Epoch read_epoch() const;
+  /// True iff the store is versioned and `epoch` matches the last committed
+  /// one. Caller holds check_mutex_.
+  [[nodiscard]] bool epoch_unchanged_locked(const Epoch& epoch) const;
+  /// Records `epoch` after a successful analysis. Caller holds check_mutex_.
+  void commit_epoch_locked(const Epoch& epoch);
 
   /// Runs the avoidance analysis for `task`; throws DeadlockAvoidedError
   /// (after withdrawing the task's status) when it can never unblock.
@@ -189,6 +227,16 @@ class Verifier {
   VerifierConfig config_;
   std::shared_ptr<StateStore> store_;
   TaskRegistry registry_;
+
+  /// Guards the incremental checker and the epoch bookkeeping. The two
+  /// mutexes DO nest (scan_now's skip branch and check_now's cached branch
+  /// take mutex_ for stats while holding check_mutex_); the mandatory
+  /// order is check_mutex_ before mutex_ — never acquire check_mutex_
+  /// while holding mutex_.
+  mutable std::mutex check_mutex_;
+  IncrementalChecker incremental_;
+  Epoch last_epoch_;
+  bool epoch_valid_ = false;
 
   mutable std::mutex mutex_;  // guards stats_, reported_, names_, fingerprints_
   Stats stats_;

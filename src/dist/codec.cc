@@ -50,24 +50,52 @@ std::uint64_t read_count(std::string_view bytes, std::size_t* offset,
 
 }  // namespace
 
+namespace {
+
+void append_status(std::string& out, const BlockedStatus& status) {
+  append_varint(out, status.task);
+  append_varint(out, status.waits.size());
+  for (const Resource& wait : status.waits) {
+    append_varint(out, wait.phaser);
+    append_varint(out, wait.phase);
+  }
+  append_varint(out, status.registered.size());
+  for (const RegEntry& reg : status.registered) {
+    append_varint(out, reg.phaser);
+    append_varint(out, reg.local_phase);
+  }
+}
+
+BlockedStatus read_status(std::string_view bytes, std::size_t* offset) {
+  BlockedStatus status;
+  status.task = read_varint(bytes, offset);
+  std::uint64_t nwaits = read_count(bytes, offset, "wait");
+  status.waits.reserve(nwaits);
+  for (std::uint64_t w = 0; w < nwaits; ++w) {
+    Resource wait;
+    wait.phaser = read_varint(bytes, offset);
+    wait.phase = read_varint(bytes, offset);
+    status.waits.push_back(wait);
+  }
+  std::uint64_t nregs = read_count(bytes, offset, "registration");
+  status.registered.reserve(nregs);
+  for (std::uint64_t r = 0; r < nregs; ++r) {
+    RegEntry reg;
+    reg.phaser = read_varint(bytes, offset);
+    reg.local_phase = read_varint(bytes, offset);
+    status.registered.push_back(reg);
+  }
+  return status;
+}
+
+}  // namespace
+
 std::string encode_statuses(const std::vector<BlockedStatus>& statuses) {
   std::string out;
   // Varints below 128 dominate; 4 bytes/status is a good starting guess.
   out.reserve(8 + statuses.size() * 4);
   append_varint(out, statuses.size());
-  for (const BlockedStatus& status : statuses) {
-    append_varint(out, status.task);
-    append_varint(out, status.waits.size());
-    for (const Resource& wait : status.waits) {
-      append_varint(out, wait.phaser);
-      append_varint(out, wait.phase);
-    }
-    append_varint(out, status.registered.size());
-    for (const RegEntry& reg : status.registered) {
-      append_varint(out, reg.phaser);
-      append_varint(out, reg.local_phase);
-    }
-  }
+  for (const BlockedStatus& status : statuses) append_status(out, status);
   return out;
 }
 
@@ -77,31 +105,90 @@ std::vector<BlockedStatus> decode_statuses(std::string_view bytes) {
   std::vector<BlockedStatus> statuses;
   statuses.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    BlockedStatus status;
-    status.task = read_varint(bytes, &offset);
-    std::uint64_t nwaits = read_count(bytes, &offset, "wait");
-    status.waits.reserve(nwaits);
-    for (std::uint64_t w = 0; w < nwaits; ++w) {
-      Resource wait;
-      wait.phaser = read_varint(bytes, &offset);
-      wait.phase = read_varint(bytes, &offset);
-      status.waits.push_back(wait);
-    }
-    std::uint64_t nregs = read_count(bytes, &offset, "registration");
-    status.registered.reserve(nregs);
-    for (std::uint64_t r = 0; r < nregs; ++r) {
-      RegEntry reg;
-      reg.phaser = read_varint(bytes, &offset);
-      reg.local_phase = read_varint(bytes, &offset);
-      status.registered.push_back(reg);
-    }
-    statuses.push_back(std::move(status));
+    statuses.push_back(read_status(bytes, &offset));
   }
   if (offset != bytes.size()) {
     throw CodecError("trailing garbage: " + std::to_string(bytes.size() - offset) +
                      " bytes after " + std::to_string(count) + " statuses");
   }
   return statuses;
+}
+
+std::string encode_delta(const SliceDelta& delta) {
+  std::string out;
+  out.reserve(8 + delta.upserts.size() * 4 + delta.removals.size());
+  append_varint(out, delta.upserts.size());
+  for (const BlockedStatus& status : delta.upserts) append_status(out, status);
+  append_varint(out, delta.removals.size());
+  for (TaskId task : delta.removals) append_varint(out, task);
+  return out;
+}
+
+SliceDelta decode_delta(std::string_view bytes) {
+  std::size_t offset = 0;
+  SliceDelta delta;
+  std::uint64_t nupserts = read_count(bytes, &offset, "upsert");
+  delta.upserts.reserve(nupserts);
+  for (std::uint64_t i = 0; i < nupserts; ++i) {
+    delta.upserts.push_back(read_status(bytes, &offset));
+  }
+  std::uint64_t nremovals = read_count(bytes, &offset, "removal");
+  delta.removals.reserve(nremovals);
+  for (std::uint64_t i = 0; i < nremovals; ++i) {
+    delta.removals.push_back(read_varint(bytes, &offset));
+  }
+  if (offset != bytes.size()) {
+    throw CodecError("trailing garbage: " +
+                     std::to_string(bytes.size() - offset) + " bytes in delta");
+  }
+  return delta;
+}
+
+SliceDelta diff_statuses(const std::vector<BlockedStatus>& from,
+                         const std::vector<BlockedStatus>& to) {
+  SliceDelta delta;
+  std::size_t i = 0;
+  for (const BlockedStatus& status : to) {
+    while (i < from.size() && from[i].task < status.task) {
+      delta.removals.push_back(from[i++].task);
+    }
+    if (i < from.size() && from[i].task == status.task) {
+      if (!(from[i] == status)) delta.upserts.push_back(status);
+      ++i;
+    } else {
+      delta.upserts.push_back(status);
+    }
+  }
+  for (; i < from.size(); ++i) delta.removals.push_back(from[i].task);
+  return delta;
+}
+
+std::vector<BlockedStatus> apply_delta(std::vector<BlockedStatus> base,
+                                       const SliceDelta& delta) {
+  std::vector<BlockedStatus> out;
+  out.reserve(base.size() + delta.upserts.size());
+  std::size_t u = 0;
+  std::size_t r = 0;
+  auto pending_upserts_below = [&](TaskId task) {
+    while (u < delta.upserts.size() && delta.upserts[u].task < task) {
+      out.push_back(delta.upserts[u++]);
+    }
+  };
+  for (BlockedStatus& status : base) {
+    pending_upserts_below(status.task);
+    if (u < delta.upserts.size() && delta.upserts[u].task == status.task) {
+      out.push_back(delta.upserts[u++]);
+      continue;  // replaced
+    }
+    while (r < delta.removals.size() && delta.removals[r] < status.task) ++r;
+    if (r < delta.removals.size() && delta.removals[r] == status.task) {
+      ++r;
+      continue;  // removed
+    }
+    out.push_back(std::move(status));
+  }
+  while (u < delta.upserts.size()) out.push_back(delta.upserts[u++]);
+  return out;
 }
 
 }  // namespace armus::dist

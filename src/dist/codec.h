@@ -50,4 +50,40 @@ std::string encode_statuses(const std::vector<BlockedStatus>& statuses);
 /// malformed input.
 std::vector<BlockedStatus> decode_statuses(std::string_view bytes);
 
+/// A slice *delta* frame: the task-level difference between two slice
+/// payloads. A site whose slice is large but whose change is small (the
+/// steady-state norm at a 100–200 ms publish period) sends this against
+/// the version it last published instead of re-sending the full batch:
+///
+///   delta := nupserts:varint status*  nremovals:varint task:varint*
+///
+/// Upserts replace (or add) the status of their task; removals drop a
+/// task. Both lists are sorted by task id. The store applies the delta to
+/// the slice payload it holds at exactly the base version — so a stored
+/// slice is always a *full* batch and readers never need delta context
+/// (see SliceStore::put_slice_delta and docs/WIRE_PROTOCOL.md §8).
+struct SliceDelta {
+  std::vector<BlockedStatus> upserts;
+  std::vector<TaskId> removals;
+
+  [[nodiscard]] bool empty() const { return upserts.empty() && removals.empty(); }
+};
+
+std::string encode_delta(const SliceDelta& delta);
+
+/// Parses a delta frame; same strictness as decode_statuses.
+SliceDelta decode_delta(std::string_view bytes);
+
+/// The delta that turns `from` into `to` (both sorted by task id — the
+/// encode_statuses order).
+SliceDelta diff_statuses(const std::vector<BlockedStatus>& from,
+                         const std::vector<BlockedStatus>& to);
+
+/// Applies `delta` to `base` (sorted by task id), returning the new batch
+/// sorted by task id. An upsert of a present task replaces it; a removal
+/// of an absent task is a no-op (deltas are computed against the exact
+/// base version, so neither occurs in practice).
+std::vector<BlockedStatus> apply_delta(std::vector<BlockedStatus> base,
+                                       const SliceDelta& delta);
+
 }  // namespace armus::dist

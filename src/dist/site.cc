@@ -26,48 +26,104 @@ VerifierConfig site_verifier_config(const Site::Config& config) {
 Site::Site(Config config, std::shared_ptr<SliceStore> store)
     : config_(std::move(config)),
       store_(std::move(store)),
-      verifier_(site_verifier_config(config_)) {}
+      verifier_(site_verifier_config(config_)),
+      incremental_(config_.model) {}
 
 Site::~Site() { stop(); }
 
 bool Site::publish_now() {
-  std::string payload = encode_statuses(verifier_.current_snapshot());
+  std::vector<BlockedStatus> statuses = verifier_.current_snapshot();
+  std::string payload = encode_statuses(statuses);
+
+  std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  if (store_suspect_.exchange(false)) {
+    // The checker (or a previous publish) saw the store fail since our
+    // last write: it may have restarted and lost our slice, so neither
+    // the unchanged-skip nor a delta against the old base is safe.
+    published_ok_ = false;
+  }
+  if (published_ok_ && payload == last_payload_) {
+    // Nothing blocked or unblocked since the last successful publish: the
+    // stored slice is already exact, and its unchanged version lets every
+    // reader skip it too.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.publishes_skipped;
+    return true;
+  }
+
+  bool delta_sent = false;
+  std::uint64_t version = 0;
   try {
-    store_->put_slice(config_.id, std::move(payload));
+    if (published_ok_ && payload.size() >= config_.delta_min_bytes) {
+      std::string delta = encode_delta(diff_statuses(last_statuses_, statuses));
+      if (delta.size() * 2 <= payload.size()) {
+        try {
+          version = store_->put_slice_delta(config_.id, last_version_, delta);
+          delta_sent = true;
+        } catch (const SliceBaseMismatchError&) {
+          // The store does not hold our base (restart, competing writer,
+          // or a backend without delta support): send the full slice.
+        }
+      }
+    }
+    if (!delta_sent) version = store_->put_slice(config_.id, payload);
   } catch (const StoreUnavailableError&) {
+    // Re-publish the full slice once the store is back: the outage may
+    // have eaten state (server restart), so the skip/delta bases are void.
+    published_ok_ = false;
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.store_failures;
     return false;
   }
+
+  last_payload_ = std::move(payload);
+  last_statuses_ = std::move(statuses);
+  last_version_ = version;
+  published_ok_ = true;
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.publishes;
+  if (delta_sent) ++stats_.delta_publishes;
   return true;
 }
 
 bool Site::check_now() {
-  std::vector<Slice> slices;
+  // The shared guarded read: change-narrowed fetch, restart detection,
+  // stale-response discard, decode cache. A corrupt slice must not blind
+  // the checker to the healthy ones (it is counted as a store failure —
+  // once per corrupt publish, since the cache remembers the verdict until
+  // the slice's version changes).
+  CachedSliceReader::Read read;
   try {
-    slices = store_->snapshot();
+    read = reader_.read(*store_, [this](SiteId, const CodecError&) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.store_failures;
+    });
   } catch (const StoreUnavailableError&) {
+    store_suspect_.store(true);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.store_failures;
     return false;
   }
 
-  // A corrupt slice must not blind the checker to the healthy ones (it is
-  // counted as a store failure — once per corrupt publish, since the cache
-  // remembers the verdict until the slice's version changes). Unchanged
-  // healthy slices are served from the cache without re-decoding.
-  std::vector<BlockedStatus> merged;
-  {
-    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
-    merged = cache_.merge(slices, [this](SiteId, const CodecError&) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.store_failures;
-    });
+  if (read.outcome != CachedSliceReader::Outcome::kApplied) {
+    // Unchanged store (or a response a concurrent check already
+    // superseded): the previous verdict stands, with zero decodes and
+    // zero graph work.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.checks_skipped;
+    return true;
   }
 
-  CheckResult result = check_deadlocks(merged, config_.model);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.slices_fetched += read.slices_fetched;
+  }
+  CheckResult result;
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    result = incremental_.check(reader_.merged());
+  }
+
   std::vector<DeadlockReport> fresh;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -40,16 +41,26 @@ class Site {
 
     GraphModel model = GraphModel::kAuto;
 
+    /// Slices at least this large try a delta publish (codec delta frame
+    /// against the version this site last stored) when the delta encodes
+    /// to at most half the full payload. Below the threshold the full
+    /// slice is cheaper than the server-side apply.
+    std::size_t delta_min_bytes = 256;
+
     /// Invoked once per newly found deadlock (deduplicated by task set).
     /// nullptr = silent (reports still accumulate).
     std::function<void(const DeadlockReport&)> on_deadlock;
   };
 
   struct Stats {
-    std::uint64_t publishes = 0;       ///< completed slice publishes
-    std::uint64_t checks = 0;          ///< completed global checks
-    std::uint64_t deadlocks_found = 0; ///< deduplicated reports
-    std::uint64_t store_failures = 0;  ///< absorbed outages / corrupt slices
+    std::uint64_t publishes = 0;        ///< completed slice publishes
+    std::uint64_t publishes_skipped = 0;///< unchanged payload: no store write
+    std::uint64_t delta_publishes = 0;  ///< of `publishes`, sent as deltas
+    std::uint64_t checks = 0;           ///< completed global checks
+    std::uint64_t checks_skipped = 0;   ///< store version unchanged: no work
+    std::uint64_t slices_fetched = 0;   ///< changed slices received by checks
+    std::uint64_t deadlocks_found = 0;  ///< deduplicated reports
+    std::uint64_t store_failures = 0;   ///< absorbed outages / corrupt slices
   };
 
   /// `store` may be any SliceStore backend: the in-process dist::Store or
@@ -66,14 +77,23 @@ class Site {
   }
 
   /// Encodes this site's current snapshot (stored waits overlaid with live
-  /// registrations) and publishes it as the site's slice. Returns false —
-  /// and counts a store failure — when the store is unavailable.
+  /// registrations) and publishes it as the site's slice. An encoding
+  /// identical to the last successfully stored one skips the store write
+  /// entirely (publishes_skipped); a large slice with a small change goes
+  /// out as a codec delta frame against the stored version
+  /// (delta_publishes), falling back to the full slice when the store's
+  /// base does not match. Returns false — and counts a store failure —
+  /// when the store is unavailable (the next successful publish then
+  /// re-sends the full slice).
   bool publish_now();
 
-  /// Reads every slice from the store, decodes and merges them, and runs
-  /// the deadlock checker over the global snapshot. New deadlocks (by task
-  /// set) are recorded and reported through on_deadlock. Returns false —
-  /// and counts a store failure — when the store is unavailable.
+  /// Reads the slices *changed since its previous check* from the store
+  /// (LIST_SLICES_SINCE on a versioned backend), folds them into the
+  /// decode cache, and runs the incrementally maintained deadlock checker
+  /// over the merged global snapshot. An unchanged store skips everything
+  /// (checks_skipped). New deadlocks (by task set) are recorded and
+  /// reported through on_deadlock. Returns false — and counts a store
+  /// failure — when the store is unavailable.
   bool check_now();
 
   /// All deadlocks this site found in the global snapshot, in discovery
@@ -96,12 +116,30 @@ class Site {
   Verifier verifier_;
 
   mutable std::mutex mutex_;  // guards stats_, reported_, fingerprints_
-  /// Unchanged slices are served from their cached decode, so a check is
-  /// O(changed slices) — see SliceCache. Guarded by its own mutex so a
-  /// long decode round never blocks stats()/reported() readers. Lock
-  /// order where both are held: cache_mutex_ before mutex_.
+  /// Checker state: only changed slices travel and decode (the shared
+  /// CachedSliceReader, self-locked, owns the fetch guards and decode
+  /// cache), and the graph is maintained incrementally across checks
+  /// (IncrementalChecker, guarded by cache_mutex_ so a long analysis
+  /// never blocks stats()/reported() readers). Lock order where both are
+  /// held: cache_mutex_ before mutex_.
   std::mutex cache_mutex_;
-  SliceCache cache_;
+  CachedSliceReader reader_;
+  IncrementalChecker incremental_;
+
+  /// Publisher state (serialised by its own mutex; the publisher thread
+  /// and publish_now callers never hold cache_mutex_). Lock order where
+  /// both are held: publish_mutex_ before mutex_.
+  std::mutex publish_mutex_;
+  std::string last_payload_;
+  std::vector<BlockedStatus> last_statuses_;
+  std::uint64_t last_version_ = 0;
+  bool published_ok_ = false;
+  /// Set by any observed store failure (e.g. the checker hitting an
+  /// outage): the store may have lost our slice, so the next publish must
+  /// send the full payload even if unchanged — the skip and delta bases
+  /// are void. publish_now consumes the flag.
+  std::atomic<bool> store_suspect_{false};
+
   Stats stats_;
   std::vector<DeadlockReport> reported_;
   std::unordered_set<std::uint64_t> fingerprints_;

@@ -1,6 +1,7 @@
 #include "dist/store.h"
 
 #include <algorithm>
+#include <random>
 #include <thread>
 
 namespace armus::dist {
@@ -9,6 +10,17 @@ namespace {
 
 void simulate_hop(std::chrono::microseconds latency) {
   if (latency.count() > 0) std::this_thread::sleep_for(latency);
+}
+
+/// A non-zero boot generation. Randomness (not a counter) because two
+/// *processes* hosting successive lives of "the same" store must not
+/// collide — that is exactly the restart case the generation detects.
+std::uint64_t fresh_generation() {
+  std::random_device rd;
+  for (;;) {
+    std::uint64_t g = (static_cast<std::uint64_t>(rd()) << 32) | rd();
+    if (g != 0) return g;
+  }
 }
 
 void sort_by_task(std::vector<BlockedStatus>& statuses) {
@@ -20,8 +32,40 @@ void sort_by_task(std::vector<BlockedStatus>& statuses) {
 
 }  // namespace
 
+DeltaSnapshot SliceStore::snapshot_since(std::uint64_t since) const {
+  // Unversioned fallback for backends without change tracking: a full
+  // read, reported as such (version 0) so callers never skip on it.
+  (void)since;
+  DeltaSnapshot delta;
+  delta.changed = snapshot();
+  delta.live_sites.reserve(delta.changed.size());
+  for (const Slice& slice : delta.changed) delta.live_sites.push_back(slice.site);
+  return delta;
+}
+
+std::uint64_t SliceStore::put_slice_delta(SiteId site,
+                                          std::uint64_t base_version,
+                                          const std::string& delta) {
+  // Backends without delta support reject every base: the writer falls
+  // back to a full-slice publish.
+  (void)site;
+  (void)base_version;
+  (void)delta;
+  throw SliceBaseMismatchError(0);
+}
+
+Store::Store(Config config)
+    : config_(config),
+      generation_(config_.generation != 0 ? config_.generation
+                                          : fresh_generation()) {}
+
 void Store::check_available_locked() const {
   if (!available_) throw StoreUnavailableError();
+}
+
+void Store::touch_locked(SiteId site) {
+  changed_at_[site] = ++version_;
+  ++writes_;
 }
 
 std::uint64_t Store::put_slice(SiteId site, std::string payload) {
@@ -32,7 +76,7 @@ std::uint64_t Store::put_slice(SiteId site, std::string payload) {
   slice.site = site;
   slice.payload = std::move(payload);
   ++slice.version;
-  ++writes_;
+  touch_locked(site);
   return slice.version;
 }
 
@@ -50,15 +94,57 @@ std::pair<bool, std::uint64_t> Store::put_slice_if_newer(SiteId site,
   slice.site = site;
   slice.payload = std::move(payload);
   slice.version = version;
-  ++writes_;
+  touch_locked(site);
   return {true, version};
+}
+
+std::uint64_t Store::put_slice_delta(SiteId site, std::uint64_t base_version,
+                                     const std::string& delta) {
+  simulate_hop(config_.latency);
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_available_locked();
+  auto it = slices_.find(site);
+  if (it == slices_.end() || it->second.version != base_version) {
+    throw SliceBaseMismatchError(it == slices_.end() ? 0
+                                                     : it->second.version);
+  }
+  std::vector<BlockedStatus> statuses = decode_statuses(it->second.payload);
+  it->second.payload = encode_statuses(apply_delta(std::move(statuses),
+                                                   decode_delta(delta)));
+  ++it->second.version;
+  touch_locked(site);
+  return it->second.version;
+}
+
+std::pair<bool, std::uint64_t> Store::put_slice_delta_if_newer(
+    SiteId site, std::uint64_t base_version, std::uint64_t proposed,
+    const std::string& delta) {
+  simulate_hop(config_.latency);
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_available_locked();
+  auto it = slices_.find(site);
+  if (it == slices_.end() || it->second.version != base_version) {
+    throw SliceBaseMismatchError(it == slices_.end() ? 0
+                                                     : it->second.version);
+  }
+  if (proposed <= it->second.version) return {false, it->second.version};
+  std::vector<BlockedStatus> statuses = decode_statuses(it->second.payload);
+  it->second.payload = encode_statuses(apply_delta(std::move(statuses),
+                                                   decode_delta(delta)));
+  it->second.version = proposed;
+  touch_locked(site);
+  return {true, proposed};
 }
 
 void Store::remove_slice(SiteId site) {
   simulate_hop(config_.latency);
   std::lock_guard<std::mutex> lock(mutex_);
   check_available_locked();
-  slices_.erase(site);
+  if (slices_.erase(site) > 0) changed_at_.erase(site);
+  // A removal changes the global view even when the site had no slice —
+  // keeping the counter monotone per accepted write is simpler and only
+  // costs readers a no-op refresh.
+  ++version_;
   ++writes_;
 }
 
@@ -81,6 +167,27 @@ std::vector<dist::Slice> Store::snapshot() const {
   for (const auto& [site, slice] : slices_) out.push_back(slice);
   ++reads_;
   return out;
+}
+
+DeltaSnapshot Store::snapshot_since(std::uint64_t since) const {
+  simulate_hop(config_.latency);
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_available_locked();
+  DeltaSnapshot delta;
+  delta.version = version_;
+  delta.generation = generation_;
+  delta.live_sites.reserve(slices_.size());
+  for (const auto& [site, slice] : slices_) {
+    delta.live_sites.push_back(site);
+    if (changed_at_.at(site) > since) delta.changed.push_back(slice);
+  }
+  ++reads_;
+  return delta;
+}
+
+std::uint64_t Store::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
 }
 
 void Store::set_available(bool available) {
@@ -125,10 +232,10 @@ std::vector<BlockedStatus> merge_slices(
 
 // --- SliceCache --------------------------------------------------------------
 
-void SliceCache::refresh(
-    const std::vector<Slice>& slices,
+void SliceCache::apply(
+    const DeltaSnapshot& delta,
     const std::function<void(SiteId, const CodecError&)>& on_corrupt) {
-  for (const Slice& slice : slices) {
+  for (const Slice& slice : delta.changed) {
     auto it = entries_.find(slice.site);
     if (it != entries_.end() && it->second.version == slice.version) continue;
     Entry entry;
@@ -145,36 +252,114 @@ void SliceCache::refresh(
     }
     entries_[slice.site] = std::move(entry);
   }
-  // Evict sites that vanished from the snapshot (remove_slice / restarted
-  // store). Both `slices` (SliceStore contract) and `entries_` are sorted
-  // by site id, so one linear sweep finds the absentees.
-  auto slice_it = slices.begin();
+  // Evict sites that no longer hold a slice. Both lists are sorted.
+  auto live_it = delta.live_sites.begin();
   for (auto it = entries_.begin(); it != entries_.end();) {
-    while (slice_it != slices.end() && slice_it->site < it->first) ++slice_it;
-    bool present = slice_it != slices.end() && slice_it->site == it->first;
+    while (live_it != delta.live_sites.end() && *live_it < it->first) ++live_it;
+    bool present = live_it != delta.live_sites.end() && *live_it == it->first;
     it = present ? std::next(it) : entries_.erase(it);
   }
 }
 
-std::vector<BlockedStatus> SliceCache::merge(
-    const std::vector<Slice>& slices,
-    const std::function<void(SiteId, const CodecError&)>& on_corrupt) {
-  refresh(slices, on_corrupt);
-  std::vector<BlockedStatus> merged;
+std::vector<BlockedStatus> SliceCache::merged() const {
+  std::vector<BlockedStatus> out;
   for (const auto& [site, entry] : entries_) {
-    merged.insert(merged.end(), entry.statuses.begin(), entry.statuses.end());
+    out.insert(out.end(), entry.statuses.begin(), entry.statuses.end());
   }
-  sort_by_task(merged);
-  return merged;
+  sort_by_task(out);
+  return out;
 }
 
-std::size_t SliceCache::status_count(
-    const std::vector<Slice>& slices,
-    const std::function<void(SiteId, const CodecError&)>& on_corrupt) {
-  refresh(slices, on_corrupt);
+std::size_t SliceCache::merged_count() const {
   std::size_t count = 0;
   for (const auto& [site, entry] : entries_) count += entry.statuses.size();
   return count;
+}
+
+// --- CachedSliceReader -------------------------------------------------------
+
+CachedSliceReader::Read CachedSliceReader::read(
+    const SliceStore& store,
+    const std::function<void(SiteId, const CodecError&)>& on_corrupt) {
+  std::uint64_t since;
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    since = seen_version_;
+    generation = seen_generation_;
+  }
+  // The round trips happen without the lock: a fetch must never block
+  // merged()/change_token() readers on another thread.
+  DeltaSnapshot delta = store.snapshot_since(since);
+  bool full_refetch = false;
+  if (delta.version != 0 &&
+      ((generation != 0 && delta.generation != generation) ||
+       delta.version < since)) {
+    // A different boot generation (or a counter that went backwards): a
+    // restarted store. Its change history — and its slice versions — are
+    // void, so refetch everything and rebuild the cache from scratch.
+    delta = store.snapshot_since(0);
+    full_refetch = true;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (delta.version == 0) {
+    // Unversioned backend: every read is a full, applied read.
+    unversioned_ = true;
+    cache_.apply(delta, on_corrupt);
+    primed_ = true;
+    ++change_token_;
+    return {Outcome::kApplied, delta.changed.size()};
+  }
+  if (full_refetch) {
+    if (seen_generation_ == delta.generation && delta.version < seen_version_) {
+      // A concurrent read already applied a newer snapshot of the same
+      // (restarted) store lifetime while our refetch was in flight.
+      return {Outcome::kStale, 0};
+    }
+    // Per-slice versions can collide across store lifetimes; stale cache
+    // entries must not be trusted to match by version.
+    cache_.clear();
+  } else if ((seen_generation_ != 0 && delta.generation != seen_generation_) ||
+             delta.version < seen_version_) {
+    // A concurrent read applied a newer response (possibly from a newer
+    // store lifetime) while this one was in flight; the cache is ahead.
+    return {Outcome::kStale, 0};
+  } else if (primed_ && delta.version == seen_version_ &&
+             delta.changed.empty()) {
+    return {Outcome::kUnchanged, 0};
+  }
+  cache_.apply(delta, on_corrupt);
+  seen_version_ = delta.version;
+  seen_generation_ = delta.generation;
+  primed_ = true;
+  ++change_token_;
+  return {Outcome::kApplied, delta.changed.size()};
+}
+
+std::vector<BlockedStatus> CachedSliceReader::merged() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.merged();
+}
+
+std::size_t CachedSliceReader::merged_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.merged_count();
+}
+
+std::uint64_t CachedSliceReader::change_token() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return change_token_;
+}
+
+bool CachedSliceReader::backend_unversioned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unversioned_;
+}
+
+std::uint64_t CachedSliceReader::decodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.decodes();
 }
 
 // --- SharedStore -------------------------------------------------------------
@@ -234,21 +419,26 @@ void SharedStore::clear_blocked(TaskId task) {
 }
 
 std::vector<BlockedStatus> SharedStore::snapshot() const {
-  std::vector<Slice> slices = store_->snapshot();
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.merge(slices);
+  reader_.read(*store_);
+  return reader_.merged();
 }
 
 std::size_t SharedStore::blocked_count() const {
-  std::vector<Slice> slices = store_->snapshot();
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.status_count(slices);
+  reader_.read(*store_);
+  return reader_.merged_count();
 }
 
-std::uint64_t SharedStore::decode_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.decodes();
+std::uint64_t SharedStore::version() const {
+  // Over an unversioned backend a change probe costs a full read and
+  // proves nothing — report kUnversioned (callers then never skip)
+  // without touching the store again.
+  if (reader_.backend_unversioned()) return StateStore::kUnversioned;
+  reader_.read(*store_);
+  if (reader_.backend_unversioned()) return StateStore::kUnversioned;
+  return reader_.change_token();
 }
+
+std::uint64_t SharedStore::decode_count() const { return reader_.decodes(); }
 
 void SharedStore::clear() {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -43,6 +43,26 @@ class StoreUnavailableError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Raised by put_slice_delta when the store does not hold the slice at
+/// exactly the delta's base version (another writer got there, the store
+/// restarted, or the backend cannot apply deltas at all). The writer
+/// falls back to a full-slice publish.
+class SliceBaseMismatchError : public std::runtime_error {
+ public:
+  explicit SliceBaseMismatchError(std::uint64_t current_version)
+      : std::runtime_error("slice base version mismatch (current " +
+                           std::to_string(current_version) + ")"),
+        current_version_(current_version) {}
+
+  /// The version the store actually holds (0 when unknown).
+  [[nodiscard]] std::uint64_t current_version() const {
+    return current_version_;
+  }
+
+ private:
+  std::uint64_t current_version_;
+};
+
 /// One site's published payload. `version` is strictly increasing per
 /// site, so a reader (or a cache) can tell a re-publish from an unchanged
 /// slice without decoding the payload.
@@ -50,6 +70,30 @@ struct Slice {
   SiteId site = 0;
   std::string payload;
   std::uint64_t version = 0;
+};
+
+/// A change-narrowed store read (snapshot_since): only the slices whose
+/// content changed after the reader's last observed store version travel,
+/// plus the list of live sites so the reader can evict removed slices.
+struct DeltaSnapshot {
+  /// The store-wide change version as of this read; pass it back as the
+  /// next `since`. 0 means the backend is unversioned — the reader must
+  /// treat every response as changed and never skip.
+  std::uint64_t version = 0;
+
+  /// The store's boot generation (non-zero for versioned backends): a
+  /// fresh value per store lifetime. A reader seeing a different
+  /// generation than its last read is talking to a restarted store whose
+  /// change history — and whose slice versions — started over; it must
+  /// drop its cache and refetch from 0, because per-slice versions can
+  /// collide across lifetimes.
+  std::uint64_t generation = 0;
+
+  /// Slices changed after `since`, sorted by site id.
+  std::vector<Slice> changed;
+
+  /// Every site currently holding a slice, sorted.
+  std::vector<SiteId> live_sites;
 };
 
 /// The slice API every store backend exposes. Site/Cluster and
@@ -63,12 +107,28 @@ class SliceStore {
   /// Overwrites `site`'s slice; returns the slice's new version.
   virtual std::uint64_t put_slice(SiteId site, std::string payload) = 0;
 
+  /// Applies a codec delta frame (dist::SliceDelta) to `site`'s slice,
+  /// which must currently be at exactly `base_version`; returns the new
+  /// version. Throws SliceBaseMismatchError when the base does not match —
+  /// including the default implementation for backends without delta
+  /// support — and the writer then re-publishes the full slice.
+  virtual std::uint64_t put_slice_delta(SiteId site, std::uint64_t base_version,
+                                        const std::string& delta);
+
   /// Drops `site`'s slice (graceful site shutdown; a crashed site leaves
   /// its slice behind).
   virtual void remove_slice(SiteId site) = 0;
 
   /// Every current slice, sorted by site id.
   [[nodiscard]] virtual std::vector<Slice> snapshot() const = 0;
+
+  /// The slices changed since store version `since` (0 = everything), plus
+  /// the live-site list. The default implementation falls back to a full
+  /// snapshot() with DeltaSnapshot::version = 0 ("unversioned": correct,
+  /// never skippable); versioned backends override it so an unchanged
+  /// store answers with an empty `changed` list — the read-amplification
+  /// fix for N-site deployments (LIST_SLICES_SINCE on armus-kv).
+  [[nodiscard]] virtual DeltaSnapshot snapshot_since(std::uint64_t since) const;
 };
 
 class Store final : public SliceStore {
@@ -76,13 +136,17 @@ class Store final : public SliceStore {
   struct Config {
     /// Simulated one-way network latency added to every operation.
     std::chrono::microseconds latency{0};
+
+    /// Boot generation reported by snapshot_since. 0 (the default) draws a
+    /// fresh random value per Store — tests pinning wire bytes set it.
+    std::uint64_t generation = 0;
   };
 
   /// Back-compat spelling: the slice type predates the SliceStore split.
   using Slice = dist::Slice;
 
-  Store() = default;
-  explicit Store(Config config) : config_(config) {}
+  Store() : Store(Config{}) {}
+  explicit Store(Config config);
   Store(const Store&) = delete;
   Store& operator=(const Store&) = delete;
 
@@ -100,6 +164,21 @@ class Store final : public SliceStore {
                                                     std::string payload,
                                                     std::uint64_t version);
 
+  /// Decodes the stored payload, applies the delta frame, re-encodes, and
+  /// bumps the slice version. Throws SliceBaseMismatchError unless the
+  /// slice is at exactly `base_version`; CodecError if the stored payload
+  /// or the delta is malformed.
+  std::uint64_t put_slice_delta(SiteId site, std::uint64_t base_version,
+                                const std::string& delta) override;
+
+  /// The armus-kv server's delta path: applies the delta only when the
+  /// slice is at `base_version` *and* `proposed` is newer than the current
+  /// version, storing exactly `proposed`. Returns {accepted, current
+  /// version}; base mismatches throw SliceBaseMismatchError.
+  std::pair<bool, std::uint64_t> put_slice_delta_if_newer(
+      SiteId site, std::uint64_t base_version, std::uint64_t proposed,
+      const std::string& delta);
+
   void remove_slice(SiteId site) override;
 
   /// `site`'s slice, if published.
@@ -108,6 +187,16 @@ class Store final : public SliceStore {
   /// Every current slice, sorted by site id. Throws StoreUnavailableError
   /// during an outage.
   [[nodiscard]] std::vector<dist::Slice> snapshot() const override;
+
+  /// Change-narrowed read: slices whose content changed after store
+  /// version `since`, plus the live-site list. The returned version is the
+  /// store-wide change counter (starts at 1 for an empty store, bumped by
+  /// every accepted write or removal), so `snapshot_since(version)` on an
+  /// idle store answers with an empty `changed` list.
+  [[nodiscard]] DeltaSnapshot snapshot_since(std::uint64_t since) const override;
+
+  /// The store-wide change version (what snapshot_since reports).
+  [[nodiscard]] std::uint64_t version() const;
 
   /// Failure injection: while unavailable, every operation throws. Data
   /// survives the outage.
@@ -121,10 +210,20 @@ class Store final : public SliceStore {
 
  private:
   void check_available_locked() const;
+  /// Bumps the store-wide version and stamps `site`'s change. Caller holds
+  /// mutex_ and has already mutated the slice.
+  void touch_locked(SiteId site);
 
   Config config_;
   mutable std::mutex mutex_;
   std::map<SiteId, dist::Slice> slices_;
+  /// Store version at which each live slice last changed.
+  std::map<SiteId, std::uint64_t> changed_at_;
+  /// Store-wide change counter; 1 = the initial empty state (0 is the
+  /// DeltaSnapshot "unversioned" sentinel).
+  std::uint64_t version_ = 1;
+  /// Boot generation (non-zero), see DeltaSnapshot::generation.
+  std::uint64_t generation_;
   bool available_ = true;
   std::uint64_t writes_ = 0;
   mutable std::uint64_t reads_ = 0;
@@ -148,16 +247,24 @@ std::vector<BlockedStatus> merge_slices(
 /// own lock around it.
 class SliceCache {
  public:
-  /// merge_slices, but re-decoding only slices whose version changed.
-  std::vector<BlockedStatus> merge(
-      const std::vector<Slice>& slices,
-      const std::function<void(SiteId, const CodecError&)>& on_corrupt = {});
+  /// Applies a change-narrowed read: decodes the changed slices and evicts
+  /// entries for sites absent from the live list. With snapshot_since this
+  /// is the whole read path — unchanged slices neither travel nor decode.
+  void apply(const DeltaSnapshot& delta,
+             const std::function<void(SiteId, const CodecError&)>& on_corrupt = {});
 
-  /// Total status count across `slices` — blocked_count without building
-  /// the merged vector. Same caching; corrupt slices count zero.
-  std::size_t status_count(
-      const std::vector<Slice>& slices,
-      const std::function<void(SiteId, const CodecError&)>& on_corrupt = {});
+  /// Drops every entry (the decode counter survives). Callers clear before
+  /// applying a from-zero refetch of a *restarted* store: per-slice
+  /// versions can collide across store lifetimes, so stale entries must
+  /// not be trusted to match by version.
+  void clear() { entries_.clear(); }
+
+  /// The merged view of the current entries, sorted by task (use after
+  /// apply()).
+  [[nodiscard]] std::vector<BlockedStatus> merged() const;
+
+  /// Total status count across the current entries.
+  [[nodiscard]] std::size_t merged_count() const;
 
   /// Cumulative payload decodes performed (i.e. cache misses). A caller
   /// issuing N calls over unchanged slices sees this stay constant after
@@ -171,13 +278,64 @@ class SliceCache {
     std::vector<BlockedStatus> statuses;
   };
 
-  /// Refreshes entries for `slices` (decoding the changed ones) and
-  /// evicts entries for absent sites.
-  void refresh(const std::vector<Slice>& slices,
-               const std::function<void(SiteId, const CodecError&)>& on_corrupt);
-
   std::map<SiteId, Entry> entries_;
   std::uint64_t decodes_ = 0;
+};
+
+/// The guarded read path every slice-store consumer shares: one
+/// change-narrowed fetch (snapshot_since) plus the restart and concurrency
+/// handling, feeding a SliceCache, behind its own lock. SharedStore and
+/// Site::check_now both read through one of these, so the restart rules —
+/// boot-generation mismatch or version regression ⇒ drop the cache and
+/// refetch from zero; a response older than what a concurrent reader
+/// already applied ⇒ discard — live in exactly one place.
+class CachedSliceReader {
+ public:
+  enum class Outcome {
+    kUnchanged,  ///< store version unchanged: the cache is already exact
+    kStale,      ///< a concurrent read applied a newer response; cache ahead
+    kApplied,    ///< delta applied (possibly a restart-triggered refetch)
+  };
+
+  struct Read {
+    Outcome outcome = Outcome::kApplied;
+    /// Changed slices in the applied delta (0 unless kApplied).
+    std::size_t slices_fetched = 0;
+  };
+
+  /// One guarded read against `store`. Store exceptions
+  /// (StoreUnavailableError) propagate untouched; `on_corrupt` as in
+  /// SliceCache::apply (absent ⇒ CodecError propagates).
+  Read read(const SliceStore& store,
+            const std::function<void(SiteId, const CodecError&)>& on_corrupt = {});
+
+  /// Merged statuses (sorted by task) / status count over the cache.
+  [[nodiscard]] std::vector<BlockedStatus> merged() const;
+  [[nodiscard]] std::size_t merged_count() const;
+
+  /// Monotonic local change token: bumped by every applied delta, stable
+  /// across unchanged reads. Unlike the raw store version it cannot repeat
+  /// across store restarts (a generation change forces an applied
+  /// refetch), so it is safe to use as a StateStore epoch. 0 until the
+  /// first applied read.
+  [[nodiscard]] std::uint64_t change_token() const;
+
+  /// True once a read has shown the backend to be unversioned
+  /// (DeltaSnapshot::version == 0): every read applies in full and cheap
+  /// change probes are pointless.
+  [[nodiscard]] bool backend_unversioned() const;
+
+  /// Cumulative payload decodes (SliceCache::decodes passthrough).
+  [[nodiscard]] std::uint64_t decodes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  SliceCache cache_;
+  std::uint64_t seen_version_ = 0;
+  std::uint64_t seen_generation_ = 0;
+  std::uint64_t change_token_ = 0;
+  bool primed_ = false;
+  bool unversioned_ = false;
 };
 
 /// A StateStore that *is* a site's window onto the shared store: every
@@ -207,12 +365,25 @@ class SharedStore final : public StateStore {
   void clear_blocked(TaskId task) override;
 
   /// The merged, decoded view of *every* site's slice, sorted by task.
-  /// Unchanged slices are served from the version cache.
+  /// Reads are change-narrowed (snapshot_since): only slices that changed
+  /// since this store's last read travel and decode.
   [[nodiscard]] std::vector<BlockedStatus> snapshot() const override;
   [[nodiscard]] std::size_t blocked_count() const override;
 
   /// Clears this site's tasks (not other sites').
   void clear() override;
+
+  /// The StateStore change epoch, derived from the backing store's change
+  /// version and boot generation — any site's publish (or removal)
+  /// advances it, and a store restart can never repeat an epoch (the
+  /// generation forces a fresh value even when the new store's counters
+  /// collide with the old ones). Costs one snapshot_since round trip,
+  /// which is payload-free while nothing changed; the fetched changes
+  /// feed the decode cache, so a following snapshot() is served without
+  /// re-transfer. Returns kUnversioned over a backend whose
+  /// snapshot_since is the unversioned fallback (detected after the
+  /// first read; thereafter free).
+  [[nodiscard]] std::uint64_t version() const override;
 
   [[nodiscard]] SiteId site() const { return site_; }
   [[nodiscard]] const std::shared_ptr<SliceStore>& backing() const {
@@ -232,7 +403,9 @@ class SharedStore final : public StateStore {
   mutable std::mutex mutex_;
   /// This site's statuses, ordered by task for a deterministic encoding.
   std::map<TaskId, BlockedStatus> mirror_;
-  mutable SliceCache cache_;
+  /// The shared guarded read path (self-locked): change-narrowed fetches,
+  /// restart handling, decode cache.
+  mutable CachedSliceReader reader_;
 };
 
 }  // namespace armus::dist

@@ -241,6 +241,49 @@ std::string KvServer::handle_request(std::string_view body) {
         backing_->remove_slice(site);
         return status_only(WireStatus::kOk);
       }
+      case MsgType::kPutSliceDelta: {
+        auto site = static_cast<dist::SiteId>(read_varint(body, &offset));
+        std::uint64_t base = read_varint(body, &offset);
+        std::uint64_t version = read_varint(body, &offset);
+        std::string delta(read_bytes(body, &offset));
+        expect_end(body, offset);
+        std::string out;
+        try {
+          auto [accepted, current] =
+              backing_->put_slice_delta_if_newer(site, base, version, delta);
+          append_varint(out, static_cast<std::uint64_t>(
+                                 accepted ? WireStatus::kOk
+                                          : WireStatus::kStaleVersion));
+          append_varint(out, current);
+          if (!accepted) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.errors;
+          }
+          return out;
+        } catch (const dist::SliceBaseMismatchError& e) {
+          // The stored slice is not at the delta's base: the writer must
+          // fall back to a full PUT_SLICE.
+          append_varint(out,
+                        static_cast<std::uint64_t>(WireStatus::kBaseMismatch));
+          append_varint(out, e.current_version());
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.errors;
+          return out;
+        }
+      }
+      case MsgType::kListSlicesSince: {
+        std::uint64_t since = read_varint(body, &offset);
+        expect_end(body, offset);
+        dist::DeltaSnapshot delta = backing_->snapshot_since(since);
+        std::string out = status_only(WireStatus::kOk);
+        append_varint(out, delta.generation);
+        append_varint(out, delta.version);
+        append_varint(out, delta.changed.size());
+        for (const dist::Slice& slice : delta.changed) append_slice(out, slice);
+        append_varint(out, delta.live_sites.size());
+        for (dist::SiteId site : delta.live_sites) append_varint(out, site);
+        return out;
+      }
       default:
         error = WireStatus::kUnknownType;
         throw CodecError("message type " + std::to_string(type));

@@ -15,6 +15,7 @@ std::string to_string(WireStatus status) {
     case WireStatus::kNotFound: return "NOT_FOUND";
     case WireStatus::kUnavailable: return "UNAVAILABLE";
     case WireStatus::kStaleVersion: return "STALE_VERSION";
+    case WireStatus::kBaseMismatch: return "BASE_MISMATCH";
   }
   return "status " + std::to_string(static_cast<std::uint64_t>(status));
 }

@@ -38,11 +38,15 @@ inline constexpr std::uint64_t kProtocolVersion = 1;
 inline constexpr std::size_t kDefaultMaxFrame = 16 * 1024 * 1024;
 
 enum class MsgType : std::uint64_t {
-  kPutSlice = 1,    ///< site version nbytes bytes → OK(version)
-  kGetSlice = 2,    ///< site                      → OK(slice) | kNotFound
-  kListSlices = 3,  ///< (empty)                   → OK(count slice*)
-  kHeartbeat = 4,   ///< (empty)                   → OK(proto)
-  kClear = 5,       ///< site                      → OK()
+  kPutSlice = 1,         ///< site version nbytes bytes → OK(version)
+  kGetSlice = 2,         ///< site                      → OK(slice) | kNotFound
+  kListSlices = 3,       ///< (empty)                   → OK(count slice*)
+  kHeartbeat = 4,        ///< (empty)                   → OK(proto)
+  kClear = 5,            ///< site                      → OK()
+  kPutSliceDelta = 6,    ///< site base version bytes   → OK(version) |
+                         ///<   kBaseMismatch(current) | kStaleVersion(current)
+  kListSlicesSince = 7,  ///< since → OK(generation version
+                         ///<              nchanged slice* nlive site*)
 };
 
 enum class WireStatus : std::uint64_t {
@@ -53,6 +57,7 @@ enum class WireStatus : std::uint64_t {
   kNotFound = 4,      ///< GET_SLICE for a site with no slice
   kUnavailable = 5,   ///< backing store outage; retry later
   kStaleVersion = 6,  ///< PUT_SLICE version not newer; payload = current
+  kBaseMismatch = 7,  ///< PUT_SLICE_DELTA base != stored; payload = current
 };
 
 [[nodiscard]] std::string to_string(WireStatus status);

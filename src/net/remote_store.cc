@@ -129,6 +129,57 @@ std::uint64_t RemoteStore::put_slice(dist::SiteId site, std::string payload) {
   }
 }
 
+std::uint64_t RemoteStore::put_slice_delta(dist::SiteId site,
+                                           std::uint64_t base_version,
+                                           const std::string& delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t proposed = versions_[site] + 1;
+  for (int attempt = 0;; ++attempt) {
+    std::string body = request_header(MsgType::kPutSliceDelta);
+    append_varint(body, site);
+    append_varint(body, base_version);
+    append_varint(body, proposed);
+    append_bytes(body, delta);
+    std::string response = roundtrip(body);
+    std::size_t offset = 0;
+    WireStatus status = read_status(response, &offset);
+    try {
+      if (status == WireStatus::kOk) {
+        std::uint64_t stored = read_varint(response, &offset);
+        expect_end(response, offset);
+        versions_[site] = stored;
+        return stored;
+      }
+      if (status == WireStatus::kBaseMismatch) {
+        std::uint64_t current = read_varint(response, &offset);
+        expect_end(response, offset);
+        // Remember the server's version so the fallback full put proposes
+        // past it on the first attempt.
+        versions_[site] = std::max(versions_[site], current);
+        throw dist::SliceBaseMismatchError(current);
+      }
+      if (status == WireStatus::kStaleVersion) {
+        std::uint64_t current = read_varint(response, &offset);
+        expect_end(response, offset);
+        if (attempt == 0) {
+          proposed = current + 1;
+          ++stats_.stale_retries;
+          continue;
+        }
+        throw StoreUnavailableError(
+            "armus-kv: PUT_SLICE_DELTA still stale after re-sequencing "
+            "(current " + std::to_string(current) + ", proposed " +
+            std::to_string(proposed) + ")");
+      }
+    } catch (const CodecError&) {
+      disconnect_locked("malformed response");
+      throw StoreUnavailableError("armus-kv: malformed PUT_SLICE_DELTA response");
+    }
+    throw StoreUnavailableError("armus-kv: PUT_SLICE_DELTA failed: " +
+                                to_string(status));
+  }
+}
+
 void RemoteStore::remove_slice(dist::SiteId site) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string body = request_header(MsgType::kClear);
@@ -162,6 +213,41 @@ std::vector<dist::Slice> RemoteStore::snapshot() const {
   } catch (const CodecError&) {
     disconnect_locked("malformed response");
     throw StoreUnavailableError("armus-kv: malformed LIST_SLICES response");
+  }
+}
+
+dist::DeltaSnapshot RemoteStore::snapshot_since(std::uint64_t since) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body = request_header(MsgType::kListSlicesSince);
+  append_varint(body, since);
+  std::string response = roundtrip(body);
+  std::size_t offset = 0;
+  WireStatus status = read_status(response, &offset);
+  if (status != WireStatus::kOk) {
+    throw StoreUnavailableError("armus-kv: LIST_SLICES_SINCE failed: " +
+                                to_string(status));
+  }
+  try {
+    dist::DeltaSnapshot delta;
+    delta.generation = read_varint(response, &offset);
+    delta.version = read_varint(response, &offset);
+    std::uint64_t nchanged = read_varint(response, &offset);
+    delta.changed.reserve(nchanged);
+    for (std::uint64_t i = 0; i < nchanged; ++i) {
+      delta.changed.push_back(read_slice(response, &offset));
+    }
+    std::uint64_t nlive = read_varint(response, &offset);
+    delta.live_sites.reserve(nlive);
+    for (std::uint64_t i = 0; i < nlive; ++i) {
+      delta.live_sites.push_back(
+          static_cast<dist::SiteId>(read_varint(response, &offset)));
+    }
+    expect_end(response, offset);
+    return delta;
+  } catch (const CodecError&) {
+    disconnect_locked("malformed response");
+    throw StoreUnavailableError(
+        "armus-kv: malformed LIST_SLICES_SINCE response");
   }
 }
 

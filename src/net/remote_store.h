@@ -68,9 +68,23 @@ class RemoteStore final : public dist::SliceStore {
   /// retries once. Throws dist::StoreUnavailableError on network failure.
   std::uint64_t put_slice(dist::SiteId site, std::string payload) override;
 
+  /// PUT_SLICE_DELTA: ships a codec delta frame instead of the full
+  /// payload; the server applies it to the slice it holds at exactly
+  /// `base_version`. Throws dist::SliceBaseMismatchError when the server's
+  /// slice is not at that base (the caller then re-publishes in full) and
+  /// dist::StoreUnavailableError on network failure.
+  std::uint64_t put_slice_delta(dist::SiteId site, std::uint64_t base_version,
+                                const std::string& delta) override;
+
   void remove_slice(dist::SiteId site) override;
 
   [[nodiscard]] std::vector<dist::Slice> snapshot() const override;
+
+  /// LIST_SLICES_SINCE: only the slices changed after store version
+  /// `since` travel — the read-narrowing that keeps an N-site reader's
+  /// per-check traffic proportional to what actually changed.
+  [[nodiscard]] dist::DeltaSnapshot snapshot_since(
+      std::uint64_t since) const override;
 
   // --- armus-kv extras -----------------------------------------------------
 

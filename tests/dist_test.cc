@@ -9,6 +9,7 @@
 #include "dist/site.h"
 #include "phaser/phaser.h"
 #include "runtime/task.h"
+#include "util/rng.h"
 
 namespace armus::dist {
 namespace {
@@ -55,6 +56,58 @@ TEST(CodecTest, RejectsTrailingGarbage) {
 TEST(CodecTest, RejectsBogusCounts) {
   std::string bytes(8, '\xff');  // count = 2^64-1
   EXPECT_THROW(decode_statuses(bytes), std::runtime_error);
+}
+
+// --- delta frames ------------------------------------------------------------
+
+TEST(DeltaCodecTest, RoundTripsUpsertsAndRemovals) {
+  SliceDelta in;
+  in.upserts = {status(2, {{1, 2}}, {{1, 2}}), status(7, {{3, 1}}, {})};
+  in.removals = {4, 9};
+  SliceDelta out = decode_delta(encode_delta(in));
+  EXPECT_EQ(out.upserts, in.upserts);
+  EXPECT_EQ(out.removals, in.removals);
+}
+
+TEST(DeltaCodecTest, RejectsTruncationAndTrailingGarbage) {
+  SliceDelta delta;
+  delta.upserts = {status(2, {{1, 2}}, {{1, 2}})};
+  delta.removals = {9};
+  std::string bytes = encode_delta(delta);
+  for (std::size_t cut = 1; cut <= bytes.size(); ++cut) {
+    EXPECT_THROW(decode_delta(std::string_view(bytes).substr(0, bytes.size() - cut)),
+                 CodecError);
+  }
+  EXPECT_THROW(decode_delta(bytes + "x"), CodecError);
+}
+
+TEST(DeltaCodecTest, DiffThenApplyReconstructsAnyBatchPair) {
+  // For arbitrary sorted batches `from` and `to`:
+  //   apply_delta(from, diff_statuses(from, to)) == to,
+  // including through an encode/decode of the delta frame.
+  util::Xoshiro256 rng(7);
+  for (int round = 0; round < 200; ++round) {
+    auto random_batch = [&rng]() {
+      std::vector<BlockedStatus> batch;
+      std::size_t count = rng.below(10);
+      for (TaskId t = 1; batch.size() < count; ++t) {
+        if (rng.chance(0.5)) {
+          batch.push_back(status(t, {{1 + rng.below(4), 1 + rng.below(3)}},
+                                 {{1 + rng.below(4), rng.below(3)}}));
+        }
+      }
+      return batch;
+    };
+    std::vector<BlockedStatus> from = random_batch();
+    std::vector<BlockedStatus> to = random_batch();
+    SliceDelta delta = decode_delta(encode_delta(diff_statuses(from, to)));
+    EXPECT_EQ(apply_delta(from, delta), to) << "round " << round;
+  }
+}
+
+TEST(DeltaCodecTest, EmptyDiffForIdenticalBatches) {
+  std::vector<BlockedStatus> batch{status(1, {{1, 1}}, {{2, 0}})};
+  EXPECT_TRUE(diff_statuses(batch, batch).empty());
 }
 
 // --- store -------------------------------------------------------------------
@@ -112,20 +165,22 @@ TEST(SliceCacheTest, OnlyRedecodesChangedSlices) {
   store.put_slice(2, encode_statuses({status(2, {{2, 1}}, {})}));
 
   SliceCache cache;
-  EXPECT_EQ(cache.merge(store.snapshot()).size(), 2u);
+  cache.apply(store.snapshot_since(0));
+  EXPECT_EQ(cache.merged().size(), 2u);
   EXPECT_EQ(cache.decodes(), 2u);
 
   // Unchanged snapshot: merged view served entirely from the cache.
   for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(cache.status_count(store.snapshot()), 2u);
+    cache.apply(store.snapshot_since(0));
+    EXPECT_EQ(cache.merged_count(), 2u);
   }
   EXPECT_EQ(cache.decodes(), 2u);
 
   // One slice republished → exactly one further decode.
   store.put_slice(2, encode_statuses({status(2, {{2, 2}}, {}),
                                       status(3, {{2, 2}}, {})}));
-  auto merged = cache.merge(store.snapshot());
-  EXPECT_EQ(merged.size(), 3u);
+  cache.apply(store.snapshot_since(0));
+  EXPECT_EQ(cache.merged().size(), 3u);
   EXPECT_EQ(cache.decodes(), 3u);
 }
 
@@ -134,10 +189,12 @@ TEST(SliceCacheTest, EvictsRemovedSites) {
   store.put_slice(1, encode_statuses({status(1, {{1, 1}}, {})}));
   store.put_slice(2, encode_statuses({status(2, {{2, 1}}, {})}));
   SliceCache cache;
-  EXPECT_EQ(cache.status_count(store.snapshot()), 2u);
+  cache.apply(store.snapshot_since(0));
+  EXPECT_EQ(cache.merged_count(), 2u);
   store.remove_slice(1);
-  EXPECT_EQ(cache.status_count(store.snapshot()), 1u);
-  EXPECT_EQ(cache.merge(store.snapshot())[0].task, 2u);
+  cache.apply(store.snapshot_since(0));
+  EXPECT_EQ(cache.merged_count(), 1u);
+  EXPECT_EQ(cache.merged()[0].task, 2u);
 }
 
 TEST(SliceCacheTest, RemembersCorruptVerdictUntilRepublish) {
@@ -149,7 +206,8 @@ TEST(SliceCacheTest, RemembersCorruptVerdictUntilRepublish) {
   auto on_corrupt = [&](SiteId, const CodecError&) { ++corrupt_reports; };
 
   for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(cache.merge(store.snapshot(), on_corrupt).size(), 1u);
+    cache.apply(store.snapshot_since(0), on_corrupt);
+    EXPECT_EQ(cache.merged().size(), 1u);
   }
   // The corrupt slice was decoded (and reported) once, not per call.
   EXPECT_EQ(corrupt_reports, 1);
@@ -157,7 +215,8 @@ TEST(SliceCacheTest, RemembersCorruptVerdictUntilRepublish) {
 
   // A healthy republish of the bad site clears the verdict.
   store.put_slice(1, encode_statuses({status(1, {{1, 1}}, {})}));
-  EXPECT_EQ(cache.merge(store.snapshot(), on_corrupt).size(), 2u);
+  cache.apply(store.snapshot_since(0), on_corrupt);
+  EXPECT_EQ(cache.merged().size(), 2u);
   EXPECT_EQ(corrupt_reports, 1);
 }
 
@@ -165,9 +224,28 @@ TEST(SliceCacheTest, PropagatesCodecErrorWithoutCallback) {
   Store store;
   store.put_slice(1, "garbage");
   SliceCache cache;
-  EXPECT_THROW(cache.merge(store.snapshot()), CodecError);
+  EXPECT_THROW(cache.apply(store.snapshot_since(0)), CodecError);
   // Not cached as success: the next call still fails.
-  EXPECT_THROW(cache.status_count(store.snapshot()), CodecError);
+  EXPECT_THROW(cache.apply(store.snapshot_since(0)), CodecError);
+}
+
+TEST(SliceCacheTest, ClearForcesRedecodeDespiteMatchingVersions) {
+  // The restart case: after clear(), a slice whose version *collides*
+  // with the previously cached one (a different store lifetime) must be
+  // re-decoded, not served from the stale entry.
+  Store store;
+  store.put_slice(1, encode_statuses({status(1, {{1, 1}}, {})}));
+  SliceCache cache;
+  cache.apply(store.snapshot_since(0));
+  EXPECT_EQ(cache.decodes(), 1u);
+
+  Store reborn;  // fresh lifetime, same site, same slice version 1
+  reborn.put_slice(1, encode_statuses({status(9, {{9, 1}}, {})}));
+  cache.clear();
+  cache.apply(reborn.snapshot_since(0));
+  EXPECT_EQ(cache.decodes(), 2u);
+  ASSERT_EQ(cache.merged().size(), 1u);
+  EXPECT_EQ(cache.merged()[0].task, 9u);
 }
 
 TEST(SharedStoreTest, BlockedCountIsCachedByVersion) {
@@ -382,6 +460,271 @@ TEST(DistEndToEndTest, CrossSitePhaserDeadlockDetected) {
   cluster.stop();
   EXPECT_GE(reports, 1u);
   EXPECT_TRUE(resolved.load());
+}
+
+// --- change-narrowed reads (snapshot_since) -----------------------------------
+
+TEST(SnapshotSinceTest, ReturnsOnlySlicesChangedAfterTheGivenVersion) {
+  Store store;
+  EXPECT_EQ(store.version(), 1u);  // empty store, counter starts at 1
+
+  store.put_slice(1, "a");
+  std::uint64_t v1 = store.version();
+  store.put_slice(2, "b");
+  std::uint64_t v2 = store.version();
+  EXPECT_GT(v2, v1);
+
+  DeltaSnapshot all = store.snapshot_since(0);
+  EXPECT_EQ(all.version, v2);
+  EXPECT_NE(all.generation, 0u);  // versioned stores always report one
+  ASSERT_EQ(all.changed.size(), 2u);
+  EXPECT_EQ(all.live_sites, (std::vector<SiteId>{1, 2}));
+
+  DeltaSnapshot none = store.snapshot_since(v2);
+  EXPECT_EQ(none.version, v2);
+  EXPECT_EQ(none.generation, all.generation);  // stable per store lifetime
+  EXPECT_TRUE(none.changed.empty());
+  EXPECT_EQ(none.live_sites, (std::vector<SiteId>{1, 2}));
+
+  DeltaSnapshot since_v1 = store.snapshot_since(v1);
+  ASSERT_EQ(since_v1.changed.size(), 1u);
+  EXPECT_EQ(since_v1.changed[0].site, 2u);
+}
+
+TEST(SnapshotSinceTest, RemovalAdvancesTheVersionAndShrinksTheLiveList) {
+  Store store;
+  store.put_slice(1, "a");
+  store.put_slice(2, "b");
+  std::uint64_t v = store.version();
+
+  store.remove_slice(1);
+  DeltaSnapshot delta = store.snapshot_since(v);
+  EXPECT_GT(delta.version, v);  // the removal is itself a change
+  EXPECT_TRUE(delta.changed.empty());
+  EXPECT_EQ(delta.live_sites, (std::vector<SiteId>{2}));
+}
+
+TEST(SnapshotSinceTest, ThrowsDuringOutage) {
+  Store store;
+  store.set_available(false);
+  EXPECT_THROW(store.snapshot_since(0), StoreUnavailableError);
+}
+
+TEST(SnapshotSinceTest, GenerationIsPinnableForWireTests) {
+  Store::Config config;
+  config.generation = 42;
+  Store store(config);
+  EXPECT_EQ(store.snapshot_since(0).generation, 42u);
+}
+
+TEST(SnapshotSinceTest, UnversionedFallbackReturnsEverythingEveryTime) {
+  // A SliceStore subclass that only implements the mandatory interface
+  // gets the conservative default: full reads, version 0, never skipped.
+  class MinimalStore : public SliceStore {
+   public:
+    std::uint64_t put_slice(SiteId site, std::string payload) override {
+      slices_[site] = Slice{site, std::move(payload), ++counter_};
+      return counter_;
+    }
+    void remove_slice(SiteId site) override { slices_.erase(site); }
+    [[nodiscard]] std::vector<Slice> snapshot() const override {
+      std::vector<Slice> out;
+      for (const auto& [site, slice] : slices_) out.push_back(slice);
+      return out;
+    }
+
+   private:
+    std::map<SiteId, Slice> slices_;
+    std::uint64_t counter_ = 0;
+  };
+
+  MinimalStore store;
+  store.put_slice(3, "x");
+  DeltaSnapshot delta = store.snapshot_since(12345);
+  EXPECT_EQ(delta.version, 0u);     // unversioned sentinel
+  EXPECT_EQ(delta.generation, 0u);  // no lifetime tracking either
+  ASSERT_EQ(delta.changed.size(), 1u);
+  EXPECT_EQ(delta.live_sites, (std::vector<SiteId>{3}));
+  EXPECT_THROW(store.put_slice_delta(3, 1, ""), SliceBaseMismatchError);
+}
+
+// --- delta publishes against the in-process store -----------------------------
+
+TEST(PutSliceDeltaTest, AppliesTheDeltaToTheStoredBatch) {
+  Store store;
+  std::vector<BlockedStatus> base{
+      status(1, {{1, 1}}, {{1, 1}}),
+      status(2, {{2, 1}}, {{2, 1}}),
+  };
+  std::uint64_t v1 = store.put_slice(7, encode_statuses(base));
+
+  SliceDelta delta;
+  delta.upserts = {status(2, {{2, 2}}, {{2, 2}})};
+  delta.removals = {1};
+  std::uint64_t v2 = store.put_slice_delta(7, v1, encode_delta(delta));
+  EXPECT_GT(v2, v1);
+
+  auto slice = store.get_slice(7);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(decode_statuses(slice->payload),
+            (std::vector<BlockedStatus>{status(2, {{2, 2}}, {{2, 2}})}));
+}
+
+TEST(PutSliceDeltaTest, RejectsWrongBaseWithTheCurrentVersion) {
+  Store store;
+  std::uint64_t v1 = store.put_slice(7, encode_statuses({}));
+  std::uint64_t v2 = store.put_slice(7, encode_statuses({}));
+  ASSERT_GT(v2, v1);
+  try {
+    store.put_slice_delta(7, v1, encode_delta({}));
+    FAIL() << "expected SliceBaseMismatchError";
+  } catch (const SliceBaseMismatchError& e) {
+    EXPECT_EQ(e.current_version(), v2);
+  }
+  // Unknown site: mismatch too (current 0), never a crash.
+  EXPECT_THROW(store.put_slice_delta(99, 1, encode_delta({})),
+               SliceBaseMismatchError);
+}
+
+// --- SliceCache::apply --------------------------------------------------------
+
+TEST(SliceCacheTest, ApplyDecodesOnlyChangedSlicesAndEvictsDeadSites) {
+  Store store;
+  store.put_slice(1, encode_statuses({status(1, {{1, 1}}, {})}));
+  store.put_slice(2, encode_statuses({status(2, {{2, 1}}, {})}));
+
+  SliceCache cache;
+  cache.apply(store.snapshot_since(0));
+  EXPECT_EQ(cache.decodes(), 2u);
+  EXPECT_EQ(cache.merged_count(), 2u);
+  std::uint64_t seen = store.version();
+
+  // Nothing changed: an empty delta costs zero decodes.
+  cache.apply(store.snapshot_since(seen));
+  EXPECT_EQ(cache.decodes(), 2u);
+
+  // One site republishes, another dies: one decode, one eviction.
+  store.put_slice(2, encode_statuses({status(2, {{2, 2}}, {}),
+                                      status(3, {{2, 2}}, {})}));
+  store.remove_slice(1);
+  cache.apply(store.snapshot_since(seen));
+  EXPECT_EQ(cache.decodes(), 3u);
+  auto merged = cache.merged();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].task, 2u);
+  EXPECT_EQ(merged[1].task, 3u);
+}
+
+// --- site publish skipping / delta publishing / check skipping ----------------
+
+TEST(SitePublishTest, UnchangedSliceSkipsTheStoreWrite) {
+  auto store = std::make_shared<Store>();
+  Site::Config config;
+  config.id = 1;
+  Site site(config, store);
+  site.verifier().state().set_blocked(status(1, {{1, 1}}, {{1, 1}}));
+
+  ASSERT_TRUE(site.publish_now());
+  std::uint64_t writes = store->writes();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(site.publish_now());
+  EXPECT_EQ(store->writes(), writes);  // not a single further store write
+  EXPECT_EQ(site.stats().publishes, 1u);
+  EXPECT_EQ(site.stats().publishes_skipped, 5u);
+
+  // A real change publishes again.
+  site.verifier().state().set_blocked(status(2, {{1, 1}}, {{1, 0}}));
+  ASSERT_TRUE(site.publish_now());
+  EXPECT_EQ(site.stats().publishes, 2u);
+}
+
+TEST(SitePublishTest, SmallChangeOnALargeSliceGoesOutAsADelta) {
+  auto store = std::make_shared<Store>();
+  Site::Config config;
+  config.id = 1;
+  Site site(config, store);
+  // Enough tasks that the payload clears delta_min_bytes.
+  for (TaskId t = 1; t <= 64; ++t) {
+    site.verifier().state().set_blocked(status(t, {{t, 1}}, {{t, 1}}));
+  }
+  ASSERT_TRUE(site.publish_now());
+  EXPECT_EQ(site.stats().delta_publishes, 0u);  // first publish is full
+
+  site.verifier().state().set_blocked(status(1, {{1, 2}}, {{1, 2}}));
+  ASSERT_TRUE(site.publish_now());
+  EXPECT_EQ(site.stats().delta_publishes, 1u);
+
+  // The stored slice must equal the full encoding of the site's state —
+  // readers cannot tell a delta publish from a full one.
+  auto slice = store->get_slice(1);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(slice->payload, encode_statuses(site.verifier().current_snapshot()));
+}
+
+TEST(SitePublishTest, FullSliceAfterBaseMismatch) {
+  auto store = std::make_shared<Store>();
+  Site::Config config;
+  config.id = 1;
+  Site site(config, store);
+  for (TaskId t = 1; t <= 64; ++t) {
+    site.verifier().state().set_blocked(status(t, {{t, 1}}, {{t, 1}}));
+  }
+  ASSERT_TRUE(site.publish_now());
+
+  // Someone else overwrote our slice (e.g. a zombie writer): the site's
+  // base is stale, so the delta is rejected and the full payload goes out.
+  store->put_slice(1, encode_statuses({}));
+  site.verifier().state().set_blocked(status(1, {{1, 2}}, {{1, 2}}));
+  ASSERT_TRUE(site.publish_now());
+  EXPECT_EQ(site.stats().delta_publishes, 0u);
+  auto slice = store->get_slice(1);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(decode_statuses(slice->payload).size(), 64u);
+}
+
+TEST(SiteCheckTest, UnchangedStoreSkipsChecksAndFetchesNothing) {
+  auto store = std::make_shared<Store>();
+  Site::Config config;
+  config.id = 0;
+  Site a(config, store);
+  config.id = 1;
+  Site b(config, store);
+  a.verifier().state().set_blocked(status(1, {{1, 1}}, {{2, 0}}));
+  b.verifier().state().set_blocked(status(2, {{2, 1}}, {{1, 0}}));
+  ASSERT_TRUE(a.publish_now());
+  ASSERT_TRUE(b.publish_now());
+
+  ASSERT_TRUE(b.check_now());
+  EXPECT_EQ(b.stats().checks, 1u);
+  EXPECT_EQ(b.stats().slices_fetched, 2u);
+  EXPECT_EQ(b.reported().size(), 1u);  // the cross-site cycle
+
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(b.check_now());
+  EXPECT_EQ(b.stats().checks, 1u);
+  EXPECT_EQ(b.stats().checks_skipped, 5u);
+  EXPECT_EQ(b.stats().slices_fetched, 2u);  // nothing re-fetched
+
+  // One site republishes a real change: exactly one slice travels.
+  a.verifier().state().set_blocked(status(1, {{1, 2}}, {{2, 0}}));
+  ASSERT_TRUE(a.publish_now());
+  ASSERT_TRUE(b.check_now());
+  EXPECT_EQ(b.stats().checks, 2u);
+  EXPECT_EQ(b.stats().slices_fetched, 3u);
+}
+
+TEST(SiteCheckTest, SliceRemovalIsSeenDespiteTheSkipPath) {
+  auto store = std::make_shared<Store>();
+  Site::Config config;
+  config.id = 0;
+  Site site(config, store);
+  store->put_slice(9, encode_statuses({status(90, {{9, 1}}, {})}));
+
+  ASSERT_TRUE(site.check_now());
+  ASSERT_TRUE(site.check_now());  // skipped
+  EXPECT_EQ(site.stats().checks_skipped, 1u);
+
+  store->remove_slice(9);
+  ASSERT_TRUE(site.check_now());  // the removal bumped the store version
+  EXPECT_EQ(site.stats().checks, 2u);
 }
 
 }  // namespace

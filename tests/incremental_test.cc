@@ -1,0 +1,415 @@
+// Tests for the incremental scan engine: the IncrementalChecker must be
+// indistinguishable from the from-scratch builders for any sequence of
+// set_blocked/clear_blocked interleaved with checks (the property tests
+// below), the change epoch must make unchanged scans free, and the
+// BuiltGraph analysis cache must keep avoidance doom checks cheap and
+// correct.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/dependency_state.h"
+#include "core/incremental_checker.h"
+#include "core/verifier.h"
+#include "util/rng.h"
+
+namespace armus {
+namespace {
+
+BlockedStatus status(TaskId task, std::vector<Resource> waits,
+                     std::vector<RegEntry> registered) {
+  BlockedStatus s;
+  s.task = task;
+  s.waits = std::move(waits);
+  s.registered = std::move(registered);
+  return s;
+}
+
+std::vector<BlockedStatus> to_snapshot(
+    const std::map<TaskId, BlockedStatus>& state) {
+  std::vector<BlockedStatus> snapshot;
+  snapshot.reserve(state.size());
+  for (const auto& [task, s] : state) snapshot.push_back(s);
+  return snapshot;
+}
+
+/// Reports in a canonical order with canonical contents, so two result
+/// sets can be compared irrespective of SCC enumeration order.
+std::vector<std::tuple<std::vector<TaskId>, std::vector<Resource>, GraphModel>>
+normalised(const CheckResult& result) {
+  std::vector<std::tuple<std::vector<TaskId>, std::vector<Resource>, GraphModel>>
+      out;
+  for (const DeadlockReport& report : result.reports) {
+    out.emplace_back(report.tasks, report.resources, report.model);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void expect_same_result(const CheckResult& incremental,
+                        const CheckResult& scratch, const char* context) {
+  EXPECT_EQ(incremental.model_used, scratch.model_used) << context;
+  EXPECT_EQ(incremental.nodes, scratch.nodes) << context;
+  EXPECT_EQ(incremental.edges, scratch.edges) << context;
+  EXPECT_EQ(normalised(incremental), normalised(scratch)) << context;
+}
+
+BlockedStatus random_status(util::Xoshiro256& rng, TaskId task) {
+  BlockedStatus s;
+  s.task = task;
+  // Small id spaces force collisions: shared phasers, shared events, and
+  // the occasional duplicate wait/registration entry.
+  std::size_t nwaits = rng.below(3) + (rng.chance(0.8) ? 1 : 0);
+  for (std::size_t i = 0; i < nwaits; ++i) {
+    s.waits.push_back(Resource{1 + rng.below(5), 1 + rng.below(3)});
+  }
+  std::size_t nregs = rng.below(4);
+  for (std::size_t i = 0; i < nregs; ++i) {
+    s.registered.push_back({1 + rng.below(5), rng.below(3)});
+  }
+  return s;
+}
+
+/// The core property: an IncrementalChecker fed an arbitrary sequence of
+/// task-level mutations produces, at every check, exactly the result the
+/// from-scratch builder computes for the same snapshot.
+void run_property_sequence(GraphModel model, IncrementalChecker::Config config,
+                           std::uint64_t seed) {
+  config.model = model;
+  IncrementalChecker incremental(config);
+  std::map<TaskId, BlockedStatus> state;
+  util::Xoshiro256 rng(seed);
+
+  for (int step = 0; step < 300; ++step) {
+    std::uint64_t op = rng.below(10);
+    if (op < 5) {
+      TaskId task = 1 + rng.below(12);
+      state[task] = random_status(rng, task);
+    } else if (op < 7) {
+      if (!state.empty()) {
+        auto it = state.begin();
+        std::advance(it, rng.below(state.size()));
+        state.erase(it);
+      }
+    } else {
+      std::vector<BlockedStatus> snapshot = to_snapshot(state);
+      CheckResult inc = incremental.check(snapshot);
+      char context[64];
+      std::snprintf(context, sizeof(context), "model %s seed %llu step %d",
+                    to_string(model).c_str(),
+                    static_cast<unsigned long long>(seed), step);
+      if (model == GraphModel::kAuto) {
+        // The incremental engine applies the §5.1 density rule to the
+        // final edge count, while build_auto may fall back on a prefix;
+        // both are sound. Pin (a) exact equality against the from-scratch
+        // build of the concrete model the engine chose, and (b) verdict
+        // agreement with build_auto.
+        ASSERT_TRUE(inc.model_used == GraphModel::kSg ||
+                    inc.model_used == GraphModel::kWfg || snapshot.empty())
+            << context;
+        expect_same_result(inc, check_deadlocks(snapshot, inc.model_used),
+                           context);
+        EXPECT_EQ(inc.deadlocked(),
+                  check_deadlocks(snapshot, GraphModel::kAuto).deadlocked())
+            << context;
+      } else {
+        expect_same_result(inc, check_deadlocks(snapshot, model), context);
+      }
+    }
+  }
+}
+
+class IncrementalPropertyTest : public ::testing::TestWithParam<GraphModel> {};
+
+TEST_P(IncrementalPropertyTest, MatchesFromScratchUnderRandomChurn) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    run_property_sequence(GetParam(), IncrementalChecker::Config{}, seed);
+  }
+}
+
+TEST_P(IncrementalPropertyTest, MatchesFromScratchWhenAlwaysApplyingDeltas) {
+  // Never rebuild (beyond the unavoidable first build): every mutation goes
+  // through the per-task add/remove paths — the strictest exercise of the
+  // counted-edge bookkeeping.
+  IncrementalChecker::Config config;
+  config.rebuild_fraction = 1e9;
+  config.rebuild_min_tasks = 1u << 30;
+  for (std::uint64_t seed = 100; seed <= 104; ++seed) {
+    run_property_sequence(GetParam(), config, seed);
+  }
+}
+
+TEST_P(IncrementalPropertyTest, MatchesFromScratchWhenAlwaysRebuilding) {
+  IncrementalChecker::Config config;
+  config.rebuild_fraction = 0.0;
+  config.rebuild_min_tasks = 0;
+  for (std::uint64_t seed = 200; seed <= 202; ++seed) {
+    run_property_sequence(GetParam(), config, seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, IncrementalPropertyTest,
+                         ::testing::Values(GraphModel::kWfg, GraphModel::kSg,
+                                           GraphModel::kGrg,
+                                           GraphModel::kAuto),
+                         [](const auto& info) { return to_string(info.param); });
+
+// --- targeted incremental-maintenance cases ----------------------------------
+
+TEST(IncrementalCheckerTest, UnchangedSnapshotIsServedFromCache) {
+  IncrementalChecker checker(GraphModel::kWfg);
+  std::vector<BlockedStatus> snapshot{
+      status(1, {{1, 1}}, {{2, 0}}),
+      status(2, {{2, 1}}, {{1, 0}}),
+  };
+  CheckResult first = checker.check(snapshot);
+  EXPECT_TRUE(first.deadlocked());
+  EXPECT_EQ(checker.stats().graphs_built, 1u);
+
+  CheckResult second = checker.check(snapshot);
+  EXPECT_EQ(checker.stats().graphs_built, 1u);  // no new build
+  EXPECT_EQ(checker.stats().unchanged_hits, 1u);
+  EXPECT_EQ(normalised(first), normalised(second));
+}
+
+TEST(IncrementalCheckerTest, SmallChurnAppliesDeltasInsteadOfRebuilding) {
+  IncrementalChecker checker(GraphModel::kSg);
+  std::map<TaskId, BlockedStatus> state;
+  for (TaskId t = 1; t <= 64; ++t) {
+    state[t] = status(t, {{t, 1}}, {{t, 1}, {t + 1, 0}});
+  }
+  checker.check(to_snapshot(state));
+  EXPECT_EQ(checker.stats().full_rebuilds, 1u);
+
+  // One task churns per check: delta application, never a rebuild.
+  for (int round = 0; round < 10; ++round) {
+    Phase phase = 1 + static_cast<Phase>(round % 2);
+    state[1] = status(1, {{1, phase}}, {{1, 1}});
+    CheckResult result = checker.check(to_snapshot(state));
+    expect_same_result(result, check_deadlocks(to_snapshot(state), GraphModel::kSg),
+                       "small churn");
+  }
+  EXPECT_EQ(checker.stats().full_rebuilds, 1u);
+  EXPECT_EQ(checker.stats().delta_applies, 10u);
+  EXPECT_EQ(checker.stats().tasks_applied, 10u);
+}
+
+TEST(IncrementalCheckerTest, LargeChurnFallsBackToRebuild) {
+  IncrementalChecker checker(GraphModel::kWfg);
+  std::map<TaskId, BlockedStatus> state;
+  for (TaskId t = 1; t <= 40; ++t) state[t] = status(t, {{1, 1}}, {{1, 1}});
+  checker.check(to_snapshot(state));
+
+  // Change every task at once: the delta fraction is 1.0, far above the
+  // default rebuild threshold.
+  for (TaskId t = 1; t <= 40; ++t) state[t] = status(t, {{2, 1}}, {{2, 1}});
+  checker.check(to_snapshot(state));
+  EXPECT_EQ(checker.stats().full_rebuilds, 2u);
+  EXPECT_EQ(checker.stats().delta_applies, 0u);
+}
+
+TEST(IncrementalCheckerTest, EmptySnapshotMatchesFromScratch) {
+  IncrementalChecker checker(GraphModel::kSg);
+  std::vector<BlockedStatus> empty;
+  CheckResult result = checker.check(empty);
+  EXPECT_FALSE(result.deadlocked());
+  EXPECT_EQ(result.nodes, 0u);
+  EXPECT_EQ(result.model_used, GraphModel::kWfg);  // the scratch default
+
+  // Populate, then drain back to empty through the delta path.
+  std::vector<BlockedStatus> two{
+      status(1, {{1, 1}}, {{2, 0}}),
+      status(2, {{2, 1}}, {{1, 0}}),
+  };
+  EXPECT_TRUE(checker.check(two).deadlocked());
+  EXPECT_FALSE(checker.check(empty).deadlocked());
+  EXPECT_EQ(checker.built().nodes(), 0u);
+}
+
+TEST(IncrementalCheckerTest, DuplicateWaitAndRegistrationEntriesSurviveChurn) {
+  // Duplicate entries must contribute symmetrically on add and remove.
+  IncrementalChecker checker(GraphModel::kGrg);
+  std::map<TaskId, BlockedStatus> state;
+  state[1] = status(1, {{1, 1}, {1, 1}}, {{2, 0}, {2, 0}});
+  state[2] = status(2, {{2, 1}}, {{1, 0}, {1, 0}});
+  expect_same_result(checker.check(to_snapshot(state)),
+                     check_deadlocks(to_snapshot(state), GraphModel::kGrg),
+                     "duplicates present");
+  state.erase(1);
+  expect_same_result(checker.check(to_snapshot(state)),
+                     check_deadlocks(to_snapshot(state), GraphModel::kGrg),
+                     "duplicates removed");
+}
+
+TEST(IncrementalCheckerTest, BuiltGraphSupportsDoomQueries) {
+  IncrementalChecker checker(GraphModel::kWfg);
+  std::vector<BlockedStatus> snapshot{
+      status(1, {{1, 1}}, {{2, 0}}),
+      status(2, {{2, 1}}, {{1, 0}}),
+      status(3, {{9, 1}}, {}),  // waits on an event nobody impedes
+  };
+  checker.check(snapshot);
+  EXPECT_TRUE(task_is_doomed(checker.built(), snapshot, 1));
+  EXPECT_TRUE(task_is_doomed(checker.built(), snapshot, 2));
+  EXPECT_FALSE(task_is_doomed(checker.built(), snapshot, 3));
+  EXPECT_FALSE(task_is_doomed(checker.built(), snapshot, 42));  // unknown task
+}
+
+// --- the change epoch (StateStore::version + TaskRegistry::version) -----------
+
+TEST(ChangeEpochTest, DependencyStateBumpsOnlyOnRealChanges) {
+  DependencyState store;
+  std::uint64_t v0 = store.version();
+  EXPECT_NE(v0, StateStore::kUnversioned);
+
+  store.set_blocked(status(1, {{1, 1}}, {}));
+  std::uint64_t v1 = store.version();
+  EXPECT_GT(v1, v0);
+
+  // Re-publishing the identical status (the avoidance recheck pattern)
+  // must not advance the epoch.
+  store.set_blocked(status(1, {{1, 1}}, {}));
+  EXPECT_EQ(store.version(), v1);
+
+  store.set_blocked(status(1, {{1, 2}}, {}));
+  std::uint64_t v2 = store.version();
+  EXPECT_GT(v2, v1);
+
+  store.clear_blocked(99);  // absent: no change
+  EXPECT_EQ(store.version(), v2);
+  store.clear_blocked(1);
+  EXPECT_GT(store.version(), v2);
+
+  std::uint64_t v3 = store.version();
+  store.clear();  // already empty: no change
+  EXPECT_EQ(store.version(), v3);
+  store.set_blocked(status(2, {{1, 1}}, {}));
+  store.clear();
+  EXPECT_GT(store.version(), v3);
+}
+
+TEST(ChangeEpochTest, TaskRegistryBumpsOnlyOnRealChanges) {
+  TaskRegistry registry;
+  std::uint64_t v0 = registry.version();
+
+  registry.set_entry(1, 7, 3);
+  std::uint64_t v1 = registry.version();
+  EXPECT_GT(v1, v0);
+  registry.set_entry(1, 7, 3);  // identical: no change
+  EXPECT_EQ(registry.version(), v1);
+  registry.set_entry(1, 7, 4);
+  EXPECT_GT(registry.version(), v1);
+
+  std::uint64_t v2 = registry.version();
+  registry.remove_entry(1, 99);  // absent phaser
+  registry.remove_entry(2, 7);   // absent task
+  EXPECT_EQ(registry.version(), v2);
+  registry.remove_entry(1, 7);
+  EXPECT_GT(registry.version(), v2);
+
+  std::uint64_t v3 = registry.version();
+  registry.remove_task(5);  // absent: no change
+  EXPECT_EQ(registry.version(), v3);
+}
+
+// --- epoch-skipping scans (the steady-state O(changed) guarantee) -------------
+
+VerifierConfig manual_detection_config() {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.scanner_enabled = false;  // driven by scan_now below
+  config.on_deadlock = [](const DeadlockReport&) {};
+  return config;
+}
+
+TEST(EpochSkipTest, UnchangedStateSkipsScansEntirely) {
+  Verifier verifier(manual_detection_config());
+  verifier.state().set_blocked(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+  verifier.state().set_blocked(status(2, {{2, 1}}, {{2, 1}}));
+
+  EXPECT_TRUE(verifier.scan_now());
+  Verifier::Stats after_first = verifier.stats();
+  EXPECT_EQ(after_first.graphs_built, 1u);
+  EXPECT_EQ(after_first.scans_skipped, 0u);
+
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(verifier.scan_now());
+  Verifier::Stats after = verifier.stats();
+  EXPECT_EQ(after.scans_skipped, 50u);
+  EXPECT_EQ(after.graphs_built, 1u);  // zero builds while nothing changed
+  EXPECT_EQ(after.checks, after_first.checks);  // zero snapshot analyses too
+}
+
+TEST(EpochSkipTest, IdenticalRepublishKeepsScansSkippable) {
+  Verifier verifier(manual_detection_config());
+  BlockedStatus s = status(1, {{1, 1}}, {{1, 1}});
+  verifier.state().set_blocked(s);
+  EXPECT_TRUE(verifier.scan_now());
+
+  verifier.state().set_blocked(s);  // identical re-publish
+  EXPECT_FALSE(verifier.scan_now());
+
+  verifier.state().set_blocked(status(1, {{1, 2}}, {{1, 2}}));  // real change
+  EXPECT_TRUE(verifier.scan_now());
+}
+
+TEST(EpochSkipTest, ChangeAfterSkipsIsScannedAndDetected) {
+  Verifier verifier(manual_detection_config());
+  verifier.state().set_blocked(status(1, {{1, 1}}, {{2, 0}}));
+  EXPECT_TRUE(verifier.scan_now());
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(verifier.scan_now());
+
+  // Close the cycle: the next scan must run and report it.
+  verifier.state().set_blocked(status(2, {{2, 1}}, {{1, 0}}));
+  EXPECT_TRUE(verifier.scan_now());
+  ASSERT_EQ(verifier.reported().size(), 1u);
+  EXPECT_EQ(verifier.reported()[0].tasks, (std::vector<TaskId>{1, 2}));
+}
+
+TEST(EpochSkipTest, RegistryChangeAloneInvalidatesTheEpoch) {
+  Verifier verifier(manual_detection_config());
+  verifier.state().set_blocked(status(1, {{1, 1}}, {}));
+  EXPECT_TRUE(verifier.scan_now());
+  EXPECT_FALSE(verifier.scan_now());
+
+  // A registration performed on behalf of the blocked task (X10 `clocked`,
+  // PL `reg`) changes the analysis input without touching the store.
+  verifier.registry().set_entry(1, 3, 0);
+  EXPECT_TRUE(verifier.scan_now());
+}
+
+TEST(EpochSkipTest, CheckNowServesCachedResultWhileUnchanged) {
+  Verifier verifier(manual_detection_config());
+  verifier.state().set_blocked(status(1, {{1, 1}}, {{2, 0}}));
+  verifier.state().set_blocked(status(2, {{2, 1}}, {{1, 0}}));
+
+  CheckResult first = verifier.check_now();
+  EXPECT_TRUE(first.deadlocked());
+  for (int i = 0; i < 10; ++i) {
+    CheckResult again = verifier.check_now();
+    EXPECT_EQ(normalised(again), normalised(first));
+  }
+  Verifier::Stats stats = verifier.stats();
+  EXPECT_EQ(stats.graphs_built, 1u);
+  EXPECT_EQ(stats.checks, 11u);  // every check_now still counts as a check
+}
+
+TEST(EpochSkipTest, AvoidanceRecheckReusesTheGraphAcrossPolls) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kAvoidance;
+  Verifier verifier(config);
+
+  BlockedStatus s1 = status(1, {{1, 1}}, {{1, 1}});
+  verifier.before_block(s1);  // no cycle: allowed to block
+  // Polling with the identical status must not rebuild the graph.
+  Verifier::Stats before = verifier.stats();
+  for (int i = 0; i < 20; ++i) verifier.recheck_blocked(s1);
+  Verifier::Stats after = verifier.stats();
+  EXPECT_EQ(after.graphs_built, before.graphs_built);
+  EXPECT_EQ(after.checks, before.checks + 20);
+}
+
+}  // namespace
+}  // namespace armus

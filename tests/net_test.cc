@@ -88,6 +88,60 @@ TEST(ProtocolTest, DocumentedPutSliceExample) {
   EXPECT_EQ(hex(framed.substr(0, 4)), "0f 00 00 00");
 }
 
+TEST(ProtocolTest, DocumentedDeltaFrameExample) {
+  // docs/WIRE_PROTOCOL.md §1 "Delta frame" example: remove task 9.
+  dist::SliceDelta delta;
+  delta.removals = {9};
+  EXPECT_EQ(hex(dist::encode_delta(delta)), "00 01 09");
+}
+
+TEST(ProtocolTest, DocumentedPutSliceDeltaExample) {
+  // docs/WIRE_PROTOCOL.md §8 worked example: site 2, base 3, proposed 4,
+  // upserting task 7's advanced status.
+  dist::SliceDelta delta;
+  delta.upserts = {status(7, {{1, 2}}, {{1, 2}, {2, 0}})};
+  std::string encoded = dist::encode_delta(delta);
+  EXPECT_EQ(hex(encoded), "01 07 01 01 02 02 01 02 02 00 00");
+
+  std::string body = request_header(MsgType::kPutSliceDelta);
+  append_varint(body, 2);  // site
+  append_varint(body, 3);  // base
+  append_varint(body, 4);  // proposed version
+  append_bytes(body, encoded);
+  EXPECT_EQ(hex(body), "01 06 02 03 04 0b 01 07 01 01 02 02 01 02 02 00 00");
+  EXPECT_EQ(hex(frame(body).substr(0, 4)), "11 00 00 00");
+}
+
+TEST(ProtocolTest, DocumentedListSlicesSinceExample) {
+  // docs/WIRE_PROTOCOL.md §7 worked example: on a store with boot
+  // generation 7, site 1 publishes, then site 2 publishes the §1 payload;
+  // a reader that saw store version 2 asks for everything since then and
+  // receives only site 2's slice.
+  dist::Store::Config backing_config;
+  backing_config.generation = 7;
+  KvServer server(KvServer::Config{},
+                  std::make_shared<dist::Store>(backing_config));
+  std::string put1 = request_header(MsgType::kPutSlice);
+  append_varint(put1, 1);
+  append_varint(put1, 1);
+  append_bytes(put1, dist::encode_statuses({status(1, {{1, 1}}, {})}));
+  ASSERT_EQ(server.handle_request(put1).substr(0, 1), std::string(1, '\0'));
+
+  std::string put2 = request_header(MsgType::kPutSlice);
+  append_varint(put2, 2);
+  append_varint(put2, 1);
+  append_bytes(put2,
+               dist::encode_statuses({status(7, {{1, 1}}, {{1, 1}, {2, 0}})}));
+  ASSERT_EQ(server.handle_request(put2).substr(0, 1), std::string(1, '\0'));
+
+  std::string request = request_header(MsgType::kListSlicesSince);
+  append_varint(request, 2);  // since = store version 2
+  EXPECT_EQ(hex(request), "01 07 02");
+
+  EXPECT_EQ(hex(server.handle_request(request)),
+            "00 07 03 01 02 01 0a 01 07 01 01 01 02 01 01 02 00 02 01 02");
+}
+
 TEST(ProtocolTest, SliceRoundTrip) {
   dist::Slice in;
   in.site = 300;
@@ -201,6 +255,62 @@ TEST(KvServerTest, ErrorCodes) {
   EXPECT_GE(server.stats().errors, 5u);
 }
 
+TEST(KvServerTest, AppliesDeltasAndRejectsBadBases) {
+  KvServer server;
+  std::string put = request_header(MsgType::kPutSlice);
+  append_varint(put, 2);
+  append_varint(put, 3);  // proposed slice version 3
+  append_bytes(put,
+               dist::encode_statuses({status(7, {{1, 1}}, {{1, 1}, {2, 0}})}));
+  ASSERT_EQ(response_status(server.handle_request(put)),
+            static_cast<std::uint64_t>(WireStatus::kOk));
+
+  dist::SliceDelta delta;
+  delta.upserts = {status(7, {{1, 2}}, {{1, 2}, {2, 0}})};
+
+  std::string apply = request_header(MsgType::kPutSliceDelta);
+  append_varint(apply, 2);
+  append_varint(apply, 3);  // base = stored version
+  append_varint(apply, 4);  // proposed
+  append_bytes(apply, dist::encode_delta(delta));
+  EXPECT_EQ(hex(server.handle_request(apply)), "00 04");  // docs §8
+
+  auto slice = server.backing()->get_slice(2);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(slice->version, 4u);
+  EXPECT_EQ(dist::decode_statuses(slice->payload),
+            (std::vector<BlockedStatus>{status(7, {{1, 2}}, {{1, 2}, {2, 0}})}));
+
+  // The same request again: the slice moved to version 4, so base 3 no
+  // longer matches — BASE_MISMATCH carrying the current version.
+  std::string response = server.handle_request(apply);
+  std::size_t offset = 0;
+  EXPECT_EQ(read_varint(response, &offset),
+            static_cast<std::uint64_t>(WireStatus::kBaseMismatch));
+  EXPECT_EQ(read_varint(response, &offset), 4u);
+
+  // Matching base but a non-newer proposed version: STALE_VERSION.
+  std::string stale = request_header(MsgType::kPutSliceDelta);
+  append_varint(stale, 2);
+  append_varint(stale, 4);  // base matches
+  append_varint(stale, 4);  // proposed not newer
+  append_bytes(stale, dist::encode_delta(delta));
+  response = server.handle_request(stale);
+  offset = 0;
+  EXPECT_EQ(read_varint(response, &offset),
+            static_cast<std::uint64_t>(WireStatus::kStaleVersion));
+  EXPECT_EQ(read_varint(response, &offset), 4u);
+
+  // A malformed delta frame is a bad request, not a crash.
+  std::string malformed = request_header(MsgType::kPutSliceDelta);
+  append_varint(malformed, 2);
+  append_varint(malformed, 4);
+  append_varint(malformed, 5);
+  append_bytes(malformed, "\xff\xff\xff");
+  EXPECT_EQ(response_status(server.handle_request(malformed)),
+            static_cast<std::uint64_t>(WireStatus::kBadRequest));
+}
+
 // --- RemoteStore over real TCP ----------------------------------------------
 
 TEST(RemoteStoreTest, RoundTripsSliceOperations) {
@@ -245,6 +355,88 @@ TEST(RemoteStoreTest, SecondWriterOfSameSiteResequencesPastStaleVersion) {
   auto slice = server.backing()->get_slice(7);
   ASSERT_TRUE(slice.has_value());
   EXPECT_EQ(slice->payload, "usurper");
+}
+
+TEST(RemoteStoreTest, NarrowedReadsOverTcp) {
+  KvServer server;
+  server.start();
+  RemoteStore client(client_config(server.port()));
+
+  client.put_slice(1, dist::encode_statuses({status(1, {{1, 1}}, {})}));
+  dist::DeltaSnapshot all = client.snapshot_since(0);
+  EXPECT_NE(all.version, 0u);
+  ASSERT_EQ(all.changed.size(), 1u);
+  EXPECT_EQ(all.live_sites, (std::vector<dist::SiteId>{1}));
+
+  // Unchanged store: the response carries no slice payloads at all.
+  dist::DeltaSnapshot none = client.snapshot_since(all.version);
+  EXPECT_EQ(none.version, all.version);
+  EXPECT_TRUE(none.changed.empty());
+  EXPECT_EQ(none.live_sites, (std::vector<dist::SiteId>{1}));
+
+  client.put_slice(2, dist::encode_statuses({status(2, {{2, 1}}, {})}));
+  dist::DeltaSnapshot one = client.snapshot_since(all.version);
+  EXPECT_GT(one.version, all.version);
+  ASSERT_EQ(one.changed.size(), 1u);
+  EXPECT_EQ(one.changed[0].site, 2u);
+  EXPECT_EQ(one.live_sites, (std::vector<dist::SiteId>{1, 2}));
+}
+
+TEST(RemoteStoreTest, DeltaPutsOverTcp) {
+  KvServer server;
+  server.start();
+  RemoteStore client(client_config(server.port()));
+
+  std::vector<BlockedStatus> base{
+      status(1, {{1, 1}}, {{1, 1}}),
+      status(2, {{2, 1}}, {{2, 1}}),
+  };
+  std::uint64_t v1 = client.put_slice(4, dist::encode_statuses(base));
+
+  dist::SliceDelta delta;
+  delta.upserts = {status(2, {{2, 2}}, {{2, 2}})};
+  delta.removals = {1};
+  std::uint64_t v2 = client.put_slice_delta(4, v1, dist::encode_delta(delta));
+  EXPECT_GT(v2, v1);
+
+  auto slice = client.get_slice(4);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(dist::decode_statuses(slice->payload),
+            (std::vector<BlockedStatus>{status(2, {{2, 2}}, {{2, 2}})}));
+
+  // A stale base surfaces as the typed mismatch error, so dist::Site can
+  // fall back to a full publish.
+  EXPECT_THROW(client.put_slice_delta(4, v1, dist::encode_delta(delta)),
+               dist::SliceBaseMismatchError);
+}
+
+TEST(NetSharedStoreTest, EpochSkipsVerifierScansAcrossTheWire) {
+  KvServer server;
+  server.start();
+  auto remote = std::make_shared<RemoteStore>(client_config(server.port()));
+  auto shared = std::make_shared<dist::SharedStore>(remote, 0);
+
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.scanner_enabled = false;
+  config.store = shared;
+  Verifier verifier(config);
+
+  verifier.state().set_blocked(status(1, {{1, 1}}, {{2, 0}}));
+  EXPECT_TRUE(verifier.scan_now());
+  // Nothing changed anywhere in the cluster: every further scan is one
+  // payload-free LIST_SLICES_SINCE round trip and no graph work.
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(verifier.scan_now());
+  EXPECT_EQ(verifier.stats().scans_skipped, 5u);
+  EXPECT_EQ(verifier.stats().graphs_built, 1u);
+
+  // Another process publishes the other half of a cycle: the epoch moves,
+  // the next scan runs and detects it.
+  RemoteStore other(client_config(server.port()));
+  other.put_slice(5, dist::encode_statuses({status(50, {{2, 1}}, {{1, 0}})}));
+  EXPECT_TRUE(verifier.scan_now());
+  ASSERT_EQ(verifier.reported().size(), 1u);
+  EXPECT_EQ(verifier.reported()[0].tasks, (std::vector<TaskId>{1, 50}));
 }
 
 TEST(RemoteStoreTest, DisconnectBacksOffThenReconnects) {
@@ -321,9 +513,13 @@ TEST(NetSiteTest, AbsorbsTcpOutageAndPublishesAfterRecovery) {
   ASSERT_TRUE(site.publish_now());
 
   server->stop();
-  EXPECT_FALSE(site.publish_now());  // absorbed, not thrown
+  // An unchanged slice skips the store write entirely, so the publisher
+  // does not even notice the outage; the checker, which must contact the
+  // store, absorbs it (not thrown) and flags the store as suspect.
+  EXPECT_TRUE(site.publish_now());
+  EXPECT_EQ(site.stats().publishes_skipped, 1u);
   EXPECT_FALSE(site.check_now());
-  EXPECT_GE(site.stats().store_failures, 2u);
+  EXPECT_GE(site.stats().store_failures, 1u);
 
   // The site keeps accumulating state during the outage...
   site.verifier().state().set_blocked(status(31, {{6, 1}}, {{6, 1}}));
@@ -340,6 +536,50 @@ TEST(NetSiteTest, AbsorbsTcpOutageAndPublishesAfterRecovery) {
   EXPECT_EQ(dist::decode_statuses(slice->payload).size(), 2u);
   ASSERT_TRUE(site.check_now());
   EXPECT_EQ(site.stats().publishes, 2u);
+}
+
+TEST(NetSiteTest, ServerRestartWithCollidingSliceVersionsIsReDecoded) {
+  // The nasty restart case: the replacement server's backing holds a slice
+  // for the same site at the *same* per-slice version but with different
+  // content. The boot generation in LIST_SLICES_SINCE tells the checker
+  // its cache (keyed by slice version) is void, so it re-decodes and sees
+  // the new content — here, a deadlock the old content did not have.
+  auto backing1 = std::make_shared<dist::Store>();
+  backing1->put_slice(9, dist::encode_statuses(
+                             {status(90, {{9, 1}}, {{9, 1}})}));  // no cycle
+
+  KvServer::Config server_config;
+  auto server = std::make_unique<KvServer>(server_config, backing1);
+  server->start();
+  std::uint16_t port = server->port();
+
+  dist::Site::Config config;
+  config.id = 0;
+  dist::Site site(config, std::make_shared<RemoteStore>(client_config(port)));
+  ASSERT_TRUE(site.check_now());  // caches site 9's slice (version 1)
+  EXPECT_TRUE(site.reported().empty());
+
+  server->stop();
+
+  auto backing2 = std::make_shared<dist::Store>();  // fresh lifetime
+  backing2->put_slice(9, dist::encode_statuses({
+                             status(91, {{1, 1}}, {{2, 0}}),
+                             status(92, {{2, 1}}, {{1, 0}}),
+                         }));  // same site, same slice version 1, a cycle
+
+  server_config.port = port;
+  server = std::make_unique<KvServer>(server_config, backing2);
+  server->start();
+
+  // Retry through the client's reconnect backoff.
+  bool checked = false;
+  for (int i = 0; i < 200 && !checked; ++i) {
+    checked = site.check_now();
+    if (!checked) std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_TRUE(checked);
+  ASSERT_EQ(site.reported().size(), 1u);
+  EXPECT_EQ(site.reported()[0].tasks, (std::vector<TaskId>{91, 92}));
 }
 
 TEST(NetSiteTest, PeriodicLoopsDetectThroughServerRestart) {

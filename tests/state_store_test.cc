@@ -127,6 +127,44 @@ TYPED_TEST(StateStoreConformanceTest, TwoStoresShareTheMergedView) {
   EXPECT_EQ(remaining[0].task, 2u);
 }
 
+TYPED_TEST(StateStoreConformanceTest, VersionAdvancesOnlyOnRealChanges) {
+  auto store = this->factory_.make();
+  std::uint64_t v0 = store->version();
+  EXPECT_NE(v0, StateStore::kUnversioned);
+
+  store->set_blocked(status(1, {{1, 1}}, {}));
+  std::uint64_t v1 = store->version();
+  EXPECT_GT(v1, v0);
+
+  // Identical re-publish (the avoidance recheck pattern): no epoch change,
+  // so periodic scanners keep skipping.
+  store->set_blocked(status(1, {{1, 1}}, {}));
+  EXPECT_EQ(store->version(), v1);
+  store->clear_blocked(99);  // absent: no change
+  EXPECT_EQ(store->version(), v1);
+
+  store->set_blocked(status(1, {{1, 2}}, {}));
+  std::uint64_t v2 = store->version();
+  EXPECT_GT(v2, v1);
+  store->clear_blocked(1);
+  EXPECT_GT(store->version(), v2);
+}
+
+TYPED_TEST(StateStoreConformanceTest, VersionSeesOtherPublishersWhenShared) {
+  auto a = this->factory_.make();
+  auto b = this->factory_.make();
+  a->set_blocked(status(1, {{1, 1}}, {}));
+  std::uint64_t va = a->version();
+  b->set_blocked(status(2, {{2, 1}}, {}));
+  if (std::is_same_v<TypeParam, SharedStoreFactory>) {
+    // b is another site of the same global store: its publish must move
+    // a's epoch, or a's Verifier would skip the scan that sees b's tasks.
+    EXPECT_GT(a->version(), va);
+  } else {
+    EXPECT_EQ(a->version(), va);  // independent local stores
+  }
+}
+
 // --- codec property tests -----------------------------------------------------
 
 std::vector<BlockedStatus> random_batch(util::Xoshiro256& rng) {

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validates BENCH_incremental_scan.json: schema shape plus the counter
+invariants the incremental scan engine guarantees.
+
+Usage: check_bench_json.py BENCH_incremental_scan.json
+
+The invariants are *counters*, not wall-clock, so this check cannot
+flake on a loaded CI box:
+
+  steady_state_local   every scan after the priming one is epoch-skipped
+                       (scans_skipped == scans, graphs_built == 0) — the
+                       "nothing changed -> nothing computed" guarantee.
+  one_site_churn       the checking site fetches exactly the changed
+                       slices; quiet sites skip every publish; the
+                       churning site ships deltas; the steady tail skips
+                       every check.
+  full_churn           everything changes, nothing is skipped, and the
+                       reader fetches exactly sites x rounds slices.
+
+The steady-state speedup (reported in the JSON for the perf trajectory)
+is also asserted to be >= 10x: the skip path is several orders of
+magnitude faster than a from-scratch scan at 1k blocked tasks, so this
+bound has margin even on a noisy runner.
+
+Stdlib only, so it runs identically in CI and on a bare dev box.
+"""
+
+import json
+import sys
+
+SCHEMA = "armus.bench.incremental_scan.v1"
+
+failures = []
+
+
+def check(cond, message):
+    if not cond:
+        failures.append(message)
+
+
+def require(workloads, name):
+    for w in workloads:
+        if w.get("name") == name:
+            return w
+    check(False, f"workload '{name}' missing")
+    return None
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    check(doc.get("schema") == SCHEMA,
+          f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    workloads = doc.get("workloads", [])
+
+    steady = require(workloads, "steady_state_local")
+    if steady:
+        c = steady["counters"]
+        scans = steady["scans"]
+        check(c["scans_skipped"] == scans,
+              f"steady state: {c['scans_skipped']} of {scans} scans skipped")
+        check(c["graphs_built"] == 0,
+              f"steady state: graphs_built == {c['graphs_built']}, expected 0")
+        check(c["checks"] == 0,
+              f"steady state: checks == {c['checks']}, expected 0")
+        check(steady["speedup"] >= 10.0,
+              f"steady state speedup {steady['speedup']} < 10x")
+
+    churn = require(workloads, "one_site_churn")
+    if churn:
+        c = churn["counters"]
+        rounds = churn["rounds"]
+        steady_rounds = churn["steady_rounds"]
+        quiet_sites = churn["sites"] - 1
+        check(c["slices_fetched_during_churn"] == c["changed_slices"],
+              f"one-site churn: fetched {c['slices_fetched_during_churn']} "
+              f"slices for {c['changed_slices']} changes")
+        check(c["changed_slices"] == rounds,
+              f"one-site churn: {c['changed_slices']} changes in "
+              f"{rounds} rounds")
+        check(c["churner_delta_publishes"] == rounds,
+              f"one-site churn: {c['churner_delta_publishes']} delta "
+              f"publishes, expected {rounds}")
+        check(c["churner_publishes_skipped"] == steady_rounds,
+              f"one-site churn: churner skipped "
+              f"{c['churner_publishes_skipped']}, expected {steady_rounds}")
+        # Quiet sites skip the churn rounds AND the steady tail.
+        expected_quiet = quiet_sites * (rounds + steady_rounds)
+        check(c["quiet_site_publishes_skipped"] == expected_quiet,
+              f"one-site churn: quiet sites skipped "
+              f"{c['quiet_site_publishes_skipped']}, expected {expected_quiet}")
+        check(c["checker_checks_skipped"] == steady_rounds,
+              f"one-site churn: checker skipped "
+              f"{c['checker_checks_skipped']}, expected {steady_rounds}")
+        check(c["store_failures"] == 0,
+              f"one-site churn: {c['store_failures']} store failures")
+
+    full = require(workloads, "full_churn")
+    if full:
+        c = full["counters"]
+        expected = full["sites"] * full["rounds"]
+        check(c["changed_slices"] == expected,
+              f"full churn: {c['changed_slices']} changes, expected {expected}")
+        check(c["slices_fetched_during_churn"] == expected,
+              f"full churn: fetched {c['slices_fetched_during_churn']}, "
+              f"expected {expected}")
+        check(c["checker_checks_skipped"] == 0,
+              f"full churn: {c['checker_checks_skipped']} checks skipped, "
+              f"expected 0")
+        check(c["store_failures"] == 0,
+              f"full churn: {c['store_failures']} store failures")
+
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}")
+        return 1
+    print(f"ok: {sys.argv[1]} satisfies {SCHEMA} counter invariants")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
