@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 
+#include "trace/recorder.h"
 #include "util/env.h"
 #include "util/timer.h"
 
@@ -82,6 +84,7 @@ util::Summary time_kernel(const wl::Kernel& kernel, const wl::RunConfig& base,
                    kernel.name.c_str(), report.to_string().c_str());
       std::abort();
     };
+    config.observer = trace::recorder_from_env();
     verifier = std::make_unique<Verifier>(std::move(config));
   }
 
@@ -112,6 +115,24 @@ util::Summary time_kernel(const wl::Kernel& kernel, const wl::RunConfig& base,
     *stats_out = verifier ? verifier->stats() : Verifier::Stats{};
   }
   return util::summarize(times);
+}
+
+std::string json_out_path(int argc, char** argv, const std::string& fallback) {
+  std::string positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json-out requires a path\n");
+        std::abort();
+      }
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      return argv[i] + 11;
+    }
+    if (positional.empty() && argv[i][0] != '-') positional = argv[i];
+  }
+  return positional.empty() ? fallback : positional;
 }
 
 void emit(const std::string& title, const util::Table& table) {

@@ -50,11 +50,20 @@ wl::RunConfig tuned_config(const std::string& kernel, const Options& options,
 /// for the whole set, like a real deployment). Validation failures abort
 /// loudly. When `stats_out` is non-null it receives the verifier stats
 /// accumulated over the timed samples (zeroed for unchecked runs).
+/// ARMUS_TRACE=<path> makes every checked run a trace producer
+/// (docs/TRACE_FORMAT.md), same as the env-configured library boundary.
 util::Summary time_kernel(const wl::Kernel& kernel, const wl::RunConfig& base,
                           VerifyMode mode, GraphModel model, int samples,
                           Verifier::Stats* stats_out = nullptr, int repeats = 1);
 
 /// Prints the rendered table plus its CSV block, framed like the paper's.
 void emit(const std::string& title, const util::Table& table);
+
+/// The shared `--json-out <path>` (or `--json-out=<path>`) flag of the
+/// JSON-emitting bench binaries, so CI controls artifact locations instead
+/// of relying on the current working directory. Falls back to the first
+/// positional argument (the historical spelling), then to `fallback`.
+/// A `--json-out` with no value aborts loudly.
+std::string json_out_path(int argc, char** argv, const std::string& fallback);
 
 }  // namespace armus::bench

@@ -3,7 +3,7 @@
 // narrowed reads), emitting machine-readable JSON so successive PRs have a
 // perf trajectory.
 //
-// Three workloads:
+// Four workloads:
 //   * steady_state_local — 1k blocked tasks, nothing changes between scans:
 //     every scan_now() is epoch-skipped (zero snapshot copies, zero graph
 //     builds), vs. the from-scratch snapshot+build baseline.
@@ -11,26 +11,36 @@
 //     site churns one task per round: the checking site fetches exactly
 //     the changed slice, the quiet sites skip their publishes, and the
 //     churning site publishes codec deltas.
+//   * one_site_churn_kv  — the same churn shape over a real armus-kv TCP
+//     server (loopback): the identical counter invariants must hold when
+//     every publish and narrowed read crosses a socket (LIST_SLICES_SINCE
+//     and PUT_SLICE_DELTA on the wire), and the wall-clock column shows
+//     what the network hop costs.
 //   * full_churn         — every site changes every round: the worst case,
 //     nothing skippable, everything still correct.
 //
 // Counters (not wall-clock) carry the guarantees; tools/check_bench_json.py
 // asserts them in CI. Wall-clock numbers are reported for the trajectory.
 //
-// Usage: micro_incremental_scan [output.json]
-//        (default output: BENCH_incremental_scan.json)
+// Usage: micro_incremental_scan [--json-out output.json]
+//        (default output: BENCH_incremental_scan.json; a positional path
+//        is still accepted for compatibility)
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/verifier.h"
 #include "dist/site.h"
+#include "net/kv_server.h"
+#include "net/remote_store.h"
 
 namespace {
 
@@ -145,18 +155,27 @@ JsonObject steady_state_local() {
 }
 
 struct ChurnSetup {
-  std::shared_ptr<dist::Store> store;
+  std::shared_ptr<dist::Store> store;  ///< in-process backing (null over TCP)
   std::vector<std::unique_ptr<dist::Site>> sites;
 };
 
-ChurnSetup make_cluster(std::size_t site_count, std::size_t tasks_per_site) {
+/// `backing` supplies each site's SliceStore — one connection per site for
+/// the TCP variant, mirroring real deployments. Unset: one shared
+/// in-process dist::Store.
+ChurnSetup make_cluster(
+    std::size_t site_count, std::size_t tasks_per_site,
+    const std::function<std::shared_ptr<dist::SliceStore>()>& backing = {}) {
   ChurnSetup setup;
-  setup.store = std::make_shared<dist::Store>();
+  std::shared_ptr<dist::SliceStore> shared;
+  if (!backing) {
+    setup.store = std::make_shared<dist::Store>();
+    shared = setup.store;
+  }
   for (std::size_t s = 0; s < site_count; ++s) {
     dist::Site::Config config;
     config.id = static_cast<dist::SiteId>(s);
     setup.sites.push_back(
-        std::make_unique<dist::Site>(config, setup.store));
+        std::make_unique<dist::Site>(config, backing ? backing() : shared));
     for (std::size_t t = 0; t < tasks_per_site; ++t) {
       TaskId task = static_cast<TaskId>(s * 1000 + t + 1);
       PhaserUid p = static_cast<PhaserUid>(s * 1000 + t + 1);
@@ -177,13 +196,15 @@ void churn_task(dist::Site& site, dist::SiteId site_id, std::size_t round) {
       chain_status(task, p, 0, 2 - (round % 2)));
 }
 
-JsonObject one_site_churn() {
+JsonObject one_site_churn_impl(
+    const std::string& name,
+    const std::function<std::shared_ptr<dist::SliceStore>()>& backing) {
   constexpr std::size_t kSites = 8;
   constexpr std::size_t kTasksPerSite = 64;
   constexpr std::size_t kRounds = 100;
   constexpr std::size_t kSteadyRounds = 100;
 
-  ChurnSetup setup = make_cluster(kSites, kTasksPerSite);
+  ChurnSetup setup = make_cluster(kSites, kTasksPerSite, backing);
   dist::Site& churner = *setup.sites[0];
   dist::Site& checker = *setup.sites[1];
 
@@ -222,13 +243,37 @@ JsonObject one_site_churn() {
   counters.add("store_failures", checker.stats().store_failures);
 
   JsonObject out;
-  out.add("name", std::string("one_site_churn"));
+  out.add("name", name);
   out.add("sites", static_cast<std::uint64_t>(kSites));
   out.add("tasks_per_site", static_cast<std::uint64_t>(kTasksPerSite));
   out.add("rounds", static_cast<std::uint64_t>(kRounds));
   out.add("steady_rounds", static_cast<std::uint64_t>(kSteadyRounds));
   out.add("ns_per_churn_round", ns_between(t0, t1) / kRounds);
   out.add_raw("counters", counters.str(4));
+  return out;
+}
+
+JsonObject one_site_churn() {
+  return one_site_churn_impl("one_site_churn", {});
+}
+
+/// The ROADMAP item: the same churn invariants over a real armus-kv TCP
+/// server. Each site holds its own connection (RemoteStore); the counters
+/// must come out identical to the in-process run — the network hop may
+/// cost wall-clock, never extra transfers.
+JsonObject one_site_churn_kv() {
+  net::KvServer server;  // ephemeral loopback port
+  server.start();
+  std::string host = "127.0.0.1";
+  std::uint16_t port = server.port();
+  auto backing = [host, port]() -> std::shared_ptr<dist::SliceStore> {
+    net::RemoteStore::Config config;
+    config.host = host;
+    config.port = port;
+    return std::make_shared<net::RemoteStore>(std::move(config));
+  };
+  JsonObject out = one_site_churn_impl("one_site_churn_kv", backing);
+  server.stop();
   return out;
 }
 
@@ -272,11 +317,13 @@ JsonObject full_churn() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string path = argc > 1 ? argv[1] : "BENCH_incremental_scan.json";
+  std::string path =
+      armus::bench::json_out_path(argc, argv, "BENCH_incremental_scan.json");
 
   std::vector<JsonObject> workloads;
   workloads.push_back(steady_state_local());
   workloads.push_back(one_site_churn());
+  workloads.push_back(one_site_churn_kv());
   workloads.push_back(full_churn());
 
   std::ostringstream json;

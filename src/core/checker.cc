@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/observer.h"
+
 #include "graph/cycle.h"
 
 namespace armus {
@@ -66,6 +68,16 @@ CheckResult check_deadlocks(std::span<const BlockedStatus> snapshot,
                             GraphModel model) {
   if (snapshot.empty()) return CheckResult{};
   return check_deadlocks(build_graph(snapshot, model), snapshot);
+}
+
+ScanInfo scan_info(std::size_t blocked, const CheckResult& result) {
+  ScanInfo info;
+  info.blocked = blocked;
+  info.nodes = result.nodes;
+  info.edges = result.edges;
+  info.model_used = result.model_used;
+  info.reports = result.reports.size();
+  return info;
 }
 
 bool task_is_doomed(const BuiltGraph& built,

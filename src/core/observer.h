@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/blocked_status.h"
+#include "core/report.h"
+
+/// The event-observer seam of the verification layer (the "task observer"
+/// side of §5.3 turned outward): a passive listener on everything the
+/// library sees — registration changes, blocked-status publishes, scans,
+/// and deadlock reports. `trace::Recorder` implements it to persist runs
+/// (docs/TRACE_FORMAT.md); core/ itself depends only on this interface,
+/// never on trace/.
+///
+/// Callbacks fire on the mutating thread, ordered so that a replayed
+/// trace is state-consistent: a state event (blocked/unblocked/
+/// registration) is delivered *before* the mutation becomes visible to
+/// checkers (for registry events: inside the registry's critical
+/// section), while on_scan/on_report fire after the analysis. Any
+/// analysis that observed a mutation therefore appends its SCAN record
+/// after that mutation's record — so a replay at the recorded scan
+/// points sees *at least* what the live checker saw, and every recorded
+/// report is reproducible offline. The guarantee is deliberately
+/// one-directional: a state record whose mutation landed between a
+/// scan's snapshot and its SCAN append precedes that SCAN in the trace,
+/// so a replay may additionally surface a cycle the live scan's timing
+/// missed — a predictive finding, never a lost one. Implementations do
+/// their own synchronisation, must be fast (they can run under a
+/// registry shard lock), and must not call back into the verifier or
+/// registry.
+namespace armus {
+
+/// The phaser argument of on_task_deregistered meaning "every registration
+/// of the task was dropped at once" (task termination). Real phaser uids
+/// start at 1, so 0 is free.
+inline constexpr PhaserUid kAllPhasers = 0;
+
+/// Summary of one completed analysis (a detection scan, a synchronous
+/// check, or an avoidance doom check). Epoch-skipped scans never reach the
+/// observer — only analyses that actually looked at the state.
+struct ScanInfo {
+  std::size_t blocked = 0;   ///< snapshot size analysed
+  std::size_t nodes = 0;     ///< graph nodes
+  std::size_t edges = 0;     ///< graph edges
+  GraphModel model_used = GraphModel::kWfg;
+  std::size_t reports = 0;   ///< cycles present (not necessarily fresh)
+};
+
+/// The ScanInfo of one completed analysis — the single assembly point for
+/// every scan emitter (Verifier, dist::Site). Defined in checker.cc.
+struct CheckResult;
+ScanInfo scan_info(std::size_t blocked, const CheckResult& result);
+
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+
+  /// `task`'s local phase on `phaser` was recorded or updated (a no-op
+  /// re-registration at the same phase does not fire).
+  virtual void on_task_registered(TaskId task, PhaserUid phaser,
+                                  Phase local_phase) {
+    (void)task, (void)phaser, (void)local_phase;
+  }
+
+  /// `task`'s registration on `phaser` was dropped (kAllPhasers = all of
+  /// them at once). Absent registrations do not fire.
+  virtual void on_task_deregistered(TaskId task, PhaserUid phaser) {
+    (void)task, (void)phaser;
+  }
+
+  /// `status` was published to the store (before_block / avoidance
+  /// recheck). Re-publishes of an unchanged status may fire again.
+  virtual void on_blocked(const BlockedStatus& status) { (void)status; }
+
+  /// The publish announced by the immediately preceding on_blocked for
+  /// `task` failed (e.g. a store outage): the store rolled back to the
+  /// task's *previous* visible status — still blocked on the old status
+  /// if it had one, not blocked at all otherwise. A recorder undoes the
+  /// announced publish the same way, so the trace tracks what checkers
+  /// actually see.
+  virtual void on_block_rollback(TaskId task) { (void)task; }
+
+  /// `task`'s blocked status was withdrawn (after_unblock, or avoidance
+  /// withdrawing a doomed task's status before interrupting it).
+  virtual void on_unblocked(TaskId task) { (void)task; }
+
+  /// One analysis ran over the current state.
+  virtual void on_scan(const ScanInfo& info) { (void)info; }
+
+  /// A deadlock was found and is being reported (deduplicated by task
+  /// set — the same cycle never fires twice from one verifier or site).
+  virtual void on_report(const DeadlockReport& report) { (void)report; }
+};
+
+}  // namespace armus

@@ -1,0 +1,47 @@
+#include "core/status_codec.h"
+
+#include "util/varint.h"
+
+namespace armus {
+
+using util::append_varint;
+using util::read_count;
+using util::read_varint;
+
+void append_status(std::string& out, const BlockedStatus& status) {
+  append_varint(out, status.task);
+  append_varint(out, status.waits.size());
+  for (const Resource& wait : status.waits) {
+    append_varint(out, wait.phaser);
+    append_varint(out, wait.phase);
+  }
+  append_varint(out, status.registered.size());
+  for (const RegEntry& reg : status.registered) {
+    append_varint(out, reg.phaser);
+    append_varint(out, reg.local_phase);
+  }
+}
+
+BlockedStatus read_status(std::string_view bytes, std::size_t* offset) {
+  BlockedStatus status;
+  status.task = read_varint(bytes, offset);
+  std::uint64_t nwaits = read_count(bytes, offset, "wait");
+  status.waits.reserve(nwaits);
+  for (std::uint64_t w = 0; w < nwaits; ++w) {
+    Resource wait;
+    wait.phaser = read_varint(bytes, offset);
+    wait.phase = read_varint(bytes, offset);
+    status.waits.push_back(wait);
+  }
+  std::uint64_t nregs = read_count(bytes, offset, "registration");
+  status.registered.reserve(nregs);
+  for (std::uint64_t r = 0; r < nregs; ++r) {
+    RegEntry reg;
+    reg.phaser = read_varint(bytes, offset);
+    reg.local_phase = read_varint(bytes, offset);
+    status.registered.push_back(reg);
+  }
+  return status;
+}
+
+}  // namespace armus

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/blocked_status.h"
+
+/// The shared binary encoding of a single BlockedStatus (all integers
+/// unsigned LEB128 varints):
+///
+///   status := task:varint
+///             nwaits:varint (phaser:varint phase:varint)*
+///             nregs:varint  (phaser:varint phase:varint)*
+///
+/// Two wire formats embed it: slice batches/deltas (`dist/codec`,
+/// docs/WIRE_PROTOCOL.md §1) and trace BLOCKED records (`src/trace/`,
+/// docs/TRACE_FORMAT.md). It lives in core/ so both can share the bytes
+/// without depending on each other.
+namespace armus {
+
+void append_status(std::string& out, const BlockedStatus& status);
+
+/// Strict reader; throws util::CodecError on truncation or an implausible
+/// wait/registration count.
+BlockedStatus read_status(std::string_view bytes, std::size_t* offset);
+
+}  // namespace armus

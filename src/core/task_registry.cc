@@ -4,6 +4,13 @@
 
 namespace armus {
 
+// Observer calls below stay inside the shard critical section: a reader
+// (merge_into/entries) that observes the mutation acquires the shard lock
+// after it was released, so the mutation's record precedes any SCAN record
+// of an analysis that saw it — the trace-ordering invariant replay relies
+// on. The cost is one observer append under the shard lock; observers are
+// buffered writers and registrations are rare next to scans.
+
 void TaskRegistry::set_entry(TaskId task, PhaserUid phaser, Phase local_phase) {
   Shard& shard = shard_for(task);
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -13,6 +20,9 @@ void TaskRegistry::set_entry(TaskId task, PhaserUid phaser, Phase local_phase) {
     it->second = local_phase;
   }
   version_.fetch_add(1, std::memory_order_acq_rel);
+  if (EventObserver* obs = observer_.load(std::memory_order_acquire)) {
+    obs->on_task_registered(task, phaser, local_phase);
+  }
 }
 
 void TaskRegistry::remove_entry(TaskId task, PhaserUid phaser) {
@@ -23,13 +33,18 @@ void TaskRegistry::remove_entry(TaskId task, PhaserUid phaser) {
   if (it->second.erase(phaser) == 0) return;
   if (it->second.empty()) shard.regs.erase(it);
   version_.fetch_add(1, std::memory_order_acq_rel);
+  if (EventObserver* obs = observer_.load(std::memory_order_acquire)) {
+    obs->on_task_deregistered(task, phaser);
+  }
 }
 
 void TaskRegistry::remove_task(TaskId task) {
   Shard& shard = shard_for(task);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.regs.erase(task) > 0) {
-    version_.fetch_add(1, std::memory_order_acq_rel);
+  if (shard.regs.erase(task) == 0) return;
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  if (EventObserver* obs = observer_.load(std::memory_order_acquire)) {
+    obs->on_task_deregistered(task, kAllPhasers);
   }
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/blocked_status.h"
+#include "core/observer.h"
 
 /// Tracks, per task, the signal-capable registrations (phaser -> local
 /// phase) — the "resource mapper" half of the application layer (§5.3).
@@ -53,6 +54,14 @@ class TaskRegistry {
     return version_.load(std::memory_order_acquire);
   }
 
+  /// Attaches a passive listener notified after every mutation that
+  /// actually changed a registration (exactly the mutations that bump
+  /// version()); nullptr detaches. Not owned; the caller keeps it alive
+  /// while attached — the Verifier wires its VerifierConfig::observer here.
+  void set_observer(EventObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+
  private:
   static constexpr std::size_t kShards = 16;
 
@@ -66,6 +75,7 @@ class TaskRegistry {
 
   std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> version_{1};
+  std::atomic<EventObserver*> observer_{nullptr};
 };
 
 }  // namespace armus

@@ -70,6 +70,9 @@ Verifier::Verifier(VerifierConfig config)
       util::log_error(describe(report));
     };
   }
+  // The registry is owned by this verifier, so one attachment covers both
+  // halves of the event stream (statuses here, registrations there).
+  registry_.set_observer(config_.observer.get());
   start();
 }
 
@@ -154,6 +157,7 @@ bool Verifier::scan_now() {
     std::lock_guard<std::mutex> lock(check_mutex_);
     result = incremental_.check(snapshot);
   }
+  notify_scan(snapshot.size(), result);
   if (!snapshot.empty()) {
     record_check(result);
     for (const DeadlockReport& report : result.reports) {
@@ -166,7 +170,10 @@ bool Verifier::scan_now() {
           ++stats_.deadlocks_found;
         }
       }
-      if (fresh && config_.on_deadlock) config_.on_deadlock(report);
+      if (fresh) {
+        if (EventObserver* obs = config_.observer.get()) obs->on_report(report);
+        if (config_.on_deadlock) config_.on_deadlock(report);
+      }
     }
   }
   // Committed only now: a throwing on_deadlock callback leaves the epoch
@@ -192,15 +199,34 @@ void Verifier::record_check(const CheckResult& result) {
 
 void Verifier::before_block(const BlockedStatus& status) {
   if (config_.mode == VerifyMode::kOff) return;
-  store_->set_blocked(status);
+  // Observer before store: any analysis that sees this status snapshots
+  // after set_blocked committed, hence after the BLOCKED record — so its
+  // SCAN record lands later in the trace and a replay at that scan point
+  // sees the same state the live checker saw.
+  publish_blocked(status);
   if (config_.mode != VerifyMode::kAvoidance) return;
   check_doomed_or_throw(status.task);
 }
 
 void Verifier::recheck_blocked(const BlockedStatus& status) {
   if (config_.mode != VerifyMode::kAvoidance) return;
-  store_->set_blocked(status);
+  publish_blocked(status);
   check_doomed_or_throw(status.task);
+}
+
+void Verifier::publish_blocked(const BlockedStatus& status) {
+  EventObserver* obs = config_.observer.get();
+  if (obs) obs->on_blocked(status);
+  try {
+    store_->set_blocked(status);
+  } catch (...) {
+    // The publish failed (e.g. a store outage): checkers still see the
+    // task's *previous* visible status (stores withdraw a failed update —
+    // see SharedStore::set_blocked), so the observer must roll the record
+    // back the same way.
+    if (obs) obs->on_block_rollback(status.task);
+    throw;
+  }
 }
 
 void Verifier::check_doomed_or_throw(TaskId task) {
@@ -219,11 +245,13 @@ void Verifier::check_doomed_or_throw(TaskId task) {
     doomed = task_is_doomed(incremental_.built(), snapshot, task);
   }
   record_check(result);
+  notify_scan(snapshot.size(), result);
 
   if (!doomed) return;
 
   // The block would never complete: withdraw the status and interrupt the
   // operation. The report aggregates every cycle present plus this task.
+  if (EventObserver* obs = config_.observer.get()) obs->on_unblocked(task);
   store_->clear_blocked(task);
   DeadlockReport merged;
   merged.model = result.model_used;
@@ -244,11 +272,16 @@ void Verifier::check_doomed_or_throw(TaskId task) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.avoidance_interrupts;
   }
+  if (EventObserver* obs = config_.observer.get()) obs->on_report(merged);
   throw DeadlockAvoidedError(std::move(merged));
 }
 
 void Verifier::after_unblock(TaskId task) {
   if (config_.mode == VerifyMode::kOff) return;
+  // Observer first, mirroring before_block: an analysis that no longer
+  // sees the status snapshotted after the withdrawal, hence after the
+  // UNBLOCKED record.
+  if (EventObserver* obs = config_.observer.get()) obs->on_unblocked(task);
   store_->clear_blocked(task);
 }
 
@@ -270,7 +303,14 @@ CheckResult Verifier::check_now() {
     commit_epoch_locked(epoch);
   }
   record_check(result);
+  notify_scan(snapshot.size(), result);
   return result;
+}
+
+void Verifier::notify_scan(std::size_t blocked, const CheckResult& result) {
+  EventObserver* obs = config_.observer.get();
+  if (obs == nullptr) return;
+  obs->on_scan(scan_info(blocked, result));
 }
 
 std::vector<DeadlockReport> Verifier::reported() const {

@@ -16,6 +16,7 @@
 #include "core/checker.h"
 #include "core/dependency_state.h"
 #include "core/incremental_checker.h"
+#include "core/observer.h"
 #include "core/state_store.h"
 #include "core/task_registry.h"
 
@@ -68,6 +69,15 @@ struct VerifierConfig {
   /// Invoked by the detection scanner once per newly found deadlock
   /// (deduplicated by task set). Defaults to logging via util::log_error.
   std::function<void(const DeadlockReport&)> on_deadlock;
+
+  /// Passive listener on everything this verifier sees: blocked-status
+  /// publishes and withdrawals, registration changes (wired into the task
+  /// registry), analyses, and reports. nullptr (the default) = none.
+  /// `trace::Recorder` plugs in here to persist the run; core/ knows only
+  /// this interface. The env spelling lives at the top of the stack:
+  /// `net::verifier_config_from_env()` attaches a recorder when
+  /// ARMUS_TRACE names a path.
+  std::shared_ptr<EventObserver> observer;
 
   /// Reads ARMUS_MODE, ARMUS_GRAPH_MODEL, ARMUS_CHECK_PERIOD_MS,
   /// ARMUS_AVOIDANCE_RECHECK_MS and ARMUS_SCANNER. Non-positive periods and
@@ -212,6 +222,15 @@ class Verifier {
 
   void scanner_loop();
   void record_check(const CheckResult& result);
+
+  /// Forwards one completed analysis to the config observer (no-op when
+  /// none is attached). Called outside the internal locks.
+  void notify_scan(std::size_t blocked, const CheckResult& result);
+
+  /// Records the status with the observer, then publishes it to the store
+  /// (withdrawing the record again if the publish throws) — the
+  /// trace-ordering half of before_block/recheck_blocked.
+  void publish_blocked(const BlockedStatus& status);
 
   [[nodiscard]] Epoch read_epoch() const;
   /// True iff the store is versioned and `epoch` matches the last committed

@@ -2,93 +2,11 @@
 
 #include <cstdint>
 
+#include "core/status_codec.h"
+
 namespace armus::dist {
 
-void append_varint(std::string& out, std::uint64_t value) {
-  while (value >= 0x80) {
-    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
-    value >>= 7;
-  }
-  out.push_back(static_cast<char>(value));
-}
-
-std::uint64_t read_varint(std::string_view bytes, std::size_t* offset) {
-  std::uint64_t value = 0;
-  for (int shift = 0; shift < 64; shift += 7) {
-    if (*offset >= bytes.size()) {
-      throw CodecError("truncated varint at byte " + std::to_string(*offset));
-    }
-    std::uint8_t byte = static_cast<std::uint8_t>(bytes[(*offset)++]);
-    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) {
-      // The final group of a 64-bit varint (shift 63) has one payload bit.
-      if (shift == 63 && (byte & 0x7e) != 0) {
-        throw CodecError("varint overflows 64 bits");
-      }
-      return value;
-    }
-  }
-  throw CodecError("varint longer than 10 bytes");
-}
-
-namespace {
-
-/// Guards element counts before anything is allocated: every encoded
-/// element occupies at least one byte, so a count exceeding the remaining
-/// input is bogus no matter what follows.
-std::uint64_t read_count(std::string_view bytes, std::size_t* offset,
-                         const char* what) {
-  std::uint64_t count = read_varint(bytes, offset);
-  if (count > bytes.size() - *offset) {
-    throw CodecError(std::string("implausible ") + what + " count " +
-                     std::to_string(count) + " with " +
-                     std::to_string(bytes.size() - *offset) +
-                     " bytes remaining");
-  }
-  return count;
-}
-
-}  // namespace
-
-namespace {
-
-void append_status(std::string& out, const BlockedStatus& status) {
-  append_varint(out, status.task);
-  append_varint(out, status.waits.size());
-  for (const Resource& wait : status.waits) {
-    append_varint(out, wait.phaser);
-    append_varint(out, wait.phase);
-  }
-  append_varint(out, status.registered.size());
-  for (const RegEntry& reg : status.registered) {
-    append_varint(out, reg.phaser);
-    append_varint(out, reg.local_phase);
-  }
-}
-
-BlockedStatus read_status(std::string_view bytes, std::size_t* offset) {
-  BlockedStatus status;
-  status.task = read_varint(bytes, offset);
-  std::uint64_t nwaits = read_count(bytes, offset, "wait");
-  status.waits.reserve(nwaits);
-  for (std::uint64_t w = 0; w < nwaits; ++w) {
-    Resource wait;
-    wait.phaser = read_varint(bytes, offset);
-    wait.phase = read_varint(bytes, offset);
-    status.waits.push_back(wait);
-  }
-  std::uint64_t nregs = read_count(bytes, offset, "registration");
-  status.registered.reserve(nregs);
-  for (std::uint64_t r = 0; r < nregs; ++r) {
-    RegEntry reg;
-    reg.phaser = read_varint(bytes, offset);
-    reg.local_phase = read_varint(bytes, offset);
-    status.registered.push_back(reg);
-  }
-  return status;
-}
-
-}  // namespace
+using util::read_count;
 
 std::string encode_statuses(const std::vector<BlockedStatus>& statuses) {
   std::string out;

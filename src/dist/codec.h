@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/blocked_status.h"
+#include "util/varint.h"
 
 /// Compact binary (de)serialisation of BlockedStatus batches — the wire
 /// format a site uses to publish its slice of blocked statuses into the
@@ -28,20 +28,13 @@
 /// corrupt slice must fail loudly instead of yielding a bogus graph.
 namespace armus::dist {
 
-class CodecError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// Appends `value` to `out` as an unsigned LEB128 varint (the primitive
-/// every armus wire format builds on — slice batches here, armus-kv
-/// message bodies in src/net/).
-void append_varint(std::string& out, std::uint64_t value);
-
-/// Strict LEB128 reader over [*offset, bytes.size()): advances *offset
-/// past the varint. Throws CodecError on truncation, a varint longer than
-/// 10 bytes, or 64-bit overflow.
-std::uint64_t read_varint(std::string_view bytes, std::size_t* offset);
+/// The varint primitive and its strict error now live in util/varint.h so
+/// every armus wire format (slice batches here, armus-kv message bodies in
+/// src/net/, trace files in src/trace/) shares one implementation; these
+/// aliases keep the historical dist:: spellings working.
+using CodecError = util::CodecError;
+using util::append_varint;
+using util::read_varint;
 
 /// Serialises `statuses` into the batch format above.
 std::string encode_statuses(const std::vector<BlockedStatus>& statuses);

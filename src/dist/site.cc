@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/recorder.h"
+
 namespace armus::dist {
 
 namespace {
@@ -18,13 +20,21 @@ VerifierConfig site_verifier_config(const Site::Config& config) {
   // Deadlocks are reported by the site's global checker, never by the
   // verifier itself; silence its default logging callback.
   vc.on_deadlock = [](const DeadlockReport&) {};
+  vc.observer = config.observer;
   return vc;
+}
+
+/// Resolves Config::observer, defaulting to the ARMUS_TRACE recorder so
+/// every site becomes a trace producer with zero code changes.
+Site::Config resolve_observer(Site::Config config) {
+  if (!config.observer) config.observer = trace::recorder_from_env();
+  return config;
 }
 
 }  // namespace
 
 Site::Site(Config config, std::shared_ptr<SliceStore> store)
-    : config_(std::move(config)),
+    : config_(resolve_observer(std::move(config))),
       store_(std::move(store)),
       verifier_(site_verifier_config(config_)),
       incremental_(config_.model) {}
@@ -119,9 +129,14 @@ bool Site::check_now() {
     stats_.slices_fetched += read.slices_fetched;
   }
   CheckResult result;
+  std::size_t merged_size = 0;
   {
     std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    merged_size = reader_.merged().size();
     result = incremental_.check(reader_.merged());
+  }
+  if (EventObserver* obs = config_.observer.get()) {
+    obs->on_scan(scan_info(merged_size, result));
   }
 
   std::vector<DeadlockReport> fresh;
@@ -135,8 +150,9 @@ bool Site::check_now() {
       fresh.push_back(std::move(report));
     }
   }
-  if (config_.on_deadlock) {
-    for (const DeadlockReport& report : fresh) config_.on_deadlock(report);
+  for (const DeadlockReport& report : fresh) {
+    if (EventObserver* obs = config_.observer.get()) obs->on_report(report);
+    if (config_.on_deadlock) config_.on_deadlock(report);
   }
   return true;
 }

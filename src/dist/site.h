@@ -50,6 +50,13 @@ class Site {
     /// Invoked once per newly found deadlock (deduplicated by task set).
     /// nullptr = silent (reports still accumulate).
     std::function<void(const DeadlockReport&)> on_deadlock;
+
+    /// Passive event listener wired into the site's verifier (blocked
+    /// statuses, registrations) and the site's own global checks (SCAN /
+    /// REPORT events). nullptr (the default) falls back to
+    /// trace::recorder_from_env(), so any site in a process started with
+    /// ARMUS_TRACE=<path> records its half of the run automatically.
+    std::shared_ptr<EventObserver> observer;
   };
 
   struct Stats {

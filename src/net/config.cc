@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "trace/recorder.h"
 #include "util/env.h"
 
 namespace armus::net {
@@ -57,6 +58,9 @@ VerifierConfig verifier_config_from_env() {
     auto site = static_cast<dist::SiteId>(util::env_int("ARMUS_SITE_ID", 0));
     config.store = std::make_shared<dist::SharedStore>(std::move(backend), site);
   }
+  // ARMUS_TRACE=<path>: the run records itself (docs/TRACE_FORMAT.md) —
+  // every env-configured verifier in the process shares one recorder.
+  config.observer = trace::recorder_from_env();
   return config;
 }
 

@@ -41,7 +41,10 @@ std::shared_ptr<dist::SliceStore> slice_store_from_env();
 /// names a server, the config's store becomes a dist::SharedStore slice
 /// (site ARMUS_SITE_ID) over a RemoteStore — so a plain Verifier built
 /// from this config publishes its blocked statuses into armus-kv and its
-/// checker sees every process's statuses.
+/// checker sees every process's statuses. When ARMUS_TRACE names a path,
+/// the config's observer becomes the process's trace::Recorder, so the
+/// run is captured for offline replay (`armus-trace verify`) with no
+/// code changes.
 VerifierConfig verifier_config_from_env();
 
 }  // namespace armus::net

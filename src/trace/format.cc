@@ -1,0 +1,248 @@
+#include "trace/format.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "core/status_codec.h"
+
+namespace armus::trace {
+
+using util::append_bytes;
+using util::append_varint;
+using util::read_bytes;
+using util::read_count;
+using util::read_varint;
+
+std::string to_string(RecordType type) {
+  switch (type) {
+    case RecordType::kTaskRegistered: return "TASK_REGISTERED";
+    case RecordType::kBlocked: return "BLOCKED";
+    case RecordType::kUnblocked: return "UNBLOCKED";
+    case RecordType::kTaskDeregistered: return "TASK_DEREGISTERED";
+    case RecordType::kScan: return "SCAN";
+    case RecordType::kReport: return "REPORT";
+  }
+  return "?";
+}
+
+std::string TraceHeader::meta_value(std::string_view key) const {
+  for (const auto& [k, v] : meta) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+namespace {
+
+GraphModel model_from_wire(std::uint64_t value) {
+  if (value > static_cast<std::uint64_t>(GraphModel::kAuto)) {
+    throw TraceError("graph model " + std::to_string(value) +
+                     " out of range (0..3)");
+  }
+  return static_cast<GraphModel>(value);
+}
+
+}  // namespace
+
+void append_record(std::string& out, const Record& record,
+                   std::uint64_t dt_ns) {
+  append_varint(out, static_cast<std::uint64_t>(record.type));
+  append_varint(out, dt_ns);
+  switch (record.type) {
+    case RecordType::kTaskRegistered:
+      append_varint(out, record.task);
+      append_varint(out, record.phaser);
+      append_varint(out, record.phase);
+      break;
+    case RecordType::kBlocked:
+      append_status(out, record.status);
+      break;
+    case RecordType::kUnblocked:
+      append_varint(out, record.task);
+      break;
+    case RecordType::kTaskDeregistered:
+      append_varint(out, record.task);
+      append_varint(out, record.phaser);
+      break;
+    case RecordType::kScan:
+      append_varint(out, record.scan.blocked);
+      append_varint(out, record.scan.nodes);
+      append_varint(out, record.scan.edges);
+      append_varint(out, static_cast<std::uint64_t>(record.scan.model_used));
+      append_varint(out, record.scan.reports);
+      break;
+    case RecordType::kReport:
+      append_varint(out, static_cast<std::uint64_t>(record.report.model));
+      append_varint(out, record.report.tasks.size());
+      for (TaskId task : record.report.tasks) append_varint(out, task);
+      append_varint(out, record.report.resources.size());
+      for (const Resource& res : record.report.resources) {
+        append_varint(out, res.phaser);
+        append_varint(out, res.phase);
+      }
+      break;
+  }
+}
+
+Record read_record(std::string_view bytes, std::size_t* offset) {
+  Record record;
+  std::uint64_t type = read_varint(bytes, offset);
+  record.at_ns = read_varint(bytes, offset);  // raw dt; caller accumulates
+  switch (type) {
+    case static_cast<std::uint64_t>(RecordType::kTaskRegistered):
+      record.type = RecordType::kTaskRegistered;
+      record.task = read_varint(bytes, offset);
+      record.phaser = read_varint(bytes, offset);
+      record.phase = read_varint(bytes, offset);
+      break;
+    case static_cast<std::uint64_t>(RecordType::kBlocked):
+      record.type = RecordType::kBlocked;
+      record.status = read_status(bytes, offset);
+      break;
+    case static_cast<std::uint64_t>(RecordType::kUnblocked):
+      record.type = RecordType::kUnblocked;
+      record.task = read_varint(bytes, offset);
+      break;
+    case static_cast<std::uint64_t>(RecordType::kTaskDeregistered):
+      record.type = RecordType::kTaskDeregistered;
+      record.task = read_varint(bytes, offset);
+      record.phaser = read_varint(bytes, offset);
+      break;
+    case static_cast<std::uint64_t>(RecordType::kScan): {
+      record.type = RecordType::kScan;
+      record.scan.blocked = read_varint(bytes, offset);
+      record.scan.nodes = read_varint(bytes, offset);
+      record.scan.edges = read_varint(bytes, offset);
+      record.scan.model_used = model_from_wire(read_varint(bytes, offset));
+      record.scan.reports = read_varint(bytes, offset);
+      break;
+    }
+    case static_cast<std::uint64_t>(RecordType::kReport): {
+      record.type = RecordType::kReport;
+      record.report.model = model_from_wire(read_varint(bytes, offset));
+      std::uint64_t ntasks = read_count(bytes, offset, "report task");
+      record.report.tasks.reserve(ntasks);
+      for (std::uint64_t i = 0; i < ntasks; ++i) {
+        record.report.tasks.push_back(read_varint(bytes, offset));
+      }
+      std::uint64_t nres = read_count(bytes, offset, "report resource");
+      record.report.resources.reserve(nres);
+      for (std::uint64_t i = 0; i < nres; ++i) {
+        Resource res;
+        res.phaser = read_varint(bytes, offset);
+        res.phase = read_varint(bytes, offset);
+        record.report.resources.push_back(res);
+      }
+      break;
+    }
+    default:
+      throw TraceError("unknown trace record type " + std::to_string(type));
+  }
+  return record;
+}
+
+std::string encode_header(const TraceHeader& header) {
+  std::string out(kMagic);
+  append_varint(out, header.version);
+  append_varint(out, header.start_ns);
+  append_varint(out, header.meta.size());
+  for (const auto& [key, value] : header.meta) {
+    append_bytes(out, key);
+    append_bytes(out, value);
+  }
+  return out;
+}
+
+TraceHeader read_header(std::string_view bytes, std::size_t* offset) {
+  if (bytes.size() - *offset < kMagic.size() ||
+      bytes.substr(*offset, kMagic.size()) != kMagic) {
+    throw TraceError("not an armus trace: missing ARMUSTRC magic");
+  }
+  *offset += kMagic.size();
+  TraceHeader header;
+  header.version = read_varint(bytes, offset);
+  if (header.version != kFormatVersion) {
+    throw TraceError("unsupported trace format version " +
+                     std::to_string(header.version));
+  }
+  header.start_ns = read_varint(bytes, offset);
+  std::uint64_t nmeta = read_count(bytes, offset, "meta");
+  header.meta.reserve(nmeta);
+  for (std::uint64_t i = 0; i < nmeta; ++i) {
+    std::string key = read_bytes(bytes, offset);
+    std::string value = read_bytes(bytes, offset);
+    header.meta.emplace_back(std::move(key), std::move(value));
+  }
+  return header;
+}
+
+// --- TraceWriter ---------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string& path, TraceHeader header)
+    : header_(std::move(header)) {
+  if (header_.start_ns == 0) {
+    header_.start_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw TraceError("cannot create trace file " + path);
+  }
+  std::string encoded = encode_header(header_);
+  out_.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  last_ns_ = header_.start_ns;
+}
+
+void TraceWriter::append(const Record& record) {
+  std::uint64_t dt =
+      record.at_ns > last_ns_ ? record.at_ns - last_ns_ : 0;
+  last_ns_ += dt;
+  std::string frame;
+  append_record(frame, record, dt);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  if (!out_) {
+    // Disk full / EIO: a trace that silently stops recording would replay
+    // as a clean shorter run — fail loudly instead (the Recorder turns
+    // this into one logged error and stops capturing).
+    throw TraceError("trace write failed after " + std::to_string(records_) +
+                     " records");
+  }
+  ++records_;
+}
+
+void TraceWriter::flush() {
+  out_.flush();
+  if (!out_) {
+    throw TraceError("trace flush failed after " + std::to_string(records_) +
+                     " records");
+  }
+}
+
+// --- TraceReader ---------------------------------------------------------
+
+TraceReader::TraceReader(std::string bytes) : bytes_(std::move(bytes)) {
+  header_ = read_header(bytes_, &offset_);
+  clock_ns_ = header_.start_ns;
+}
+
+TraceReader TraceReader::open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw TraceError("cannot open trace file " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TraceReader(std::move(buffer).str());
+}
+
+bool TraceReader::next(Record* out) {
+  if (offset_ == bytes_.size()) return false;
+  *out = read_record(bytes_, &offset_);
+  clock_ns_ += out->at_ns;  // the frame carries the delta
+  out->at_ns = clock_ns_;
+  return true;
+}
+
+}  // namespace armus::trace

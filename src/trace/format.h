@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/blocked_status.h"
+#include "core/observer.h"
+#include "core/report.h"
+#include "util/varint.h"
+
+/// The armus trace format: an event-sourced record of everything a
+/// verifier (or site) saw during one run — registrations, blocked-status
+/// publishes, analyses, and deadlock reports — persisted as varint frames
+/// in the style of the slice codec. One live run becomes unlimited offline
+/// runs: `trace::Replayer` feeds the stream back into any StateStore and
+/// the `armus-trace` CLI re-verifies it under different graph models and
+/// policies than the live run used.
+///
+/// docs/TRACE_FORMAT.md is the normative spec (byte examples asserted by
+/// tests/trace_test.cc). Layout, all integers unsigned LEB128:
+///
+///   file    := magic[8] header record*
+///   magic   := "ARMUSTRC"
+///   header  := version:varint start_ns:varint
+///              nmeta:varint (key:bytes value:bytes)*
+///   record  := type:varint dt_ns:varint payload
+///
+/// `start_ns` is the writer's steady clock (CLOCK_MONOTONIC) at creation;
+/// `dt_ns` is the delta since the previous record (the first record's is
+/// since `start_ns`). Monotonic timestamps are system-wide on one host, so
+/// traces recorded by different processes of one run merge into a single
+/// well-ordered timeline. Decoding is strict: truncation mid-record, an
+/// unknown record type, and an out-of-range graph model all raise
+/// TraceError — a replayed verdict is only as trustworthy as its trace.
+namespace armus::trace {
+
+/// Same strict error as every armus binary decoder (util::CodecError).
+using TraceError = util::CodecError;
+
+inline constexpr std::string_view kMagic = "ARMUSTRC";
+inline constexpr std::uint64_t kFormatVersion = 1;
+
+/// Record payloads (after `type:varint dt_ns:varint`):
+///
+///   TASK_REGISTERED   task:varint phaser:varint phase:varint
+///   BLOCKED           status            (status codec, WIRE_PROTOCOL §1)
+///   UNBLOCKED         task:varint
+///   TASK_DEREGISTERED task:varint phaser:varint   (phaser 0 = all)
+///   SCAN              blocked:varint nodes:varint edges:varint
+///                     model:varint reports:varint
+///   REPORT            model:varint ntasks:varint task:varint*
+///                     nres:varint (phaser:varint phase:varint)*
+///
+/// `model` encodes GraphModel: 0 = wfg, 1 = sg, 2 = grg, 3 = auto.
+enum class RecordType : std::uint8_t {
+  kTaskRegistered = 1,
+  kBlocked = 2,
+  kUnblocked = 3,
+  kTaskDeregistered = 4,
+  kScan = 5,
+  kReport = 6,
+};
+
+std::string to_string(RecordType type);
+
+/// One decoded trace record. `at_ns` is the absolute steady-clock
+/// timestamp (header start_ns plus the accumulated deltas); which payload
+/// fields are meaningful depends on `type`.
+struct Record {
+  RecordType type = RecordType::kScan;
+  std::uint64_t at_ns = 0;
+
+  TaskId task = kInvalidTask;   ///< kTaskRegistered/kTaskDeregistered/kUnblocked
+  PhaserUid phaser = 0;         ///< kTaskRegistered/kTaskDeregistered
+  Phase phase = 0;              ///< kTaskRegistered
+  BlockedStatus status;         ///< kBlocked
+  ScanInfo scan;                ///< kScan
+  DeadlockReport report;        ///< kReport
+};
+
+struct TraceHeader {
+  std::uint64_t version = kFormatVersion;
+  std::uint64_t start_ns = 0;
+  std::vector<std::pair<std::string, std::string>> meta;
+
+  /// First value stored under `key`, empty when absent.
+  [[nodiscard]] std::string meta_value(std::string_view key) const;
+};
+
+// --- Frame codec (exposed for tests and the stats tooling) ---------------
+
+/// Appends the `record := type dt_ns payload` frame for `record` (its
+/// `at_ns` is ignored; `dt_ns` is supplied by the writer).
+void append_record(std::string& out, const Record& record, std::uint64_t dt_ns);
+
+/// Reads one record frame, returning the decoded record with `at_ns` left
+/// at the raw dt (the caller accumulates). Throws TraceError on anything
+/// malformed.
+Record read_record(std::string_view bytes, std::size_t* offset);
+
+std::string encode_header(const TraceHeader& header);  ///< magic included
+TraceHeader read_header(std::string_view bytes, std::size_t* offset);
+
+// --- File access ---------------------------------------------------------
+
+/// Streams records to a trace file. Not internally synchronised — the
+/// Recorder serialises access; single-threaded tools use it directly.
+class TraceWriter {
+ public:
+  /// Opens (truncates) `path` and writes magic + header. Throws TraceError
+  /// when the file cannot be created. A zero `header.start_ns` is replaced
+  /// by the current steady clock.
+  TraceWriter(const std::string& path, TraceHeader header);
+
+  /// Appends one record; `record.at_ns` is absolute and must not precede
+  /// the previous record's (clamped to a zero delta if it does — callers
+  /// racing on the steady clock can be off by the lock handover).
+  void append(const Record& record);
+
+  void flush();
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  [[nodiscard]] const TraceHeader& header() const { return header_; }
+
+ private:
+  std::ofstream out_;
+  TraceHeader header_;
+  std::uint64_t last_ns_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+/// Decodes a trace held in memory; `TraceReader::open` loads a file.
+class TraceReader {
+ public:
+  /// Parses magic + header immediately (throws TraceError on mismatch).
+  explicit TraceReader(std::string bytes);
+
+  /// Loads `path` fully into memory. Throws TraceError when unreadable.
+  static TraceReader open(const std::string& path);
+
+  [[nodiscard]] const TraceHeader& header() const { return header_; }
+
+  /// Decodes the next record into *out with `at_ns` made absolute.
+  /// Returns false at clean end-of-trace; throws TraceError on a record
+  /// cut short or otherwise malformed.
+  bool next(Record* out);
+
+ private:
+  std::string bytes_;
+  std::size_t offset_ = 0;
+  TraceHeader header_;
+  std::uint64_t clock_ns_ = 0;
+};
+
+}  // namespace armus::trace

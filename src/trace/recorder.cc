@@ -1,0 +1,191 @@
+#include "trace/recorder.h"
+
+#include <unistd.h>
+
+#include <chrono>
+
+#include "util/env.h"
+#include "util/log.h"
+
+namespace armus::trace {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceHeader header_from_options(const Recorder::Options& options) {
+  TraceHeader header;
+  header.meta = options.meta;
+  return header;
+}
+
+}  // namespace
+
+Recorder::Recorder(Options options)
+    : path_(options.path), writer_(options.path, header_from_options(options)) {}
+
+Recorder::~Recorder() { flush(); }
+
+void Recorder::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failed_) return;
+  try {
+    writer_.flush();
+  } catch (const TraceError& e) {
+    failed_ = true;
+    util::log_error(std::string("trace capture to ") + path_ +
+                    " stopped: " + e.what());
+  }
+}
+
+std::uint64_t Recorder::records_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writer_.records_written();
+}
+
+bool Recorder::failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+void Recorder::append_locked(Record record) {
+  // Observer callbacks run on the application's blocking path (and under
+  // registry shard locks), so a write failure must not take the traced
+  // program down: scream once, then stop capturing.
+  if (failed_) return;
+  record.at_ns = steady_now_ns();
+  try {
+    writer_.append(record);
+  } catch (const TraceError& e) {
+    failed_ = true;
+    util::log_error(std::string("trace capture to ") + path_ +
+                    " stopped: " + e.what());
+  }
+}
+
+void Recorder::on_task_registered(TaskId task, PhaserUid phaser,
+                                  Phase local_phase) {
+  Record record;
+  record.type = RecordType::kTaskRegistered;
+  record.task = task;
+  record.phaser = phaser;
+  record.phase = local_phase;
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(std::move(record));
+}
+
+void Recorder::on_task_deregistered(TaskId task, PhaserUid phaser) {
+  Record record;
+  record.type = RecordType::kTaskDeregistered;
+  record.task = task;
+  record.phaser = phaser;
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(std::move(record));
+}
+
+void Recorder::on_blocked(const BlockedStatus& status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = live_.find(status.task);
+  if (it != live_.end() && it->second == status) return;  // recheck re-publish
+  if (it != live_.end()) {
+    previous_[status.task] = it->second;
+    it->second = status;
+  } else {
+    previous_[status.task] = std::nullopt;
+    live_.emplace(status.task, status);
+  }
+  Record record;
+  record.type = RecordType::kBlocked;
+  record.status = status;
+  append_locked(std::move(record));
+}
+
+void Recorder::on_block_rollback(TaskId task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = previous_.find(task);
+  if (it == previous_.end()) return;  // the failed publish was dedup-dropped
+  std::optional<BlockedStatus> previous = std::move(it->second);
+  previous_.erase(it);
+  Record record;
+  if (previous.has_value()) {
+    // The store still holds (and checkers still see) the old status.
+    live_[task] = *previous;
+    record.type = RecordType::kBlocked;
+    record.status = std::move(*previous);
+  } else {
+    live_.erase(task);
+    record.type = RecordType::kUnblocked;
+    record.task = task;
+  }
+  append_locked(std::move(record));
+}
+
+void Recorder::on_unblocked(TaskId task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  previous_.erase(task);
+  if (live_.erase(task) == 0) return;  // was never blocked: store no-op
+  Record record;
+  record.type = RecordType::kUnblocked;
+  record.task = task;
+  append_locked(std::move(record));
+}
+
+void Recorder::on_scan(const ScanInfo& info) {
+  Record record;
+  record.type = RecordType::kScan;
+  record.scan = info;
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(std::move(record));
+}
+
+void Recorder::on_report(const DeadlockReport& report) {
+  Record record;
+  record.type = RecordType::kReport;
+  record.report = report;
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(std::move(record));
+  // A found deadlock is the evidence the trace exists for; make sure it
+  // reaches disk even if the process is killed before a clean shutdown.
+  if (failed_) return;
+  try {
+    writer_.flush();
+  } catch (const TraceError& e) {
+    failed_ = true;
+    util::log_error(std::string("trace capture to ") + path_ +
+                    " stopped: " + e.what());
+  }
+}
+
+std::shared_ptr<Recorder> recorder_from_env() {
+  static std::mutex mutex;
+  static std::shared_ptr<Recorder> instance;
+  static bool resolved = false;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!resolved) {
+    if (auto path = util::env_str("ARMUS_TRACE")) {
+      Recorder::Options options;
+      options.path = *path;
+      std::size_t token = options.path.find("%p");
+      if (token != std::string::npos) {
+        options.path.replace(token, 2, std::to_string(::getpid()));
+      }
+      for (const char* key : {"ARMUS_MODE", "ARMUS_GRAPH_MODEL",
+                              "ARMUS_STORE", "ARMUS_SITE_ID"}) {
+        if (auto value = util::env_str(key)) {
+          options.meta.emplace_back(key, *value);
+        }
+      }
+      options.meta.emplace_back("pid", std::to_string(::getpid()));
+      instance = std::make_shared<Recorder>(std::move(options));
+    }
+    resolved = true;
+  }
+  return instance;
+}
+
+}  // namespace armus::trace

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/observer.h"
+#include "trace/format.h"
+
+/// Capture side of the trace subsystem: an EventObserver that persists
+/// everything it hears to a trace file. Attach one through
+/// `VerifierConfig::observer` (or `dist::Site::Config::observer`) and the
+/// run becomes replayable offline — `net::verifier_config_from_env()`,
+/// `dist::Site`, and the bench harness all do so automatically when
+/// ARMUS_TRACE names a path.
+namespace armus::trace {
+
+class Recorder final : public EventObserver {
+ public:
+  struct Options {
+    std::string path;
+
+    /// Free-form header metadata ("mode", "model", …) surfaced by
+    /// `armus-trace stats` and used by `verify` to pick its comparison
+    /// policy. recorder_from_env() fills in the ARMUS_* environment.
+    std::vector<std::pair<std::string, std::string>> meta;
+  };
+
+  /// Creates (truncates) the trace file and writes the header. Throws
+  /// TraceError when the path cannot be created — a requested trace that
+  /// silently goes nowhere would be worse than a loud failure.
+  explicit Recorder(Options options);
+
+  /// Flushes and closes. Events arriving after destruction began are lost;
+  /// stop verifiers/sites first.
+  ~Recorder() override;
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  void flush();
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t records_written() const;
+
+  /// True once a write failed (disk full, EIO). The failure is logged
+  /// loudly exactly once and capture stops — the traced program keeps
+  /// running, but the trace must not be trusted past its last record.
+  [[nodiscard]] bool failed() const;
+
+  // --- EventObserver (thread-safe; events serialise on one mutex) --------
+  void on_task_registered(TaskId task, PhaserUid phaser,
+                          Phase local_phase) override;
+  void on_task_deregistered(TaskId task, PhaserUid phaser) override;
+  void on_blocked(const BlockedStatus& status) override;
+  void on_block_rollback(TaskId task) override;
+  void on_unblocked(TaskId task) override;
+  void on_scan(const ScanInfo& info) override;
+  void on_report(const DeadlockReport& report) override;
+
+ private:
+  void append_locked(Record record);
+
+  std::string path_;
+  mutable std::mutex mutex_;
+  TraceWriter writer_;
+  bool failed_ = false;
+
+  /// Last status recorded per live task: avoidance rechecks re-publish an
+  /// unchanged status every poll period, which must not bloat the trace —
+  /// an identical re-publish is dropped, as is an UNBLOCKED for a task
+  /// that never blocked (clear_blocked is a no-op there too).
+  std::unordered_map<TaskId, BlockedStatus> live_;
+
+  /// The status each task held *before* its latest recorded BLOCKED
+  /// (absent value = the task was not blocked). on_block_rollback undoes
+  /// the publish from here: the store rolled back to exactly this state.
+  std::unordered_map<TaskId, std::optional<BlockedStatus>> previous_;
+};
+
+/// The process-wide recorder named by ARMUS_TRACE, created lazily on
+/// first use and shared by every verifier that attaches through an env
+/// path (nullptr when the variable is unset). One process writes one
+/// trace, however many verifiers/sites it hosts — their events interleave
+/// into a single timeline. "%p" in the path expands to the pid, so
+/// multi-process runs that inherit one environment still get one file
+/// per process. Throws on an uncreatable path.
+std::shared_ptr<Recorder> recorder_from_env();
+
+}  // namespace armus::trace

@@ -1,0 +1,62 @@
+#include "util/varint.h"
+
+namespace armus::util {
+
+void append_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::uint64_t read_varint(std::string_view bytes, std::size_t* offset) {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*offset >= bytes.size()) {
+      throw CodecError("truncated varint at byte " + std::to_string(*offset));
+    }
+    std::uint8_t byte = static_cast<std::uint8_t>(bytes[(*offset)++]);
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // The final group of a 64-bit varint (shift 63) has one payload bit.
+      if (shift == 63 && (byte & 0x7e) != 0) {
+        throw CodecError("varint overflows 64 bits");
+      }
+      return value;
+    }
+  }
+  throw CodecError("varint longer than 10 bytes");
+}
+
+std::uint64_t read_count(std::string_view bytes, std::size_t* offset,
+                         const char* what) {
+  std::uint64_t count = read_varint(bytes, offset);
+  if (count > bytes.size() - *offset) {
+    throw CodecError(std::string("implausible ") + what + " count " +
+                     std::to_string(count) + " with " +
+                     std::to_string(bytes.size() - *offset) +
+                     " bytes remaining");
+  }
+  return count;
+}
+
+void append_bytes(std::string& out, std::string_view bytes) {
+  append_varint(out, bytes.size());
+  out.append(bytes);
+}
+
+std::string read_bytes(std::string_view bytes, std::size_t* offset) {
+  std::uint64_t length = read_varint(bytes, offset);
+  if (length > bytes.size() - *offset) {
+    throw CodecError("byte string of " + std::to_string(length) +
+                     " declared with only " +
+                     std::to_string(bytes.size() - *offset) +
+                     " bytes remaining");
+  }
+  std::string out(bytes.substr(*offset, length));
+  *offset += length;
+  return out;
+}
+
+}  // namespace armus::util

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+/// The LEB128 varint primitive every armus binary format builds on: slice
+/// batches (`dist/codec`), armus-kv message bodies (`src/net/`), and trace
+/// files (`src/trace/`). Hoisted here so the formats above core/ and the
+/// trace layer beside it share one strict implementation without depending
+/// on each other.
+namespace armus::util {
+
+/// Raised by every strict binary decoder in armus: truncated input,
+/// unterminated or oversized varints, implausible counts, and trailing
+/// garbage. `dist::CodecError` and `trace::TraceError` are aliases — a
+/// corrupt input must fail loudly instead of yielding a bogus graph.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (little-endian
+/// base-128, low 7 bits per byte, high bit = "more bytes follow"; values
+/// below 128 take one byte).
+void append_varint(std::string& out, std::uint64_t value);
+
+/// Strict LEB128 reader over [*offset, bytes.size()): advances *offset
+/// past the varint. Throws CodecError on truncation, a varint longer than
+/// 10 bytes, or 64-bit overflow.
+std::uint64_t read_varint(std::string_view bytes, std::size_t* offset);
+
+/// Guards element counts before anything is allocated: every encoded
+/// element occupies at least one byte, so a count exceeding the remaining
+/// input is bogus no matter what follows. `what` names the element in the
+/// error message.
+std::uint64_t read_count(std::string_view bytes, std::size_t* offset,
+                         const char* what);
+
+/// Appends `nbytes:varint raw[nbytes]` (a length-delimited byte string).
+void append_bytes(std::string& out, std::string_view bytes);
+
+/// Reads a length-delimited byte string; throws CodecError when the
+/// declared length exceeds the remaining input (checked before any
+/// allocation).
+std::string read_bytes(std::string_view bytes, std::size_t* offset);
+
+}  // namespace armus::util

@@ -14,6 +14,10 @@ flake on a loaded CI box:
                        slices; quiet sites skip every publish; the
                        churning site ships deltas; the steady tail skips
                        every check.
+  one_site_churn_kv    the identical invariants over a real armus-kv TCP
+                       server: the network hop may cost wall-clock, never
+                       extra transfers (PUT_SLICE_DELTA and
+                       LIST_SLICES_SINCE on the wire).
   full_churn           everything changes, nothing is skipped, and the
                        reader fetches exactly sites x rounds slices.
 
@@ -70,34 +74,38 @@ def main():
         check(steady["speedup"] >= 10.0,
               f"steady state speedup {steady['speedup']} < 10x")
 
-    churn = require(workloads, "one_site_churn")
-    if churn:
+    # The one-site-churn invariants hold identically for the in-process
+    # store and the armus-kv TCP variant.
+    for workload_name in ("one_site_churn", "one_site_churn_kv"):
+        churn = require(workloads, workload_name)
+        if not churn:
+            continue
         c = churn["counters"]
         rounds = churn["rounds"]
         steady_rounds = churn["steady_rounds"]
         quiet_sites = churn["sites"] - 1
         check(c["slices_fetched_during_churn"] == c["changed_slices"],
-              f"one-site churn: fetched {c['slices_fetched_during_churn']} "
+              f"{workload_name}: fetched {c['slices_fetched_during_churn']} "
               f"slices for {c['changed_slices']} changes")
         check(c["changed_slices"] == rounds,
-              f"one-site churn: {c['changed_slices']} changes in "
+              f"{workload_name}: {c['changed_slices']} changes in "
               f"{rounds} rounds")
         check(c["churner_delta_publishes"] == rounds,
-              f"one-site churn: {c['churner_delta_publishes']} delta "
+              f"{workload_name}: {c['churner_delta_publishes']} delta "
               f"publishes, expected {rounds}")
         check(c["churner_publishes_skipped"] == steady_rounds,
-              f"one-site churn: churner skipped "
+              f"{workload_name}: churner skipped "
               f"{c['churner_publishes_skipped']}, expected {steady_rounds}")
         # Quiet sites skip the churn rounds AND the steady tail.
         expected_quiet = quiet_sites * (rounds + steady_rounds)
         check(c["quiet_site_publishes_skipped"] == expected_quiet,
-              f"one-site churn: quiet sites skipped "
+              f"{workload_name}: quiet sites skipped "
               f"{c['quiet_site_publishes_skipped']}, expected {expected_quiet}")
         check(c["checker_checks_skipped"] == steady_rounds,
-              f"one-site churn: checker skipped "
+              f"{workload_name}: checker skipped "
               f"{c['checker_checks_skipped']}, expected {steady_rounds}")
         check(c["store_failures"] == 0,
-              f"one-site churn: {c['store_failures']} store failures")
+              f"{workload_name}: {c['store_failures']} store failures")
 
     full = require(workloads, "full_churn")
     if full:
