@@ -3,12 +3,27 @@
 // in-process store, plus the SharedStore/SliceCache decode-caching win —
 // repeated blocked_count()/snapshot() over unchanged slices is O(changed),
 // shown by the decodes counter staying flat.
+//
+// Two modes:
+//   * default              — the Google Benchmark suite below.
+//   * --json-out <path>    — a deterministic run that writes
+//     BENCH_net_store.json (schema armus.bench.net_store.v1): loopback
+//     publish-latency percentiles through obs::Histogram plus the
+//     decode-cache counter invariants tools/check_bench_json.py pins in
+//     CI. Counters carry the guarantees; latencies are the trajectory.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
 #include "dist/codec.h"
 #include "dist/site.h"
 #include "net/kv_server.h"
 #include "net/remote_store.h"
+#include "obs/registry.h"
 #include "util/rng.h"
 
 namespace {
@@ -160,6 +175,132 @@ void BM_SharedStoreBlockedCountOneChanged(benchmark::State& state) {
 }
 BENCHMARK(BM_SharedStoreBlockedCountOneChanged)->Arg(4)->Arg(16)->Arg(64);
 
+// --- deterministic JSON mode (--json-out) ------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t us_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+void append_histogram(std::ostringstream& json, const obs::Histogram& hist) {
+  json << "{\n"
+       << "      \"count\": " << hist.count() << ",\n"
+       << "      \"min_us\": " << hist.min() << ",\n"
+       << "      \"p50_us\": " << hist.percentile(50) << ",\n"
+       << "      \"p99_us\": " << hist.percentile(99) << ",\n"
+       << "      \"max_us\": " << hist.max() << "\n    }";
+}
+
+/// kRounds PUT_SLICE publishes over loopback TCP, every round a genuinely
+/// changed payload (no skip, no delta — RemoteStore::put_slice directly),
+/// with per-publish latency percentiles. The counters prove the run was
+/// clean: the server saw every request, nothing errored, the client never
+/// reconnected.
+void emit_publish_latency(std::ostringstream& json) {
+  constexpr int kRounds = 400;
+  constexpr int kTasks = 64;
+
+  net::KvServer server;
+  server.start();
+  net::RemoteStore::Config config;
+  config.port = server.port();
+  net::RemoteStore client(config);
+
+  std::vector<BlockedStatus> statuses = synthetic_statuses(kTasks);
+  obs::Histogram latency;
+  for (int round = 0; round < kRounds; ++round) {
+    // Alternate one task's wait phase so each payload differs from the last.
+    statuses[0].waits[0].phase = 1 + static_cast<Phase>(round % 2);
+    std::string payload = dist::encode_statuses(statuses);
+    auto t0 = Clock::now();
+    client.put_slice(1, payload);
+    latency.record(us_between(t0, Clock::now()));
+  }
+  net::KvServer::Stats server_stats = server.stats();
+  net::RemoteStore::Stats client_stats = client.stats();
+  server.stop();
+
+  json << "    {\n      \"name\": \"publish_latency\",\n"
+       << "      \"rounds\": " << kRounds << ",\n"
+       << "      \"tasks_per_slice\": " << kTasks << ",\n"
+       << "      \"latency_us\": ";
+  append_histogram(json, latency);
+  json << ",\n      \"counters\": {\n"
+       << "        \"server_requests\": " << server_stats.requests << ",\n"
+       << "        \"server_errors\": " << server_stats.errors << ",\n"
+       << "        \"client_connects\": " << client_stats.connects << ",\n"
+       << "        \"client_failures\": " << client_stats.failures << "\n"
+       << "      }\n    }";
+}
+
+/// The SharedStore decode-cache invariants as exact counters: reads over an
+/// unchanged store decode nothing; each read after one republish decodes
+/// exactly the one changed slice.
+void emit_decode_cache(std::ostringstream& json) {
+  constexpr int kSites = 16;
+  constexpr int kReads = 200;
+
+  auto backing = std::make_shared<dist::Store>();
+  std::string payload = dist::encode_statuses(synthetic_statuses(32));
+  for (dist::SiteId s = 1; s <= kSites; ++s) backing->put_slice(s, payload);
+  dist::SharedStore store(backing, 0);
+  (void)store.blocked_count();  // warm the cache: every slice decodes once
+
+  std::uint64_t before = store.decode_count();
+  for (int i = 0; i < kReads; ++i) (void)store.blocked_count();
+  std::uint64_t decodes_unchanged = store.decode_count() - before;
+
+  before = store.decode_count();
+  for (int i = 0; i < kReads; ++i) {
+    backing->put_slice(1, payload);  // bump one slice's version
+    (void)store.blocked_count();
+  }
+  std::uint64_t decodes_one_changed = store.decode_count() - before;
+
+  json << "    {\n      \"name\": \"decode_cache\",\n"
+       << "      \"sites\": " << kSites << ",\n"
+       << "      \"reads\": " << kReads << ",\n"
+       << "      \"counters\": {\n"
+       << "        \"decodes_unchanged\": " << decodes_unchanged << ",\n"
+       << "        \"decodes_one_changed\": " << decodes_one_changed << "\n"
+       << "      }\n    }";
+}
+
+int run_json_mode(int argc, char** argv) {
+  std::string path =
+      armus::bench::json_out_path(argc, argv, "BENCH_net_store.json");
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"armus.bench.net_store.v1\",\n"
+       << "  \"workloads\": [\n";
+  emit_publish_latency(json);
+  json << ",\n";
+  emit_decode_cache(json);
+  json << "\n  ]\n}\n";
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << json.str() << "wrote " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out", 10) == 0) {
+      return run_json_mode(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -37,6 +37,7 @@
 #include "net/remote_store.h"
 #include "phaser/phaser.h"
 #include "runtime/task.h"
+#include "util/env.h"
 
 using namespace armus;
 using namespace std::chrono_literals;
@@ -130,6 +131,15 @@ int run_site(dist::SiteId id, const std::string& url) {
     std::this_thread::sleep_for(10ms);
   }
   bool detected = detections.load() > 0;
+
+  // ARMUS_DEMO_HOLD_MS=<ms>: keep the detected deadlock alive (worker
+  // still blocked, slice still published) before the rescue, so an
+  // external observer — armus-top in the CI e2e — has a window to see
+  // both sites' blocked counts and the merged cross-process cycle.
+  if (std::int64_t hold = util::env_int("ARMUS_DEMO_HOLD_MS", 0);
+      detected && hold > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(hold));
+  }
 
   // Rescue the worker so the process can exit cleanly: dropping the ghost
   // lets the local barrier complete, exactly like deregistering the remote

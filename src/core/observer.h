@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 #include "core/blocked_status.h"
 #include "core/report.h"
@@ -91,6 +92,18 @@ class EventObserver {
   /// A deadlock was found and is being reported (deduplicated by task
   /// set — the same cycle never fires twice from one verifier or site).
   virtual void on_report(const DeadlockReport& report) { (void)report; }
+
+  /// The shared store's availability changed as seen from `site`: `down`
+  /// is true on the first failed operation after a healthy stretch and
+  /// false on the first success after an outage — a transition event, not
+  /// a per-failure one, so observers see each outage exactly once however
+  /// long it lasts. `op` names the operation that noticed ("publish",
+  /// "check", "scan"). Emitted by dist::Site and the Verifier's scanner;
+  /// recorders that only persist verification state ignore it.
+  virtual void on_store_outage(std::uint32_t site, bool down,
+                               std::string_view op) {
+    (void)site, (void)down, (void)op;
+  }
 };
 
 }  // namespace armus

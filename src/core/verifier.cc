@@ -97,6 +97,11 @@ void Verifier::stop() {
 
 void Verifier::scanner_loop() {
   std::unique_lock<std::mutex> lock(scanner_mutex_);
+  // Only this thread reads or writes the outage latch, so it lives on the
+  // stack: one structured store_outage event per transition (down on the
+  // first failed scan, up on the first scan that succeeds again), not a
+  // stderr line per failed period.
+  bool store_down = false;
   for (;;) {
     if (scanner_cv_.wait_for(lock, config_.period,
                              [this] { return stop_requested_; })) {
@@ -105,11 +110,23 @@ void Verifier::scanner_loop() {
     lock.unlock();
     try {
       scan_now();
+      if (store_down) {
+        store_down = false;
+        if (EventObserver* obs = config_.observer.get()) {
+          obs->on_store_outage(0, false, "scan");
+        }
+      }
     } catch (const std::exception& e) {
       // A pluggable store (VerifierConfig::store) may fail transiently —
       // e.g. dist::StoreUnavailableError during an outage. The scanner
       // must outlive the outage, not terminate the process.
-      util::log_error(std::string("scan failed: ") + e.what());
+      if (!store_down) {
+        store_down = true;
+        util::log_error(std::string("scan failed: ") + e.what());
+        if (EventObserver* obs = config_.observer.get()) {
+          obs->on_store_outage(0, true, "scan");
+        }
+      }
     }
     lock.lock();
   }

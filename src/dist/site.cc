@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "trace/recorder.h"
+#include "obs/env.h"
 
 namespace armus::dist {
 
@@ -24,10 +24,11 @@ VerifierConfig site_verifier_config(const Site::Config& config) {
   return vc;
 }
 
-/// Resolves Config::observer, defaulting to the ARMUS_TRACE recorder so
-/// every site becomes a trace producer with zero code changes.
+/// Resolves Config::observer, defaulting to the environment-selected
+/// observers (ARMUS_TRACE recorder, ARMUS_EVENTS JSONL reporter, or both
+/// fanned out) so every site becomes a producer with zero code changes.
 Site::Config resolve_observer(Site::Config config) {
-  if (!config.observer) config.observer = trace::recorder_from_env();
+  if (!config.observer) config.observer = obs::observer_from_env();
   return config;
 }
 
@@ -81,8 +82,11 @@ bool Site::publish_now() {
     // Re-publish the full slice once the store is back: the outage may
     // have eaten state (server restart), so the skip/delta bases are void.
     published_ok_ = false;
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.store_failures;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.store_failures;
+    }
+    note_store_result(false, "publish");
     return false;
   }
 
@@ -90,9 +94,12 @@ bool Site::publish_now() {
   last_statuses_ = std::move(statuses);
   last_version_ = version;
   published_ok_ = true;
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.publishes;
-  if (delta_sent) ++stats_.delta_publishes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.publishes;
+    if (delta_sent) ++stats_.delta_publishes;
+  }
+  note_store_result(true, "publish");
   return true;
 }
 
@@ -110,10 +117,14 @@ bool Site::check_now() {
     });
   } catch (const StoreUnavailableError&) {
     store_suspect_.store(true);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.store_failures;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.store_failures;
+    }
+    note_store_result(false, "check");
     return false;
   }
+  note_store_result(true, "check");
 
   if (read.outcome != CachedSliceReader::Outcome::kApplied) {
     // Unchanged store (or a response a concurrent check already
@@ -155,6 +166,19 @@ bool Site::check_now() {
     if (config_.on_deadlock) config_.on_deadlock(report);
   }
   return true;
+}
+
+void Site::note_store_result(bool ok, const char* op) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A transition happens exactly when the new verdict disagrees with the
+    // recorded one: first failure while healthy, first success while down.
+    if (store_down_ == !ok) return;
+    store_down_ = !ok;
+  }
+  if (EventObserver* obs = config_.observer.get()) {
+    obs->on_store_outage(config_.id, !ok, op);
+  }
 }
 
 std::vector<DeadlockReport> Site::reported() const {

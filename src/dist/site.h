@@ -52,10 +52,12 @@ class Site {
     std::function<void(const DeadlockReport&)> on_deadlock;
 
     /// Passive event listener wired into the site's verifier (blocked
-    /// statuses, registrations) and the site's own global checks (SCAN /
-    /// REPORT events). nullptr (the default) falls back to
-    /// trace::recorder_from_env(), so any site in a process started with
-    /// ARMUS_TRACE=<path> records its half of the run automatically.
+    /// statuses, registrations), the site's own global checks (SCAN /
+    /// REPORT events), and store outage/recovery transitions. nullptr
+    /// (the default) falls back to obs::observer_from_env(), so any site
+    /// in a process started with ARMUS_TRACE=<path> records its half of
+    /// the run automatically and ARMUS_EVENTS=<path|stderr> streams the
+    /// same events as JSON lines — both at once when both are set.
     std::shared_ptr<EventObserver> observer;
   };
 
@@ -118,6 +120,13 @@ class Site {
  private:
   void loop(std::chrono::milliseconds period, bool (Site::*step)());
 
+  /// Folds one store operation outcome into the outage state and, on a
+  /// transition (healthy→down on the first failure, down→healthy on the
+  /// first success), emits a structured store_outage event through the
+  /// observer — once per outage, however long it lasts, instead of a
+  /// stderr line per failed period.
+  void note_store_result(bool ok, const char* op);
+
   Config config_;
   std::shared_ptr<SliceStore> store_;
   Verifier verifier_;
@@ -150,6 +159,8 @@ class Site {
   Stats stats_;
   std::vector<DeadlockReport> reported_;
   std::unordered_set<std::uint64_t> fingerprints_;
+  /// Current outage verdict (guarded by mutex_); see note_store_result.
+  bool store_down_ = false;
 
   std::mutex thread_mutex_;
   std::condition_variable stop_cv_;

@@ -55,9 +55,13 @@ std::uint64_t SliceStore::put_slice_delta(SiteId site,
 }
 
 Store::Store(Config config)
-    : config_(config),
+    : config_(std::move(config)),
       generation_(config_.generation != 0 ? config_.generation
-                                          : fresh_generation()) {}
+                                          : fresh_generation()) {
+  if (!config_.clock) {
+    config_.clock = [] { return std::chrono::steady_clock::now(); };
+  }
+}
 
 void Store::check_available_locked() const {
   if (!available_) throw StoreUnavailableError();
@@ -65,6 +69,7 @@ void Store::check_available_locked() const {
 
 void Store::touch_locked(SiteId site) {
   changed_at_[site] = ++version_;
+  changed_time_[site] = config_.clock();
   ++writes_;
 }
 
@@ -140,7 +145,10 @@ void Store::remove_slice(SiteId site) {
   simulate_hop(config_.latency);
   std::lock_guard<std::mutex> lock(mutex_);
   check_available_locked();
-  if (slices_.erase(site) > 0) changed_at_.erase(site);
+  if (slices_.erase(site) > 0) {
+    changed_at_.erase(site);
+    changed_time_.erase(site);
+  }
   // A removal changes the global view even when the site had no slice —
   // keeping the counter monotone per accepted write is simpler and only
   // costs readers a no-op refresh.
@@ -188,6 +196,41 @@ DeltaSnapshot Store::snapshot_since(std::uint64_t since) const {
 std::uint64_t Store::version() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return version_;
+}
+
+std::vector<SliceInspect> Store::inspect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_available_locked();
+  auto now = config_.clock();
+  std::vector<SliceInspect> rows;
+  rows.reserve(slices_.size());
+  for (const auto& [site, slice] : slices_) {
+    SliceInspect row;
+    row.site = site;
+    row.version = slice.version;
+    row.payload_bytes = slice.payload.size();
+    try {
+      row.blocked = decode_statuses(slice.payload).size();
+    } catch (const CodecError&) {
+      // Introspection reports what it can; the checker's corrupt-slice
+      // path owns the loud handling.
+      row.blocked = 0;
+    }
+    auto changed = changed_time_.find(site);
+    if (changed != changed_time_.end() && now > changed->second) {
+      row.age_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - changed->second)
+              .count());
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::uint64_t Store::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
 }
 
 void Store::set_available(bool available) {

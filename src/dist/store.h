@@ -131,6 +131,17 @@ class SliceStore {
   [[nodiscard]] virtual DeltaSnapshot snapshot_since(std::uint64_t since) const;
 };
 
+/// One slice's row in a store introspection (INSPECT on armus-kv, the
+/// armus-top table): how current and how busy each site's published
+/// state is, computable without shipping the payloads.
+struct SliceInspect {
+  SiteId site = 0;
+  std::uint64_t version = 0;        ///< slice version
+  std::uint64_t blocked = 0;        ///< decoded status count (0 if corrupt)
+  std::uint64_t age_ms = 0;         ///< now − last accepted change
+  std::uint64_t payload_bytes = 0;  ///< encoded slice size
+};
+
 class Store final : public SliceStore {
  public:
   struct Config {
@@ -140,6 +151,11 @@ class Store final : public SliceStore {
     /// Boot generation reported by snapshot_since. 0 (the default) draws a
     /// fresh random value per Store — tests pinning wire bytes set it.
     std::uint64_t generation = 0;
+
+    /// Clock stamping slice changes and computing inspect() publish ages.
+    /// Default: std::chrono::steady_clock::now. Tests pinning INSPECT
+    /// wire bytes inject a controllable one.
+    std::function<std::chrono::steady_clock::time_point()> clock;
   };
 
   /// Back-compat spelling: the slice type predates the SliceStore split.
@@ -198,6 +214,17 @@ class Store final : public SliceStore {
   /// The store-wide change version (what snapshot_since reports).
   [[nodiscard]] std::uint64_t version() const;
 
+  /// One introspection row per live slice, sorted by site id: version,
+  /// decoded blocked count (0 for a corrupt payload — introspection must
+  /// not throw on data the checker would skip), publish age against
+  /// Config::clock, and payload size. The INSPECT opcode serves exactly
+  /// this; armus-top renders it. Throws StoreUnavailableError during an
+  /// outage.
+  [[nodiscard]] std::vector<SliceInspect> inspect() const;
+
+  /// The store's boot generation (as reported by snapshot_since).
+  [[nodiscard]] std::uint64_t generation() const;
+
   /// Failure injection: while unavailable, every operation throws. Data
   /// survives the outage.
   void set_available(bool available);
@@ -219,6 +246,9 @@ class Store final : public SliceStore {
   std::map<SiteId, dist::Slice> slices_;
   /// Store version at which each live slice last changed.
   std::map<SiteId, std::uint64_t> changed_at_;
+  /// Clock reading at each live slice's last accepted change (inspect()
+  /// publish ages).
+  std::map<SiteId, std::chrono::steady_clock::time_point> changed_time_;
   /// Store-wide change counter; 1 = the initial empty state (0 is the
   /// DeltaSnapshot "unversioned" sentinel).
   std::uint64_t version_ = 1;

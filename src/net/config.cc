@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "trace/recorder.h"
+#include "obs/env.h"
 #include "util/env.h"
 
 namespace armus::net {
@@ -58,9 +58,11 @@ VerifierConfig verifier_config_from_env() {
     auto site = static_cast<dist::SiteId>(util::env_int("ARMUS_SITE_ID", 0));
     config.store = std::make_shared<dist::SharedStore>(std::move(backend), site);
   }
-  // ARMUS_TRACE=<path>: the run records itself (docs/TRACE_FORMAT.md) —
-  // every env-configured verifier in the process shares one recorder.
-  config.observer = trace::recorder_from_env();
+  // ARMUS_TRACE=<path>: the run records itself (docs/TRACE_FORMAT.md);
+  // ARMUS_EVENTS=<path|stderr>: the run streams JSONL events
+  // (docs/OBSERVABILITY.md). Both set: one fan-out observer feeds both —
+  // every env-configured verifier in the process shares the instances.
+  config.observer = obs::observer_from_env();
   return config;
 }
 

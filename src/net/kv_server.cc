@@ -271,6 +271,22 @@ std::string KvServer::handle_request(std::string_view body) {
           return out;
         }
       }
+      case MsgType::kInspect: {
+        expect_end(body, offset);
+        InspectInfo info;
+        info.sites = backing_->inspect();
+        info.generation = backing_->generation();
+        info.store_version = backing_->version();
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          info.connections = stats_.connections;
+          info.requests = stats_.requests;  // includes this INSPECT
+          info.errors = stats_.errors;
+        }
+        std::string out = status_only(WireStatus::kOk);
+        append_inspect(out, info);
+        return out;
+      }
       case MsgType::kListSlicesSince: {
         std::uint64_t since = read_varint(body, &offset);
         expect_end(body, offset);

@@ -76,4 +76,41 @@ void expect_end(std::string_view body, std::size_t offset) {
   }
 }
 
+void append_inspect(std::string& out, const InspectInfo& info) {
+  append_varint(out, info.generation);
+  append_varint(out, info.store_version);
+  append_varint(out, info.connections);
+  append_varint(out, info.requests);
+  append_varint(out, info.errors);
+  append_varint(out, info.sites.size());
+  for (const dist::SliceInspect& row : info.sites) {
+    append_varint(out, row.site);
+    append_varint(out, row.version);
+    append_varint(out, row.blocked);
+    append_varint(out, row.age_ms);
+    append_varint(out, row.payload_bytes);
+  }
+}
+
+InspectInfo read_inspect(std::string_view body, std::size_t* offset) {
+  InspectInfo info;
+  info.generation = read_varint(body, offset);
+  info.store_version = read_varint(body, offset);
+  info.connections = read_varint(body, offset);
+  info.requests = read_varint(body, offset);
+  info.errors = read_varint(body, offset);
+  std::uint64_t nsites = util::read_count(body, offset, "inspect row");
+  info.sites.reserve(nsites);
+  for (std::uint64_t i = 0; i < nsites; ++i) {
+    dist::SliceInspect row;
+    row.site = static_cast<dist::SiteId>(read_varint(body, offset));
+    row.version = read_varint(body, offset);
+    row.blocked = read_varint(body, offset);
+    row.age_ms = read_varint(body, offset);
+    row.payload_bytes = read_varint(body, offset);
+    info.sites.push_back(row);
+  }
+  return info;
+}
+
 }  // namespace armus::net

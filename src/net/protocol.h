@@ -47,6 +47,7 @@ enum class MsgType : std::uint64_t {
                          ///<   kBaseMismatch(current) | kStaleVersion(current)
   kListSlicesSince = 7,  ///< since → OK(generation version
                          ///<              nchanged slice* nlive site*)
+  kInspect = 8,          ///< (empty) → OK(inspect_info) — see InspectInfo
 };
 
 enum class WireStatus : std::uint64_t {
@@ -84,5 +85,25 @@ void append_slice(std::string& out, const dist::Slice& slice);
 /// Throws dist::CodecError unless exactly `offset == body.size()` — the
 /// same trailing-garbage strictness as the slice codec.
 void expect_end(std::string_view body, std::size_t offset);
+
+/// The INSPECT answer (docs/WIRE_PROTOCOL.md §10): store identity, the
+/// server's request counters, and one dist::SliceInspect row per live
+/// slice — the live-cluster view armus-top renders. `requests` includes
+/// the INSPECT being answered.
+struct InspectInfo {
+  std::uint64_t generation = 0;     ///< store boot generation
+  std::uint64_t store_version = 0;  ///< store-wide change version
+  std::uint64_t connections = 0;    ///< accepted so far
+  std::uint64_t requests = 0;       ///< handled, this one included
+  std::uint64_t errors = 0;         ///< non-OK responses sent
+  std::vector<dist::SliceInspect> sites;  ///< sorted by site id
+};
+
+/// `generation version connections requests errors
+///  nsites (site version blocked age_ms payload_bytes)*` — the OK
+/// payload of INSPECT.
+void append_inspect(std::string& out, const InspectInfo& info);
+[[nodiscard]] InspectInfo read_inspect(std::string_view body,
+                                       std::size_t* offset);
 
 }  // namespace armus::net

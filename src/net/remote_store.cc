@@ -273,6 +273,25 @@ std::optional<dist::Slice> RemoteStore::get_slice(dist::SiteId site) const {
   }
 }
 
+InspectInfo RemoteStore::inspect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string response = roundtrip(request_header(MsgType::kInspect));
+  std::size_t offset = 0;
+  WireStatus status = read_status(response, &offset);
+  if (status != WireStatus::kOk) {
+    throw StoreUnavailableError("armus-kv: INSPECT failed: " +
+                                to_string(status));
+  }
+  try {
+    InspectInfo info = read_inspect(response, &offset);
+    expect_end(response, offset);
+    return info;
+  } catch (const CodecError&) {
+    disconnect_locked("malformed response");
+    throw StoreUnavailableError("armus-kv: malformed INSPECT response");
+  }
+}
+
 bool RemoteStore::heartbeat() {
   std::lock_guard<std::mutex> lock(mutex_);
   try {

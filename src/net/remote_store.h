@@ -95,6 +95,11 @@ class RemoteStore final : public dist::SliceStore {
   /// unreachable. Also the cheap way to force a reconnect attempt.
   bool heartbeat();
 
+  /// INSPECT round trip: store identity, server counters, and one row per
+  /// live slice (no payloads travel). Throws dist::StoreUnavailableError
+  /// on network failure or a server-side outage.
+  [[nodiscard]] InspectInfo inspect() const;
+
   [[nodiscard]] bool connected() const;
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const Config& config() const { return config_; }

@@ -1,0 +1,13 @@
+#include "obs/env.h"
+
+#include "obs/jsonl_reporter.h"
+#include "obs/multi_observer.h"
+#include "trace/recorder.h"
+
+namespace armus::obs {
+
+std::shared_ptr<EventObserver> observer_from_env() {
+  return combine({trace::recorder_from_env(), reporter_from_env()});
+}
+
+}  // namespace armus::obs

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <memory>
+
+#include "core/observer.h"
+
+/// The env spelling of observer attachment, in one place: everything that
+/// used to attach only the ARMUS_TRACE recorder (verifier_config_from_env,
+/// dist::Site's observer default) now goes through observer_from_env(),
+/// which composes every env-enabled listener. Lives in obs/ because it
+/// depends on trace/ (the recorder) — obs' reporter/registry parts depend
+/// only on core/.
+namespace armus::obs {
+
+/// The process's env-configured observer stack: the ARMUS_TRACE recorder
+/// and/or the ARMUS_EVENTS JSONL reporter, combined (obs::combine) when
+/// both are set, nullptr when neither is. Both underlying instances are
+/// process-wide singletons, so however many verifiers/sites attach, one
+/// process writes one trace and one event stream.
+std::shared_ptr<EventObserver> observer_from_env();
+
+}  // namespace armus::obs

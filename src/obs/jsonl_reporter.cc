@@ -1,0 +1,213 @@
+#include "obs/jsonl_reporter.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/env.h"
+#include "util/log.h"
+
+namespace armus::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// `[[p,n],[p,n],...]` — the pair-array rendering waits/regs/resources
+/// share (docs/OBSERVABILITY.md).
+void append_pairs(std::string& out, const auto& entries, auto first,
+                  auto second) {
+  out += '[';
+  bool comma = false;
+  for (const auto& e : entries) {
+    if (comma) out += ',';
+    comma = true;
+    out += '[' + std::to_string(first(e)) + ',' + std::to_string(second(e)) +
+           ']';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+JsonlReporter::JsonlReporter(Options options)
+    : path_(std::move(options.path)), clock_(std::move(options.clock)) {
+  if (!clock_) clock_ = steady_now_ns;
+  if (path_ == "stderr") {
+    file_ = stderr;
+  } else {
+    file_ = std::fopen(path_.c_str(), "w");
+    if (!file_) {
+      throw std::runtime_error("cannot open ARMUS_EVENTS sink " + path_);
+    }
+    owns_file_ = true;
+  }
+}
+
+JsonlReporter::~JsonlReporter() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ && !failed_) std::fflush(file_);
+  if (owns_file_ && file_) std::fclose(file_);
+  file_ = nullptr;
+}
+
+std::uint64_t JsonlReporter::lines_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+bool JsonlReporter::failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+void JsonlReporter::write_line_locked(const std::string& line) {
+  // Observer callbacks run on the application's blocking path, so a sink
+  // failure must not take the observed program down: scream once, stop.
+  if (failed_ || !file_) return;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
+    failed_ = true;
+    util::log_error("event stream to " + path_ + " stopped: write failed");
+    return;
+  }
+  ++lines_;
+}
+
+std::string JsonlReporter::line_head(const char* event) {
+  return std::string("{\"v\":1,\"event\":\"") + event +
+         "\",\"ts_ns\":" + std::to_string(clock_()) + ',';
+}
+
+void JsonlReporter::on_task_registered(TaskId task, PhaserUid phaser,
+                                       Phase local_phase) {
+  std::string line = line_head("register") +
+                     "\"task\":" + std::to_string(task) +
+                     ",\"phaser\":" + std::to_string(phaser) +
+                     ",\"phase\":" + std::to_string(local_phase) + '}';
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_line_locked(line);
+}
+
+void JsonlReporter::on_task_deregistered(TaskId task, PhaserUid phaser) {
+  std::string line = line_head("deregister") +
+                     "\"task\":" + std::to_string(task) +
+                     ",\"phaser\":" + std::to_string(phaser) + '}';
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_line_locked(line);
+}
+
+void JsonlReporter::on_blocked(const BlockedStatus& status) {
+  std::string line = line_head("block") +
+                     "\"task\":" + std::to_string(status.task) + ",\"waits\":";
+  append_pairs(line, status.waits,
+               [](const Resource& r) { return r.phaser; },
+               [](const Resource& r) { return r.phase; });
+  line += ",\"regs\":";
+  append_pairs(line, status.registered,
+               [](const RegEntry& r) { return r.phaser; },
+               [](const RegEntry& r) { return r.local_phase; });
+  line += '}';
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = live_.find(status.task);
+  if (it != live_.end() && it->second == status) return;  // recheck re-publish
+  if (it != live_.end()) {
+    previous_[status.task] = it->second;
+    it->second = status;
+  } else {
+    previous_[status.task] = std::nullopt;
+    live_.emplace(status.task, status);
+  }
+  write_line_locked(line);
+}
+
+void JsonlReporter::on_block_rollback(TaskId task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = previous_.find(task);
+  if (it == previous_.end()) return;  // the failed publish was dedup-dropped
+  if (it->second.has_value()) {
+    live_[task] = std::move(*it->second);
+  } else {
+    live_.erase(task);
+  }
+  previous_.erase(it);
+  write_line_locked(line_head("block_rollback") +
+                    "\"task\":" + std::to_string(task) + '}');
+}
+
+void JsonlReporter::on_unblocked(TaskId task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  previous_.erase(task);
+  if (live_.erase(task) == 0) return;  // was never blocked: store no-op
+  write_line_locked(line_head("unblock") + "\"task\":" + std::to_string(task) +
+                    '}');
+}
+
+void JsonlReporter::on_scan(const ScanInfo& info) {
+  std::string line = line_head("scan") +
+                     "\"blocked\":" + std::to_string(info.blocked) +
+                     ",\"nodes\":" + std::to_string(info.nodes) +
+                     ",\"edges\":" + std::to_string(info.edges) +
+                     ",\"model\":\"" + to_string(info.model_used) +
+                     "\",\"reports\":" + std::to_string(info.reports) + '}';
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_line_locked(line);
+}
+
+void JsonlReporter::on_report(const DeadlockReport& report) {
+  std::string line =
+      line_head("report") + "\"model\":\"" + to_string(report.model) +
+      "\",\"tasks\":[";
+  bool comma = false;
+  for (TaskId task : report.tasks) {
+    if (comma) line += ',';
+    comma = true;
+    line += std::to_string(task);
+  }
+  line += "],\"resources\":";
+  append_pairs(line, report.resources,
+               [](const Resource& r) { return r.phaser; },
+               [](const Resource& r) { return r.phase; });
+  line += '}';
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_line_locked(line);
+}
+
+void JsonlReporter::on_store_outage(std::uint32_t site, bool down,
+                                    std::string_view op) {
+  std::string line = line_head("store_outage") +
+                     "\"site\":" + std::to_string(site) +
+                     ",\"down\":" + (down ? "true" : "false") + ",\"op\":\"" +
+                     std::string(op) + "\"}";
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_line_locked(line);
+}
+
+std::shared_ptr<JsonlReporter> reporter_from_env() {
+  static std::mutex mutex;
+  static std::shared_ptr<JsonlReporter> instance;
+  static bool resolved = false;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!resolved) {
+    if (auto path = util::env_str("ARMUS_EVENTS")) {
+      JsonlReporter::Options options;
+      options.path = *path;
+      std::size_t token = options.path.find("%p");
+      if (token != std::string::npos) {
+        options.path.replace(token, 2, std::to_string(::getpid()));
+      }
+      instance = std::make_shared<JsonlReporter>(std::move(options));
+    }
+    resolved = true;
+  }
+  return instance;
+}
+
+}  // namespace armus::obs

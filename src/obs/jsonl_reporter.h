@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/observer.h"
+
+/// The event half of the observability layer: an EventObserver that
+/// streams one JSON line per event to a sink — the live, human-greppable
+/// and machine-parseable counterpart of the binary trace. Enabled at the
+/// env boundary with ARMUS_EVENTS=<path|stderr> and composed with the
+/// ARMUS_TRACE recorder through obs::combine, so one run can feed both.
+/// The line schema is normative in docs/OBSERVABILITY.md and pinned by
+/// golden tests; version bumps the "v" field.
+namespace armus::obs {
+
+class JsonlReporter final : public EventObserver {
+ public:
+  struct Options {
+    /// File path, or the literal "stderr" for the process's stderr.
+    std::string path;
+
+    /// Timestamp source in nanoseconds for the ts_ns field; defaults to
+    /// the monotonic clock (same timebase as trace records, so event and
+    /// trace timelines from one host correlate). Tests inject a fixed
+    /// sequence to pin golden lines.
+    std::function<std::uint64_t()> clock;
+  };
+
+  /// Creates (truncates) the sink. Throws std::runtime_error when the
+  /// path cannot be opened — a requested event stream that silently goes
+  /// nowhere would be worse than a loud failure.
+  explicit JsonlReporter(Options options);
+  ~JsonlReporter() override;
+
+  JsonlReporter(const JsonlReporter&) = delete;
+  JsonlReporter& operator=(const JsonlReporter&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t lines_written() const;
+
+  /// True once a write failed (disk full, EIO). Logged loudly exactly
+  /// once; reporting stops, the observed program keeps running.
+  [[nodiscard]] bool failed() const;
+
+  // --- EventObserver (thread-safe; lines serialise on one mutex) ---------
+  // Every line is flushed as it is written, so `tail -f` and a consuming
+  // pipeline see events as they happen. Avoidance rechecks re-publish an
+  // unchanged status every poll period; identical re-publishes are
+  // dropped, as is an unblock for a task that never blocked — the same
+  // dedup rules as trace::Recorder, so both outputs of one run agree.
+  void on_task_registered(TaskId task, PhaserUid phaser,
+                          Phase local_phase) override;
+  void on_task_deregistered(TaskId task, PhaserUid phaser) override;
+  void on_blocked(const BlockedStatus& status) override;
+  void on_block_rollback(TaskId task) override;
+  void on_unblocked(TaskId task) override;
+  void on_scan(const ScanInfo& info) override;
+  void on_report(const DeadlockReport& report) override;
+  void on_store_outage(std::uint32_t site, bool down,
+                       std::string_view op) override;
+
+ private:
+  void write_line_locked(const std::string& line);
+  [[nodiscard]] std::string line_head(const char* event);
+
+  std::string path_;
+  std::function<std::uint64_t()> clock_;
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  bool owns_file_ = false;
+  bool failed_ = false;
+  std::uint64_t lines_ = 0;
+
+  /// Last status reported per live task (dedup of recheck re-publishes)
+  /// and the status each task held before its latest block line (what a
+  /// rollback restores). Mirrors trace::Recorder.
+  std::unordered_map<TaskId, BlockedStatus> live_;
+  std::unordered_map<TaskId, std::optional<BlockedStatus>> previous_;
+};
+
+/// The process-wide reporter named by ARMUS_EVENTS, created lazily on
+/// first use and shared by every verifier/site that attaches through an
+/// env path (nullptr when the variable is unset). "%p" in the path
+/// expands to the pid. Throws on an unopenable path.
+std::shared_ptr<JsonlReporter> reporter_from_env();
+
+}  // namespace armus::obs

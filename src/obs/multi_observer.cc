@@ -1,0 +1,57 @@
+#include "obs/multi_observer.h"
+
+#include <algorithm>
+
+namespace armus::obs {
+
+MultiObserver::MultiObserver(
+    std::vector<std::shared_ptr<EventObserver>> targets)
+    : targets_(std::move(targets)) {
+  targets_.erase(std::remove(targets_.begin(), targets_.end(), nullptr),
+                 targets_.end());
+}
+
+void MultiObserver::on_task_registered(TaskId task, PhaserUid phaser,
+                                       Phase local_phase) {
+  for (auto& t : targets_) t->on_task_registered(task, phaser, local_phase);
+}
+
+void MultiObserver::on_task_deregistered(TaskId task, PhaserUid phaser) {
+  for (auto& t : targets_) t->on_task_deregistered(task, phaser);
+}
+
+void MultiObserver::on_blocked(const BlockedStatus& status) {
+  for (auto& t : targets_) t->on_blocked(status);
+}
+
+void MultiObserver::on_block_rollback(TaskId task) {
+  for (auto& t : targets_) t->on_block_rollback(task);
+}
+
+void MultiObserver::on_unblocked(TaskId task) {
+  for (auto& t : targets_) t->on_unblocked(task);
+}
+
+void MultiObserver::on_scan(const ScanInfo& info) {
+  for (auto& t : targets_) t->on_scan(info);
+}
+
+void MultiObserver::on_report(const DeadlockReport& report) {
+  for (auto& t : targets_) t->on_report(report);
+}
+
+void MultiObserver::on_store_outage(std::uint32_t site, bool down,
+                                    std::string_view op) {
+  for (auto& t : targets_) t->on_store_outage(site, down, op);
+}
+
+std::shared_ptr<EventObserver> combine(
+    std::vector<std::shared_ptr<EventObserver>> targets) {
+  targets.erase(std::remove(targets.begin(), targets.end(), nullptr),
+                targets.end());
+  if (targets.empty()) return nullptr;
+  if (targets.size() == 1) return targets.front();
+  return std::make_shared<MultiObserver>(std::move(targets));
+}
+
+}  // namespace armus::obs

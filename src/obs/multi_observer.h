@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/observer.h"
+
+/// Fan-out for the single observer slot: VerifierConfig::observer and
+/// Site::Config::observer hold exactly one EventObserver, and before this
+/// layer existed attaching a second listener (trace recorder + JSONL
+/// reporter) meant choosing. A MultiObserver forwards every callback to
+/// each target in order, on the caller's thread — targets do their own
+/// synchronisation, exactly as they would attached directly.
+namespace armus::obs {
+
+class MultiObserver final : public EventObserver {
+ public:
+  /// Null targets are dropped; the order of the rest is the delivery
+  /// order.
+  explicit MultiObserver(std::vector<std::shared_ptr<EventObserver>> targets);
+
+  [[nodiscard]] const std::vector<std::shared_ptr<EventObserver>>& targets()
+      const {
+    return targets_;
+  }
+
+  void on_task_registered(TaskId task, PhaserUid phaser,
+                          Phase local_phase) override;
+  void on_task_deregistered(TaskId task, PhaserUid phaser) override;
+  void on_blocked(const BlockedStatus& status) override;
+  void on_block_rollback(TaskId task) override;
+  void on_unblocked(TaskId task) override;
+  void on_scan(const ScanInfo& info) override;
+  void on_report(const DeadlockReport& report) override;
+  void on_store_outage(std::uint32_t site, bool down,
+                       std::string_view op) override;
+
+ private:
+  std::vector<std::shared_ptr<EventObserver>> targets_;
+};
+
+/// The composition rule every env/config site uses: drop nulls, then
+/// return nullptr for zero targets (no observer — the hot path keeps its
+/// "observer absent" fast path), the target itself for one (no forwarding
+/// hop), and a MultiObserver for several.
+std::shared_ptr<EventObserver> combine(
+    std::vector<std::shared_ptr<EventObserver>> targets);
+
+}  // namespace armus::obs

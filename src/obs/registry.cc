@@ -1,0 +1,155 @@
+#include "obs/registry.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace armus::obs {
+
+namespace {
+
+/// Deterministic double rendering for snapshot_json: integral values
+/// print without a fractional part, everything else as %g (6 significant
+/// digits — gauges are ratios and means, not identifiers).
+std::string format_double(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  // 0 → bucket 0; otherwise 1 + floor(log2(value)), i.e. bit_width,
+  // clamped into the top bucket.
+  std::size_t index = static_cast<std::size_t>(std::bit_width(value));
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) {
+  if (index == 0) return 0;
+  if (index >= kBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << index) - 1;
+}
+
+void Histogram::record(std::uint64_t value) {
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      std::uint64_t upper = bucket_upper(i);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+void Registry::counter_set(const std::string& name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] = value;
+}
+
+void Registry::counter_add(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void Registry::gauge_set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void Registry::record(const std::string& name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  histograms_[name].record(value);
+}
+
+std::uint64_t Registry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Histogram Registry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+std::string Registry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"schema\":\"armus.obs.registry.v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':' + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':' + format_double(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"count\":" + std::to_string(h.count()) +
+           ",\"min\":" + std::to_string(h.min()) +
+           ",\"max\":" + std::to_string(h.max()) +
+           ",\"p50\":" + std::to_string(h.percentile(50)) +
+           ",\"p99\":" + std::to_string(h.percentile(99)) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace armus::obs

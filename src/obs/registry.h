@@ -1,0 +1,92 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+/// The metrics half of the observability layer (docs/OBSERVABILITY.md):
+/// a process-local registry of named counters, gauges, and fixed-bucket
+/// latency histograms, plus a deterministic JSON snapshot. The existing
+/// Stats structs (Verifier, dist::Site, net::KvServer, …) stay the
+/// source of truth — obs/export.h copies them in under a prefix — so the
+/// registry is a read-out surface, never a second bookkeeping path.
+namespace armus::obs {
+
+/// A fixed-bucket histogram over non-negative integer samples (latencies
+/// in µs/ns, sizes in bytes). Buckets are powers of two: bucket 0 holds
+/// the value 0, bucket i >= 1 holds [2^(i-1), 2^i - 1], so 64 buckets
+/// cover the whole uint64 range with bounded error — a percentile
+/// estimate lands in the same bucket as the true rank-order statistic
+/// (within 2x), which is the property the tests pin. Not internally
+/// synchronised: Registry serialises access under its own mutex, and the
+/// bench harness records from one thread.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// The bucket index `value` falls into.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
+
+  /// The largest value bucket `index` holds (0 for bucket 0, 2^i - 1
+  /// otherwise, saturating at the top bucket).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t index);
+
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+
+  /// The estimated p-th percentile (p in (0, 100]): the upper bound of the
+  /// bucket holding the sample of rank ceil(p/100 * count), clamped to the
+  /// observed max so p100 is exact at the top. 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named counters/gauges/histograms behind one mutex. Names are flat
+/// dotted strings ("site.publishes", "kv.requests"); snapshot_json()
+/// renders them in lexicographic order, so its output is deterministic
+/// for a given state — goldens can pin it.
+class Registry {
+ public:
+  /// Sets counter `name` to `value` (the export path: Stats structs hold
+  /// absolutes, so exporting is an overwrite, not an increment).
+  void counter_set(const std::string& name, std::uint64_t value);
+
+  /// Adds `delta` to counter `name` (creating it at 0).
+  void counter_add(const std::string& name, std::uint64_t delta);
+
+  void gauge_set(const std::string& name, double value);
+
+  /// Records `value` into histogram `name` (creating it empty).
+  void record(const std::string& name, std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] double gauge(const std::string& name) const;
+
+  /// A copy of histogram `name` (empty when absent).
+  [[nodiscard]] Histogram histogram(const std::string& name) const;
+
+  /// One JSON document of everything:
+  ///   {"schema":"armus.obs.registry.v1","counters":{...},
+  ///    "gauges":{...},"histograms":{"name":{"count":..,"min":..,
+  ///    "max":..,"p50":..,"p99":..},...}}
+  /// Keys sorted, no whitespace — docs/OBSERVABILITY.md is normative.
+  [[nodiscard]] std::string snapshot_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace armus::obs

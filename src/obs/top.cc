@@ -1,0 +1,119 @@
+#include "obs/top.h"
+
+#include <cstdio>
+
+#include "graph/dot.h"
+
+namespace armus::obs {
+
+namespace {
+
+void append_pairs(std::string& out, const std::vector<Resource>& entries) {
+  out += '[';
+  bool comma = false;
+  for (const Resource& r : entries) {
+    if (comma) out += ',';
+    comma = true;
+    out += '[' + std::to_string(r.phaser) + ',' + std::to_string(r.phase) +
+           ']';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+TopView build_top_view(const net::RemoteStore& store, GraphModel model) {
+  TopView view;
+  view.info = store.inspect();
+  std::vector<dist::Slice> slices = store.snapshot();
+  view.merged = dist::merge_slices(
+      slices, [&view](dist::SiteId, const dist::CodecError&) {
+        ++view.corrupt_slices;
+      });
+  view.check = check_deadlocks(view.merged, model);
+  return view;
+}
+
+std::string render_top_json(const TopView& view) {
+  std::string out = "{\"schema\":\"armus.top.v1\",\"store\":{";
+  out += "\"generation\":" + std::to_string(view.info.generation) +
+         ",\"version\":" + std::to_string(view.info.store_version) +
+         ",\"connections\":" + std::to_string(view.info.connections) +
+         ",\"requests\":" + std::to_string(view.info.requests) +
+         ",\"errors\":" + std::to_string(view.info.errors) + "},\"sites\":[";
+  bool comma = false;
+  for (const dist::SliceInspect& row : view.info.sites) {
+    if (comma) out += ',';
+    comma = true;
+    out += "{\"site\":" + std::to_string(row.site) +
+           ",\"version\":" + std::to_string(row.version) +
+           ",\"blocked\":" + std::to_string(row.blocked) +
+           ",\"age_ms\":" + std::to_string(row.age_ms) +
+           ",\"payload_bytes\":" + std::to_string(row.payload_bytes) + '}';
+  }
+  out += "],\"blocked_total\":" + std::to_string(view.merged.size()) +
+         ",\"corrupt_slices\":" + std::to_string(view.corrupt_slices) +
+         ",\"deadlocks\":[";
+  comma = false;
+  for (const DeadlockReport& report : view.check.reports) {
+    if (comma) out += ',';
+    comma = true;
+    out += "{\"model\":\"" + to_string(report.model) + "\",\"tasks\":[";
+    bool inner = false;
+    for (TaskId task : report.tasks) {
+      if (inner) out += ',';
+      inner = true;
+      out += std::to_string(task);
+    }
+    out += "],\"resources\":";
+    append_pairs(out, report.resources);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_top_table(const TopView& view, const std::string& url) {
+  char buf[160];
+  std::string out = "armus-kv " + url +
+                    "  generation " + std::to_string(view.info.generation) +
+                    "  store-version " + std::to_string(view.info.store_version) +
+                    "\nserver: connections " +
+                    std::to_string(view.info.connections) + "  requests " +
+                    std::to_string(view.info.requests) + "  errors " +
+                    std::to_string(view.info.errors) + '\n';
+  std::snprintf(buf, sizeof(buf), "%6s %9s %8s %8s %8s\n", "SITE", "VERSION",
+                "BLOCKED", "AGE_MS", "BYTES");
+  out += buf;
+  for (const dist::SliceInspect& row : view.info.sites) {
+    std::snprintf(buf, sizeof(buf), "%6u %9llu %8llu %8llu %8llu\n", row.site,
+                  static_cast<unsigned long long>(row.version),
+                  static_cast<unsigned long long>(row.blocked),
+                  static_cast<unsigned long long>(row.age_ms),
+                  static_cast<unsigned long long>(row.payload_bytes));
+    out += buf;
+  }
+  out += "blocked total: " + std::to_string(view.merged.size());
+  if (view.corrupt_slices > 0) {
+    out += "  (corrupt slices skipped: " +
+           std::to_string(view.corrupt_slices) + ')';
+  }
+  out += '\n';
+  if (view.check.reports.empty()) {
+    out += "no deadlock in merged snapshot (model " +
+           to_string(view.check.model_used) + ")\n";
+  } else {
+    for (const DeadlockReport& report : view.check.reports) {
+      out += "DEADLOCK: " + report.to_string() + '\n';
+    }
+  }
+  return out;
+}
+
+std::string render_top_dot(const TopView& view) {
+  BuiltGraph built = build_graph(view.merged, GraphModel::kWfg);
+  return graph::to_dot(built.graph, "armus_top",
+                       [&built](graph::Node v) { return built.label(v); });
+}
+
+}  // namespace armus::obs

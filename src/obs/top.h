@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/checker.h"
+#include "net/remote_store.h"
+
+/// The view-building half of armus-top (tools/armus_top.cc is a thin
+/// flag-parsing shell around these): one INSPECT round trip for the
+/// per-site table plus one LIST_SLICES for the merged global snapshot,
+/// analysed with the same checker a site runs — so what the tool shows is
+/// exactly what a checking site would conclude at that instant.
+namespace armus::obs {
+
+struct TopView {
+  net::InspectInfo info;               ///< per-site rows + server counters
+  std::vector<BlockedStatus> merged;   ///< decoded global snapshot
+  CheckResult check;                   ///< deadlock analysis of `merged`
+  std::size_t corrupt_slices = 0;      ///< slices skipped as undecodable
+};
+
+/// Two round trips against the server; throws dist::StoreUnavailableError
+/// when it is unreachable. Corrupt slices are skipped (and counted), not
+/// fatal — an operator tool must render the healthy part of a sick
+/// cluster.
+TopView build_top_view(const net::RemoteStore& store, GraphModel model);
+
+/// One-line JSON document (schema "armus.top.v1", normative in
+/// docs/OBSERVABILITY.md) — the `--once --json` output CI scripts parse:
+///   {"schema":"armus.top.v1","store":{generation,version,connections,
+///    requests,errors},"sites":[{site,version,blocked,age_ms,
+///    payload_bytes}...],"blocked_total":N,"corrupt_slices":N,
+///    "deadlocks":[{model,tasks,resources}...]}
+std::string render_top_json(const TopView& view);
+
+/// The refreshing human view: store header, per-site table, deadlock
+/// summary lines.
+std::string render_top_table(const TopView& view, const std::string& url);
+
+/// The merged wait-for graph in GraphViz DOT. Always the WFG, whatever
+/// model the analysis used: an operator asking for the graph wants to see
+/// *tasks* waiting on tasks — cross-process cycles included — and the SG
+/// the checker may have preferred for speed shows phasers instead.
+std::string render_top_dot(const TopView& view);
+
+}  // namespace armus::obs

@@ -142,6 +142,47 @@ TEST(ProtocolTest, DocumentedListSlicesSinceExample) {
             "00 07 03 01 02 01 0a 01 07 01 01 01 02 01 01 02 00 02 01 02");
 }
 
+TEST(ProtocolTest, DocumentedInspectExample) {
+  // docs/WIRE_PROTOCOL.md §10 worked example: a store booted with
+  // generation 7 and a pinned clock; site 2 publishes the §1 payload and
+  // 250 ms pass before the INSPECT arrives.
+  auto now = std::make_shared<std::chrono::steady_clock::time_point>();
+  dist::Store::Config backing_config;
+  backing_config.generation = 7;
+  backing_config.clock = [now] { return *now; };
+  KvServer server(KvServer::Config{},
+                  std::make_shared<dist::Store>(backing_config));
+  std::string payload =
+      dist::encode_statuses({status(7, {{1, 1}}, {{1, 1}, {2, 0}})});
+  server.backing()->put_slice(2, payload);
+  *now += 250ms;
+
+  std::string request = request_header(MsgType::kInspect);
+  EXPECT_EQ(hex(request), "01 08");
+
+  // OK, generation 7, store version 2 (boots at 1, one write), 0
+  // connections (handle_request called directly), 1 request (this
+  // INSPECT), 0 errors, one row: site 2 version 1, 1 blocked task,
+  // age 250 ms (fa 01), 10 payload bytes.
+  std::string response = server.handle_request(request);
+  EXPECT_EQ(hex(response), "00 07 02 00 01 00 01 02 01 01 fa 01 0a");
+
+  std::size_t offset = 0;
+  ASSERT_EQ(read_varint(response, &offset),
+            static_cast<std::uint64_t>(WireStatus::kOk));
+  InspectInfo info = read_inspect(response, &offset);
+  expect_end(response, offset);
+  EXPECT_EQ(info.generation, 7u);
+  EXPECT_EQ(info.store_version, 2u);
+  EXPECT_EQ(info.requests, 1u);
+  ASSERT_EQ(info.sites.size(), 1u);
+  EXPECT_EQ(info.sites[0].site, 2u);
+  EXPECT_EQ(info.sites[0].version, 1u);
+  EXPECT_EQ(info.sites[0].blocked, 1u);
+  EXPECT_EQ(info.sites[0].age_ms, 250u);
+  EXPECT_EQ(info.sites[0].payload_bytes, payload.size());
+}
+
 TEST(ProtocolTest, SliceRoundTrip) {
   dist::Slice in;
   in.site = 300;
@@ -311,7 +352,46 @@ TEST(KvServerTest, AppliesDeltasAndRejectsBadBases) {
             static_cast<std::uint64_t>(WireStatus::kBadRequest));
 }
 
+TEST(KvServerTest, InspectDuringOutageIsUnavailable) {
+  KvServer server;
+  server.backing()->set_available(false);
+  EXPECT_EQ(response_status(
+                server.handle_request(request_header(MsgType::kInspect))),
+            static_cast<std::uint64_t>(WireStatus::kUnavailable));
+}
+
 // --- RemoteStore over real TCP ----------------------------------------------
+
+TEST(RemoteStoreTest, InspectOverTcp) {
+  KvServer server;
+  server.start();
+  RemoteStore client(client_config(server.port()));
+
+  client.put_slice(1, dist::encode_statuses({status(1, {{1, 1}}, {})}));
+  client.put_slice(2, dist::encode_statuses(
+                          {status(2, {{2, 1}}, {}), status(3, {{2, 1}}, {})}));
+  server.backing()->put_slice(9, "not-a-slice");  // corrupt publisher
+
+  InspectInfo info = client.inspect();
+  EXPECT_EQ(info.generation, server.backing()->generation());
+  EXPECT_EQ(info.store_version, server.backing()->version());
+  EXPECT_EQ(info.connections, 1u);
+  EXPECT_GE(info.requests, 3u);  // two puts + this INSPECT (+ handshake)
+  EXPECT_EQ(info.errors, 0u);
+  ASSERT_EQ(info.sites.size(), 3u);
+  EXPECT_EQ(info.sites[0].site, 1u);
+  EXPECT_EQ(info.sites[0].blocked, 1u);
+  EXPECT_EQ(info.sites[1].site, 2u);
+  EXPECT_EQ(info.sites[1].blocked, 2u);
+  // An undecodable payload still gets a row — size and version are facts,
+  // the blocked count degrades to zero rather than poisoning the table.
+  EXPECT_EQ(info.sites[2].site, 9u);
+  EXPECT_EQ(info.sites[2].blocked, 0u);
+  EXPECT_EQ(info.sites[2].payload_bytes, 11u);
+
+  server.backing()->set_available(false);
+  EXPECT_THROW((void)client.inspect(), dist::StoreUnavailableError);
+}
 
 TEST(RemoteStoreTest, RoundTripsSliceOperations) {
   KvServer server;

@@ -1,0 +1,115 @@
+// armus-top: live view of an armus-kv cluster (docs/OBSERVABILITY.md).
+//
+//   armus-top [--store tcp://host:port] [options]
+//       Connects to the armus-kv server (--store, or ARMUS_STORE when the
+//       flag is absent), issues INSPECT for the per-site table and
+//       LIST_SLICES for the merged global snapshot, runs the same deadlock
+//       checker a site runs, and renders the result. By default the view
+//       refreshes every second like top(1); Ctrl-C exits.
+//         --interval-ms N   refresh period (default 1000)
+//         --once            render one view and exit
+//         --json            machine-readable one-line JSON (armus.top.v1)
+//                           instead of the table; with --once, the output
+//                           CI scripts parse
+//         --dot             dump the merged wait-for graph in GraphViz DOT
+//                           and exit (implies --once)
+//         --model M         graph model for the analysis (wfg|sg|grg|auto,
+//                           default auto)
+//
+// Exit codes: 0 = rendered (deadlock or not), 2 = bad usage or the server
+// is unreachable.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "dist/store.h"
+#include "net/config.h"
+#include "obs/top.h"
+#include "util/env.h"
+
+using namespace armus;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: armus-top [--store tcp://host:port] [--interval-ms N]\n"
+               "                 [--once] [--json] [--dot] [--model M]\n"
+               "--store falls back to ARMUS_STORE\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string url;
+  long interval_ms = 1000;
+  bool once = false;
+  bool json = false;
+  bool dot = false;
+  GraphModel model = GraphModel::kAuto;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--store" && i + 1 < argc) {
+      url = argv[++i];
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = std::atol(argv[++i]);
+      if (interval_ms <= 0) return usage();
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--dot") {
+      dot = true;
+      once = true;
+    } else if (arg == "--model" && i + 1 < argc) {
+      try {
+        model = graph_model_from_string(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "armus-top: %s\n", e.what());
+        return 2;
+      }
+    } else {
+      return usage();
+    }
+  }
+  if (url.empty()) {
+    if (auto env_url = util::env_str("ARMUS_STORE")) url = *env_url;
+  }
+  if (url.empty()) {
+    std::fprintf(stderr, "armus-top: no server (--store or ARMUS_STORE)\n");
+    return 2;
+  }
+
+  try {
+    std::shared_ptr<net::RemoteStore> store = net::remote_store_from_url(url);
+    for (;;) {
+      obs::TopView view;
+      try {
+        view = obs::build_top_view(*store, model);
+      } catch (const dist::StoreUnavailableError& e) {
+        std::fprintf(stderr, "armus-top: %s\n", e.what());
+        if (once) return 2;
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+        continue;
+      }
+      if (dot) {
+        std::fputs(obs::render_top_dot(view).c_str(), stdout);
+      } else if (json) {
+        std::puts(obs::render_top_json(view).c_str());
+      } else {
+        if (!once) std::fputs("\x1b[H\x1b[2J", stdout);  // clear like top(1)
+        std::fputs(obs::render_top_table(view, url).c_str(), stdout);
+      }
+      std::fflush(stdout);
+      if (once) return 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "armus-top: %s\n", e.what());
+    return 2;
+  }
+}

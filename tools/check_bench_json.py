@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Validates BENCH_incremental_scan.json: schema shape plus the counter
-invariants the incremental scan engine guarantees.
+"""Validates the machine-readable bench artifacts: schema shape plus the
+counter invariants each bench guarantees.
 
-Usage: check_bench_json.py BENCH_incremental_scan.json
+Usage: check_bench_json.py BENCH_FILE [BENCH_FILE ...]
 
-The invariants are *counters*, not wall-clock, so this check cannot
-flake on a loaded CI box:
+Each file is dispatched on its "schema" field. The invariants are
+*counters*, not wall-clock, so this check cannot flake on a loaded CI
+box.
+
+armus.bench.incremental_scan.v1 (micro_incremental_scan):
 
   steady_state_local   every scan after the priming one is epoch-skipped
                        (scans_skipped == scans, graphs_built == 0) — the
@@ -21,18 +24,30 @@ flake on a loaded CI box:
   full_churn           everything changes, nothing is skipped, and the
                        reader fetches exactly sites x rounds slices.
 
-The steady-state speedup (reported in the JSON for the perf trajectory)
-is also asserted to be >= 10x: the skip path is several orders of
-magnitude faster than a from-scratch scan at 1k blocked tasks, so this
-bound has margin even on a noisy runner.
+  The steady-state speedup (reported in the JSON for the perf
+  trajectory) is also asserted to be >= 10x: the skip path is orders of
+  magnitude faster than a from-scratch scan at 1k blocked tasks, so the
+  bound has margin even on a noisy runner.
+
+armus.bench.net_store.v1 (micro_net_store --json-out):
+
+  publish_latency      every publish reached the server and nothing
+                       errored (server_requests >= rounds,
+                       server_errors == 0, client_failures == 0, one
+                       connect); the latency histogram is internally
+                       consistent (count == rounds,
+                       min <= p50 <= p99 <= max). The percentile values
+                       themselves are the perf trajectory, not asserted.
+  decode_cache         reads over an unchanged store decode nothing;
+                       each read after one republish decodes exactly the
+                       one changed slice (decodes_unchanged == 0,
+                       decodes_one_changed == reads).
 
 Stdlib only, so it runs identically in CI and on a bare dev box.
 """
 
 import json
 import sys
-
-SCHEMA = "armus.bench.incremental_scan.v1"
 
 failures = []
 
@@ -50,15 +65,7 @@ def require(workloads, name):
     return None
 
 
-def main():
-    if len(sys.argv) != 2:
-        print(__doc__)
-        return 2
-    with open(sys.argv[1]) as f:
-        doc = json.load(f)
-
-    check(doc.get("schema") == SCHEMA,
-          f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+def check_incremental_scan(doc):
     workloads = doc.get("workloads", [])
 
     steady = require(workloads, "steady_state_local")
@@ -122,11 +129,72 @@ def main():
         check(c["store_failures"] == 0,
               f"full churn: {c['store_failures']} store failures")
 
+
+def check_net_store(doc):
+    workloads = doc.get("workloads", [])
+
+    publish = require(workloads, "publish_latency")
+    if publish:
+        c = publish["counters"]
+        rounds = publish["rounds"]
+        hist = publish["latency_us"]
+        check(hist["count"] == rounds,
+              f"publish_latency: histogram holds {hist['count']} samples "
+              f"for {rounds} rounds")
+        check(hist["min_us"] <= hist["p50_us"] <= hist["p99_us"]
+              <= hist["max_us"],
+              f"publish_latency: percentiles not monotone: {hist}")
+        # >= rounds, not ==: the client handshake may issue extra requests.
+        check(c["server_requests"] >= rounds,
+              f"publish_latency: server saw {c['server_requests']} requests "
+              f"for {rounds} publishes")
+        check(c["server_errors"] == 0,
+              f"publish_latency: {c['server_errors']} server errors")
+        check(c["client_failures"] == 0,
+              f"publish_latency: {c['client_failures']} client failures")
+        check(c["client_connects"] == 1,
+              f"publish_latency: {c['client_connects']} connects, expected "
+              f"one persistent connection")
+
+    decode = require(workloads, "decode_cache")
+    if decode:
+        c = decode["counters"]
+        reads = decode["reads"]
+        check(c["decodes_unchanged"] == 0,
+              f"decode_cache: {c['decodes_unchanged']} decodes over an "
+              f"unchanged store, expected 0")
+        check(c["decodes_one_changed"] == reads,
+              f"decode_cache: {c['decodes_one_changed']} decodes for "
+              f"{reads} one-slice changes, expected {reads}")
+
+
+CHECKERS = {
+    "armus.bench.incremental_scan.v1": check_incremental_scan,
+    "armus.bench.net_store.v1": check_net_store,
+}
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    for path in sys.argv[1:]:
+        with open(path) as f:
+            doc = json.load(f)
+        schema = doc.get("schema")
+        checker = CHECKERS.get(schema)
+        if checker is None:
+            check(False, f"{path}: unknown schema {schema!r} "
+                         f"(known: {sorted(CHECKERS)})")
+            continue
+        checker(doc)
+
     if failures:
         for message in failures:
             print(f"FAIL: {message}")
         return 1
-    print(f"ok: {sys.argv[1]} satisfies {SCHEMA} counter invariants")
+    print(f"ok: {', '.join(sys.argv[1:])} satisfy the bench counter "
+          f"invariants")
     return 0
 
 

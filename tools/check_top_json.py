@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validates `armus-top --once --json` output (schema armus.top.v1).
+
+Usage: check_top_json.py TOP_JSON [options]
+
+  TOP_JSON            file holding one armus.top.v1 JSON line
+  --require-sites N   at least N sites present in the per-site table
+  --require-blocked   every present site reports blocked > 0
+  --require-cycle     at least one deadlock in the merged snapshot
+  --cross-process     some deadlock spans the per-process task-id ranges
+                      of the two-process demo (min task < 2^32 <= max
+                      task), i.e. no single process held the whole cycle
+  --dot FILE          a GraphViz dump from `armus-top --dot`: every task
+                      of every deadlock must appear in it
+
+Exit 0 when all requested invariants hold, 1 otherwise (with one FAIL
+line each). CI polls this until the observation window of the demo's
+ARMUS_DEMO_HOLD_MS opens. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+SITE_TASK_RANGE = 1 << 32  # task-id stride of the two-process demo
+
+
+def main():
+    parser = argparse.ArgumentParser(usage=__doc__)
+    parser.add_argument("top_json")
+    parser.add_argument("--require-sites", type=int, default=0)
+    parser.add_argument("--require-blocked", action="store_true")
+    parser.add_argument("--require-cycle", action="store_true")
+    parser.add_argument("--cross-process", action="store_true")
+    parser.add_argument("--dot")
+    args = parser.parse_args()
+
+    with open(args.top_json) as f:
+        doc = json.load(f)
+
+    failures = []
+
+    def check(cond, message):
+        if not cond:
+            failures.append(message)
+
+    check(doc.get("schema") == "armus.top.v1",
+          f"schema is {doc.get('schema')!r}, expected 'armus.top.v1'")
+    sites = doc.get("sites", [])
+    deadlocks = doc.get("deadlocks", [])
+
+    if args.require_sites:
+        check(len(sites) >= args.require_sites,
+              f"{len(sites)} sites present, need {args.require_sites}")
+    if args.require_blocked:
+        for site in sites:
+            check(site.get("blocked", 0) > 0,
+                  f"site {site.get('site')} reports no blocked tasks")
+    if args.require_cycle:
+        check(len(deadlocks) > 0, "no deadlock in the merged snapshot")
+    if args.cross_process:
+        spanning = [d for d in deadlocks if d.get("tasks")
+                    and min(d["tasks"]) < SITE_TASK_RANGE <= max(d["tasks"])]
+        check(spanning,
+              f"no deadlock spans both processes' task-id ranges "
+              f"(deadlocks: {deadlocks})")
+    if args.dot:
+        with open(args.dot) as f:
+            dot = f.read()
+        check("digraph" in dot, f"{args.dot} is not a GraphViz digraph")
+        for d in deadlocks:
+            for task in d.get("tasks", []):
+                check(f"t{task}" in dot or str(task) in dot,
+                      f"deadlocked task {task} missing from {args.dot}")
+
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}")
+        return 1
+    print(f"ok: {args.top_json} satisfies the requested armus.top.v1 "
+          f"invariants")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
