@@ -1,0 +1,164 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "predict/causal.h"
+
+namespace armus::fuzz {
+
+std::string to_string(MutationOp op) {
+  switch (op) {
+    case MutationOp::kTruncate: return "truncate";
+    case MutationOp::kBitFlip: return "bitflip";
+    case MutationOp::kSplice: return "splice";
+    case MutationOp::kDropRecord: return "drop-record";
+    case MutationOp::kDuplicateRecord: return "duplicate-record";
+    case MutationOp::kReorderSlack: return "reorder-slack";
+  }
+  return "?";
+}
+
+std::vector<trace::Record> decode_records(const std::string& bytes,
+                                          trace::TraceHeader* header) {
+  trace::TraceReader reader(bytes);
+  if (header != nullptr) *header = reader.header();
+  std::vector<trace::Record> records;
+  trace::Record record;
+  while (reader.next(&record)) {
+    records.push_back(std::move(record));
+    record = trace::Record{};
+  }
+  return records;
+}
+
+std::string encode_trace(const trace::TraceHeader& header,
+                         const std::vector<trace::Record>& records) {
+  std::string out = trace::encode_header(header);
+  std::uint64_t clock = header.start_ns;
+  for (const trace::Record& record : records) {
+    std::uint64_t dt = record.at_ns > clock ? record.at_ns - clock : 0;
+    trace::append_record(out, record, dt);
+    clock += dt;
+  }
+  return out;
+}
+
+namespace {
+
+/// Record-level mutants get synthetic, strictly increasing timestamps:
+/// the schedule (record order) is what the mutation means; recorded
+/// wall-clock gaps would only fight the re-encoder's monotonicity clamp.
+void retimestamp(trace::TraceHeader& header,
+                 std::vector<trace::Record>& records) {
+  header.start_ns = 1;
+  std::uint64_t at = 0;
+  for (trace::Record& record : records) record.at_ns = (at += 1000);
+}
+
+}  // namespace
+
+std::string Mutator::apply(MutationOp op, const std::string& base,
+                           const std::string& partner) {
+  switch (op) {
+    case MutationOp::kTruncate: {
+      if (base.empty()) return base;
+      return base.substr(0, rng_.below(base.size()));
+    }
+
+    case MutationOp::kBitFlip: {
+      if (base.empty()) return base;
+      std::string bytes = base;
+      std::uint64_t flips = 1 + rng_.below(8);
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        std::size_t at = rng_.below(bytes.size());
+        bytes[at] = static_cast<char>(
+            static_cast<unsigned char>(bytes[at]) ^ (1u << rng_.below(8)));
+      }
+      return bytes;
+    }
+
+    case MutationOp::kSplice: {
+      std::size_t cut_a = base.empty() ? 0 : rng_.below(base.size() + 1);
+      std::size_t cut_b = partner.empty() ? 0 : rng_.below(partner.size() + 1);
+      return base.substr(0, cut_a) + partner.substr(cut_b);
+    }
+
+    case MutationOp::kDropRecord: {
+      trace::TraceHeader header;
+      std::vector<trace::Record> records = decode_records(base, &header);
+      if (records.empty()) return apply(MutationOp::kBitFlip, base, partner);
+      records.erase(records.begin() +
+                    static_cast<std::ptrdiff_t>(rng_.below(records.size())));
+      retimestamp(header, records);
+      return encode_trace(header, records);
+    }
+
+    case MutationOp::kDuplicateRecord: {
+      trace::TraceHeader header;
+      std::vector<trace::Record> records = decode_records(base, &header);
+      if (records.empty()) return apply(MutationOp::kBitFlip, base, partner);
+      std::size_t at = rng_.below(records.size());
+      records.insert(records.begin() + static_cast<std::ptrdiff_t>(at),
+                     records[at]);
+      retimestamp(header, records);
+      return encode_trace(header, records);
+    }
+
+    case MutationOp::kReorderSlack: {
+      trace::TraceHeader header;
+      std::vector<trace::Record> records = decode_records(base, &header);
+      predict::CausalModel model(records);
+      const std::vector<predict::Event>& events = model.events();
+      // Events whose causal slack allows more than their own position.
+      std::vector<std::uint32_t> movable;
+      for (std::uint32_t e = 0; e < events.size(); ++e) {
+        auto [lo, hi] = model.slack(e);
+        if (lo < hi) movable.push_back(e);
+      }
+      if (movable.empty()) {
+        return apply(MutationOp::kDuplicateRecord, base, partner);
+      }
+      std::uint32_t e = movable[rng_.below(movable.size())];
+      auto [lo, hi] = model.slack(e);
+      std::uint32_t q = lo + static_cast<std::uint32_t>(rng_.below(hi - lo + 1));
+      if (q == e) q = q == hi ? lo : q + 1;
+      // Move the record from its trace position to the target event's,
+      // leaving the non-event (SCAN/REPORT) records where they sit.
+      std::size_t from = events[e].trace_index;
+      std::size_t to = events[q].trace_index;
+      trace::Record moved = std::move(records[from]);
+      records.erase(records.begin() + static_cast<std::ptrdiff_t>(from));
+      if (to > from) --to;
+      records.insert(records.begin() + static_cast<std::ptrdiff_t>(to),
+                     std::move(moved));
+      retimestamp(header, records);
+      return encode_trace(header, records);
+    }
+  }
+  return base;
+}
+
+std::string Mutator::mutate(const std::vector<std::string>& pool,
+                            MutationOp* applied) {
+  const std::string& base = pool[rng_.below(pool.size())];
+  const std::string& partner = pool[rng_.below(pool.size())];
+  auto op = static_cast<MutationOp>(rng_.below(kMutationOps));
+  if (op == MutationOp::kDropRecord || op == MutationOp::kDuplicateRecord ||
+      op == MutationOp::kReorderSlack) {
+    // Record-level ops need a decodable base; a corpus entry that is
+    // itself garbage degrades to a byte-level flip.
+    try {
+      std::string mutant = apply(op, base, partner);
+      if (applied != nullptr) *applied = op;
+      return mutant;
+    } catch (const trace::TraceError&) {
+      op = MutationOp::kBitFlip;
+    }
+  }
+  std::string mutant = apply(op, base, partner);
+  if (applied != nullptr) *applied = op;
+  return mutant;
+}
+
+}  // namespace armus::fuzz

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/format.h"
+#include "util/rng.h"
+
+/// Deterministic trace mutation for the fuzzing harness (tools/armus_fuzz):
+/// every mutant is a pure function of (seed, pool contents), so a CI
+/// failure reproduces locally from the seed alone. Half the operators stay
+/// at byte level (exercising the strict decoder on garbage), half work on
+/// decoded records (exercising replay on well-formed but never-recorded
+/// schedules — including causally legal reorders via predict::CausalModel).
+namespace armus::fuzz {
+
+enum class MutationOp : std::uint8_t {
+  kTruncate = 0,        ///< cut the byte stream anywhere, mid-record included
+  kBitFlip = 1,         ///< flip 1–8 random bits
+  kSplice = 2,          ///< prefix of one trace + suffix of another, any offsets
+  kDropRecord = 3,      ///< remove one decoded record
+  kDuplicateRecord = 4, ///< repeat one decoded record
+  kReorderSlack = 5,    ///< move one record within its causal slack
+};
+
+inline constexpr std::size_t kMutationOps = 6;
+
+std::string to_string(MutationOp op);
+
+/// Decodes header + all records; throws TraceError like every strict
+/// consumer.
+std::vector<trace::Record> decode_records(const std::string& bytes,
+                                          trace::TraceHeader* header = nullptr);
+
+/// Re-encodes a decoded trace (deltas recomputed from the records'
+/// `at_ns`, non-monotonic steps clamped to zero like the writer does).
+std::string encode_trace(const trace::TraceHeader& header,
+                         const std::vector<trace::Record>& records);
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// One mutant from a random base (and, for splice, partner) in `pool`.
+  /// Record-level ops on an undecodable base degrade to kBitFlip; the op
+  /// actually applied is reported through `applied`.
+  std::string mutate(const std::vector<std::string>& pool,
+                     MutationOp* applied = nullptr);
+
+  /// Applies one specific operator (tests pin each in isolation).
+  /// `partner` is only read by kSplice.
+  std::string apply(MutationOp op, const std::string& base,
+                    const std::string& partner);
+
+ private:
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace armus::fuzz

@@ -1,0 +1,209 @@
+#include "predict/causal.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace armus::predict {
+
+namespace {
+
+/// The last event that changed a task's local phase on one phaser — the
+/// candidate cause of a wait on that phaser completing.
+struct RegState {
+  Phase phase = 0;
+  std::uint32_t event = 0;
+};
+
+}  // namespace
+
+CausalModel::CausalModel(const trace::MergedTrace& trace) {
+  std::vector<trace::Record> records;
+  records.reserve(trace.records().size());
+  for (const trace::TimedRecord& timed : trace.records()) {
+    records.push_back(timed.record);
+  }
+  build(std::move(records));
+}
+
+CausalModel::CausalModel(std::vector<trace::Record> records) {
+  build(std::move(records));
+}
+
+void CausalModel::build(std::vector<trace::Record> records) {
+  // Registration state per phaser, mirrored forward through the stream.
+  // Both the explicit TASK_REGISTERED records and the self-reported
+  // `registered` lists inside BLOCKED statuses feed it — a status publish
+  // proves the task's local phase at that moment just as well.
+  std::unordered_map<PhaserUid, std::unordered_map<TaskId, RegState>> regs;
+  // Tasks gone from a phaser: their deregistration event stands in for
+  // whatever phase advance preceded it (conservative — program order puts
+  // the advance before the deregistration).
+  std::unordered_map<PhaserUid, std::unordered_map<TaskId, std::uint32_t>>
+      dereg;
+  std::unordered_map<TaskId, std::unordered_set<PhaserUid>> task_phasers;
+  std::unordered_map<TaskId, std::uint32_t> last_of_task;
+  std::unordered_map<TaskId, std::size_t> open;  // task -> intervals_ index
+
+  auto close_interval = [&](TaskId task, std::uint32_t at) {
+    auto it = open.find(task);
+    if (it == open.end()) return static_cast<std::size_t>(-1);
+    std::size_t index = it->second;
+    intervals_[index].end = at;
+    open.erase(it);
+    return index;
+  };
+
+  for (std::size_t ti = 0; ti < records.size(); ++ti) {
+    trace::Record& record = records[ti];
+    if (record.type == trace::RecordType::kScan ||
+        record.type == trace::RecordType::kReport) {
+      continue;  // no state, no event
+    }
+    TaskId task = record.type == trace::RecordType::kBlocked
+                      ? record.status.task
+                      : record.task;
+    const auto ei = static_cast<std::uint32_t>(events_.size());
+    Event event;
+    event.trace_index = ti;
+    event.task = task;
+    if (auto it = last_of_task.find(task); it != last_of_task.end()) {
+      event.preds.push_back(it->second);
+    }
+    last_of_task[task] = ei;
+
+    switch (record.type) {
+      case trace::RecordType::kTaskRegistered:
+        regs[record.phaser][task] = RegState{record.phase, ei};
+        dereg[record.phaser].erase(task);
+        task_phasers[task].insert(record.phaser);
+        break;
+
+      case trace::RecordType::kTaskDeregistered:
+        if (record.phaser == kAllPhasers) {
+          for (PhaserUid phaser : task_phasers[task]) {
+            regs[phaser].erase(task);
+            dereg[phaser][task] = ei;
+          }
+          task_phasers.erase(task);
+        } else {
+          regs[record.phaser].erase(task);
+          dereg[record.phaser][task] = ei;
+          task_phasers[task].erase(record.phaser);
+        }
+        break;
+
+      case trace::RecordType::kBlocked:
+        close_interval(task, ei);  // a changed re-publish supersedes
+        open[task] = intervals_.size();
+        intervals_.push_back(BlockedInterval{task, ei, std::nullopt});
+        for (const RegEntry& entry : record.status.registered) {
+          regs[entry.phaser][task] = RegState{entry.local_phase, ei};
+          dereg[entry.phaser].erase(task);
+          task_phasers[task].insert(entry.phaser);
+        }
+        break;
+
+      case trace::RecordType::kUnblocked: {
+        std::size_t interval = close_interval(task, ei);
+        if (interval == static_cast<std::size_t>(-1)) break;
+        const BlockedStatus& status =
+            events_[intervals_[interval].blocked].record.status;
+        for (const Resource& wait : status.waits) {
+          auto reg_it = regs.find(wait.phaser);
+          if (reg_it != regs.end()) {
+            for (const auto& [other, state] : reg_it->second) {
+              if (other == task) continue;
+              if (state.phase < wait.phase) {
+                // Still an impeder when the wait completed: the release
+                // has a cause outside the trace (avoidance interrupt,
+                // cancellation) — pin it to its observed position.
+                event.pinned = true;
+              } else {
+                event.preds.push_back(state.event);
+                ++release_edges_;
+              }
+            }
+          }
+          if (auto de_it = dereg.find(wait.phaser); de_it != dereg.end()) {
+            for (const auto& [other, at] : de_it->second) {
+              if (other == task) continue;
+              event.preds.push_back(at);
+              ++release_edges_;
+            }
+          }
+        }
+        if (event.pinned) ++pinned_;
+        break;
+      }
+
+      case trace::RecordType::kScan:
+      case trace::RecordType::kReport:
+        break;  // unreachable (filtered above)
+    }
+
+    std::sort(event.preds.begin(), event.preds.end());
+    event.preds.erase(std::unique(event.preds.begin(), event.preds.end()),
+                      event.preds.end());
+    event.record = std::move(record);
+    events_.push_back(std::move(event));
+  }
+
+  succs_.resize(events_.size());
+  for (std::uint32_t e = 0; e < events_.size(); ++e) {
+    for (std::uint32_t p : events_[e].preds) succs_[p].push_back(e);
+  }
+}
+
+void CausalModel::add_downset(std::uint32_t event,
+                              std::vector<bool>& cut) const {
+  std::vector<std::uint32_t> stack{event};
+  std::uint32_t prefix = 0;  // every event below this index joins the cut
+  while (!stack.empty()) {
+    std::uint32_t e = stack.back();
+    stack.pop_back();
+    if (cut[e]) continue;
+    cut[e] = true;
+    if (events_[e].pinned && e > prefix) prefix = e;
+    for (std::uint32_t p : events_[e].preds) {
+      if (!cut[p]) stack.push_back(p);
+    }
+  }
+  // Pinned closure. The prefix is itself downward-closed (edges only point
+  // from smaller to larger indices) and subsumes any pinned event inside it.
+  for (std::uint32_t e = 0; e < prefix; ++e) cut[e] = true;
+}
+
+std::vector<bool> CausalModel::downset(std::uint32_t event) const {
+  std::vector<bool> cut(events_.size(), false);
+  add_downset(event, cut);
+  return cut;
+}
+
+bool CausalModel::in_downset(std::uint32_t event, std::uint32_t of) const {
+  if (event > of) return false;  // edges respect trace order
+  return downset(of)[event];
+}
+
+std::pair<std::uint32_t, std::uint32_t> CausalModel::slack(
+    std::uint32_t event) const {
+  const auto n = static_cast<std::uint32_t>(events_.size());
+  std::uint32_t lo = 0;
+  std::uint32_t hi = n == 0 ? 0 : n - 1;
+  if (events_[event].pinned) {
+    lo = event;  // everything earlier precedes it
+  } else {
+    for (std::uint32_t p : events_[event].preds) lo = std::max(lo, p + 1);
+  }
+  for (std::uint32_t s : succs_[event]) hi = std::min(hi, s - 1);
+  // A later pinned event has this one among its (implicit) predecessors.
+  for (std::uint32_t e = event + 1; e < n; ++e) {
+    if (events_[e].pinned) {
+      hi = std::min(hi, e - 1);
+      break;
+    }
+  }
+  return {lo, std::max(lo, hi)};
+}
+
+}  // namespace armus::predict

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/replayer.h"
+
+/// The causal model behind predictive offline verification (and the
+/// fuzzer's slack-respecting reorder mutation): a partial order over the
+/// state records of a recorded trace that every *feasible* alternate
+/// schedule of the same run must respect. Two ingredients, in the spirit
+/// of sound dynamic prediction (Tunç et al. 2023, PAPERS.md):
+///
+/// * **Program order** — the records of one task happen in the order the
+///   task produced them; an alternate schedule may stop a task early
+///   (run a prefix) but never permute or skip its events.
+/// * **Release order** — an UNBLOCKED is *caused* by the events that
+///   removed the waited events' impeders: for each resource (p, n) the
+///   task waited on, every other task registered on p with local phase
+///   < n had to advance to >= n or deregister before the wait could
+///   complete. Those phase-advance / deregistration records are the
+///   unblock's causal predecessors. A release that happened while
+///   impeders were still live is *unexplained* (an avoidance interrupt,
+///   a rescue, a cancellation — causes the trace cannot see); it is
+///   conservatively pinned to its observed position (every earlier
+///   record precedes it), so it can never be reordered earlier.
+///
+/// A *consistent cut* — a record subset downward-closed under this order
+/// — is a reachable state of some causally-equivalent schedule: every
+/// task has executed a prefix of its recorded events and every executed
+/// unblock has its causes. trace order is a linear extension, so
+/// replaying a cut's records in trace order reproduces that state.
+/// predict::Predictor searches cuts in which blocked statuses form a
+/// cycle the observed schedule never exhibited.
+namespace armus::predict {
+
+/// One state record of the trace, annotated with its causal context.
+/// SCAN and REPORT records carry no state and are not events.
+struct Event {
+  trace::Record record;
+  std::size_t trace_index = 0;  ///< position in the source record stream
+  TaskId task = kInvalidTask;   ///< owning task
+
+  /// Causal predecessors (event indices, always smaller than this
+  /// event's). Program order contributes at most one; release
+  /// dependencies the rest.
+  std::vector<std::uint32_t> preds;
+
+  /// Unexplained release: every earlier event is a predecessor (stored
+  /// implicitly — downset() closes over the whole prefix).
+  bool pinned = false;
+};
+
+/// One maximal stretch during which a task held a single blocked status:
+/// opened by a BLOCKED record, closed by the record that replaced
+/// (re-publish with a different status) or withdrew it (UNBLOCKED), or
+/// still open at end of trace.
+struct BlockedInterval {
+  TaskId task = kInvalidTask;
+  std::uint32_t blocked = 0;            ///< event index of the BLOCKED
+  std::optional<std::uint32_t> end;     ///< closing event; nullopt = open
+};
+
+class CausalModel {
+ public:
+  /// Builds the model over `records` in stream order (the merged-trace
+  /// timeline).
+  explicit CausalModel(std::vector<trace::Record> records);
+  explicit CausalModel(const trace::MergedTrace& trace);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  /// Blocked intervals in order of their BLOCKED event.
+  [[nodiscard]] const std::vector<BlockedInterval>& intervals() const {
+    return intervals_;
+  }
+
+  /// Marks the downward closure of `event` (itself included) in `cut`,
+  /// a bitset of events().size() entries. Closes over pinned events: if
+  /// the closure contains a pinned event, the entire prefix before it is
+  /// included too.
+  void add_downset(std::uint32_t event, std::vector<bool>& cut) const;
+
+  /// Convenience single-event closure.
+  [[nodiscard]] std::vector<bool> downset(std::uint32_t event) const;
+
+  /// True iff `event` is in the downward closure of `of`.
+  [[nodiscard]] bool in_downset(std::uint32_t event, std::uint32_t of) const;
+
+  /// Movable range of `event` under the causal order, as *event* indices:
+  /// the earliest and latest position it could occupy among the events
+  /// with every predecessor still before it and every successor still
+  /// after (the fuzzer's reorder slack). Pinned events are immovable.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> slack(
+      std::uint32_t event) const;
+
+  [[nodiscard]] std::uint64_t release_edges() const { return release_edges_; }
+  [[nodiscard]] std::uint64_t pinned_events() const { return pinned_; }
+
+ private:
+  void build(std::vector<trace::Record> records);
+
+  std::vector<Event> events_;
+  std::vector<BlockedInterval> intervals_;
+  /// Successor adjacency mirrored from preds (for slack()).
+  std::vector<std::vector<std::uint32_t>> succs_;
+  std::uint64_t release_edges_ = 0;
+  std::uint64_t pinned_ = 0;
+};
+
+}  // namespace armus::predict

@@ -1,0 +1,195 @@
+#include "predict/predictor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/checker.h"
+#include "core/dependency_state.h"
+#include "core/task_registry.h"
+
+namespace armus::predict {
+
+namespace {
+
+/// Downset cache: anchors re-test the same candidate intervals, so each
+/// BLOCKED event's closure is computed once per run.
+class DownsetCache {
+ public:
+  explicit DownsetCache(const CausalModel& model) : model_(model) {}
+
+  const std::vector<bool>& of(std::uint32_t event) {
+    auto [it, inserted] = cache_.try_emplace(event);
+    if (inserted) it->second = model_.downset(event);
+    return it->second;
+  }
+
+ private:
+  const CausalModel& model_;
+  std::unordered_map<std::uint32_t, std::vector<bool>> cache_;
+};
+
+/// A stable key for a chosen interval combination, so two anchors that
+/// greedily arrive at the same cut replay it once.
+std::string cut_signature(const std::vector<const BlockedInterval*>& chosen) {
+  std::vector<std::uint32_t> blocked;
+  blocked.reserve(chosen.size());
+  for (const BlockedInterval* interval : chosen) {
+    blocked.push_back(interval->blocked);
+  }
+  std::sort(blocked.begin(), blocked.end());
+  std::string key;
+  for (std::uint32_t b : blocked) {
+    key += std::to_string(b);
+    key += ',';
+  }
+  return key;
+}
+
+}  // namespace
+
+std::size_t Predictor::Result::novel_count() const {
+  std::size_t count = 0;
+  for (const Prediction& prediction : predictions) {
+    if (prediction.novel) ++count;
+  }
+  return count;
+}
+
+Predictor::Result Predictor::run(const trace::MergedTrace& trace) const {
+  Result result;
+
+  // Baseline: what the live run saw, and what a plain replay at the
+  // recorded scan points re-finds. Everything beyond these is a
+  // prediction.
+  {
+    trace::OfflineVerifier::Options vopts;
+    vopts.model = options_.model;
+    trace::OfflineVerifier verifier(vopts);
+    trace::OfflineVerifier::Result baseline = verifier.run(trace);
+    result.observed = std::move(baseline.recorded);
+    result.replayed = std::move(baseline.replayed);
+  }
+
+  std::unordered_set<std::uint64_t> known;
+  for (const DeadlockReport& report : result.observed) {
+    known.insert(report.fingerprint());
+  }
+  for (const DeadlockReport& report : result.replayed) {
+    known.insert(report.fingerprint());
+  }
+
+  CausalModel model(trace);
+  const std::vector<Event>& events = model.events();
+  DownsetCache downsets(model);
+
+  // Intervals per task, in blocked order (std::map: anchors extend over
+  // the other tasks in deterministic ascending order).
+  std::map<TaskId, std::vector<const BlockedInterval*>> by_task;
+  for (const BlockedInterval& interval : model.intervals()) {
+    by_task[interval.task].push_back(&interval);
+  }
+
+  std::unordered_set<std::string> replayed_cuts;
+  std::unordered_set<std::uint64_t> found;
+
+  for (const BlockedInterval& anchor : model.intervals()) {
+    if (options_.max_anchors > 0 &&
+        result.anchors_tried >= options_.max_anchors) {
+      result.anchors_capped = true;
+      break;
+    }
+    ++result.anchors_tried;
+
+    // The candidate cut: the anchor's causal past, then per other task
+    // (greedily, latest interval first) the newest blocked status that
+    // can still be live — i.e. whose closing record neither the current
+    // cut nor the candidate's own past forces in, and whose past does
+    // not force in the closing record of anything already chosen.
+    std::vector<bool> cut(events.size(), false);
+    model.add_downset(anchor.blocked, cut);
+    std::vector<const BlockedInterval*> chosen{&anchor};
+
+    for (const auto& [task, intervals] : by_task) {
+      if (task == anchor.task) continue;
+      for (auto it = intervals.rbegin(); it != intervals.rend(); ++it) {
+        const BlockedInterval* candidate = *it;
+        if (candidate->end && cut[*candidate->end]) continue;
+        const std::vector<bool>& past = downsets.of(candidate->blocked);
+        bool compatible = true;
+        for (const BlockedInterval* held : chosen) {
+          if (held->end && past[*held->end]) {
+            compatible = false;
+            break;
+          }
+        }
+        if (!compatible) continue;
+        for (std::size_t e = 0; e < past.size(); ++e) {
+          if (past[e]) cut[e] = true;
+        }
+        chosen.push_back(candidate);
+        break;
+      }
+    }
+
+    if (!replayed_cuts.insert(cut_signature(chosen)).second) continue;
+
+    // Replay the cut in trace order (a linear extension of the causal
+    // order) through the ordinary replayer, then check it with the
+    // ordinary checker — the same code path a live run trusts.
+    DependencyState store;
+    TaskRegistry registry;
+    trace::Replayer replayer(&store, &registry);
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      if (cut[e]) replayer.apply(events[e].record);
+    }
+    std::vector<BlockedStatus> snapshot =
+        trace::merged_snapshot(store, registry);
+    CheckResult check = check_deadlocks(snapshot, options_.model);
+    ++result.cuts_checked;
+
+    for (DeadlockReport& report : check.reports) {
+      if (!found.insert(report.fingerprint()).second) continue;
+      Prediction prediction;
+      prediction.novel = !known.contains(report.fingerprint());
+      prediction.report = std::move(report);
+      prediction.witness.reserve(events.size() + 1);
+      std::uint64_t at_ns = 0;
+      for (std::size_t e = 0; e < events.size(); ++e) {
+        if (!cut[e]) continue;
+        trace::Record record = events[e].record;
+        record.at_ns = (at_ns += 1000);
+        prediction.witness.push_back(std::move(record));
+      }
+      trace::Record scan;
+      scan.type = trace::RecordType::kScan;
+      scan.at_ns = (at_ns += 1000);
+      scan.scan = scan_info(snapshot.size(), check);
+      prediction.witness.push_back(std::move(scan));
+      result.predictions.push_back(std::move(prediction));
+    }
+  }
+
+  return result;
+}
+
+void write_witness(const std::string& path, const Prediction& prediction) {
+  trace::TraceHeader header;
+  header.start_ns = 1;  // synthetic schedule: timestamps are ordinals
+  header.meta.emplace_back("mode", "predict-witness");
+  std::string tasks;
+  for (TaskId task : prediction.report.tasks) {
+    if (!tasks.empty()) tasks += ',';
+    tasks += std::to_string(task);
+  }
+  header.meta.emplace_back("cycle-tasks", tasks);
+  header.meta.emplace_back("model", to_string(prediction.report.model));
+  trace::TraceWriter writer(path, std::move(header));
+  for (const trace::Record& record : prediction.witness) {
+    writer.append(record);
+  }
+  writer.flush();
+}
+
+}  // namespace armus::predict

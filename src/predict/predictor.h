@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "predict/causal.h"
+#include "trace/replayer.h"
+
+/// Predictive offline verification: search the recorded run's *causally
+/// equivalent* schedules (predict::CausalModel) for reachable states whose
+/// blocked statuses form a cycle — deadlocks the program could have hit
+/// under a different interleaving, even when the observed schedule (and
+/// hence plain `armus-trace verify`) reports none.
+///
+/// The search is anchored and greedy: every BLOCKED record in the trace
+/// anchors one candidate cut — the anchor's causal past, extended per
+/// other task with the latest blocked interval that can still be open in
+/// a consistent cut (its closing record is not forced in by anything
+/// already chosen). Each candidate cut is *replayed through the ordinary
+/// trace::Replayer* and checked with the ordinary checker, so a predicted
+/// cycle is exactly as trustworthy as a live finding over that state; the
+/// cut's records (plus a closing SCAN) are emitted as a witness trace any
+/// `armus-trace verify` reproduces. docs/PREDICT.md states the soundness
+/// claim and its boundaries; tests/predict_test.cc pins both directions.
+///
+/// Sound, deliberately incomplete: greedy per-task choice explores one
+/// compatible combination per anchor, so an exotic cycle needing a
+/// non-latest interval combination can be missed — never invented.
+namespace armus::predict {
+
+/// One deadlock found in a reordered (not observed) state, with the
+/// evidence to reproduce it.
+struct Prediction {
+  DeadlockReport report;
+
+  /// Not among the observed (recorded REPORT) or replayed (re-check at
+  /// recorded SCANs) cycles — a finding only reordering exposes.
+  bool novel = false;
+
+  /// The cut's state records in replay order plus one closing SCAN: a
+  /// standalone schedule reaching the predicted state. write_witness()
+  /// persists it as a regular trace file.
+  std::vector<trace::Record> witness;
+};
+
+class Predictor {
+ public:
+  struct Options {
+    /// Model for both the baseline replay and the cut checks.
+    GraphModel model = GraphModel::kAuto;
+
+    /// Cap on anchors explored (0 = unbounded). Each BLOCKED record is
+    /// one anchor; the cap bounds work on adversarial traces.
+    std::uint64_t max_anchors = 0;
+  };
+
+  struct Result {
+    /// Cycles the live run reported (REPORT records), deduplicated.
+    std::vector<DeadlockReport> observed;
+
+    /// Cycles the baseline replay finds at the recorded SCAN points —
+    /// what plain `armus-trace verify` would say.
+    std::vector<DeadlockReport> replayed;
+
+    /// Cut-search findings, deduplicated by fingerprint, in discovery
+    /// order. Includes re-findings of observed cycles (novel == false) —
+    /// corroboration that the search reaches the real ones.
+    std::vector<Prediction> predictions;
+
+    std::uint64_t anchors_tried = 0;
+    std::uint64_t cuts_checked = 0;
+    bool anchors_capped = false;
+
+    [[nodiscard]] std::size_t novel_count() const;
+  };
+
+  explicit Predictor(Options options) : options_(options) {}
+
+  [[nodiscard]] Result run(const trace::MergedTrace& trace) const;
+
+ private:
+  Options options_;
+};
+
+/// Writes a prediction's witness as a replayable trace file. Header meta
+/// carries mode=predict-witness plus the cycle's task set.
+void write_witness(const std::string& path, const Prediction& prediction);
+
+}  // namespace armus::predict

@@ -192,6 +192,7 @@ TraceWriter::TraceWriter(const std::string& path, TraceHeader header)
   }
   std::string encoded = encode_header(header_);
   out_.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  bytes_ = encoded.size();
   last_ns_ = header_.start_ns;
 }
 
@@ -209,6 +210,7 @@ void TraceWriter::append(const Record& record) {
     throw TraceError("trace write failed after " + std::to_string(records_) +
                      " records");
   }
+  bytes_ += frame.size();
   ++records_;
 }
 

@@ -124,6 +124,11 @@ class TraceWriter {
 
   void flush();
   [[nodiscard]] std::uint64_t records_written() const { return records_; }
+
+  /// Bytes emitted so far (header included). The Recorder's size-based
+  /// segment rotation triggers on this, so a segment can only ever exceed
+  /// its budget by the one record that crossed it — never mid-record.
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
   [[nodiscard]] const TraceHeader& header() const { return header_; }
 
  private:
@@ -131,6 +136,7 @@ class TraceWriter {
   TraceHeader header_;
   std::uint64_t last_ns_ = 0;
   std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
 };
 
 /// Decodes a trace held in memory; `TraceReader::open` loads a file.

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <fstream>
 
 #include "util/env.h"
 #include "util/log.h"
@@ -18,24 +19,37 @@ std::uint64_t steady_now_ns() {
           .count());
 }
 
-TraceHeader header_from_options(const Recorder::Options& options) {
+TraceHeader header_for_segment(const Recorder::Options& options,
+                               std::uint64_t segment) {
   TraceHeader header;
   header.meta = options.meta;
+  if (segment > 0) {
+    header.meta.emplace_back("segment", std::to_string(segment));
+  }
   return header;
 }
 
 }  // namespace
 
 Recorder::Recorder(Options options)
-    : path_(options.path), writer_(options.path, header_from_options(options)) {}
+    : path_(options.path),
+      options_(std::move(options)),
+      writer_(std::make_unique<TraceWriter>(path_,
+                                            header_for_segment(options_, 0))) {
+  segment_opened_ns_ = writer_->header().start_ns;
+}
 
 Recorder::~Recorder() { flush(); }
 
 void Recorder::flush() {
   std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+}
+
+void Recorder::flush_locked() {
   if (failed_) return;
   try {
-    writer_.flush();
+    writer_->flush();
   } catch (const TraceError& e) {
     failed_ = true;
     util::log_error(std::string("trace capture to ") + path_ +
@@ -45,12 +59,72 @@ void Recorder::flush() {
 
 std::uint64_t Recorder::records_written() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return writer_.records_written();
+  return records_total_;
+}
+
+std::uint64_t Recorder::segments() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segment_ + 1;
 }
 
 bool Recorder::failed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return failed_;
+}
+
+bool Recorder::rotation_due_locked(std::uint64_t now_ns) const {
+  if (segment_records_ == 0) return false;
+  if (options_.max_segment_bytes > 0 &&
+      writer_->bytes_written() >= options_.max_segment_bytes) {
+    return true;
+  }
+  if (options_.max_segment_seconds > 0 &&
+      now_ns - segment_opened_ns_ >= options_.max_segment_seconds * 1'000'000'000ULL) {
+    return true;
+  }
+  return false;
+}
+
+void Recorder::rotate_locked(std::uint64_t now_ns) {
+  // The completed segment must be durable and end on a record boundary
+  // before the next segment opens: a crash mid-rotation then loses at most
+  // the new segment, never a flushed record (in particular a REPORT is
+  // flushed whole into exactly one segment).
+  writer_->flush();
+  ++segment_;
+  TraceHeader header = header_for_segment(options_, segment_);
+  header.start_ns = now_ns;
+  writer_ = std::make_unique<TraceWriter>(segment_path(path_, segment_),
+                                          std::move(header));
+  segment_opened_ns_ = now_ns;
+  segment_records_ = 0;
+
+  // Checkpoint: re-emit the live state so the segment replays standalone.
+  // Registrations first (the replay-side registry overlay), then the
+  // blocked statuses, both in deterministic (sorted) order. Re-applying
+  // them during a multi-segment merge is idempotent — same status, same
+  // phase — so the merged timeline is unchanged.
+  for (const auto& [task, phasers] : regs_) {
+    for (const auto& [phaser, phase] : phasers) {
+      Record record;
+      record.type = RecordType::kTaskRegistered;
+      record.task = task;
+      record.phaser = phaser;
+      record.phase = phase;
+      record.at_ns = now_ns;
+      writer_->append(record);
+      ++records_total_;
+    }
+  }
+  for (const auto& [task, status] : std::map<TaskId, BlockedStatus>(
+           live_.begin(), live_.end())) {
+    Record record;
+    record.type = RecordType::kBlocked;
+    record.status = status;
+    record.at_ns = now_ns;
+    writer_->append(record);
+    ++records_total_;
+  }
 }
 
 void Recorder::append_locked(Record record) {
@@ -60,7 +134,10 @@ void Recorder::append_locked(Record record) {
   if (failed_) return;
   record.at_ns = steady_now_ns();
   try {
-    writer_.append(record);
+    if (rotation_due_locked(record.at_ns)) rotate_locked(record.at_ns);
+    writer_->append(record);
+    ++records_total_;
+    ++segment_records_;
   } catch (const TraceError& e) {
     failed_ = true;
     util::log_error(std::string("trace capture to ") + path_ +
@@ -76,6 +153,7 @@ void Recorder::on_task_registered(TaskId task, PhaserUid phaser,
   record.phaser = phaser;
   record.phase = local_phase;
   std::lock_guard<std::mutex> lock(mutex_);
+  regs_[task][phaser] = local_phase;
   append_locked(std::move(record));
 }
 
@@ -85,6 +163,12 @@ void Recorder::on_task_deregistered(TaskId task, PhaserUid phaser) {
   record.task = task;
   record.phaser = phaser;
   std::lock_guard<std::mutex> lock(mutex_);
+  if (phaser == kAllPhasers) {
+    regs_.erase(task);
+  } else if (auto it = regs_.find(task); it != regs_.end()) {
+    it->second.erase(phaser);
+    if (it->second.empty()) regs_.erase(it);
+  }
   append_locked(std::move(record));
 }
 
@@ -151,14 +235,7 @@ void Recorder::on_report(const DeadlockReport& report) {
   append_locked(std::move(record));
   // A found deadlock is the evidence the trace exists for; make sure it
   // reaches disk even if the process is killed before a clean shutdown.
-  if (failed_) return;
-  try {
-    writer_.flush();
-  } catch (const TraceError& e) {
-    failed_ = true;
-    util::log_error(std::string("trace capture to ") + path_ +
-                    " stopped: " + e.what());
-  }
+  flush_locked();
 }
 
 std::shared_ptr<Recorder> recorder_from_env() {
@@ -174,6 +251,10 @@ std::shared_ptr<Recorder> recorder_from_env() {
       if (token != std::string::npos) {
         options.path.replace(token, 2, std::to_string(::getpid()));
       }
+      options.max_segment_bytes =
+          static_cast<std::uint64_t>(util::env_int("ARMUS_TRACE_MAX_BYTES", 0));
+      options.max_segment_seconds = static_cast<std::uint64_t>(
+          util::env_int("ARMUS_TRACE_MAX_SECONDS", 0));
       for (const char* key : {"ARMUS_MODE", "ARMUS_GRAPH_MODEL",
                               "ARMUS_STORE", "ARMUS_SITE_ID"}) {
         if (auto value = util::env_str(key)) {
@@ -186,6 +267,20 @@ std::shared_ptr<Recorder> recorder_from_env() {
     resolved = true;
   }
   return instance;
+}
+
+std::string segment_path(const std::string& base, std::uint64_t index) {
+  return index == 0 ? base : base + "." + std::to_string(index);
+}
+
+std::vector<std::string> segment_paths(const std::string& base) {
+  std::vector<std::string> paths{base};
+  for (std::uint64_t index = 1;; ++index) {
+    std::string path = segment_path(base, index);
+    if (!std::ifstream(path).good()) break;
+    paths.push_back(std::move(path));
+  }
+  return paths;
 }
 
 }  // namespace armus::trace

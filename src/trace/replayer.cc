@@ -6,20 +6,48 @@
 #include <unordered_set>
 
 #include "core/dependency_state.h"
+#include "trace/recorder.h"
 
 namespace armus::trace {
+
+std::vector<std::string> expand_segments(const std::vector<std::string>& paths) {
+  std::vector<std::string> out;
+  for (const std::string& path : paths) {
+    for (std::string& segment : segment_paths(path)) {
+      out.push_back(std::move(segment));
+    }
+  }
+  return out;
+}
 
 MergedTrace::MergedTrace(const std::vector<std::string>& paths) {
   headers_.reserve(paths.size());
   for (std::size_t source = 0; source < paths.size(); ++source) {
-    TraceReader reader = TraceReader::open(paths[source]);
-    headers_.push_back(reader.header());
-    Record record;
-    while (reader.next(&record)) {
-      records_.push_back(TimedRecord{std::move(record), source});
-      record = Record{};
-    }
+    add(TraceReader::open(paths[source]), source);
   }
+  finish();
+}
+
+MergedTrace MergedTrace::from_bytes(const std::vector<std::string>& buffers) {
+  MergedTrace trace;
+  trace.headers_.reserve(buffers.size());
+  for (std::size_t source = 0; source < buffers.size(); ++source) {
+    trace.add(TraceReader(buffers[source]), source);
+  }
+  trace.finish();
+  return trace;
+}
+
+void MergedTrace::add(TraceReader reader, std::size_t source) {
+  headers_.push_back(reader.header());
+  Record record;
+  while (reader.next(&record)) {
+    records_.push_back(TimedRecord{std::move(record), source});
+    record = Record{};
+  }
+}
+
+void MergedTrace::finish() {
   // stable_sort: records of one file are already in order, and equal
   // timestamps across files keep input order (deterministic merges).
   std::stable_sort(records_.begin(), records_.end(),

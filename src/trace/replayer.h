@@ -35,6 +35,10 @@ class MergedTrace {
   /// malformed input.
   explicit MergedTrace(const std::vector<std::string>& paths);
 
+  /// Merges traces already held in memory (the fuzz harness replays
+  /// mutants without touching disk). Same strictness as the path form.
+  static MergedTrace from_bytes(const std::vector<std::string>& buffers);
+
   [[nodiscard]] const std::vector<TraceHeader>& headers() const {
     return headers_;
   }
@@ -43,9 +47,20 @@ class MergedTrace {
   }
 
  private:
+  MergedTrace() = default;
+  void add(TraceReader reader, std::size_t source);
+  void finish();
+
   std::vector<TraceHeader> headers_;
   std::vector<TimedRecord> records_;
 };
+
+/// Expands every base path to its on-disk rotation segments (`p`, `p.1`,
+/// `p.2`, … — see Recorder's segment rotation): the CLI spelling
+/// `armus-trace verify run.trace` replays the whole rotated set without
+/// naming each segment. Paths without extra segments pass through
+/// unchanged; explicit segment names are not re-expanded.
+std::vector<std::string> expand_segments(const std::vector<std::string>& paths);
 
 /// The snapshot a checker sees: stored waits overlaid with the current
 /// registrations — the replay-side mirror of Verifier::current_snapshot.

@@ -1,0 +1,342 @@
+// Contract tests for the CLI binaries themselves (armus-trace, armus-fuzz):
+// golden stdout for `stats` and `dot` (pinned byte-for-byte — the CLIs are
+// scripted against in CI), exit codes on corrupt/truncated inputs (always a
+// clean 2, never a crash), verify/predict verdict lines, and the fuzz
+// smoke entry point. Binary paths arrive via compile definitions from
+// tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/verifier.h"
+#include "trace/format.h"
+#include "trace/recorder.h"
+
+namespace armus {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CliResult run_cli(const std::string& command) {
+  CliResult result;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "armus_cli_test_" + name + "_" +
+         std::to_string(::getpid()) + ".trace";
+}
+
+BlockedStatus status(TaskId task, std::vector<Resource> waits,
+                     std::vector<RegEntry> registered) {
+  BlockedStatus s;
+  s.task = task;
+  s.waits = std::move(waits);
+  s.registered = std::move(registered);
+  return s;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// A live detection run with a planted {1,2} cycle and a rescue, recorded
+/// through the real observer path.
+void record_cycle_run(const std::string& path) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.scanner_enabled = false;
+  config.on_deadlock = [](const DeadlockReport&) {};
+  config.observer = std::make_shared<trace::Recorder>(
+      trace::Recorder::Options{path, {}});
+  Verifier verifier(config);
+  verifier.before_block(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+  verifier.before_block(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+  verifier.scan_now();
+  for (TaskId task : {1, 2}) verifier.after_unblock(task);
+  verifier.scan_now();
+}
+
+/// The late-phased-join run: observed schedule clean, one latent cycle
+/// (see tests/predict_test.cc for the schedule's anatomy).
+void record_latent_run(const std::string& path) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.scanner_enabled = false;
+  config.on_deadlock = [](const DeadlockReport&) {};
+  config.observer = std::make_shared<trace::Recorder>(
+      trace::Recorder::Options{path, {}});
+  Verifier verifier(config);
+  verifier.before_block(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+  verifier.scan_now();
+  verifier.after_unblock(1);
+  verifier.before_block(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+  verifier.scan_now();
+  verifier.after_unblock(2);
+  verifier.scan_now();
+}
+
+// --- stats: golden output ------------------------------------------------
+
+TEST(CliStatsTest, GoldenOutput) {
+  // Hand-written trace with pinned timestamps, so the span is exact.
+  std::string path = temp_path("stats_golden");
+  {
+    trace::TraceHeader header;
+    header.start_ns = 100;
+    header.meta = {{"mode", "golden"}};
+    trace::TraceWriter writer(path, header);
+    trace::Record record;
+    record.type = trace::RecordType::kTaskRegistered;
+    record.task = 7;
+    record.phaser = 2;
+    record.phase = 0;
+    record.at_ns = 1100;
+    writer.append(record);
+    record = {};
+    record.type = trace::RecordType::kBlocked;
+    record.status = status(7, {{2, 1}}, {{2, 0}});
+    record.at_ns = 2100;
+    writer.append(record);
+    record = {};
+    record.type = trace::RecordType::kScan;
+    record.scan = ScanInfo{1, 1, 0, GraphModel::kWfg, 0};
+    record.at_ns = 3100;
+    writer.append(record);
+    record = {};
+    record.type = trace::RecordType::kUnblocked;
+    record.task = 7;
+    record.at_ns = 4100;
+    writer.append(record);
+    writer.flush();
+  }
+
+  CliResult result = run_cli(std::string(ARMUS_TRACE_BIN) + " stats " + path);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output,
+            path + ":\n"
+            "  meta mode = golden\n"
+            "  records: 4\n"
+            "    BLOCKED           1\n"
+            "    SCAN              1\n"
+            "    TASK_REGISTERED   1\n"
+            "    UNBLOCKED         1\n"
+            "  span: 0.003 ms\n"
+            "  distinct blocked tasks: 1 (peak concurrent 1)\n");
+  std::remove(path.c_str());
+}
+
+// --- dot: golden output --------------------------------------------------
+
+TEST(CliDotTest, GoldenWfgOutput) {
+  // Two mutually waiting statuses and nothing else: the replayed end state
+  // is the cycle, and the WFG has exactly its two edges.
+  std::string path = temp_path("dot_golden");
+  {
+    trace::TraceHeader header;
+    header.start_ns = 100;
+    trace::TraceWriter writer(path, header);
+    trace::Record record;
+    record.type = trace::RecordType::kBlocked;
+    record.status = status(1, {{1, 1}}, {{1, 1}, {2, 0}});
+    record.at_ns = 1100;
+    writer.append(record);
+    record = {};
+    record.type = trace::RecordType::kBlocked;
+    record.status = status(2, {{2, 1}}, {{1, 0}, {2, 1}});
+    record.at_ns = 2100;
+    writer.append(record);
+    writer.flush();
+  }
+
+  CliResult result = run_cli(std::string(ARMUS_TRACE_BIN) +
+                             " dot --model wfg --at-end " + path);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output,
+            "digraph \"armus_trace\" {\n"
+            "  n0 [label=\"t1\"];\n"
+            "  n1 [label=\"t2\"];\n"
+            "  n0 -> n1;\n"
+            "  n1 -> n0;\n"
+            "}\n");
+  std::remove(path.c_str());
+}
+
+// --- exit codes on bad input ---------------------------------------------
+
+TEST(CliExitCodeTest, CorruptAndTruncatedInputsExitTwo) {
+  std::string garbage = temp_path("garbage");
+  write_file(garbage, "this is not a trace at all");
+  for (const char* subcommand : {"verify", "stats", "dot", "predict"}) {
+    CliResult result = run_cli(std::string(ARMUS_TRACE_BIN) + " " +
+                               subcommand + " " + garbage);
+    EXPECT_EQ(result.exit_code, 2) << subcommand;
+    EXPECT_NE(result.output.find("armus-trace"), std::string::npos)
+        << subcommand;
+  }
+
+  // A real trace cut mid-record must be refused just as loudly.
+  std::string whole = temp_path("whole");
+  record_cycle_run(whole);
+  std::string bytes = read_file(whole);
+  std::string truncated = temp_path("truncated");
+  write_file(truncated, bytes.substr(0, bytes.size() - 2));
+  CliResult result =
+      run_cli(std::string(ARMUS_TRACE_BIN) + " verify " + truncated);
+  EXPECT_EQ(result.exit_code, 2);
+
+  CliResult missing =
+      run_cli(std::string(ARMUS_TRACE_BIN) + " stats /nonexistent.trace");
+  EXPECT_EQ(missing.exit_code, 2);
+
+  CliResult no_args = run_cli(std::string(ARMUS_TRACE_BIN));
+  EXPECT_EQ(no_args.exit_code, 2);
+  EXPECT_NE(no_args.output.find("usage:"), std::string::npos);
+
+  std::remove(garbage.c_str());
+  std::remove(whole.c_str());
+  std::remove(truncated.c_str());
+}
+
+// --- verify / predict verdict lines --------------------------------------
+
+TEST(CliVerifyTest, MatchingReplayExitsZero) {
+  std::string path = temp_path("verify_ok");
+  record_cycle_run(path);
+  CliResult result = run_cli(std::string(ARMUS_TRACE_BIN) + " verify " + path);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("VERDICT MATCH"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliPredictTest, FindsTheLatentCycleAndWritesAReplayableWitness) {
+  std::string path = temp_path("predict");
+  record_latent_run(path);
+
+  // The observed schedule is clean...
+  CliResult verify = run_cli(std::string(ARMUS_TRACE_BIN) + " verify " + path);
+  EXPECT_EQ(verify.exit_code, 0);
+  EXPECT_NE(verify.output.find("live run reported 0 deadlock(s)"),
+            std::string::npos);
+
+  // ...but predict reorders its way to the cycle.
+  std::string witness_dir = testing::TempDir() + "armus_cli_witness_" +
+                            std::to_string(::getpid());
+  std::filesystem::remove_all(witness_dir);
+  CliResult predict =
+      run_cli(std::string(ARMUS_TRACE_BIN) + " predict --witness-dir " +
+              witness_dir + " " + path);
+  EXPECT_EQ(predict.exit_code, 0);
+  EXPECT_NE(predict.output.find("observed schedule: 0 recorded, 0 replayed"),
+            std::string::npos);
+  EXPECT_NE(predict.output.find("PREDICTED: deadlock"), std::string::npos);
+  EXPECT_NE(
+      predict.output.find("predict: 1 cycle(s) via cut search, 1 novel"),
+      std::string::npos);
+
+  // The witness replays to the predicted cycle through plain verify.
+  std::string witness = witness_dir + "/witness-0.trace";
+  ASSERT_TRUE(std::filesystem::exists(witness)) << predict.output;
+  CliResult replay = run_cli(std::string(ARMUS_TRACE_BIN) +
+                             " verify --compare off " + witness);
+  EXPECT_EQ(replay.exit_code, 0);
+  EXPECT_NE(replay.output.find("offline replay found 1 deadlock(s)"),
+            std::string::npos);
+
+  std::filesystem::remove_all(witness_dir);
+  std::remove(path.c_str());
+}
+
+TEST(CliPredictTest, ConfirmsTheObservedCycleDistinctly) {
+  std::string path = temp_path("predict_observed");
+  record_cycle_run(path);
+  CliResult predict =
+      run_cli(std::string(ARMUS_TRACE_BIN) + " predict " + path);
+  EXPECT_EQ(predict.exit_code, 0);
+  EXPECT_NE(predict.output.find("observed schedule: 1 recorded, 1 replayed"),
+            std::string::npos);
+  EXPECT_NE(predict.output.find("confirmed: deadlock"), std::string::npos);
+  EXPECT_NE(
+      predict.output.find("predict: 1 cycle(s) via cut search, 0 novel"),
+      std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- rotated segments through the CLI ------------------------------------
+
+TEST(CliStatsTest, ExpandsRotationSegments) {
+  std::string base = temp_path("rotated");
+  {
+    trace::Recorder::Options options;
+    options.path = base;
+    options.max_segment_bytes = 64;  // rotate every couple of records
+    trace::Recorder recorder(options);
+    for (TaskId task = 1; task <= 6; ++task) {
+      recorder.on_blocked(status(task, {{task, 1}}, {{task, 1}}));
+      recorder.on_unblocked(task);
+    }
+    recorder.flush();
+    ASSERT_GT(recorder.segments(), 1u);
+  }
+  CliResult result = run_cli(std::string(ARMUS_TRACE_BIN) + " stats " + base);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find(base + ":"), std::string::npos);
+  EXPECT_NE(result.output.find(base + ".1:"), std::string::npos);
+  EXPECT_NE(result.output.find("meta segment = 1"), std::string::npos);
+  for (const std::string& segment : trace::segment_paths(base)) {
+    std::remove(segment.c_str());
+  }
+}
+
+// --- armus-fuzz ----------------------------------------------------------
+
+TEST(CliFuzzTest, SmokeRunExitsZeroWithContractHeld) {
+  std::string path = temp_path("fuzz_seed");
+  record_cycle_run(path);
+  CliResult result = run_cli(std::string(ARMUS_FUZZ_BIN) +
+                             " --seed 1 --runs 40 " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("contract holds (zero violations)"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("fuzz: seed 1, 40 mutant(s)"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliFuzzTest, MissingSeedTraceExitsTwo) {
+  CliResult result =
+      run_cli(std::string(ARMUS_FUZZ_BIN) + " /nonexistent.trace");
+  EXPECT_EQ(result.exit_code, 2);
+  CliResult no_args = run_cli(std::string(ARMUS_FUZZ_BIN));
+  EXPECT_EQ(no_args.exit_code, 2);
+  EXPECT_NE(no_args.output.find("usage:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace armus

@@ -1,0 +1,226 @@
+// Tests for the trace fuzzing layer (src/fuzz/): mutator determinism and
+// per-operator behaviour, the strict-decode contract checker, corpus
+// growth/minimization, and a deterministic smoke run of the full harness —
+// the in-repo miniature of the CI fuzz job.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/verifier.h"
+#include "fuzz/harness.h"
+#include "fuzz/mutator.h"
+#include "trace/recorder.h"
+
+namespace armus::fuzz {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "armus_fuzz_test_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+BlockedStatus status(TaskId task, std::vector<Resource> waits,
+                     std::vector<RegEntry> registered) {
+  BlockedStatus s;
+  s.task = task;
+  s.waits = std::move(waits);
+  s.registered = std::move(registered);
+  return s;
+}
+
+/// A recorded run with a planted cycle, a bystander chain, and a rescue —
+/// enough record-type variety to make mutation interesting. Returns the
+/// trace bytes.
+std::string seed_trace() {
+  std::string path = temp_path("seed") + ".trace";
+  {
+    VerifierConfig config;
+    config.mode = VerifyMode::kDetection;
+    config.scanner_enabled = false;
+    config.on_deadlock = [](const DeadlockReport&) {};
+    config.observer = std::make_shared<trace::Recorder>(
+        trace::Recorder::Options{path, {{"mode", "fuzz-seed"}}});
+    Verifier verifier(config);
+    verifier.registry().set_entry(9, 7, 1);
+    verifier.before_block(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+    verifier.before_block(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+    verifier.before_block(status(5, {{10, 1}}, {{10, 1}, {11, 0}}));
+    verifier.before_block(status(6, {{11, 1}}, {{11, 1}}));
+    verifier.scan_now();
+    for (TaskId task : {1, 2, 5, 6}) verifier.after_unblock(task);
+    verifier.registry().remove_entry(9, 7);
+    verifier.scan_now();
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  return bytes;
+}
+
+// --- Mutator -------------------------------------------------------------
+
+TEST(MutatorTest, DeterministicInTheSeed) {
+  std::vector<std::string> pool{seed_trace()};
+  Mutator a(42);
+  Mutator b(42);
+  Mutator c(43);
+  bool any_difference = false;
+  for (int i = 0; i < 20; ++i) {
+    MutationOp op_a = MutationOp::kBitFlip;
+    MutationOp op_b = MutationOp::kBitFlip;
+    std::string ma = a.mutate(pool, &op_a);
+    std::string mb = b.mutate(pool, &op_b);
+    EXPECT_EQ(ma, mb);
+    EXPECT_EQ(op_a, op_b);
+    if (ma != c.mutate(pool)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);  // a different seed walks a different path
+}
+
+TEST(MutatorTest, RecordLevelOpsKeepTheTraceDecodable) {
+  std::string seed = seed_trace();
+  std::size_t records = decode_records(seed).size();
+  Mutator mutator(7);
+
+  std::string dropped = mutator.apply(MutationOp::kDropRecord, seed, "");
+  EXPECT_EQ(decode_records(dropped).size(), records - 1);
+
+  std::string duplicated =
+      mutator.apply(MutationOp::kDuplicateRecord, seed, "");
+  EXPECT_EQ(decode_records(duplicated).size(), records + 1);
+
+  std::string reordered = mutator.apply(MutationOp::kReorderSlack, seed, "");
+  std::vector<trace::Record> after = decode_records(reordered);
+  EXPECT_EQ(after.size(), records);
+  // Same multiset of record types — only the order moved.
+  auto type_counts = [](const std::vector<trace::Record>& rs) {
+    std::vector<int> counts(8, 0);
+    for (const trace::Record& r : rs) ++counts[static_cast<int>(r.type)];
+    return counts;
+  };
+  EXPECT_EQ(type_counts(after), type_counts(decode_records(seed)));
+}
+
+TEST(MutatorTest, TruncateProducesStrictlyRejectedOrShorterTraces) {
+  std::string seed = seed_trace();
+  Mutator mutator(11);
+  for (int i = 0; i < 30; ++i) {
+    std::string mutant = mutator.apply(MutationOp::kTruncate, seed, "");
+    ASSERT_LT(mutant.size(), seed.size());
+    // The contract in miniature: decode either succeeds or throws
+    // TraceError — never anything else.
+    try {
+      decode_records(mutant);
+    } catch (const trace::TraceError&) {
+    }
+  }
+}
+
+TEST(MutatorTest, EncodeDecodeRoundTrip) {
+  std::string seed = seed_trace();
+  trace::TraceHeader header;
+  std::vector<trace::Record> records = decode_records(seed, &header);
+  std::string re = encode_trace(header, records);
+  EXPECT_EQ(re, seed);  // deltas recompute to the recorded values
+}
+
+// --- Contract checker ----------------------------------------------------
+
+TEST(CheckTraceTest, AcceptsARecordedTrace) {
+  Verdict verdict;
+  EXPECT_EQ(check_trace(seed_trace(), &verdict), std::nullopt);
+  EXPECT_TRUE(verdict.decoded);
+  EXPECT_GT(verdict.records, 0u);
+  // The planted cycle is found under every model.
+  for (std::uint64_t cycles : verdict.cycles) EXPECT_EQ(cycles, 1u);
+}
+
+TEST(CheckTraceTest, RejectsGarbageCleanly) {
+  Verdict verdict;
+  EXPECT_EQ(check_trace("definitely not a trace", &verdict), std::nullopt);
+  EXPECT_FALSE(verdict.decoded);
+}
+
+TEST(CheckTraceTest, CountsTheDecodablePrefixOfATruncatedTrace) {
+  std::string seed = seed_trace();
+  Verdict whole;
+  check_trace(seed, &whole);
+  Verdict cut;
+  check_trace(seed.substr(0, seed.size() - 3), &cut);
+  EXPECT_FALSE(cut.decoded);
+  EXPECT_LT(cut.records, whole.records);
+}
+
+TEST(MinimizeTest, ShrinksWithoutChangingTheSignature) {
+  std::string seed = seed_trace();
+  Verdict before;
+  check_trace(seed, &before);
+  std::string minimized = minimize_trace(seed);
+  Verdict after;
+  check_trace(minimized, &after);
+  EXPECT_EQ(after.signature(), before.signature());
+  EXPECT_LE(minimized.size(), seed.size());
+  // Garbage input passes through untouched.
+  EXPECT_EQ(minimize_trace("garbage"), "garbage");
+}
+
+// --- Harness smoke run ---------------------------------------------------
+
+TEST(HarnessTest, SmokeRunHoldsTheContract) {
+  Harness::Options options;
+  options.seed = 1;
+  options.runs = 120;
+  options.seeds = {seed_trace()};
+  Harness::Stats stats = Harness(options).run();
+  EXPECT_TRUE(stats.ok()) << (stats.violations.empty()
+                                  ? ""
+                                  : stats.violations.front().what);
+  EXPECT_EQ(stats.mutants, 120u);
+  EXPECT_EQ(stats.decoded + stats.rejected, stats.mutants);
+  EXPECT_GT(stats.decoded, 0u);   // record-level ops stay well-formed
+  EXPECT_GT(stats.rejected, 0u);  // truncation/bitflips get refused
+}
+
+TEST(HarnessTest, GrowsAMinimizedCorpusOnDisk) {
+  namespace fs = std::filesystem;
+  std::string dir = temp_path("corpus");
+  fs::remove_all(dir);
+  Harness::Options options;
+  options.seed = 3;
+  options.runs = 60;
+  options.seeds = {seed_trace()};
+  options.corpus_dir = dir;
+  Harness::Stats stats = Harness(options).run();
+  EXPECT_TRUE(stats.ok());
+  std::size_t files = 0;
+  if (fs::is_directory(dir)) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+      files += entry.is_regular_file() ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(files, stats.corpus_added);
+  EXPECT_GT(stats.corpus_added, 0u);
+
+  // A second run over the persisted corpus treats its entries as seeds:
+  // their signatures are known, so the corpus does not duplicate.
+  Harness::Stats again = Harness(options).run();
+  EXPECT_TRUE(again.ok());
+  std::size_t files_after = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    files_after += entry.is_regular_file() ? 1 : 0;
+  }
+  EXPECT_EQ(files_after, files + again.corpus_added);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace armus::fuzz

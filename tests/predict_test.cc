@@ -1,0 +1,267 @@
+// Tests for predictive offline verification (src/predict/, docs/PREDICT.md):
+// the causal model's edges/pinning/slack, and the headline property — on a
+// recorded run whose *observed* schedule never exhibits a deadlock, the cut
+// search finds the latent cycle, and its witness schedule replays to that
+// cycle through the ordinary OfflineVerifier. Plus the soundness side:
+// correctly synchronised runs yield no predictions, and observed cycles are
+// re-found (novel == false), never lost.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/verifier.h"
+#include "predict/causal.h"
+#include "predict/predictor.h"
+#include "trace/recorder.h"
+#include "trace/replayer.h"
+
+namespace armus::predict {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "armus_predict_test_" + name + "_" +
+         std::to_string(::getpid()) + ".trace";
+}
+
+BlockedStatus status(TaskId task, std::vector<Resource> waits,
+                     std::vector<RegEntry> registered) {
+  BlockedStatus s;
+  s.task = task;
+  s.waits = std::move(waits);
+  s.registered = std::move(registered);
+  return s;
+}
+
+VerifierConfig recording_config(const std::string& trace_path) {
+  VerifierConfig config;
+  config.mode = VerifyMode::kDetection;
+  config.scanner_enabled = false;
+  config.on_deadlock = [](const DeadlockReport&) {};
+  config.observer = std::make_shared<trace::Recorder>(
+      trace::Recorder::Options{trace_path, {}});
+  return config;
+}
+
+/// The late-phased-join schedule: t1 and t2 register on both phasers but
+/// are never blocked *at the same time* — t1's wait completes before t2
+/// even publishes. Every observed scan sees one blocked task with no
+/// impeders, so the live run (and a plain replay) is deadlock-free; yet a
+/// schedule where t2 publishes before t1's wait completes deadlocks.
+std::string record_latent_deadlock(const std::string& name) {
+  std::string path = temp_path(name);
+  Verifier verifier(recording_config(path));
+  verifier.before_block(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+  verifier.scan_now();            // only t1 blocked: no impeders, no cycle
+  verifier.after_unblock(1);      // free release — nothing impeded (1,1)
+  verifier.before_block(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+  verifier.scan_now();            // only t2 blocked: no cycle either
+  verifier.after_unblock(2);
+  verifier.scan_now();
+  EXPECT_TRUE(verifier.reported().empty());
+  return path;
+}
+
+// --- CausalModel ---------------------------------------------------------
+
+TEST(CausalModelTest, ProgramOrderAndReleaseEdges) {
+  // t2 impedes (1,1) at phase 0, then advances (re-registration at phase
+  // 1), which releases t1. The unblock must depend on both t1's own
+  // BLOCKED (program order) and t2's advance (release edge).
+  std::vector<trace::Record> records(4);
+  records[0].type = trace::RecordType::kTaskRegistered;
+  records[0].task = 2;
+  records[0].phaser = 1;
+  records[0].phase = 0;
+  records[1].type = trace::RecordType::kBlocked;
+  records[1].status = status(1, {{1, 1}}, {{1, 1}});
+  records[2].type = trace::RecordType::kTaskRegistered;
+  records[2].task = 2;
+  records[2].phaser = 1;
+  records[2].phase = 1;
+  records[3].type = trace::RecordType::kUnblocked;
+  records[3].task = 1;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].at_ns = 1000 * (i + 1);
+  }
+
+  CausalModel model(records);
+  ASSERT_EQ(model.events().size(), 4u);
+  EXPECT_EQ(model.pinned_events(), 0u);
+  EXPECT_GE(model.release_edges(), 1u);
+  const Event& unblock = model.events()[3];
+  EXPECT_EQ(unblock.preds, (std::vector<std::uint32_t>{1, 2}));
+
+  ASSERT_EQ(model.intervals().size(), 1u);
+  EXPECT_EQ(model.intervals()[0].task, 1u);
+  EXPECT_EQ(model.intervals()[0].blocked, 1u);
+  EXPECT_EQ(model.intervals()[0].end, std::optional<std::uint32_t>(3));
+
+  // The advance (event 2) belongs to the unblock's causal past; t2's
+  // initial registration reaches it transitively via program order.
+  std::vector<bool> past = model.downset(3);
+  EXPECT_TRUE(past[0]);
+  EXPECT_TRUE(past[1]);
+  EXPECT_TRUE(past[2]);
+
+  // The advance has slack (it could have happened before t1 blocked); the
+  // unblock cannot move above the advance.
+  auto [alo, ahi] = model.slack(2);
+  EXPECT_LT(alo, 2u);
+  auto [ulo, uhi] = model.slack(3);
+  EXPECT_EQ(ulo, 3u);
+  EXPECT_EQ(uhi, 3u);
+}
+
+TEST(CausalModelTest, UnexplainedReleaseIsPinned) {
+  // t1 unblocks while t2 still impedes (1,1): a rescue/interrupt the trace
+  // cannot explain. The unblock must be pinned — its downset is the whole
+  // prefix — so no reordering can move anything past it.
+  std::vector<trace::Record> records(3);
+  records[0].type = trace::RecordType::kTaskRegistered;
+  records[0].task = 2;
+  records[0].phaser = 1;
+  records[0].phase = 0;
+  records[1].type = trace::RecordType::kBlocked;
+  records[1].status = status(1, {{1, 1}}, {{1, 1}});
+  records[2].type = trace::RecordType::kUnblocked;
+  records[2].task = 1;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].at_ns = 1000 * (i + 1);
+  }
+
+  CausalModel model(records);
+  EXPECT_EQ(model.pinned_events(), 1u);
+  EXPECT_TRUE(model.events()[2].pinned);
+  std::vector<bool> past = model.downset(2);
+  EXPECT_TRUE(past[0] && past[1] && past[2]);
+  auto [lo, hi] = model.slack(2);
+  EXPECT_EQ(lo, 2u);
+  EXPECT_EQ(hi, 2u);
+}
+
+// --- The headline property ----------------------------------------------
+
+TEST(PredictorTest, FindsLatentCycleTheObservedScheduleMisses) {
+  std::string path = record_latent_deadlock("latent");
+
+  trace::MergedTrace merged({path});
+
+  // The observed schedule is clean: plain verify reports nothing.
+  {
+    trace::OfflineVerifier verifier({});
+    trace::OfflineVerifier::Result plain = verifier.run(merged);
+    EXPECT_TRUE(plain.recorded.empty());
+    EXPECT_TRUE(plain.replayed.empty());
+  }
+
+  Predictor predictor({});
+  Predictor::Result result = predictor.run(merged);
+  EXPECT_TRUE(result.observed.empty());
+  EXPECT_TRUE(result.replayed.empty());
+  ASSERT_EQ(result.predictions.size(), 1u);
+  EXPECT_TRUE(result.predictions[0].novel);
+  EXPECT_EQ(result.predictions[0].report.tasks, (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(result.novel_count(), 1u);
+  EXPECT_GE(result.anchors_tried, 2u);
+  EXPECT_FALSE(result.anchors_capped);
+
+  // The witness is a replayable schedule reaching the predicted cycle:
+  // feed it through the ordinary OfflineVerifier and the cycle appears.
+  std::string witness_path = temp_path("latent_witness");
+  write_witness(witness_path, result.predictions[0]);
+  trace::OfflineVerifier verifier({});
+  trace::OfflineVerifier::Result replayed =
+      verifier.run(trace::MergedTrace({witness_path}));
+  ASSERT_EQ(replayed.replayed.size(), 1u);
+  EXPECT_EQ(replayed.replayed[0].fingerprint(),
+            result.predictions[0].report.fingerprint());
+  std::remove(path.c_str());
+  std::remove(witness_path.c_str());
+}
+
+TEST(PredictorTest, EveryModelFindsTheLatentCycle) {
+  for (GraphModel model : {GraphModel::kWfg, GraphModel::kSg, GraphModel::kGrg,
+                           GraphModel::kAuto}) {
+    std::string path = record_latent_deadlock("latent_" + to_string(model));
+    Predictor::Options options;
+    options.model = model;
+    Predictor predictor(options);
+    Predictor::Result result = predictor.run(trace::MergedTrace({path}));
+    ASSERT_EQ(result.predictions.size(), 1u) << to_string(model);
+    EXPECT_EQ(result.predictions[0].report.tasks,
+              (std::vector<TaskId>{1, 2}))
+        << to_string(model);
+    std::remove(path.c_str());
+  }
+}
+
+// --- Soundness side ------------------------------------------------------
+
+TEST(PredictorTest, ReFindsObservedCycleAsNonNovel) {
+  // The classic planted cycle (live run reports it, replay reproduces it):
+  // the cut search must reach that same state and mark it non-novel —
+  // corroboration, not double-reporting.
+  std::string path = temp_path("observed");
+  {
+    Verifier verifier(recording_config(path));
+    verifier.before_block(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+    verifier.before_block(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+    verifier.scan_now();
+    for (TaskId task : {1, 2}) verifier.after_unblock(task);
+    verifier.scan_now();
+    ASSERT_EQ(verifier.reported().size(), 1u);
+  }
+  Predictor predictor({});
+  Predictor::Result result = predictor.run(trace::MergedTrace({path}));
+  ASSERT_EQ(result.observed.size(), 1u);
+  ASSERT_EQ(result.predictions.size(), 1u);
+  EXPECT_FALSE(result.predictions[0].novel);
+  EXPECT_EQ(result.predictions[0].report.fingerprint(),
+            result.observed[0].fingerprint());
+  EXPECT_EQ(result.novel_count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PredictorTest, NoPredictionOnCorrectlySynchronisedRun) {
+  // A proper barrier crossing: t2 impedes t1's wait, then advances, then
+  // t1 releases (explained). No reordering of this run deadlocks, so the
+  // cut search must stay silent.
+  std::string path = temp_path("correct");
+  {
+    Verifier verifier(recording_config(path));
+    verifier.registry().set_entry(2, 1, 0);
+    verifier.before_block(status(1, {{1, 1}}, {{1, 1}}));
+    verifier.scan_now();
+    verifier.registry().set_entry(2, 1, 1);  // t2 signals: phase 0 -> 1
+    verifier.after_unblock(1);
+    verifier.scan_now();
+    EXPECT_TRUE(verifier.reported().empty());
+  }
+  Predictor predictor({});
+  Predictor::Result result = predictor.run(trace::MergedTrace({path}));
+  EXPECT_TRUE(result.observed.empty());
+  EXPECT_TRUE(result.replayed.empty());
+  EXPECT_TRUE(result.predictions.empty());
+  std::remove(path.c_str());
+}
+
+TEST(PredictorTest, AnchorCapBoundsTheSearch) {
+  std::string path = record_latent_deadlock("capped");
+  Predictor::Options options;
+  options.max_anchors = 1;
+  Predictor predictor(options);
+  Predictor::Result result = predictor.run(trace::MergedTrace({path}));
+  EXPECT_EQ(result.anchors_tried, 1u);
+  EXPECT_TRUE(result.anchors_capped);
+  // Anchor 1 (t1's interval) already reaches the cut — capping trades
+  // completeness, not soundness.
+  ASSERT_EQ(result.predictions.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace armus::predict

@@ -639,5 +639,190 @@ TEST(MergedTraceTest, MergesFilesByTimestamp) {
   std::remove(path_b.c_str());
 }
 
+// --- Segment rotation (docs/TRACE_FORMAT.md §5) ---------------------------
+
+/// All records of one on-disk segment, decoded strictly.
+std::vector<Record> decode_file(const std::string& path,
+                                TraceHeader* header = nullptr) {
+  TraceReader reader = TraceReader::open(path);
+  if (header != nullptr) *header = reader.header();
+  std::vector<Record> records;
+  Record record;
+  while (reader.next(&record)) records.push_back(record);
+  return records;
+}
+
+TEST(RotationTest, SegmentsReplayToTheUnrotatedVerdict) {
+  // The same live run, recorded twice: once into a single file, once with
+  // an aggressively small segment budget. The rotated set must (a) split
+  // into several segments that each decode standalone, (b) keep the REPORT
+  // record whole in exactly one segment — the regression this test pins is
+  // a record straddling a rotation boundary — and (c) merge back to the
+  // identical verdict.
+  std::string plain = temp_path("rot_plain");
+  std::vector<DeadlockReport> live = record_live_run(plain, GraphModel::kAuto);
+  ASSERT_EQ(live.size(), 1u);
+
+  std::string base = temp_path("rot_segmented");
+  {
+    VerifierConfig config;
+    config.mode = VerifyMode::kDetection;
+    config.scanner_enabled = false;
+    config.on_deadlock = [](const DeadlockReport&) {};
+    Recorder::Options options;
+    options.path = base;
+    options.max_segment_bytes = 48;  // a couple of records per segment
+    auto recorder = std::make_shared<Recorder>(options);
+    config.observer = recorder;
+    Verifier verifier(config);
+    verifier.before_block(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+    verifier.before_block(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+    verifier.before_block(status(5, {{10, 1}}, {{10, 1}, {11, 0}}));
+    verifier.before_block(status(6, {{11, 1}}, {{11, 1}}));
+    verifier.scan_now();
+    for (TaskId task : {1, 2, 5, 6}) verifier.after_unblock(task);
+    verifier.scan_now();
+    recorder->flush();
+    ASSERT_GT(recorder->segments(), 2u);
+    EXPECT_EQ(segment_paths(base).size(), recorder->segments());
+    EXPECT_FALSE(recorder->failed());
+  }
+
+  // Every segment decodes standalone: full header, strict decode to EOF,
+  // and the continuation metadata on every segment but the first.
+  std::size_t reports = 0;
+  std::vector<std::string> segments = segment_paths(base);
+  for (std::size_t index = 0; index < segments.size(); ++index) {
+    TraceHeader header;
+    std::vector<Record> records = decode_file(segments[index], &header);
+    if (index == 0) {
+      EXPECT_TRUE(header.meta_value("segment").empty());
+    } else {
+      EXPECT_EQ(header.meta_value("segment"), std::to_string(index));
+      EXPECT_FALSE(records.empty()) << segments[index];
+    }
+    for (const Record& record : records) {
+      reports += record.type == RecordType::kReport ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(reports, 1u);  // never straddled, never duplicated
+
+  // expand_segments turns the base path into the full rotated set, and the
+  // merged replay agrees with the single-file recording of the same run.
+  std::vector<std::string> expanded = expand_segments({base});
+  EXPECT_EQ(expanded, segments);
+  OfflineVerifier::Result rotated =
+      OfflineVerifier({}).run(MergedTrace(expanded));
+  OfflineVerifier::Result unrotated =
+      OfflineVerifier({}).run(MergedTrace({plain}));
+  EXPECT_TRUE(rotated.verdicts_match());
+  EXPECT_TRUE(rotated.cycles_match());
+  ASSERT_EQ(rotated.replayed.size(), unrotated.replayed.size());
+  EXPECT_EQ(rotated.replayed[0].fingerprint(),
+            unrotated.replayed[0].fingerprint());
+  ASSERT_EQ(rotated.recorded.size(), 1u);
+  EXPECT_EQ(rotated.recorded[0].fingerprint(), live[0].fingerprint());
+
+  std::remove(plain.c_str());
+  for (const std::string& segment : segments) std::remove(segment.c_str());
+}
+
+TEST(RotationTest, EverySegmentBeginsWithACheckpointOfLiveState) {
+  // Rotate in the middle of a blocked interval: the next segment must
+  // re-emit the live registrations and statuses so it replays standalone —
+  // checking only the final segment must still see the planted cycle.
+  std::string base = temp_path("rot_checkpoint");
+  {
+    Recorder::Options options;
+    options.path = base;
+    options.max_segment_bytes = 64;
+    Recorder recorder(options);
+    recorder.on_task_registered(1, 1, 1);
+    recorder.on_blocked(status(1, {{1, 1}}, {{1, 1}, {2, 0}}));
+    recorder.on_blocked(status(2, {{2, 1}}, {{1, 0}, {2, 1}}));
+    // Keep appending until a rotation happened with the cycle still live.
+    for (TaskId task = 20; recorder.segments() < 2; ++task) {
+      recorder.on_blocked(status(task, {{30, 1}}, {{30, 1}}));
+    }
+    recorder.flush();
+  }
+  std::vector<std::string> segments = segment_paths(base);
+  ASSERT_GE(segments.size(), 2u);
+
+  OfflineVerifier::Options options;
+  options.final_scan = true;
+  OfflineVerifier verifier(options);
+  OfflineVerifier::Result last_only =
+      verifier.run(MergedTrace({segments.back()}));
+  ASSERT_FALSE(last_only.replayed.empty());
+  EXPECT_EQ(last_only.replayed[0].tasks, (std::vector<TaskId>{1, 2}));
+  for (const std::string& segment : segments) std::remove(segment.c_str());
+}
+
+// --- Partition invariance -------------------------------------------------
+
+TEST(MergedTraceTest, PartitionInvarianceProperty) {
+  // Splitting one recorded timeline across k files — however the records
+  // are dealt out — must not change the merged replay's verdict: the merge
+  // key is the timestamp, not the file layout. This is the property the
+  // multi-process capture path (one file per process) leans on.
+  std::string path = temp_path("partition");
+  std::vector<DeadlockReport> live = record_live_run(path, GraphModel::kAuto);
+  ASSERT_EQ(live.size(), 1u);
+  std::vector<Record> records = decode_file(path);
+  std::remove(path.c_str());
+  // Re-time strictly increasing so the merged order is unambiguous.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].at_ns = 1000 * (i + 1);
+  }
+
+  auto replay = [](const std::vector<std::string>& paths) {
+    OfflineVerifier verifier({});
+    return verifier.run(MergedTrace(paths));
+  };
+  auto write_partition = [&](const std::string& out,
+                             const std::vector<Record>& slice) {
+    TraceHeader header;
+    header.start_ns = 1;
+    TraceWriter writer(out, header);
+    for (const Record& record : slice) writer.append(record);
+    writer.flush();
+  };
+
+  std::string whole = temp_path("partition_whole");
+  write_partition(whole, records);
+  OfflineVerifier::Result baseline = replay({whole});
+  ASSERT_EQ(baseline.replayed.size(), 1u);
+  ASSERT_EQ(baseline.recorded.size(), 1u);
+
+  util::Xoshiro256 rng(0x5117);
+  for (int round = 0; round < 8; ++round) {
+    std::size_t k = 2 + rng.below(3);  // 2..4 files
+    std::vector<std::vector<Record>> parts(k);
+    for (const Record& record : records) {
+      parts[rng.below(k)].push_back(record);
+    }
+    std::vector<std::string> paths;
+    for (std::size_t i = 0; i < k; ++i) {
+      paths.push_back(temp_path("partition_" + std::to_string(round) + "_" +
+                                std::to_string(i)));
+      write_partition(paths.back(), parts[i]);
+    }
+    OfflineVerifier::Result split = replay(paths);
+    EXPECT_EQ(split.records, baseline.records) << "round " << round;
+    EXPECT_EQ(split.scans, baseline.scans) << "round " << round;
+    ASSERT_EQ(split.replayed.size(), 1u) << "round " << round;
+    EXPECT_EQ(split.replayed[0].fingerprint(),
+              baseline.replayed[0].fingerprint())
+        << "round " << round;
+    ASSERT_EQ(split.recorded.size(), 1u) << "round " << round;
+    EXPECT_EQ(split.recorded[0].fingerprint(),
+              baseline.recorded[0].fingerprint())
+        << "round " << round;
+    for (const std::string& part : paths) std::remove(part.c_str());
+  }
+  std::remove(whole.c_str());
+}
+
 }  // namespace
 }  // namespace armus::trace

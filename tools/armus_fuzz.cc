@@ -1,0 +1,98 @@
+// armus-fuzz: deterministic trace-format fuzzer (src/fuzz/, docs/PREDICT.md §4).
+//
+//   armus-fuzz [options] <seed-trace> [seed-trace...]
+//       Mutates the seed traces and replays every mutant against all four
+//       graph models and both store backends, asserting the strict-decode
+//       contract: a mutant either raises TraceError or replays cleanly
+//       with backend-identical verdicts. Exit 0 iff no violation.
+//         --seed N        mutation RNG seed (default 1) — the whole repro
+//         --runs N        mutants to generate (default 500)
+//         --corpus DIR    load/grow a minimized corpus; violations are
+//                         saved there as crash-<i>.trace
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.h"
+
+using namespace armus;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: armus-fuzz [--seed N] [--runs N] [--corpus DIR]\n"
+               "                  <seed-trace> [seed-trace...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::Harness::Options options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      options.seed = static_cast<std::uint64_t>(std::stoull(argv[++i]));
+    } else if (arg == "--runs" && i + 1 < argc) {
+      options.runs = static_cast<std::uint64_t>(std::stoull(argv[++i]));
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      options.corpus_dir = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (paths.empty()) return usage();
+
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "armus-fuzz: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    options.seeds.emplace_back(std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>());
+  }
+
+  fuzz::Harness harness(options);
+  fuzz::Harness::Stats stats = harness.run();
+
+  std::printf("fuzz: seed %llu, %llu mutant(s): %llu decoded, %llu cleanly "
+              "rejected, %llu replay(s), %llu corpus entr%s added\n",
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(stats.mutants),
+              static_cast<unsigned long long>(stats.decoded),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.replays),
+              static_cast<unsigned long long>(stats.corpus_added),
+              stats.corpus_added == 1 ? "y" : "ies");
+
+  if (!stats.violations.empty()) {
+    std::size_t index = 0;
+    for (const fuzz::Violation& violation : stats.violations) {
+      std::fprintf(stderr, "VIOLATION: %s\n", violation.what.c_str());
+      if (!options.corpus_dir.empty()) {
+        std::filesystem::create_directories(options.corpus_dir);
+        std::string path = options.corpus_dir + "/crash-" +
+                           std::to_string(index++) + ".trace";
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(violation.mutant.data(),
+                  static_cast<std::streamsize>(violation.mutant.size()));
+        std::fprintf(stderr, "  repro bytes: %s\n", path.c_str());
+      }
+    }
+    std::printf("fuzz: %zu violation(s) — contract BROKEN\n",
+                stats.violations.size());
+    return 1;
+  }
+  std::printf("fuzz: contract holds (zero violations)\n");
+  return 0;
+}

@@ -23,6 +23,16 @@
 //                                   whose reports merge cycles with the
 //                                   interrupted task; off always exits 0)
 //
+//   armus-trace predict [options] <trace> [trace...]
+//       Predictive verification (docs/PREDICT.md): search causally
+//       consistent reorderings of the recorded events for deadlocks the
+//       observed schedule never reached. Predicted cycles are reported
+//       distinctly from observed/replayed ones; with --witness-dir each
+//       prediction's witness schedule is written as a replayable trace.
+//         --model wfg|sg|grg|auto   analysis model (default: trace meta)
+//         --witness-dir DIR         write witness-N.trace per prediction
+//         --max-anchors N           bound the cut search (default 4096)
+//
 //   armus-trace stats <trace> [trace...]
 //       Per-file header metadata, record counts, duration, peak blocked.
 //
@@ -36,6 +46,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
@@ -46,6 +57,7 @@
 #include "dist/store.h"
 #include "graph/dot.h"
 #include "net/config.h"
+#include "predict/predictor.h"
 #include "trace/format.h"
 #include "trace/replayer.h"
 
@@ -60,6 +72,8 @@ int usage() {
                "                          [--speed K] [--final-scan]\n"
                "                          [--compare task-sets|union|off]\n"
                "                          <trace> [trace...]\n"
+               "       armus-trace predict [--model M] [--witness-dir DIR]\n"
+               "                           [--max-anchors N] <trace> [trace...]\n"
                "       armus-trace stats <trace> [trace...]\n"
                "       armus-trace dot [--model M] [--at-scan N | --at-end]\n"
                "                       <trace> [trace...]\n");
@@ -187,7 +201,7 @@ int cmd_verify(int argc, char** argv) {
         net::remote_store_from_url(store_url), site);
   }
 
-  trace::MergedTrace merged(paths);
+  trace::MergedTrace merged(trace::expand_segments(paths));
   // Defaults come from the recorded run's header meta: re-verify under the
   // model the live run used, and compare unions for avoidance traces —
   // their live reports merge every cycle with the interrupted task, while
@@ -245,13 +259,91 @@ int cmd_verify(int argc, char** argv) {
   return match ? 0 : 1;
 }
 
+// --- predict -----------------------------------------------------------------
+
+int cmd_predict(int argc, char** argv) {
+  predict::Predictor::Options options;
+  options.max_anchors = 4096;
+  bool model_set = false;
+  std::string witness_dir;
+  std::vector<std::string> paths;
+
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--model" && i + 1 < argc) {
+      options.model = graph_model_from_string(argv[++i]);
+      model_set = true;
+    } else if (arg == "--witness-dir" && i + 1 < argc) {
+      witness_dir = argv[++i];
+    } else if (arg == "--max-anchors" && i + 1 < argc) {
+      options.max_anchors =
+          static_cast<std::uint64_t>(std::stoull(argv[++i]));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (paths.empty()) return usage();
+
+  trace::MergedTrace merged(trace::expand_segments(paths));
+  for (const trace::TraceHeader& header : merged.headers()) {
+    if (!model_set && !header.meta_value("ARMUS_GRAPH_MODEL").empty()) {
+      options.model =
+          graph_model_from_string(header.meta_value("ARMUS_GRAPH_MODEL"));
+      model_set = true;
+    }
+  }
+
+  predict::Predictor predictor(options);
+  predict::Predictor::Result result = predictor.run(merged);
+
+  std::printf("observed schedule: %zu recorded, %zu replayed deadlock(s)\n",
+              result.observed.size(), result.replayed.size());
+  for (const DeadlockReport& report : result.observed) {
+    std::printf("  observed: %s\n", describe_report(report).c_str());
+  }
+  for (const DeadlockReport& report : result.replayed) {
+    std::printf("  replayed: %s\n", describe_report(report).c_str());
+  }
+  std::printf("cut search: %llu anchor(s), %llu cut(s) replayed%s\n",
+              static_cast<unsigned long long>(result.anchors_tried),
+              static_cast<unsigned long long>(result.cuts_checked),
+              result.anchors_capped ? " (anchor cap hit)" : "");
+
+  std::size_t witness_index = 0;
+  if (!witness_dir.empty() && !result.predictions.empty()) {
+    std::filesystem::create_directories(witness_dir);
+  }
+  for (const predict::Prediction& prediction : result.predictions) {
+    std::printf("  %s: %s\n", prediction.novel ? "PREDICTED" : "confirmed",
+                describe_report(prediction.report).c_str());
+    if (!witness_dir.empty()) {
+      std::string path = witness_dir + "/witness-" +
+                         std::to_string(witness_index++) + ".trace";
+      predict::write_witness(path, prediction);
+      std::printf("    witness: %s (%zu records; replay with "
+                  "'armus-trace verify --compare off --final-scan')\n",
+                  path.c_str(), prediction.witness.size());
+    }
+  }
+  std::printf("predict: %zu cycle(s) via cut search, %zu novel, "
+              "%zu observed-or-replayed\n",
+              result.predictions.size(), result.novel_count(),
+              result.predictions.size() - result.novel_count());
+  return 0;
+}
+
 // --- stats -------------------------------------------------------------------
 
 int cmd_stats(int argc, char** argv) {
   if (argc == 0) return usage();
-  for (int i = 0; i < argc; ++i) {
-    trace::TraceReader reader = trace::TraceReader::open(argv[i]);
-    std::printf("%s:\n", argv[i]);
+  std::vector<std::string> paths =
+      trace::expand_segments(std::vector<std::string>(argv, argv + argc));
+  for (const std::string& path : paths) {
+    trace::TraceReader reader = trace::TraceReader::open(path);
+    std::printf("%s:\n", path.c_str());
     for (const auto& [key, value] : reader.header().meta) {
       std::printf("  meta %s = %s\n", key.c_str(), value.c_str());
     }
@@ -320,7 +412,7 @@ int cmd_dot(int argc, char** argv) {
   }
   if (paths.empty()) return usage();
 
-  trace::MergedTrace merged(paths);
+  trace::MergedTrace merged(trace::expand_segments(paths));
   auto store = std::make_shared<DependencyState>();
   TaskRegistry registry;
   trace::Replayer replayer(store.get(), &registry);
@@ -358,6 +450,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "record") return cmd_record(argc - 2, argv + 2);
     if (command == "verify") return cmd_verify(argc - 2, argv + 2);
+    if (command == "predict") return cmd_predict(argc - 2, argv + 2);
     if (command == "stats") return cmd_stats(argc - 2, argv + 2);
     if (command == "dot") return cmd_dot(argc - 2, argv + 2);
   } catch (const std::exception& e) {

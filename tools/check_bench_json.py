@@ -2,11 +2,19 @@
 """Validates the machine-readable bench artifacts: schema shape plus the
 counter invariants each bench guarantees.
 
-Usage: check_bench_json.py BENCH_FILE [BENCH_FILE ...]
+Usage: check_bench_json.py [--baseline FILE --max-drift FACTOR]
+                           BENCH_FILE [BENCH_FILE ...]
 
 Each file is dispatched on its "schema" field. The invariants are
 *counters*, not wall-clock, so this check cannot flake on a loaded CI
 box.
+
+With --baseline, each BENCH_FILE is additionally compared against the
+committed snapshot of the same schema: the wall-clock trajectory metrics
+(ns per scan/round, latency percentiles, steady-state speedup) may drift
+by at most FACTOR (default 5.0) in the *bad* direction. Improvement is
+never an error. This is a coarse regression tripwire, not a benchmark:
+the factor leaves room for runner noise, the counters above stay exact.
 
 armus.bench.incremental_scan.v1 (micro_incremental_scan):
 
@@ -173,12 +181,91 @@ CHECKERS = {
     "armus.bench.net_store.v1": check_net_store,
 }
 
+# The perf-trajectory metrics per schema: (label, path into the doc,
+# direction). "lower" metrics may grow by at most the drift factor;
+# "higher" metrics may shrink by at most it.
+DRIFT_METRICS = {
+    "armus.bench.incremental_scan.v1": [
+        ("steady_state_local.incremental_ns_per_scan",
+         ("steady_state_local", "incremental_ns_per_scan"), "lower"),
+        ("steady_state_local.speedup",
+         ("steady_state_local", "speedup"), "higher"),
+        ("one_site_churn.ns_per_churn_round",
+         ("one_site_churn", "ns_per_churn_round"), "lower"),
+        ("one_site_churn_kv.ns_per_churn_round",
+         ("one_site_churn_kv", "ns_per_churn_round"), "lower"),
+        ("full_churn.ns_per_churn_round",
+         ("full_churn", "ns_per_churn_round"), "lower"),
+    ],
+    "armus.bench.net_store.v1": [
+        ("publish_latency.p50_us",
+         ("publish_latency", "latency_us", "p50_us"), "lower"),
+        ("publish_latency.p99_us",
+         ("publish_latency", "latency_us", "p99_us"), "lower"),
+    ],
+}
+
+
+def metric_value(doc, path):
+    """Resolves ("workload_name", "key"...) against a bench doc."""
+    node = require(doc.get("workloads", []), path[0])
+    for key in path[1:]:
+        if node is None:
+            return None
+        node = node.get(key)
+    return node
+
+
+def check_drift(doc, baseline, source, max_drift):
+    schema = doc.get("schema")
+    if baseline.get("schema") != schema:
+        check(False, f"{source}: baseline schema {baseline.get('schema')!r} "
+                     f"!= {schema!r}")
+        return
+    for label, path, direction in DRIFT_METRICS.get(schema, []):
+        current = metric_value(doc, path)
+        pinned = metric_value(baseline, path)
+        if current is None or pinned is None or pinned <= 0:
+            check(False, f"{source}: drift metric {label} missing "
+                         f"(current {current!r}, baseline {pinned!r})")
+            continue
+        ratio = current / pinned
+        if direction == "lower":
+            check(ratio <= max_drift,
+                  f"{source}: {label} drifted {ratio:.2f}x over baseline "
+                  f"({current} vs {pinned}, limit {max_drift}x)")
+        else:
+            check(ratio >= 1.0 / max_drift,
+                  f"{source}: {label} dropped to {ratio:.2f}x of baseline "
+                  f"({current} vs {pinned}, limit 1/{max_drift}x)")
+
 
 def main():
-    if len(sys.argv) < 2:
+    argv = sys.argv[1:]
+    baseline_path = None
+    max_drift = 5.0
+    paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--baseline" and i + 1 < len(argv):
+            baseline_path = argv[i + 1]
+            i += 2
+        elif argv[i] == "--max-drift" and i + 1 < len(argv):
+            max_drift = float(argv[i + 1])
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if not paths:
         print(__doc__)
         return 2
-    for path in sys.argv[1:]:
+
+    baseline = None
+    if baseline_path is not None:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+
+    for path in paths:
         with open(path) as f:
             doc = json.load(f)
         schema = doc.get("schema")
@@ -188,13 +275,17 @@ def main():
                          f"(known: {sorted(CHECKERS)})")
             continue
         checker(doc)
+        if baseline is not None:
+            check_drift(doc, baseline, path, max_drift)
 
     if failures:
         for message in failures:
             print(f"FAIL: {message}")
         return 1
-    print(f"ok: {', '.join(sys.argv[1:])} satisfy the bench counter "
-          f"invariants")
+    suffix = (f" and stay within {max_drift}x of {baseline_path}"
+              if baseline is not None else "")
+    print(f"ok: {', '.join(paths)} satisfy the bench counter "
+          f"invariants{suffix}")
     return 0
 
 
