@@ -1,0 +1,403 @@
+// Fleet-scale benchmark for the armus-kv epoll event loop: can one server
+// with O(cores) threads absorb the publish traffic of 100 / 1k / 10k
+// sites, with a crowd of idle connections parked on the loop, and zero
+// request errors? Emits machine-readable JSON (armus.bench.kv_fleet.v1)
+// so successive PRs have a latency/throughput trajectory;
+// tools/check_bench_json.py asserts the counter invariants and --baseline
+// bounds the drift.
+//
+// Shape: `--workers` publisher threads each own a contiguous range of
+// site ids over ONE persistent RemoteStore connection (a worker is the
+// stand-in for a whole host of sites — at 10k sites one connection per
+// site would just benchmark the fd limit). Every round each worker
+// re-publishes every site in its range and records the per-publish
+// round-trip latency into an obs::Histogram. Meanwhile `idle` extra
+// connections sit on the server doing nothing, so the loop pays the
+// poll-set cost of a real fleet, not just of the active publishers.
+//
+// Usage: micro_kv_fleet [--sites N[,N...]] [--rounds R] [--workers W]
+//                       [--processes P] [--idle I] [--json-out PATH]
+//   --sites      fleet sizes to sweep (default 100,1000,10000)
+//   --rounds     publish rounds per site (default: auto by fleet size)
+//   --workers    publisher threads (default min(sites, 16))
+//   --processes  fork P publisher *processes* instead of threads; each
+//                child pipes its latency histogram back as raw bytes
+//                (obs::Histogram is trivially copyable)
+//   --idle       parked connections (default min(sites, 256))
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "net/kv_server.h"
+#include "net/remote_store.h"
+#include "net/socket_io.h"
+#include "obs/registry.h"
+
+namespace {
+
+using namespace armus;
+using Clock = std::chrono::steady_clock;
+
+struct FleetOptions {
+  std::vector<std::size_t> sites{100, 1000, 10000};
+  std::size_t rounds = 0;     ///< 0 = auto by fleet size
+  std::size_t workers = 0;    ///< 0 = min(sites, 16)
+  std::size_t processes = 0;  ///< 0 = thread mode
+  std::size_t idle = SIZE_MAX;  ///< SIZE_MAX = min(sites, 256)
+};
+
+/// What one publisher (thread or forked process) brings back. Trivially
+/// copyable on purpose: in --processes mode a child write(2)s this struct
+/// to a pipe and the parent merges, no serialisation layer needed.
+struct WorkerResult {
+  obs::Histogram latency;            ///< per-publish round trip, µs
+  std::uint64_t publishes = 0;       ///< successful put_slice calls
+  std::uint64_t request_errors = 0;  ///< put_slice throws
+  std::uint64_t client_failures = 0;  ///< RemoteStore network failures
+  std::uint64_t client_connects = 0;
+};
+static_assert(std::is_trivially_copyable_v<WorkerResult>,
+              "piped raw between processes");
+
+void merge_into(WorkerResult& total, const WorkerResult& part) {
+  total.latency.merge(part.latency);
+  total.publishes += part.publishes;
+  total.request_errors += part.request_errors;
+  total.client_failures += part.client_failures;
+  total.client_connects += part.client_connects;
+}
+
+/// Publishes sites [begin, end) for `rounds` rounds over one connection.
+WorkerResult run_publisher(std::uint16_t port, std::size_t begin,
+                           std::size_t end, std::size_t rounds) {
+  WorkerResult result;
+  net::RemoteStore::Config config;
+  config.port = port;
+  net::RemoteStore store(config);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t site = begin; site < end; ++site) {
+      std::string payload = "slice r" + std::to_string(round);
+      auto t0 = Clock::now();
+      try {
+        store.put_slice(static_cast<dist::SiteId>(site + 1),
+                        std::move(payload));
+      } catch (const dist::StoreUnavailableError&) {
+        ++result.request_errors;
+        continue;
+      }
+      auto t1 = Clock::now();
+      result.latency.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+              .count()));
+      ++result.publishes;
+    }
+  }
+  result.client_failures = store.stats().failures;
+  result.client_connects = store.stats().connects;
+  return result;
+}
+
+/// Splits `sites` into `parts` contiguous ranges; range i is
+/// [bounds[i], bounds[i+1]).
+std::vector<std::size_t> range_bounds(std::size_t sites, std::size_t parts) {
+  std::vector<std::size_t> bounds(parts + 1, 0);
+  for (std::size_t i = 0; i <= parts; ++i) bounds[i] = sites * i / parts;
+  return bounds;
+}
+
+WorkerResult run_threads(std::uint16_t port, std::size_t sites,
+                         std::size_t workers, std::size_t rounds) {
+  std::vector<std::size_t> bounds = range_bounds(sites, workers);
+  std::vector<WorkerResult> results(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      results[w] = run_publisher(port, bounds[w], bounds[w + 1], rounds);
+    });
+  }
+  for (auto& t : threads) t.join();
+  WorkerResult total;
+  for (const WorkerResult& r : results) merge_into(total, r);
+  return total;
+}
+
+WorkerResult run_processes(std::uint16_t port, std::size_t sites,
+                           std::size_t processes, std::size_t rounds) {
+  std::vector<std::size_t> bounds = range_bounds(sites, processes);
+  std::vector<pid_t> pids;
+  std::vector<int> pipes;
+  for (std::size_t p = 0; p < processes; ++p) {
+    int fds[2];
+    if (pipe(fds) != 0) {
+      std::perror("pipe");
+      std::exit(1);
+    }
+    pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      std::exit(1);
+    }
+    if (pid == 0) {
+      close(fds[0]);
+      WorkerResult result =
+          run_publisher(port, bounds[p], bounds[p + 1], rounds);
+      ssize_t n = write(fds[1], &result, sizeof(result));
+      _exit(n == static_cast<ssize_t>(sizeof(result)) ? 0 : 1);
+    }
+    close(fds[1]);
+    pids.push_back(pid);
+    pipes.push_back(fds[0]);
+  }
+  WorkerResult total;
+  bool broken = false;
+  for (std::size_t p = 0; p < processes; ++p) {
+    WorkerResult part;
+    std::size_t got = 0;
+    while (got < sizeof(part)) {
+      ssize_t n = read(pipes[p], reinterpret_cast<char*>(&part) + got,
+                       sizeof(part) - got);
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+    close(pipes[p]);
+    int status = 0;
+    waitpid(pids[p], &status, 0);
+    if (got != sizeof(part) || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      broken = true;
+      continue;
+    }
+    merge_into(total, part);
+  }
+  if (broken) ++total.request_errors;  // a lost child is a failed run
+  return total;
+}
+
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+/// Same tiny assembler as the sibling benches: numbers, strings, one
+/// level of nesting — no JSON dependency.
+class JsonObject {
+ public:
+  void add(const std::string& key, std::uint64_t value) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(value));
+  }
+  void add(const std::string& key, double value) {
+    fields_.push_back("\"" + key + "\": " + json_num(value));
+  }
+  void add(const std::string& key, const std::string& value) {
+    fields_.push_back("\"" + key + "\": \"" + value + "\"");
+  }
+  void add_raw(const std::string& key, const std::string& raw) {
+    fields_.push_back("\"" + key + "\": " + raw);
+  }
+  [[nodiscard]] std::string str(int indent) const {
+    std::string pad(indent, ' ');
+    std::string inner_pad(indent + 2, ' ');
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += inner_pad + fields_[i];
+      if (i + 1 < fields_.size()) out += ",";
+      out += "\n";
+    }
+    return out + pad + "}";
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+std::size_t auto_rounds(std::size_t sites) {
+  if (sites <= 200) return 50;
+  if (sites <= 2000) return 20;
+  return 5;
+}
+
+JsonObject run_fleet(std::size_t sites, const FleetOptions& options) {
+  std::size_t rounds = options.rounds ? options.rounds : auto_rounds(sites);
+  std::size_t workers =
+      options.processes
+          ? options.processes
+          : (options.workers ? options.workers : std::min<std::size_t>(sites, 16));
+  std::size_t idle = options.idle == SIZE_MAX
+                         ? std::min<std::size_t>(sites, 256)
+                         : options.idle;
+
+  net::KvServer server;  // default config: ephemeral port, O(cores) loops
+  server.start();
+
+  // The parked fleet: connections that never send a byte but sit in the
+  // poll set for the whole churn.
+  std::vector<int> idle_fds;
+  idle_fds.reserve(idle);
+  for (std::size_t i = 0; i < idle; ++i) {
+    int fd = net::io::connect_to("127.0.0.1", server.port(), 1000);
+    if (fd >= 0) idle_fds.push_back(fd);
+  }
+
+  auto t0 = Clock::now();
+  WorkerResult total =
+      options.processes
+          ? run_processes(server.port(), sites, workers, rounds)
+          : run_threads(server.port(), sites, workers, rounds);
+  auto t1 = Clock::now();
+  double elapsed_s =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+              .count()) /
+      1e6;
+
+  for (int fd : idle_fds) net::io::close_fd(fd);
+  net::KvServer::Stats server_stats = server.stats();
+  std::vector<std::uint64_t> contention = server.backing()->shard_contention();
+  std::uint64_t live_slices = server.backing()->slice_count();
+  server.stop();
+
+  std::uint64_t contention_total = 0;
+  std::string contention_json = "[";
+  for (std::size_t i = 0; i < contention.size(); ++i) {
+    contention_total += contention[i];
+    if (i) contention_json += ", ";
+    contention_json += std::to_string(contention[i]);
+  }
+  contention_json += "]";
+
+  JsonObject latency;
+  latency.add("count", total.latency.count());
+  latency.add("min_us", total.latency.min());
+  latency.add("p50_us", total.latency.percentile(50));
+  latency.add("p99_us", total.latency.percentile(99));
+  latency.add("max_us", total.latency.max());
+
+  JsonObject counters;
+  counters.add("server_requests", server_stats.requests);
+  counters.add("server_errors", server_stats.errors);
+  counters.add("server_connections", server_stats.connections);
+  counters.add("server_dropped_backpressure", server_stats.dropped_backpressure);
+  counters.add("server_dropped_idle", server_stats.dropped_idle);
+  counters.add("server_dropped_protocol", server_stats.dropped_protocol);
+  counters.add("client_failures", total.client_failures);
+  counters.add("client_connects", total.client_connects);
+  counters.add("live_slices", live_slices);
+  counters.add("shard_contention_total", contention_total);
+
+  JsonObject out;
+  out.add("name", "fleet_" + std::to_string(sites));
+  out.add("sites", static_cast<std::uint64_t>(sites));
+  out.add("rounds", static_cast<std::uint64_t>(rounds));
+  out.add("workers", static_cast<std::uint64_t>(workers));
+  out.add("mode", std::string(options.processes ? "processes" : "threads"));
+  out.add("idle_connections", static_cast<std::uint64_t>(idle_fds.size()));
+  out.add("publishes", total.publishes);
+  out.add("request_errors", total.request_errors);
+  out.add("requests_per_sec",
+          elapsed_s > 0 ? static_cast<double>(total.publishes) / elapsed_s
+                        : 0.0);
+  out.add_raw("latency_us", latency.str(4));
+  out.add_raw("counters", counters.str(4));
+  out.add_raw("shard_contention", contention_json);
+  std::fprintf(stderr,
+               "fleet_%zu: %llu publishes in %.2fs (%s, %zu workers, %zu "
+               "idle conns), p50 %lluus p99 %lluus, %llu errors\n",
+               sites, static_cast<unsigned long long>(total.publishes),
+               elapsed_s, options.processes ? "processes" : "threads", workers,
+               idle_fds.size(),
+               static_cast<unsigned long long>(total.latency.percentile(50)),
+               static_cast<unsigned long long>(total.latency.percentile(99)),
+               static_cast<unsigned long long>(total.request_errors));
+  return out;
+}
+
+std::vector<std::size_t> parse_sites(const std::string& spec) {
+  std::vector<std::size_t> sites;
+  std::stringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    std::size_t value = std::stoul(item);
+    if (value == 0) throw std::invalid_argument("--sites needs positive ints");
+    sites.push_back(value);
+  }
+  if (sites.empty()) throw std::invalid_argument("--sites needs a list");
+  return sites;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Flags take values, so json_out_path's positional fallback would
+  // misread "--sites 200"; --json-out is parsed here instead.
+  std::string path = "BENCH_kv_fleet.json";
+  FleetOptions options;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--sites" && i + 1 < argc) {
+        options.sites = parse_sites(argv[++i]);
+      } else if (arg == "--rounds" && i + 1 < argc) {
+        options.rounds = std::stoul(argv[++i]);
+      } else if (arg == "--workers" && i + 1 < argc) {
+        options.workers = std::stoul(argv[++i]);
+      } else if (arg == "--processes" && i + 1 < argc) {
+        options.processes = std::stoul(argv[++i]);
+      } else if (arg == "--idle" && i + 1 < argc) {
+        options.idle = std::stoul(argv[++i]);
+      } else if (arg == "--json-out" && i + 1 < argc) {
+        path = argv[++i];
+      } else if (arg.rfind("--json-out=", 0) == 0) {
+        path = arg.substr(std::strlen("--json-out="));
+      } else {
+        std::fprintf(stderr,
+                     "usage: micro_kv_fleet [--sites N[,N...]] [--rounds R]\n"
+                     "                      [--workers W] [--processes P]\n"
+                     "                      [--idle I] [--json-out PATH]\n");
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "micro_kv_fleet: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<JsonObject> workloads;
+  for (std::size_t sites : options.sites) {
+    workloads.push_back(run_fleet(sites, options));
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"armus.bench.kv_fleet.v1\",\n"
+       << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    json << "    " << workloads[i].str(4);
+    if (i + 1 < workloads.size()) json << ",";
+    json << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << json.str();
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}

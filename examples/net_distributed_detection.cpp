@@ -53,7 +53,11 @@ int run_server() {
   sigaddset(&signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
 
-  net::KvServer server;  // ephemeral loopback port
+  net::KvServer::Config config;  // ephemeral loopback port
+  if (auto token = util::env_str("ARMUS_AUTH_TOKEN")) {
+    config.auth_token = *token;  // WIRE_PROTOCOL §12: gate mutating ops
+  }
+  net::KvServer server(config);
   server.start();
   std::printf("PORT %u\n", server.port());
   std::fflush(stdout);

@@ -61,27 +61,55 @@ Store::Store(Config config)
   if (!config_.clock) {
     config_.clock = [] { return std::chrono::steady_clock::now(); };
   }
+  std::size_t count = config_.shards == 0 ? 1 : config_.shards;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
-void Store::check_available_locked() const {
-  if (!available_) throw StoreUnavailableError();
+void Store::check_available() const {
+  if (!available_.load(std::memory_order_relaxed)) {
+    throw StoreUnavailableError();
+  }
 }
 
-void Store::touch_locked(SiteId site) {
-  changed_at_[site] = ++version_;
-  changed_time_[site] = config_.clock();
-  ++writes_;
+Store::Shard& Store::shard_for(SiteId site) const {
+  return *shards_[site % shards_.size()];
+}
+
+std::unique_lock<std::mutex> Store::lock_shard(const Shard& shard) const {
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.contention.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
+void Store::touch_locked(Shard& shard, SiteId site) {
+  // The store-wide counter is bumped *while holding the shard's mutex*.
+  // That ordering is what makes snapshot_since lossless: a reader first
+  // loads the counter (V0), then visits every shard under its lock. Any
+  // write the reader's visit missed must have taken the shard lock after
+  // the reader released it — which happens-after the reader's V0 load, so
+  // by read-write coherence on the atomic its changed_at is > V0 and the
+  // reader's next snapshot_since(V0) fetches it.
+  shard.changed_at[site] = version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  shard.changed_time[site] = config_.clock();
+  writes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t Store::put_slice(SiteId site, std::string payload) {
   simulate_hop(config_.latency);
-  std::lock_guard<std::mutex> lock(mutex_);
-  check_available_locked();
-  dist::Slice& slice = slices_[site];
+  Shard& shard = shard_for(site);
+  auto lock = lock_shard(shard);
+  check_available();
+  dist::Slice& slice = shard.slices[site];
   slice.site = site;
   slice.payload = std::move(payload);
   ++slice.version;
-  touch_locked(site);
+  touch_locked(shard, site);
   return slice.version;
 }
 
@@ -89,35 +117,38 @@ std::pair<bool, std::uint64_t> Store::put_slice_if_newer(SiteId site,
                                                          std::string payload,
                                                          std::uint64_t version) {
   simulate_hop(config_.latency);
-  std::lock_guard<std::mutex> lock(mutex_);
-  check_available_locked();
-  auto it = slices_.find(site);
-  if (it != slices_.end() && version <= it->second.version) {
+  Shard& shard = shard_for(site);
+  auto lock = lock_shard(shard);
+  check_available();
+  auto it = shard.slices.find(site);
+  if (it != shard.slices.end() && version <= it->second.version) {
     return {false, it->second.version};
   }
-  dist::Slice& slice = slices_[site];
+  dist::Slice& slice = shard.slices[site];
   slice.site = site;
   slice.payload = std::move(payload);
   slice.version = version;
-  touch_locked(site);
+  touch_locked(shard, site);
   return {true, version};
 }
 
 std::uint64_t Store::put_slice_delta(SiteId site, std::uint64_t base_version,
                                      const std::string& delta) {
   simulate_hop(config_.latency);
-  std::lock_guard<std::mutex> lock(mutex_);
-  check_available_locked();
-  auto it = slices_.find(site);
-  if (it == slices_.end() || it->second.version != base_version) {
-    throw SliceBaseMismatchError(it == slices_.end() ? 0
-                                                     : it->second.version);
+  Shard& shard = shard_for(site);
+  auto lock = lock_shard(shard);
+  check_available();
+  auto it = shard.slices.find(site);
+  if (it == shard.slices.end() || it->second.version != base_version) {
+    throw SliceBaseMismatchError(it == shard.slices.end()
+                                     ? 0
+                                     : it->second.version);
   }
   std::vector<BlockedStatus> statuses = decode_statuses(it->second.payload);
   it->second.payload = encode_statuses(apply_delta(std::move(statuses),
                                                    decode_delta(delta)));
   ++it->second.version;
-  touch_locked(site);
+  touch_locked(shard, site);
   return it->second.version;
 }
 
@@ -125,132 +156,167 @@ std::pair<bool, std::uint64_t> Store::put_slice_delta_if_newer(
     SiteId site, std::uint64_t base_version, std::uint64_t proposed,
     const std::string& delta) {
   simulate_hop(config_.latency);
-  std::lock_guard<std::mutex> lock(mutex_);
-  check_available_locked();
-  auto it = slices_.find(site);
-  if (it == slices_.end() || it->second.version != base_version) {
-    throw SliceBaseMismatchError(it == slices_.end() ? 0
-                                                     : it->second.version);
+  Shard& shard = shard_for(site);
+  auto lock = lock_shard(shard);
+  check_available();
+  auto it = shard.slices.find(site);
+  if (it == shard.slices.end() || it->second.version != base_version) {
+    throw SliceBaseMismatchError(it == shard.slices.end()
+                                     ? 0
+                                     : it->second.version);
   }
   if (proposed <= it->second.version) return {false, it->second.version};
   std::vector<BlockedStatus> statuses = decode_statuses(it->second.payload);
   it->second.payload = encode_statuses(apply_delta(std::move(statuses),
                                                    decode_delta(delta)));
   it->second.version = proposed;
-  touch_locked(site);
+  touch_locked(shard, site);
   return {true, proposed};
 }
 
 void Store::remove_slice(SiteId site) {
   simulate_hop(config_.latency);
-  std::lock_guard<std::mutex> lock(mutex_);
-  check_available_locked();
-  if (slices_.erase(site) > 0) {
-    changed_at_.erase(site);
-    changed_time_.erase(site);
+  Shard& shard = shard_for(site);
+  auto lock = lock_shard(shard);
+  check_available();
+  if (shard.slices.erase(site) > 0) {
+    shard.changed_at.erase(site);
+    shard.changed_time.erase(site);
   }
   // A removal changes the global view even when the site had no slice —
   // keeping the counter monotone per accepted write is simpler and only
   // costs readers a no-op refresh.
-  ++version_;
-  ++writes_;
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  writes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::optional<dist::Slice> Store::get_slice(SiteId site) const {
   simulate_hop(config_.latency);
-  std::lock_guard<std::mutex> lock(mutex_);
-  check_available_locked();
-  ++reads_;
-  auto it = slices_.find(site);
-  if (it == slices_.end()) return std::nullopt;
+  Shard& shard = shard_for(site);
+  auto lock = lock_shard(shard);
+  check_available();
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  auto it = shard.slices.find(site);
+  if (it == shard.slices.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<dist::Slice> Store::snapshot() const {
   simulate_hop(config_.latency);
-  std::lock_guard<std::mutex> lock(mutex_);
-  check_available_locked();
+  check_available();
   std::vector<dist::Slice> out;
-  out.reserve(slices_.size());
-  for (const auto& [site, slice] : slices_) out.push_back(slice);
-  ++reads_;
+  for (const auto& shard : shards_) {
+    auto lock = lock_shard(*shard);
+    for (const auto& [site, slice] : shard->slices) out.push_back(slice);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const dist::Slice& a, const dist::Slice& b) {
+              return a.site < b.site;
+            });
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return out;
 }
 
 DeltaSnapshot Store::snapshot_since(std::uint64_t since) const {
   simulate_hop(config_.latency);
-  std::lock_guard<std::mutex> lock(mutex_);
-  check_available_locked();
+  check_available();
   DeltaSnapshot delta;
-  delta.version = version_;
+  // Loaded *before* visiting any shard; see touch_locked for why a write
+  // concurrent with the scan is either included here or has changed_at >
+  // this value (so the reader's next call fetches it) — never both missed.
+  delta.version = version_.load(std::memory_order_acquire);
   delta.generation = generation_;
-  delta.live_sites.reserve(slices_.size());
-  for (const auto& [site, slice] : slices_) {
-    delta.live_sites.push_back(site);
-    if (changed_at_.at(site) > since) delta.changed.push_back(slice);
+  for (const auto& shard : shards_) {
+    auto lock = lock_shard(*shard);
+    for (const auto& [site, slice] : shard->slices) {
+      delta.live_sites.push_back(site);
+      if (shard->changed_at.at(site) > since) delta.changed.push_back(slice);
+    }
   }
-  ++reads_;
+  std::sort(delta.live_sites.begin(), delta.live_sites.end());
+  std::sort(delta.changed.begin(), delta.changed.end(),
+            [](const dist::Slice& a, const dist::Slice& b) {
+              return a.site < b.site;
+            });
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return delta;
 }
 
 std::uint64_t Store::version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return version_;
+  return version_.load(std::memory_order_acquire);
 }
 
 std::vector<SliceInspect> Store::inspect() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  check_available_locked();
+  check_available();
   auto now = config_.clock();
   std::vector<SliceInspect> rows;
-  rows.reserve(slices_.size());
-  for (const auto& [site, slice] : slices_) {
-    SliceInspect row;
-    row.site = site;
-    row.version = slice.version;
-    row.payload_bytes = slice.payload.size();
-    try {
-      row.blocked = decode_statuses(slice.payload).size();
-    } catch (const CodecError&) {
-      // Introspection reports what it can; the checker's corrupt-slice
-      // path owns the loud handling.
-      row.blocked = 0;
+  for (const auto& shard : shards_) {
+    auto lock = lock_shard(*shard);
+    for (const auto& [site, slice] : shard->slices) {
+      SliceInspect row;
+      row.site = site;
+      row.version = slice.version;
+      row.payload_bytes = slice.payload.size();
+      try {
+        row.blocked = decode_statuses(slice.payload).size();
+      } catch (const CodecError&) {
+        // Introspection reports what it can; the checker's corrupt-slice
+        // path owns the loud handling.
+        row.blocked = 0;
+      }
+      auto changed = shard->changed_time.find(site);
+      if (changed != shard->changed_time.end() && now > changed->second) {
+        row.age_ms = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - changed->second)
+                .count());
+      }
+      rows.push_back(row);
     }
-    auto changed = changed_time_.find(site);
-    if (changed != changed_time_.end() && now > changed->second) {
-      row.age_ms = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              now - changed->second)
-              .count());
-    }
-    rows.push_back(row);
   }
+  std::sort(rows.begin(), rows.end(),
+            [](const SliceInspect& a, const SliceInspect& b) {
+              return a.site < b.site;
+            });
   return rows;
 }
 
-std::uint64_t Store::generation() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return generation_;
-}
+std::uint64_t Store::generation() const { return generation_; }
 
 void Store::set_available(bool available) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  available_ = available;
+  available_.store(available, std::memory_order_relaxed);
 }
 
 bool Store::available() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return available_;
+  return available_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t Store::writes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return writes_;
+  return writes_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t Store::reads() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return reads_;
+  return reads_.load(std::memory_order_relaxed);
+}
+
+std::size_t Store::slice_count() const {
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    auto lock = lock_shard(*shard);
+    count += shard->slices.size();
+  }
+  return count;
+}
+
+std::size_t Store::shard_count() const { return shards_.size(); }
+
+std::vector<std::uint64_t> Store::shard_contention() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.push_back(shard->contention.load(std::memory_order_relaxed));
+  }
+  return out;
 }
 
 std::vector<BlockedStatus> merge_slices(

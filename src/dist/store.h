@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -156,6 +157,13 @@ class Store final : public SliceStore {
     /// Default: std::chrono::steady_clock::now. Tests pinning INSPECT
     /// wire bytes inject a controllable one.
     std::function<std::chrono::steady_clock::time_point()> clock;
+
+    /// Slice-map shards. Writes to different shards (site id modulo the
+    /// count) contend only on their shard's mutex, so thousands of sites
+    /// can publish concurrently; 0 is clamped to 1. Purely a concurrency
+    /// knob — every observable ordering and version sequence is
+    /// shard-count independent.
+    std::size_t shards = 16;
   };
 
   /// Back-compat spelling: the slice type predates the SliceStore split.
@@ -235,28 +243,52 @@ class Store final : public SliceStore {
   [[nodiscard]] std::uint64_t writes() const;
   [[nodiscard]] std::uint64_t reads() const;
 
+  /// Live slice count (cheap: no payloads touched).
+  [[nodiscard]] std::size_t slice_count() const;
+
+  /// The shard layout, for observability: shard_contention()[i] counts the
+  /// times a writer or reader found shard i's mutex held and had to wait.
+  /// Zero under a well-spread load — the sharding working as intended.
+  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] std::vector<std::uint64_t> shard_contention() const;
+
  private:
-  void check_available_locked() const;
+  /// One shard of the slice map: site id modulo the shard count picks the
+  /// shard, and everything keyed by site lives under its mutex. The
+  /// store-wide change counter stays a single atomic — bumped *inside* the
+  /// owning shard's critical section, which is what keeps snapshot_since
+  /// sound (see the comment there).
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<SiteId, dist::Slice> slices;
+    /// Store version at which each live slice last changed.
+    std::map<SiteId, std::uint64_t> changed_at;
+    /// Clock reading at each live slice's last accepted change (inspect()
+    /// publish ages).
+    std::map<SiteId, std::chrono::steady_clock::time_point> changed_time;
+    /// Lock acquisitions that found the mutex held (try_lock failed).
+    mutable std::atomic<std::uint64_t> contention{0};
+  };
+
+  void check_available() const;
+  [[nodiscard]] Shard& shard_for(SiteId site) const;
+  /// Locks `shard`, counting contention when the mutex was already held.
+  [[nodiscard]] std::unique_lock<std::mutex> lock_shard(const Shard& shard) const;
   /// Bumps the store-wide version and stamps `site`'s change. Caller holds
-  /// mutex_ and has already mutated the slice.
-  void touch_locked(SiteId site);
+  /// the owning shard's mutex and has already mutated the slice.
+  void touch_locked(Shard& shard, SiteId site);
 
   Config config_;
-  mutable std::mutex mutex_;
-  std::map<SiteId, dist::Slice> slices_;
-  /// Store version at which each live slice last changed.
-  std::map<SiteId, std::uint64_t> changed_at_;
-  /// Clock reading at each live slice's last accepted change (inspect()
-  /// publish ages).
-  std::map<SiteId, std::chrono::steady_clock::time_point> changed_time_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
   /// Store-wide change counter; 1 = the initial empty state (0 is the
   /// DeltaSnapshot "unversioned" sentinel).
-  std::uint64_t version_ = 1;
-  /// Boot generation (non-zero), see DeltaSnapshot::generation.
+  std::atomic<std::uint64_t> version_{1};
+  /// Boot generation (non-zero), see DeltaSnapshot::generation. Constant
+  /// after construction.
   std::uint64_t generation_;
-  bool available_ = true;
-  std::uint64_t writes_ = 0;
-  mutable std::uint64_t reads_ = 0;
+  std::atomic<bool> available_{true};
+  std::atomic<std::uint64_t> writes_{0};
+  mutable std::atomic<std::uint64_t> reads_{0};
 };
 
 /// Decodes every slice and merges the statuses into one snapshot, sorted

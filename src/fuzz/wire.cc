@@ -1,0 +1,284 @@
+#include "fuzz/wire.h"
+
+#include <algorithm>
+
+#include "dist/codec.h"
+#include "net/protocol.h"
+#include "net/socket_io.h"
+#include "util/rng.h"
+
+namespace armus::fuzz {
+
+using dist::append_varint;
+using dist::read_varint;
+using net::frame;
+using net::kDefaultMaxFrame;
+using net::kProtocolVersion;
+using net::MsgType;
+using net::request_header;
+
+namespace {
+
+std::uint64_t pick(util::Xoshiro256& rng, std::uint64_t bound) {
+  return bound == 0 ? 0 : rng() % bound;
+}
+
+/// Well-formed request bodies covering every opcode — the mutation pool.
+std::vector<std::string> seed_bodies() {
+  std::vector<std::string> pool;
+  for (dist::SiteId site : {dist::SiteId{1}, dist::SiteId{2}}) {
+    std::string put = request_header(MsgType::kPutSlice);
+    append_varint(put, site);
+    append_varint(put, 1 + site);
+    net::append_bytes(put, site == 1 ? std::string() : std::string("opaque"));
+    pool.push_back(std::move(put));
+
+    std::string get = request_header(MsgType::kGetSlice);
+    append_varint(get, site);
+    pool.push_back(std::move(get));
+  }
+  pool.push_back(request_header(MsgType::kListSlices));
+  pool.push_back(request_header(MsgType::kHeartbeat));
+  {
+    std::string clear = request_header(MsgType::kClear);
+    append_varint(clear, 3);
+    pool.push_back(std::move(clear));
+  }
+  {
+    std::string delta = request_header(MsgType::kPutSliceDelta);
+    append_varint(delta, 1);
+    append_varint(delta, 2);
+    append_varint(delta, 3);
+    net::append_bytes(delta, "not a delta frame");
+    pool.push_back(std::move(delta));
+  }
+  {
+    std::string since = request_header(MsgType::kListSlicesSince);
+    append_varint(since, 7);
+    pool.push_back(std::move(since));
+  }
+  pool.push_back(request_header(MsgType::kInspect));
+  pool.push_back(request_header(MsgType::kStats));
+  {
+    std::string auth = request_header(MsgType::kAuth);
+    net::append_bytes(auth, "not-the-token");
+    pool.push_back(std::move(auth));
+  }
+  return pool;
+}
+
+std::string bit_flip(util::Xoshiro256& rng, std::string bytes) {
+  if (bytes.empty()) return bytes;
+  std::uint64_t flips = 1 + pick(rng, 8);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    std::size_t at = pick(rng, bytes.size());
+    bytes[at] = static_cast<char>(static_cast<unsigned char>(bytes[at]) ^
+                                  (1u << pick(rng, 8)));
+  }
+  return bytes;
+}
+
+std::string random_bytes(util::Xoshiro256& rng, std::size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>(rng() & 0xff));
+  }
+  return out;
+}
+
+/// A raw little-endian length prefix — for frames whose declared length
+/// deliberately disagrees with the bytes that follow.
+std::string raw_prefix(std::uint32_t length) {
+  std::string out;
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((length >> shift) & 0xff));
+  }
+  return out;
+}
+
+}  // namespace
+
+WireStats fuzz_wire(net::KvServer& server, const WireOptions& options) {
+  WireStats stats;
+  util::Xoshiro256 rng(options.seed);
+  const std::vector<std::string> pool = seed_bodies();
+  const std::uint16_t port = server.port();
+
+  int fd = -1;
+  auto connect_now = [&]() -> bool {
+    fd = net::io::connect_to("127.0.0.1", port, 1000);
+    if (fd < 0) return false;
+    net::io::set_io_timeout(fd, 2000);
+    return true;
+  };
+  auto heartbeat_ok = [&]() -> bool {
+    if (!net::io::write_all(fd, frame(request_header(MsgType::kHeartbeat)))) {
+      return false;
+    }
+    std::optional<std::string> response =
+        net::io::read_frame(fd, kDefaultMaxFrame);
+    if (!response) return false;
+    try {
+      std::size_t offset = 0;
+      if (read_varint(*response, &offset) != 0) return false;  // OK
+      if (read_varint(*response, &offset) != kProtocolVersion) return false;
+      net::expect_end(*response, offset);
+    } catch (const dist::CodecError&) {
+      return false;
+    }
+    return true;
+  };
+  /// The liveness invariant after a dropped connection: a *fresh*
+  /// connection must heartbeat. False = the server is gone (violation
+  /// recorded, fuzzing stops).
+  auto reconnect_live = [&](const std::string& mutant) -> bool {
+    net::io::close_fd(fd);
+    fd = -1;
+    if (connect_now() && heartbeat_ok()) return true;
+    stats.violations.push_back(
+        Violation{"armus-kv stopped answering fresh connections after mutant",
+                  mutant});
+    return false;
+  };
+
+  if (!connect_now() || !heartbeat_ok()) {
+    stats.violations.push_back(
+        Violation{"armus-kv unreachable before fuzzing", ""});
+    net::io::close_fd(fd);
+    return stats;
+  }
+
+  for (std::uint64_t run = 0; run < options.runs; ++run) {
+    ++stats.mutants;
+    std::string sent;
+    std::size_t expected = 0;  ///< response frames owed (0 = torn stream)
+    switch (pick(rng, 9)) {
+      case 0:  // a well-formed request, as-is
+        sent = frame(pool[pick(rng, pool.size())]);
+        expected = 1;
+        break;
+      case 1:  // bit-flipped body, correctly framed
+        sent = frame(bit_flip(rng, pool[pick(rng, pool.size())]));
+        expected = 1;
+        break;
+      case 2: {  // mid-frame disconnect: declare more than we send
+        const std::string& body = pool[pick(rng, pool.size())];
+        sent = raw_prefix(static_cast<std::uint32_t>(body.size() + 1 +
+                                                     pick(rng, 64)));
+        sent += body.substr(0, pick(rng, body.size() + 1));
+        break;
+      }
+      case 3:  // oversized declared length: must drop without allocating
+        sent = raw_prefix(static_cast<std::uint32_t>(
+            kDefaultMaxFrame + 1 + pick(rng, 1 << 20)));
+        sent += random_bytes(rng, pick(rng, 16));
+        break;
+      case 4:  // framed random garbage (oversized varints live here)
+        sent = frame(random_bytes(rng, pick(rng, 64)));
+        expected = 1;
+        break;
+      case 5: {  // splice: prefix of one body + suffix of another
+        const std::string& a = pool[pick(rng, pool.size())];
+        const std::string& b = pool[pick(rng, pool.size())];
+        std::string body = a.substr(0, pick(rng, a.size() + 1));
+        body += b.substr(pick(rng, b.size() + 1));
+        sent = frame(body);
+        expected = 1;
+        break;
+      }
+      case 6: {  // unknown opcode with a garbage payload
+        std::string body;
+        append_varint(body, kProtocolVersion);
+        append_varint(body, 11 + pick(rng, 1 << 20));
+        body += random_bytes(rng, pick(rng, 32));
+        sent = frame(body);
+        expected = 1;
+        break;
+      }
+      case 7: {  // valid body + trailing garbage (strict decode must 400)
+        std::string body = pool[pick(rng, pool.size())];
+        body += random_bytes(rng, 1 + pick(rng, 16));
+        sent = frame(body);
+        expected = 1;
+        break;
+      }
+      default: {  // pipelined burst: several frames in one write
+        expected = 2 + pick(rng, 4);
+        for (std::size_t i = 0; i < expected; ++i) {
+          const std::string& body = pool[pick(rng, pool.size())];
+          sent += frame(pick(rng, 2) == 0 ? bit_flip(rng, body) : body);
+        }
+        break;
+      }
+    }
+
+    if (expected == 0) {
+      // A torn or oversized frame: the stream is unusable either way
+      // (the server drops us, or waits for bytes that never come — and we
+      // hang up). The invariant is that a fresh connection still works.
+      net::io::write_all(fd, sent);
+      ++stats.drops;
+      if (!reconnect_live(sent)) break;
+      continue;
+    }
+
+    if (!net::io::write_all(fd, sent)) {
+      ++stats.drops;
+      if (!reconnect_live(sent)) break;
+      continue;
+    }
+    bool dropped = false;
+    for (std::size_t i = 0; i < expected; ++i) {
+      std::optional<std::string> response =
+          net::io::read_frame(fd, kDefaultMaxFrame);
+      if (!response) {
+        dropped = true;
+        break;
+      }
+      ++stats.responses;
+      try {
+        std::size_t offset = 0;
+        if (read_varint(*response, &offset) != 0) ++stats.error_responses;
+      } catch (const dist::CodecError&) {
+        stats.violations.push_back(
+            Violation{"response frame without a parseable status", sent});
+      }
+    }
+    if (dropped || !heartbeat_ok()) {
+      ++stats.drops;
+      if (!reconnect_live(sent)) break;
+    }
+  }
+
+  // The storm must not have corrupted the protocol state: a full
+  // LIST_SLICES still parses end to end.
+  if (fd >= 0 &&
+      net::io::write_all(fd, frame(request_header(MsgType::kListSlices)))) {
+    std::optional<std::string> response =
+        net::io::read_frame(fd, kDefaultMaxFrame);
+    bool parsed = false;
+    if (response) {
+      try {
+        std::size_t offset = 0;
+        if (read_varint(*response, &offset) == 0) {
+          std::uint64_t count = read_varint(*response, &offset);
+          for (std::uint64_t i = 0; i < count; ++i) {
+            (void)net::read_slice(*response, &offset);
+          }
+          net::expect_end(*response, offset);
+          parsed = true;
+        }
+      } catch (const dist::CodecError&) {
+      }
+    }
+    if (!parsed) {
+      stats.violations.push_back(
+          Violation{"LIST_SLICES no longer parses after fuzzing", ""});
+    }
+  }
+  net::io::close_fd(fd);
+  return stats;
+}
+
+}  // namespace armus::fuzz

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.h"
+#include "net/kv_server.h"
+
+/// Wire-protocol fuzzing for armus-kv (the network sibling of the trace
+/// fuzzer in harness.h): deterministic mutated request frames thrown at a
+/// *live* KvServer over real TCP, asserting the server-side framing
+/// contract from docs/WIRE_PROTOCOL.md —
+///
+///   every byte string a client sends is answered with a well-formed
+///   response frame (an error status for an unparseable body) or ends the
+///   connection; the server never crashes, never stops answering fresh
+///   connections, and a LIST_SLICES after the storm still parses.
+///
+/// Mutants cover truncated frames, oversized length prefixes, oversized
+/// varints, unknown opcodes, trailing garbage, spliced bodies, pipelined
+/// bursts, and mid-frame disconnects. Every mutant is a pure function of
+/// the seed, so a CI failure reproduces locally from the seed alone.
+///
+/// tools/armus_fuzz.cc drives this via --wire (fixed-seed CI smoke);
+/// tests/net_test.cc pins a deterministic small run.
+namespace armus::fuzz {
+
+struct WireOptions {
+  std::uint64_t seed = 1;    ///< mutation RNG seed — the whole repro
+  std::uint64_t runs = 500;  ///< mutants to send
+};
+
+struct WireStats {
+  std::uint64_t mutants = 0;          ///< mutants sent
+  std::uint64_t responses = 0;        ///< response frames received
+  std::uint64_t error_responses = 0;  ///< of which carried a non-OK status
+  std::uint64_t drops = 0;  ///< exchanges that ended the connection
+  std::vector<Violation> violations;  ///< mutant bytes are the repro
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Runs `options.runs` mutants against `server`, which must already be
+/// start()ed; connects to 127.0.0.1:server.port(). The server's slices
+/// may legitimately change (a mutant can be a valid PUT_SLICE) — the
+/// contract is protocol integrity and liveness, not store immutability.
+WireStats fuzz_wire(net::KvServer& server, const WireOptions& options);
+
+}  // namespace armus::fuzz

@@ -42,6 +42,11 @@ std::shared_ptr<RemoteStore> remote_store_from_url(const std::string& url,
   Endpoint endpoint = parse_tcp_endpoint(url);
   base.host = endpoint.host;
   base.port = endpoint.port;
+  if (base.auth_token.empty()) {
+    if (auto token = util::env_str("ARMUS_AUTH_TOKEN")) {
+      base.auth_token = *token;
+    }
+  }
   return std::make_shared<RemoteStore>(std::move(base));
 }
 

@@ -15,6 +15,9 @@
 ///   ARMUS_STORE=tcp://host:port   slices go to an armus-kv server
 ///   ARMUS_STORE unset             in-process store (single address space)
 ///   ARMUS_SITE_ID=N               this process's site id (default 0)
+///   ARMUS_AUTH_TOKEN=secret       AUTH on every (re)connect (servers
+///                                 configured with the same token require
+///                                 it before mutating ops)
 namespace armus::net {
 
 struct Endpoint {

@@ -3,13 +3,20 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 
 #include "net/socket_io.h"
+#include "obs/export.h"
 
 namespace armus::net {
 
@@ -25,7 +32,305 @@ std::string status_only(WireStatus status) {
   return out;
 }
 
+std::size_t default_io_threads() {
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 1;
+  return std::min<std::size_t>(4, cores);
+}
+
 }  // namespace
+
+/// One event-loop thread: an epoll fd over its share of the connections
+/// plus an eventfd for shutdown/adoption wakeups. Loop 0 additionally
+/// owns the listen socket and hands accepted fds round-robin to every
+/// loop. All per-connection state lives here, touched only by this
+/// thread; the only cross-thread entry points are adopt() and
+/// request_stop(), both a mutex-guarded push (or an atomic flag) plus an
+/// eventfd write.
+class KvServer::EventLoop {
+ public:
+  EventLoop(KvServer& server, int listen_fd)
+      : server_(server), listen_fd_(listen_fd) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (epoll_fd_ < 0 || wake_fd_ < 0) {
+      io::close_fd(epoll_fd_);
+      io::close_fd(wake_fd_);
+      throw std::runtime_error("armus-kv: cannot create event loop");
+    }
+    watch(wake_fd_, EPOLLIN);
+    if (listen_fd_ >= 0) watch(listen_fd_, EPOLLIN);
+  }
+
+  ~EventLoop() {
+    for (auto& [fd, conn] : conns_) ::close(fd);
+    io::close_fd(wake_fd_);
+    io::close_fd(epoll_fd_);
+  }
+
+  void start() {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  void request_stop() {
+    stop_.store(true, std::memory_order_release);
+    wake();
+  }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Hands a freshly accepted (non-blocking) fd to this loop. Called from
+  /// loop 0's thread; the fd is registered on this loop's next wakeup.
+  void adopt(int fd) {
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_.push_back(fd);
+    }
+    wake();
+  }
+
+ private:
+  struct Conn {
+    std::string in;          ///< unparsed inbound bytes (partial frames)
+    std::string out;         ///< queued response bytes
+    std::size_t out_off = 0; ///< sent prefix of `out`
+    bool authenticated = false;
+    std::uint32_t events = EPOLLIN;  ///< current epoll interest mask
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  void wake() {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+  void watch(int fd, std::uint32_t events) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = events;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  void run() {
+    std::vector<struct epoll_event> events(128);
+    const bool sweep = server_.config_.idle_timeout.count() > 0;
+    for (;;) {
+      int n = ::epoll_wait(epoll_fd_, events.data(),
+                           static_cast<int>(events.size()), sweep ? 50 : -1);
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // epoll fd gone: shutting down
+      }
+      for (int i = 0; i < n; ++i) {
+        int fd = events[i].data.fd;
+        if (fd == wake_fd_) {
+          drain_wake();
+          adopt_pending();
+        } else if (fd == listen_fd_) {
+          accept_ready();
+        } else {
+          handle_io(fd, events[i].events);
+        }
+      }
+      if (sweep) sweep_idle();
+    }
+  }
+
+  void drain_wake() {
+    std::uint64_t buf;
+    while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void adopt_pending() {
+    std::vector<int> pending;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending.swap(pending_);
+    }
+    auto now = std::chrono::steady_clock::now();
+    for (int fd : pending) {
+      Conn conn;
+      conn.last_activity = now;
+      conns_.emplace(fd, std::move(conn));
+      watch(fd, EPOLLIN);
+    }
+  }
+
+  void accept_ready() {
+    for (;;) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN, or a transient error: retry on the next event
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      server_.connections_.fetch_add(1, std::memory_order_relaxed);
+      std::size_t target = server_.next_loop_.fetch_add(
+                               1, std::memory_order_relaxed) %
+                           server_.loops_.size();
+      server_.loops_[target]->adopt(fd);
+    }
+  }
+
+  void handle_io(int fd, std::uint32_t revents) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    Conn& conn = it->second;
+    if (revents & (EPOLLERR | EPOLLHUP)) {
+      close_conn(fd);
+      return;
+    }
+    if (revents & EPOLLIN) {
+      if (!read_input(fd, conn)) {
+        close_conn(fd);
+        return;
+      }
+    }
+    if (conn.out_off < conn.out.size()) {
+      if (!flush(fd, conn)) close_conn(fd);
+    } else if (conn.events & EPOLLOUT) {
+      set_interest(fd, conn, EPOLLIN);
+    }
+  }
+
+  /// Reads until EAGAIN, then answers every complete frame in order
+  /// (pipelining: many requests may complete in one read burst). Returns
+  /// false when the connection must be dropped.
+  bool read_input(int fd, Conn& conn) {
+    char buf[65536];
+    bool eof = false;
+    bool any = false;
+    for (;;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        any = true;
+        continue;
+      }
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    if (any) conn.last_activity = std::chrono::steady_clock::now();
+
+    std::size_t pos = 0;
+    while (conn.in.size() - pos >= 4) {
+      std::uint32_t length = 0;
+      for (int i = 3; i >= 0; --i) {
+        length = (length << 8) |
+                 static_cast<std::uint8_t>(conn.in[pos + static_cast<std::size_t>(i)]);
+      }
+      if (length > server_.config_.max_frame) {
+        // Oversized declared length: the stream is not trustworthy and
+        // the body is never allocated.
+        server_.dropped_protocol_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (conn.in.size() - pos - 4 < length) break;  // partial frame
+      std::string_view body(conn.in.data() + pos + 4, length);
+      conn.out += frame(server_.handle_request(body, &conn.authenticated));
+      pos += 4 + length;
+      // Don't let a request burst balloon the queue unchecked: once past
+      // the cap, push bytes to the kernel now and drop the connection if
+      // the peer isn't draining (flush counts it).
+      if (conn.out.size() - conn.out_off > server_.config_.max_write_queue &&
+          !flush(fd, conn)) {
+        return false;
+      }
+    }
+    if (pos > 0) conn.in.erase(0, pos);
+    if (eof) {
+      // Peer half-closed after (possibly) pipelined requests: best-effort
+      // flush of the queued responses, then drop.
+      if (conn.out_off < conn.out.size()) flush(fd, conn);
+      return false;
+    }
+    return true;
+  }
+
+  /// Sends queued bytes until EAGAIN. False = drop the connection (send
+  /// error, or the queue still exceeds the backpressure cap).
+  bool flush(int fd, Conn& conn) {
+    while (conn.out_off < conn.out.size()) {
+      ssize_t n = ::send(fd, conn.out.data() + conn.out_off,
+                         conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      return false;
+    }
+    if (conn.out_off == conn.out.size()) {
+      conn.out.clear();
+      conn.out_off = 0;
+      if (conn.events & EPOLLOUT) set_interest(fd, conn, EPOLLIN);
+      return true;
+    }
+    if (conn.out.size() - conn.out_off > server_.config_.max_write_queue) {
+      server_.dropped_backpressure_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (conn.out_off > 0) {
+      conn.out.erase(0, conn.out_off);
+      conn.out_off = 0;
+    }
+    set_interest(fd, conn, EPOLLIN | EPOLLOUT);
+    return true;
+  }
+
+  void set_interest(int fd, Conn& conn, std::uint32_t events) {
+    if (conn.events == events) return;
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0) {
+      conn.events = events;
+    }
+  }
+
+  void close_conn(int fd) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns_.erase(fd);
+  }
+
+  void sweep_idle() {
+    auto now = std::chrono::steady_clock::now();
+    auto limit = server_.config_.idle_timeout;
+    std::vector<int> expired;
+    for (const auto& [fd, conn] : conns_) {
+      if (now - conn.last_activity > limit) expired.push_back(fd);
+    }
+    for (int fd : expired) {
+      server_.dropped_idle_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(fd);
+    }
+  }
+
+  KvServer& server_;
+  int listen_fd_;  ///< owned by KvServer; >= 0 only on loop 0
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::mutex pending_mutex_;
+  std::vector<int> pending_;
+  std::unordered_map<int, Conn> conns_;
+};
 
 KvServer::KvServer() : KvServer(Config{}) {}
 
@@ -55,7 +360,7 @@ void KvServer::start() {
                              config_.bind_address);
   }
   if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 64) != 0) {
+      ::listen(fd, 256) != 0) {
     io::close_fd(fd);
     throw std::runtime_error("armus-kv: cannot bind " + config_.bind_address +
                              ":" + std::to_string(config_.port));
@@ -66,40 +371,41 @@ void KvServer::start() {
     io::close_fd(fd);
     throw std::runtime_error("armus-kv: getsockname() failed");
   }
+  io::set_nonblocking(fd);
   bound_port_ = ntohs(addr.sin_port);
+
+  std::size_t threads = config_.io_threads != 0 ? config_.io_threads
+                                                : default_io_threads();
+  try {
+    loops_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      loops_.push_back(
+          std::make_unique<EventLoop>(*this, i == 0 ? fd : -1));
+    }
+  } catch (...) {
+    loops_.clear();
+    io::close_fd(fd);
+    throw;
+  }
   listen_fd_ = fd;
-  stopping_ = false;
-  acceptor_ = std::thread([this] { accept_loop(); });
+  for (auto& loop : loops_) loop->start();
 }
 
 void KvServer::stop() {
-  std::thread acceptor;
-  std::vector<std::unique_ptr<Connection>> connections;
+  std::vector<std::unique_ptr<EventLoop>> loops;
   int listen_fd = -1;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (listen_fd_ < 0 && !acceptor_.joinable()) return;
-    stopping_ = true;
+    if (listen_fd_ < 0) return;
     listen_fd = listen_fd_;
-    // shutdown() wakes the acceptor out of accept(2); the fd is closed
-    // only *after* the join below, so its number cannot be reused by an
-    // unrelated thread while the acceptor still references it.
-    if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
-    // Same for the connection threads blocked in read.
-    for (auto& conn : connections_) {
-      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-    }
-    acceptor = std::move(acceptor_);
-    connections = std::move(connections_);
+    listen_fd_ = -1;
+    loops = std::move(loops_);
+    loops_.clear();
   }
-  if (acceptor.joinable()) acceptor.join();
-  for (auto& conn : connections) {
-    if (conn->thread.joinable()) conn->thread.join();
-    io::close_fd(conn->fd);
-  }
-  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& loop : loops) loop->request_stop();
+  for (auto& loop : loops) loop->join();
+  loops.clear();  // destructors close the connection fds
   io::close_fd(listen_fd);
-  listen_fd_ = -1;
 }
 
 bool KvServer::running() const {
@@ -113,73 +419,34 @@ std::uint16_t KvServer::port() const {
 }
 
 KvServer::Stats KvServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats stats;
+  stats.connections = connections_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.dropped_backpressure =
+      dropped_backpressure_.load(std::memory_order_relaxed);
+  stats.dropped_idle = dropped_idle_.load(std::memory_order_relaxed);
+  stats.dropped_protocol = dropped_protocol_.load(std::memory_order_relaxed);
+  stats.auth_failures = auth_failures_.load(std::memory_order_relaxed);
+  return stats;
 }
 
-void KvServer::reap_finished_locked() {
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      io::close_fd((*it)->fd);
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void KvServer::accept_loop() {
-  for (;;) {
-    int listen_fd;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) return;
-      listen_fd = listen_fd_;
-    }
-    if (listen_fd < 0) return;
-    int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) return;
-      continue;  // transient accept failure
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) {
-      io::close_fd(fd);
-      return;
-    }
-    reap_finished_locked();
-    ++stats_.connections;
-    auto conn = std::make_unique<Connection>();
-    Connection* raw = conn.get();
-    raw->fd = fd;
-    connections_.push_back(std::move(conn));
-    raw->thread = std::thread([this, raw] {
-      serve_connection(raw->fd);
-      std::lock_guard<std::mutex> inner(mutex_);
-      raw->done = true;
-    });
-  }
-}
-
-void KvServer::serve_connection(int fd) {
-  for (;;) {
-    std::optional<std::string> body = io::read_frame(fd, config_.max_frame);
-    if (!body) return;  // EOF, error, or oversized frame: drop connection
-    std::string response = handle_request(*body);
-    if (!io::write_all(fd, frame(response))) return;
-  }
+std::string KvServer::stats_json() const {
+  obs::Registry registry;
+  obs::export_stats(registry, "kv", stats());
+  registry.counter_set("kv.generation", backing_->generation());
+  registry.counter_set("kv.store_version", backing_->version());
+  registry.counter_set("kv.slices", backing_->slice_count());
+  return registry.snapshot_json();
 }
 
 std::string KvServer::handle_request(std::string_view body) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.requests;
-  }
+  return handle_request(body, nullptr);
+}
+
+std::string KvServer::handle_request(std::string_view body,
+                                     bool* authenticated) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
   WireStatus error = WireStatus::kBadRequest;
   try {
     std::size_t offset = 0;
@@ -188,6 +455,20 @@ std::string KvServer::handle_request(std::string_view body) {
     if (proto != kProtocolVersion) {
       error = WireStatus::kBadVersion;
       throw CodecError("protocol revision " + std::to_string(proto));
+    }
+    // The auth gate: a token-configured server refuses mutating ops until
+    // the connection has authenticated. Trusted embedded callers
+    // (authenticated == nullptr) and read-only ops pass. Checked before
+    // payload parsing so an unauthorised writer learns nothing from
+    // parse-error distinctions.
+    if (!config_.auth_token.empty() && authenticated != nullptr &&
+        !*authenticated &&
+        (static_cast<MsgType>(type) == MsgType::kPutSlice ||
+         static_cast<MsgType>(type) == MsgType::kClear ||
+         static_cast<MsgType>(type) == MsgType::kPutSliceDelta)) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      error = WireStatus::kUnauthorized;
+      throw CodecError("unauthenticated mutating request");
     }
     switch (static_cast<MsgType>(type)) {
       case MsgType::kPutSlice: {
@@ -201,8 +482,7 @@ std::string KvServer::handle_request(std::string_view body) {
         if (!accepted) {
           append_varint(out, static_cast<std::uint64_t>(WireStatus::kStaleVersion));
           append_varint(out, current);
-          std::lock_guard<std::mutex> lock(mutex_);
-          ++stats_.errors;
+          errors_.fetch_add(1, std::memory_order_relaxed);
           return out;
         }
         append_varint(out, static_cast<std::uint64_t>(WireStatus::kOk));
@@ -255,10 +535,7 @@ std::string KvServer::handle_request(std::string_view body) {
                                  accepted ? WireStatus::kOk
                                           : WireStatus::kStaleVersion));
           append_varint(out, current);
-          if (!accepted) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.errors;
-          }
+          if (!accepted) errors_.fetch_add(1, std::memory_order_relaxed);
           return out;
         } catch (const dist::SliceBaseMismatchError& e) {
           // The stored slice is not at the delta's base: the writer must
@@ -266,8 +543,7 @@ std::string KvServer::handle_request(std::string_view body) {
           append_varint(out,
                         static_cast<std::uint64_t>(WireStatus::kBaseMismatch));
           append_varint(out, e.current_version());
-          std::lock_guard<std::mutex> lock(mutex_);
-          ++stats_.errors;
+          errors_.fetch_add(1, std::memory_order_relaxed);
           return out;
         }
       }
@@ -277,12 +553,9 @@ std::string KvServer::handle_request(std::string_view body) {
         info.sites = backing_->inspect();
         info.generation = backing_->generation();
         info.store_version = backing_->version();
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          info.connections = stats_.connections;
-          info.requests = stats_.requests;  // includes this INSPECT
-          info.errors = stats_.errors;
-        }
+        info.connections = connections_.load(std::memory_order_relaxed);
+        info.requests = requests_.load(std::memory_order_relaxed);
+        info.errors = errors_.load(std::memory_order_relaxed);
         std::string out = status_only(WireStatus::kOk);
         append_inspect(out, info);
         return out;
@@ -300,6 +573,25 @@ std::string KvServer::handle_request(std::string_view body) {
         for (dist::SiteId site : delta.live_sites) append_varint(out, site);
         return out;
       }
+      case MsgType::kStats: {
+        expect_end(body, offset);
+        std::string out = status_only(WireStatus::kOk);
+        append_bytes(out, stats_json());
+        return out;
+      }
+      case MsgType::kAuth: {
+        std::string_view token = read_bytes(body, &offset);
+        expect_end(body, offset);
+        if (config_.auth_token.empty() || token == config_.auth_token) {
+          // A tokenless server accepts any AUTH as a no-op, so a client
+          // configured with a token still interoperates with it.
+          if (authenticated != nullptr) *authenticated = true;
+          return status_only(WireStatus::kOk);
+        }
+        auth_failures_.fetch_add(1, std::memory_order_relaxed);
+        error = WireStatus::kUnauthorized;
+        throw CodecError("bad auth token");
+      }
       default:
         error = WireStatus::kUnknownType;
         throw CodecError("message type " + std::to_string(type));
@@ -309,8 +601,7 @@ std::string KvServer::handle_request(std::string_view body) {
   } catch (const CodecError&) {
     // `error` already names the failure class.
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.errors;
+  errors_.fetch_add(1, std::memory_order_relaxed);
   return status_only(error);
 }
 

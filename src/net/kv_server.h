@@ -1,32 +1,38 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "dist/store.h"
 #include "net/protocol.h"
 
-/// armus-kv: the networked slice store. A deliberately tiny TCP server —
-/// a protocol shim over the in-process dist::Store — that lets sites in
-/// *separate OS processes* publish their blocked-status slices and read
-/// the global snapshot (the role Redis plays in the paper's §5.2 setup).
+/// armus-kv: the networked slice store. A protocol shim over the
+/// in-process dist::Store that lets sites in *separate OS processes*
+/// publish their blocked-status slices and read the global snapshot (the
+/// role Redis plays in the paper's §5.2 setup).
 ///
-/// Concurrency model: one accept thread plus one thread per connection.
-/// Slice traffic is a few small frames per site per period (200 ms in the
-/// paper), so connection counts stay in the tens; the shared dist::Store
-/// provides the single point of synchronisation.
+/// Concurrency model: a small pool of non-blocking epoll event loops
+/// (Config::io_threads, O(cores)) serves every connection; connections
+/// are assigned round-robin at accept and never migrate. Each connection
+/// carries its own read buffer (partial frames accumulate until a whole
+/// one arrives) and write queue (responses to pipelined requests are
+/// written in receive order). A slow reader's queue is bounded by
+/// Config::max_write_queue: when it overflows the connection is dropped,
+/// so one stalled armus-top can never stall publishers. The sharded
+/// dist::Store (Config::shards) is the only cross-loop synchronisation.
 namespace armus::net {
 
 class KvServer {
  public:
   struct Config {
-    /// Listen address. Default loopback: armus-kv has no auth; exposing
-    /// it beyond the host is an explicit operator decision.
+    /// Listen address. Default loopback: exposing armus-kv beyond the
+    /// host is an explicit operator decision (see auth_token).
     std::string bind_address = "127.0.0.1";
 
     /// 0 = ephemeral; read the chosen port via port() after start().
@@ -35,12 +41,39 @@ class KvServer {
     /// Frames with a larger declared body are a protocol violation; the
     /// connection is dropped without allocating.
     std::size_t max_frame = kDefaultMaxFrame;
+
+    /// Event-loop threads. 0 = one per available core, capped at 4.
+    /// Thread count is O(cores) regardless of connection count.
+    std::size_t io_threads = 0;
+
+    /// Bound on one connection's queued-but-unsent response bytes. A
+    /// connection whose peer reads slower than it issues requests is
+    /// dropped when its queue would exceed this (counted in
+    /// Stats::dropped_backpressure) — backpressure by disconnect, never
+    /// by blocking the loop.
+    std::size_t max_write_queue = 4 * 1024 * 1024;
+
+    /// Connections with no inbound traffic for this long are dropped
+    /// (Stats::dropped_idle). 0 (default) disables the sweep.
+    std::chrono::milliseconds idle_timeout{0};
+
+    /// Non-empty: PUT_SLICE / PUT_SLICE_DELTA / CLEAR require a
+    /// successful AUTH on the connection first; everything else (reads,
+    /// HEARTBEAT, INSPECT, STATS) stays open. Empty (default): AUTH is an
+    /// accepted no-op and the server behaves exactly as an
+    /// unauthenticated one. Wired from $ARMUS_AUTH_TOKEN by the CLI
+    /// entrypoints.
+    std::string auth_token;
   };
 
   struct Stats {
     std::uint64_t connections = 0;  ///< accepted so far
     std::uint64_t requests = 0;     ///< well-framed requests handled
     std::uint64_t errors = 0;       ///< non-OK responses sent
+    std::uint64_t dropped_backpressure = 0;  ///< write queue overflowed
+    std::uint64_t dropped_idle = 0;          ///< idle_timeout expired
+    std::uint64_t dropped_protocol = 0;      ///< oversized frame length
+    std::uint64_t auth_failures = 0;  ///< bad AUTH or unauthenticated write
   };
 
   /// `backing` defaults to a fresh in-process Store. Passing one in lets a
@@ -53,12 +86,12 @@ class KvServer {
   KvServer(const KvServer&) = delete;
   KvServer& operator=(const KvServer&) = delete;
 
-  /// Binds and starts the accept loop. Throws std::runtime_error when the
-  /// address cannot be bound (port in use, bad address).
+  /// Binds, then starts the event-loop threads. Throws std::runtime_error
+  /// when the address cannot be bound (port in use, bad address).
   void start();
 
-  /// Closes the listen socket and every live connection, then joins all
-  /// threads. Safe to call repeatedly; the destructor calls it.
+  /// Closes the listen socket and every live connection, then joins the
+  /// loop threads. Safe to call repeatedly; the destructor calls it.
   void stop();
 
   [[nodiscard]] bool running() const;
@@ -75,28 +108,41 @@ class KvServer {
 
   /// Handles one decoded request body, returning the response body. Pure
   /// protocol logic (no sockets) — exercised directly by the unit tests.
+  /// This entry point is a *trusted* caller (same process as the store):
+  /// the auth gate does not apply.
   std::string handle_request(std::string_view body);
 
+  /// The event-loop entry point: `authenticated` is the connection's AUTH
+  /// state, flipped by a successful AUTH and consulted before mutating
+  /// ops. nullptr = trusted embedded caller (the overload above).
+  std::string handle_request(std::string_view body, bool* authenticated);
+
+  /// The STATS payload: an obs::Registry snapshot of the server counters
+  /// plus store identity, as deterministic JSON
+  /// (armus.obs.registry.v1 — see docs/OBSERVABILITY.md).
+  [[nodiscard]] std::string stats_json() const;
+
  private:
-  void accept_loop();
-  void serve_connection(int fd);
-  void reap_finished_locked();
+  class EventLoop;
 
   Config config_;
   std::shared_ptr<dist::Store> backing_;
 
-  mutable std::mutex mutex_;  // guards fds/threads/stats below
+  mutable std::mutex mutex_;  ///< lifecycle (start/stop) only
   int listen_fd_ = -1;
   std::uint16_t bound_port_ = 0;
-  bool stopping_ = false;
-  std::thread acceptor_;
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    bool done = false;
-  };
-  std::vector<std::unique_ptr<Connection>> connections_;
-  Stats stats_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<std::size_t> next_loop_{0};
+
+  // Counters are atomics: they are bumped from every loop thread and read
+  // lock-free by INSPECT/STATS.
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> dropped_backpressure_{0};
+  std::atomic<std::uint64_t> dropped_idle_{0};
+  std::atomic<std::uint64_t> dropped_protocol_{0};
+  std::atomic<std::uint64_t> auth_failures_{0};
 };
 
 }  // namespace armus::net

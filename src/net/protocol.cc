@@ -16,6 +16,7 @@ std::string to_string(WireStatus status) {
     case WireStatus::kUnavailable: return "UNAVAILABLE";
     case WireStatus::kStaleVersion: return "STALE_VERSION";
     case WireStatus::kBaseMismatch: return "BASE_MISMATCH";
+    case WireStatus::kUnauthorized: return "UNAUTHORIZED";
   }
   return "status " + std::to_string(static_cast<std::uint64_t>(status));
 }

@@ -48,6 +48,9 @@ enum class MsgType : std::uint64_t {
   kListSlicesSince = 7,  ///< since → OK(generation version
                          ///<              nchanged slice* nlive site*)
   kInspect = 8,          ///< (empty) → OK(inspect_info) — see InspectInfo
+  kStats = 9,            ///< (empty) → OK(nbytes json) — the server's
+                         ///<   obs::Registry::snapshot_json()
+  kAuth = 10,            ///< token:bytes → OK() | kUnauthorized
 };
 
 enum class WireStatus : std::uint64_t {
@@ -59,6 +62,8 @@ enum class WireStatus : std::uint64_t {
   kUnavailable = 5,   ///< backing store outage; retry later
   kStaleVersion = 6,  ///< PUT_SLICE version not newer; payload = current
   kBaseMismatch = 7,  ///< PUT_SLICE_DELTA base != stored; payload = current
+  kUnauthorized = 8,  ///< mutating op before a successful AUTH, or a wrong
+                      ///< token, on a server configured with an auth token
 };
 
 [[nodiscard]] std::string to_string(WireStatus status);

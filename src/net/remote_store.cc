@@ -46,6 +46,28 @@ void RemoteStore::ensure_connected_locked() const {
   }
   io::set_io_timeout(fd, static_cast<int>(config_.io_timeout.count()));
   fd_ = fd;
+  if (!config_.auth_token.empty()) {
+    // Authenticate before anything else travels on the connection. A
+    // failure here is handled like any connect failure: backoff window,
+    // StoreUnavailableError, retry next period.
+    std::string body = request_header(MsgType::kAuth);
+    append_bytes(body, config_.auth_token);
+    std::optional<std::string> response;
+    if (io::write_all(fd_, frame(body))) {
+      response = io::read_frame(fd_, config_.max_frame);
+    }
+    if (!response) {
+      disconnect_locked("auth exchange failed");
+      throw StoreUnavailableError("armus-kv: AUTH exchange failed");
+    }
+    std::size_t offset = 0;
+    WireStatus status = read_status(*response, &offset);
+    if (status != WireStatus::kOk) {
+      disconnect_locked("auth rejected");
+      throw StoreUnavailableError("armus-kv: AUTH failed: " +
+                                  to_string(status));
+    }
+  }
   backoff_ = std::chrono::milliseconds{0};
   retry_after_ = {};
   ++stats_.connects;
@@ -289,6 +311,25 @@ InspectInfo RemoteStore::inspect() const {
   } catch (const CodecError&) {
     disconnect_locked("malformed response");
     throw StoreUnavailableError("armus-kv: malformed INSPECT response");
+  }
+}
+
+std::string RemoteStore::stats_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string response = roundtrip(request_header(MsgType::kStats));
+  std::size_t offset = 0;
+  WireStatus status = read_status(response, &offset);
+  if (status != WireStatus::kOk) {
+    throw StoreUnavailableError("armus-kv: STATS failed: " +
+                                to_string(status));
+  }
+  try {
+    std::string json(read_bytes(response, &offset));
+    expect_end(response, offset);
+    return json;
+  } catch (const CodecError&) {
+    disconnect_locked("malformed response");
+    throw StoreUnavailableError("armus-kv: malformed STATS response");
   }
 }
 

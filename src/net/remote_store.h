@@ -46,6 +46,13 @@ class RemoteStore final : public dist::SliceStore {
     std::chrono::milliseconds backoff_max{1000};
 
     std::size_t max_frame = kDefaultMaxFrame;
+
+    /// Non-empty: an AUTH request carrying this token is sent on every
+    /// (re)connect before any other request; an unauthorised reply fails
+    /// the connect. Against a tokenless server AUTH is an accepted no-op,
+    /// so a token-configured client interoperates either way. Wired from
+    /// $ARMUS_AUTH_TOKEN by remote_store_from_url.
+    std::string auth_token;
   };
 
   struct Stats {
@@ -99,6 +106,11 @@ class RemoteStore final : public dist::SliceStore {
   /// live slice (no payloads travel). Throws dist::StoreUnavailableError
   /// on network failure or a server-side outage.
   [[nodiscard]] InspectInfo inspect() const;
+
+  /// STATS round trip: the server's obs::Registry snapshot as JSON
+  /// (armus.obs.registry.v1). Throws dist::StoreUnavailableError on
+  /// network failure.
+  [[nodiscard]] std::string stats_json() const;
 
   [[nodiscard]] bool connected() const;
   [[nodiscard]] Stats stats() const;

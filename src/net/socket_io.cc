@@ -119,6 +119,12 @@ int connect_to(const std::string& host, std::uint16_t port, int timeout_ms) {
   return fd;
 }
 
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
 void close_fd(int fd) {
   if (fd >= 0) ::close(fd);
 }

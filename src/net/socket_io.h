@@ -34,6 +34,10 @@ void set_io_timeout(int fd, int timeout_ms);
 int connect_to(const std::string& host, std::uint16_t port,
                int timeout_ms);
 
+/// Puts `fd` into non-blocking mode (the armus-kv event loop's sockets).
+/// Returns false when fcntl fails.
+bool set_nonblocking(int fd);
+
 /// close(2) that tolerates fd < 0.
 void close_fd(int fd);
 

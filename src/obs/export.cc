@@ -35,6 +35,11 @@ void export_stats(Registry& registry, const std::string& prefix,
   registry.counter_set(prefix + ".connections", stats.connections);
   registry.counter_set(prefix + ".requests", stats.requests);
   registry.counter_set(prefix + ".errors", stats.errors);
+  registry.counter_set(prefix + ".dropped_backpressure",
+                       stats.dropped_backpressure);
+  registry.counter_set(prefix + ".dropped_idle", stats.dropped_idle);
+  registry.counter_set(prefix + ".dropped_protocol", stats.dropped_protocol);
+  registry.counter_set(prefix + ".auth_failures", stats.auth_failures);
 }
 
 void export_stats(Registry& registry, const std::string& prefix,

@@ -28,7 +28,8 @@ void export_stats(Registry& registry, const std::string& prefix,
 void export_stats(Registry& registry, const std::string& prefix,
                   const dist::Site::Stats& stats);
 
-/// kv server: connections, requests, errors.
+/// kv server: connections, requests, errors, dropped_backpressure,
+/// dropped_idle, dropped_protocol, auth_failures.
 void export_stats(Registry& registry, const std::string& prefix,
                   const net::KvServer::Stats& stats);
 

@@ -62,6 +62,14 @@ void Histogram::record(std::uint64_t value) {
   ++count_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+}
+
 std::uint64_t Histogram::percentile(double p) const {
   if (count_ == 0) return 0;
   if (p <= 0.0) p = 0.0;

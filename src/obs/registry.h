@@ -35,6 +35,12 @@ class Histogram {
 
   void record(std::uint64_t value);
 
+  /// Folds `other` in bucket-wise — the fan-in for multi-process benches
+  /// (Histogram is trivially copyable, so a child can pipe one back as
+  /// raw bytes and the parent merges). Percentiles of the merge carry the
+  /// same within-bucket error bound as single-histogram ones.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
   [[nodiscard]] std::uint64_t max() const { return max_; }

@@ -9,6 +9,13 @@
 //         --runs N        mutants to generate (default 500)
 //         --corpus DIR    load/grow a minimized corpus; violations are
 //                         saved there as crash-<i>.trace
+//
+//   armus-fuzz --wire [--seed N] [--runs N]
+//       Wire-protocol mode: starts an in-process armus-kv server on an
+//       ephemeral port and throws mutated request frames at it over real
+//       TCP (src/fuzz/wire.h), asserting the framing contract from
+//       docs/WIRE_PROTOCOL.md — clean error responses or connection
+//       drops, never a crash or a hung listener. No seed traces needed.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "fuzz/harness.h"
+#include "fuzz/wire.h"
 
 using namespace armus;
 
@@ -26,8 +34,34 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: armus-fuzz [--seed N] [--runs N] [--corpus DIR]\n"
-               "                  <seed-trace> [seed-trace...]\n");
+               "                  <seed-trace> [seed-trace...]\n"
+               "       armus-fuzz --wire [--seed N] [--runs N]\n");
   return 2;
+}
+
+int run_wire(const fuzz::WireOptions& options) {
+  net::KvServer server;
+  server.start();
+  fuzz::WireStats stats = fuzz::fuzz_wire(server, options);
+  server.stop();
+
+  std::printf("fuzz: wire seed %llu, %llu mutant(s): %llu response(s) "
+              "(%llu error status), %llu connection drop(s)\n",
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(stats.mutants),
+              static_cast<unsigned long long>(stats.responses),
+              static_cast<unsigned long long>(stats.error_responses),
+              static_cast<unsigned long long>(stats.drops));
+  if (!stats.ok()) {
+    for (const fuzz::Violation& violation : stats.violations) {
+      std::fprintf(stderr, "VIOLATION: %s\n", violation.what.c_str());
+    }
+    std::printf("fuzz: %zu violation(s) — contract BROKEN\n",
+                stats.violations.size());
+    return 1;
+  }
+  std::printf("fuzz: contract holds (zero violations)\n");
+  return 0;
 }
 
 }  // namespace
@@ -35,6 +69,7 @@ int usage() {
 int main(int argc, char** argv) {
   fuzz::Harness::Options options;
   std::vector<std::string> paths;
+  bool wire = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
@@ -43,12 +78,21 @@ int main(int argc, char** argv) {
       options.runs = static_cast<std::uint64_t>(std::stoull(argv[++i]));
     } else if (arg == "--corpus" && i + 1 < argc) {
       options.corpus_dir = argv[++i];
+    } else if (arg == "--wire") {
+      wire = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
     } else {
       paths.push_back(std::move(arg));
     }
+  }
+  if (wire) {
+    if (!paths.empty()) return usage();
+    fuzz::WireOptions wire_options;
+    wire_options.seed = options.seed;
+    wire_options.runs = options.runs;
+    return run_wire(wire_options);
   }
   if (paths.empty()) return usage();
 

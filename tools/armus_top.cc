@@ -13,6 +13,8 @@
 //                           CI scripts parse
 //         --dot             dump the merged wait-for graph in GraphViz DOT
 //                           and exit (implies --once)
+//         --stats           print the server's STATS registry snapshot
+//                           (armus.obs.registry.v1 JSON) and exit
 //         --model M         graph model for the analysis (wfg|sg|grg|auto,
 //                           default auto)
 //
@@ -36,7 +38,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: armus-top [--store tcp://host:port] [--interval-ms N]\n"
-               "                 [--once] [--json] [--dot] [--model M]\n"
+               "                 [--once] [--json] [--dot] [--stats] [--model M]\n"
                "--store falls back to ARMUS_STORE\n");
   return 2;
 }
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
   bool once = false;
   bool json = false;
   bool dot = false;
+  bool stats = false;
   GraphModel model = GraphModel::kAuto;
 
   for (int i = 1; i < argc; ++i) {
@@ -64,6 +67,9 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--dot") {
       dot = true;
+      once = true;
+    } else if (arg == "--stats") {
+      stats = true;
       once = true;
     } else if (arg == "--model" && i + 1 < argc) {
       try {
@@ -86,6 +92,15 @@ int main(int argc, char** argv) {
 
   try {
     std::shared_ptr<net::RemoteStore> store = net::remote_store_from_url(url);
+    if (stats) {
+      try {
+        std::puts(store->stats_json().c_str());
+      } catch (const dist::StoreUnavailableError& e) {
+        std::fprintf(stderr, "armus-top: %s\n", e.what());
+        return 2;
+      }
+      return 0;
+    }
     for (;;) {
       obs::TopView view;
       try {

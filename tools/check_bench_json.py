@@ -51,6 +51,21 @@ armus.bench.net_store.v1 (micro_net_store --json-out):
                        one changed slice (decodes_unchanged == 0,
                        decodes_one_changed == reads).
 
+armus.bench.kv_fleet.v1 (micro_kv_fleet --json-out):
+
+  fleet_<N>            one workload per fleet size swept. Every publish
+                       succeeded and every sample was recorded
+                       (request_errors == 0, publishes == sites x rounds,
+                       latency count == publishes); the server dropped
+                       nothing and errored nothing even with the idle
+                       connection crowd parked on the event loop
+                       (server_errors == 0, all dropped_* == 0,
+                       client_failures == 0); each worker held one
+                       persistent connection (client_connects == workers);
+                       the store ends with exactly one live slice per
+                       site; percentiles are monotone. Latency and
+                       requests_per_sec are the perf trajectory.
+
 Stdlib only, so it runs identically in CI and on a bare dev box.
 """
 
@@ -176,9 +191,46 @@ def check_net_store(doc):
               f"{reads} one-slice changes, expected {reads}")
 
 
+def check_kv_fleet(doc):
+    workloads = doc.get("workloads", [])
+    check(bool(workloads), "kv_fleet: no workloads")
+    for w in workloads:
+        name = w.get("name", "?")
+        c = w["counters"]
+        hist = w["latency_us"]
+        expected = w["sites"] * w["rounds"]
+        check(w["request_errors"] == 0,
+              f"{name}: {w['request_errors']} request errors")
+        check(w["publishes"] == expected,
+              f"{name}: {w['publishes']} publishes for {w['sites']} sites x "
+              f"{w['rounds']} rounds, expected {expected}")
+        check(hist["count"] == w["publishes"],
+              f"{name}: histogram holds {hist['count']} samples for "
+              f"{w['publishes']} publishes")
+        check(hist["min_us"] <= hist["p50_us"] <= hist["p99_us"]
+              <= hist["max_us"],
+              f"{name}: percentiles not monotone: {hist}")
+        check(c["server_errors"] == 0,
+              f"{name}: {c['server_errors']} server errors")
+        check(c["server_requests"] >= w["publishes"],
+              f"{name}: server saw {c['server_requests']} requests for "
+              f"{w['publishes']} publishes")
+        for dropped in ("server_dropped_backpressure", "server_dropped_idle",
+                        "server_dropped_protocol"):
+            check(c[dropped] == 0, f"{name}: {c[dropped]} {dropped}")
+        check(c["client_failures"] == 0,
+              f"{name}: {c['client_failures']} client failures")
+        check(c["client_connects"] == w["workers"],
+              f"{name}: {c['client_connects']} connects for {w['workers']} "
+              f"workers, expected one persistent connection each")
+        check(c["live_slices"] == w["sites"],
+              f"{name}: {c['live_slices']} live slices for {w['sites']} sites")
+
+
 CHECKERS = {
     "armus.bench.incremental_scan.v1": check_incremental_scan,
     "armus.bench.net_store.v1": check_net_store,
+    "armus.bench.kv_fleet.v1": check_kv_fleet,
 }
 
 # The perf-trajectory metrics per schema: (label, path into the doc,
@@ -202,6 +254,14 @@ DRIFT_METRICS = {
          ("publish_latency", "latency_us", "p50_us"), "lower"),
         ("publish_latency.p99_us",
          ("publish_latency", "latency_us", "p99_us"), "lower"),
+    ],
+    # CI sweeps --sites 200; the committed baseline holds the same single
+    # workload.
+    "armus.bench.kv_fleet.v1": [
+        ("fleet_200.p50_us", ("fleet_200", "latency_us", "p50_us"), "lower"),
+        ("fleet_200.p99_us", ("fleet_200", "latency_us", "p99_us"), "lower"),
+        ("fleet_200.requests_per_sec",
+         ("fleet_200", "requests_per_sec"), "higher"),
     ],
 }
 
