@@ -7,12 +7,24 @@
 //   (none)        driver: forks `server`, reads its port, forks two
 //                 `site` children wired to it via ARMUS_STORE, waits for
 //                 both to report success.
+//   ha            failover driver (docs/HA.md): forks a primary AND a
+//                 replica server, points both sites at the pair
+//                 (comma-separated ARMUS_STORE), waits until both slices
+//                 are blocked, then SIGKILLs the primary and promotes the
+//                 replica mid-deadlock — both sites must still detect.
+//                 Prints "PRIMARY <url>" / "REPLICA <url>" / "PROMOTED
+//                 <url>" lines so an external observer (the CI e2e) can
+//                 aim armus-top at the promoted replica during the hold
+//                 window.
 //   server        runs a KvServer on an ephemeral loopback port and
 //                 prints "PORT <n>" on stdout; exits on stdin EOF.
+//                 ARMUS_ROLE=replica + ARMUS_PRIMARY=tcp://host:port make
+//                 it a replica of a running primary.
 //   site <id>     one Armus site: spawns a real task that blocks on a
 //                 phaser so that the two site processes deadlock against
 //                 each other; exits 0 once its checker has detected the
 //                 cross-process cycle (and the task has been rescued).
+//   promote <url> one PROMOTE round trip (operator tooling for scripts).
 //
 // The deadlock is the classic two-phaser cycle: site 0's task arrives on
 // p and awaits p's phase 1 while still registered on q; site 1's task
@@ -29,6 +41,8 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/ids.h"
 #include "dist/site.h"
@@ -56,6 +70,12 @@ int run_server() {
   net::KvServer::Config config;  // ephemeral loopback port
   if (auto token = util::env_str("ARMUS_AUTH_TOKEN")) {
     config.auth_token = *token;  // WIRE_PROTOCOL §12: gate mutating ops
+  }
+  if (auto role = util::env_str("ARMUS_ROLE"); role && *role == "replica") {
+    config.role = net::KvServer::Role::kReplica;  // docs/HA.md
+    if (auto primary = util::env_str("ARMUS_PRIMARY")) {
+      config.primary = *primary;
+    }
   }
   net::KvServer server(config);
   server.start();
@@ -165,7 +185,9 @@ int run_site(dist::SiteId id, const std::string& url) {
 
 pid_t spawn_child(const char* exe, const std::vector<std::string>& args,
                   const std::string& store_url, int* stdout_pipe,
-                  int* stdin_pipe) {
+                  int* stdin_pipe,
+                  const std::vector<std::pair<std::string, std::string>>& env =
+                      {}) {
   int out_fds[2] = {-1, -1};
   int in_fds[2] = {-1, -1};
   if (stdout_pipe && ::pipe(out_fds) != 0) return -1;
@@ -200,9 +222,25 @@ pid_t spawn_child(const char* exe, const std::vector<std::string>& args,
   }
   argv.push_back(nullptr);
   if (!store_url.empty()) ::setenv("ARMUS_STORE", store_url.c_str(), 1);
+  for (const auto& [name, value] : env) {
+    ::setenv(name.c_str(), value.c_str(), 1);
+  }
   ::execv(exe, argv.data());
   std::perror("execv");
   std::_Exit(127);
+}
+
+// Reads the "PORT <n>" banner a `server` child prints on startup.
+// Returns 0 on any failure.
+unsigned read_port(int fd) {
+  std::string banner;
+  char c;
+  while (banner.find('\n') == std::string::npos && ::read(fd, &c, 1) == 1) {
+    banner.push_back(c);
+  }
+  unsigned port = 0;
+  if (std::sscanf(banner.c_str(), "PORT %u", &port) != 1) return 0;
+  return port;
 }
 
 int run_driver(const char* exe) {
@@ -213,16 +251,9 @@ int run_driver(const char* exe) {
     std::fprintf(stderr, "driver: cannot fork server\n");
     return 1;
   }
-  std::string banner;
-  char c;
-  while (banner.find('\n') == std::string::npos &&
-         ::read(server_out, &c, 1) == 1) {
-    banner.push_back(c);
-  }
-  unsigned port = 0;
-  if (std::sscanf(banner.c_str(), "PORT %u", &port) != 1 || port == 0) {
-    std::fprintf(stderr, "driver: no port from server (got '%s')\n",
-                 banner.c_str());
+  unsigned port = read_port(server_out);
+  if (port == 0) {
+    std::fprintf(stderr, "driver: no port from server\n");
     ::kill(server, SIGKILL);
     return 1;
   }
@@ -265,6 +296,134 @@ int run_driver(const char* exe) {
   return failures == 0 ? 0 : 1;
 }
 
+// Failover driver (docs/HA.md §runbook, exercised by the CI e2e): both
+// sites talk to a primary+replica pair through a comma-separated
+// ARMUS_STORE; once both halves of the deadlock are published, the
+// primary is SIGKILLed mid-hold and the replica promoted — the sites'
+// own detection (exit 0) is the proof that failover lost nothing.
+int run_ha(const char* exe) {
+  // 1. Primary, then a replica subscribed to it.
+  int primary_out = -1, primary_in = -1;
+  pid_t primary = spawn_child(exe, {"server"}, "", &primary_out, &primary_in);
+  if (primary <= 0) {
+    std::fprintf(stderr, "ha: cannot fork primary\n");
+    return 1;
+  }
+  unsigned primary_port = read_port(primary_out);
+  if (primary_port == 0) {
+    std::fprintf(stderr, "ha: no port from primary\n");
+    ::kill(primary, SIGKILL);
+    return 1;
+  }
+  std::string primary_url = "tcp://127.0.0.1:" + std::to_string(primary_port);
+  std::printf("PRIMARY %s\n", primary_url.c_str());
+  std::fflush(stdout);
+
+  int replica_out = -1, replica_in = -1;
+  pid_t replica = spawn_child(exe, {"server"}, "", &replica_out, &replica_in,
+                              {{"ARMUS_ROLE", "replica"},
+                               {"ARMUS_PRIMARY", primary_url}});
+  if (replica <= 0) {
+    std::fprintf(stderr, "ha: cannot fork replica\n");
+    ::kill(primary, SIGKILL);
+    return 1;
+  }
+  unsigned replica_port = read_port(replica_out);
+  if (replica_port == 0) {
+    std::fprintf(stderr, "ha: no port from replica\n");
+    ::kill(primary, SIGKILL);
+    ::kill(replica, SIGKILL);
+    return 1;
+  }
+  std::string replica_url = "tcp://127.0.0.1:" + std::to_string(replica_port);
+  std::printf("REPLICA %s\n", replica_url.c_str());
+  std::fflush(stdout);
+
+  // 2. Both sites get BOTH endpoints: reads fail over to the replica the
+  // moment the primary dies; writes follow once it is promoted.
+  std::string store_urls = primary_url + "," + replica_url;
+  pid_t sites[2];
+  for (int id = 0; id < 2; ++id) {
+    sites[id] = spawn_child(exe, {"site", std::to_string(id)}, store_urls,
+                            nullptr, nullptr);
+    if (sites[id] <= 0) {
+      std::fprintf(stderr, "ha: cannot fork site %d\n", id);
+      ::kill(primary, SIGKILL);
+      ::kill(replica, SIGKILL);
+      return 1;
+    }
+  }
+
+  // 3. Wait until both halves of the deadlock are published to the
+  // primary (blocked > 0 on both slices) — the moment worth crashing at.
+  bool armed = false;
+  try {
+    auto probe = net::remote_store_from_url(primary_url);
+    for (int i = 0; i < 600 && !armed; ++i) {
+      try {
+        net::InspectInfo info = probe->inspect();
+        int blocked_sites = 0;
+        for (const auto& row : info.sites) {
+          if (row.blocked > 0) ++blocked_sites;
+        }
+        armed = blocked_sites >= 2;
+      } catch (const dist::StoreUnavailableError&) {
+      }
+      if (!armed) std::this_thread::sleep_for(25ms);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ha: probe failed: %s\n", error.what());
+  }
+  if (!armed) {
+    std::fprintf(stderr, "ha: sites never published a blocked pair\n");
+    ::kill(primary, SIGKILL);
+    ::kill(replica, SIGKILL);
+    return 1;
+  }
+
+  // 4. Kill the primary mid-deadlock, then promote the replica. The
+  // promotion bumps the replica's boot generation, so the sites' readers
+  // refetch from scratch instead of ever seeing versions roll back.
+  ::kill(primary, SIGKILL);
+  ::waitpid(primary, nullptr, 0);
+  ::close(primary_out);
+  ::close(primary_in);
+  std::printf("KILLED %s\n", primary_url.c_str());
+  std::fflush(stdout);
+  try {
+    net::remote_store_from_url(replica_url)->promote();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ha: promote failed: %s\n", error.what());
+    ::kill(replica, SIGKILL);
+    return 1;
+  }
+  std::printf("PROMOTED %s\n", replica_url.c_str());
+  std::fflush(stdout);
+
+  // 5. Both sites must still exit 0 (= detected the cross-process
+  // deadlock, before or after the failover).
+  int failures = 0;
+  for (int id = 0; id < 2; ++id) {
+    int status = 0;
+    ::waitpid(sites[id], &status, 0);
+    bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    std::printf("ha: site %d %s\n", id, ok ? "detected" : "FAILED");
+    if (!ok) ++failures;
+  }
+
+  (void)!::write(replica_in, "STOP\n", 5);
+  ::close(replica_in);
+  int status = 0;
+  ::waitpid(replica, &status, 0);
+  ::close(replica_out);
+
+  std::printf("ha: %s\n",
+              failures == 0 ? "cross-process deadlock survived primary "
+                              "failure and promotion"
+                            : "FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -280,13 +439,35 @@ int main(int argc, char** argv) {
     }
     return run_site(id, url);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "ha") == 0) {
+    return run_ha(argv[0]);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "promote") == 0) {
+    try {
+      std::uint64_t generation =
+          net::remote_store_from_url(argv[2])->promote();
+      std::printf("promoted %s (generation %llu)\n", argv[2],
+                  static_cast<unsigned long long>(generation));
+      return 0;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "promote: %s\n", error.what());
+      return 1;
+    }
+  }
   if (argc == 1) {
     return run_driver(argv[0]);
   }
   std::fprintf(stderr,
-               "usage: %s            (driver: server + 2 sites)\n"
-               "       %s server     (armus-kv on an ephemeral port)\n"
-               "       %s site <id>  (requires ARMUS_STORE=tcp://host:port)\n",
-               argv[0], argv[0], argv[0]);
+               "usage: %s               (driver: server + 2 sites)\n"
+               "       %s ha            (failover driver: primary + replica "
+               "+ 2 sites,\n"
+               "                         SIGKILL + promotion mid-deadlock)\n"
+               "       %s server        (armus-kv on an ephemeral port; "
+               "ARMUS_ROLE=replica\n"
+               "                         + ARMUS_PRIMARY=<url> for a "
+               "replica)\n"
+               "       %s site <id>     (requires ARMUS_STORE=url[,url])\n"
+               "       %s promote <url> (one PROMOTE round trip)\n",
+               argv[0], argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -225,7 +225,7 @@ DeltaSnapshot Store::snapshot_since(std::uint64_t since) const {
   // concurrent with the scan is either included here or has changed_at >
   // this value (so the reader's next call fetches it) — never both missed.
   delta.version = version_.load(std::memory_order_acquire);
-  delta.generation = generation_;
+  delta.generation = generation_.load(std::memory_order_acquire);
   for (const auto& shard : shards_) {
     auto lock = lock_shard(*shard);
     for (const auto& [site, slice] : shard->slices) {
@@ -281,7 +281,35 @@ std::vector<SliceInspect> Store::inspect() const {
   return rows;
 }
 
-std::uint64_t Store::generation() const { return generation_; }
+std::uint64_t Store::generation() const {
+  return generation_.load(std::memory_order_acquire);
+}
+
+void Store::bump_generation() {
+  generation_.store(fresh_generation(), std::memory_order_release);
+}
+
+std::size_t Store::retain_only(const std::vector<SiteId>& live) {
+  std::size_t removed = 0;
+  for (const auto& shard : shards_) {
+    auto lock = lock_shard(*shard);
+    check_available();
+    for (auto it = shard->slices.begin(); it != shard->slices.end();) {
+      if (std::binary_search(live.begin(), live.end(), it->first)) {
+        ++it;
+        continue;
+      }
+      SiteId site = it->first;
+      it = shard->slices.erase(it);
+      shard->changed_at.erase(site);
+      shard->changed_time.erase(site);
+      version_.fetch_add(1, std::memory_order_acq_rel);
+      writes_.fetch_add(1, std::memory_order_relaxed);
+      ++removed;
+    }
+  }
+  return removed;
+}
 
 void Store::set_available(bool available) {
   available_.store(available, std::memory_order_relaxed);

@@ -233,6 +233,20 @@ class Store final : public SliceStore {
   /// The store's boot generation (as reported by snapshot_since).
   [[nodiscard]] std::uint64_t generation() const;
 
+  /// Swaps in a fresh random boot generation, exactly as if the store had
+  /// restarted — every reader's next snapshot_since sees the mismatch,
+  /// drops its cache, and refetches from 0. The armus-kv failover path
+  /// (replica promotion, replication resync) calls this so a reader can
+  /// never carry slice-version comparisons across the discontinuity.
+  /// Slices and the change version survive; only the generation changes.
+  void bump_generation();
+
+  /// Removes every slice whose site is absent from `live` (sorted
+  /// ascending) — the replication client's eviction half of applying a
+  /// streamed frame. Returns the number of slices removed; the store-wide
+  /// change version is bumped once per removal, as remove_slice would.
+  std::size_t retain_only(const std::vector<SiteId>& live);
+
   /// Failure injection: while unavailable, every operation throws. Data
   /// survives the outage.
   void set_available(bool available);
@@ -283,9 +297,9 @@ class Store final : public SliceStore {
   /// Store-wide change counter; 1 = the initial empty state (0 is the
   /// DeltaSnapshot "unversioned" sentinel).
   std::atomic<std::uint64_t> version_{1};
-  /// Boot generation (non-zero), see DeltaSnapshot::generation. Constant
-  /// after construction.
-  std::uint64_t generation_;
+  /// Boot generation (non-zero), see DeltaSnapshot::generation. Changes
+  /// only through bump_generation (promotion / replication resync).
+  std::atomic<std::uint64_t> generation_;
   std::atomic<bool> available_{true};
   std::atomic<std::uint64_t> writes_{0};
   mutable std::atomic<std::uint64_t> reads_{0};

@@ -1,0 +1,647 @@
+#include "fuzz/chaos.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/checker.h"
+#include "dist/codec.h"
+#include "dist/store.h"
+#include "net/kv_server.h"
+#include "net/remote_store.h"
+#include "net/socket_io.h"
+
+namespace armus::fuzz {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Server child processes: this binary re-exec'd as `--kv-server`.
+
+struct ServerProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  int stdin_fd = -1;   ///< write end of the child's stdin (EOF = shut down)
+  int stdout_fd = -1;  ///< read end of the child's stdout
+
+  [[nodiscard]] std::string url() const {
+    return "tcp://127.0.0.1:" + std::to_string(port);
+  }
+};
+
+/// Forks + execs `exe --kv-server [--replica-of replica_of]` and reads the
+/// "PORT <n>" banner. Throws std::runtime_error when the child cannot be
+/// spawned or never reports a port.
+ServerProc spawn_server(const std::string& exe, const std::string& replica_of) {
+  int in_pipe[2];
+  int out_pipe[2];
+  if (::pipe(in_pipe) != 0 || ::pipe(out_pipe) != 0) {
+    throw std::runtime_error("chaos: pipe() failed");
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("chaos: fork() failed");
+  if (pid == 0) {
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(exe.c_str()));
+    argv.push_back(const_cast<char*>("--kv-server"));
+    if (!replica_of.empty()) {
+      argv.push_back(const_cast<char*>("--replica-of"));
+      argv.push_back(const_cast<char*>(replica_of.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(exe.c_str(), argv.data());
+    _exit(127);
+  }
+  ServerProc proc;
+  proc.pid = pid;
+  proc.stdin_fd = in_pipe[1];
+  proc.stdout_fd = out_pipe[0];
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+
+  // Read the "PORT <n>\n" banner with a deadline.
+  std::string banner;
+  Clock::time_point deadline = Clock::now() + std::chrono::seconds(10);
+  while (banner.find('\n') == std::string::npos) {
+    int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              Clock::now())
+            .count());
+    if (remaining <= 0) break;
+    struct pollfd pfd {};
+    pfd.fd = proc.stdout_fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, remaining) <= 0) break;
+    char buf[64];
+    ssize_t n = ::read(proc.stdout_fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    banner.append(buf, static_cast<std::size_t>(n));
+  }
+  unsigned port = 0;
+  if (std::sscanf(banner.c_str(), "PORT %u", &port) != 1 || port == 0 ||
+      port > 65535) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    ::close(proc.stdin_fd);
+    ::close(proc.stdout_fd);
+    throw std::runtime_error("chaos: server helper never reported a port");
+  }
+  proc.port = static_cast<std::uint16_t>(port);
+  return proc;
+}
+
+/// Unconditional teardown: SIGKILL (works on stopped children too) + reap.
+/// Idempotent.
+void reap(ServerProc& proc) {
+  if (proc.pid > 0) {
+    ::kill(proc.pid, SIGKILL);
+    ::waitpid(proc.pid, nullptr, 0);
+    proc.pid = -1;
+  }
+  if (proc.stdin_fd >= 0) ::close(proc.stdin_fd);
+  if (proc.stdout_fd >= 0) ::close(proc.stdout_fd);
+  proc.stdin_fd = proc.stdout_fd = -1;
+}
+
+// ---------------------------------------------------------------------------
+// ChaosProxy: a TCP relay the sever-link scenario can cut and heal. The
+// replica's REPLICATE subscription is pointed at the proxy instead of the
+// primary; sever() closes the live relay and refuses new connections
+// (accept-then-close, so the replica sees a clean reconnect failure, not a
+// connection timeout), heal() lets the next reconnect through again.
+// One relayed connection at a time — a replica runs exactly one
+// subscription, and reconnects are serial.
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(std::uint16_t target_port) : target_port_(target_port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("chaos: proxy socket failed");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 4) != 0) {
+      ::close(listen_fd_);
+      throw std::runtime_error("chaos: proxy bind/listen failed");
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~ChaosProxy() { stop(); }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  void sever() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    severed_ = true;
+    shutdown_pair_locked();
+  }
+
+  void heal() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    severed_ = false;
+  }
+
+  void stop() {
+    if (stop_.exchange(true)) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      shutdown_pair_locked();
+    }
+    if (thread_.joinable()) thread_.join();
+    ::close(listen_fd_);
+  }
+
+ private:
+  void shutdown_pair_locked() {
+    if (client_ >= 0) ::shutdown(client_, SHUT_RDWR);
+    if (upstream_ >= 0) ::shutdown(upstream_, SHUT_RDWR);
+  }
+
+  void close_pair() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (client_ >= 0) ::close(client_);
+    if (upstream_ >= 0) ::close(upstream_);
+    client_ = upstream_ = -1;
+  }
+
+  /// One-directional pump after poll said `from` is readable.
+  bool pump(int from, int to) {
+    char buf[16 * 1024];
+    ssize_t n = ::read(from, buf, sizeof(buf));
+    if (n <= 0) return false;
+    return net::io::write_all(to, std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+
+  void run() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      struct pollfd pfds[3];
+      int nfds = 0;
+      pfds[nfds].fd = listen_fd_;
+      pfds[nfds].events = POLLIN;
+      ++nfds;
+      int client = -1;
+      int upstream = -1;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        client = client_;
+        upstream = upstream_;
+      }
+      if (client >= 0) {
+        pfds[nfds].fd = client;
+        pfds[nfds].events = POLLIN;
+        ++nfds;
+        pfds[nfds].fd = upstream;
+        pfds[nfds].events = POLLIN;
+        ++nfds;
+      }
+      if (::poll(pfds, static_cast<nfds_t>(nfds), 50) < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (pfds[0].revents != 0) accept_one();
+      if (client >= 0 && nfds == 3 &&
+          ((pfds[1].revents != 0 && !pump(client, upstream)) ||
+           (pfds[2].revents != 0 && !pump(upstream, client)))) {
+        close_pair();
+      }
+    }
+  }
+
+  void accept_one() {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    bool refuse;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      refuse = severed_ || client_ >= 0;
+    }
+    if (refuse) {
+      ::close(fd);
+      return;
+    }
+    int up = net::io::connect_to("127.0.0.1", target_port_, 1000);
+    if (up < 0) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    client_ = fd;
+    upstream_ = up;
+  }
+
+  std::uint16_t target_port_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;
+  bool severed_ = false;
+  int client_ = -1;
+  int upstream_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// The workload: a handcrafted cross-site deadlock (the exact shape
+// examples/net_distributed_detection.cpp produces). Site 1's task has
+// arrived on phaser 1 and awaits it at phase 1 while still holding
+// phaser 2 at phase 0; site 2 is the mirror image. Each impedes the
+// other's awaited event, so the merged snapshot has a WFG cycle that no
+// single site can see alone.
+
+std::string site_payload(dist::SiteId site) {
+  BlockedStatus status;
+  if (site == 1) {
+    status.task = 101;
+    status.waits = {Resource{1, 1}};
+    status.registered = {RegEntry{1, 1}, RegEntry{2, 0}};
+  } else {
+    status.task = 202;
+    status.waits = {Resource{2, 1}};
+    status.registered = {RegEntry{2, 1}, RegEntry{1, 0}};
+  }
+  return dist::encode_statuses({status});
+}
+
+/// One publish round: both sites' slices through `writer`. A failover
+/// window surfaces as StoreUnavailableError — absorbed and counted, the
+/// way a real Site's outage path absorbs it.
+bool publish_round(net::RemoteStore& writer, ChaosStats& stats) {
+  try {
+    writer.put_slice(1, site_payload(1));
+    writer.put_slice(2, site_payload(2));
+    ++stats.publishes;
+    return true;
+  } catch (const dist::StoreUnavailableError&) {
+    ++stats.publish_failures;
+    return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The monitor: reads full snapshots and enforces the fencing invariant —
+// within one observed boot generation, a slice version never decreases.
+
+class VersionMonitor {
+ public:
+  explicit VersionMonitor(std::string scenario, ChaosStats& stats)
+      : scenario_(std::move(scenario)), stats_(stats) {}
+
+  /// Records one snapshot; returns the merged statuses for convergence
+  /// checks.
+  std::vector<BlockedStatus> observe(const dist::DeltaSnapshot& delta) {
+    ++stats_.observations;
+    for (const dist::Slice& slice : delta.changed) {
+      auto key = std::make_pair(delta.generation,
+                                static_cast<std::uint64_t>(slice.site));
+      auto [it, inserted] = max_seen_.try_emplace(key, slice.version);
+      if (!inserted) {
+        if (slice.version < it->second) {
+          stats_.violations.push_back(Violation{
+              scenario_ + ": site " + std::to_string(slice.site) +
+                  " slice version regressed " + std::to_string(it->second) +
+                  " -> " + std::to_string(slice.version) +
+                  " within generation " + std::to_string(delta.generation),
+              std::string()});
+        } else {
+          it->second = slice.version;
+        }
+      }
+    }
+    return dist::merge_slices(delta.changed);
+  }
+
+ private:
+  std::string scenario_;
+  ChaosStats& stats_;
+  /// (generation, site) -> highest slice version observed.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> max_seen_;
+};
+
+/// Publishes through `writer` and reads through `reader` until the merged
+/// snapshot holds both sites' statuses *and* the cross-site cycle is
+/// detected, or the deadline passes (a violation: a published blocked
+/// status was lost, or detection never converged).
+bool converge(const std::string& scenario, net::RemoteStore& writer,
+              net::RemoteStore& reader, VersionMonitor& monitor,
+              ChaosStats& stats, std::chrono::milliseconds deadline =
+                                     std::chrono::milliseconds(10000)) {
+  Clock::time_point until = Clock::now() + deadline;
+  bool saw_101 = false;
+  bool saw_202 = false;
+  while (Clock::now() < until) {
+    publish_round(writer, stats);
+    try {
+      std::vector<BlockedStatus> merged = monitor.observe(
+          reader.snapshot_since(0));
+      saw_101 = saw_202 = false;
+      for (const BlockedStatus& status : merged) {
+        if (status.task == 101) saw_101 = true;
+        if (status.task == 202) saw_202 = true;
+      }
+      if (saw_101 && saw_202 &&
+          check_deadlocks(merged, GraphModel::kWfg).deadlocked()) {
+        ++stats.convergences;
+        return true;
+      }
+    } catch (const dist::StoreUnavailableError&) {
+      // reader outage window: retry
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  std::string missing;
+  if (!saw_101) missing += " task-101";
+  if (!saw_202) missing += " task-202";
+  stats.violations.push_back(Violation{
+      scenario + ": deadlock not re-detected before the deadline" +
+          (missing.empty() ? std::string(" (cycle missing)")
+                           : " (lost blocked status:" + missing + ")"),
+      std::string()});
+  return false;
+}
+
+net::RemoteStore::Config client_config(std::vector<net::Endpoint> endpoints,
+                                       std::uint64_t seed) {
+  net::RemoteStore::Config config;
+  config.host = endpoints.front().host;
+  config.port = endpoints.front().port;
+  config.endpoints = std::move(endpoints);
+  config.connect_timeout = std::chrono::milliseconds(250);
+  config.io_timeout = std::chrono::milliseconds(500);
+  config.backoff_initial = std::chrono::milliseconds(10);
+  config.backoff_max = std::chrono::milliseconds(100);
+  config.backoff_seed = seed;
+  return config;
+}
+
+net::Endpoint local(std::uint16_t port) {
+  return net::Endpoint{"127.0.0.1", port};
+}
+
+struct Scenario {
+  const char* name;
+  void (*run)(const ChaosOptions&, ChaosStats&);
+};
+
+void note(const ChaosOptions& options, const char* fmt, const char* arg) {
+  if (options.verbose) std::fprintf(stderr, fmt, arg);
+}
+
+// --- scenario: kill-primary ------------------------------------------------
+// SIGKILL the primary mid-churn, promote the replica, and require the
+// detection to re-converge through the promoted server under a fresh
+// generation with no version regression.
+
+void scenario_kill_primary(const ChaosOptions& options, ChaosStats& stats) {
+  ServerProc primary = spawn_server(options.server_exe, "");
+  ServerProc replica = spawn_server(options.server_exe, primary.url());
+  try {
+    net::RemoteStore writer(
+        client_config({local(primary.port), local(replica.port)},
+                      options.seed + 1));
+    net::RemoteStore reader(client_config({local(replica.port)},
+                                          options.seed + 2));
+    VersionMonitor monitor("kill-primary", stats);
+
+    note(options, "chaos: [%s] converging through the replica\n",
+         "kill-primary");
+    if (!converge("kill-primary (before fault)", writer, reader, monitor,
+                  stats)) {
+      throw std::runtime_error("baseline never converged");
+    }
+
+    note(options, "chaos: [%s] SIGKILL primary\n", "kill-primary");
+    ::kill(primary.pid, SIGKILL);
+    ::waitpid(primary.pid, nullptr, 0);
+    primary.pid = -1;
+
+    net::RemoteStore control(client_config({local(replica.port)},
+                                           options.seed + 3));
+    control.promote();
+    note(options, "chaos: [%s] replica promoted, re-converging\n",
+         "kill-primary");
+    converge("kill-primary (after promote)", writer, reader, monitor, stats);
+  } catch (const std::exception& e) {
+    stats.violations.push_back(
+        Violation{std::string("kill-primary: ") + e.what(), std::string()});
+  }
+  reap(primary);
+  reap(replica);
+}
+
+// --- scenario: stop-primary ------------------------------------------------
+// SIGSTOP the primary (stalled-but-open sockets: clients hit io timeouts,
+// not connection refusals), hold it long enough for publish rounds to
+// fail, SIGCONT, and require re-convergence with the *same* generation —
+// no promotion happened, so nothing may have been fenced away.
+
+void scenario_stop_primary(const ChaosOptions& options, ChaosStats& stats) {
+  ServerProc primary = spawn_server(options.server_exe, "");
+  ServerProc replica = spawn_server(options.server_exe, primary.url());
+  try {
+    net::RemoteStore writer(client_config({local(primary.port)},
+                                          options.seed + 11));
+    net::RemoteStore reader(client_config({local(replica.port)},
+                                          options.seed + 12));
+    VersionMonitor monitor("stop-primary", stats);
+
+    if (!converge("stop-primary (before fault)", writer, reader, monitor,
+                  stats)) {
+      throw std::runtime_error("baseline never converged");
+    }
+
+    note(options, "chaos: [%s] SIGSTOP primary\n", "stop-primary");
+    ::kill(primary.pid, SIGSTOP);
+    Clock::time_point resume = Clock::now() + std::chrono::milliseconds(800);
+    while (Clock::now() < resume) {
+      publish_round(writer, stats);  // these should mostly time out
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    note(options, "chaos: [%s] SIGCONT primary\n", "stop-primary");
+    ::kill(primary.pid, SIGCONT);
+
+    converge("stop-primary (after resume)", writer, reader, monitor, stats);
+  } catch (const std::exception& e) {
+    stats.violations.push_back(
+        Violation{std::string("stop-primary: ") + e.what(), std::string()});
+  }
+  reap(primary);
+  reap(replica);
+}
+
+// --- scenario: sever-link --------------------------------------------------
+// Cut the replication link (not the servers) while the primary keeps
+// taking writes, then heal it: the replica must catch up — by resumption
+// or resync — and its versions must never step backwards within a
+// generation it exposed.
+
+void scenario_sever_link(const ChaosOptions& options, ChaosStats& stats) {
+  ServerProc primary = spawn_server(options.server_exe, "");
+  ChaosProxy proxy(primary.port);
+  ServerProc replica = spawn_server(
+      options.server_exe, "tcp://127.0.0.1:" + std::to_string(proxy.port()));
+  try {
+    net::RemoteStore writer(client_config({local(primary.port)},
+                                          options.seed + 21));
+    net::RemoteStore reader(client_config({local(replica.port)},
+                                          options.seed + 22));
+    VersionMonitor monitor("sever-link", stats);
+
+    if (!converge("sever-link (before fault)", writer, reader, monitor,
+                  stats)) {
+      throw std::runtime_error("baseline never converged");
+    }
+
+    note(options, "chaos: [%s] severing the replication link\n", "sever-link");
+    proxy.sever();
+    // Churn against the primary while the replica is cut off.
+    for (int i = 0; i < 10; ++i) {
+      publish_round(writer, stats);
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    note(options, "chaos: [%s] healing the link\n", "sever-link");
+    proxy.heal();
+
+    converge("sever-link (after heal)", writer, reader, monitor, stats);
+  } catch (const std::exception& e) {
+    stats.violations.push_back(
+        Violation{std::string("sever-link: ") + e.what(), std::string()});
+  }
+  proxy.stop();
+  reap(primary);
+  reap(replica);
+}
+
+// --- scenario: promote-mid-churn -------------------------------------------
+// Promote the replica while the old primary is still alive and accepting
+// writes (the operator-error / split-brain window), then kill the old
+// primary: clients must fail over, and the promoted store's fresh
+// generation must fence everything — no regression observable.
+
+void scenario_promote_mid_churn(const ChaosOptions& options,
+                                ChaosStats& stats) {
+  ServerProc primary = spawn_server(options.server_exe, "");
+  ServerProc replica = spawn_server(options.server_exe, primary.url());
+  try {
+    net::RemoteStore writer(
+        client_config({local(primary.port), local(replica.port)},
+                      options.seed + 31));
+    net::RemoteStore reader(client_config({local(replica.port)},
+                                          options.seed + 32));
+    VersionMonitor monitor("promote-mid-churn", stats);
+
+    if (!converge("promote-mid-churn (before fault)", writer, reader, monitor,
+                  stats)) {
+      throw std::runtime_error("baseline never converged");
+    }
+
+    note(options, "chaos: [%s] promoting the replica under churn\n",
+         "promote-mid-churn");
+    net::RemoteStore control(client_config({local(replica.port)},
+                                           options.seed + 33));
+    control.promote();
+    // A few rounds still land on the doomed primary (split-brain window:
+    // those writes are fenced away by the promoted generation, by design).
+    for (int i = 0; i < 5; ++i) {
+      publish_round(writer, stats);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    note(options, "chaos: [%s] SIGKILL old primary\n", "promote-mid-churn");
+    ::kill(primary.pid, SIGKILL);
+    ::waitpid(primary.pid, nullptr, 0);
+    primary.pid = -1;
+
+    converge("promote-mid-churn (after failover)", writer, reader, monitor,
+             stats);
+  } catch (const std::exception& e) {
+    stats.violations.push_back(Violation{
+        std::string("promote-mid-churn: ") + e.what(), std::string()});
+  }
+  reap(primary);
+  reap(replica);
+}
+
+constexpr Scenario kScenarios[] = {
+    {"kill-primary", scenario_kill_primary},
+    {"stop-primary", scenario_stop_primary},
+    {"sever-link", scenario_sever_link},
+    {"promote-mid-churn", scenario_promote_mid_churn},
+};
+
+}  // namespace
+
+ChaosStats run_chaos(const ChaosOptions& options) {
+  ChaosStats stats;
+  if (options.server_exe.empty()) {
+    stats.violations.push_back(
+        Violation{"chaos: no server executable configured", std::string()});
+    return stats;
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+  for (const Scenario& scenario : kScenarios) {
+    if (!options.only.empty() && options.only != scenario.name) continue;
+    ++stats.scenarios;
+    note(options, "chaos: scenario %s\n", scenario.name);
+    scenario.run(options, stats);
+  }
+  if (stats.scenarios == 0) {
+    stats.violations.push_back(Violation{
+        "chaos: unknown scenario '" + options.only + "'", std::string()});
+  }
+  return stats;
+}
+
+int run_chaos_server(const std::string& replica_of) {
+  ::signal(SIGPIPE, SIG_IGN);
+  net::KvServer::Config config;
+  config.port = 0;
+  if (!replica_of.empty()) {
+    config.role = net::KvServer::Role::kReplica;
+    config.primary = replica_of;
+  }
+  net::KvServer server(config);
+  server.start();
+  std::printf("PORT %u\n", server.port());
+  std::fflush(stdout);
+  // Serve until the harness closes our stdin (or kills us outright).
+  char buf[64];
+  while (::read(STDIN_FILENO, buf, sizeof(buf)) > 0) {
+  }
+  server.stop();
+  return 0;
+}
+
+}  // namespace armus::fuzz

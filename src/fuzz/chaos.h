@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.h"
+
+/// Fault-injection (chaos) harness for the armus-kv HA pair (docs/HA.md):
+/// real primary/replica server *processes* under real faults — SIGKILL,
+/// SIGSTOP/SIGCONT, a severed replication link, promotion mid-churn —
+/// while clients keep publishing a handcrafted cross-site deadlock and a
+/// monitor asserts the two invariants that make failover safe:
+///
+///   1. fencing: within one observed boot generation, no slice version
+///      ever goes backwards (promotion/resync must change the generation
+///      before any state could appear to roll back);
+///   2. durability of detection: after every fault heals (or the replica
+///      is promoted), the published blocked statuses are all present
+///      again and the cross-process deadlock cycle is re-detected.
+///
+/// Server processes are this binary re-exec'd in a hidden helper mode
+/// (armus-fuzz --kv-server), so the harness can SIGKILL/SIGSTOP a real
+/// PID; the replication link runs through an in-process TCP relay the
+/// sever-link scenario can cut and heal. Everything is driven from
+/// `seed`, so a CI failure reproduces locally from the seed alone.
+///
+/// tools/armus_fuzz.cc drives this via --chaos.
+namespace armus::fuzz {
+
+struct ChaosOptions {
+  /// Path to the binary to re-exec as the server helper — normally
+  /// argv[0] of armus-fuzz itself.
+  std::string server_exe;
+
+  std::uint64_t seed = 1;  ///< backoff-jitter seeds for every client
+
+  /// Run only the scenario with this name ("kill-primary", "stop-primary",
+  /// "sever-link", "promote-mid-churn"); empty = the full matrix.
+  std::string only;
+
+  bool verbose = false;  ///< per-step progress on stderr
+};
+
+struct ChaosStats {
+  std::uint64_t scenarios = 0;         ///< scenarios run
+  std::uint64_t publishes = 0;         ///< successful slice publish rounds
+  std::uint64_t publish_failures = 0;  ///< rounds lost to outage windows
+  std::uint64_t observations = 0;      ///< monitor snapshots taken
+  std::uint64_t convergences = 0;      ///< deadlock (re-)detections
+  std::vector<Violation> violations;   ///< invariant breaches (the repro
+                                       ///< is scenario name + seed)
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Runs the scenario matrix. Spawns (and always reaps) server child
+/// processes via `options.server_exe --kv-server`.
+ChaosStats run_chaos(const ChaosOptions& options);
+
+/// The hidden helper behind `armus-fuzz --kv-server [--replica-of URL]`:
+/// starts a KvServer on an ephemeral port (a replica of URL when given),
+/// prints "PORT <n>" on stdout, and serves until stdin reaches EOF.
+/// Returns the process exit code.
+int run_chaos_server(const std::string& replica_of);
+
+}  // namespace armus::fuzz

@@ -153,7 +153,12 @@ WireStats fuzz_wire(net::KvServer& server, const WireOptions& options) {
     ++stats.mutants;
     std::string sent;
     std::size_t expected = 0;  ///< response frames owed (0 = torn stream)
-    switch (pick(rng, 9)) {
+    // A REPLICATE subscribe turns the connection into a server-push
+    // stream; after reading the subscribe answer(s) the request/response
+    // accounting no longer holds, so these mutants always tear the
+    // connection down and re-assert liveness on a fresh one.
+    bool stream = false;
+    switch (pick(rng, 12)) {
       case 0:  // a well-formed request, as-is
         sent = frame(pool[pick(rng, pool.size())]);
         expected = 1;
@@ -203,12 +208,39 @@ WireStats fuzz_wire(net::KvServer& server, const WireOptions& options) {
         expected = 1;
         break;
       }
-      default: {  // pipelined burst: several frames in one write
+      case 8: {  // pipelined burst: several frames in one write
         expected = 2 + pick(rng, 4);
         for (std::size_t i = 0; i < expected; ++i) {
           const std::string& body = pool[pick(rng, pool.size())];
           sent += frame(pick(rng, 2) == 0 ? bit_flip(rng, body) : body);
         }
+        break;
+      }
+      case 9: {  // REPLICATE subscribe, then mid-stream disconnect
+        std::string body = request_header(MsgType::kReplicate);
+        append_varint(body, 0);
+        append_varint(body, 0);
+        sent = frame(body);
+        expected = 1;
+        stream = true;
+        break;
+      }
+      case 10: {  // REPLICATE resuming from a stale / garbage base
+        std::string body = request_header(MsgType::kReplicate);
+        append_varint(body, rng());  // generation the store never had
+        append_varint(body, rng());  // version far past the store's
+        sent = frame(body);
+        expected = 1;
+        stream = true;
+        break;
+      }
+      default: {  // duplicate REPLICATE frames pipelined on one connection
+        std::string body = request_header(MsgType::kReplicate);
+        append_varint(body, 0);
+        append_varint(body, 0);
+        sent = frame(body) + frame(body);
+        expected = 2;
+        stream = true;
         break;
       }
     }
@@ -244,6 +276,13 @@ WireStats fuzz_wire(net::KvServer& server, const WireOptions& options) {
         stats.violations.push_back(
             Violation{"response frame without a parseable status", sent});
       }
+    }
+    if (stream) {
+      // Subscribe answers read (and status-checked) above; hang up before
+      // the push stream desyncs the accounting.
+      ++stats.drops;
+      if (!reconnect_live(sent)) break;
+      continue;
     }
     if (dropped || !heartbeat_ok()) {
       ++stats.drops;

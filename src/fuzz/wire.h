@@ -19,8 +19,11 @@
 ///
 /// Mutants cover truncated frames, oversized length prefixes, oversized
 /// varints, unknown opcodes, trailing garbage, spliced bodies, pipelined
-/// bursts, and mid-frame disconnects. Every mutant is a pure function of
-/// the seed, so a CI failure reproduces locally from the seed alone.
+/// bursts, mid-frame disconnects, and replication-stream abuse (REPLICATE
+/// subscribe followed by a mid-stream disconnect, a resume from a stale or
+/// garbage base, duplicate subscribe frames on one connection). Every
+/// mutant is a pure function of the seed, so a CI failure reproduces
+/// locally from the seed alone.
 ///
 /// tools/armus_fuzz.cc drives this via --wire (fixed-seed CI smoke);
 /// tests/net_test.cc pins a deterministic small run.

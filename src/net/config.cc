@@ -37,11 +37,29 @@ Endpoint parse_tcp_endpoint(const std::string& url) {
   return endpoint;
 }
 
-std::shared_ptr<RemoteStore> remote_store_from_url(const std::string& url,
+std::vector<Endpoint> parse_tcp_endpoints(const std::string& urls) {
+  std::vector<Endpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= urls.size()) {
+    std::size_t comma = urls.find(',', start);
+    std::string one = urls.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    endpoints.push_back(parse_tcp_endpoint(one));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (endpoints.empty()) {
+    throw std::invalid_argument("ARMUS_STORE must name at least one endpoint");
+  }
+  return endpoints;
+}
+
+std::shared_ptr<RemoteStore> remote_store_from_url(const std::string& urls,
                                                    RemoteStore::Config base) {
-  Endpoint endpoint = parse_tcp_endpoint(url);
-  base.host = endpoint.host;
-  base.port = endpoint.port;
+  std::vector<Endpoint> endpoints = parse_tcp_endpoints(urls);
+  base.host = endpoints.front().host;
+  base.port = endpoints.front().port;
+  base.endpoints = std::move(endpoints);
   if (base.auth_token.empty()) {
     if (auto token = util::env_str("ARMUS_AUTH_TOKEN")) {
       base.auth_token = *token;

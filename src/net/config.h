@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/verifier.h"
 #include "dist/store.h"
@@ -12,7 +13,10 @@
 /// a process publishes into. Lives in net/ (the top layer) so core/ and
 /// dist/ never depend back on the network code.
 ///
-///   ARMUS_STORE=tcp://host:port   slices go to an armus-kv server
+///   ARMUS_STORE=tcp://host:port   slices go to an armus-kv server; a
+///                                 comma-separated list (tcp://a:p,tcp://b:p)
+///                                 names the whole primary+replica pair and
+///                                 the client fails over between them
 ///   ARMUS_STORE unset             in-process store (single address space)
 ///   ARMUS_SITE_ID=N               this process's site id (default 0)
 ///   ARMUS_AUTH_TOKEN=secret       AUTH on every (re)connect (servers
@@ -20,19 +24,20 @@
 ///                                 it before mutating ops)
 namespace armus::net {
 
-struct Endpoint {
-  std::string host;
-  std::uint16_t port = 0;
-};
-
 /// Parses "tcp://host:port". Throws std::invalid_argument on any other
 /// shape (unknown scheme, missing/bad port).
 Endpoint parse_tcp_endpoint(const std::string& url);
 
-/// A RemoteStore for `url` ("tcp://host:port"); `base` supplies the
-/// non-address knobs (timeouts, backoff).
+/// Parses a comma-separated "tcp://host:port[,tcp://host:port…]" list
+/// (the multi-endpoint ARMUS_STORE form). Throws std::invalid_argument
+/// when any element — or the whole list — is malformed or empty.
+std::vector<Endpoint> parse_tcp_endpoints(const std::string& urls);
+
+/// A RemoteStore for `urls` ("tcp://host:port", or a comma-separated
+/// list: the first entry is dialled first, the rest are failover
+/// targets); `base` supplies the non-address knobs (timeouts, backoff).
 std::shared_ptr<RemoteStore> remote_store_from_url(
-    const std::string& url, RemoteStore::Config base = {});
+    const std::string& urls, RemoteStore::Config base = {});
 
 /// The backend named by ARMUS_STORE: a RemoteStore for "tcp://…", or
 /// nullptr when the variable is unset (callers fall back to in-process).

@@ -15,6 +15,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "net/replication.h"
 #include "net/socket_io.h"
 #include "obs/export.h"
 
@@ -37,6 +38,42 @@ std::size_t default_io_threads() {
   if (cores == 0) cores = 1;
   return std::min<std::size_t>(4, cores);
 }
+
+/// `OK generation version nchanged slice* nlive site*` — the
+/// LIST_SLICES_SINCE answer, the REPLICATE answer, and every pushed
+/// replication stream frame all share this shape.
+std::string delta_body(const dist::DeltaSnapshot& delta) {
+  std::string out = status_only(WireStatus::kOk);
+  append_varint(out, delta.generation);
+  append_varint(out, delta.version);
+  append_varint(out, delta.changed.size());
+  for (const dist::Slice& slice : delta.changed) append_slice(out, slice);
+  append_varint(out, delta.live_sites.size());
+  for (dist::SiteId site : delta.live_sites) append_varint(out, site);
+  return out;
+}
+
+/// Best-effort request-type peek (0 when the header does not parse) so
+/// the event loop can spot a REPLICATE subscription without re-parsing.
+std::uint64_t peek_type(std::string_view body) {
+  try {
+    std::size_t offset = 0;
+    (void)read_varint(body, &offset);  // proto
+    return read_varint(body, &offset);
+  } catch (const CodecError&) {
+    return 0;
+  }
+}
+
+/// "tcp://host:port" or "host:port" → "host:port".
+std::string strip_scheme(const std::string& url) {
+  const std::string scheme = "tcp://";
+  return url.rfind(scheme, 0) == 0 ? url.substr(scheme.size()) : url;
+}
+
+/// How often an idle replication stream receives a keepalive frame (the
+/// subscriber's io_timeout doubles as liveness detection against this).
+constexpr std::chrono::milliseconds kReplicationKeepalive{500};
 
 }  // namespace
 
@@ -97,6 +134,11 @@ class KvServer::EventLoop {
     std::string out;         ///< queued response bytes
     std::size_t out_off = 0; ///< sent prefix of `out`
     bool authenticated = false;
+    /// A replica's REPLICATE subscription: the loop pushes every store
+    /// change (and ~500 ms keepalives) as extra frames on this conn.
+    bool replicating = false;
+    std::uint64_t streamed_version = 0;  ///< store version pushed so far
+    std::chrono::steady_clock::time_point last_push;
     std::uint32_t events = EPOLLIN;  ///< current epoll interest mask
     std::chrono::steady_clock::time_point last_activity;
   };
@@ -118,8 +160,11 @@ class KvServer::EventLoop {
     std::vector<struct epoll_event> events(128);
     const bool sweep = server_.config_.idle_timeout.count() > 0;
     for (;;) {
+      // Periodic wakeups only when there is periodic work: an idle sweep,
+      // or replication subscribers to feed (pushes + keepalives).
+      int timeout = (sweep || replicating_ > 0) ? 50 : -1;
       int n = ::epoll_wait(epoll_fd_, events.data(),
-                           static_cast<int>(events.size()), sweep ? 50 : -1);
+                           static_cast<int>(events.size()), timeout);
       if (stop_.load(std::memory_order_acquire)) return;
       if (n < 0) {
         if (errno == EINTR) continue;
@@ -136,6 +181,7 @@ class KvServer::EventLoop {
           handle_io(fd, events[i].events);
         }
       }
+      if (replicating_ > 0) push_replication();
       if (sweep) sweep_idle();
     }
   }
@@ -239,7 +285,13 @@ class KvServer::EventLoop {
       }
       if (conn.in.size() - pos - 4 < length) break;  // partial frame
       std::string_view body(conn.in.data() + pos + 4, length);
-      conn.out += frame(server_.handle_request(body, &conn.authenticated));
+      std::uint64_t type = peek_type(body);
+      std::string response = server_.handle_request(body, &conn.authenticated);
+      if (type == static_cast<std::uint64_t>(MsgType::kReplicate) &&
+          !conn.replicating) {
+        mark_replicating(conn, response);
+      }
+      conn.out += frame(response);
       pos += 4 + length;
       // Don't let a request burst balloon the queue unchecked: once past
       // the cap, push bytes to the kernel now and drop the connection if
@@ -291,6 +343,50 @@ class KvServer::EventLoop {
     return true;
   }
 
+  /// Inspects the answer to a REPLICATE request: on OK the connection
+  /// becomes a push subscription resuming from the version the answer
+  /// itself carried (docs/WIRE_PROTOCOL.md §13).
+  void mark_replicating(Conn& conn, std::string_view response) {
+    try {
+      std::size_t offset = 0;
+      auto status = static_cast<WireStatus>(read_varint(response, &offset));
+      if (status != WireStatus::kOk) return;
+      (void)read_varint(response, &offset);  // generation
+      conn.streamed_version = read_varint(response, &offset);
+    } catch (const CodecError&) {
+      return;
+    }
+    conn.replicating = true;
+    conn.last_push = std::chrono::steady_clock::now();
+    ++replicating_;
+  }
+
+  /// Feeds every replication subscription: a delta frame as soon as the
+  /// store moved past what the conn has seen, a keepalive (empty change
+  /// set) otherwise after kReplicationKeepalive of silence. Push errors
+  /// drop the conn — the subscriber reconnects and resumes.
+  void push_replication() {
+    auto now = std::chrono::steady_clock::now();
+    std::uint64_t version = server_.backing_->version();
+    std::vector<int> dead;
+    for (auto& [fd, conn] : conns_) {
+      if (!conn.replicating) continue;
+      bool moved = version != conn.streamed_version;
+      if (!moved && now - conn.last_push < kReplicationKeepalive) continue;
+      dist::DeltaSnapshot delta;
+      try {
+        delta = server_.backing_->snapshot_since(conn.streamed_version);
+      } catch (const dist::StoreUnavailableError&) {
+        continue;  // outage: the stream idles until the store is back
+      }
+      conn.out += frame(delta_body(delta));
+      conn.streamed_version = delta.version;
+      conn.last_push = now;
+      if (!flush(fd, conn)) dead.push_back(fd);
+    }
+    for (int fd : dead) close_conn(fd);
+  }
+
   void set_interest(int fd, Conn& conn, std::uint32_t events) {
     if (conn.events == events) return;
     struct epoll_event ev;
@@ -303,6 +399,8 @@ class KvServer::EventLoop {
   }
 
   void close_conn(int fd) {
+    auto it = conns_.find(fd);
+    if (it != conns_.end() && it->second.replicating) --replicating_;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
     ::close(fd);
     conns_.erase(fd);
@@ -313,6 +411,9 @@ class KvServer::EventLoop {
     auto limit = server_.config_.idle_timeout;
     std::vector<int> expired;
     for (const auto& [fd, conn] : conns_) {
+      // A replication subscription is all outbound after the subscribe;
+      // inbound silence is its normal state, not idleness.
+      if (conn.replicating) continue;
       if (now - conn.last_activity > limit) expired.push_back(fd);
     }
     for (int fd : expired) {
@@ -330,6 +431,8 @@ class KvServer::EventLoop {
   std::mutex pending_mutex_;
   std::vector<int> pending_;
   std::unordered_map<int, Conn> conns_;
+  /// Live replication subscriptions on this loop (loop-thread only).
+  std::size_t replicating_ = 0;
 };
 
 KvServer::KvServer() : KvServer(Config{}) {}
@@ -337,7 +440,11 @@ KvServer::KvServer() : KvServer(Config{}) {}
 KvServer::KvServer(Config config, std::shared_ptr<dist::Store> backing)
     : config_(std::move(config)),
       backing_(backing ? std::move(backing)
-                       : std::make_shared<dist::Store>()) {}
+                       : std::make_shared<dist::Store>()) {
+  role_.store(static_cast<std::uint64_t>(config_.role),
+              std::memory_order_release);
+  primary_hostport_ = strip_scheme(config_.primary);
+}
 
 KvServer::~KvServer() { stop(); }
 
@@ -389,9 +496,44 @@ void KvServer::start() {
   }
   listen_fd_ = fd;
   for (auto& loop : loops_) loop->start();
+
+  // A replica with a configured primary mirrors it from the moment the
+  // server is up. (promote() may stop this subscription later.)
+  if (config_.role == Role::kReplica && !primary_hostport_.empty() &&
+      role() == Role::kReplica) {
+    std::size_t colon = primary_hostport_.rfind(':');
+    unsigned long port = 0;
+    if (colon != std::string::npos) {
+      try {
+        port = std::stoul(primary_hostport_.substr(colon + 1));
+      } catch (const std::exception&) {
+        port = 0;
+      }
+    }
+    if (port == 0 || port > 65535) {
+      throw std::runtime_error("armus-kv: bad primary address " +
+                               config_.primary);
+    }
+    std::lock_guard<std::mutex> promote_lock(promote_mutex_);
+    if (!replication_) {
+      ReplicationClient::Config rc;
+      rc.host = primary_hostport_.substr(0, colon);
+      rc.port = static_cast<std::uint16_t>(port);
+      rc.auth_token = config_.auth_token;
+      rc.max_frame = config_.max_frame;
+      rc.backoff_seed = config_.replication_backoff_seed;
+      replication_ = std::make_unique<ReplicationClient>(std::move(rc),
+                                                         backing_);
+    }
+    replication_->start();
+  }
 }
 
 void KvServer::stop() {
+  {
+    std::lock_guard<std::mutex> promote_lock(promote_mutex_);
+    if (replication_) replication_->stop();
+  }
   std::vector<std::unique_ptr<EventLoop>> loops;
   int listen_fd = -1;
   {
@@ -428,7 +570,37 @@ KvServer::Stats KvServer::stats() const {
   stats.dropped_idle = dropped_idle_.load(std::memory_order_relaxed);
   stats.dropped_protocol = dropped_protocol_.load(std::memory_order_relaxed);
   stats.auth_failures = auth_failures_.load(std::memory_order_relaxed);
+  stats.not_primary = not_primary_.load(std::memory_order_relaxed);
+  stats.role = role_.load(std::memory_order_acquire);
+  if (stats.role == static_cast<std::uint64_t>(Role::kReplica)) {
+    ReplicationClient::Stats replication;
+    {
+      std::lock_guard<std::mutex> lock(promote_mutex_);
+      if (replication_) replication = replication_->stats();
+    }
+    stats.replication_frames = replication.frames;
+    stats.replication_resyncs = replication.resyncs;
+    stats.replication_lag_versions = replication.lag_versions;
+    stats.replication_lag_ms = replication.lag_ms;
+  }
   return stats;
+}
+
+KvServer::Role KvServer::role() const {
+  return static_cast<Role>(role_.load(std::memory_order_acquire));
+}
+
+std::uint64_t KvServer::promote() {
+  std::lock_guard<std::mutex> lock(promote_mutex_);
+  if (role() == Role::kPrimary) return backing_->generation();
+  // Order matters: first silence the old primary's feed, then fence
+  // readers with a fresh generation, and only then start taking writes —
+  // so no reader can ever carry version comparisons across the takeover.
+  if (replication_) replication_->stop();
+  backing_->bump_generation();
+  role_.store(static_cast<std::uint64_t>(Role::kPrimary),
+              std::memory_order_release);
+  return backing_->generation();
 }
 
 std::string KvServer::stats_json() const {
@@ -456,6 +628,23 @@ std::string KvServer::handle_request(std::string_view body,
       error = WireStatus::kBadVersion;
       throw CodecError("protocol revision " + std::to_string(proto));
     }
+    // The role gate: a replica serves every read but answers mutating ops
+    // — and REPLICATE, since a replica must not feed a subscriber — with
+    // NOT_PRIMARY + the primary's address, before the auth gate (the
+    // redirect is not a secret, and an unauthenticated client must still
+    // learn where to go). PROMOTE is the exception: it is exactly the op
+    // a replica must accept.
+    if (role() == Role::kReplica &&
+        (static_cast<MsgType>(type) == MsgType::kPutSlice ||
+         static_cast<MsgType>(type) == MsgType::kClear ||
+         static_cast<MsgType>(type) == MsgType::kPutSliceDelta ||
+         static_cast<MsgType>(type) == MsgType::kReplicate)) {
+      not_primary_.fetch_add(1, std::memory_order_relaxed);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      std::string out = status_only(WireStatus::kNotPrimary);
+      append_bytes(out, primary_hostport_);
+      return out;
+    }
     // The auth gate: a token-configured server refuses mutating ops until
     // the connection has authenticated. Trusted embedded callers
     // (authenticated == nullptr) and read-only ops pass. Checked before
@@ -465,7 +654,9 @@ std::string KvServer::handle_request(std::string_view body,
         !*authenticated &&
         (static_cast<MsgType>(type) == MsgType::kPutSlice ||
          static_cast<MsgType>(type) == MsgType::kClear ||
-         static_cast<MsgType>(type) == MsgType::kPutSliceDelta)) {
+         static_cast<MsgType>(type) == MsgType::kPutSliceDelta ||
+         static_cast<MsgType>(type) == MsgType::kReplicate ||
+         static_cast<MsgType>(type) == MsgType::kPromote)) {
       auth_failures_.fetch_add(1, std::memory_order_relaxed);
       error = WireStatus::kUnauthorized;
       throw CodecError("unauthenticated mutating request");
@@ -556,6 +747,18 @@ std::string KvServer::handle_request(std::string_view body,
         info.connections = connections_.load(std::memory_order_relaxed);
         info.requests = requests_.load(std::memory_order_relaxed);
         info.errors = errors_.load(std::memory_order_relaxed);
+        info.role = role_.load(std::memory_order_acquire);
+        if (static_cast<Role>(info.role) == Role::kReplica) {
+          info.primary = primary_hostport_;
+          ReplicationClient::Stats replication;
+          {
+            std::lock_guard<std::mutex> lock(promote_mutex_);
+            if (replication_) replication = replication_->stats();
+          }
+          info.lag_versions = replication.lag_versions;
+          info.lag_ms = replication.lag_ms;
+          info.resync_age_ms = replication.resync_age_ms;
+        }
         std::string out = status_only(WireStatus::kOk);
         append_inspect(out, info);
         return out;
@@ -563,14 +766,27 @@ std::string KvServer::handle_request(std::string_view body,
       case MsgType::kListSlicesSince: {
         std::uint64_t since = read_varint(body, &offset);
         expect_end(body, offset);
-        dist::DeltaSnapshot delta = backing_->snapshot_since(since);
+        return delta_body(backing_->snapshot_since(since));
+      }
+      case MsgType::kReplicate: {
+        std::uint64_t since_generation = read_varint(body, &offset);
+        std::uint64_t since_version = read_varint(body, &offset);
+        expect_end(body, offset);
+        // Resume where the subscriber left off only when its history is
+        // ours: a different generation (or a version from the future)
+        // means full resync from 0. The answer doubles as the first
+        // stream frame; the event loop then marks the connection as a
+        // push subscription.
+        std::uint64_t since = since_generation == backing_->generation() &&
+                                      since_version <= backing_->version()
+                                  ? since_version
+                                  : 0;
+        return delta_body(backing_->snapshot_since(since));
+      }
+      case MsgType::kPromote: {
+        expect_end(body, offset);
         std::string out = status_only(WireStatus::kOk);
-        append_varint(out, delta.generation);
-        append_varint(out, delta.version);
-        append_varint(out, delta.changed.size());
-        for (const dist::Slice& slice : delta.changed) append_slice(out, slice);
-        append_varint(out, delta.live_sites.size());
-        for (dist::SiteId site : delta.live_sites) append_varint(out, site);
+        append_varint(out, promote());
         return out;
       }
       case MsgType::kStats: {

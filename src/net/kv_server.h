@@ -28,8 +28,17 @@
 /// dist::Store (Config::shards) is the only cross-loop synchronisation.
 namespace armus::net {
 
+class ReplicationClient;
+
 class KvServer {
  public:
+  /// Primary-backup role (docs/HA.md). A replica serves every read,
+  /// mirrors the primary over a REPLICATE subscription, and answers
+  /// mutating ops with NOT_PRIMARY + the primary's address; PROMOTE (or
+  /// a restart with ARMUS_ROLE=primary) turns it into a primary under a
+  /// fresh boot generation.
+  enum class Role : std::uint64_t { kPrimary = 0, kReplica = 1 };
+
   struct Config {
     /// Listen address. Default loopback: exposing armus-kv beyond the
     /// host is an explicit operator decision (see auth_token).
@@ -64,6 +73,22 @@ class KvServer {
     /// unauthenticated one. Wired from $ARMUS_AUTH_TOKEN by the CLI
     /// entrypoints.
     std::string auth_token;
+
+    /// kReplica: serve reads, reject mutations with NOT_PRIMARY, mirror
+    /// the primary via a REPLICATE subscription into the backing store.
+    /// Wired from $ARMUS_ROLE ("primary"/"replica") by the CLI
+    /// entrypoints.
+    Role role = Role::kPrimary;
+
+    /// Replica: the primary's address, "host:port" (a "tcp://" prefix is
+    /// accepted and stripped). Dialled by the replication subscription
+    /// and carried verbatim in NOT_PRIMARY redirects; empty = redirect
+    /// with an empty payload and do not replicate (ARMUS_PRIMARY).
+    std::string primary;
+
+    /// Replica: seed for the replication reconnect jitter; 0 (default)
+    /// draws a random one. Tests pin it.
+    std::uint64_t replication_backoff_seed = 0;
   };
 
   struct Stats {
@@ -74,6 +99,12 @@ class KvServer {
     std::uint64_t dropped_idle = 0;          ///< idle_timeout expired
     std::uint64_t dropped_protocol = 0;      ///< oversized frame length
     std::uint64_t auth_failures = 0;  ///< bad AUTH or unauthenticated write
+    std::uint64_t not_primary = 0;    ///< mutating ops redirected off a replica
+    std::uint64_t role = 0;           ///< 0 = primary, 1 = replica
+    std::uint64_t replication_frames = 0;    ///< stream frames applied
+    std::uint64_t replication_resyncs = 0;   ///< full resyncs performed
+    std::uint64_t replication_lag_versions = 0;  ///< versions behind primary
+    std::uint64_t replication_lag_ms = 0;        ///< ms since last frame
   };
 
   /// `backing` defaults to a fresh in-process Store. Passing one in lets a
@@ -106,6 +137,17 @@ class KvServer {
 
   [[nodiscard]] Stats stats() const;
 
+  /// The server's current role (a replica becomes primary via promote()).
+  [[nodiscard]] Role role() const;
+
+  /// Makes a replica the primary: stops the replication subscription,
+  /// bumps the backing store's boot generation (fencing: readers refetch
+  /// from scratch, slice versions can never appear to roll back even if
+  /// the old primary accepted unreplicated writes), then starts accepting
+  /// mutations. Returns the store generation now in force. Idempotent on
+  /// a primary. Served by the PROMOTE opcode.
+  std::uint64_t promote();
+
   /// Handles one decoded request body, returning the response body. Pure
   /// protocol logic (no sockets) — exercised directly by the unit tests.
   /// This entry point is a *trusted* caller (same process as the store):
@@ -128,6 +170,15 @@ class KvServer {
   Config config_;
   std::shared_ptr<dist::Store> backing_;
 
+  /// Role, readable lock-free from every loop thread; flipped by
+  /// promote() under promote_mutex_.
+  std::atomic<std::uint64_t> role_{0};
+  mutable std::mutex promote_mutex_;
+  /// The primary's "host:port" (scheme stripped); constant after
+  /// construction — the role gate decides whether it is advertised.
+  std::string primary_hostport_;
+  std::unique_ptr<ReplicationClient> replication_;
+
   mutable std::mutex mutex_;  ///< lifecycle (start/stop) only
   int listen_fd_ = -1;
   std::uint16_t bound_port_ = 0;
@@ -143,6 +194,7 @@ class KvServer {
   std::atomic<std::uint64_t> dropped_idle_{0};
   std::atomic<std::uint64_t> dropped_protocol_{0};
   std::atomic<std::uint64_t> auth_failures_{0};
+  std::atomic<std::uint64_t> not_primary_{0};
 };
 
 }  // namespace armus::net

@@ -17,6 +17,7 @@ std::string to_string(WireStatus status) {
     case WireStatus::kStaleVersion: return "STALE_VERSION";
     case WireStatus::kBaseMismatch: return "BASE_MISMATCH";
     case WireStatus::kUnauthorized: return "UNAUTHORIZED";
+    case WireStatus::kNotPrimary: return "NOT_PRIMARY";
   }
   return "status " + std::to_string(static_cast<std::uint64_t>(status));
 }
@@ -83,6 +84,11 @@ void append_inspect(std::string& out, const InspectInfo& info) {
   append_varint(out, info.connections);
   append_varint(out, info.requests);
   append_varint(out, info.errors);
+  append_varint(out, info.role);
+  append_bytes(out, info.primary);
+  append_varint(out, info.lag_versions);
+  append_varint(out, info.lag_ms);
+  append_varint(out, info.resync_age_ms);
   append_varint(out, info.sites.size());
   for (const dist::SliceInspect& row : info.sites) {
     append_varint(out, row.site);
@@ -100,6 +106,11 @@ InspectInfo read_inspect(std::string_view body, std::size_t* offset) {
   info.connections = read_varint(body, offset);
   info.requests = read_varint(body, offset);
   info.errors = read_varint(body, offset);
+  info.role = read_varint(body, offset);
+  info.primary = std::string(read_bytes(body, offset));
+  info.lag_versions = read_varint(body, offset);
+  info.lag_ms = read_varint(body, offset);
+  info.resync_age_ms = read_varint(body, offset);
   std::uint64_t nsites = util::read_count(body, offset, "inspect row");
   info.sites.reserve(nsites);
   for (std::uint64_t i = 0; i < nsites; ++i) {

@@ -51,6 +51,14 @@ enum class MsgType : std::uint64_t {
   kStats = 9,            ///< (empty) → OK(nbytes json) — the server's
                          ///<   obs::Registry::snapshot_json()
   kAuth = 10,            ///< token:bytes → OK() | kUnauthorized
+  kReplicate = 11,       ///< since_generation since_version → OK(generation
+                         ///<   version nchanged slice* nlive site*); over TCP
+                         ///<   the connection then becomes a server-push
+                         ///<   stream of further frames of the same shape
+                         ///<   (docs/WIRE_PROTOCOL.md §13)
+  kPromote = 12,         ///< (empty) → OK(generation) — a replica becomes
+                         ///<   the primary under a *fresh* boot generation;
+                         ///<   idempotent on a primary (current generation)
 };
 
 enum class WireStatus : std::uint64_t {
@@ -64,6 +72,8 @@ enum class WireStatus : std::uint64_t {
   kBaseMismatch = 7,  ///< PUT_SLICE_DELTA base != stored; payload = current
   kUnauthorized = 8,  ///< mutating op before a successful AUTH, or a wrong
                       ///< token, on a server configured with an auth token
+  kNotPrimary = 9,    ///< mutating op on a replica; payload = the primary's
+                      ///< "host:port" (empty when unknown) — redirect there
 };
 
 [[nodiscard]] std::string to_string(WireStatus status);
@@ -101,10 +111,17 @@ struct InspectInfo {
   std::uint64_t connections = 0;    ///< accepted so far
   std::uint64_t requests = 0;       ///< handled, this one included
   std::uint64_t errors = 0;         ///< non-OK responses sent
+  std::uint64_t role = 0;           ///< 0 = primary, 1 = replica
+  std::string primary;              ///< replica: the primary's "host:port"
+  std::uint64_t lag_versions = 0;   ///< replica: primary versions not applied
+  std::uint64_t lag_ms = 0;         ///< replica: ms since last stream frame
+  std::uint64_t resync_age_ms = 0;  ///< replica: ms since last full resync
+                                    ///< (0 = never synced, or a primary)
   std::vector<dist::SliceInspect> sites;  ///< sorted by site id
 };
 
 /// `generation version connections requests errors
+///  role primary:bytes lag_versions lag_ms resync_age_ms
 ///  nsites (site version blocked age_ms payload_bytes)*` — the OK
 /// payload of INSPECT.
 void append_inspect(std::string& out, const InspectInfo& info);

@@ -1,6 +1,7 @@
 #include "net/remote_store.h"
 
 #include <algorithm>
+#include <random>
 
 #include "net/socket_io.h"
 
@@ -11,7 +12,47 @@ using dist::CodecError;
 using dist::read_varint;
 using dist::StoreUnavailableError;
 
-RemoteStore::RemoteStore(Config config) : config_(std::move(config)) {}
+namespace {
+
+std::uint64_t seed_or_random(std::uint64_t seed) {
+  if (seed != 0) return seed;
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}
+
+/// "host:port" → Endpoint; nullopt on any other shape.
+std::optional<Endpoint> parse_hostport(std::string_view hostport) {
+  std::size_t colon = hostport.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == hostport.size()) {
+    return std::nullopt;
+  }
+  unsigned long port = 0;
+  std::size_t consumed = 0;
+  std::string port_str(hostport.substr(colon + 1));
+  try {
+    port = std::stoul(port_str, &consumed);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (consumed != port_str.size() || port == 0 || port > 65535) {
+    return std::nullopt;
+  }
+  Endpoint endpoint;
+  endpoint.host = std::string(hostport.substr(0, colon));
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+}  // namespace
+
+RemoteStore::RemoteStore(Config config)
+    : config_(std::move(config)), rng_(seed_or_random(config_.backoff_seed)) {
+  endpoints_ = config_.endpoints;
+  if (endpoints_.empty()) {
+    endpoints_.push_back(Endpoint{config_.host, config_.port});
+  }
+}
 
 RemoteStore::~RemoteStore() {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -24,10 +65,45 @@ void RemoteStore::disconnect_locked(const char* reason) const {
   io::close_fd(fd_);
   fd_ = -1;
   ++stats_.failures;
-  backoff_ = backoff_.count() == 0
-                 ? config_.backoff_initial
-                 : std::min(backoff_ * 2, config_.backoff_max);
+  // Decorrelated jitter: uniform in [initial, 3 × previous], capped.
+  // Grows like doubling but no two clients share a schedule, so a fleet
+  // reconnecting after a failover trickles onto the promoted replica
+  // instead of stampeding it.
+  std::uint64_t low =
+      static_cast<std::uint64_t>(config_.backoff_initial.count());
+  std::uint64_t prev = backoff_.count() == 0
+                           ? low
+                           : static_cast<std::uint64_t>(backoff_.count());
+  std::uint64_t high = std::max(low, prev * 3);
+  backoff_ = std::min(config_.backoff_max,
+                      std::chrono::milliseconds(low + rng_.below(high - low + 1)));
+  stats_.next_backoff_ms = static_cast<std::uint64_t>(backoff_.count());
   retry_after_ = std::chrono::steady_clock::now() + backoff_;
+}
+
+void RemoteStore::prefer_locked(std::string_view hostport) const {
+  std::optional<Endpoint> target = parse_hostport(hostport);
+  if (!target) {
+    // No usable address in the redirect: try the next known endpoint.
+    if (endpoints_.size() > 1) {
+      preferred_ = (preferred_ + 1) % endpoints_.size();
+      ++stats_.failovers;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoints_[i].host == target->host &&
+        endpoints_[i].port == target->port) {
+      if (preferred_ != i) {
+        preferred_ = i;
+        ++stats_.failovers;
+      }
+      return;
+    }
+  }
+  endpoints_.push_back(*target);
+  preferred_ = endpoints_.size() - 1;
+  ++stats_.failovers;
 }
 
 void RemoteStore::ensure_connected_locked() const {
@@ -36,52 +112,60 @@ void RemoteStore::ensure_connected_locked() const {
     ++stats_.fast_failures;
     throw StoreUnavailableError("armus-kv: backing off after failure");
   }
-  int fd = io::connect_to(
-      config_.host, config_.port,
-      static_cast<int>(config_.connect_timeout.count()));
-  if (fd < 0) {
-    disconnect_locked("connect failed");
-    throw StoreUnavailableError("armus-kv: cannot connect to " + config_.host +
-                                ":" + std::to_string(config_.port));
+  ++stats_.reconnect_attempts;
+  // Walk the endpoint list from the last known-good entry; any server
+  // that accepts the connection (reads are served cluster-wide, and a
+  // mutation sent to a replica redirects) beats reporting an outage.
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    std::size_t index = (preferred_ + i) % endpoints_.size();
+    const Endpoint& endpoint = endpoints_[index];
+    int fd = io::connect_to(endpoint.host, endpoint.port,
+                            static_cast<int>(config_.connect_timeout.count()));
+    if (fd < 0) continue;
+    io::set_io_timeout(fd, static_cast<int>(config_.io_timeout.count()));
+    fd_ = fd;
+    if (!config_.auth_token.empty()) {
+      // Authenticate before anything else travels on the connection.
+      std::string body = request_header(MsgType::kAuth);
+      append_bytes(body, config_.auth_token);
+      std::optional<std::string> response;
+      if (io::write_all(fd_, frame(body))) {
+        response = io::read_frame(fd_, config_.max_frame);
+      }
+      if (!response) {
+        // The exchange died — an endpoint failure; try the next one.
+        io::close_fd(fd_);
+        fd_ = -1;
+        continue;
+      }
+      std::size_t offset = 0;
+      WireStatus status = read_status(*response, &offset);
+      if (status != WireStatus::kOk) {
+        // A *rejected* token is a configuration error, not an endpoint
+        // outage: the same token would be refused everywhere.
+        disconnect_locked("auth rejected");
+        throw StoreUnavailableError("armus-kv: AUTH failed: " +
+                                    to_string(status));
+      }
+    }
+    if (preferred_ != index) {
+      preferred_ = index;
+      ++stats_.failovers;
+    }
+    backoff_ = std::chrono::milliseconds{0};
+    stats_.next_backoff_ms = 0;
+    retry_after_ = {};
+    ++stats_.connects;
+    return;
   }
-  io::set_io_timeout(fd, static_cast<int>(config_.io_timeout.count()));
-  fd_ = fd;
-  if (!config_.auth_token.empty()) {
-    // Authenticate before anything else travels on the connection. A
-    // failure here is handled like any connect failure: backoff window,
-    // StoreUnavailableError, retry next period.
-    std::string body = request_header(MsgType::kAuth);
-    append_bytes(body, config_.auth_token);
-    std::optional<std::string> response;
-    if (io::write_all(fd_, frame(body))) {
-      response = io::read_frame(fd_, config_.max_frame);
-    }
-    if (!response) {
-      disconnect_locked("auth exchange failed");
-      throw StoreUnavailableError("armus-kv: AUTH exchange failed");
-    }
-    std::size_t offset = 0;
-    WireStatus status = read_status(*response, &offset);
-    if (status != WireStatus::kOk) {
-      disconnect_locked("auth rejected");
-      throw StoreUnavailableError("armus-kv: AUTH failed: " +
-                                  to_string(status));
-    }
-  }
-  backoff_ = std::chrono::milliseconds{0};
-  retry_after_ = {};
-  ++stats_.connects;
+  disconnect_locked("connect failed");
+  throw StoreUnavailableError(
+      "armus-kv: cannot connect to any of " +
+      std::to_string(endpoints_.size()) + " endpoint(s), first " +
+      endpoints_.front().host + ":" + std::to_string(endpoints_.front().port));
 }
 
-std::string RemoteStore::roundtrip(std::string_view body) const {
-  if (body.size() > config_.max_frame) {
-    // A permanent condition, not an outage: retrying the same payload can
-    // never succeed, so name the real cause instead of backing off.
-    throw StoreUnavailableError(
-        "armus-kv: request of " + std::to_string(body.size()) +
-        " bytes exceeds max_frame " + std::to_string(config_.max_frame) +
-        " (slice too large; raise max_frame on both ends)");
-  }
+std::string RemoteStore::exchange_locked(std::string_view body) const {
   ensure_connected_locked();
   if (!io::write_all(fd_, frame(body))) {
     disconnect_locked("send failed");
@@ -93,6 +177,57 @@ std::string RemoteStore::roundtrip(std::string_view body) const {
     throw StoreUnavailableError("armus-kv: connection lost awaiting response");
   }
   return std::move(*response);
+}
+
+std::string RemoteStore::roundtrip(std::string_view body) const {
+  if (body.size() > config_.max_frame) {
+    // A permanent condition, not an outage: retrying the same payload can
+    // never succeed, so name the real cause instead of backing off.
+    throw StoreUnavailableError(
+        "armus-kv: request of " + std::to_string(body.size()) +
+        " bytes exceeds max_frame " + std::to_string(config_.max_frame) +
+        " (slice too large; raise max_frame on both ends)");
+  }
+  for (int redirects = 0;; ++redirects) {
+    std::string response = exchange_locked(body);
+    // Peek the status: every op handles its own, except NOT_PRIMARY,
+    // which is connection routing and belongs here — re-point at the
+    // primary the reply names and resend once.
+    std::size_t offset = 0;
+    std::uint64_t status;
+    try {
+      status = read_varint(response, &offset);
+    } catch (const CodecError&) {
+      disconnect_locked("malformed response");
+      throw StoreUnavailableError("armus-kv: malformed response");
+    }
+    if (static_cast<WireStatus>(status) != WireStatus::kNotPrimary) {
+      return response;
+    }
+    std::string redirect;
+    try {
+      redirect = std::string(read_bytes(response, &offset));
+      expect_end(response, offset);
+    } catch (const CodecError&) {
+      disconnect_locked("malformed redirect");
+      throw StoreUnavailableError("armus-kv: malformed NOT_PRIMARY response");
+    }
+    ++stats_.redirects;
+    // Leave this (healthy, read-serving) replica without opening a
+    // backoff window; the follow-up connect decides whether the named
+    // primary is actually reachable.
+    io::close_fd(fd_);
+    fd_ = -1;
+    if (redirects >= 1) {
+      // Two redirects in a row: the failover has not settled (e.g. the
+      // named primary is dead and its replica still points at it). Let
+      // the caller retry through the ordinary outage path.
+      disconnect_locked("redirect loop");
+      throw StoreUnavailableError(
+          "armus-kv: NOT_PRIMARY redirect loop (failover in progress)");
+    }
+    prefer_locked(redirect);
+  }
 }
 
 WireStatus RemoteStore::read_status(std::string_view response,
@@ -350,6 +485,29 @@ bool RemoteStore::heartbeat() {
   }
 }
 
+std::uint64_t RemoteStore::promote() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Deliberately exchange_locked, not roundtrip: PROMOTE must reach the
+  // endpoint this client is pointed at, never follow a redirect (the
+  // whole point is to promote a replica that still calls another server
+  // its primary).
+  std::string response = exchange_locked(request_header(MsgType::kPromote));
+  std::size_t offset = 0;
+  WireStatus status = read_status(response, &offset);
+  if (status != WireStatus::kOk) {
+    throw StoreUnavailableError("armus-kv: PROMOTE failed: " +
+                                to_string(status));
+  }
+  try {
+    std::uint64_t generation = read_varint(response, &offset);
+    expect_end(response, offset);
+    return generation;
+  } catch (const CodecError&) {
+    disconnect_locked("malformed response");
+    throw StoreUnavailableError("armus-kv: malformed PROMOTE response");
+  }
+}
+
 bool RemoteStore::connected() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return fd_ >= 0;
@@ -358,6 +516,16 @@ bool RemoteStore::connected() const {
 RemoteStore::Stats RemoteStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+std::vector<Endpoint> RemoteStore::endpoints() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return endpoints_;
+}
+
+std::size_t RemoteStore::preferred_endpoint() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return preferred_;
 }
 
 }  // namespace armus::net

@@ -7,9 +7,11 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "dist/store.h"
 #include "net/protocol.h"
+#include "util/rng.h"
 
 /// The client side of armus-kv: a dist::SliceStore whose operations are
 /// request/response exchanges with a KvServer over TCP. dist::Site,
@@ -21,15 +23,36 @@
 /// surfaces as dist::StoreUnavailableError — the same exception the
 /// in-process store throws during an injected outage — so a Site absorbs
 /// it through its existing outage path and simply retries next period.
-/// Reconnection is lazy with exponential backoff: while the backoff
-/// window is open, operations fail fast without touching the network.
+/// Reconnection is lazy with decorrelated-jitter exponential backoff:
+/// while the backoff window is open, operations fail fast without
+/// touching the network (and a 10k-site fleet reconnecting after a
+/// failover never stampedes the promoted replica in lockstep).
+///
+/// High availability (docs/HA.md): Config::endpoints may list several
+/// servers (ARMUS_STORE=tcp://a:p,tcp://b:p). Connects walk the list
+/// from the last known-good entry, and a NOT_PRIMARY answer — a mutation
+/// sent to a replica — redirects to the address the reply carries and
+/// resends once. A failover window where no endpoint accepts writes
+/// surfaces as the ordinary StoreUnavailableError outage path.
 namespace armus::net {
+
+/// One armus-kv server address.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
 
 class RemoteStore final : public dist::SliceStore {
  public:
   struct Config {
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
+
+    /// Every known server (primary + replicas), tried in order from the
+    /// last endpoint that worked. Empty: {host, port} above is the one
+    /// endpoint. A NOT_PRIMARY redirect naming an address outside this
+    /// list appends it.
+    std::vector<Endpoint> endpoints;
 
     /// Bound on one connect(2) attempt.
     std::chrono::milliseconds connect_timeout{500};
@@ -40,10 +63,16 @@ class RemoteStore final : public dist::SliceStore {
     /// block a site thread forever.
     std::chrono::milliseconds io_timeout{2000};
 
-    /// First retry delay after a failure; doubles per consecutive failure
-    /// up to backoff_max, resets on success.
+    /// Retry-delay bounds after a failure. The delay is decorrelated
+    /// jitter: uniform in [backoff_initial, 3 × previous delay], capped
+    /// at backoff_max, reset on success — growth like doubling, but no
+    /// two clients reconnect on the same schedule.
     std::chrono::milliseconds backoff_initial{25};
     std::chrono::milliseconds backoff_max{1000};
+
+    /// Seed for the backoff jitter; 0 (default) draws a random one so
+    /// fleet members decorrelate. Tests pin it for reproducibility.
+    std::uint64_t backoff_seed = 0;
 
     std::size_t max_frame = kDefaultMaxFrame;
 
@@ -60,6 +89,10 @@ class RemoteStore final : public dist::SliceStore {
     std::uint64_t failures = 0;       ///< operations failed on the network
     std::uint64_t fast_failures = 0;  ///< failed inside the backoff window
     std::uint64_t stale_retries = 0;  ///< puts re-sequenced after kStaleVersion
+    std::uint64_t reconnect_attempts = 0;  ///< connect walks started
+    std::uint64_t redirects = 0;      ///< NOT_PRIMARY answers followed
+    std::uint64_t failovers = 0;      ///< preferred endpoint changes
+    std::uint64_t next_backoff_ms = 0;  ///< current jittered retry delay
   };
 
   explicit RemoteStore(Config config);
@@ -112,20 +145,43 @@ class RemoteStore final : public dist::SliceStore {
   /// network failure.
   [[nodiscard]] std::string stats_json() const;
 
+  /// PROMOTE round trip against the *preferred* endpoint: makes a replica
+  /// the primary (under a fresh boot generation) and returns the
+  /// generation now in force. Point a dedicated RemoteStore at the
+  /// replica to promote a specific server. Throws
+  /// dist::StoreUnavailableError on network failure.
+  std::uint64_t promote();
+
   [[nodiscard]] bool connected() const;
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// The endpoint list in use (config plus redirect-learned entries) and
+  /// the index currently preferred — observability for tests/armus-top.
+  [[nodiscard]] std::vector<Endpoint> endpoints() const;
+  [[nodiscard]] std::size_t preferred_endpoint() const;
+
  private:
   /// Sends `body` and returns the response body. Connects first if
-  /// needed. Any failure closes the socket, opens/extends the backoff
-  /// window, and throws dist::StoreUnavailableError.
+  /// needed. A NOT_PRIMARY answer is followed once: re-point at the
+  /// address it names (or the next endpoint) and resend; a second one is
+  /// an unsettled failover window → StoreUnavailableError. Any network
+  /// failure closes the socket, opens/extends the backoff window, and
+  /// throws dist::StoreUnavailableError.
   std::string roundtrip(std::string_view body) const;
+  /// One send/recv exchange on the current connection (no redirect
+  /// handling). Caller holds mutex_.
+  std::string exchange_locked(std::string_view body) const;
 
-  /// Ensures fd_ holds a live connection; throws on failure (fast while
-  /// the backoff window is open). Caller holds mutex_.
+  /// Ensures fd_ holds a live connection, walking the endpoint list from
+  /// preferred_; throws on failure (fast while the backoff window is
+  /// open). Caller holds mutex_.
   void ensure_connected_locked() const;
   void disconnect_locked(const char* reason) const;
+  /// Points preferred_ at `hostport` ("host:port"), learning it if new;
+  /// an unparseable address just advances to the next endpoint. Caller
+  /// holds mutex_.
+  void prefer_locked(std::string_view hostport) const;
 
   /// Parses `status payload`; returns the offset just past the status.
   /// Maps kUnavailable onto StoreUnavailableError.
@@ -136,6 +192,11 @@ class RemoteStore final : public dist::SliceStore {
 
   mutable std::mutex mutex_;
   mutable int fd_ = -1;
+  /// The servers to try (config endpoints, or {host, port}, plus any
+  /// redirect-learned addresses) and the index connects start from.
+  mutable std::vector<Endpoint> endpoints_;
+  mutable std::size_t preferred_ = 0;
+  mutable util::Xoshiro256 rng_;
   mutable std::chrono::milliseconds backoff_{0};
   mutable std::chrono::steady_clock::time_point retry_after_{};
   mutable Stats stats_;

@@ -1,0 +1,230 @@
+#include "net/replication.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <random>
+
+#include "net/socket_io.h"
+
+namespace armus::net {
+
+using dist::append_varint;
+using dist::CodecError;
+using dist::read_varint;
+
+namespace {
+
+std::uint64_t seed_or_random(std::uint64_t seed) {
+  if (seed != 0) return seed;
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}
+
+/// Parses one `generation version nchanged slice* nlive site*` frame —
+/// the REPLICATE answer and every pushed stream frame share the shape.
+dist::DeltaSnapshot read_delta(std::string_view body, std::size_t* offset) {
+  dist::DeltaSnapshot delta;
+  delta.generation = read_varint(body, offset);
+  delta.version = read_varint(body, offset);
+  std::uint64_t nchanged = read_varint(body, offset);
+  delta.changed.reserve(nchanged);
+  for (std::uint64_t i = 0; i < nchanged; ++i) {
+    delta.changed.push_back(read_slice(body, offset));
+  }
+  std::uint64_t nlive = read_varint(body, offset);
+  delta.live_sites.reserve(nlive);
+  for (std::uint64_t i = 0; i < nlive; ++i) {
+    delta.live_sites.push_back(
+        static_cast<dist::SiteId>(read_varint(body, offset)));
+  }
+  expect_end(body, *offset);
+  return delta;
+}
+
+}  // namespace
+
+ReplicationClient::ReplicationClient(Config config,
+                                     std::shared_ptr<dist::Store> store)
+    : config_(std::move(config)),
+      store_(std::move(store)),
+      rng_(seed_or_random(config_.backoff_seed)) {}
+
+ReplicationClient::~ReplicationClient() { stop(); }
+
+void ReplicationClient::start() {
+  if (started_.exchange(true)) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+}
+
+void ReplicationClient::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Interrupt a blocked stream read so stop() is prompt (promotion runs
+    // on a request-handling thread). The fd itself is closed by session().
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  started_.store(false, std::memory_order_release);
+}
+
+void ReplicationClient::run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    session();
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Decorrelated jitter: sleep uniform(initial, 3·previous), capped.
+    // Thundering-herd protection for the primary the same way
+    // RemoteStore's reconnects protect a freshly promoted replica.
+    std::chrono::milliseconds delay;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::uint64_t low =
+          static_cast<std::uint64_t>(config_.backoff_initial.count());
+      std::uint64_t prev = backoff_.count() == 0
+                               ? low
+                               : static_cast<std::uint64_t>(backoff_.count());
+      std::uint64_t high = std::max(low, prev * 3);
+      backoff_ = std::min(
+          config_.backoff_max,
+          std::chrono::milliseconds(low + rng_.below(high - low + 1)));
+      delay = backoff_;
+    }
+    // Sleep in short hops so stop() stays prompt mid-backoff.
+    auto deadline = std::chrono::steady_clock::now() + delay;
+    while (!stop_.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
+void ReplicationClient::session() {
+  int fd = io::connect_to(config_.host, config_.port,
+                          static_cast<int>(config_.connect_timeout.count()));
+  if (fd < 0) return;
+  io::set_io_timeout(fd, static_cast<int>(config_.io_timeout.count()));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_.load(std::memory_order_acquire)) {
+      io::close_fd(fd);
+      return;
+    }
+    fd_ = fd;
+  }
+
+  auto teardown = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    io::close_fd(fd_);
+    fd_ = -1;
+    stats_.connected = false;
+  };
+
+  try {
+    if (!config_.auth_token.empty()) {
+      std::string body = request_header(MsgType::kAuth);
+      append_bytes(body, config_.auth_token);
+      if (!io::write_all(fd, frame(body))) throw CodecError("auth send");
+      std::optional<std::string> response =
+          io::read_frame(fd, config_.max_frame);
+      if (!response) throw CodecError("auth recv");
+      std::size_t offset = 0;
+      if (static_cast<WireStatus>(read_varint(*response, &offset)) !=
+          WireStatus::kOk) {
+        throw CodecError("auth rejected");
+      }
+    }
+
+    std::string subscribe = request_header(MsgType::kReplicate);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      append_varint(subscribe, primed_ ? seen_generation_ : 0);
+      append_varint(subscribe, primed_ ? seen_version_ : 0);
+    }
+    if (!io::write_all(fd, frame(subscribe))) throw CodecError("subscribe");
+
+    // The REPLICATE answer and every pushed frame look alike: `OK delta`.
+    bool first = true;
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::optional<std::string> response =
+          io::read_frame(fd, config_.max_frame);
+      if (!response) break;  // stream dead (or keepalives stopped)
+      std::size_t offset = 0;
+      auto status = static_cast<WireStatus>(read_varint(*response, &offset));
+      if (status != WireStatus::kOk) break;  // e.g. NOT_PRIMARY: re-resolve
+      dist::DeltaSnapshot delta = read_delta(*response, &offset);
+      apply(delta);
+      if (first) {
+        first = false;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.connects;
+        stats_.connected = true;
+        backoff_ = std::chrono::milliseconds{0};
+      }
+    }
+  } catch (const CodecError&) {
+    // Malformed stream or failed handshake: drop the session and let the
+    // backoff-reconnect loop resubscribe from the last applied point.
+  } catch (const dist::StoreUnavailableError&) {
+    // Local store outage mid-apply; resubscribe picks up from the last
+    // fully applied frame.
+  }
+  teardown();
+}
+
+void ReplicationClient::apply(const dist::DeltaSnapshot& delta) {
+  bool resync;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    resync = !primed_ || delta.generation != seen_generation_;
+    primary_version_ = delta.version;
+  }
+  if (resync && primed_) {
+    // A different primary lifetime: its version history — and everything
+    // this replica mirrors — is void. Clear first (still under the old
+    // local generation, so nothing ever regresses), then fence readers
+    // with a fresh generation, then apply the full frame under it.
+    store_->retain_only({});
+    store_->bump_generation();
+  }
+  for (const dist::Slice& slice : delta.changed) {
+    store_->put_slice_if_newer(slice.site, slice.payload, slice.version);
+  }
+  store_->retain_only(delta.live_sites);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto now = std::chrono::steady_clock::now();
+  seen_generation_ = delta.generation;
+  seen_version_ = delta.version;
+  primed_ = true;
+  last_frame_ = now;
+  if (resync) {
+    last_resync_ = now;
+    ++stats_.resyncs;
+  }
+  ++stats_.frames;
+  stats_.slices += delta.changed.size();
+}
+
+ReplicationClient::Stats ReplicationClient::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  auto now = std::chrono::steady_clock::now();
+  out.lag_versions = primary_version_ - seen_version_;
+  if (last_frame_ != std::chrono::steady_clock::time_point{}) {
+    out.lag_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - last_frame_)
+            .count());
+  }
+  if (last_resync_ != std::chrono::steady_clock::time_point{}) {
+    out.resync_age_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                              last_resync_)
+            .count());
+  }
+  return out;
+}
+
+}  // namespace armus::net

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "dist/store.h"
+#include "net/protocol.h"
+#include "util/rng.h"
+
+/// The replica half of armus-kv primary-backup replication (docs/HA.md).
+///
+/// A ReplicationClient is a long-lived subscriber the replica server runs
+/// against its primary: it connects as an ordinary client, authenticates,
+/// sends one REPLICATE request carrying the (generation, version) it has
+/// applied so far, and then consumes the server-push stream of delta
+/// frames — each the same `generation version nchanged slice* nlive
+/// site*` shape as a LIST_SLICES_SINCE answer — applying every committed
+/// slice write into the replica's own dist::Store.
+///
+/// Fencing invariant: within one boot generation the replica exposes, a
+/// slice version never goes backwards. A stream frame carrying a *new*
+/// primary generation (the primary restarted, or the replica subscribed
+/// to a different primary) means the version history the replica mirrors
+/// is void: the client clears its slices, bumps the replica store's own
+/// generation (dist::Store::bump_generation), and reapplies from the full
+/// frame — so local readers experience exactly the restart case
+/// CachedSliceReader already handles, never a rollback.
+///
+/// The primary pushes a keepalive frame (empty change set) at least every
+/// ~500 ms, so a read timeout on the stream doubles as liveness
+/// detection; a dead stream reconnects under decorrelated-jitter backoff.
+namespace armus::net {
+
+class ReplicationClient {
+ public:
+  struct Config {
+    /// The primary's address.
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    /// Bound on one connect(2) attempt.
+    std::chrono::milliseconds connect_timeout{500};
+
+    /// Bound on each stream read. The primary keepalives every ~500 ms,
+    /// so a read that hits this timeout means the stream (or the
+    /// primary) is dead and the client reconnects.
+    std::chrono::milliseconds io_timeout{2000};
+
+    /// Reconnect backoff bounds (decorrelated jitter between them).
+    std::chrono::milliseconds backoff_initial{25};
+    std::chrono::milliseconds backoff_max{1000};
+
+    std::size_t max_frame = kDefaultMaxFrame;
+
+    /// Sent as AUTH before REPLICATE when non-empty (REPLICATE is a
+    /// gated op on a token-configured primary).
+    std::string auth_token;
+
+    /// Seed for the jittered backoff; 0 (default) draws a random one.
+    /// Tests pin it for reproducible reconnect schedules.
+    std::uint64_t backoff_seed = 0;
+  };
+
+  struct Stats {
+    std::uint64_t connects = 0;      ///< successful subscriptions
+    std::uint64_t frames = 0;        ///< stream frames applied (keepalives too)
+    std::uint64_t slices = 0;        ///< slice writes applied
+    std::uint64_t resyncs = 0;       ///< full resyncs (first sync, or a
+                                     ///< primary generation change)
+    std::uint64_t lag_versions = 0;  ///< primary versions seen but not applied
+    std::uint64_t lag_ms = 0;        ///< ms since the last stream frame
+                                     ///< (0 before the first)
+    std::uint64_t resync_age_ms = 0; ///< ms since the last full resync
+                                     ///< (0 = never)
+    bool connected = false;          ///< a live subscription exists
+  };
+
+  /// Writes stream into `store` — the replica server's backing store.
+  ReplicationClient(Config config, std::shared_ptr<dist::Store> store);
+  ~ReplicationClient();
+  ReplicationClient(const ReplicationClient&) = delete;
+  ReplicationClient& operator=(const ReplicationClient&) = delete;
+
+  /// Starts the subscriber thread. Idempotent.
+  void start();
+
+  /// Stops and joins the subscriber thread; the in-flight stream read is
+  /// interrupted (socket shutdown), so this returns promptly — promotion
+  /// calls it from a request handler. Idempotent.
+  void stop();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void run();
+  /// One connect → AUTH → REPLICATE → apply-frames session. Returns when
+  /// the stream dies or stop() is requested.
+  void session();
+  /// Applies one stream frame, enforcing the fencing invariant.
+  void apply(const dist::DeltaSnapshot& delta);
+
+  Config config_;
+  std::shared_ptr<dist::Store> store_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;  ///< live session socket (for stop()'s shutdown)
+  util::Xoshiro256 rng_;
+  std::chrono::milliseconds backoff_{0};
+  /// What this replica has applied; the next REPLICATE resumes from here.
+  std::uint64_t seen_generation_ = 0;
+  std::uint64_t seen_version_ = 0;
+  std::uint64_t primary_version_ = 0;  ///< last version the stream reported
+  bool primed_ = false;
+  std::chrono::steady_clock::time_point last_frame_{};
+  std::chrono::steady_clock::time_point last_resync_{};
+  Stats stats_;
+};
+
+}  // namespace armus::net

@@ -40,6 +40,16 @@ void export_stats(Registry& registry, const std::string& prefix,
   registry.counter_set(prefix + ".dropped_idle", stats.dropped_idle);
   registry.counter_set(prefix + ".dropped_protocol", stats.dropped_protocol);
   registry.counter_set(prefix + ".auth_failures", stats.auth_failures);
+  registry.counter_set(prefix + ".not_primary", stats.not_primary);
+  registry.counter_set(prefix + ".role", stats.role);
+  registry.counter_set(prefix + ".replication_frames",
+                       stats.replication_frames);
+  registry.counter_set(prefix + ".replication_resyncs",
+                       stats.replication_resyncs);
+  registry.counter_set(prefix + ".replication_lag_versions",
+                       stats.replication_lag_versions);
+  registry.counter_set(prefix + ".replication_lag_ms",
+                       stats.replication_lag_ms);
 }
 
 void export_stats(Registry& registry, const std::string& prefix,
@@ -48,6 +58,11 @@ void export_stats(Registry& registry, const std::string& prefix,
   registry.counter_set(prefix + ".failures", stats.failures);
   registry.counter_set(prefix + ".fast_failures", stats.fast_failures);
   registry.counter_set(prefix + ".stale_retries", stats.stale_retries);
+  registry.counter_set(prefix + ".reconnect_attempts",
+                       stats.reconnect_attempts);
+  registry.counter_set(prefix + ".redirects", stats.redirects);
+  registry.counter_set(prefix + ".failovers", stats.failovers);
+  registry.counter_set(prefix + ".next_backoff_ms", stats.next_backoff_ms);
 }
 
 void export_stats(Registry& registry, const std::string& prefix,

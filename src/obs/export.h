@@ -29,11 +29,14 @@ void export_stats(Registry& registry, const std::string& prefix,
                   const dist::Site::Stats& stats);
 
 /// kv server: connections, requests, errors, dropped_backpressure,
-/// dropped_idle, dropped_protocol, auth_failures.
+/// dropped_idle, dropped_protocol, auth_failures, not_primary, role,
+/// replication_frames, replication_resyncs, replication_lag_versions,
+/// replication_lag_ms.
 void export_stats(Registry& registry, const std::string& prefix,
                   const net::KvServer::Stats& stats);
 
-/// kv client: connects, failures, fast_failures, stale_retries.
+/// kv client: connects, failures, fast_failures, stale_retries,
+/// reconnect_attempts, redirects, failovers, next_backoff_ms.
 void export_stats(Registry& registry, const std::string& prefix,
                   const net::RemoteStore::Stats& stats);
 

@@ -40,7 +40,23 @@ std::string render_top_json(const TopView& view) {
          ",\"version\":" + std::to_string(view.info.store_version) +
          ",\"connections\":" + std::to_string(view.info.connections) +
          ",\"requests\":" + std::to_string(view.info.requests) +
-         ",\"errors\":" + std::to_string(view.info.errors) + "},\"sites\":[";
+         ",\"errors\":" + std::to_string(view.info.errors) +
+         ",\"role\":\"" +
+         (view.info.role == 0 ? std::string("primary")
+                              : std::string("replica")) +
+         "\"";
+  if (view.info.role != 0) {
+    std::string primary;
+    for (char c : view.info.primary) {  // minimal JSON string escaping
+      if (c == '"' || c == '\\') primary += '\\';
+      primary += c;
+    }
+    out += ",\"primary\":\"" + primary +
+           "\",\"lag_versions\":" + std::to_string(view.info.lag_versions) +
+           ",\"lag_ms\":" + std::to_string(view.info.lag_ms) +
+           ",\"resync_age_ms\":" + std::to_string(view.info.resync_age_ms);
+  }
+  out += "},\"sites\":[";
   bool comma = false;
   for (const dist::SliceInspect& row : view.info.sites) {
     if (comma) out += ',';
@@ -76,12 +92,26 @@ std::string render_top_json(const TopView& view) {
 std::string render_top_table(const TopView& view, const std::string& url) {
   char buf[160];
   std::string out = "armus-kv " + url +
+                    "  role " +
+                    (view.info.role == 0 ? std::string("primary")
+                                         : std::string("replica")) +
                     "  generation " + std::to_string(view.info.generation) +
                     "  store-version " + std::to_string(view.info.store_version) +
                     "\nserver: connections " +
                     std::to_string(view.info.connections) + "  requests " +
                     std::to_string(view.info.requests) + "  errors " +
                     std::to_string(view.info.errors) + '\n';
+  if (view.info.role != 0) {
+    out += "replica of " +
+           (view.info.primary.empty() ? std::string("(unknown)")
+                                      : view.info.primary) +
+           ": lag " + std::to_string(view.info.lag_versions) + " versions / " +
+           std::to_string(view.info.lag_ms) + " ms, last resync " +
+           (view.info.resync_age_ms == 0
+                ? std::string("never")
+                : std::to_string(view.info.resync_age_ms) + " ms ago") +
+           '\n';
+  }
   std::snprintf(buf, sizeof(buf), "%6s %9s %8s %8s %8s\n", "SITE", "VERSION",
                 "BLOCKED", "AGE_MS", "BYTES");
   out += buf;

@@ -164,10 +164,12 @@ TEST(ProtocolTest, DocumentedInspectExample) {
 
   // OK, generation 7, store version 2 (boots at 1, one write), 0
   // connections (handle_request called directly), 1 request (this
-  // INSPECT), 0 errors, one row: site 2 version 1, 1 blocked task,
+  // INSPECT), 0 errors, role 0 (primary), empty primary address, lag
+  // 0/0, resync age 0, one row: site 2 version 1, 1 blocked task,
   // age 250 ms (fa 01), 10 payload bytes.
   std::string response = server.handle_request(request);
-  EXPECT_EQ(hex(response), "00 07 02 00 01 00 01 02 01 01 fa 01 0a");
+  EXPECT_EQ(hex(response),
+            "00 07 02 00 01 00 00 00 00 00 00 01 02 01 01 fa 01 0a");
 
   std::size_t offset = 0;
   ASSERT_EQ(read_varint(response, &offset),
@@ -850,7 +852,10 @@ TEST(KvServerTest, DocumentedStatsExample) {
             "\"kv.auth_failures\":0,\"kv.connections\":0,"
             "\"kv.dropped_backpressure\":0,\"kv.dropped_idle\":0,"
             "\"kv.dropped_protocol\":0,\"kv.errors\":0,\"kv.generation\":7,"
-            "\"kv.requests\":1,\"kv.slices\":0,\"kv.store_version\":1},"
+            "\"kv.not_primary\":0,\"kv.replication_frames\":0,"
+            "\"kv.replication_lag_ms\":0,\"kv.replication_lag_versions\":0,"
+            "\"kv.replication_resyncs\":0,\"kv.requests\":1,\"kv.role\":0,"
+            "\"kv.slices\":0,\"kv.store_version\":1},"
             "\"gauges\":{},\"histograms\":{}}");
 }
 
@@ -1096,6 +1101,288 @@ TEST(KvServerTest, SlowReaderIsDroppedWithoutStallingOthers) {
   io::close_fd(slow);
   EXPECT_GE(server.stats().dropped_backpressure, 1u);
   EXPECT_TRUE(client.heartbeat());
+}
+
+// --- high availability (docs/HA.md) ------------------------------------------
+
+/// Polls `pred` (10 ms period) until it holds or `deadline` passes.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds deadline = 5000ms) {
+  auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(10ms);
+  }
+  return pred();
+}
+
+/// A replica of the server on `primary_port`, with a pinned reconnect
+/// seed.
+KvServer::Config replica_config(std::uint16_t primary_port) {
+  KvServer::Config config;
+  config.role = KvServer::Role::kReplica;
+  config.primary = "127.0.0.1:" + std::to_string(primary_port);
+  config.replication_backoff_seed = 7;
+  return config;
+}
+
+TEST(ProtocolTest, DocumentedReplicateExample) {
+  // docs/WIRE_PROTOCOL.md §13 worked example: a replica with nothing yet
+  // (since generation 0, version 0) subscribes to a fresh generation-7
+  // store. The answer is the LIST_SLICES_SINCE shape: generation 7, store
+  // version 1, no changed slices, no live sites — and the connection then
+  // becomes a server-push stream of the same shape.
+  dist::Store::Config backing_config;
+  backing_config.generation = 7;
+  KvServer server(KvServer::Config{},
+                  std::make_shared<dist::Store>(backing_config));
+
+  std::string request = request_header(MsgType::kReplicate);
+  append_varint(request, 0);  // since_generation
+  append_varint(request, 0);  // since_version
+  EXPECT_EQ(hex(request), "01 0b 00 00");
+  EXPECT_EQ(hex(server.handle_request(request)), "00 07 01 00 00");
+}
+
+TEST(ProtocolTest, DocumentedPromoteExample) {
+  // docs/WIRE_PROTOCOL.md §13 worked example, pinned on a server that is
+  // already primary: PROMOTE is idempotent there, so the generation-7
+  // answer is deterministic. (On a replica the same exchange bumps the
+  // generation to a fresh random value first.)
+  dist::Store::Config backing_config;
+  backing_config.generation = 7;
+  KvServer server(KvServer::Config{},
+                  std::make_shared<dist::Store>(backing_config));
+
+  std::string request = request_header(MsgType::kPromote);
+  EXPECT_EQ(hex(request), "01 0c");
+  EXPECT_EQ(hex(server.handle_request(request)), "00 07");
+  EXPECT_EQ(server.role(), KvServer::Role::kPrimary);
+}
+
+TEST(ProtocolTest, DocumentedNotPrimaryExample) {
+  // docs/WIRE_PROTOCOL.md §13 worked example: the §1 PUT_SLICE sent to a
+  // replica of 127.0.0.1:7001 draws NOT_PRIMARY (9) + the primary's
+  // address as length-delimited bytes.
+  KvServer::Config config;
+  config.role = KvServer::Role::kReplica;
+  config.primary = "127.0.0.1:7001";
+  KvServer server(config);
+
+  std::string put = request_header(MsgType::kPutSlice);
+  append_varint(put, 2);
+  append_varint(put, 3);
+  append_bytes(put,
+               dist::encode_statuses({status(7, {{1, 1}}, {{1, 1}, {2, 0}})}));
+  std::string response = server.handle_request(put);
+  EXPECT_EQ(hex(response),
+            "09 0e 31 32 37 2e 30 2e 30 2e 31 3a 37 30 30 31");
+
+  std::size_t offset = 0;
+  EXPECT_EQ(read_varint(response, &offset),
+            static_cast<std::uint64_t>(WireStatus::kNotPrimary));
+  EXPECT_EQ(read_bytes(response, &offset), "127.0.0.1:7001");
+  expect_end(response, offset);
+  EXPECT_GE(server.stats().not_primary, 1u);
+}
+
+TEST(ReplicationTest, ReplicaMirrorsPrimaryAndServesReads) {
+  KvServer primary;
+  primary.start();
+  primary.backing()->put_slice(1, "slice-one");  // version 1
+  KvServer replica(replica_config(primary.port()));
+  replica.start();
+
+  ASSERT_TRUE(eventually([&] {
+    auto slice = replica.backing()->get_slice(1);
+    return slice.has_value() && slice->payload == "slice-one";
+  }));
+  // The replicated slice keeps the primary's per-slice version — the
+  // fencing invariant leans on versions never being re-minted.
+  EXPECT_EQ(replica.backing()->get_slice(1)->version, 1u);
+
+  // Later writes stream through, and removals follow via the live list.
+  primary.backing()->put_slice(2, "slice-two");
+  ASSERT_TRUE(eventually(
+      [&] { return replica.backing()->get_slice(2).has_value(); }));
+  primary.backing()->remove_slice(1);
+  ASSERT_TRUE(eventually(
+      [&] { return !replica.backing()->get_slice(1).has_value(); }));
+
+  // Reads are served by the replica itself; INSPECT reports the role and
+  // the link.
+  RemoteStore reader(client_config(replica.port()));
+  EXPECT_EQ(reader.snapshot().size(), 1u);
+  InspectInfo info = reader.inspect();
+  EXPECT_EQ(info.role, 1u);
+  EXPECT_EQ(info.primary, "127.0.0.1:" + std::to_string(primary.port()));
+
+  KvServer::Stats stats = replica.stats();
+  EXPECT_EQ(stats.role, 1u);
+  EXPECT_GE(stats.replication_frames, 1u);
+  replica.stop();
+  primary.stop();
+}
+
+TEST(ReplicationTest, MutationsOnReplicaRedirectAndTheClientFollows) {
+  KvServer primary;
+  primary.start();
+  KvServer replica(replica_config(primary.port()));
+  replica.start();
+
+  // The client dials the replica first: its put draws NOT_PRIMARY and
+  // must transparently land on the primary after one resend.
+  RemoteStore::Config config = client_config(replica.port());
+  config.endpoints = {Endpoint{"127.0.0.1", replica.port()},
+                      Endpoint{"127.0.0.1", primary.port()}};
+  config.backoff_seed = 5;
+  RemoteStore client(config);
+
+  EXPECT_EQ(client.put_slice(3, "via-redirect"), 1u);
+  auto slice = primary.backing()->get_slice(3);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(slice->payload, "via-redirect");
+
+  RemoteStore::Stats stats = client.stats();
+  EXPECT_GE(stats.redirects, 1u);
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_GE(replica.stats().not_primary, 1u);
+
+  // The follow-up goes straight to the primary: no second redirect.
+  client.put_slice(3, "again");
+  EXPECT_EQ(client.stats().redirects, stats.redirects);
+  EXPECT_EQ(client.preferred_endpoint(), 1u);
+  replica.stop();
+  primary.stop();
+}
+
+TEST(ReplicationTest, PromoteBumpsGenerationFencesAndAcceptsWrites) {
+  KvServer primary;
+  primary.start();
+  primary.backing()->put_slice(1, "payload");
+  KvServer replica(replica_config(primary.port()));
+  replica.start();
+  ASSERT_TRUE(eventually(
+      [&] { return replica.backing()->get_slice(1).has_value(); }));
+
+  std::uint64_t before = replica.backing()->generation();
+  primary.stop();
+
+  RemoteStore control(client_config(replica.port()));
+  std::uint64_t promoted = control.promote();
+  EXPECT_NE(promoted, before);
+  EXPECT_EQ(replica.role(), KvServer::Role::kPrimary);
+  EXPECT_EQ(replica.backing()->generation(), promoted);
+
+  // The replicated slice survives promotion — failover fences it behind
+  // the fresh generation instead of discarding it — and mutations are
+  // accepted from here on.
+  EXPECT_TRUE(replica.backing()->get_slice(1).has_value());
+  control.put_slice(2, "after-failover");
+  EXPECT_TRUE(replica.backing()->get_slice(2).has_value());
+  replica.stop();
+}
+
+TEST(ReplicationTest, DeltaPublishStraddlingPromotionFallsBackToFull) {
+  // The in-flight-delta failover case: a Site that has been delta-
+  // publishing against the old primary must not wedge in a BASE_MISMATCH
+  // loop when its next delta lands on a just-promoted server that never
+  // replicated its base — the publish falls back to the full slice within
+  // the same call, and no blocked status is lost.
+  KvServer old_primary;
+  old_primary.start();
+  KvServer::Config standby_config;
+  standby_config.role = KvServer::Role::kReplica;  // primary unset: no
+  // replication link, so the promoted store is guaranteed to miss the base
+  KvServer standby(standby_config);
+  standby.start();
+
+  RemoteStore::Config client = client_config(old_primary.port());
+  client.endpoints = {Endpoint{"127.0.0.1", old_primary.port()},
+                      Endpoint{"127.0.0.1", standby.port()}};
+  client.backoff_seed = 9;
+  auto store = std::make_shared<RemoteStore>(client);
+
+  dist::Site::Config site_config;
+  site_config.id = 4;
+  site_config.delta_min_bytes = 1;  // every follow-up publish tries a delta
+  dist::Site site(site_config, store);
+
+  // Publish 1 (full) and 2 (delta) against the old primary.
+  for (TaskId task = 1; task <= 8; ++task) {
+    site.verifier().state().set_blocked(status(task, {{1, 1}}, {{1, 1}}));
+  }
+  ASSERT_TRUE(site.publish_now());
+  site.verifier().state().set_blocked(status(9, {{2, 1}}, {{2, 1}}));
+  ASSERT_TRUE(site.publish_now());
+  EXPECT_EQ(site.stats().delta_publishes, 1u);
+
+  // Failover: the old primary dies, the standby is promoted. The dead
+  // connection is severed via heartbeat (false, and opens the backoff
+  // window) so the next publish reconnects transparently through the
+  // endpoint walk instead of surfacing the mid-exchange death — that is
+  // the window where a delta can straddle the promotion.
+  old_primary.stop();
+  RemoteStore control(client_config(standby.port()));
+  control.promote();
+  EXPECT_FALSE(store->heartbeat());
+  std::this_thread::sleep_for(30ms);  // past backoff_max
+
+  // Publish 3 straddles the promotion: its delta base does not exist on
+  // the promoted server. One call: delta -> BASE_MISMATCH -> full slice.
+  site.verifier().state().set_blocked(status(10, {{3, 1}}, {{3, 1}}));
+  ASSERT_TRUE(site.publish_now());
+  EXPECT_EQ(site.stats().publishes, 3u);
+  EXPECT_EQ(site.stats().delta_publishes, 1u);  // the straddler fell back
+  auto slice = standby.backing()->get_slice(4);
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(dist::decode_statuses(slice->payload).size(), 10u);
+
+  // The next publish re-bases its delta cleanly against the new primary.
+  site.verifier().state().set_blocked(status(11, {{4, 1}}, {{4, 1}}));
+  ASSERT_TRUE(site.publish_now());
+  EXPECT_EQ(site.stats().delta_publishes, 2u);
+  standby.stop();
+}
+
+TEST(RemoteStoreTest, DecorrelatedJitterBackoffIsSeededAndBounded) {
+  KvServer server;
+  server.start();
+  RemoteStore::Config config = client_config(server.port());
+  config.backoff_seed = 42;
+  RemoteStore client(config);
+  ASSERT_TRUE(client.heartbeat());
+  EXPECT_EQ(client.stats().next_backoff_ms, 0u);
+  server.stop();
+
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_THROW((void)client.snapshot(), dist::StoreUnavailableError);
+    std::uint64_t delay = client.stats().next_backoff_ms;
+    EXPECT_GE(delay, 5u);   // backoff_initial
+    EXPECT_LE(delay, 20u);  // backoff_max caps the jitter
+    std::this_thread::sleep_for(25ms);  // step past the window so every
+                                        // iteration is a real attempt
+  }
+  RemoteStore::Stats stats = client.stats();
+  EXPECT_GE(stats.reconnect_attempts, 3u);
+  EXPECT_GE(stats.failures, 1u);
+}
+
+TEST(NetConfigTest, ParsesMultiEndpointUrlList) {
+  std::vector<Endpoint> endpoints =
+      parse_tcp_endpoints("tcp://10.0.0.1:7000,tcp://10.0.0.2:7001");
+  ASSERT_EQ(endpoints.size(), 2u);
+  EXPECT_EQ(endpoints[0].host, "10.0.0.1");
+  EXPECT_EQ(endpoints[0].port, 7000u);
+  EXPECT_EQ(endpoints[1].host, "10.0.0.2");
+  EXPECT_EQ(endpoints[1].port, 7001u);
+  EXPECT_THROW(parse_tcp_endpoints("tcp://a:1,"), std::invalid_argument);
+  EXPECT_THROW(parse_tcp_endpoints(""), std::invalid_argument);
+
+  auto store = remote_store_from_url("tcp://127.0.0.1:7000,tcp://127.0.0.1:7001");
+  ASSERT_EQ(store->endpoints().size(), 2u);
+  EXPECT_EQ(store->config().host, "127.0.0.1");
+  EXPECT_EQ(store->config().port, 7000u);
 }
 
 // --- wire fuzzing ------------------------------------------------------------

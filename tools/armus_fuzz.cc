@@ -16,6 +16,14 @@
 //       TCP (src/fuzz/wire.h), asserting the framing contract from
 //       docs/WIRE_PROTOCOL.md — clean error responses or connection
 //       drops, never a crash or a hung listener. No seed traces needed.
+//
+//   armus-fuzz --chaos [--seed N] [--scenario NAME] [--verbose]
+//       Fault-injection mode (src/fuzz/chaos.h, docs/HA.md): spawns real
+//       primary/replica armus-kv *processes* (this binary re-exec'd via
+//       the hidden --kv-server helper), SIGKILLs / SIGSTOPs them, severs
+//       the replication link, and promotes mid-churn, asserting that no
+//       slice version regresses within a generation and that the
+//       cross-process deadlock is re-detected after every fault.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -24,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "fuzz/chaos.h"
 #include "fuzz/harness.h"
 #include "fuzz/wire.h"
 
@@ -35,7 +44,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: armus-fuzz [--seed N] [--runs N] [--corpus DIR]\n"
                "                  <seed-trace> [seed-trace...]\n"
-               "       armus-fuzz --wire [--seed N] [--runs N]\n");
+               "       armus-fuzz --wire [--seed N] [--runs N]\n"
+               "       armus-fuzz --chaos [--seed N] [--scenario NAME] "
+               "[--verbose]\n");
   return 2;
 }
 
@@ -64,12 +75,40 @@ int run_wire(const fuzz::WireOptions& options) {
   return 0;
 }
 
+int run_chaos_mode(const fuzz::ChaosOptions& options) {
+  fuzz::ChaosStats stats = fuzz::run_chaos(options);
+  std::printf(
+      "fuzz: chaos seed %llu, %llu scenario(s): %llu publish round(s) "
+      "(%llu lost to outage windows), %llu snapshot(s), %llu "
+      "convergence(s)\n",
+      static_cast<unsigned long long>(options.seed),
+      static_cast<unsigned long long>(stats.scenarios),
+      static_cast<unsigned long long>(stats.publishes),
+      static_cast<unsigned long long>(stats.publish_failures),
+      static_cast<unsigned long long>(stats.observations),
+      static_cast<unsigned long long>(stats.convergences));
+  if (!stats.ok()) {
+    for (const fuzz::Violation& violation : stats.violations) {
+      std::fprintf(stderr, "VIOLATION: %s\n", violation.what.c_str());
+    }
+    std::printf("fuzz: %zu violation(s) — contract BROKEN\n",
+                stats.violations.size());
+    return 1;
+  }
+  std::printf("fuzz: contract holds (zero violations)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fuzz::Harness::Options options;
   std::vector<std::string> paths;
   bool wire = false;
+  bool chaos = false;
+  bool kv_server = false;
+  std::string replica_of;
+  fuzz::ChaosOptions chaos_options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
@@ -80,12 +119,31 @@ int main(int argc, char** argv) {
       options.corpus_dir = argv[++i];
     } else if (arg == "--wire") {
       wire = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      chaos_options.only = argv[++i];
+    } else if (arg == "--verbose") {
+      chaos_options.verbose = true;
+    } else if (arg == "--kv-server") {
+      kv_server = true;  // hidden: the chaos harness's server helper
+    } else if (arg == "--replica-of" && i + 1 < argc) {
+      replica_of = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
     } else {
       paths.push_back(std::move(arg));
     }
+  }
+  if (kv_server) {
+    return fuzz::run_chaos_server(replica_of);
+  }
+  if (chaos) {
+    if (!paths.empty() || wire) return usage();
+    chaos_options.server_exe = argv[0];
+    chaos_options.seed = options.seed;
+    return run_chaos_mode(chaos_options);
   }
   if (wire) {
     if (!paths.empty()) return usage();
