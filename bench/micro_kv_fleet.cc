@@ -283,8 +283,10 @@ JsonObject run_fleet(std::size_t sites, const FleetOptions& options) {
   JsonObject latency;
   latency.add("count", total.latency.count());
   latency.add("min_us", total.latency.min());
+  latency.add("mean_us", total.latency.mean());
   latency.add("p50_us", total.latency.percentile(50));
   latency.add("p99_us", total.latency.percentile(99));
+  latency.add("p999_us", total.latency.percentile(99.9));
   latency.add("max_us", total.latency.max());
 
   JsonObject counters;

@@ -188,8 +188,10 @@ void append_histogram(std::ostringstream& json, const obs::Histogram& hist) {
   json << "{\n"
        << "      \"count\": " << hist.count() << ",\n"
        << "      \"min_us\": " << hist.min() << ",\n"
+       << "      \"mean_us\": " << hist.mean() << ",\n"
        << "      \"p50_us\": " << hist.percentile(50) << ",\n"
        << "      \"p99_us\": " << hist.percentile(99) << ",\n"
+       << "      \"p999_us\": " << hist.percentile(99.9) << ",\n"
        << "      \"max_us\": " << hist.max() << "\n    }";
 }
 

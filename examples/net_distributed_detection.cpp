@@ -77,6 +77,10 @@ int run_server() {
       config.primary = *primary;
     }
   }
+  if (std::int64_t slow = util::env_int("ARMUS_SLOW_REQUEST_US", 0);
+      slow > 0) {
+    config.slow_request_us = static_cast<std::uint64_t>(slow);
+  }
   net::KvServer server(config);
   server.start();
   std::printf("PORT %u\n", server.port());

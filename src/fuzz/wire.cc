@@ -1,10 +1,15 @@
 #include "fuzz/wire.h"
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+
 #include <algorithm>
+#include <thread>
 
 #include "dist/codec.h"
 #include "net/protocol.h"
 #include "net/socket_io.h"
+#include "net/watch.h"
 #include "util/rng.h"
 
 namespace armus::fuzz {
@@ -97,6 +102,91 @@ std::string raw_prefix(std::uint32_t length) {
   return out;
 }
 
+/// The client-side mutant: a fake in-process "server" answers a real
+/// WatchClient's handshake correctly, then pushes mutated event frames.
+/// The contract is the client never mis-syncs — every frame either yields
+/// a line, ends the stream, or surfaces dist::StoreUnavailableError; any
+/// other exception (or a crash) is a violation.
+void fuzz_watch_client(util::Xoshiro256& rng, WireStats& stats) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 1) < 0) {
+    net::io::close_fd(listen_fd);
+    return;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    net::io::close_fd(listen_fd);
+    return;
+  }
+  std::uint16_t port = ntohs(addr.sin_port);
+
+  // Deterministic stream: a correct handshake answer, then mutated push
+  // frames (the rng stays on this thread). Closing right after the write
+  // turns a truncated frame into a prompt EOF instead of a timeout.
+  std::string handshake;
+  append_varint(handshake, 0);  // OK
+  append_varint(handshake, net::kWatchAll);
+  std::string good;
+  append_varint(good, 0);  // OK
+  net::append_bytes(
+      good, "{\"v\":1,\"event\":\"slice_commit\",\"ts_ns\":1,\"site\":1}");
+  std::string push_bytes = frame(handshake);
+  std::uint64_t frames = 1 + pick(rng, 4);
+  for (std::uint64_t i = 0; i < frames; ++i) {
+    switch (pick(rng, 4)) {
+      case 0:  // well-formed, as-is
+        push_bytes += frame(good);
+        break;
+      case 1:  // bit-flipped body, correctly framed
+        push_bytes += frame(bit_flip(rng, good));
+        break;
+      case 2:  // framed random garbage
+        push_bytes += frame(random_bytes(rng, pick(rng, 48)));
+        break;
+      default:  // torn frame: declare more than we send, then EOF
+        push_bytes += raw_prefix(
+            static_cast<std::uint32_t>(good.size() + 1 + pick(rng, 64)));
+        push_bytes += good.substr(0, pick(rng, good.size() + 1));
+        break;
+    }
+  }
+
+  std::thread fake_server([listen_fd, &push_bytes] {
+    int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) return;
+    net::io::set_io_timeout(conn, 2000);
+    (void)net::io::read_frame(conn, kDefaultMaxFrame);  // the subscribe
+    net::io::write_all(conn, push_bytes);
+    net::io::close_fd(conn);
+  });
+
+  try {
+    net::WatchClient::Config config;
+    config.port = port;
+    config.io_timeout = std::chrono::milliseconds(2000);
+    net::WatchClient watch(std::move(config));
+    while (watch.next()) {
+    }
+    // Clean end of stream — every frame before it parsed.
+  } catch (const dist::StoreUnavailableError&) {
+    // The documented surfacing of a malformed frame.
+  } catch (const std::exception& e) {
+    stats.violations.push_back(Violation{
+        std::string("WatchClient leaked an unexpected exception: ") + e.what(),
+        push_bytes});
+  }
+  fake_server.join();
+  net::io::close_fd(listen_fd);
+}
+
 }  // namespace
 
 WireStats fuzz_wire(net::KvServer& server, const WireOptions& options) {
@@ -158,7 +248,7 @@ WireStats fuzz_wire(net::KvServer& server, const WireOptions& options) {
     // accounting no longer holds, so these mutants always tear the
     // connection down and re-assert liveness on a fresh one.
     bool stream = false;
-    switch (pick(rng, 12)) {
+    switch (pick(rng, 16)) {
       case 0:  // a well-formed request, as-is
         sent = frame(pool[pick(rng, pool.size())]);
         expected = 1;
@@ -234,7 +324,7 @@ WireStats fuzz_wire(net::KvServer& server, const WireOptions& options) {
         stream = true;
         break;
       }
-      default: {  // duplicate REPLICATE frames pipelined on one connection
+      case 11: {  // duplicate REPLICATE frames pipelined on one connection
         std::string body = request_header(MsgType::kReplicate);
         append_varint(body, 0);
         append_varint(body, 0);
@@ -243,6 +333,34 @@ WireStats fuzz_wire(net::KvServer& server, const WireOptions& options) {
         stream = true;
         break;
       }
+      case 12: {  // WATCH_EVENTS subscribe with a garbage bitmask
+        std::string body = request_header(MsgType::kWatchEvents);
+        append_varint(body, rng());  // all-zero-categories rejected, extra
+                                     // bits masked off — either answers
+        sent = frame(body);
+        expected = 1;
+        stream = true;
+        break;
+      }
+      case 13: {  // WATCH_EVENTS subscribe, then mid-stream disconnect
+        std::string body = request_header(MsgType::kWatchEvents);
+        append_varint(body, 1 + pick(rng, net::kWatchAll));
+        sent = frame(body);
+        expected = 1;
+        stream = true;
+        break;
+      }
+      case 14: {  // duplicate WATCH subscribes pipelined on one connection
+        std::string body = request_header(MsgType::kWatchEvents);
+        append_varint(body, net::kWatchAll);
+        sent = frame(body) + frame(body);
+        expected = 2;
+        stream = true;
+        break;
+      }
+      default:  // mutated push frames thrown at a real WatchClient
+        fuzz_watch_client(rng, stats);
+        continue;
     }
 
     if (expected == 0) {

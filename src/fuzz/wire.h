@@ -19,11 +19,16 @@
 ///
 /// Mutants cover truncated frames, oversized length prefixes, oversized
 /// varints, unknown opcodes, trailing garbage, spliced bodies, pipelined
-/// bursts, mid-frame disconnects, and replication-stream abuse (REPLICATE
+/// bursts, mid-frame disconnects, replication-stream abuse (REPLICATE
 /// subscribe followed by a mid-stream disconnect, a resume from a stale or
-/// garbage base, duplicate subscribe frames on one connection). Every
-/// mutant is a pure function of the seed, so a CI failure reproduces
-/// locally from the seed alone.
+/// garbage base, duplicate subscribe frames on one connection), and
+/// WATCH_EVENTS abuse from both sides: garbage subscribe bitmasks,
+/// mid-stream disconnects, duplicate subscribes on one connection, and —
+/// the client half — mutated push frames served to a real net::WatchClient
+/// by an in-process fake server, which must surface them as a clean
+/// dist::StoreUnavailableError, never a mis-synced parse. Every mutant is
+/// a pure function of the seed, so a CI failure reproduces locally from
+/// the seed alone.
 ///
 /// tools/armus_fuzz.cc drives this via --wire (fixed-seed CI smoke);
 /// tests/net_test.cc pins a deterministic small run.

@@ -11,10 +11,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
+#include "dist/codec.h"
 #include "net/replication.h"
 #include "net/socket_io.h"
 #include "obs/export.h"
@@ -75,7 +77,90 @@ std::string strip_scheme(const std::string& url) {
 /// subscriber's io_timeout doubles as liveness detection against this).
 constexpr std::chrono::milliseconds kReplicationKeepalive{500};
 
+/// Opcode spelling inside metric names (`op.<name>.latency_us`) and
+/// `slow_request`/`store_outage` events.
+const char* op_name(std::uint64_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kPutSlice: return "put_slice";
+    case MsgType::kGetSlice: return "get_slice";
+    case MsgType::kListSlices: return "list_slices";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kClear: return "clear";
+    case MsgType::kPutSliceDelta: return "put_slice_delta";
+    case MsgType::kListSlicesSince: return "list_slices_since";
+    case MsgType::kInspect: return "inspect";
+    case MsgType::kStats: return "stats";
+    case MsgType::kAuth: return "auth";
+    case MsgType::kReplicate: return "replicate";
+    case MsgType::kPromote: return "promote";
+    case MsgType::kWatchEvents: return "watch_events";
+  }
+  return "unknown";
+}
+
+/// Decoded status count of a slice payload — the `blocked` field of
+/// slice_commit events. 0 for a corrupt payload, like INSPECT rows.
+std::uint64_t count_blocked(std::string_view payload) {
+  try {
+    return dist::decode_statuses(payload).size();
+  } catch (const CodecError&) {
+    return 0;
+  }
+}
+
 }  // namespace
+
+/// The bounded event ring behind WATCH_EVENTS: publish sites append,
+/// every subscriber drains from its own cursor, and when the ring has
+/// already evicted what a cursor points at the drain reports how many
+/// events were missed (surfaced as one watch_gap event) instead of ever
+/// buffering per-subscriber. One mutex: events are rare next to requests.
+class KvServer::EventHub {
+ public:
+  static constexpr std::size_t kCapacity = 1024;
+
+  void publish(std::uint64_t category, std::string line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(Entry{next_seq_++, category, std::move(line)});
+    if (entries_.size() > kCapacity) entries_.pop_front();
+  }
+
+  /// The next sequence number — where a fresh subscriber starts (it sees
+  /// events published after its subscribe, never history).
+  [[nodiscard]] std::uint64_t head() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_seq_;
+  }
+
+  /// Appends every line at or past `cursor` whose category intersects
+  /// `mask`; adds evicted-before-read events to `*missed`. Returns the new
+  /// cursor (the ring head).
+  std::uint64_t drain(std::uint64_t cursor, std::uint64_t mask,
+                      std::vector<std::string>* out,
+                      std::uint64_t* missed) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!entries_.empty() && cursor < entries_.front().seq) {
+      *missed += entries_.front().seq - cursor;
+      cursor = entries_.front().seq;
+    }
+    for (const Entry& entry : entries_) {
+      if (entry.seq < cursor) continue;
+      if (entry.category & mask) out->push_back(entry.line);
+    }
+    return next_seq_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t seq;
+    std::uint64_t category;
+    std::string line;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
 
 /// One event-loop thread: an epoll fd over its share of the connections
 /// plus an eventfd for shutdown/adoption wakeups. Loop 0 additionally
@@ -139,6 +224,14 @@ class KvServer::EventLoop {
     bool replicating = false;
     std::uint64_t streamed_version = 0;  ///< store version pushed so far
     std::chrono::steady_clock::time_point last_push;
+    /// A WATCH_EVENTS subscription: the loop drains the server's event
+    /// hub past watch_cursor into push frames, filtered by watch_mask.
+    bool watching = false;
+    std::uint64_t watch_mask = 0;
+    std::uint64_t watch_cursor = 0;
+    /// What close_conn reports in the conn_drop event; set by whichever
+    /// path decided to drop.
+    const char* drop_reason = "error";
     std::uint32_t events = EPOLLIN;  ///< current epoll interest mask
     std::chrono::steady_clock::time_point last_activity;
   };
@@ -161,8 +254,8 @@ class KvServer::EventLoop {
     const bool sweep = server_.config_.idle_timeout.count() > 0;
     for (;;) {
       // Periodic wakeups only when there is periodic work: an idle sweep,
-      // or replication subscribers to feed (pushes + keepalives).
-      int timeout = (sweep || replicating_ > 0) ? 50 : -1;
+      // or replication/watch subscribers to feed.
+      int timeout = (sweep || replicating_ > 0 || watching_ > 0) ? 50 : -1;
       int n = ::epoll_wait(epoll_fd_, events.data(),
                            static_cast<int>(events.size()), timeout);
       if (stop_.load(std::memory_order_acquire)) return;
@@ -182,6 +275,7 @@ class KvServer::EventLoop {
         }
       }
       if (replicating_ > 0) push_replication();
+      if (watching_ > 0) push_watch();
       if (sweep) sweep_idle();
     }
   }
@@ -218,6 +312,7 @@ class KvServer::EventLoop {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       server_.connections_.fetch_add(1, std::memory_order_relaxed);
+      server_.publish_conn_accept();
       std::size_t target = server_.next_loop_.fetch_add(
                                1, std::memory_order_relaxed) %
                            server_.loops_.size();
@@ -281,15 +376,27 @@ class KvServer::EventLoop {
         // Oversized declared length: the stream is not trustworthy and
         // the body is never allocated.
         server_.dropped_protocol_.fetch_add(1, std::memory_order_relaxed);
+        conn.drop_reason = "protocol";
         return false;
       }
       if (conn.in.size() - pos - 4 < length) break;  // partial frame
       std::string_view body(conn.in.data() + pos + 4, length);
       std::uint64_t type = peek_type(body);
-      std::string response = server_.handle_request(body, &conn.authenticated);
+      auto started = std::chrono::steady_clock::now();
+      std::uint64_t request_id = 0;
+      std::string response =
+          server_.handle_request(body, &conn.authenticated, &request_id);
+      auto latency_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count());
+      server_.note_op(type, latency_us, request_id);
       if (type == static_cast<std::uint64_t>(MsgType::kReplicate) &&
           !conn.replicating) {
         mark_replicating(conn, response);
+      }
+      if (type == static_cast<std::uint64_t>(MsgType::kWatchEvents)) {
+        mark_watching(conn, response);
       }
       conn.out += frame(response);
       pos += 4 + length;
@@ -306,6 +413,7 @@ class KvServer::EventLoop {
       // Peer half-closed after (possibly) pipelined requests: best-effort
       // flush of the queued responses, then drop.
       if (conn.out_off < conn.out.size()) flush(fd, conn);
+      conn.drop_reason = "eof";
       return false;
     }
     return true;
@@ -333,6 +441,7 @@ class KvServer::EventLoop {
     }
     if (conn.out.size() - conn.out_off > server_.config_.max_write_queue) {
       server_.dropped_backpressure_.fetch_add(1, std::memory_order_relaxed);
+      conn.drop_reason = "backpressure";
       return false;
     }
     if (conn.out_off > 0) {
@@ -361,6 +470,28 @@ class KvServer::EventLoop {
     ++replicating_;
   }
 
+  /// Inspects the answer to a WATCH_EVENTS handshake: on OK the
+  /// connection becomes an event subscription starting at the hub head
+  /// (docs/WIRE_PROTOCOL.md §14). A repeat subscribe on a watching
+  /// connection just updates the mask.
+  void mark_watching(Conn& conn, std::string_view response) {
+    std::uint64_t mask = 0;
+    try {
+      std::size_t offset = 0;
+      auto status = static_cast<WireStatus>(read_varint(response, &offset));
+      if (status != WireStatus::kOk) return;
+      mask = read_varint(response, &offset);
+    } catch (const CodecError&) {
+      return;
+    }
+    conn.watch_mask = mask;
+    if (conn.watching) return;
+    conn.watching = true;
+    conn.watch_cursor = server_.hub_->head();
+    ++watching_;
+    server_.watchers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Feeds every replication subscription: a delta frame as soon as the
   /// store moved past what the conn has seen, a keepalive (empty change
   /// set) otherwise after kReplicationKeepalive of silence. Push errors
@@ -387,6 +518,34 @@ class KvServer::EventLoop {
     for (int fd : dead) close_conn(fd);
   }
 
+  /// Feeds every WATCH_EVENTS subscription from the server's event hub:
+  /// each new matching event becomes one `OK nbytes json` push frame. A
+  /// ring overrun (subscriber slower than the hub's eviction horizon)
+  /// surfaces as one watch_gap event; a subscriber that cannot even drain
+  /// its socket is dropped by the ordinary backpressure path in flush().
+  void push_watch() {
+    std::vector<int> dead;
+    for (auto& [fd, conn] : conns_) {
+      if (!conn.watching) continue;
+      std::vector<std::string> lines;
+      std::uint64_t missed = 0;
+      conn.watch_cursor =
+          server_.hub_->drain(conn.watch_cursor, conn.watch_mask, &lines,
+                              &missed);
+      if (missed > 0) {
+        lines.insert(lines.begin(), server_.gap_event_line(missed));
+      }
+      if (lines.empty()) continue;
+      for (const std::string& line : lines) {
+        std::string body = status_only(WireStatus::kOk);
+        append_bytes(body, line);
+        conn.out += frame(body);
+      }
+      if (!flush(fd, conn)) dead.push_back(fd);
+    }
+    for (int fd : dead) close_conn(fd);
+  }
+
   void set_interest(int fd, Conn& conn, std::uint32_t events) {
     if (conn.events == events) return;
     struct epoll_event ev;
@@ -400,7 +559,18 @@ class KvServer::EventLoop {
 
   void close_conn(int fd) {
     auto it = conns_.find(fd);
-    if (it != conns_.end() && it->second.replicating) --replicating_;
+    if (it != conns_.end()) {
+      const Conn& conn = it->second;
+      if (conn.replicating) --replicating_;
+      if (conn.watching) {
+        --watching_;
+        server_.watchers_.fetch_sub(1, std::memory_order_relaxed);
+        if (std::strcmp(conn.drop_reason, "backpressure") == 0) {
+          server_.watch_dropped_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      server_.publish_conn_drop(conn.drop_reason);
+    }
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
     ::close(fd);
     conns_.erase(fd);
@@ -410,11 +580,14 @@ class KvServer::EventLoop {
     auto now = std::chrono::steady_clock::now();
     auto limit = server_.config_.idle_timeout;
     std::vector<int> expired;
-    for (const auto& [fd, conn] : conns_) {
-      // A replication subscription is all outbound after the subscribe;
-      // inbound silence is its normal state, not idleness.
-      if (conn.replicating) continue;
-      if (now - conn.last_activity > limit) expired.push_back(fd);
+    for (auto& [fd, conn] : conns_) {
+      // A replication or watch subscription is all outbound after the
+      // subscribe; inbound silence is its normal state, not idleness.
+      if (conn.replicating || conn.watching) continue;
+      if (now - conn.last_activity > limit) {
+        conn.drop_reason = "idle";
+        expired.push_back(fd);
+      }
     }
     for (int fd : expired) {
       server_.dropped_idle_.fetch_add(1, std::memory_order_relaxed);
@@ -433,6 +606,8 @@ class KvServer::EventLoop {
   std::unordered_map<int, Conn> conns_;
   /// Live replication subscriptions on this loop (loop-thread only).
   std::size_t replicating_ = 0;
+  /// Live WATCH_EVENTS subscriptions on this loop (loop-thread only).
+  std::size_t watching_ = 0;
 };
 
 KvServer::KvServer() : KvServer(Config{}) {}
@@ -440,7 +615,8 @@ KvServer::KvServer() : KvServer(Config{}) {}
 KvServer::KvServer(Config config, std::shared_ptr<dist::Store> backing)
     : config_(std::move(config)),
       backing_(backing ? std::move(backing)
-                       : std::make_shared<dist::Store>()) {
+                       : std::make_shared<dist::Store>()),
+      hub_(std::make_unique<EventHub>()) {
   role_.store(static_cast<std::uint64_t>(config_.role),
               std::memory_order_release);
   primary_hostport_ = strip_scheme(config_.primary);
@@ -522,6 +698,11 @@ void KvServer::start() {
       rc.auth_token = config_.auth_token;
       rc.max_frame = config_.max_frame;
       rc.backoff_seed = config_.replication_backoff_seed;
+      // Stream connect/loss transitions feed the WATCH health category.
+      // Safe to capture `this`: stop() halts replication before teardown.
+      rc.on_transition = [this](bool connected) {
+        publish_replication_transition(connected);
+      };
       replication_ = std::make_unique<ReplicationClient>(std::move(rc),
                                                          backing_);
     }
@@ -571,6 +752,7 @@ KvServer::Stats KvServer::stats() const {
   stats.dropped_protocol = dropped_protocol_.load(std::memory_order_relaxed);
   stats.auth_failures = auth_failures_.load(std::memory_order_relaxed);
   stats.not_primary = not_primary_.load(std::memory_order_relaxed);
+  stats.watch_dropped = watch_dropped_.load(std::memory_order_relaxed);
   stats.role = role_.load(std::memory_order_acquire);
   if (stats.role == static_cast<std::uint64_t>(Role::kReplica)) {
     ReplicationClient::Stats replication;
@@ -600,7 +782,9 @@ std::uint64_t KvServer::promote() {
   backing_->bump_generation();
   role_.store(static_cast<std::uint64_t>(Role::kPrimary),
               std::memory_order_release);
-  return backing_->generation();
+  std::uint64_t generation = backing_->generation();
+  publish_promoted(generation);
+  return generation;
 }
 
 std::string KvServer::stats_json() const {
@@ -609,6 +793,10 @@ std::string KvServer::stats_json() const {
   registry.counter_set("kv.generation", backing_->generation());
   registry.counter_set("kv.store_version", backing_->version());
   registry.counter_set("kv.slices", backing_->slice_count());
+  // The event loops' per-opcode timing: kv.op.<name>.latency_us. Only
+  // opcodes actually served over TCP appear (the embedded handle_request
+  // path records nothing, so embedded snapshots stay histogram-free).
+  registry.merge_histograms(op_registry_, "kv.");
   return registry.snapshot_json();
 }
 
@@ -618,12 +806,25 @@ std::string KvServer::handle_request(std::string_view body) {
 
 std::string KvServer::handle_request(std::string_view body,
                                      bool* authenticated) {
+  return handle_request(body, authenticated, nullptr);
+}
+
+std::string KvServer::handle_request(std::string_view body,
+                                     bool* authenticated,
+                                     std::uint64_t* request_id) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   WireStatus error = WireStatus::kBadRequest;
+  std::uint64_t type = 0;
+  // Where a pre-trailer server called expect_end: consumes the optional
+  // request-id trailer (docs/WIRE_PROTOCOL.md §14), keeps the strictness.
+  auto finish = [&](std::size_t offset) {
+    std::uint64_t id = read_request_id(body, &offset);
+    if (request_id != nullptr) *request_id = id;
+  };
   try {
     std::size_t offset = 0;
     std::uint64_t proto = read_varint(body, &offset);
-    std::uint64_t type = read_varint(body, &offset);
+    type = read_varint(body, &offset);
     if (proto != kProtocolVersion) {
       error = WireStatus::kBadVersion;
       throw CodecError("protocol revision " + std::to_string(proto));
@@ -666,9 +867,15 @@ std::string KvServer::handle_request(std::string_view body,
         auto site = static_cast<dist::SiteId>(read_varint(body, &offset));
         std::uint64_t version = read_varint(body, &offset);
         std::string payload(read_bytes(body, &offset));
-        expect_end(body, offset);
+        finish(offset);
+        std::size_t nbytes = payload.size();
+        std::uint64_t blocked = 0;
+        if (watchers_.load(std::memory_order_relaxed) > 0) {
+          blocked = count_blocked(payload);
+        }
         auto [accepted, current] =
             backing_->put_slice_if_newer(site, std::move(payload), version);
+        note_store_ok();
         std::string out;
         if (!accepted) {
           append_varint(out, static_cast<std::uint64_t>(WireStatus::kStaleVersion));
@@ -676,14 +883,16 @@ std::string KvServer::handle_request(std::string_view body,
           errors_.fetch_add(1, std::memory_order_relaxed);
           return out;
         }
+        publish_slice_commit(site, current, blocked, nbytes);
         append_varint(out, static_cast<std::uint64_t>(WireStatus::kOk));
         append_varint(out, current);
         return out;
       }
       case MsgType::kGetSlice: {
         auto site = static_cast<dist::SiteId>(read_varint(body, &offset));
-        expect_end(body, offset);
+        finish(offset);
         std::optional<dist::Slice> slice = backing_->get_slice(site);
+        note_store_ok();
         if (!slice) {
           error = WireStatus::kNotFound;
           throw CodecError("no slice for site " + std::to_string(site));
@@ -693,23 +902,26 @@ std::string KvServer::handle_request(std::string_view body,
         return out;
       }
       case MsgType::kListSlices: {
-        expect_end(body, offset);
+        finish(offset);
         std::vector<dist::Slice> slices = backing_->snapshot();
+        note_store_ok();
         std::string out = status_only(WireStatus::kOk);
         append_varint(out, slices.size());
         for (const dist::Slice& slice : slices) append_slice(out, slice);
         return out;
       }
       case MsgType::kHeartbeat: {
-        expect_end(body, offset);
+        finish(offset);
         std::string out = status_only(WireStatus::kOk);
         append_varint(out, kProtocolVersion);
         return out;
       }
       case MsgType::kClear: {
         auto site = static_cast<dist::SiteId>(read_varint(body, &offset));
-        expect_end(body, offset);
+        finish(offset);
         backing_->remove_slice(site);
+        note_store_ok();
+        publish_slice_remove(site);
         return status_only(WireStatus::kOk);
       }
       case MsgType::kPutSliceDelta: {
@@ -717,11 +929,25 @@ std::string KvServer::handle_request(std::string_view body,
         std::uint64_t base = read_varint(body, &offset);
         std::uint64_t version = read_varint(body, &offset);
         std::string delta(read_bytes(body, &offset));
-        expect_end(body, offset);
+        finish(offset);
         std::string out;
         try {
           auto [accepted, current] =
               backing_->put_slice_delta_if_newer(site, base, version, delta);
+          note_store_ok();
+          if (accepted && watchers_.load(std::memory_order_relaxed) > 0) {
+            // The committed payload is base + delta; re-read it for the
+            // event's blocked count (watcher-gated, so the common path
+            // never pays the fetch).
+            try {
+              if (std::optional<dist::Slice> s = backing_->get_slice(site)) {
+                publish_slice_commit(site, current,
+                                     count_blocked(s->payload),
+                                     s->payload.size());
+              }
+            } catch (const dist::StoreUnavailableError&) {
+            }
+          }
           append_varint(out, static_cast<std::uint64_t>(
                                  accepted ? WireStatus::kOk
                                           : WireStatus::kStaleVersion));
@@ -739,9 +965,10 @@ std::string KvServer::handle_request(std::string_view body,
         }
       }
       case MsgType::kInspect: {
-        expect_end(body, offset);
+        finish(offset);
         InspectInfo info;
         info.sites = backing_->inspect();
+        note_store_ok();
         info.generation = backing_->generation();
         info.store_version = backing_->version();
         info.connections = connections_.load(std::memory_order_relaxed);
@@ -765,13 +992,15 @@ std::string KvServer::handle_request(std::string_view body,
       }
       case MsgType::kListSlicesSince: {
         std::uint64_t since = read_varint(body, &offset);
-        expect_end(body, offset);
-        return delta_body(backing_->snapshot_since(since));
+        finish(offset);
+        std::string out = delta_body(backing_->snapshot_since(since));
+        note_store_ok();
+        return out;
       }
       case MsgType::kReplicate: {
         std::uint64_t since_generation = read_varint(body, &offset);
         std::uint64_t since_version = read_varint(body, &offset);
-        expect_end(body, offset);
+        finish(offset);
         // Resume where the subscriber left off only when its history is
         // ours: a different generation (or a version from the future)
         // means full resync from 0. The answer doubles as the first
@@ -781,23 +1010,39 @@ std::string KvServer::handle_request(std::string_view body,
                                       since_version <= backing_->version()
                                   ? since_version
                                   : 0;
-        return delta_body(backing_->snapshot_since(since));
+        std::string out = delta_body(backing_->snapshot_since(since));
+        note_store_ok();
+        return out;
       }
       case MsgType::kPromote: {
-        expect_end(body, offset);
+        finish(offset);
         std::string out = status_only(WireStatus::kOk);
         append_varint(out, promote());
         return out;
       }
       case MsgType::kStats: {
-        expect_end(body, offset);
+        finish(offset);
         std::string out = status_only(WireStatus::kOk);
         append_bytes(out, stats_json());
         return out;
       }
+      case MsgType::kWatchEvents: {
+        std::uint64_t mask = read_varint(body, &offset);
+        finish(offset);
+        mask &= kWatchAll;
+        if (mask == 0) {
+          throw CodecError("watch mask selects no category");
+        }
+        // The event loop turns this connection into a push subscription
+        // on seeing the OK answer (mark_watching); an embedded caller
+        // just gets the handshake. The answer echoes the effective mask.
+        std::string out = status_only(WireStatus::kOk);
+        append_varint(out, mask);
+        return out;
+      }
       case MsgType::kAuth: {
         std::string_view token = read_bytes(body, &offset);
-        expect_end(body, offset);
+        finish(offset);
         if (config_.auth_token.empty() || token == config_.auth_token) {
           // A tokenless server accepts any AUTH as a no-op, so a client
           // configured with a token still interoperates with it.
@@ -814,11 +1059,111 @@ std::string KvServer::handle_request(std::string_view body,
     }
   } catch (const dist::StoreUnavailableError&) {
     error = WireStatus::kUnavailable;
+    note_store_error(op_name(type));
   } catch (const CodecError&) {
     // `error` already names the failure class.
   }
   errors_.fetch_add(1, std::memory_order_relaxed);
   return status_only(error);
+}
+
+void KvServer::note_op(std::uint64_t type, std::uint64_t latency_us,
+                       std::uint64_t request_id) {
+  op_registry_.record(std::string("op.") + op_name(type) + ".latency_us",
+                      latency_us);
+  if (config_.slow_request_us > 0 && latency_us > config_.slow_request_us &&
+      watchers_.load(std::memory_order_relaxed) > 0) {
+    publish_event(kWatchHealth,
+                  event_prefix("slow_request") + ",\"op\":\"" + op_name(type) +
+                      "\",\"us\":" + std::to_string(latency_us) +
+                      ",\"request_id\":" + std::to_string(request_id) + '}');
+  }
+}
+
+void KvServer::publish_event(std::uint64_t category, std::string line) {
+  hub_->publish(category, std::move(line));
+}
+
+std::uint64_t KvServer::event_ts_ns() const {
+  if (config_.event_clock) return config_.event_clock();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string KvServer::event_prefix(const char* name) const {
+  return std::string("{\"v\":1,\"event\":\"") + name +
+         "\",\"ts_ns\":" + std::to_string(event_ts_ns());
+}
+
+void KvServer::publish_conn_accept() {
+  if (watchers_.load(std::memory_order_relaxed) == 0) return;
+  publish_event(kWatchLifecycle,
+                event_prefix("conn_accept") + ",\"connections\":" +
+                    std::to_string(
+                        connections_.load(std::memory_order_relaxed)) +
+                    '}');
+}
+
+void KvServer::publish_conn_drop(const char* reason) {
+  if (watchers_.load(std::memory_order_relaxed) == 0) return;
+  publish_event(kWatchLifecycle, event_prefix("conn_drop") +
+                                     ",\"reason\":\"" + reason + "\"}");
+}
+
+void KvServer::publish_slice_commit(dist::SiteId site, std::uint64_t version,
+                                    std::uint64_t blocked,
+                                    std::size_t bytes) {
+  if (watchers_.load(std::memory_order_relaxed) == 0) return;
+  publish_event(kWatchSlices,
+                event_prefix("slice_commit") +
+                    ",\"site\":" + std::to_string(site) +
+                    ",\"version\":" + std::to_string(version) +
+                    ",\"blocked\":" + std::to_string(blocked) +
+                    ",\"bytes\":" + std::to_string(bytes) + '}');
+}
+
+void KvServer::publish_slice_remove(dist::SiteId site) {
+  if (watchers_.load(std::memory_order_relaxed) == 0) return;
+  publish_event(kWatchSlices, event_prefix("slice_remove") +
+                                  ",\"site\":" + std::to_string(site) + '}');
+}
+
+void KvServer::publish_promoted(std::uint64_t generation) {
+  if (watchers_.load(std::memory_order_relaxed) == 0) return;
+  publish_event(kWatchHealth,
+                event_prefix("promoted") +
+                    ",\"generation\":" + std::to_string(generation) + '}');
+}
+
+void KvServer::publish_replication_transition(bool connected) {
+  if (watchers_.load(std::memory_order_relaxed) == 0) return;
+  publish_event(kWatchHealth,
+                event_prefix("replication") + ",\"connected\":" +
+                    (connected ? "true" : "false") + '}');
+}
+
+std::string KvServer::gap_event_line(std::uint64_t missed) const {
+  return event_prefix("watch_gap") +
+         ",\"missed\":" + std::to_string(missed) + '}';
+}
+
+void KvServer::note_store_error(const char* op) {
+  // Transition gating, exactly like obs' store_outage: one event per
+  // outage however many requests fail inside it.
+  if (store_down_.exchange(true, std::memory_order_acq_rel)) return;
+  if (watchers_.load(std::memory_order_relaxed) == 0) return;
+  publish_event(kWatchHealth, event_prefix("store_outage") +
+                                  ",\"down\":true,\"op\":\"" + op + "\"}");
+}
+
+void KvServer::note_store_ok() {
+  if (!store_down_.load(std::memory_order_acquire)) return;
+  if (!store_down_.exchange(false, std::memory_order_acq_rel)) return;
+  if (watchers_.load(std::memory_order_relaxed) == 0) return;
+  publish_event(kWatchHealth,
+                event_prefix("store_outage") + ",\"down\":false}");
 }
 
 }  // namespace armus::net

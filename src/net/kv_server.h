@@ -3,11 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/registry.h"
 
 #include "dist/store.h"
 #include "net/protocol.h"
@@ -89,6 +92,17 @@ class KvServer {
     /// Replica: seed for the replication reconnect jitter; 0 (default)
     /// draws a random one. Tests pin it.
     std::uint64_t replication_backoff_seed = 0;
+
+    /// Requests whose handling exceeds this many µs emit a `slow_request`
+    /// event on the WATCH_EVENTS stream, carrying the request's
+    /// correlation id. 0 (default) disables. Wired from
+    /// $ARMUS_SLOW_REQUEST_US by the CLI entrypoints.
+    std::uint64_t slow_request_us = 0;
+
+    /// Clock behind the `ts_ns` field of pushed events; default
+    /// steady-clock nanoseconds (same timebase as the JSONL stream).
+    /// Tests pinning event bytes inject a fixed one.
+    std::function<std::uint64_t()> event_clock;
   };
 
   struct Stats {
@@ -100,6 +114,8 @@ class KvServer {
     std::uint64_t dropped_protocol = 0;      ///< oversized frame length
     std::uint64_t auth_failures = 0;  ///< bad AUTH or unauthenticated write
     std::uint64_t not_primary = 0;    ///< mutating ops redirected off a replica
+    std::uint64_t watch_dropped = 0;  ///< WATCH_EVENTS subscribers dropped
+                                      ///< by write-queue backpressure
     std::uint64_t role = 0;           ///< 0 = primary, 1 = replica
     std::uint64_t replication_frames = 0;    ///< stream frames applied
     std::uint64_t replication_resyncs = 0;   ///< full resyncs performed
@@ -159,6 +175,12 @@ class KvServer {
   /// ops. nullptr = trusted embedded caller (the overload above).
   std::string handle_request(std::string_view body, bool* authenticated);
 
+  /// As above, additionally reporting the request's correlation id (the
+  /// optional varint trailer, docs/WIRE_PROTOCOL.md §14; 0 when absent)
+  /// so the event loop can stamp `slow_request` events.
+  std::string handle_request(std::string_view body, bool* authenticated,
+                             std::uint64_t* request_id);
+
   /// The STATS payload: an obs::Registry snapshot of the server counters
   /// plus store identity, as deterministic JSON
   /// (armus.obs.registry.v1 — see docs/OBSERVABILITY.md).
@@ -166,6 +188,39 @@ class KvServer {
 
  private:
   class EventLoop;
+  class EventHub;
+
+  /// Records one handled request into the per-opcode latency histograms
+  /// (`op.<name>.latency_us` in op_registry_) and, past
+  /// Config::slow_request_us, publishes a `slow_request` event. Called by
+  /// the event loop only — embedded handle_request callers stay out of
+  /// the histograms, which keeps the documented STATS golden stable.
+  void note_op(std::uint64_t type, std::uint64_t latency_us,
+               std::uint64_t request_id);
+
+  /// Appends one armus.kv.event.v1 line to the hub when any WATCH_EVENTS
+  /// subscriber is live (watchers_ gates the JSON building cost).
+  void publish_event(std::uint64_t category, std::string line);
+
+  [[nodiscard]] std::uint64_t event_ts_ns() const;
+  [[nodiscard]] std::string event_prefix(const char* name) const;
+
+  // Event builders for each publish site (no-ops without watchers).
+  void publish_conn_accept();
+  void publish_conn_drop(const char* reason);
+  void publish_slice_commit(dist::SiteId site, std::uint64_t version,
+                            std::uint64_t blocked, std::size_t bytes);
+  void publish_slice_remove(dist::SiteId site);
+  void publish_promoted(std::uint64_t generation);
+  void publish_replication_transition(bool connected);
+  /// A watch_gap line (built per-subscriber in the loop, never ringed).
+  [[nodiscard]] std::string gap_event_line(std::uint64_t missed) const;
+
+  /// store_outage transitions (down on the first StoreUnavailableError
+  /// after a healthy stretch, up on the first success after an outage) —
+  /// the same gating as obs' JSONL store_outage event.
+  void note_store_error(const char* op);
+  void note_store_ok();
 
   Config config_;
   std::shared_ptr<dist::Store> backing_;
@@ -195,6 +250,21 @@ class KvServer {
   std::atomic<std::uint64_t> dropped_protocol_{0};
   std::atomic<std::uint64_t> auth_failures_{0};
   std::atomic<std::uint64_t> not_primary_{0};
+  std::atomic<std::uint64_t> watch_dropped_{0};
+
+  /// Live WATCH_EVENTS subscribers across every loop; publish sites skip
+  /// all JSON building while this is 0.
+  std::atomic<std::uint64_t> watchers_{0};
+  /// store_outage transition state (see note_store_error/note_store_ok).
+  std::atomic<bool> store_down_{false};
+
+  /// The event ring every WATCH_EVENTS subscriber drains (cursor-based,
+  /// bounded; an overrun surfaces as a watch_gap event, never a stall).
+  std::unique_ptr<EventHub> hub_;
+
+  /// Per-opcode latency histograms (`op.<name>.latency_us`), recorded by
+  /// the event loops and merged into stats_json() under "kv.".
+  obs::Registry op_registry_;
 };
 
 }  // namespace armus::net

@@ -78,6 +78,13 @@ void expect_end(std::string_view body, std::size_t offset) {
   }
 }
 
+std::uint64_t read_request_id(std::string_view body, std::size_t* offset) {
+  if (*offset == body.size()) return 0;
+  std::uint64_t id = read_varint(body, offset);
+  expect_end(body, *offset);
+  return id;
+}
+
 void append_inspect(std::string& out, const InspectInfo& info) {
   append_varint(out, info.generation);
   append_varint(out, info.store_version);

@@ -59,7 +59,22 @@ enum class MsgType : std::uint64_t {
   kPromote = 12,         ///< (empty) → OK(generation) — a replica becomes
                          ///<   the primary under a *fresh* boot generation;
                          ///<   idempotent on a primary (current generation)
+  kWatchEvents = 13,     ///< mask → OK(mask); the connection then becomes a
+                         ///<   server-push stream of event frames, each
+                         ///<   `OK nbytes json` carrying one
+                         ///<   armus.kv.event.v1 line (docs/WIRE_PROTOCOL.md
+                         ///<   §14). Read-only and auth-exempt.
 };
+
+/// WATCH_EVENTS category bitmask (docs/WIRE_PROTOCOL.md §14).
+inline constexpr std::uint64_t kWatchLifecycle = 1;  ///< conn accept/drop
+inline constexpr std::uint64_t kWatchSlices = 2;     ///< slice commit/remove
+inline constexpr std::uint64_t kWatchHealth = 4;     ///< outage/recovery,
+                                                     ///< replication,
+                                                     ///< promotion,
+                                                     ///< slow_request
+inline constexpr std::uint64_t kWatchAll =
+    kWatchLifecycle | kWatchSlices | kWatchHealth;
 
 enum class WireStatus : std::uint64_t {
   kOk = 0,
@@ -100,6 +115,15 @@ void append_slice(std::string& out, const dist::Slice& slice);
 /// Throws dist::CodecError unless exactly `offset == body.size()` — the
 /// same trailing-garbage strictness as the slice codec.
 void expect_end(std::string_view body, std::size_t offset);
+
+/// Optional request-id trailer (docs/WIRE_PROTOCOL.md §14): a request body
+/// may end with exactly one extra varint, the client's per-connection
+/// correlation id. Call where a pre-trailer server called expect_end —
+/// end-of-body yields 0 (byte-identical interop with old clients), one
+/// complete varint then end-of-body yields that id, anything else throws
+/// dist::CodecError like trailing garbage always has.
+[[nodiscard]] std::uint64_t read_request_id(std::string_view body,
+                                            std::size_t* offset);
 
 /// The INSPECT answer (docs/WIRE_PROTOCOL.md §10): store identity, the
 /// server's request counters, and one dist::SliceInspect row per live

@@ -230,6 +230,21 @@ std::string RemoteStore::roundtrip(std::string_view body) const {
   }
 }
 
+std::string RemoteStore::timed_exchange(const char* op, std::string body,
+                                        bool redirectable) const {
+  if (config_.request_ids) {
+    append_varint(body, ++next_request_id_);
+  }
+  auto started = std::chrono::steady_clock::now();
+  std::string response = redirectable ? roundtrip(body) : exchange_locked(body);
+  auto latency_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  op_registry_.record(std::string("op.") + op + ".latency_us", latency_us);
+  return response;
+}
+
 WireStatus RemoteStore::read_status(std::string_view response,
                                     std::size_t* offset) {
   WireStatus status;
@@ -252,7 +267,7 @@ std::uint64_t RemoteStore::put_slice(dist::SiteId site, std::string payload) {
     append_varint(body, site);
     append_varint(body, proposed);
     append_bytes(body, payload);
-    std::string response = roundtrip(body);
+    std::string response = timed_exchange("put_slice", std::move(body));
     std::size_t offset = 0;
     WireStatus status = read_status(response, &offset);
     try {
@@ -297,7 +312,7 @@ std::uint64_t RemoteStore::put_slice_delta(dist::SiteId site,
     append_varint(body, base_version);
     append_varint(body, proposed);
     append_bytes(body, delta);
-    std::string response = roundtrip(body);
+    std::string response = timed_exchange("put_slice_delta", std::move(body));
     std::size_t offset = 0;
     WireStatus status = read_status(response, &offset);
     try {
@@ -341,7 +356,7 @@ void RemoteStore::remove_slice(dist::SiteId site) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string body = request_header(MsgType::kClear);
   append_varint(body, site);
-  std::string response = roundtrip(body);
+  std::string response = timed_exchange("clear", std::move(body));
   std::size_t offset = 0;
   WireStatus status = read_status(response, &offset);
   if (status != WireStatus::kOk) {
@@ -351,7 +366,8 @@ void RemoteStore::remove_slice(dist::SiteId site) {
 
 std::vector<dist::Slice> RemoteStore::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string response = roundtrip(request_header(MsgType::kListSlices));
+  std::string response =
+      timed_exchange("list_slices", request_header(MsgType::kListSlices));
   std::size_t offset = 0;
   WireStatus status = read_status(response, &offset);
   if (status != WireStatus::kOk) {
@@ -377,7 +393,8 @@ dist::DeltaSnapshot RemoteStore::snapshot_since(std::uint64_t since) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string body = request_header(MsgType::kListSlicesSince);
   append_varint(body, since);
-  std::string response = roundtrip(body);
+  std::string response =
+      timed_exchange("list_slices_since", std::move(body));
   std::size_t offset = 0;
   WireStatus status = read_status(response, &offset);
   if (status != WireStatus::kOk) {
@@ -412,7 +429,7 @@ std::optional<dist::Slice> RemoteStore::get_slice(dist::SiteId site) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string body = request_header(MsgType::kGetSlice);
   append_varint(body, site);
-  std::string response = roundtrip(body);
+  std::string response = timed_exchange("get_slice", std::move(body));
   std::size_t offset = 0;
   WireStatus status = read_status(response, &offset);
   if (status == WireStatus::kNotFound) return std::nullopt;
@@ -432,7 +449,8 @@ std::optional<dist::Slice> RemoteStore::get_slice(dist::SiteId site) const {
 
 InspectInfo RemoteStore::inspect() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string response = roundtrip(request_header(MsgType::kInspect));
+  std::string response =
+      timed_exchange("inspect", request_header(MsgType::kInspect));
   std::size_t offset = 0;
   WireStatus status = read_status(response, &offset);
   if (status != WireStatus::kOk) {
@@ -451,7 +469,8 @@ InspectInfo RemoteStore::inspect() const {
 
 std::string RemoteStore::stats_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string response = roundtrip(request_header(MsgType::kStats));
+  std::string response =
+      timed_exchange("stats", request_header(MsgType::kStats));
   std::size_t offset = 0;
   WireStatus status = read_status(response, &offset);
   if (status != WireStatus::kOk) {
@@ -471,7 +490,8 @@ std::string RemoteStore::stats_json() const {
 bool RemoteStore::heartbeat() {
   std::lock_guard<std::mutex> lock(mutex_);
   try {
-    std::string response = roundtrip(request_header(MsgType::kHeartbeat));
+    std::string response =
+        timed_exchange("heartbeat", request_header(MsgType::kHeartbeat));
     std::size_t offset = 0;
     if (read_status(response, &offset) != WireStatus::kOk) return false;
     std::uint64_t proto = read_varint(response, &offset);
@@ -491,7 +511,8 @@ std::uint64_t RemoteStore::promote() {
   // endpoint this client is pointed at, never follow a redirect (the
   // whole point is to promote a replica that still calls another server
   // its primary).
-  std::string response = exchange_locked(request_header(MsgType::kPromote));
+  std::string response = timed_exchange(
+      "promote", request_header(MsgType::kPromote), /*redirectable=*/false);
   std::size_t offset = 0;
   WireStatus status = read_status(response, &offset);
   if (status != WireStatus::kOk) {
@@ -516,6 +537,11 @@ bool RemoteStore::connected() const {
 RemoteStore::Stats RemoteStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+std::uint64_t RemoteStore::last_request_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_request_id_;
 }
 
 std::vector<Endpoint> RemoteStore::endpoints() const {

@@ -11,6 +11,7 @@
 
 #include "dist/store.h"
 #include "net/protocol.h"
+#include "obs/registry.h"
 #include "util/rng.h"
 
 /// The client side of armus-kv: a dist::SliceStore whose operations are
@@ -82,6 +83,14 @@ class RemoteStore final : public dist::SliceStore {
     /// so a token-configured client interoperates either way. Wired from
     /// $ARMUS_AUTH_TOKEN by remote_store_from_url.
     std::string auth_token;
+
+    /// Stamp every request with a varint request-id trailer
+    /// (docs/WIRE_PROTOCOL.md §14): ids count up from 1 per store, so a
+    /// server-side `slow_request` event or log line joins back to this
+    /// client's own per-op latency histograms. Pre-trailer servers reject
+    /// the extra varint as trailing garbage — set false to speak the
+    /// byte-identical old dialect to them.
+    bool request_ids = true;
   };
 
   struct Stats {
@@ -156,6 +165,17 @@ class RemoteStore final : public dist::SliceStore {
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// Client-observed per-op latency histograms (`op.<name>.latency_us`,
+  /// one sample per completed exchange) — the client half of the
+  /// request-id join against the server's `kv.op.<name>.latency_us`.
+  [[nodiscard]] const obs::Registry& op_registry() const {
+    return op_registry_;
+  }
+
+  /// The last request id stamped on the wire (0 before the first, or
+  /// with Config::request_ids off).
+  [[nodiscard]] std::uint64_t last_request_id() const;
+
   /// The endpoint list in use (config plus redirect-learned entries) and
   /// the index currently preferred — observability for tests/armus-top.
   [[nodiscard]] std::vector<Endpoint> endpoints() const;
@@ -172,6 +192,12 @@ class RemoteStore final : public dist::SliceStore {
   /// One send/recv exchange on the current connection (no redirect
   /// handling). Caller holds mutex_.
   std::string exchange_locked(std::string_view body) const;
+
+  /// roundtrip (or, for PROMOTE, exchange_locked) plus the telemetry
+  /// wrapper: stamps the request-id trailer and records the exchange into
+  /// op_registry_ as `op.<name>.latency_us`. Caller holds mutex_.
+  std::string timed_exchange(const char* op, std::string body,
+                             bool redirectable = true) const;
 
   /// Ensures fd_ holds a live connection, walking the endpoint list from
   /// preferred_; throws on failure (fast while the backoff window is
@@ -203,6 +229,10 @@ class RemoteStore final : public dist::SliceStore {
   /// Highest version this client has stored per site; the next put
   /// proposes +1. See docs/WIRE_PROTOCOL.md on stale-version rejection.
   std::map<dist::SiteId, std::uint64_t> versions_;
+  /// Correlation ids stamped so far (monotonic; guarded by mutex_).
+  mutable std::uint64_t next_request_id_ = 0;
+  /// Client-observed per-op latency (internally synchronised).
+  mutable obs::Registry op_registry_;
 };
 
 }  // namespace armus::net

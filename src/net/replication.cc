@@ -116,10 +116,17 @@ void ReplicationClient::session() {
   }
 
   auto teardown = [&] {
-    std::lock_guard<std::mutex> lock(mutex_);
-    io::close_fd(fd_);
-    fd_ = -1;
-    stats_.connected = false;
+    bool was_connected;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      io::close_fd(fd_);
+      fd_ = -1;
+      was_connected = stats_.connected;
+      stats_.connected = false;
+    }
+    // Transition-gated: only a session that actually came up reports
+    // going down (failed connect attempts stay silent).
+    if (was_connected && config_.on_transition) config_.on_transition(false);
   };
 
   try {
@@ -158,10 +165,13 @@ void ReplicationClient::session() {
       apply(delta);
       if (first) {
         first = false;
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.connects;
-        stats_.connected = true;
-        backoff_ = std::chrono::milliseconds{0};
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.connects;
+          stats_.connected = true;
+          backoff_ = std::chrono::milliseconds{0};
+        }
+        if (config_.on_transition) config_.on_transition(true);
       }
     }
   } catch (const CodecError&) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -64,6 +65,13 @@ class ReplicationClient {
     /// Seed for the jittered backoff; 0 (default) draws a random one.
     /// Tests pin it for reproducible reconnect schedules.
     std::uint64_t backoff_seed = 0;
+
+    /// Transition hook: called with true when a subscription comes up
+    /// (first stream frame applied), false when that subscription dies —
+    /// once per transition, never per retry, the same gating as the
+    /// store_outage event. Runs on the subscriber thread; the replica
+    /// server feeds its WATCH_EVENTS health stream from it.
+    std::function<void(bool connected)> on_transition;
   };
 
   struct Stats {

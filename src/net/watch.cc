@@ -1,0 +1,104 @@
+#include "net/watch.h"
+
+#include "net/socket_io.h"
+
+namespace armus::net {
+
+using dist::append_varint;
+using dist::CodecError;
+using dist::read_varint;
+using dist::StoreUnavailableError;
+
+WatchClient::WatchClient(Config config) : config_(std::move(config)) {
+  fd_ = io::connect_to(config_.host, config_.port,
+                       static_cast<int>(config_.connect_timeout.count()));
+  if (fd_ < 0) {
+    throw StoreUnavailableError("watch: connect to " + config_.host + ":" +
+                                std::to_string(config_.port) + " failed");
+  }
+  io::set_io_timeout(fd_, static_cast<int>(config_.io_timeout.count()));
+
+  auto exchange = [&](const std::string& body,
+                      const char* what) -> std::string {
+    if (!io::write_all(fd_, frame(body))) {
+      close();
+      throw StoreUnavailableError(std::string("watch: ") + what + " send");
+    }
+    std::optional<std::string> response = io::read_frame(fd_, config_.max_frame);
+    if (!response) {
+      close();
+      throw StoreUnavailableError(std::string("watch: ") + what + " recv");
+    }
+    return *std::move(response);
+  };
+
+  try {
+    if (!config_.auth_token.empty()) {
+      std::string body = request_header(MsgType::kAuth);
+      append_bytes(body, config_.auth_token);
+      std::string response = exchange(body, "auth");
+      std::size_t offset = 0;
+      if (static_cast<WireStatus>(read_varint(response, &offset)) !=
+          WireStatus::kOk) {
+        close();
+        throw StoreUnavailableError("watch: auth rejected");
+      }
+    }
+
+    std::string subscribe = request_header(MsgType::kWatchEvents);
+    append_varint(subscribe, config_.mask);
+    std::string response = exchange(subscribe, "subscribe");
+    std::size_t offset = 0;
+    auto status = static_cast<WireStatus>(read_varint(response, &offset));
+    if (status != WireStatus::kOk) {
+      close();
+      throw StoreUnavailableError("watch: subscribe rejected: " +
+                                  to_string(status));
+    }
+    mask_ = read_varint(response, &offset);
+    expect_end(response, offset);
+  } catch (const CodecError& err) {
+    close();
+    throw StoreUnavailableError(std::string("watch: bad handshake: ") +
+                                err.what());
+  }
+}
+
+WatchClient::~WatchClient() { close(); }
+
+std::optional<std::string> WatchClient::next() {
+  if (fd_ < 0) return std::nullopt;
+  std::optional<std::string> response = io::read_frame(fd_, config_.max_frame);
+  if (!response) {
+    // Clean end of stream: server closed, or Config::io_timeout elapsed.
+    close();
+    return std::nullopt;
+  }
+  try {
+    std::size_t offset = 0;
+    auto status = static_cast<WireStatus>(read_varint(*response, &offset));
+    if (status != WireStatus::kOk) {
+      throw CodecError("push frame status " +
+                       std::to_string(static_cast<std::uint64_t>(status)));
+    }
+    std::string line(read_bytes(*response, &offset));
+    expect_end(*response, offset);
+    return line;
+  } catch (const CodecError& err) {
+    // A frame we framed but cannot parse: the stream can no longer be
+    // trusted to stay in sync, so surface the standard outage error and
+    // force a resubscribe rather than guessing at a resync point.
+    close();
+    throw StoreUnavailableError(std::string("watch: malformed push frame: ") +
+                                err.what());
+  }
+}
+
+void WatchClient::close() {
+  if (fd_ >= 0) {
+    io::close_fd(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace armus::net

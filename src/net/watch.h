@@ -1,0 +1,73 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dist/store.h"
+#include "net/protocol.h"
+
+/// The consumer side of WATCH_EVENTS (docs/WIRE_PROTOCOL.md §14): a
+/// blocking subscriber that performs the one-frame handshake and then
+/// yields one armus.kv.event.v1 line per pushed frame. `armus-top
+/// --follow` renders these; the wire fuzzer drives one against mutated
+/// push streams to pin that a malformed frame surfaces as a clean error,
+/// never a mis-synced parse.
+namespace armus::net {
+
+class WatchClient {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    /// Requested category bitmask (kWatchLifecycle | kWatchSlices |
+    /// kWatchHealth); the server echoes the effective mask back.
+    std::uint64_t mask = kWatchAll;
+
+    /// Bound on one connect(2) attempt.
+    std::chrono::milliseconds connect_timeout{500};
+
+    /// Bound on each stream read. 0 (default) = unbounded: unlike the
+    /// replication stream there are no keepalives, so a healthy but
+    /// quiet store legitimately pushes nothing for minutes. Tests and
+    /// the fuzzer set a bound and treat the timeout as end-of-stream.
+    std::chrono::milliseconds io_timeout{0};
+
+    std::size_t max_frame = kDefaultMaxFrame;
+
+    /// Sent as AUTH before subscribing when non-empty. WATCH_EVENTS
+    /// itself is auth-exempt; this only matters for symmetry with
+    /// clients that reuse one token everywhere.
+    std::string auth_token;
+  };
+
+  /// Connects and subscribes; throws dist::StoreUnavailableError when the
+  /// server is unreachable or rejects the handshake.
+  explicit WatchClient(Config config);
+  ~WatchClient();
+  WatchClient(const WatchClient&) = delete;
+  WatchClient& operator=(const WatchClient&) = delete;
+
+  /// Blocks for the next pushed event line. nullopt = the stream ended
+  /// (server closed, or Config::io_timeout elapsed). Throws
+  /// dist::StoreUnavailableError on a malformed frame — the stream is no
+  /// longer trustworthy and the connection is closed; reconnect to
+  /// resubscribe.
+  std::optional<std::string> next();
+
+  /// The effective category mask the server echoed at subscribe.
+  [[nodiscard]] std::uint64_t mask() const { return mask_; }
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  void close();
+
+ private:
+  Config config_;
+  int fd_ = -1;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace armus::net

@@ -50,6 +50,7 @@ void export_stats(Registry& registry, const std::string& prefix,
                        stats.replication_lag_versions);
   registry.counter_set(prefix + ".replication_lag_ms",
                        stats.replication_lag_ms);
+  registry.counter_set(prefix + ".watch_dropped", stats.watch_dropped);
 }
 
 void export_stats(Registry& registry, const std::string& prefix,

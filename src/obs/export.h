@@ -31,7 +31,7 @@ void export_stats(Registry& registry, const std::string& prefix,
 /// kv server: connections, requests, errors, dropped_backpressure,
 /// dropped_idle, dropped_protocol, auth_failures, not_primary, role,
 /// replication_frames, replication_resyncs, replication_lag_versions,
-/// replication_lag_ms.
+/// replication_lag_ms, watch_dropped.
 void export_stats(Registry& registry, const std::string& prefix,
                   const net::KvServer::Stats& stats);
 

@@ -59,6 +59,7 @@ void Histogram::record(std::uint64_t value) {
   ++buckets_[bucket_index(value)];
   if (count_ == 0 || value < min_) min_ = value;
   if (value > max_) max_ = value;
+  sum_ += value;
   ++count_;
 }
 
@@ -67,6 +68,7 @@ void Histogram::merge(const Histogram& other) {
   for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
   if (count_ == 0 || other.min_ < min_) min_ = other.min_;
   if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
   count_ += other.count_;
 }
 
@@ -126,6 +128,19 @@ Histogram Registry::histogram(const std::string& name) const {
   return it == histograms_.end() ? Histogram{} : it->second;
 }
 
+void Registry::merge_histograms(const Registry& other,
+                                const std::string& prefix) {
+  // Copy out first: `this` and `other` may be distinct locks taken in any
+  // order elsewhere, so never hold both at once.
+  std::map<std::string, Histogram> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    theirs = other.histograms_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, h] : theirs) histograms_[prefix + name] = h;
+}
+
 std::string Registry::snapshot_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"schema\":\"armus.obs.registry.v1\",\"counters\":{";
@@ -153,8 +168,10 @@ std::string Registry::snapshot_json() const {
     out += ":{\"count\":" + std::to_string(h.count()) +
            ",\"min\":" + std::to_string(h.min()) +
            ",\"max\":" + std::to_string(h.max()) +
+           ",\"mean\":" + format_double(h.mean()) +
            ",\"p50\":" + std::to_string(h.percentile(50)) +
-           ",\"p99\":" + std::to_string(h.percentile(99)) + '}';
+           ",\"p99\":" + std::to_string(h.percentile(99)) +
+           ",\"p999\":" + std::to_string(h.percentile(99.9)) + '}';
   }
   out += "}}";
   return out;

@@ -45,6 +45,13 @@ class Histogram {
   [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
   [[nodiscard]] std::uint64_t max() const { return max_; }
 
+  /// Exact arithmetic mean of the recorded samples (0 when empty) — the
+  /// running sum is exact, unlike the bucketed percentiles.
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
   /// The estimated p-th percentile (p in (0, 100]): the upper bound of the
   /// bucket holding the sample of rank ceil(p/100 * count), clamped to the
   /// observed max so p100 is exact at the top. 0 on an empty histogram.
@@ -55,6 +62,7 @@ class Histogram {
   std::uint64_t count_ = 0;
   std::uint64_t min_ = 0;
   std::uint64_t max_ = 0;
+  std::uint64_t sum_ = 0;
 };
 
 /// Named counters/gauges/histograms behind one mutex. Names are flat
@@ -81,10 +89,16 @@ class Registry {
   /// A copy of histogram `name` (empty when absent).
   [[nodiscard]] Histogram histogram(const std::string& name) const;
 
+  /// Copies every histogram of `other` into this registry under
+  /// `prefix + name`, overwriting like the exporters do — the merge path
+  /// that folds a component-owned registry (e.g. the server's per-opcode
+  /// latency registry) into a snapshot being assembled.
+  void merge_histograms(const Registry& other, const std::string& prefix);
+
   /// One JSON document of everything:
   ///   {"schema":"armus.obs.registry.v1","counters":{...},
   ///    "gauges":{...},"histograms":{"name":{"count":..,"min":..,
-  ///    "max":..,"p50":..,"p99":..},...}}
+  ///    "max":..,"mean":..,"p50":..,"p99":..,"p999":..},...}}
   /// Keys sorted, no whitespace — docs/OBSERVABILITY.md is normative.
   [[nodiscard]] std::string snapshot_json() const;
 

@@ -1,6 +1,9 @@
 #include "obs/top.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
 
 #include "graph/dot.h"
 
@@ -144,6 +147,93 @@ std::string render_top_dot(const TopView& view) {
   BuiltGraph built = build_graph(view.merged, GraphModel::kWfg);
   return graph::to_dot(built.graph, "armus_top",
                        [&built](graph::Node v) { return built.label(v); });
+}
+
+std::uint64_t parse_event_filter(const std::string& spec) {
+  std::uint64_t mask = 0;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    std::string name = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (name == "lifecycle") {
+      mask |= net::kWatchLifecycle;
+    } else if (name == "slices") {
+      mask |= net::kWatchSlices;
+    } else if (name == "health") {
+      mask |= net::kWatchHealth;
+    } else if (name == "all") {
+      mask |= net::kWatchAll;
+    } else {
+      throw std::invalid_argument(
+          "--events categories are lifecycle|slices|health|all, got \"" +
+          name + '"');
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return mask;
+}
+
+std::string render_event_line(const std::string& json_line) {
+  // Event lines are flat objects of string/number values by schema
+  // (armus.kv.event.v1 — docs/OBSERVABILITY.md), so a full JSON parser
+  // would be dead weight here; anything that does not scan cleanly is
+  // passed through untouched.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < json_line.size() &&
+           (json_line[i] == ' ' || json_line[i] == '\t')) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= json_line.size() || json_line[i] != '{') return json_line;
+  ++i;
+  for (;;) {
+    skip_ws();
+    if (i < json_line.size() && json_line[i] == '}') break;
+    if (i >= json_line.size() || json_line[i] != '"') return json_line;
+    std::size_t key_end = json_line.find('"', i + 1);
+    if (key_end == std::string::npos) return json_line;
+    std::string key = json_line.substr(i + 1, key_end - i - 1);
+    i = key_end + 1;
+    skip_ws();
+    if (i >= json_line.size() || json_line[i] != ':') return json_line;
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < json_line.size() && json_line[i] == '"') {
+      std::size_t value_end = json_line.find('"', i + 1);
+      if (value_end == std::string::npos) return json_line;
+      value = json_line.substr(i + 1, value_end - i - 1);
+      i = value_end + 1;
+    } else {
+      std::size_t value_end = json_line.find_first_of(",}", i);
+      if (value_end == std::string::npos) return json_line;
+      value = json_line.substr(i, value_end - i);
+      i = value_end;
+    }
+    pairs.emplace_back(std::move(key), std::move(value));
+    skip_ws();
+    if (i < json_line.size() && json_line[i] == ',') ++i;
+  }
+
+  std::string event = "?";
+  double ts_s = 0.0;
+  for (const auto& [key, value] : pairs) {
+    if (key == "event") event = value;
+    if (key == "ts_ns") ts_s = std::strtod(value.c_str(), nullptr) / 1e9;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%14.3f %-16s", ts_s, event.c_str());
+  std::string out = buf;
+  for (const auto& [key, value] : pairs) {
+    if (key == "v" || key == "ts_ns" || key == "event") continue;
+    out += ' ' + key + '=' + value;
+  }
+  return out;
 }
 
 }  // namespace armus::obs

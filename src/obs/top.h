@@ -44,4 +44,15 @@ std::string render_top_table(const TopView& view, const std::string& url);
 /// the checker may have preferred for speed shows phasers instead.
 std::string render_top_dot(const TopView& view);
 
+/// Parses an `--events` filter — a comma-separated subset of
+/// "lifecycle", "slices", "health" (or "all") — into the WATCH_EVENTS
+/// category bitmask. Throws std::invalid_argument on an unknown name.
+std::uint64_t parse_event_filter(const std::string& spec);
+
+/// Formats one armus.kv.event.v1 line for the scrolling `--follow` log:
+/// `<ts_s> <event> key=value …` with the schema fields (v, ts_ns) folded
+/// into the prefix. A line that is not a flat JSON object passes through
+/// verbatim — an operator tool must show what it got, not hide it.
+std::string render_event_line(const std::string& json_line);
+
 }  // namespace armus::obs

@@ -19,6 +19,7 @@
 #include "net/protocol.h"
 #include "net/remote_store.h"
 #include "net/socket_io.h"
+#include "net/watch.h"
 
 namespace armus::net {
 namespace {
@@ -283,8 +284,10 @@ TEST(KvServerTest, ErrorCodes) {
   EXPECT_EQ(response_status(server.handle_request(truncated)),
             static_cast<std::uint64_t>(WireStatus::kBadRequest));
 
+  // Two trailing bytes: the first parses as a request-id trailer (§14),
+  // so it takes a *second* stray byte to be trailing garbage now.
   std::string trailing = request_header(MsgType::kHeartbeat);
-  trailing += "x";
+  trailing += "xy";
   EXPECT_EQ(response_status(server.handle_request(trailing)),
             static_cast<std::uint64_t>(WireStatus::kBadRequest));
 
@@ -855,7 +858,7 @@ TEST(KvServerTest, DocumentedStatsExample) {
             "\"kv.not_primary\":0,\"kv.replication_frames\":0,"
             "\"kv.replication_lag_ms\":0,\"kv.replication_lag_versions\":0,"
             "\"kv.replication_resyncs\":0,\"kv.requests\":1,\"kv.role\":0,"
-            "\"kv.slices\":0,\"kv.store_version\":1},"
+            "\"kv.slices\":0,\"kv.store_version\":1,\"kv.watch_dropped\":0},"
             "\"gauges\":{},\"histograms\":{}}");
 }
 
@@ -1383,6 +1386,376 @@ TEST(NetConfigTest, ParsesMultiEndpointUrlList) {
   ASSERT_EQ(store->endpoints().size(), 2u);
   EXPECT_EQ(store->config().host, "127.0.0.1");
   EXPECT_EQ(store->config().port, 7000u);
+}
+
+// --- WATCH_EVENTS + request correlation (docs/WIRE_PROTOCOL.md §14) ----------
+
+TEST(ProtocolTest, RequestIdTrailerSemantics) {
+  // End-of-body = 0 (the byte-identical old dialect), one varint = the
+  // id, anything further is trailing garbage like it always was.
+  std::string none;
+  std::size_t offset = 0;
+  EXPECT_EQ(read_request_id(none, &offset), 0u);
+
+  std::string one;
+  append_varint(one, 200);
+  offset = 0;
+  EXPECT_EQ(read_request_id(one, &offset), 200u);
+
+  std::string two;
+  append_varint(two, 200);
+  append_varint(two, 9);
+  offset = 0;
+  EXPECT_THROW((void)read_request_id(two, &offset), dist::CodecError);
+}
+
+TEST(ProtocolTest, DocumentedRequestIdExample) {
+  // docs/WIRE_PROTOCOL.md §14: HEARTBEAT stamped with request id 5 — one
+  // extra varint after the §5 body; the answer is unchanged.
+  KvServer server;
+  bool authenticated = false;
+  std::uint64_t request_id = 0;
+  std::string heartbeat = request_header(MsgType::kHeartbeat);
+  append_varint(heartbeat, 5);
+  EXPECT_EQ(hex(heartbeat), "01 04 05");
+  EXPECT_EQ(hex(server.handle_request(heartbeat, &authenticated, &request_id)),
+            "00 01");
+  EXPECT_EQ(request_id, 5u);
+
+  // The §1 PUT_SLICE with request id 200 (varint c8 01).
+  std::string put = request_header(MsgType::kPutSlice);
+  append_varint(put, 2);
+  append_varint(put, 3);
+  append_bytes(put,
+               dist::encode_statuses({status(7, {{1, 1}}, {{1, 1}, {2, 0}})}));
+  append_varint(put, 200);
+  EXPECT_EQ(hex(put), "01 01 02 03 0a 01 07 01 01 01 02 01 01 02 00 c8 01");
+  request_id = 0;
+  EXPECT_EQ(hex(server.handle_request(put, &authenticated, &request_id)),
+            "00 03");
+  EXPECT_EQ(request_id, 200u);
+}
+
+TEST(ProtocolTest, DocumentedWatchSubscribeExample) {
+  // docs/WIRE_PROTOCOL.md §14: subscribe to every category (mask 7); the
+  // answer echoes the effective mask.
+  KvServer server;
+  std::string subscribe = request_header(MsgType::kWatchEvents);
+  append_varint(subscribe, kWatchAll);
+  EXPECT_EQ(hex(subscribe), "01 0d 07");
+  EXPECT_EQ(hex(server.handle_request(subscribe)), "00 07");
+
+  // Unknown high bits are masked off — the echo shows what is effective.
+  std::string extra = request_header(MsgType::kWatchEvents);
+  append_varint(extra, 0xff);
+  EXPECT_EQ(hex(server.handle_request(extra)), "00 07");
+
+  // A mask selecting no category at all is a bad request.
+  std::string none = request_header(MsgType::kWatchEvents);
+  append_varint(none, 8);
+  EXPECT_EQ(hex(server.handle_request(none)), "01");
+}
+
+TEST(KvServerTest, WatchEventsStreamOverTcp) {
+  KvServer::Config config;
+  config.event_clock = [] { return std::uint64_t{42}; };
+  KvServer server(config);
+  server.start();
+
+  WatchClient::Config watch_config;
+  watch_config.port = server.port();
+  watch_config.io_timeout = 2000ms;
+  WatchClient watch(std::move(watch_config));
+  EXPECT_EQ(watch.mask(), kWatchAll);
+
+  RemoteStore client(client_config(server.port()));
+  std::string payload = dist::encode_statuses({status(7, {{1, 1}}, {{1, 1}})});
+  client.put_slice(1, payload);
+  client.remove_slice(1);
+
+  std::vector<std::string> lines;
+  bool removed = false;
+  while (!removed) {
+    std::optional<std::string> line = watch.next();
+    ASSERT_TRUE(line.has_value()) << "stream ended before slice_remove";
+    removed = line->find("\"event\":\"slice_remove\"") != std::string::npos;
+    lines.push_back(*std::move(line));
+  }
+  auto contains = [&lines](const std::string& needle) {
+    for (const std::string& line : lines) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  // The client's connect arrived by push, and the commit line is
+  // byte-exact against the armus.kv.event.v1 schema (clock pinned at 42).
+  EXPECT_TRUE(contains("{\"v\":1,\"event\":\"conn_accept\",\"ts_ns\":42"));
+  EXPECT_TRUE(contains(
+      "{\"v\":1,\"event\":\"slice_commit\",\"ts_ns\":42,\"site\":1,"
+      "\"version\":1,\"blocked\":1,\"bytes\":" +
+      std::to_string(payload.size()) + '}'));
+  EXPECT_TRUE(contains(
+      "{\"v\":1,\"event\":\"slice_remove\",\"ts_ns\":42,\"site\":1}"));
+
+  // Store outage and recovery are transition events: one line each way,
+  // however many requests fail inside the outage.
+  server.backing()->set_available(false);
+  EXPECT_THROW((void)client.snapshot(), dist::StoreUnavailableError);
+  EXPECT_THROW((void)client.snapshot(), dist::StoreUnavailableError);
+  server.backing()->set_available(true);
+  ASSERT_TRUE(eventually([&client] {
+    try {
+      return client.snapshot().empty();
+    } catch (const dist::StoreUnavailableError&) {
+      return false;
+    }
+  }));
+  int down_events = 0;
+  bool recovered = false;
+  while (!recovered) {
+    std::optional<std::string> line = watch.next();
+    ASSERT_TRUE(line.has_value()) << "stream ended before recovery event";
+    if (line->find("\"event\":\"store_outage\"") == std::string::npos) continue;
+    if (line->find("\"down\":true") != std::string::npos) ++down_events;
+    if (line->find("\"down\":false") != std::string::npos) recovered = true;
+  }
+  EXPECT_EQ(down_events, 1);
+  server.stop();
+}
+
+TEST(KvServerTest, WatchMaskFiltersCategoriesAndSurvivesIdleSweep) {
+  KvServer::Config config;
+  config.idle_timeout = 100ms;
+  KvServer server(config);
+  server.start();
+
+  WatchClient::Config watch_config;
+  watch_config.port = server.port();
+  watch_config.mask = kWatchSlices;
+  watch_config.io_timeout = 2000ms;
+  WatchClient watch(std::move(watch_config));
+  EXPECT_EQ(watch.mask(), kWatchSlices);
+
+  // Lifecycle noise (a connect and its drop) the slices-only mask must
+  // filter out, then a commit that must arrive as the first line.
+  int fd = io::connect_to("127.0.0.1", server.port(), 500);
+  ASSERT_GE(fd, 0);
+  io::close_fd(fd);
+  std::string put = request_header(MsgType::kPutSlice);
+  append_varint(put, 3);
+  append_varint(put, 1);
+  append_bytes(put, "opaque");
+  ASSERT_EQ(response_status(server.handle_request(put)),
+            static_cast<std::uint64_t>(WireStatus::kOk));
+  std::optional<std::string> line = watch.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NE(line->find("\"event\":\"slice_commit\""), std::string::npos);
+  EXPECT_EQ(line->find("conn_accept"), std::string::npos);
+
+  // The subscription outlives the idle sweep: three windows of inbound
+  // silence, and the same connection still delivers.
+  std::this_thread::sleep_for(350ms);
+  std::string put2 = request_header(MsgType::kPutSlice);
+  append_varint(put2, 3);
+  append_varint(put2, 2);
+  append_bytes(put2, "opaque");
+  ASSERT_EQ(response_status(server.handle_request(put2)),
+            static_cast<std::uint64_t>(WireStatus::kOk));
+  line = watch.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NE(line->find("\"version\":2"), std::string::npos);
+  server.stop();
+}
+
+TEST(KvServerTest, StalledWatcherIsDroppedWhileLiveClientKeepsSucceeding) {
+  KvServer::Config config;
+  config.max_write_queue = 32 * 1024;
+  KvServer server(config);
+  server.start();
+
+  // A watcher that subscribes and then never reads its socket.
+  int stalled = io::connect_to("127.0.0.1", server.port(), 500);
+  ASSERT_GE(stalled, 0);
+  io::set_io_timeout(stalled, 5000);
+  std::string subscribe = request_header(MsgType::kWatchEvents);
+  append_varint(subscribe, kWatchAll);
+  ASSERT_EQ(response_status(rpc(stalled, subscribe)),
+            static_cast<std::uint64_t>(WireStatus::kOk));
+
+  // Pump commits until the push queue overflows the 32 KiB cap: the
+  // kernel socket buffers absorb the first bursts, then the ordinary
+  // flush() backpressure path drops the subscriber.
+  RemoteStore client(client_config(server.port()));
+  std::uint64_t version = 0;
+  auto deadline = std::chrono::steady_clock::now() + 20s;
+  while (server.stats().watch_dropped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::string put = request_header(MsgType::kPutSlice);
+    append_varint(put, 5);
+    append_varint(put, ++version);
+    append_bytes(put, "opaque");
+    ASSERT_EQ(response_status(server.handle_request(put)),
+              static_cast<std::uint64_t>(WireStatus::kOk));
+    if (version % 256 == 0) {
+      // The live client keeps succeeding throughout the storm.
+      EXPECT_TRUE(client.heartbeat());
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  EXPECT_GE(server.stats().watch_dropped, 1u);
+  EXPECT_GE(server.stats().dropped_backpressure, 1u);
+  EXPECT_TRUE(client.heartbeat());
+  EXPECT_EQ(client.snapshot().size(), 1u);
+
+  // The stalled subscriber's stream just ends; the drop is visible in
+  // STATS as kv.watch_dropped.
+  while (io::read_frame(stalled, kDefaultMaxFrame).has_value()) {
+  }
+  io::close_fd(stalled);
+  EXPECT_NE(client.stats_json().find("\"kv.watch_dropped\":1"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(KvServerTest, PerOpcodeTimingAndRequestIdJoinAcrossClientAndServer) {
+  KvServer::Config config;
+  config.slow_request_us = 1;  // any request doing real work is "slow"
+  config.event_clock = [] { return std::uint64_t{42}; };
+  KvServer server(config);
+  server.start();
+
+  WatchClient::Config watch_config;
+  watch_config.port = server.port();
+  watch_config.mask = kWatchHealth;
+  watch_config.io_timeout = 2000ms;
+  WatchClient watch(std::move(watch_config));
+
+  // One put: the client stamps request id 1 and times the exchange; the
+  // server times the same request under kv.op.put_slice.latency_us and
+  // emits a slow_request event carrying the id — the correlation join.
+  RemoteStore client(client_config(server.port()));
+  client.put_slice(9, std::string(256 * 1024, 'x'));
+  EXPECT_EQ(client.last_request_id(), 1u);
+
+  std::string slow_line;
+  for (int i = 0; i < 64 && slow_line.empty(); ++i) {
+    std::optional<std::string> line = watch.next();
+    ASSERT_TRUE(line.has_value()) << "no slow_request event arrived";
+    if (line->find("\"event\":\"slow_request\"") != std::string::npos &&
+        line->find("\"op\":\"put_slice\"") != std::string::npos) {
+      slow_line = *line;
+    }
+  }
+  ASSERT_FALSE(slow_line.empty());
+  EXPECT_NE(slow_line.find("\"request_id\":1"), std::string::npos);
+
+  // Both halves of the join hold a histogram of the same exchange.
+  std::string server_json = client.stats_json();
+  EXPECT_NE(server_json.find("\"kv.op.put_slice.latency_us\":{\"count\":1"),
+            std::string::npos);
+  std::string client_json = client.op_registry().snapshot_json();
+  EXPECT_NE(client_json.find("\"op.put_slice.latency_us\":{\"count\":1"),
+            std::string::npos);
+  EXPECT_NE(client_json.find("\"op.stats.latency_us\""), std::string::npos);
+  server.stop();
+}
+
+TEST(RemoteStoreTest, RequestIdsOffSpeaksTheOldDialectByteForByte) {
+  // With Config::request_ids off, request bodies are byte-identical to
+  // the pre-trailer protocol — pinned by exercising a server that would
+  // reject any stray trailing varint beyond the first.
+  KvServer server;
+  server.start();
+  RemoteStore::Config config = client_config(server.port());
+  config.request_ids = false;
+  RemoteStore client(config);
+  EXPECT_EQ(client.put_slice(4, "payload"), 1u);
+  EXPECT_TRUE(client.heartbeat());
+  EXPECT_EQ(client.last_request_id(), 0u);
+  server.stop();
+}
+
+TEST(ReplicationTest, TwoReplicasFanOutConvergeAndSurviveOneDying) {
+  KvServer primary;
+  primary.start();
+  primary.backing()->put_slice(1, "one");
+
+  KvServer replica_a(replica_config(primary.port()));
+  KvServer replica_b(replica_config(primary.port()));
+  replica_a.start();
+  replica_b.start();
+
+  // Both REPLICATE subscriptions converge on the commit and serve reads.
+  ASSERT_TRUE(eventually([&] {
+    return replica_a.backing()->get_slice(1).has_value() &&
+           replica_b.backing()->get_slice(1).has_value();
+  }));
+  RemoteStore reader_a(client_config(replica_a.port()));
+  RemoteStore reader_b(client_config(replica_b.port()));
+  EXPECT_EQ(reader_a.snapshot().size(), 1u);
+  EXPECT_EQ(reader_b.snapshot().size(), 1u);
+
+  // Killing one replica must not disturb the other's stream: the
+  // survivor keeps applying fresh commits and serving them.
+  replica_a.stop();
+  primary.backing()->put_slice(2, "two");
+  ASSERT_TRUE(eventually(
+      [&] { return replica_b.backing()->get_slice(2).has_value(); }));
+  EXPECT_EQ(reader_b.snapshot().size(), 2u);
+  KvServer::Stats stats = replica_b.stats();
+  EXPECT_EQ(stats.role, 1u);
+  EXPECT_GE(stats.replication_frames, 2u);
+  replica_b.stop();
+  primary.stop();
+}
+
+TEST(ReplicationTest, WatchHealthStreamsReplicationTransitionsAndPromotion) {
+  KvServer primary;
+  primary.start();
+  std::uint16_t primary_port = primary.port();
+  KvServer replica(replica_config(primary_port));
+  replica.start();
+  ASSERT_TRUE(eventually([&] { return replica.stats().replication_frames > 0; }));
+
+  // Watch the *replica's* health stream. Transition events are only
+  // built while someone watches, so drive a fresh down→up→promote cycle.
+  WatchClient::Config watch_config;
+  watch_config.port = replica.port();
+  watch_config.mask = kWatchHealth;
+  watch_config.io_timeout = 5000ms;
+  WatchClient watch(std::move(watch_config));
+
+  primary.stop();  // the stream dies → one replication connected:false
+  std::optional<std::string> line = watch.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NE(line->find("\"event\":\"replication\",\"ts_ns\":"),
+            std::string::npos);
+  EXPECT_NE(line->find("\"connected\":false"), std::string::npos);
+
+  // A new primary on the same port: the subscription comes back up.
+  KvServer::Config revived_config;
+  revived_config.port = primary_port;
+  KvServer revived(revived_config);
+  revived.start();
+  line = watch.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NE(line->find("\"connected\":true"), std::string::npos);
+
+  // Promotion emits the generation now fencing the store.
+  RemoteStore control(client_config(replica.port()));
+  std::uint64_t generation = control.promote();
+  bool promoted = false;
+  for (int i = 0; i < 8 && !promoted; ++i) {
+    line = watch.next();
+    ASSERT_TRUE(line.has_value()) << "no promoted event arrived";
+    promoted = line->find("\"event\":\"promoted\",\"ts_ns\":") !=
+                   std::string::npos &&
+               line->find("\"generation\":" + std::to_string(generation)) !=
+                   std::string::npos;
+  }
+  EXPECT_TRUE(promoted);
+  replica.stop();
+  revived.stop();
 }
 
 // --- wire fuzzing ------------------------------------------------------------

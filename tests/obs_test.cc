@@ -110,7 +110,24 @@ TEST(HistogramTest, EmptyAndSingleSample) {
   EXPECT_EQ(h.max(), 37u);
   // One sample: every percentile is that sample (clamped to max).
   EXPECT_EQ(h.percentile(50), 37u);
+  EXPECT_EQ(h.percentile(99.9), 37u);
   EXPECT_EQ(h.percentile(100), 37u);
+  EXPECT_DOUBLE_EQ(h.mean(), 37.0);
+}
+
+TEST(HistogramTest, MeanIsExactAndMergesExactly) {
+  // The mean comes from a running sum, not the buckets, so it is exact
+  // even though the percentiles are bucketed.
+  Histogram a;
+  a.record(1);
+  a.record(2);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  Histogram b;
+  b.record(9);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_EQ(a.count(), 3u);
 }
 
 TEST(HistogramTest, PercentileLandsInTrueRankBucket) {
@@ -180,7 +197,23 @@ TEST(RegistryTest, SnapshotJsonGolden) {
       "\"counters\":{\"kv.errors\":0,\"kv.requests\":5},"
       "\"gauges\":{\"verifier.mean_edges\":2.5},"
       "\"histograms\":{\"publish_us\":{\"count\":3,\"min\":0,\"max\":200,"
-      "\"p50\":3,\"p99\":200}}}");
+      "\"mean\":67.6667,\"p50\":3,\"p99\":200,\"p999\":200}}}");
+}
+
+TEST(RegistryTest, MergeHistogramsCopiesUnderPrefix) {
+  Registry ops;
+  ops.record("op.put_slice.latency_us", 12);
+  ops.record("op.put_slice.latency_us", 40);
+
+  Registry snapshot;
+  snapshot.merge_histograms(ops, "kv.");
+  EXPECT_EQ(snapshot.histogram("kv.op.put_slice.latency_us").count(), 2u);
+  EXPECT_EQ(snapshot.histogram("op.put_slice.latency_us").count(), 0u);
+
+  // Merge overwrites like the exporters: a second merge mirrors, never
+  // accumulates.
+  snapshot.merge_histograms(ops, "kv.");
+  EXPECT_EQ(snapshot.histogram("kv.op.put_slice.latency_us").count(), 2u);
 }
 
 // --- JsonlReporter -----------------------------------------------------------

@@ -15,6 +15,14 @@
 //                           and exit (implies --once)
 //         --stats           print the server's STATS registry snapshot
 //                           (armus.obs.registry.v1 JSON) and exit
+//         --follow          subscribe to the server's WATCH_EVENTS push
+//                           stream and print each armus.kv.event.v1 event
+//                           as it happens — a scrolling incident log, no
+//                           polling; reconnects (walking the endpoint
+//                           list) when the stream dies; runs until killed
+//         --events LIST     with --follow: comma-separated categories to
+//                           subscribe to (lifecycle,slices,health; default
+//                           all)
 //         --model M         graph model for the analysis (wfg|sg|grg|auto,
 //                           default auto)
 //
@@ -28,6 +36,7 @@
 
 #include "dist/store.h"
 #include "net/config.h"
+#include "net/watch.h"
 #include "obs/top.h"
 #include "util/env.h"
 
@@ -39,8 +48,48 @@ int usage() {
   std::fprintf(stderr,
                "usage: armus-top [--store tcp://host:port] [--interval-ms N]\n"
                "                 [--once] [--json] [--dot] [--stats] [--model M]\n"
+               "                 [--follow [--events lifecycle,slices,health]]\n"
                "--store falls back to ARMUS_STORE\n");
   return 2;
+}
+
+/// --follow: consume the WATCH_EVENTS push stream forever, reconnecting
+/// (and walking the endpoint list — a failover promotes a replica, the
+/// log follows it) whenever the stream dies. Never polls.
+int follow_events(const std::string& url, std::uint64_t mask, bool json,
+                  long interval_ms) {
+  std::vector<net::Endpoint> endpoints = net::parse_tcp_endpoints(url);
+  std::string token = util::env_str("ARMUS_AUTH_TOKEN").value_or("");
+  std::size_t at = 0;
+  for (;;) {
+    const net::Endpoint& endpoint = endpoints[at % endpoints.size()];
+    try {
+      net::WatchClient::Config config;
+      config.host = endpoint.host;
+      config.port = endpoint.port;
+      config.mask = mask;
+      config.auth_token = token;
+      net::WatchClient watch(std::move(config));
+      if (!json) {
+        std::printf("following tcp://%s:%u (events mask %llu)\n",
+                    endpoint.host.c_str(), endpoint.port,
+                    static_cast<unsigned long long>(watch.mask()));
+        std::fflush(stdout);
+      }
+      while (std::optional<std::string> line = watch.next()) {
+        if (json) {
+          std::puts(line->c_str());
+        } else {
+          std::puts(obs::render_event_line(*line).c_str());
+        }
+        std::fflush(stdout);
+      }
+    } catch (const dist::StoreUnavailableError& e) {
+      std::fprintf(stderr, "armus-top: %s\n", e.what());
+    }
+    ++at;  // stream died: retry, preferring the next endpoint
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
 }
 
 }  // namespace
@@ -52,6 +101,9 @@ int main(int argc, char** argv) {
   bool json = false;
   bool dot = false;
   bool stats = false;
+  bool follow = false;
+  std::uint64_t event_mask = net::kWatchAll;
+  bool events_given = false;
   GraphModel model = GraphModel::kAuto;
 
   for (int i = 1; i < argc; ++i) {
@@ -71,6 +123,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--stats") {
       stats = true;
       once = true;
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg == "--events" && i + 1 < argc) {
+      events_given = true;
+      try {
+        event_mask = obs::parse_event_filter(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "armus-top: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--model" && i + 1 < argc) {
       try {
         model = graph_model_from_string(argv[++i]);
@@ -89,8 +151,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "armus-top: no server (--store or ARMUS_STORE)\n");
     return 2;
   }
+  if (events_given && !follow) return usage();
+  if (follow && (once || dot || stats)) return usage();
 
   try {
+    if (follow) return follow_events(url, event_mask, json, interval_ms);
     std::shared_ptr<net::RemoteStore> store = net::remote_store_from_url(url);
     if (stats) {
       try {

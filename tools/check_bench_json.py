@@ -44,8 +44,9 @@ armus.bench.net_store.v1 (micro_net_store --json-out):
                        server_errors == 0, client_failures == 0, one
                        connect); the latency histogram is internally
                        consistent (count == rounds,
-                       min <= p50 <= p99 <= max). The percentile values
-                       themselves are the perf trajectory, not asserted.
+                       min <= p50 <= p99 <= p999 <= max, mean within
+                       [min, max]). The percentile values themselves are
+                       the perf trajectory, not asserted.
   decode_cache         reads over an unchanged store decode nothing;
                        each read after one republish decodes exactly the
                        one changed slice (decodes_unchanged == 0,
@@ -165,8 +166,10 @@ def check_net_store(doc):
               f"publish_latency: histogram holds {hist['count']} samples "
               f"for {rounds} rounds")
         check(hist["min_us"] <= hist["p50_us"] <= hist["p99_us"]
-              <= hist["max_us"],
+              <= hist["p999_us"] <= hist["max_us"],
               f"publish_latency: percentiles not monotone: {hist}")
+        check(hist["min_us"] <= hist["mean_us"] <= hist["max_us"],
+              f"publish_latency: mean outside [min, max]: {hist}")
         # >= rounds, not ==: the client handshake may issue extra requests.
         check(c["server_requests"] >= rounds,
               f"publish_latency: server saw {c['server_requests']} requests "
@@ -208,8 +211,10 @@ def check_kv_fleet(doc):
               f"{name}: histogram holds {hist['count']} samples for "
               f"{w['publishes']} publishes")
         check(hist["min_us"] <= hist["p50_us"] <= hist["p99_us"]
-              <= hist["max_us"],
+              <= hist["p999_us"] <= hist["max_us"],
               f"{name}: percentiles not monotone: {hist}")
+        check(hist["min_us"] <= hist["mean_us"] <= hist["max_us"],
+              f"{name}: mean outside [min, max]: {hist}")
         check(c["server_errors"] == 0,
               f"{name}: {c['server_errors']} server errors")
         check(c["server_requests"] >= w["publishes"],

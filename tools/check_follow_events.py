@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validates an `armus-top --follow --json` capture (armus.kv.event.v1
+JSONL, docs/OBSERVABILITY.md §4).
+
+Usage: check_follow_events.py EVENTS_JSONL [options]
+
+  EVENTS_JSONL          file of raw event lines, one JSON object per line
+  --require-sites A,B   a slice_commit event must be present for every
+                        listed site id
+  --require-blocked     those slice_commit events must report blocked > 0
+                        (the held-deadlock e2e: the push stream alone is
+                        enough to see both sites stuck)
+  --require-event NAME  at least one event of this name present (may be
+                        repeated)
+  --forbid-event NAME   no event of this name present (may be repeated)
+
+Every line must parse as JSON with the v1 envelope ("v":1, "event",
+"ts_ns") — a torn or malformed line is a failure, because the consumer
+contract (net::WatchClient) is that frames arrive whole or the stream
+dies cleanly. Exit 0 when all requested invariants hold, 1 otherwise
+(one FAIL line each). Stdlib only, same as the other CI checkers.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(usage=__doc__)
+    parser.add_argument("events_jsonl")
+    parser.add_argument("--require-sites", default="")
+    parser.add_argument("--require-blocked", action="store_true")
+    parser.add_argument("--require-event", action="append", default=[])
+    parser.add_argument("--forbid-event", action="append", default=[])
+    args = parser.parse_args()
+
+    failures = []
+
+    def check(cond, message):
+        if not cond:
+            failures.append(message)
+
+    events = []
+    with open(args.events_jsonl) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as e:
+                check(False, f"line {lineno} is not JSON ({e}): {line!r}")
+                continue
+            check(doc.get("v") == 1,
+                  f"line {lineno}: \"v\" is {doc.get('v')!r}, expected 1")
+            check("event" in doc, f"line {lineno}: no \"event\" field")
+            check("ts_ns" in doc, f"line {lineno}: no \"ts_ns\" field")
+            events.append(doc)
+
+    check(events, f"{args.events_jsonl} holds no events")
+
+    if args.require_sites:
+        want = [int(s) for s in args.require_sites.split(",") if s]
+        commits = [e for e in events if e.get("event") == "slice_commit"]
+        for site in want:
+            mine = [e for e in commits if e.get("site") == site]
+            check(mine, f"no slice_commit event for site {site}")
+            if args.require_blocked:
+                check(any(e.get("blocked", 0) > 0 for e in mine),
+                      f"site {site} never pushed a blocked slice "
+                      f"(commits: {mine})")
+
+    names = [e.get("event") for e in events]
+    for name in args.require_event:
+        check(name in names, f"no {name!r} event in the capture")
+    for name in args.forbid_event:
+        check(name not in names,
+              f"{names.count(name)} {name!r} events present, expected none")
+
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}")
+        return 1
+    print(f"ok: {args.events_jsonl} holds {len(events)} well-formed "
+          f"armus.kv.event.v1 events satisfying the requested invariants")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@ Usage: check_top_json.py TOP_JSON [options]
   --cross-process     some deadlock spans the per-process task-id ranges
                       of the two-process demo (min task < 2^32 <= max
                       task), i.e. no single process held the whole cycle
+  --require-role R    the store header reports this HA role ("primary" or
+                      "replica"); a replica must also carry the
+                      replication fields (primary, lag_versions)
   --dot FILE          a GraphViz dump from `armus-top --dot`: every task
                       of every deadlock must appear in it
 
@@ -32,6 +35,7 @@ def main():
     parser.add_argument("--require-blocked", action="store_true")
     parser.add_argument("--require-cycle", action="store_true")
     parser.add_argument("--cross-process", action="store_true")
+    parser.add_argument("--require-role", choices=("primary", "replica"))
     parser.add_argument("--dot")
     args = parser.parse_args()
 
@@ -58,6 +62,16 @@ def main():
                   f"site {site.get('site')} reports no blocked tasks")
     if args.require_cycle:
         check(len(deadlocks) > 0, "no deadlock in the merged snapshot")
+    if args.require_role:
+        store = doc.get("store", {})
+        role = store.get("role")
+        check(role == args.require_role,
+              f"store role is {role!r}, expected {args.require_role!r}")
+        if args.require_role == "replica":
+            check(store.get("primary"),
+                  "replica reports no primary address")
+            check("lag_versions" in store,
+                  "replica reports no lag_versions")
     if args.cross_process:
         spanning = [d for d in deadlocks if d.get("tasks")
                     and min(d["tasks"]) < SITE_TASK_RANGE <= max(d["tasks"])]
